@@ -1,0 +1,102 @@
+//! Benchmarks for the ML substrate: training and prediction of the three
+//! model families on realistic problem sizes (59 benchmarks × 272 profile
+//! features × 4–15 outputs — the shapes the evaluation actually uses).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_ml::{
+    Dataset, DenseMatrix, Distance, GradientBoostingRegressor, KnnRegressor, MaxFeatures,
+    RandomForestRegressor, Regressor,
+};
+use pv_stats::rng::Xoshiro256pp;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Synthetic regression problem with the evaluation's shape.
+fn problem(n: usize, d: usize, t: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n * t);
+    for _ in 0..n {
+        let latent: f64 = rng.gen();
+        for j in 0..d {
+            x.push(latent * (j % 7) as f64 + rng.gen::<f64>());
+        }
+        for k in 0..t {
+            y.push(latent * (k + 1) as f64 + 0.1 * rng.gen::<f64>());
+        }
+    }
+    Dataset::ungrouped(
+        DenseMatrix::from_flat(n, d, x).unwrap(),
+        DenseMatrix::from_flat(n, t, y).unwrap(),
+    )
+    .unwrap()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let data = problem(59, 272, 4, 1);
+    g.bench_function("fit_59x272", |b| {
+        b.iter(|| {
+            let mut m = KnnRegressor::new(15).with_distance(Distance::Cosine);
+            m.fit(black_box(&data)).unwrap();
+            m
+        })
+    });
+    let mut m = KnnRegressor::new(15).with_distance(Distance::Cosine);
+    m.fit(&data).unwrap();
+    let q: Vec<f64> = data.x.row(0).to_vec();
+    g.bench_function("predict_59x272", |b| {
+        b.iter(|| m.predict(black_box(&q)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forest");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let data = problem(59, 272, 4, 2);
+    g.bench_function("fit_100trees_59x272", |b| {
+        b.iter(|| {
+            let mut m = RandomForestRegressor::new(100)
+                .with_max_depth(14)
+                .with_max_features(MaxFeatures::Sqrt)
+                .with_seed(3);
+            m.fit(black_box(&data)).unwrap();
+            m
+        })
+    });
+    let mut m = RandomForestRegressor::new(100).with_seed(3);
+    m.fit(&data).unwrap();
+    let q: Vec<f64> = data.x.row(1).to_vec();
+    g.bench_function("predict_100trees", |b| {
+        b.iter(|| m.predict(black_box(&q)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_gbt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gbt");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let data = problem(59, 272, 4, 4);
+    g.bench_function("fit_80rounds_59x272", |b| {
+        b.iter(|| {
+            let mut m = GradientBoostingRegressor::new(80)
+                .with_max_depth(3)
+                .with_seed(5);
+            m.fit(black_box(&data)).unwrap();
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_forest, bench_gbt);
+criterion_main!(benches);

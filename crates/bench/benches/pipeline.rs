@@ -1,0 +1,78 @@
+//! End-to-end pipeline benchmarks: the costs a user actually pays —
+//! collecting a corpus, training a predictor, and producing one
+//! distribution prediction. One bench per paper exhibit family.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_bench::{uc1_config, uc2_config};
+use pv_core::usecase1::FewRunsPredictor;
+use pv_core::usecase2::CrossSystemPredictor;
+use pv_core::{ModelKind, ReprKind};
+use pv_sysmodel::{Corpus, SystemModel};
+
+fn bench_corpus_collection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("collect_60x100_intel", |b| {
+        b.iter(|| Corpus::collect(black_box(&SystemModel::intel()), 100, 7))
+    });
+    g.finish();
+}
+
+fn bench_use_case_one(c: &mut Criterion) {
+    let mut g = c.benchmark_group("usecase1");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let corpus = Corpus::collect(&SystemModel::intel(), 100, 7);
+    let include: Vec<usize> = (1..corpus.len()).collect();
+    let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+    g.bench_function("train_knn_pearson", |b| {
+        b.iter(|| FewRunsPredictor::train(black_box(&corpus), &include, cfg).unwrap())
+    });
+    let predictor = FewRunsPredictor::train(&corpus, &include, cfg).unwrap();
+    g.bench_function("predict_1000_samples", |b| {
+        b.iter(|| {
+            predictor
+                .predict_distribution(black_box(&corpus.benchmarks[0].runs), 1000, 1)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_use_case_two(c: &mut Criterion) {
+    let mut g = c.benchmark_group("usecase2");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    let amd = Corpus::collect(&SystemModel::amd(), 100, 7);
+    let intel = Corpus::collect(&SystemModel::intel(), 100, 7);
+    let include: Vec<usize> = (1..amd.len()).collect();
+    let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
+    g.bench_function("train_knn_pearson", |b| {
+        b.iter(|| {
+            CrossSystemPredictor::train(black_box(&amd), &intel, &include, cfg).unwrap()
+        })
+    });
+    let predictor = CrossSystemPredictor::train(&amd, &intel, &include, cfg).unwrap();
+    g.bench_function("predict_1000_samples", |b| {
+        b.iter(|| {
+            predictor
+                .predict_distribution(black_box(&amd.benchmarks[0]), 1000, 1)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_corpus_collection,
+    bench_use_case_one,
+    bench_use_case_two
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Benchmarks for the distribution-reconstruction engines: Pearson-system
+//! fitting/sampling (`pearsrnd`) and the maximum-entropy Newton solver.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_maxent::{MaxEntDensity, MaxEntOptions};
+use pv_pearson::PearsonDist;
+use pv_stats::moments::MomentSummary;
+use pv_stats::rng::Xoshiro256pp;
+use rand::SeedableRng;
+
+fn spec(skew: f64, kurt: f64) -> MomentSummary {
+    MomentSummary {
+        mean: 1.0,
+        std: 0.05,
+        skewness: skew,
+        kurtosis: kurt,
+    }
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pearson");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for (name, s) in [
+        ("fit_type0", spec(0.0, 3.0)),
+        ("fit_typeI", spec(0.6, 2.9)),
+        ("fit_typeIV", spec(0.8, 5.0)),
+        ("fit_typeVI", spec(1.8, 9.0)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| PearsonDist::fit(black_box(s)).unwrap()));
+    }
+    let d = PearsonDist::fit(spec(0.8, 5.0)).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    g.bench_function("sample_1000_typeIV", |b| {
+        b.iter(|| d.sample_n(&mut rng, black_box(1000)))
+    });
+    let d0 = PearsonDist::fit(spec(0.0, 3.0)).unwrap();
+    g.bench_function("sample_1000_type0", |b| {
+        b.iter(|| d0.sample_n(&mut rng, black_box(1000)))
+    });
+    g.finish();
+}
+
+fn bench_maxent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxent");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(20);
+    for (name, s) in [
+        ("solve_normal", spec(0.0, 3.0)),
+        ("solve_skewed", spec(0.7, 3.8)),
+        ("solve_platykurtic", spec(0.0, 1.9)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| MaxEntDensity::from_summary(black_box(&s), (0.8, 1.25)).unwrap())
+        });
+    }
+    // Quadrature-order sensitivity of the solver.
+    let s = spec(0.4, 3.4);
+    let mu = pv_maxent::central_to_raw_moments(&s);
+    for order in [32usize, 96] {
+        let opts = MaxEntOptions {
+            quad_order: order,
+            ..MaxEntOptions::default()
+        };
+        g.bench_function(format!("solve_quad{order}"), |b| {
+            b.iter(|| pv_maxent::solve_maxent(black_box(&mu), 0.8, 1.25, &opts).unwrap())
+        });
+    }
+    let d = MaxEntDensity::from_summary(&spec(0.3, 3.2), (0.8, 1.25)).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    g.bench_function("sample_1000", |b| {
+        b.iter(|| d.sample_n(&mut rng, black_box(1000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pearson, bench_maxent);
+criterion_main!(benches);

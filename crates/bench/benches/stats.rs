@@ -1,0 +1,103 @@
+//! Microbenchmarks for the statistical substrate: the primitives every
+//! experiment calls thousands of times.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_stats::histogram::Histogram;
+use pv_stats::kde::{Bandwidth, Kde};
+use pv_stats::ks::ks2_statistic;
+use pv_stats::moments::Moments;
+use pv_stats::rng::Xoshiro256pp;
+use pv_stats::samplers::{Normal, Sampler};
+use rand::SeedableRng;
+
+fn data(n: usize, seed: u64) -> Vec<f64> {
+    let d = Normal::new(1.0, 0.05).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    d.sample_n(&mut rng, n)
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moments");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for n in [100usize, 1000, 10_000] {
+        let xs = data(n, 1);
+        g.bench_with_input(BenchmarkId::new("one_pass", n), &xs, |b, xs| {
+            b.iter(|| Moments::from_slice(black_box(xs)).summary())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ks");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for n in [100usize, 1000] {
+        let a = data(n, 2);
+        let b2 = data(n, 3);
+        g.bench_with_input(BenchmarkId::new("two_sample", n), &n, |b, _| {
+            b.iter(|| ks2_statistic(black_box(&a), black_box(&b2)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kde");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let xs = data(1000, 4);
+    g.bench_function("fit_1000", |b| {
+        b.iter(|| Kde::fit(black_box(&xs), Bandwidth::Silverman).unwrap())
+    });
+    let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+    g.bench_function("grid_64_over_1000pts", |b| {
+        b.iter(|| kde.grid(black_box(0.8), black_box(1.2), 64))
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let xs = data(1000, 5);
+    g.bench_function("build_1000x15", |b| {
+        b.iter(|| Histogram::from_data_with_range(black_box(&xs), 0.7, 1.5, 15).unwrap())
+    });
+    let h = Histogram::from_data_with_range(&xs, 0.7, 1.5, 15).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(6);
+    g.bench_function("sample_1000", |b| {
+        b.iter(|| h.sample_n(&mut rng, black_box(1000)))
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplers");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let normal = Normal::new(0.0, 1.0).unwrap();
+    g.bench_function("normal_1000", |b| {
+        b.iter(|| normal.sample_n(&mut rng, black_box(1000)))
+    });
+    let gamma = pv_stats::samplers::Gamma::new(2.5, 1.0).unwrap();
+    g.bench_function("gamma_1000", |b| {
+        b.iter(|| gamma.sample_n(&mut rng, black_box(1000)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_moments,
+    bench_ks,
+    bench_kde,
+    bench_histogram,
+    bench_samplers
+);
+criterion_main!(benches);

@@ -1,0 +1,573 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p pv-bench --release --bin repro -- all
+//! cargo run -p pv-bench --release --bin repro -- fig4 fig6
+//! ```
+//!
+//! Each exhibit prints a text rendition to stdout and writes CSV series
+//! under `target/repro/` so the data can be re-plotted with any tool.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pv_bench::{amd_corpus, intel_corpus, uc1_config, uc2_config, CAMPAIGN_SEED};
+use pv_core::eval::{evaluate_cross_system, evaluate_few_runs, EvalSummary};
+use pv_core::report::{kde_curve, overlay, sparkline, summary_table, violin_row, write_csv};
+use pv_core::usecase1::FewRunsPredictor;
+use pv_core::usecase2::CrossSystemPredictor;
+use pv_core::{ModelKind, ReprKind};
+use pv_stats::ks::ks2_statistic;
+use pv_stats::rng::Xoshiro256pp;
+use pv_sysmodel::{Corpus, INTEL_METRICS, AMD_METRICS};
+use rand::SeedableRng;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from("target/repro")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    let started = Instant::now();
+    println!("perfvar reproduction harness — seed {CAMPAIGN_SEED:#x}");
+    println!("outputs: {}", out_dir().display());
+    println!();
+
+    // Corpora are shared across exhibits; collect lazily.
+    let mut intel: Option<Corpus> = None;
+    let mut amd: Option<Corpus> = None;
+    macro_rules! intel {
+        () => {{
+            if intel.is_none() {
+                let t = Instant::now();
+                intel = Some(intel_corpus());
+                println!("[setup] Intel campaign collected in {:.1?}", t.elapsed());
+            }
+            intel.as_ref().expect("just set")
+        }};
+    }
+    macro_rules! amd {
+        () => {{
+            if amd.is_none() {
+                let t = Instant::now();
+                amd = Some(amd_corpus());
+                println!("[setup] AMD campaign collected in {:.1?}", t.elapsed());
+            }
+            amd.as_ref().expect("just set")
+        }};
+    }
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table_metrics("Table II (Intel, 68 metrics)", &INTEL_METRICS.map(|m| m.name));
+    }
+    if want("table3") {
+        table_metrics("Table III (AMD, 75 metrics)", &AMD_METRICS.map(|m| m.name));
+    }
+    if want("fig1") {
+        fig1(intel!());
+    }
+    if want("fig3") {
+        fig3(intel!());
+    }
+    if want("fig4") {
+        fig4(intel!());
+    }
+    if want("fig5") {
+        fig5(intel!());
+    }
+    if want("fig6") {
+        fig6(intel!());
+    }
+    if want("fig7") {
+        fig7(amd!(), intel!());
+    }
+    if want("fig8") {
+        fig8(amd!(), intel!());
+    }
+    if want("fig9") {
+        fig9(amd!(), intel!());
+    }
+    if want("ablations") {
+        ablations(intel!());
+    }
+    if want("baselines") {
+        baselines(intel!());
+    }
+
+    println!("\ntotal: {:.1?}", started.elapsed());
+}
+
+/// Table I: the benchmark roster.
+fn table1() {
+    println!("== Table I: benchmarks used in the evaluation ==");
+    for suite in pv_sysmodel::Suite::ALL {
+        println!("{:<12} {}", suite.name(), suite.benchmarks().join(", "));
+    }
+    println!("total: {} benchmarks\n", pv_sysmodel::roster().len());
+}
+
+/// Tables II/III: the metric catalogs.
+fn table_metrics(title: &str, names: &[&str]) {
+    println!("== {title} ==");
+    for (i, name) in names.iter().enumerate() {
+        print!("{i:>3} {name:<42}");
+        if i % 2 == 1 {
+            println!();
+        }
+    }
+    if names.len() % 2 == 1 {
+        println!();
+    }
+    println!();
+}
+
+/// Fig. 1: SPEC OMP 376 measured at 1000/2/3/5/10 samples + prediction
+/// from 10 samples.
+fn fig1(intel: &Corpus) {
+    println!("== Fig. 1: measured and predicted distributions of SPEC OMP 376 ==");
+    let idx = intel
+        .benchmarks
+        .iter()
+        .position(|b| b.id.qualified() == "specomp/376")
+        .expect("roster");
+    let bench = &intel.benchmarks[idx];
+    let rel = bench.runs.rel_times();
+    let (lo, hi) = axis(&rel);
+    let width = 64;
+
+    let mut csv_rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut show = |label: &str, xs: &[f64]| {
+        let curve = kde_curve(xs, lo, hi, width).expect("kde");
+        println!("  {:<24} {}", label, sparkline(&curve));
+        labels.push(label.replace(' ', "_"));
+        csv_rows.push(curve);
+    };
+
+    show("(a) measured, 1000 runs", &rel);
+    for (panel, s) in [("(b)", 2usize), ("(c)", 3), ("(d)", 5), ("(e)", 10)] {
+        show(&format!("{panel} measured, {s} runs"), &rel[..s]);
+    }
+
+    // (f): LOGO prediction from 10 runs, PearsonRnd + kNN.
+    let include: Vec<usize> = (0..intel.len()).filter(|&i| i != idx).collect();
+    let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+    let predictor = FewRunsPredictor::train(intel, &include, cfg).expect("train");
+    let predicted = predictor
+        .predict_distribution(&bench.runs, 1000, 376)
+        .expect("predict");
+    let ks = ks2_statistic(&predicted, &rel).expect("ks");
+    show(&format!("(f) predicted (KS={ks:.3})"), &predicted);
+
+    write_csv(
+        &out_dir().join("fig1.csv"),
+        &["panel", "density_curve_over_axis"],
+        &csv_rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!("  axis: relative time in [{lo:.3}, {hi:.3}]\n");
+}
+
+/// Fig. 3: relative-time KDE of every benchmark on the Intel system.
+fn fig3(intel: &Corpus) {
+    println!("== Fig. 3: relative execution time densities, all benchmarks (Intel) ==");
+    let width = 64;
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for b in &intel.benchmarks {
+        let rel = b.runs.rel_times();
+        let (lo, hi) = axis(&rel);
+        let curve = kde_curve(&rel, lo, hi, width).expect("kde");
+        println!("  {:<24} {}", b.id.qualified(), sparkline(&curve));
+        labels.push(b.id.qualified());
+        rows.push(curve);
+    }
+    write_csv(
+        &out_dir().join("fig3.csv"),
+        &["benchmark", "density_curve"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!();
+}
+
+/// Fig. 4: KS violins per (representation × model) for use case 1 at ten
+/// runs, on the Intel system.
+fn fig4(intel: &Corpus) {
+    println!("== Fig. 4: use case 1, representation × model (Intel, 10 runs) ==");
+    let summaries = grid_uc1(intel, 10);
+    render_grid(&summaries, "fig4");
+    headline_uc(&summaries);
+}
+
+/// Fig. 5: measured-vs-predicted overlays across the KS spectrum (UC1).
+fn fig5(intel: &Corpus) {
+    println!("== Fig. 5: prediction overlays across the KS spectrum (UC1, PearsonRnd+kNN, 10 runs) ==");
+    let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+    // Score every benchmark under LOGO, then show overlays at quantiles.
+    let summary = evaluate_few_runs(intel, cfg).expect("eval");
+    let mut order: Vec<usize> = (0..summary.scores.len()).collect();
+    order.sort_by(|&a, &b| summary.scores[a].ks.partial_cmp(&summary.scores[b].ks).expect("finite"));
+    let picks: Vec<usize> = (0..8)
+        .map(|i| order[i * (order.len() - 1) / 7])
+        .collect();
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for &bi in &picks {
+        let bench = &intel.benchmarks[bi];
+        let include: Vec<usize> = (0..intel.len()).filter(|&i| i != bi).collect();
+        let p = FewRunsPredictor::train(intel, &include, cfg).expect("train");
+        let predicted = p
+            .predict_distribution(&bench.runs, 1000, bi as u64)
+            .expect("predict");
+        let rel = bench.runs.rel_times();
+        let (lo, hi) = axis_pair(&rel, &predicted);
+        println!(
+            "  {} (KS = {:.3})",
+            bench.id.qualified(),
+            summary.scores[bi].ks
+        );
+        print!("{}", overlay(&rel, &predicted, lo, hi, 64).expect("overlay"));
+        for (tag, xs) in [("measured", &rel), ("predicted", &predicted)] {
+            labels.push(format!("{}:{tag}", bench.id.qualified()));
+            let mut row = vec![summary.scores[bi].ks, lo, hi];
+            row.extend(kde_curve(xs, lo, hi, 64).expect("kde"));
+            rows.push(row);
+        }
+    }
+    write_csv(
+        &out_dir().join("fig5.csv"),
+        &["series", "ks", "axis_lo", "axis_hi", "density_curve"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!();
+}
+
+/// Fig. 6: KS score vs. number of profile runs (UC1, best repr+model).
+fn fig6(intel: &Corpus) {
+    println!("== Fig. 6: KS vs number of samples (UC1, PearsonRnd+kNN, Intel) ==");
+    let sample_counts = [1usize, 2, 3, 5, 10, 25, 50, 100];
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for &s in &sample_counts {
+        let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, s);
+        let summary = evaluate_few_runs(intel, cfg).expect("eval");
+        println!(
+            "{}",
+            violin_row(&format!("{s} samples"), &summary.ks_values(), 44).expect("violin")
+        );
+        labels.push(format!("{s}"));
+        let mut row = vec![summary.mean, summary.spread.median];
+        row.extend(summary.ks_values());
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = vec!["samples", "mean", "median"];
+    let bench_names: Vec<String> = intel.benchmarks.iter().map(|b| b.id.qualified()).collect();
+    let name_refs: Vec<&str> = bench_names.iter().map(|s| s.as_str()).collect();
+    header.extend(name_refs);
+    write_csv(&out_dir().join("fig6.csv"), &header, &rows, Some(&labels)).expect("csv");
+    println!();
+}
+
+/// Fig. 7: KS violins per (representation × model) for use case 2,
+/// AMD → Intel.
+fn fig7(amd: &Corpus, intel: &Corpus) {
+    println!("== Fig. 7: use case 2, representation × model (AMD → Intel) ==");
+    let summaries = grid_uc2(amd, intel);
+    render_grid(&summaries, "fig7");
+    headline_uc(&summaries);
+}
+
+/// Fig. 8: prediction direction comparison (AMD→Intel vs Intel→AMD).
+fn fig8(amd: &Corpus, intel: &Corpus) {
+    println!("== Fig. 8: direction of prediction (PearsonRnd + kNN) ==");
+    let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
+    let a2i = evaluate_cross_system(amd, intel, cfg).expect("eval");
+    let i2a = evaluate_cross_system(intel, amd, cfg).expect("eval");
+    println!(
+        "{}",
+        violin_row("AMD -> Intel", &a2i.ks_values(), 44).expect("violin")
+    );
+    println!(
+        "{}",
+        violin_row("Intel -> AMD", &i2a.ks_values(), 44).expect("violin")
+    );
+    let rows = vec![
+        {
+            let mut r = vec![a2i.mean];
+            r.extend(a2i.ks_values());
+            r
+        },
+        {
+            let mut r = vec![i2a.mean];
+            r.extend(i2a.ks_values());
+            r
+        },
+    ];
+    write_csv(
+        &out_dir().join("fig8.csv"),
+        &["direction", "mean_ks", "per_benchmark_ks"],
+        &rows,
+        Some(&["amd_to_intel".into(), "intel_to_amd".into()]),
+    )
+    .expect("csv");
+    println!(
+        "  direction gap: AMD→Intel mean {:.3} vs Intel→AMD mean {:.3}\n",
+        a2i.mean, i2a.mean
+    );
+}
+
+/// Fig. 9: overlays for use case 2 (AMD → Intel).
+fn fig9(amd: &Corpus, intel: &Corpus) {
+    println!("== Fig. 9: prediction overlays across the KS spectrum (UC2, AMD → Intel) ==");
+    let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
+    let summary = evaluate_cross_system(amd, intel, cfg).expect("eval");
+    let mut order: Vec<usize> = (0..summary.scores.len()).collect();
+    order.sort_by(|&a, &b| summary.scores[a].ks.partial_cmp(&summary.scores[b].ks).expect("finite"));
+    let picks: Vec<usize> = (0..8)
+        .map(|i| order[i * (order.len() - 1) / 7])
+        .collect();
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for &bi in &picks {
+        let include: Vec<usize> = (0..amd.len()).filter(|&i| i != bi).collect();
+        let p = CrossSystemPredictor::train(amd, intel, &include, cfg).expect("train");
+        let predicted = p
+            .predict_distribution(&amd.benchmarks[bi], 1000, bi as u64)
+            .expect("predict");
+        let truth = intel.benchmarks[bi].runs.rel_times();
+        let (lo, hi) = axis_pair(&truth, &predicted);
+        println!(
+            "  {} (KS = {:.3})",
+            intel.benchmarks[bi].id.qualified(),
+            summary.scores[bi].ks
+        );
+        print!("{}", overlay(&truth, &predicted, lo, hi, 64).expect("overlay"));
+        for (tag, xs) in [("actual", &truth), ("predicted", &predicted)] {
+            labels.push(format!("{}:{tag}", intel.benchmarks[bi].id.qualified()));
+            let mut row = vec![summary.scores[bi].ks, lo, hi];
+            row.extend(kde_curve(xs, lo, hi, 64).expect("kde"));
+            rows.push(row);
+        }
+    }
+    write_csv(
+        &out_dir().join("fig9.csv"),
+        &["series", "ks", "axis_lo", "axis_hi", "density_curve"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!();
+}
+
+/// Ablations of the paper's inline design claims: distance metric, k,
+/// histogram bin count, and per-representation reconstruction floors.
+fn ablations(intel: &Corpus) {
+    use pv_core::ablation::{evaluate_knn_variant, histogram_floor, reconstruction_floor};
+    use pv_ml::Distance;
+
+    println!("== Ablation: kNN distance metric (PearsonRnd, k=15, 10 runs) ==");
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for dist in [
+        Distance::Cosine,
+        Distance::Euclidean,
+        Distance::Manhattan,
+        Distance::Chebyshev,
+    ] {
+        let s = evaluate_knn_variant(intel, dist, 15, 10, CAMPAIGN_SEED).expect("eval");
+        println!("  {dist:<12?} mean KS {:.3}  median {:.3}", s.mean, s.spread.median);
+        labels.push(format!("{dist:?}"));
+        rows.push(vec![s.mean, s.spread.median]);
+    }
+    write_csv(
+        &out_dir().join("ablation_distance.csv"),
+        &["distance", "mean_ks", "median_ks"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+
+    println!("\n== Ablation: k (PearsonRnd, cosine, 10 runs) ==");
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for k in [1usize, 3, 5, 10, 15, 25, 40, 59] {
+        let s = evaluate_knn_variant(intel, Distance::Cosine, k, 10, CAMPAIGN_SEED)
+            .expect("eval");
+        println!("  k = {k:<3} mean KS {:.3}", s.mean);
+        labels.push(format!("{k}"));
+        rows.push(vec![s.mean, s.spread.median]);
+    }
+    write_csv(
+        &out_dir().join("ablation_k.csv"),
+        &["k", "mean_ks", "median_ks"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+
+    println!("\n== Ablation: reconstruction floors (oracle encodings, no model) ==");
+    for repr in ReprKind::ALL {
+        let built = repr.build();
+        let s = reconstruction_floor(intel, built.as_ref(), CAMPAIGN_SEED).expect("eval");
+        println!("  {:<12} floor mean KS {:.3}", repr.name(), s.mean);
+    }
+
+    println!("\n== Ablation: histogram bin count (oracle floor) ==");
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for bins in [5usize, 10, 15, 20, 40, 80] {
+        let s = histogram_floor(intel, bins, CAMPAIGN_SEED).expect("eval");
+        println!("  {bins:>3} bins: floor mean KS {:.3}", s.mean);
+        labels.push(format!("{bins}"));
+        rows.push(vec![s.mean]);
+    }
+    write_csv(
+        &out_dir().join("ablation_bins.csv"),
+        &["bins", "floor_mean_ks"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!();
+}
+
+/// Baselines: what does learning buy over (a) just using the s measured
+/// runs, (b) predicting the population distribution?
+fn baselines(intel: &Corpus) {
+    use pv_core::baseline::{empirical_baseline, population_baseline};
+    println!("== Baselines vs the learned predictor (UC1, PearsonRnd + kNN) ==");
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for s in [2usize, 5, 10, 25, 100] {
+        let raw = empirical_baseline(intel, s).expect("baseline");
+        let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, s);
+        let learned = evaluate_few_runs(intel, cfg).expect("eval");
+        println!(
+            "  s = {s:<4} raw-empirical {:.3}   learned {:.3}   gain {:+.3}",
+            raw.mean,
+            learned.mean,
+            raw.mean - learned.mean
+        );
+        labels.push(format!("{s}"));
+        rows.push(vec![raw.mean, learned.mean]);
+    }
+    let pop = population_baseline(intel, 5000).expect("baseline");
+    println!("  population-pool baseline: {:.3}", pop.mean);
+    write_csv(
+        &out_dir().join("baselines.csv"),
+        &["samples", "empirical_mean_ks", "learned_mean_ks"],
+        &rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+
+/// Natural axis for a relative-time sample: data range padded 10%.
+fn axis(xs: &[f64]) -> (f64, f64) {
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let pad = 0.1 * (hi - lo).max(1e-3);
+    (lo - pad, hi + pad)
+}
+
+fn axis_pair(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let (l1, h1) = axis(a);
+    let (l2, h2) = axis(b);
+    (l1.min(l2), h1.max(h2))
+}
+
+/// Runs the full 3×3 grid for use case 1 at `s` profile runs.
+fn grid_uc1(intel: &Corpus, s: usize) -> Vec<(String, EvalSummary)> {
+    let mut out = Vec::new();
+    for repr in ReprKind::ALL {
+        for model in ModelKind::ALL {
+            let t = Instant::now();
+            let cfg = uc1_config(repr, model, s);
+            let summary = evaluate_few_runs(intel, cfg).expect("eval");
+            eprintln!(
+                "  [{} × {}] mean KS {:.3} ({:.1?})",
+                repr.name(),
+                model.name(),
+                summary.mean,
+                t.elapsed()
+            );
+            out.push((format!("{} + {}", repr.name(), model.name()), summary));
+        }
+    }
+    out
+}
+
+/// Runs the full 3×3 grid for use case 2 (src → dst).
+fn grid_uc2(src: &Corpus, dst: &Corpus) -> Vec<(String, EvalSummary)> {
+    let mut out = Vec::new();
+    for repr in ReprKind::ALL {
+        for model in ModelKind::ALL {
+            let t = Instant::now();
+            let cfg = uc2_config(repr, model);
+            let summary = evaluate_cross_system(src, dst, cfg).expect("eval");
+            eprintln!(
+                "  [{} × {}] mean KS {:.3} ({:.1?})",
+                repr.name(),
+                model.name(),
+                summary.mean,
+                t.elapsed()
+            );
+            out.push((format!("{} + {}", repr.name(), model.name()), summary));
+        }
+    }
+    out
+}
+
+fn render_grid(summaries: &[(String, EvalSummary)], stem: &str) {
+    let rows: Vec<(String, &EvalSummary)> = summaries
+        .iter()
+        .map(|(l, s)| (l.clone(), s))
+        .collect();
+    println!("{}", summary_table(&rows).expect("table"));
+    let csv_rows: Vec<Vec<f64>> = summaries
+        .iter()
+        .map(|(_, s)| {
+            let mut r = vec![s.mean, s.spread.median, s.spread.q1, s.spread.q3];
+            r.extend(s.ks_values());
+            r
+        })
+        .collect();
+    let labels: Vec<String> = summaries.iter().map(|(l, _)| l.replace(' ', "")).collect();
+    write_csv(
+        &out_dir().join(format!("{stem}.csv")),
+        &["config", "mean", "median", "q1", "q3", "per_benchmark_ks"],
+        &csv_rows,
+        Some(&labels),
+    )
+    .expect("csv");
+}
+
+fn headline_uc(summaries: &[(String, EvalSummary)]) {
+    let best = summaries
+        .iter()
+        .min_by(|a, b| a.1.mean.partial_cmp(&b.1.mean).expect("finite"))
+        .expect("non-empty");
+    println!("  best cell: {} (mean KS {:.3})\n", best.0, best.1.mean);
+}
+
+/// Used by fig5/fig9 smoke tests (keeps the RNG import warm even when
+/// only tables are requested).
+#[allow(dead_code)]
+fn _rng() -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(CAMPAIGN_SEED)
+}

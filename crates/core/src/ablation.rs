@@ -1,0 +1,166 @@
+//! Accuracy-side ablations of the paper's inline design choices.
+//!
+//! Section III-B3 justifies two choices without showing data: cosine
+//! similarity ("as opposed to the Euclidean distance or other distance
+//! metrics which did not perform as well") and k = 15. This module makes
+//! both claims reproducible experiments, plus two ablations of our own
+//! knobs: histogram bin count and the reconstruction floor (how well each
+//! representation does when handed the *true* encoding — the irreducible
+//! error of the representation itself, with no model in the loop).
+
+use rand::SeedableRng;
+
+use pv_ml::{Dataset, DenseMatrix, Distance, KnnRegressor, Regressor, StandardScaler};
+use pv_stats::ks::ks2_statistic;
+use pv_stats::rng::{derive_stream, Xoshiro256pp};
+use pv_stats::StatsError;
+use pv_sysmodel::Corpus;
+
+use crate::eval::{BenchScore, EvalSummary, RECONSTRUCTION_SAMPLES};
+use crate::profile::Profile;
+use crate::repr::{DistributionRepr, HistogramRepr, ReprKind, REL_TIME_RANGE};
+
+/// Leave-one-out kNN evaluation with an explicit distance metric and `k`,
+/// PearsonRnd representation, `s`-run profiles. This is the engine behind
+/// the distance and k ablations.
+///
+/// # Errors
+/// Propagates training/encoding failures.
+pub fn evaluate_knn_variant(
+    corpus: &Corpus,
+    distance: Distance,
+    k: usize,
+    s: usize,
+    seed: u64,
+) -> Result<EvalSummary, StatsError> {
+    let repr = ReprKind::PearsonRnd.build();
+    let n = corpus.len();
+    // Precompute features and targets once (they don't depend on the
+    // fold).
+    let mut features: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut targets: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for b in &corpus.benchmarks {
+        features.push(Profile::from_runs(&b.runs, s)?.features);
+        targets.push(repr.encode(&b.runs.rel_times())?);
+    }
+    let scores = (0..n)
+        .map(|held| {
+            let train_idx: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+            let x_rows: Vec<Vec<f64>> =
+                train_idx.iter().map(|&i| features[i].clone()).collect();
+            let y_rows: Vec<Vec<f64>> = train_idx.iter().map(|&i| targets[i].clone()).collect();
+            let x = DenseMatrix::from_rows(&x_rows)?;
+            let y = DenseMatrix::from_rows(&y_rows)?;
+            let mut scaler = StandardScaler::new();
+            let x = scaler.fit_transform(&x)?;
+            let mut model = KnnRegressor::new(k).with_distance(distance);
+            model.fit(&Dataset::ungrouped(x, y)?)?;
+            let mut q = features[held].clone();
+            scaler.transform_row(&mut q)?;
+            let predicted_features = model.predict(&q)?;
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, held as u64));
+            let predicted =
+                repr.decode(&predicted_features, &mut rng, RECONSTRUCTION_SAMPLES)?;
+            let ks = ks2_statistic(&predicted, &corpus.benchmarks[held].runs.rel_times())?;
+            Ok(BenchScore {
+                id: corpus.benchmarks[held].id,
+                ks,
+            })
+        })
+        .collect::<Result<Vec<_>, StatsError>>()?;
+    EvalSummary::from_scores(scores)
+}
+
+/// The reconstruction floor of a representation: encode each benchmark's
+/// *measured* distribution and decode it straight back (oracle
+/// prediction). The resulting KS is the error attributable to the
+/// representation alone.
+///
+/// # Errors
+/// Propagates encoding/decoding failures.
+pub fn reconstruction_floor(
+    corpus: &Corpus,
+    repr: &dyn DistributionRepr,
+    seed: u64,
+) -> Result<EvalSummary, StatsError> {
+    let scores = corpus
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let rel = b.runs.rel_times();
+            let f = repr.encode(&rel)?;
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, i as u64));
+            let back = repr.decode(&f, &mut rng, RECONSTRUCTION_SAMPLES)?;
+            let ks = ks2_statistic(&back, &rel)?;
+            Ok(BenchScore { id: b.id, ks })
+        })
+        .collect::<Result<Vec<_>, StatsError>>()?;
+    EvalSummary::from_scores(scores)
+}
+
+/// Reconstruction floor of a histogram with an explicit bin count.
+///
+/// # Errors
+/// Propagates encoding/decoding failures.
+pub fn histogram_floor(corpus: &Corpus, bins: usize, seed: u64) -> Result<EvalSummary, StatsError> {
+    let repr = HistogramRepr {
+        n_bins: bins,
+        range: REL_TIME_RANGE,
+    };
+    reconstruction_floor(corpus, &repr, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sysmodel::SystemModel;
+
+    fn corpus() -> Corpus {
+        Corpus::collect(&SystemModel::intel(), 100, 0xC0FFEE)
+    }
+
+    #[test]
+    fn knn_variant_produces_scores_for_all_benchmarks() {
+        let c = corpus();
+        let s = evaluate_knn_variant(&c, Distance::Cosine, 15, 10, 1).unwrap();
+        assert_eq!(s.scores.len(), 60);
+        assert!(s.mean > 0.0 && s.mean < 1.0);
+    }
+
+    #[test]
+    fn extreme_k_is_worse_than_moderate_k() {
+        // k = n−1 predicts the population average for everyone; that must
+        // lose to a moderate neighbourhood.
+        let c = corpus();
+        let k15 = evaluate_knn_variant(&c, Distance::Cosine, 15, 10, 1).unwrap();
+        let kall = evaluate_knn_variant(&c, Distance::Cosine, 59, 10, 1).unwrap();
+        assert!(k15.mean < kall.mean, "k=15 {} vs k=59 {}", k15.mean, kall.mean);
+    }
+
+    #[test]
+    fn reconstruction_floor_is_below_predicted_error() {
+        // Oracle encodings must score at least as well as predictions.
+        let c = corpus();
+        let repr = ReprKind::PearsonRnd.build();
+        let floor = reconstruction_floor(&c, repr.as_ref(), 2).unwrap();
+        let predicted = evaluate_knn_variant(&c, Distance::Cosine, 15, 10, 2).unwrap();
+        assert!(floor.mean <= predicted.mean + 0.01);
+    }
+
+    #[test]
+    fn histogram_floor_improves_with_resolution() {
+        let c = corpus();
+        let coarse = histogram_floor(&c, 5, 3).unwrap();
+        let fine = histogram_floor(&c, 80, 3).unwrap();
+        assert!(fine.mean < coarse.mean);
+    }
+
+    #[test]
+    fn variant_evaluation_is_deterministic() {
+        let c = corpus();
+        let a = evaluate_knn_variant(&c, Distance::Manhattan, 5, 5, 9).unwrap();
+        let b = evaluate_knn_variant(&c, Distance::Manhattan, 5, 5, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! Prediction baselines: what must a learned predictor beat?
+//!
+//! The paper motivates prediction by showing that few-sample empirical
+//! distributions are unrepresentative (Fig. 1 b–e). These baselines make
+//! that comparison quantitative for the whole corpus:
+//!
+//! * [`empirical_baseline`] — skip learning entirely: use the `s`
+//!   measured runs *as* the distribution estimate. This is what a
+//!   practitioner does today, and it is the economically meaningful
+//!   baseline: prediction is only worth anything where it beats it.
+//! * [`population_baseline`] — ignore the application entirely: predict
+//!   the pooled distribution of all *other* benchmarks. Any profile-aware
+//!   model must beat this, or the profiles carry no information.
+
+use pv_stats::ks::ks2_statistic;
+use pv_stats::StatsError;
+use pv_sysmodel::Corpus;
+
+use crate::eval::{BenchScore, EvalSummary};
+
+/// KS of the `s`-run empirical distribution against the full measured
+/// distribution, per benchmark.
+///
+/// # Errors
+/// Fails when `s` is zero or exceeds the corpus run count.
+pub fn empirical_baseline(corpus: &Corpus, s: usize) -> Result<EvalSummary, StatsError> {
+    if s == 0 || s > corpus.n_runs {
+        return Err(StatsError::invalid(
+            "empirical_baseline",
+            format!("s = {s} outside [1, {}]", corpus.n_runs),
+        ));
+    }
+    let scores = corpus
+        .benchmarks
+        .iter()
+        .map(|b| {
+            let rel = b.runs.rel_times();
+            let ks = ks2_statistic(&rel[..s], &rel)?;
+            Ok(BenchScore { id: b.id, ks })
+        })
+        .collect::<Result<Vec<_>, StatsError>>()?;
+    EvalSummary::from_scores(scores)
+}
+
+/// KS of the pooled leave-one-out population distribution against each
+/// benchmark's measured distribution.
+///
+/// To keep the pooled sample a manageable size it is thinned to at most
+/// `max_pool` observations (deterministic striding).
+///
+/// # Errors
+/// Fails on an empty corpus.
+pub fn population_baseline(corpus: &Corpus, max_pool: usize) -> Result<EvalSummary, StatsError> {
+    if corpus.is_empty() {
+        return Err(StatsError::EmptyInput {
+            what: "population_baseline",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let scores = corpus
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(held, b)| {
+            // Pool every other benchmark's relative times.
+            let mut pool: Vec<f64> = Vec::new();
+            for (i, other) in corpus.benchmarks.iter().enumerate() {
+                if i != held {
+                    pool.extend(other.runs.rel_times());
+                }
+            }
+            let stride = (pool.len() / max_pool.max(1)).max(1);
+            let thinned: Vec<f64> = pool.into_iter().step_by(stride).collect();
+            let ks = ks2_statistic(&thinned, &b.runs.rel_times())?;
+            Ok(BenchScore { id: b.id, ks })
+        })
+        .collect::<Result<Vec<_>, StatsError>>()?;
+    EvalSummary::from_scores(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_few_runs;
+    use crate::usecase1::FewRunsConfig;
+    use crate::{ModelKind, ReprKind};
+    use pv_sysmodel::SystemModel;
+
+    fn corpus() -> Corpus {
+        Corpus::collect(&SystemModel::intel(), 100, 0xC0FFEE)
+    }
+
+    #[test]
+    fn empirical_baseline_improves_with_more_runs() {
+        let c = corpus();
+        let few = empirical_baseline(&c, 3).unwrap();
+        let many = empirical_baseline(&c, 50).unwrap();
+        assert!(many.mean < few.mean, "{} !< {}", many.mean, few.mean);
+    }
+
+    #[test]
+    fn empirical_baseline_validates_s() {
+        let c = corpus();
+        assert!(empirical_baseline(&c, 0).is_err());
+        assert!(empirical_baseline(&c, 101).is_err());
+        assert!(empirical_baseline(&c, 100).is_ok());
+    }
+
+    #[test]
+    fn learned_predictor_beats_the_population_baseline() {
+        let c = corpus();
+        let pop = population_baseline(&c, 3000).unwrap();
+        let cfg = FewRunsConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            n_profile_runs: 10,
+            profiles_per_benchmark: 1,
+            seed: 1,
+        };
+        let learned = evaluate_few_runs(&c, cfg).unwrap();
+        assert!(
+            learned.mean < pop.mean,
+            "learned {} !< population {}",
+            learned.mean,
+            pop.mean
+        );
+    }
+
+    #[test]
+    fn learned_predictor_beats_the_ten_run_empirical_baseline() {
+        // The economic claim: with the same 10-run budget, prediction
+        // should produce a better distribution estimate than the raw 10
+        // runs do.
+        let c = corpus();
+        let raw = empirical_baseline(&c, 10).unwrap();
+        let cfg = FewRunsConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            n_profile_runs: 10,
+            profiles_per_benchmark: 1,
+            seed: 1,
+        };
+        let learned = evaluate_few_runs(&c, cfg).unwrap();
+        assert!(
+            learned.mean < raw.mean + 0.02,
+            "learned {} should be at least competitive with raw-10-runs {}",
+            learned.mean,
+            raw.mean
+        );
+    }
+
+    #[test]
+    fn population_baseline_is_worse_than_empirical_hundred() {
+        // Using 100 of the application's own runs beats using everyone
+        // else's distribution — the corpus is not degenerate.
+        let c = corpus();
+        let own = empirical_baseline(&c, 100).unwrap();
+        let pop = population_baseline(&c, 3000).unwrap();
+        assert!(own.mean < pop.mean);
+    }
+}

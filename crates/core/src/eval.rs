@@ -1,0 +1,214 @@
+//! Leave-one-group-out evaluation of both use cases.
+//!
+//! Section IV-E / V: every benchmark is held out once; a model trained on
+//! the remaining 59 predicts the held-out distribution; the prediction is
+//! reconstructed into samples and scored with the two-sample KS statistic
+//! against the measured (1,000-run) distribution. Violin plots in the
+//! paper are KDEs over these 60 per-benchmark scores.
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use pv_stats::descriptive::FiveNumber;
+use pv_stats::ks::ks2_statistic;
+use pv_stats::rng::derive_stream;
+use pv_stats::StatsError;
+use pv_sysmodel::{BenchmarkId, Corpus};
+
+use crate::usecase1::{FewRunsConfig, FewRunsPredictor};
+use crate::usecase2::{CrossSystemConfig, CrossSystemPredictor};
+
+/// Number of samples drawn when reconstructing a predicted distribution
+/// for scoring (matches the 1,000-run measurement campaign).
+pub const RECONSTRUCTION_SAMPLES: usize = 1000;
+
+/// KS score of one held-out benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BenchScore {
+    /// The held-out benchmark.
+    pub id: BenchmarkId,
+    /// Two-sample KS statistic, predicted vs. measured.
+    pub ks: f64,
+}
+
+/// Aggregate of a leave-one-group-out evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalSummary {
+    /// Per-benchmark scores, roster order.
+    pub scores: Vec<BenchScore>,
+    /// Mean KS across benchmarks (the paper's headline number per cell).
+    pub mean: f64,
+    /// Five-number summary of the scores (violin skeleton).
+    pub spread: FiveNumber,
+}
+
+impl EvalSummary {
+    /// Builds the aggregate from per-benchmark scores.
+    ///
+    /// # Errors
+    /// Fails on an empty score list.
+    pub fn from_scores(scores: Vec<BenchScore>) -> Result<Self, StatsError> {
+        let values: Vec<f64> = scores.iter().map(|s| s.ks).collect();
+        let spread = FiveNumber::from_sample(&values)?;
+        Ok(EvalSummary {
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            scores,
+            spread,
+        })
+    }
+
+    /// The raw KS values (for violin rendering).
+    pub fn ks_values(&self) -> Vec<f64> {
+        self.scores.iter().map(|s| s.ks).collect()
+    }
+}
+
+/// Leave-one-group-out evaluation of use case #1 on one corpus.
+///
+/// Folds run in parallel; each fold derives its own seeds, so the result
+/// is independent of thread count.
+///
+/// # Errors
+/// Propagates training/prediction failures from any fold.
+pub fn evaluate_few_runs(corpus: &Corpus, cfg: FewRunsConfig) -> Result<EvalSummary, StatsError> {
+    let n = corpus.len();
+    let scores: Result<Vec<BenchScore>, StatsError> = (0..n)
+        .into_par_iter()
+        .map(|held| {
+            let include: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+            let mut fold_cfg = cfg;
+            fold_cfg.seed = derive_stream(cfg.seed, held as u64);
+            let predictor = FewRunsPredictor::train(corpus, &include, fold_cfg)?;
+            let bench = &corpus.benchmarks[held];
+            let predicted = predictor.predict_distribution(
+                &bench.runs,
+                RECONSTRUCTION_SAMPLES,
+                held as u64,
+            )?;
+            let ks = ks2_statistic(&predicted, &bench.runs.rel_times())?;
+            Ok(BenchScore { id: bench.id, ks })
+        })
+        .collect();
+    EvalSummary::from_scores(scores?)
+}
+
+/// Leave-one-group-out evaluation of use case #2 (source → destination).
+///
+/// # Errors
+/// Propagates training/prediction failures from any fold.
+pub fn evaluate_cross_system(
+    src: &Corpus,
+    dst: &Corpus,
+    cfg: CrossSystemConfig,
+) -> Result<EvalSummary, StatsError> {
+    let n = src.len();
+    let scores: Result<Vec<BenchScore>, StatsError> = (0..n)
+        .into_par_iter()
+        .map(|held| {
+            let include: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+            let mut fold_cfg = cfg;
+            fold_cfg.seed = derive_stream(cfg.seed, held as u64);
+            let predictor = CrossSystemPredictor::train(src, dst, &include, fold_cfg)?;
+            let predicted = predictor.predict_distribution(
+                &src.benchmarks[held],
+                RECONSTRUCTION_SAMPLES,
+                held as u64,
+            )?;
+            let truth = dst.benchmarks[held].runs.rel_times();
+            let ks = ks2_statistic(&predicted, &truth)?;
+            Ok(BenchScore {
+                id: dst.benchmarks[held].id,
+                ks,
+            })
+        })
+        .collect();
+    EvalSummary::from_scores(scores?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use crate::repr::ReprKind;
+    use pv_sysmodel::SystemModel;
+
+    fn tiny_corpus(sys: SystemModel) -> Corpus {
+        Corpus::collect(&sys, 40, 3)
+    }
+
+    fn uc1_cfg() -> FewRunsConfig {
+        FewRunsConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            n_profile_runs: 5,
+            profiles_per_benchmark: 3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn few_runs_eval_produces_sixty_scores_in_unit_range() {
+        let corpus = tiny_corpus(SystemModel::intel());
+        let summary = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
+        assert_eq!(summary.scores.len(), 60);
+        assert!(summary
+            .scores
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.ks)));
+        assert!(summary.mean > 0.0 && summary.mean < 1.0);
+        assert!(summary.spread.min <= summary.mean && summary.mean <= summary.spread.max);
+    }
+
+    #[test]
+    fn few_runs_eval_is_deterministic() {
+        let corpus = tiny_corpus(SystemModel::intel());
+        let a = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
+        let b = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn few_runs_predictions_beat_a_mismatched_baseline() {
+        // The predicted distribution for each benchmark should, on
+        // average, be closer to its own measured distribution than a
+        // fixed ultra-wide uniform baseline is.
+        let corpus = tiny_corpus(SystemModel::intel());
+        let summary = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
+        let baseline: Vec<f64> = (0..1000).map(|i| 0.7 + 0.8 * i as f64 / 999.0).collect();
+        let baseline_mean: f64 = corpus
+            .benchmarks
+            .iter()
+            .map(|b| ks2_statistic(&baseline, &b.runs.rel_times()).unwrap())
+            .sum::<f64>()
+            / corpus.len() as f64;
+        assert!(
+            summary.mean < baseline_mean,
+            "prediction mean {} vs uniform baseline {}",
+            summary.mean,
+            baseline_mean
+        );
+    }
+
+    #[test]
+    fn cross_system_eval_runs_both_directions() {
+        let amd = tiny_corpus(SystemModel::amd());
+        let intel = tiny_corpus(SystemModel::intel());
+        let cfg = CrossSystemConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            profile_runs: 20,
+            seed: 2,
+        };
+        let a2i = evaluate_cross_system(&amd, &intel, cfg).unwrap();
+        let i2a = evaluate_cross_system(&intel, &amd, cfg).unwrap();
+        assert_eq!(a2i.scores.len(), 60);
+        assert_eq!(i2a.scores.len(), 60);
+        assert!(a2i.mean > 0.0 && a2i.mean < 1.0);
+        assert!(i2a.mean > 0.0 && i2a.mean < 1.0);
+    }
+
+    #[test]
+    fn eval_summary_rejects_empty() {
+        assert!(EvalSummary::from_scores(vec![]).is_err());
+    }
+}

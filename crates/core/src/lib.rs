@@ -1,0 +1,55 @@
+//! # pv-core — predicting performance variability
+//!
+//! The primary contribution of *Predicting Performance Variability*
+//! (IPPS 2025), reproduced in Rust: given profiles and measured
+//! performance distributions of many benchmarks, train models that predict
+//! the full performance **distribution** of a *new* application — either
+//! from a few runs on the same system (use case 1) or from a measured
+//! distribution on a different system (use case 2).
+//!
+//! ## Pipeline anatomy
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | III-B1 application profiles | [`profile`] |
+//! | III-B2 distribution representations (Histogram / PyMaxEnt / PearsonRnd) | [`repr`] |
+//! | III-B3 models (kNN / random forest / XGBoost) | [`model`] |
+//! | III-A1 few-runs prediction | [`usecase1`] |
+//! | III-A2 cross-system prediction | [`usecase2`] |
+//! | IV-E / V KS-scored leave-one-group-out evaluation | [`eval`] |
+//! | figure/table rendering | [`report`] |
+//!
+//! ## Sixty-second example
+//!
+//! ```
+//! use pv_core::eval::evaluate_few_runs;
+//! use pv_core::usecase1::FewRunsConfig;
+//! use pv_sysmodel::{Corpus, SystemModel};
+//!
+//! // Measure a (small) corpus on the simulated Intel system…
+//! let corpus = Corpus::collect(&SystemModel::intel(), 50, 42);
+//! // …and evaluate the paper's best configuration with LOGO CV.
+//! let cfg = FewRunsConfig { n_profile_runs: 5, profiles_per_benchmark: 4,
+//!                           ..FewRunsConfig::default() };
+//! let summary = evaluate_few_runs(&corpus, cfg).unwrap();
+//! assert_eq!(summary.scores.len(), 60);
+//! assert!(summary.mean < 0.6);
+//! ```
+
+pub mod ablation;
+pub mod baseline;
+pub mod eval;
+pub mod model;
+pub mod profile;
+pub mod report;
+pub mod repr;
+pub mod usecase1;
+pub mod usecase2;
+
+pub use baseline::{empirical_baseline, population_baseline};
+pub use eval::{evaluate_cross_system, evaluate_few_runs, BenchScore, EvalSummary};
+pub use model::ModelKind;
+pub use profile::Profile;
+pub use repr::{DistributionRepr, ReprKind};
+pub use usecase1::{FewRunsConfig, FewRunsPredictor};
+pub use usecase2::{CrossSystemConfig, CrossSystemPredictor};

@@ -1,0 +1,135 @@
+//! Application profiles: the input features of the prediction models.
+//!
+//! Section III-B1: a profile is a vector of application-independent
+//! hardware/software metrics **normalized per unit time** (the simulator
+//! already emits per-second rates). When the profile is built from
+//! multiple runs, the feature vector holds the mean, standard deviation,
+//! skewness, and kurtosis of every metric across those runs; a single-run
+//! profile is the raw metric vector. Higher-order moments were tried by
+//! the paper and discarded as insignificant, so four it is.
+
+use pv_stats::moments::Moments;
+use pv_stats::StatsError;
+use pv_sysmodel::RunSet;
+use serde::{Deserialize, Serialize};
+
+/// A feature-vector view of an application's profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Number of runs the profile was built from.
+    pub n_runs: usize,
+    /// Number of underlying metrics.
+    pub n_metrics: usize,
+    /// The feature vector: `n_metrics` values for a single-run profile,
+    /// `4 × n_metrics` (mean, std, skew, kurt per metric) otherwise.
+    pub features: Vec<f64>,
+}
+
+impl Profile {
+    /// Builds the profile of the first `s` runs of a run set.
+    ///
+    /// # Errors
+    /// Fails when `s` is zero or exceeds the available runs.
+    pub fn from_runs(runs: &RunSet, s: usize) -> Result<Profile, StatsError> {
+        if s == 0 || s > runs.len() {
+            return Err(StatsError::invalid(
+                "Profile::from_runs",
+                format!("requested {s} runs, set has {}", runs.len()),
+            ));
+        }
+        let n_metrics = runs.records[0].metrics.len();
+        let features = if s == 1 {
+            runs.records[0].metrics.clone()
+        } else {
+            let mut accs = vec![Moments::new(); n_metrics];
+            for rec in &runs.records[..s] {
+                for (acc, &v) in accs.iter_mut().zip(&rec.metrics) {
+                    acc.push(v);
+                }
+            }
+            let mut f = Vec::with_capacity(4 * n_metrics);
+            for acc in &accs {
+                f.push(acc.mean());
+                f.push(acc.population_std());
+                f.push(acc.skewness());
+                f.push(acc.kurtosis());
+            }
+            f
+        };
+        Ok(Profile {
+            n_runs: s,
+            n_metrics,
+            features,
+        })
+    }
+
+    /// Feature dimensionality for a profile of `s` runs over `n_metrics`
+    /// metrics.
+    pub fn feature_dim(n_metrics: usize, s: usize) -> usize {
+        if s == 1 {
+            n_metrics
+        } else {
+            4 * n_metrics
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sysmodel::{simulate_runs, suites, Character, SystemModel};
+
+    fn runs(n: usize) -> RunSet {
+        let sys = SystemModel::intel();
+        let id = suites::find("npb/bt").unwrap();
+        let ch = Character::generate(&id, 1);
+        let gt = sys.ground_truth(&id, &ch, 1);
+        simulate_runs(&sys, &id, &ch, &gt, n, 1)
+    }
+
+    #[test]
+    fn single_run_profile_is_raw_metrics() {
+        let rs = runs(5);
+        let p = Profile::from_runs(&rs, 1).unwrap();
+        assert_eq!(p.features, rs.records[0].metrics);
+        assert_eq!(p.features.len(), Profile::feature_dim(68, 1));
+    }
+
+    #[test]
+    fn multi_run_profile_has_four_stats_per_metric() {
+        let rs = runs(10);
+        let p = Profile::from_runs(&rs, 10).unwrap();
+        assert_eq!(p.features.len(), 4 * 68);
+        assert_eq!(p.features.len(), Profile::feature_dim(68, 10));
+        // First metric's mean equals the direct computation.
+        let direct: f64 = rs.records.iter().map(|r| r.metrics[0]).sum::<f64>() / 10.0;
+        // Relative tolerance: raw counter rates are O(1e9).
+        assert!((p.features[0] - direct).abs() < 1e-9 * direct.abs());
+        // Stds are non-negative; kurtosis slots are ≥ 1 when defined.
+        for m in 0..68 {
+            assert!(p.features[4 * m + 1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn profile_uses_only_the_first_s_runs() {
+        let rs = runs(20);
+        let p1 = Profile::from_runs(&rs, 5).unwrap();
+        let p2 = Profile::from_runs(&rs.head(5), 5).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn invalid_run_counts_error() {
+        let rs = runs(3);
+        assert!(Profile::from_runs(&rs, 0).is_err());
+        assert!(Profile::from_runs(&rs, 4).is_err());
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let rs = runs(10);
+        let p = Profile::from_runs(&rs, 10).unwrap();
+        assert!(p.features.iter().all(|v| v.is_finite()));
+    }
+}

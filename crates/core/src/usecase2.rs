@@ -1,0 +1,262 @@
+//! Use case #2: predicting a performance distribution on a *new* system
+//! from a measured distribution on a different system (Section III-A2).
+//!
+//! A system-to-system model is trained on benchmarks measured on both
+//! systems: the features are the application's profile on the source
+//! system concatenated with the chosen representation of its *measured*
+//! source-system distribution, and the target is the representation of
+//! its distribution on the destination system. A user who cannot access
+//! the destination machine measures on the machine they own and predicts
+//! what they would see on the new one.
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
+use pv_stats::rng::{derive_stream, Xoshiro256pp};
+use pv_stats::StatsError;
+use pv_sysmodel::{BenchmarkData, Corpus};
+
+use crate::model::ModelKind;
+use crate::profile::Profile;
+use crate::repr::{DistributionRepr, ReprKind};
+
+/// Configuration of a cross-system predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossSystemConfig {
+    /// Distribution representation (both the input distribution on the
+    /// source system and the predicted one on the destination).
+    pub repr: ReprKind,
+    /// Regression model.
+    pub model: ModelKind,
+    /// Number of source-system runs summarized into the profile features.
+    pub profile_runs: usize,
+    /// Root seed for model randomness and reconstruction sampling.
+    pub seed: u64,
+}
+
+impl Default for CrossSystemConfig {
+    fn default() -> Self {
+        CrossSystemConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            profile_runs: 100,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A trained system-to-system distribution predictor.
+pub struct CrossSystemPredictor {
+    repr: Box<dyn DistributionRepr>,
+    model: Box<dyn Regressor>,
+    scaler: Option<StandardScaler>,
+    cfg: CrossSystemConfig,
+}
+
+impl CrossSystemPredictor {
+    /// Trains on benchmarks present in both corpora whose roster indices
+    /// are in `include`. The corpora must be over the same roster
+    /// (`Corpus::collect` guarantees this) but different systems.
+    ///
+    /// # Errors
+    /// Fails on empty `include`, mismatched corpora, or fit failure.
+    pub fn train(
+        src: &Corpus,
+        dst: &Corpus,
+        include: &[usize],
+        cfg: CrossSystemConfig,
+    ) -> Result<Self, StatsError> {
+        if include.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "CrossSystemPredictor::train",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if src.len() != dst.len() {
+            return Err(StatsError::invalid(
+                "CrossSystemPredictor::train",
+                "source and destination corpora cover different rosters",
+            ));
+        }
+        if src.system == dst.system {
+            return Err(StatsError::invalid(
+                "CrossSystemPredictor::train",
+                "source and destination are the same system",
+            ));
+        }
+        let repr = cfg.repr.build();
+        let mut x_rows = Vec::with_capacity(include.len());
+        let mut y_rows = Vec::with_capacity(include.len());
+        let mut groups = Vec::with_capacity(include.len());
+        for &bi in include {
+            let s = src
+                .benchmarks
+                .get(bi)
+                .ok_or_else(|| StatsError::invalid("CrossSystemPredictor::train", "bad index"))?;
+            let d = &dst.benchmarks[bi];
+            if s.id != d.id {
+                return Err(StatsError::invalid(
+                    "CrossSystemPredictor::train",
+                    "corpora rosters are misaligned",
+                ));
+            }
+            x_rows.push(Self::feature_row(&repr, s, cfg.profile_runs)?);
+            y_rows.push(repr.encode(&d.runs.rel_times())?);
+            groups.push(bi);
+        }
+        let x = DenseMatrix::from_rows(&x_rows)?;
+        let y = DenseMatrix::from_rows(&y_rows)?;
+        // kNN runs on raw per-second features (see
+        // `ModelKind::wants_standardization`).
+        let (scaler, x) = if cfg.model.wants_standardization() {
+            let mut sc = StandardScaler::new();
+            let x = sc.fit_transform(&x)?;
+            (Some(sc), x)
+        } else {
+            (None, x)
+        };
+        let data = Dataset::new(x, y, groups)?;
+        let mut model = cfg.model.build(cfg.seed);
+        model.fit(&data)?;
+        Ok(CrossSystemPredictor {
+            repr,
+            model,
+            scaler,
+            cfg,
+        })
+    }
+
+    /// The configuration this predictor was trained with.
+    pub fn config(&self) -> &CrossSystemConfig {
+        &self.cfg
+    }
+
+    /// Assembles a feature row: source profile ⊕ source distribution
+    /// representation.
+    fn feature_row(
+        repr: &Box<dyn DistributionRepr>,
+        bench: &BenchmarkData,
+        profile_runs: usize,
+    ) -> Result<Vec<f64>, StatsError> {
+        let s = profile_runs.min(bench.runs.len()).max(1);
+        let p = Profile::from_runs(&bench.runs, s)?;
+        let mut row = p.features;
+        row.extend(repr.encode(&bench.runs.rel_times())?);
+        Ok(row)
+    }
+
+    /// Predicts the destination-system representation vector for a
+    /// benchmark measured on the source system.
+    ///
+    /// # Errors
+    /// Propagates profile/encoding/prediction failures.
+    pub fn predict_features(&self, src_bench: &BenchmarkData) -> Result<Vec<f64>, StatsError> {
+        let mut row = Self::feature_row(&self.repr, src_bench, self.cfg.profile_runs)?;
+        if let Some(sc) = &self.scaler {
+            sc.transform_row(&mut row)?;
+        }
+        self.model.predict(&row)
+    }
+
+    /// Predicts and reconstructs the destination distribution as
+    /// `n_samples` relative times.
+    ///
+    /// # Errors
+    /// Propagates prediction/decoding failures.
+    pub fn predict_distribution(
+        &self,
+        src_bench: &BenchmarkData,
+        n_samples: usize,
+        sample_seed: u64,
+    ) -> Result<Vec<f64>, StatsError> {
+        let f = self.predict_features(src_bench)?;
+        let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(self.cfg.seed, sample_seed));
+        self.repr.decode(&f, &mut rng, n_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sysmodel::SystemModel;
+
+    fn corpora() -> (Corpus, Corpus) {
+        (
+            Corpus::collect(&SystemModel::amd(), 60, 5),
+            Corpus::collect(&SystemModel::intel(), 60, 5),
+        )
+    }
+
+    fn cfg() -> CrossSystemConfig {
+        CrossSystemConfig {
+            profile_runs: 30,
+            ..CrossSystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let (amd, intel) = corpora();
+        let all: Vec<usize> = (0..amd.len()).collect();
+        let p = CrossSystemPredictor::train(&amd, &intel, &all, cfg()).unwrap();
+        let pred = p
+            .predict_distribution(&amd.benchmarks[0], 500, 1)
+            .unwrap();
+        assert_eq!(pred.len(), 500);
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_same_system_pairs() {
+        let (amd, _) = corpora();
+        let all: Vec<usize> = (0..amd.len()).collect();
+        assert!(CrossSystemPredictor::train(&amd, &amd, &all, cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_include() {
+        let (amd, intel) = corpora();
+        assert!(CrossSystemPredictor::train(&amd, &intel, &[], cfg()).is_err());
+    }
+
+    #[test]
+    fn held_out_prediction_is_finite_and_deterministic() {
+        let (amd, intel) = corpora();
+        let include: Vec<usize> = (1..amd.len()).collect();
+        let p = CrossSystemPredictor::train(&amd, &intel, &include, cfg()).unwrap();
+        let a = p.predict_distribution(&amd.benchmarks[0], 300, 7).unwrap();
+        let b = p.predict_distribution(&amd.benchmarks[0], 300, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_directions_train() {
+        let (amd, intel) = corpora();
+        let all: Vec<usize> = (0..amd.len()).collect();
+        assert!(CrossSystemPredictor::train(&amd, &intel, &all, cfg()).is_ok());
+        assert!(CrossSystemPredictor::train(&intel, &amd, &all, cfg()).is_ok());
+    }
+
+    #[test]
+    fn all_repr_model_combinations_train() {
+        let (amd, intel) = corpora();
+        let all: Vec<usize> = (0..amd.len()).collect();
+        for repr in ReprKind::ALL {
+            for model in ModelKind::ALL {
+                let c = CrossSystemConfig {
+                    repr,
+                    model,
+                    profile_runs: 20,
+                    seed: 2,
+                };
+                let p = CrossSystemPredictor::train(&amd, &intel, &all, c).unwrap();
+                let pred = p
+                    .predict_distribution(&amd.benchmarks[2], 100, 3)
+                    .unwrap();
+                assert_eq!(pred.len(), 100, "{} × {}", repr.name(), model.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The reconstructed maximum-entropy density: evaluation, CDF, sampling.
+
+use rand::Rng;
+
+use pv_stats::moments::MomentSummary;
+use pv_stats::StatsError;
+
+use crate::solver::{central_to_raw_moments, solve_maxent, MaxEntOptions};
+use crate::Result;
+
+/// Number of points in the precomputed CDF grid used for sampling.
+const CDF_GRID: usize = 1024;
+
+/// A maximum-entropy density reconstructed from raw moments on a bounded
+/// support.
+#[derive(Debug, Clone)]
+pub struct MaxEntDensity {
+    /// Lagrange multipliers in the mapped `[-1, 1]` coordinate.
+    lambda: Vec<f64>,
+    lo: f64,
+    hi: f64,
+    /// Precomputed CDF grid over the support: `(x, CDF(x))`.
+    cdf_grid: Vec<(f64, f64)>,
+}
+
+impl MaxEntDensity {
+    /// Reconstructs a density from raw moments `[1, μ₁, …, μ_k]` on
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Propagates solver failures (infeasible moments, no convergence).
+    pub fn from_raw_moments(mu: &[f64], support: (f64, f64)) -> Result<Self> {
+        Self::from_raw_moments_with(mu, support, &MaxEntOptions::default())
+    }
+
+    /// As [`MaxEntDensity::from_raw_moments`] with explicit solver options.
+    ///
+    /// # Errors
+    /// Propagates solver failures (infeasible moments, no convergence).
+    pub fn from_raw_moments_with(
+        mu: &[f64],
+        (lo, hi): (f64, f64),
+        opts: &MaxEntOptions,
+    ) -> Result<Self> {
+        let lambda = solve_maxent(mu, lo, hi, opts)?;
+        let mut d = MaxEntDensity {
+            lambda,
+            lo,
+            hi,
+            cdf_grid: Vec::new(),
+        };
+        d.build_cdf_grid();
+        Ok(d)
+    }
+
+    /// Reconstructs from the paper's four-moment summary
+    /// (mean/std/skewness/kurtosis) on the given support.
+    ///
+    /// # Errors
+    /// Fails on a degenerate summary (σ ≤ 0) or solver failure.
+    pub fn from_summary(s: &MomentSummary, support: (f64, f64)) -> Result<Self> {
+        if !(s.std > 0.0) {
+            return Err(StatsError::invalid(
+                "MaxEntDensity::from_summary",
+                "standard deviation must be positive",
+            ));
+        }
+        let s = s.clamped_feasible(1e-3);
+        Self::from_raw_moments(&central_to_raw_moments(&s), support)
+    }
+
+    /// Support lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Support upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The Lagrange multipliers (mapped-coordinate convention).
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Density at `x` (0 outside the support).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        let c = 0.5 * (self.lo + self.hi);
+        let h = 0.5 * (self.hi - self.lo);
+        let u = (x - c) / h;
+        let mut e = 0.0;
+        let mut up = 1.0;
+        for &l in &self.lambda {
+            e += l * up;
+            up *= u;
+        }
+        // p_x(x) = p_u(u) / h
+        e.exp() / h
+    }
+
+    /// CDF at `x`, linear interpolation on the precomputed grid.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let g = &self.cdf_grid;
+        let t = (x - self.lo) / (self.hi - self.lo) * (g.len() - 1) as f64;
+        let i = (t as usize).min(g.len() - 2);
+        let frac = t - i as f64;
+        g[i].1 + frac * (g[i + 1].1 - g[i].1)
+    }
+
+    /// Draws `n` samples by inverse-CDF on the grid.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        let g = &self.cdf_grid;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                // Binary search the CDF column.
+                let mut lo = 0usize;
+                let mut hi = g.len() - 1;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if g[mid].1 < u {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let (x0, c0) = g[lo];
+                let (x1, c1) = g[hi];
+                if c1 <= c0 {
+                    x0
+                } else {
+                    x0 + (x1 - x0) * (u - c0) / (c1 - c0)
+                }
+            })
+            .collect()
+    }
+
+    /// Differential entropy `−∫ p ln p` of the reconstruction (natural
+    /// log), evaluated on the CDF grid spacing.
+    pub fn entropy(&self) -> f64 {
+        let n = 2048;
+        let h = (self.hi - self.lo) / n as f64;
+        -(0..n)
+            .map(|i| {
+                let x = self.lo + (i as f64 + 0.5) * h;
+                let p = self.pdf(x);
+                if p > 0.0 {
+                    p * p.ln() * h
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+    }
+
+    fn build_cdf_grid(&mut self) {
+        let n = CDF_GRID;
+        let h = (self.hi - self.lo) / (n - 1) as f64;
+        let mut grid = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let mut prev = self.pdf(self.lo);
+        grid.push((self.lo, 0.0));
+        for i in 1..n {
+            let x = self.lo + i as f64 * h;
+            let p = self.pdf(x);
+            acc += 0.5 * (p + prev) * h;
+            grid.push((x, acc));
+            prev = p;
+        }
+        let total = acc.max(1e-300);
+        for (_, c) in grid.iter_mut() {
+            *c /= total;
+        }
+        self.cdf_grid = grid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_stats::moments::Moments;
+    use pv_stats::rng::Xoshiro256pp;
+    use pv_stats::special::normal_pdf;
+    use rand::SeedableRng;
+
+    fn normal_spec() -> MomentSummary {
+        MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        }
+    }
+
+    #[test]
+    fn recovers_gaussian_density() {
+        let d = MaxEntDensity::from_summary(&normal_spec(), (-6.0, 6.0)).unwrap();
+        for x in [-2.0, -1.0, 0.0, 0.5, 1.5, 2.5] {
+            assert!(
+                (d.pdf(x) - normal_pdf(x)).abs() < 5e-3,
+                "pdf({x}) = {} vs {}",
+                d.pdf(x),
+                normal_pdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = MaxEntDensity::from_summary(&normal_spec(), (-5.0, 5.0)).unwrap();
+        let n = 5000;
+        let h = 10.0 / n as f64;
+        let integral: f64 = (0..n).map(|i| d.pdf(-5.0 + (i as f64 + 0.5) * h) * h).sum();
+        assert!((integral - 1.0).abs() < 1e-6, "∫pdf = {integral}");
+    }
+
+    #[test]
+    fn cdf_monotone_with_correct_limits() {
+        let d = MaxEntDensity::from_summary(&normal_spec(), (-5.0, 5.0)).unwrap();
+        assert_eq!(d.cdf(-10.0), 0.0);
+        assert_eq!(d.cdf(10.0), 1.0);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-3);
+        let mut prev = 0.0;
+        for i in 0..=40 {
+            let x = -5.0 + 10.0 * i as f64 / 40.0;
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn samples_match_requested_moments() {
+        let spec = MomentSummary {
+            mean: 1.0,
+            std: 0.2,
+            skewness: 0.5,
+            kurtosis: 3.5,
+        };
+        let d = MaxEntDensity::from_summary(&spec, (0.0, 2.5)).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs = d.sample_n(&mut rng, 100_000);
+        let m = Moments::from_slice(&xs);
+        assert!((m.mean() - 1.0).abs() < 0.01);
+        assert!((m.population_std() - 0.2).abs() < 0.01);
+        assert!((m.skewness() - 0.5).abs() < 0.1);
+        assert!((m.kurtosis() - 3.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn skewed_density_has_mode_left_of_mean() {
+        let spec = MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: 0.8,
+            kurtosis: 3.8,
+        };
+        let d = MaxEntDensity::from_summary(&spec, (-4.0, 7.0)).unwrap();
+        // Right-skew: the mode sits left of the mean.
+        let mode_x = (0..200)
+            .map(|i| -4.0 + 11.0 * i as f64 / 199.0)
+            .max_by(|a, b| d.pdf(*a).partial_cmp(&d.pdf(*b)).unwrap())
+            .unwrap();
+        assert!(mode_x < 0.0, "mode at {mode_x}");
+    }
+
+    #[test]
+    fn uniform_reconstruction_is_flat() {
+        // Moments of U[2, 4]: mean 3, var 1/3, skew 0, kurt 1.8.
+        let spec = MomentSummary {
+            mean: 3.0,
+            std: (1.0f64 / 3.0).sqrt(),
+            skewness: 0.0,
+            kurtosis: 1.8,
+        };
+        let d = MaxEntDensity::from_summary(&spec, (2.0, 4.0)).unwrap();
+        for x in [2.2, 2.8, 3.0, 3.5, 3.9] {
+            assert!((d.pdf(x) - 0.5).abs() < 0.01, "pdf({x}) = {}", d.pdf(x));
+        }
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform_on_support() {
+        // Uniform on [0,1] has entropy 0; any non-uniform density with the
+        // same support has less.
+        let uni = MaxEntDensity::from_summary(
+            &MomentSummary {
+                mean: 0.5,
+                std: (1.0f64 / 12.0).sqrt(),
+                skewness: 0.0,
+                kurtosis: 1.8,
+            },
+            (0.0, 1.0),
+        )
+        .unwrap();
+        assert!(uni.entropy().abs() < 0.01, "entropy = {}", uni.entropy());
+
+        let peaked = MaxEntDensity::from_summary(
+            &MomentSummary {
+                mean: 0.5,
+                std: 0.08,
+                skewness: 0.0,
+                kurtosis: 3.0,
+            },
+            (0.0, 1.0),
+        )
+        .unwrap();
+        assert!(peaked.entropy() < uni.entropy());
+    }
+
+    #[test]
+    fn degenerate_summary_is_rejected() {
+        let spec = MomentSummary {
+            mean: 1.0,
+            std: 0.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        assert!(MaxEntDensity::from_summary(&spec, (0.0, 2.0)).is_err());
+    }
+
+    #[test]
+    fn mean_outside_support_is_rejected() {
+        let spec = MomentSummary {
+            mean: 10.0,
+            std: 0.5,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        assert!(MaxEntDensity::from_summary(&spec, (0.0, 2.0)).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = MaxEntDensity::from_summary(&normal_spec(), (-4.0, 4.0)).unwrap();
+        let mut r1 = Xoshiro256pp::seed_from_u64(9);
+        let mut r2 = Xoshiro256pp::seed_from_u64(9);
+        assert_eq!(d.sample_n(&mut r1, 64), d.sample_n(&mut r2, 64));
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = MaxEntDensity::from_summary(&normal_spec(), (-3.0, 3.0)).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let xs = d.sample_n(&mut rng, 5000);
+        assert!(xs.iter().all(|&x| (-3.0..=3.0).contains(&x)));
+    }
+}

@@ -1,0 +1,44 @@
+//! # pv-maxent — maximum-entropy density reconstruction from moments
+//!
+//! A Rust equivalent of PyMaxEnt (Saad & Ruai, SoftwareX 2019), which the
+//! paper uses for its second distribution representation ("PyMaxEnt",
+//! Section III-B2): represent a performance distribution by its first four
+//! moments, and reconstruct a density from a predicted moment vector by
+//! the principle of maximum entropy.
+//!
+//! ## Method
+//!
+//! Among all densities on a support `[a, b]` whose first `k` raw moments
+//! equal a target vector `μ₀..μ_k` (with `μ₀ = 1`), the maximum-entropy
+//! density has the exponential-polynomial form
+//!
+//! ```text
+//! p(x) = exp( λ₀ + λ₁ x + … + λ_k xᵏ )
+//! ```
+//!
+//! The multipliers `λ` solve the nonlinear moment-matching system
+//! `∫ xʲ p(x) dx = μⱼ`, which this crate solves with a damped Newton
+//! iteration: the Jacobian `H_{ij} = ∫ x^{i+j} p(x) dx` is a Hankel matrix
+//! of higher moments under the current iterate, assembled by fixed-order
+//! Gauss–Legendre quadrature and solved with a ridge-stabilized LU
+//! factorization. All computation happens on the affinely mapped support
+//! `[-1, 1]`, which keeps the power basis conditioned.
+//!
+//! ```
+//! use pv_maxent::MaxEntDensity;
+//! use pv_stats::moments::MomentSummary;
+//!
+//! // Reconstruct a (truncated) standard normal from its four moments.
+//! let spec = MomentSummary { mean: 0.0, std: 1.0, skewness: 0.0, kurtosis: 3.0 };
+//! let d = MaxEntDensity::from_summary(&spec, (-6.0, 6.0)).unwrap();
+//! assert!((d.pdf(0.0) - 0.3989).abs() < 0.01);
+//! ```
+
+mod density;
+mod solver;
+
+pub use density::MaxEntDensity;
+pub use solver::{central_to_raw_moments, solve_maxent, MaxEntOptions};
+
+/// Result alias re-using the statistical substrate's error type.
+pub type Result<T> = std::result::Result<T, pv_stats::StatsError>;

@@ -1,0 +1,340 @@
+//! Damped Newton solver for the maximum-entropy moment problem.
+
+use pv_stats::linalg::{lu_solve, Matrix};
+use pv_stats::moments::MomentSummary;
+use pv_stats::quadrature::GaussLegendre;
+use pv_stats::StatsError;
+
+use crate::Result;
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxEntOptions {
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the residual ∞-norm (moments are O(1) on
+    /// the mapped support, so this is effectively a relative tolerance).
+    pub tol: f64,
+    /// Gauss–Legendre order for the moment integrals.
+    pub quad_order: usize,
+    /// Ridge added to the Hankel Jacobian when it is near-singular.
+    pub ridge: f64,
+}
+
+impl Default for MaxEntOptions {
+    fn default() -> Self {
+        MaxEntOptions {
+            max_iter: 200,
+            tol: 1e-10,
+            quad_order: 96,
+            ridge: 1e-10,
+        }
+    }
+}
+
+/// Converts the paper's four-moment summary into raw moments
+/// `[1, μ₁, μ₂, μ₃, μ₄]`.
+///
+/// Raw moments follow from the central ones by the binomial expansion:
+/// `μ₂ = m² + σ²`, `μ₃ = m³ + 3mσ² + γ₁σ³`,
+/// `μ₄ = m⁴ + 6m²σ² + 4mγ₁σ³ + β₂σ⁴`.
+pub fn central_to_raw_moments(s: &MomentSummary) -> [f64; 5] {
+    let m = s.mean;
+    let v = s.std * s.std;
+    let c3 = s.skewness * s.std.powi(3);
+    let c4 = s.kurtosis * v * v;
+    [
+        1.0,
+        m,
+        m * m + v,
+        m.powi(3) + 3.0 * m * v + c3,
+        m.powi(4) + 6.0 * m * m * v + 4.0 * m * c3 + c4,
+    ]
+}
+
+/// Maps raw moments of `x` on `[a, b]` to raw moments of the standardized
+/// variable `u = (x − c)/h` on `[-1, 1]`, where `c = (a+b)/2`,
+/// `h = (b−a)/2`.
+fn map_moments_to_unit(mu: &[f64], a: f64, b: f64) -> Vec<f64> {
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let k = mu.len();
+    let mut out = vec![0.0; k];
+    // E[u^n] = h^{-n} Σ_j C(n, j) μ_j (−c)^{n−j}
+    for n in 0..k {
+        let mut acc = 0.0;
+        let mut binom = 1.0f64;
+        for j in 0..=n {
+            if j > 0 {
+                binom *= (n - j + 1) as f64 / j as f64;
+            }
+            acc += binom * mu[j] * (-c).powi((n - j) as i32);
+        }
+        out[n] = acc / h.powi(n as i32);
+    }
+    out
+}
+
+/// Solves for the Lagrange multipliers of the max-entropy density on
+/// `[a, b]` matching raw moments `mu` (with `mu[0] = 1`).
+///
+/// Returns `(lambda, support)` where `lambda` are the multipliers **in the
+/// mapped `[-1, 1]` coordinate** — [`crate::MaxEntDensity`] owns the
+/// transformation back to `x`-space.
+///
+/// # Errors
+/// Fails when the moments are non-finite, the support is invalid, the
+/// target moments are infeasible on the support, or Newton fails to
+/// converge.
+pub fn solve_maxent(mu: &[f64], a: f64, b: f64, opts: &MaxEntOptions) -> Result<Vec<f64>> {
+    if mu.len() < 2 {
+        return Err(StatsError::invalid(
+            "solve_maxent",
+            "need at least two moments (including μ₀)",
+        ));
+    }
+    if mu.iter().any(|m| !m.is_finite()) {
+        return Err(StatsError::NonFinite { what: "solve_maxent" });
+    }
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(StatsError::invalid(
+            "solve_maxent",
+            format!("invalid support [{a}, {b}]"),
+        ));
+    }
+    if (mu[0] - 1.0).abs() > 1e-8 {
+        return Err(StatsError::invalid(
+            "solve_maxent",
+            format!("μ₀ must be 1, got {}", mu[0]),
+        ));
+    }
+    let target = map_moments_to_unit(mu, a, b);
+    let k = target.len();
+    // Quick feasibility screen: mapped mean must be inside (−1, 1) and the
+    // mapped variance must be positive and below the Popoviciu bound.
+    if k >= 3 {
+        let mean = target[1];
+        let var = target[2] - mean * mean;
+        if mean.abs() >= 1.0 || var <= 0.0 || var > 1.0 {
+            return Err(StatsError::invalid(
+                "solve_maxent",
+                format!("moments infeasible on support: mapped mean={mean}, var={var}"),
+            ));
+        }
+    }
+
+    let gl = GaussLegendre::new(opts.quad_order)?;
+    let grid = gl.mapped(-1.0, 1.0);
+
+    // Start from the uniform density on [-1, 1]: λ = (ln ½, 0, …, 0).
+    let mut lambda = vec![0.0; k];
+    lambda[0] = (0.5f64).ln();
+
+    let moments_of = |lam: &[f64]| -> Vec<f64> {
+        // All 2k−1 power moments of p(u) = exp(Σ λ_j u^j) in one sweep.
+        let mut mom = vec![0.0; 2 * k - 1];
+        for &(u, w) in &grid {
+            let mut e = 0.0;
+            let mut up = 1.0;
+            for &l in lam {
+                e += l * up;
+                up *= u;
+            }
+            let p = e.exp();
+            let mut upow = 1.0;
+            for m in mom.iter_mut() {
+                *m += w * p * upow;
+                upow *= u;
+            }
+        }
+        mom
+    };
+
+    let residual_norm = |mom: &[f64]| -> f64 {
+        (0..k)
+            .map(|i| (mom[i] - target[i]).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    let mut mom = moments_of(&lambda);
+    let mut err = residual_norm(&mom);
+    for _ in 0..opts.max_iter {
+        if err < opts.tol {
+            return Ok(lambda);
+        }
+        // Newton step: H δ = −(G − target), H_{ij} = moment_{i+j}.
+        let mut h = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in 0..k {
+                h[(i, j)] = mom[i + j];
+            }
+        }
+        h.add_ridge(opts.ridge);
+        let rhs: Vec<f64> = (0..k).map(|i| target[i] - mom[i]).collect();
+        let delta = match lu_solve(h, &rhs) {
+            Ok(d) => d,
+            Err(_) => {
+                return Err(StatsError::NoConvergence {
+                    what: "solve_maxent (singular Hessian)",
+                    iterations: opts.max_iter,
+                })
+            }
+        };
+        // Damped update: halve the step until the residual decreases (or
+        // give up after 30 halvings — a sign of infeasibility).
+        let mut step = 1.0;
+        let mut improved = false;
+        for _ in 0..30 {
+            let trial: Vec<f64> = lambda
+                .iter()
+                .zip(&delta)
+                .map(|(l, d)| l + step * d)
+                .collect();
+            let tm = moments_of(&trial);
+            let te = residual_norm(&tm);
+            if te.is_finite() && te < err {
+                lambda = trial;
+                mom = tm;
+                err = te;
+                improved = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+    }
+    if err < opts.tol * 100.0 {
+        // Accept near-converged solutions: the downstream KS comparison
+        // operates at the 1e-3 level, so 1e-8 moment residuals are fine.
+        return Ok(lambda);
+    }
+    Err(StatsError::NoConvergence {
+        what: "solve_maxent",
+        iterations: opts.max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_to_raw_roundtrip_for_normal() {
+        let s = MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        let mu = central_to_raw_moments(&s);
+        assert_eq!(mu, [1.0, 0.0, 1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn central_to_raw_with_shift() {
+        // Shifted normal N(2, 1): μ₁=2, μ₂=5, μ₃=14, μ₄=43.
+        let s = MomentSummary {
+            mean: 2.0,
+            std: 1.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        let mu = central_to_raw_moments(&s);
+        assert!((mu[1] - 2.0).abs() < 1e-12);
+        assert!((mu[2] - 5.0).abs() < 1e-12);
+        assert!((mu[3] - 14.0).abs() < 1e-12);
+        assert!((mu[4] - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapped_moments_of_centered_interval_are_identity() {
+        let mu = [1.0, 0.0, 0.25];
+        let mapped = map_moments_to_unit(&mu, -1.0, 1.0);
+        assert!((mapped[0] - 1.0).abs() < 1e-12);
+        assert!((mapped[1]).abs() < 1e-12);
+        assert!((mapped[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapped_moments_handle_shift_and_scale() {
+        // X uniform on [0, 2]: μ = [1, 1, 4/3]. Mapped u = x − 1 on [−1,1]:
+        // E[u] = 0, E[u²] = 1/3.
+        let mu = [1.0, 1.0, 4.0 / 3.0];
+        let mapped = map_moments_to_unit(&mu, 0.0, 2.0);
+        assert!(mapped[1].abs() < 1e-12);
+        assert!((mapped[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_moments_give_flat_density() {
+        // Moments of U[-1,1]: [1, 0, 1/3, 0, 1/5]
+        let lam = solve_maxent(
+            &[1.0, 0.0, 1.0 / 3.0, 0.0, 0.2],
+            -1.0,
+            1.0,
+            &MaxEntOptions::default(),
+        )
+        .unwrap();
+        // Density exp(Σ λ u^j) must be ≈ 0.5 everywhere → λ₀ ≈ ln ½,
+        // higher λ ≈ 0.
+        assert!((lam[0] - 0.5f64.ln()).abs() < 1e-5, "λ₀ = {}", lam[0]);
+        for l in &lam[1..] {
+            assert!(l.abs() < 1e-5, "λ = {lam:?}");
+        }
+    }
+
+    #[test]
+    fn solver_matches_requested_moments() {
+        // A skewed spec; verify the solution's moments numerically.
+        let s = MomentSummary {
+            mean: 0.2,
+            std: 0.5,
+            skewness: 0.6,
+            kurtosis: 3.2,
+        };
+        let mu = central_to_raw_moments(&s);
+        let opts = MaxEntOptions::default();
+        let (a, b) = (-3.0, 4.0);
+        let lam = solve_maxent(&mu, a, b, &opts).unwrap();
+        // Integrate u-moments on [-1,1] and map back to x to verify.
+        let gl = GaussLegendre::new(128).unwrap();
+        let c = 0.5 * (a + b);
+        let h = 0.5 * (b - a);
+        let pdf_u = |u: f64| -> f64 {
+            let mut e = 0.0;
+            let mut up = 1.0;
+            for &l in &lam {
+                e += l * up;
+                up *= u;
+            }
+            e.exp()
+        };
+        for k in 0..=4usize {
+            let got = gl.integrate(-1.0, 1.0, |u| (c + h * u).powi(k as i32) * pdf_u(u));
+            assert!(
+                (got - mu[k]).abs() < 1e-6 * (1.0 + mu[k].abs()),
+                "moment {k}: {got} vs {}",
+                mu[k]
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_moments_are_rejected() {
+        // Mean outside the support.
+        assert!(solve_maxent(&[1.0, 5.0, 26.0], -1.0, 1.0, &MaxEntOptions::default()).is_err());
+        // Variance above the Popoviciu bound for the support.
+        assert!(solve_maxent(&[1.0, 0.0, 50.0], -1.0, 1.0, &MaxEntOptions::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let o = MaxEntOptions::default();
+        assert!(solve_maxent(&[1.0], -1.0, 1.0, &o).is_err());
+        assert!(solve_maxent(&[2.0, 0.0, 0.3], -1.0, 1.0, &o).is_err());
+        assert!(solve_maxent(&[1.0, f64::NAN, 0.3], -1.0, 1.0, &o).is_err());
+        assert!(solve_maxent(&[1.0, 0.0, 0.3], 1.0, -1.0, &o).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the maximum-entropy solver.
+
+use proptest::prelude::*;
+use pv_maxent::{central_to_raw_moments, MaxEntDensity};
+use pv_stats::moments::MomentSummary;
+use pv_stats::quadrature::GaussLegendre;
+
+/// Moment specs the four-moment problem can realistically satisfy on a
+/// generous support: moderate skew, kurtosis in a band above the
+/// feasibility floor.
+fn solvable_spec() -> impl Strategy<Value = MomentSummary> {
+    (-0.8..0.8f64, 0.2..1.6f64).prop_map(|(skew, excess)| MomentSummary {
+        mean: 0.0,
+        std: 1.0,
+        skewness: skew,
+        kurtosis: (skew * skew + 1.2 + excess).min(4.2),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solutions_integrate_to_one(spec in solvable_spec()) {
+        if let Ok(d) = MaxEntDensity::from_summary(&spec, (-8.0, 8.0)) {
+            let gl = GaussLegendre::new(128).unwrap();
+            let mass = gl.integrate(-8.0, 8.0, |x| d.pdf(x));
+            prop_assert!((mass - 1.0).abs() < 1e-4, "mass = {mass}");
+        }
+    }
+
+    #[test]
+    fn solutions_match_their_moments(spec in solvable_spec()) {
+        if let Ok(d) = MaxEntDensity::from_summary(&spec, (-8.0, 8.0)) {
+            let gl = GaussLegendre::new(128).unwrap();
+            let mu = central_to_raw_moments(&spec);
+            for k in 1..=4usize {
+                let got = gl.integrate(-8.0, 8.0, |x| x.powi(k as i32) * d.pdf(x));
+                prop_assert!(
+                    (got - mu[k]).abs() < 1e-3 * (1.0 + mu[k].abs()),
+                    "moment {k}: {got} vs {}", mu[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone(spec in solvable_spec()) {
+        if let Ok(d) = MaxEntDensity::from_summary(&spec, (-8.0, 8.0)) {
+            let mut prev = -1e-12;
+            for i in 0..=32 {
+                let x = -8.0 + 16.0 * i as f64 / 32.0;
+                let c = d.cdf(x);
+                prop_assert!(c >= prev - 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_support(spec in solvable_spec(), n in 1usize..500) {
+        use rand::SeedableRng;
+        if let Ok(d) = MaxEntDensity::from_summary(&spec, (-8.0, 8.0)) {
+            let mut rng = pv_stats::rng::Xoshiro256pp::seed_from_u64(3);
+            for x in d.sample_n(&mut rng, n) {
+                prop_assert!((-8.0..=8.0).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-validation: leave-one-group-out and k-fold.
+//!
+//! The paper evaluates every (representation, model) combination with
+//! leave-one-group-out cross-validation from scikit-learn, where a group
+//! is a benchmark: all rows of the held-out benchmark are removed from
+//! training so the model must generalize to an *unseen application*.
+
+use pv_stats::rng::Xoshiro256pp;
+use pv_stats::StatsError;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// One cross-validation split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Held-out row indices.
+    pub test: Vec<usize>,
+}
+
+/// Leave-one-group-out: one split per distinct group label; the split's
+/// test set is every row with that label.
+///
+/// Splits are ordered by ascending group label, so the iteration order is
+/// deterministic.
+///
+/// # Errors
+/// Fails when fewer than two distinct groups exist (no training data
+/// would remain for some split otherwise).
+pub fn leave_one_group_out(groups: &[usize]) -> Result<Vec<Split>> {
+    let mut labels: Vec<usize> = groups.to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    if labels.len() < 2 {
+        return Err(StatsError::invalid(
+            "leave_one_group_out",
+            format!("need ≥ 2 distinct groups, got {}", labels.len()),
+        ));
+    }
+    Ok(labels
+        .into_iter()
+        .map(|g| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &gi) in groups.iter().enumerate() {
+                if gi == g {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Split { train, test }
+        })
+        .collect())
+}
+
+/// k-fold cross-validation with optional shuffling.
+///
+/// # Errors
+/// Fails when `k < 2` or `k > n`.
+pub fn k_fold(n: usize, k: usize, shuffle_seed: Option<u64>) -> Result<Vec<Split>> {
+    if k < 2 || k > n {
+        return Err(StatsError::invalid(
+            "k_fold",
+            format!("k must be in [2, n={n}], got {k}"),
+        ));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(seed) = shuffle_seed {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut splits = Vec::with_capacity(k);
+    let mut start = 0;
+    for fold in 0..k {
+        let len = base + usize::from(fold < extra);
+        let test: Vec<usize> = order[start..start + len].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + len..])
+            .copied()
+            .collect();
+        splits.push(Split { train, test });
+        start += len;
+    }
+    Ok(splits)
+}
+
+/// Runs a model-agnostic cross-validation: for every split, `train_fn`
+/// receives the training subset and the held-out subset and returns one
+/// result (e.g. a vector of per-benchmark KS scores).
+///
+/// # Errors
+/// Propagates errors from `train_fn` or the splitter.
+pub fn cross_validate<T, F>(data: &Dataset, splits: &[Split], mut train_fn: F) -> Result<Vec<T>>
+where
+    F: FnMut(&Dataset, &Dataset) -> Result<T>,
+{
+    let mut out = Vec::with_capacity(splits.len());
+    for s in splits {
+        let train = data.subset(&s.train);
+        let test = data.subset(&s.test);
+        out.push(train_fn(&train, &test)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DenseMatrix;
+    use crate::knn::KnnRegressor;
+    use crate::Distance;
+    use crate::Regressor;
+
+    #[test]
+    fn logo_produces_one_split_per_group() {
+        let groups = vec![0, 0, 1, 1, 1, 2];
+        let splits = leave_one_group_out(&groups).unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].test, vec![0, 1]);
+        assert_eq!(splits[0].train, vec![2, 3, 4, 5]);
+        assert_eq!(splits[2].test, vec![5]);
+    }
+
+    #[test]
+    fn logo_covers_every_row_exactly_once_as_test() {
+        let groups = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let splits = leave_one_group_out(&groups).unwrap();
+        let mut seen = vec![0usize; groups.len()];
+        for s in &splits {
+            for &i in &s.test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint and complete.
+            let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..groups.len()).collect::<Vec<_>>());
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn logo_needs_two_groups() {
+        assert!(leave_one_group_out(&[7, 7, 7]).is_err());
+        assert!(leave_one_group_out(&[]).is_err());
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let splits = k_fold(10, 3, None).unwrap();
+        assert_eq!(splits.len(), 3);
+        let sizes: Vec<usize> = splits.iter().map(|s| s.test.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut all: Vec<usize> = splits.iter().flat_map(|s| s.test.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_shuffling_is_deterministic() {
+        let a = k_fold(20, 4, Some(7)).unwrap();
+        let b = k_fold(20, 4, Some(7)).unwrap();
+        assert_eq!(a, b);
+        let c = k_fold(20, 4, Some(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kfold_validates_parameters() {
+        assert!(k_fold(5, 1, None).is_err());
+        assert!(k_fold(5, 6, None).is_err());
+        assert!(k_fold(5, 5, None).is_ok());
+    }
+
+    #[test]
+    fn cross_validate_trains_on_disjoint_data() {
+        // Two groups with very different targets; 1-NN trained without the
+        // test group must predict the *other* group's target.
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![2.0], vec![2.0]]).unwrap();
+        let data = Dataset::new(x, y, vec![0, 0, 1, 1]).unwrap();
+        let splits = leave_one_group_out(&data.groups).unwrap();
+        let results = cross_validate(&data, &splits, |train, test| {
+            let mut m = KnnRegressor::new(1).with_distance(Distance::Euclidean);
+            m.fit(train)?;
+            // Predict the first test row.
+            m.predict(test.x.row(0))
+        })
+        .unwrap();
+        // Fold 0 (test group 0) trains only on group 1 → predicts 2.0;
+        // fold 1 the reverse.
+        assert_eq!(results[0], vec![2.0]);
+        assert_eq!(results[1], vec![1.0]);
+    }
+}

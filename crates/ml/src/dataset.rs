@@ -1,0 +1,298 @@
+//! Dense matrices and grouped supervised datasets.
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::StatsError;
+
+use crate::Result;
+
+/// A dense, row-major `f64` matrix.
+///
+/// The crate's common currency for features (`n × d`) and multi-output
+/// targets (`n × t`). Row-major layout keeps per-sample access — the hot
+/// pattern in kNN and tree training — contiguous.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Fails when `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(StatsError::invalid(
+                "DenseMatrix",
+                format!("expected {} values, got {}", rows * cols, data.len()),
+            ));
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Errors
+    /// Fails when rows have inconsistent widths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "DenseMatrix::from_rows",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(StatsError::invalid(
+                    "DenseMatrix::from_rows",
+                    format!("row {i} has {} values, expected {cols}", r.len()),
+                ));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Copies out one column.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Builds a new matrix from a subset of row indices (rows may repeat —
+    /// bootstrap sampling uses this).
+    pub fn select_rows(&self, idx: &[usize]) -> DenseMatrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        DenseMatrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// A supervised dataset: features, multi-output targets, and a group label
+/// per row.
+///
+/// Groups drive leave-one-group-out cross-validation: the paper groups the
+/// ~10 profile rows of each benchmark under one label so that a model is
+/// never evaluated on a benchmark it saw during training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix, `n × d`.
+    pub x: DenseMatrix,
+    /// Target matrix, `n × t`.
+    pub y: DenseMatrix,
+    /// Group label per row (`n`); rows of the same application share one.
+    pub groups: Vec<usize>,
+}
+
+impl Dataset {
+    /// Bundles features, targets, and groups into a dataset.
+    ///
+    /// # Errors
+    /// Fails when row counts disagree or the dataset is empty.
+    pub fn new(x: DenseMatrix, y: DenseMatrix, groups: Vec<usize>) -> Result<Self> {
+        if x.rows() == 0 {
+            return Err(StatsError::EmptyInput {
+                what: "Dataset",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if x.rows() != y.rows() || x.rows() != groups.len() {
+            return Err(StatsError::invalid(
+                "Dataset",
+                format!(
+                    "row mismatch: x={}, y={}, groups={}",
+                    x.rows(),
+                    y.rows(),
+                    groups.len()
+                ),
+            ));
+        }
+        Ok(Dataset { x, y, groups })
+    }
+
+    /// Convenience constructor when group structure is irrelevant (each
+    /// row is its own group).
+    ///
+    /// # Errors
+    /// Same as [`Dataset::new`].
+    pub fn ungrouped(x: DenseMatrix, y: DenseMatrix) -> Result<Self> {
+        let groups = (0..x.rows()).collect();
+        Dataset::new(x, y, groups)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no rows (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of target outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Extracts the sub-dataset at the given row indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            y: self.y.select_rows(idx),
+            groups: idx.iter().map(|&i| self.groups[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+        .unwrap();
+        let y = DenseMatrix::from_rows(&[vec![10.0], vec![20.0], vec![30.0]]).unwrap();
+        Dataset::new(x, y, vec![0, 0, 1]).unwrap()
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        assert!(DenseMatrix::from_flat(2, 2, vec![1.0; 4]).is_ok());
+        assert!(DenseMatrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(0, 1, 5.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn select_rows_allows_repeats() {
+        let m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let s = m.select_rows(&[2, 2, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[3.0]);
+        assert_eq!(s.row(2), &[1.0]);
+    }
+
+    #[test]
+    fn dataset_shape_checks() {
+        let d = sample_dataset();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_outputs(), 1);
+        assert!(!d.is_empty());
+
+        let x = DenseMatrix::zeros(2, 2);
+        let y = DenseMatrix::zeros(3, 1);
+        assert!(Dataset::new(x, y, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn subset_carries_groups() {
+        let d = sample_dataset();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.groups, vec![1, 0]);
+        assert_eq!(s.x.row(0), &[5.0, 6.0]);
+        assert_eq!(s.y.row(1), &[10.0]);
+    }
+
+    #[test]
+    fn ungrouped_assigns_unique_groups() {
+        let x = DenseMatrix::zeros(3, 1);
+        let y = DenseMatrix::zeros(3, 1);
+        let d = Dataset::ungrouped(x, y).unwrap();
+        assert_eq!(d.groups, vec![0, 1, 2]);
+    }
+}

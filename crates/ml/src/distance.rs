@@ -1,0 +1,126 @@
+//! Distance metrics for the kNN regressor.
+//!
+//! The paper found cosine distance to outperform Euclidean and other
+//! metrics for application-profile neighbourhoods (Section III-B3); all
+//! four common options are provided so the ablation benches can reproduce
+//! that comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric between feature rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Distance {
+    /// `√Σ(aᵢ−bᵢ)²`.
+    Euclidean,
+    /// `Σ|aᵢ−bᵢ|`.
+    Manhattan,
+    /// `1 − cos(a, b)`; the paper's choice for profile features.
+    #[default]
+    Cosine,
+    /// `max|aᵢ−bᵢ|`.
+    Chebyshev,
+}
+
+impl Distance {
+    /// Evaluates the distance between two equal-length rows.
+    ///
+    /// Rows are assumed finite and equal length (the kNN regressor
+    /// validates at fit/predict boundaries); in debug builds a mismatch
+    /// panics.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Distance::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Distance::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Distance::Cosine => {
+                let mut dot = 0.0;
+                let mut na = 0.0;
+                let mut nb = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    // A zero vector has no direction: maximally distant.
+                    return 1.0;
+                }
+                (1.0 - (dot / (na.sqrt() * nb.sqrt()))).clamp(0.0, 2.0)
+            }
+            Distance::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean() {
+        // √(9 + 16 + 0) = 5
+        assert!((Distance::Euclidean.eval(&A, &B) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan() {
+        assert!((Distance::Manhattan.eval(&A, &B) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev() {
+        assert!((Distance::Chebyshev.eval(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_identical_rows_are_distance_zero() {
+        assert!(Distance::Cosine.eval(&A, &A).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_scaled_rows_are_distance_zero() {
+        let scaled: Vec<f64> = A.iter().map(|x| x * 7.0).collect();
+        assert!(Distance::Cosine.eval(&A, &scaled).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_opposite_rows_are_distance_two() {
+        let neg: Vec<f64> = A.iter().map(|x| -x).collect();
+        assert!((Distance::Cosine.eval(&A, &neg) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_maximally_distant() {
+        assert_eq!(Distance::Cosine.eval(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn all_metrics_are_zero_on_identical_and_nonnegative() {
+        for d in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Cosine,
+            Distance::Chebyshev,
+        ] {
+            assert!(d.eval(&A, &A).abs() < 1e-12, "{d:?}");
+            assert!(d.eval(&A, &B) >= 0.0, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_cosine() {
+        assert_eq!(Distance::default(), Distance::Cosine);
+    }
+}

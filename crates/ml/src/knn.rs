@@ -1,0 +1,240 @@
+//! Multi-output k-nearest-neighbour regression.
+//!
+//! The paper's best model: k = 15 neighbours under cosine distance
+//! (Section III-B3), averaging the neighbours' target vectors. Inverse-
+//! distance weighting is provided as an option (the paper uses uniform
+//! averaging; the ablation benches compare).
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::StatsError;
+
+use crate::dataset::{Dataset, DenseMatrix};
+use crate::distance::Distance;
+use crate::{Regressor, Result};
+
+/// Neighbour weighting schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WeightScheme {
+    /// Plain average of the k neighbours.
+    #[default]
+    Uniform,
+    /// Weights `1/(d + ε)`; an exact feature match dominates.
+    InverseDistance,
+}
+
+/// k-nearest-neighbour regressor for vector targets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Number of neighbours (clamped to the training-set size at predict
+    /// time).
+    pub k: usize,
+    /// Distance metric.
+    pub distance: Distance,
+    /// Neighbour weighting.
+    pub weights: WeightScheme,
+    train_x: Option<DenseMatrix>,
+    train_y: Option<DenseMatrix>,
+}
+
+impl KnnRegressor {
+    /// Creates a regressor with the paper's defaults: k = 15, cosine
+    /// distance, uniform weights.
+    pub fn new(k: usize) -> Self {
+        KnnRegressor {
+            k,
+            distance: Distance::Cosine,
+            weights: WeightScheme::Uniform,
+            train_x: None,
+            train_y: None,
+        }
+    }
+
+    /// Builder: distance metric.
+    pub fn with_distance(mut self, d: Distance) -> Self {
+        self.distance = d;
+        self
+    }
+
+    /// Builder: weighting scheme.
+    pub fn with_weights(mut self, w: WeightScheme) -> Self {
+        self.weights = w;
+        self
+    }
+
+    /// Indices and distances of the `k` nearest training rows to `x`,
+    /// sorted ascending by distance.
+    ///
+    /// # Errors
+    /// Fails when unfitted or on feature-width mismatch.
+    pub fn neighbors(&self, x: &[f64]) -> Result<Vec<(usize, f64)>> {
+        let (tx, _) = self.fitted()?;
+        if x.len() != tx.cols() {
+            return Err(StatsError::invalid(
+                "KnnRegressor::predict",
+                format!("row has {} features, model expects {}", x.len(), tx.cols()),
+            ));
+        }
+        let mut dists: Vec<(usize, f64)> = (0..tx.rows())
+            .map(|r| (r, self.distance.eval(x, tx.row(r))))
+            .collect();
+        let k = self.k.min(dists.len());
+        // Partial selection then sort of the head: O(n + k log k).
+        dists.select_nth_unstable_by(k - 1, |a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        dists.truncate(k);
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        Ok(dists)
+    }
+
+    fn fitted(&self) -> Result<(&DenseMatrix, &DenseMatrix)> {
+        match (&self.train_x, &self.train_y) {
+            (Some(x), Some(y)) => Ok((x, y)),
+            _ => Err(StatsError::invalid("KnnRegressor", "model not fitted")),
+        }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if self.k == 0 {
+            return Err(StatsError::invalid("KnnRegressor", "k must be ≥ 1"));
+        }
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "KnnRegressor::fit",
+                needed: 1,
+                got: 0,
+            });
+        }
+        self.train_x = Some(data.x.clone());
+        self.train_y = Some(data.y.clone());
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let neigh = self.neighbors(x)?;
+        let (_, ty) = self.fitted()?;
+        let t = ty.cols();
+        let mut out = vec![0.0; t];
+        let mut wsum = 0.0;
+        for &(idx, dist) in &neigh {
+            let w = match self.weights {
+                WeightScheme::Uniform => 1.0,
+                WeightScheme::InverseDistance => 1.0 / (dist + 1e-12),
+            };
+            wsum += w;
+            for (o, v) in out.iter_mut().zip(ty.row(idx)) {
+                *o += w * v;
+            }
+        }
+        for o in out.iter_mut() {
+            *o /= wsum;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // Four points on a line; target = 10x (2 outputs: 10x and -x).
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![10.0, 10.0],
+            vec![11.0, 11.0],
+        ])
+        .unwrap();
+        let y = DenseMatrix::from_rows(&[
+            vec![10.0, -1.0],
+            vec![20.0, -2.0],
+            vec![100.0, -10.0],
+            vec![110.0, -11.0],
+        ])
+        .unwrap();
+        Dataset::ungrouped(x, y).unwrap()
+    }
+
+    #[test]
+    fn one_nn_returns_nearest_target() {
+        let mut m = KnnRegressor::new(1).with_distance(Distance::Euclidean);
+        m.fit(&toy()).unwrap();
+        assert_eq!(m.predict(&[1.1, 1.1]).unwrap(), vec![10.0, -1.0]);
+        assert_eq!(m.predict(&[10.6, 10.6]).unwrap(), vec![110.0, -11.0]);
+    }
+
+    #[test]
+    fn two_nn_averages_cluster() {
+        let mut m = KnnRegressor::new(2).with_distance(Distance::Euclidean);
+        m.fit(&toy()).unwrap();
+        let p = m.predict(&[1.5, 1.5]).unwrap();
+        assert_eq!(p, vec![15.0, -1.5]);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let mut m = KnnRegressor::new(100).with_distance(Distance::Euclidean);
+        m.fit(&toy()).unwrap();
+        let p = m.predict(&[5.0, 5.0]).unwrap();
+        assert_eq!(p, vec![60.0, -6.0]); // mean of all targets
+    }
+
+    #[test]
+    fn inverse_distance_weighting_prefers_closer_points() {
+        let mut m = KnnRegressor::new(2)
+            .with_distance(Distance::Euclidean)
+            .with_weights(WeightScheme::InverseDistance);
+        m.fit(&toy()).unwrap();
+        // Query nearly on top of (1,1): prediction ≈ its target.
+        let p = m.predict(&[1.000001, 1.000001]).unwrap();
+        assert!((p[0] - 10.0).abs() < 0.01, "p = {p:?}");
+    }
+
+    #[test]
+    fn cosine_distance_ignores_magnitude() {
+        // Profiles (1,0) and (0,1); queries scaled arbitrarily.
+        let x = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut m = KnnRegressor::new(1).with_distance(Distance::Cosine);
+        m.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
+        assert_eq!(m.predict(&[1000.0, 1.0]).unwrap(), vec![1.0]);
+        assert_eq!(m.predict(&[0.001, 0.9]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_by_distance() {
+        let mut m = KnnRegressor::new(3).with_distance(Distance::Euclidean);
+        m.fit(&toy()).unwrap();
+        let n = m.neighbors(&[2.1, 2.1]).unwrap();
+        assert_eq!(n.len(), 3);
+        assert!(n[0].1 <= n[1].1 && n[1].1 <= n[2].1);
+        assert_eq!(n[0].0, 1); // (2,2) is closest
+    }
+
+    #[test]
+    fn unfitted_and_invalid_usage_errors() {
+        let m = KnnRegressor::new(3);
+        assert!(m.predict(&[1.0]).is_err());
+
+        let mut m = KnnRegressor::new(0);
+        assert!(m.fit(&toy()).is_err());
+
+        let mut m = KnnRegressor::new(2);
+        m.fit(&toy()).unwrap();
+        assert!(m.predict(&[1.0]).is_err()); // wrong width
+    }
+
+    #[test]
+    fn predict_batch_shapes() {
+        let mut m = KnnRegressor::new(1).with_distance(Distance::Euclidean);
+        m.fit(&toy()).unwrap();
+        let q = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![11.0, 11.0]]).unwrap();
+        let out = m.predict_batch(&q).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.cols(), 2);
+        assert_eq!(out.row(0), &[10.0, -1.0]);
+        assert_eq!(out.row(1), &[110.0, -11.0]);
+    }
+}

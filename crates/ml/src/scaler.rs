@@ -1,0 +1,186 @@
+//! Feature standardization.
+//!
+//! Profile metrics span wildly different magnitudes (cycles per second vs.
+//! page faults per second); tree models don't care, but kNN distances do.
+//! The paper normalizes metrics per second and the pipeline additionally
+//! standardizes features before kNN.
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::moments::Moments;
+use pv_stats::StatsError;
+
+use crate::dataset::DenseMatrix;
+use crate::Result;
+
+/// Z-score standardizer: `x ↦ (x − μ) / σ` per column.
+///
+/// Columns with zero variance map to zero (their information content is
+/// nil and dividing by σ = 0 would poison the row).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        StandardScaler::default()
+    }
+
+    /// Learns per-column means and standard deviations.
+    ///
+    /// # Errors
+    /// Fails on an empty matrix.
+    pub fn fit(&mut self, x: &DenseMatrix) -> Result<()> {
+        if x.rows() == 0 {
+            return Err(StatsError::EmptyInput {
+                what: "StandardScaler::fit",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let mut accs = vec![Moments::new(); x.cols()];
+        for r in 0..x.rows() {
+            for (acc, &v) in accs.iter_mut().zip(x.row(r)) {
+                acc.push(v);
+            }
+        }
+        self.means = accs.iter().map(|a| a.mean()).collect();
+        self.stds = accs.iter().map(|a| a.population_std()).collect();
+        Ok(())
+    }
+
+    /// Whether `fit` has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.means.is_empty()
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Errors
+    /// Fails when unfitted or on width mismatch.
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        if !self.is_fitted() {
+            return Err(StatsError::invalid("StandardScaler", "not fitted"));
+        }
+        if row.len() != self.means.len() {
+            return Err(StatsError::invalid(
+                "StandardScaler",
+                format!("row has {} features, scaler has {}", row.len(), self.means.len()),
+            ));
+        }
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = if *s > 0.0 { (*v - m) / s } else { 0.0 };
+        }
+        Ok(())
+    }
+
+    /// Transforms a whole matrix, returning a new one.
+    ///
+    /// # Errors
+    /// Fails when unfitted or on width mismatch.
+    pub fn transform(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            self.transform_row(out.row_mut(r))?;
+        }
+        Ok(out)
+    }
+
+    /// Fits and transforms in one step.
+    ///
+    /// # Errors
+    /// Same as [`StandardScaler::fit`].
+    pub fn fit_transform(&mut self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+
+    /// Undoes the transformation for one row.
+    ///
+    /// # Errors
+    /// Fails when unfitted or on width mismatch.
+    pub fn inverse_row(&self, row: &mut [f64]) -> Result<()> {
+        if !self.is_fitted() {
+            return Err(StatsError::invalid("StandardScaler", "not fitted"));
+        }
+        if row.len() != self.means.len() {
+            return Err(StatsError::invalid(
+                "StandardScaler",
+                format!("row has {} features, scaler has {}", row.len(), self.means.len()),
+            ));
+        }
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = if *s > 0.0 { *v * s + m } else { *m };
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn transformed_columns_have_zero_mean_unit_std() {
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&matrix()).unwrap();
+        for c in 0..2 {
+            let col = t.column(c);
+            let m = Moments::from_slice(&col);
+            assert!(m.mean().abs() < 1e-12, "col {c}");
+            assert!((m.population_std() - 1.0).abs() < 1e-12, "col {c}");
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&matrix()).unwrap();
+        assert_eq!(t.column(2), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let mut s = StandardScaler::new();
+        let x = matrix();
+        let t = s.fit_transform(&x).unwrap();
+        for r in 0..x.rows() {
+            let mut row = t.row(r).to_vec();
+            s.inverse_row(&mut row).unwrap();
+            for (got, want) in row.iter().zip(x.row(r)) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_or_mismatched_usage_errors() {
+        let s = StandardScaler::new();
+        let mut row = vec![1.0];
+        assert!(s.transform_row(&mut row).is_err());
+
+        let mut s = StandardScaler::new();
+        s.fit(&matrix()).unwrap();
+        let mut short = vec![1.0];
+        assert!(s.transform_row(&mut short).is_err());
+        assert!(s.inverse_row(&mut short).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let mut s = StandardScaler::new();
+        assert!(s.fit(&DenseMatrix::zeros(0, 3)).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! Multi-output CART regression trees.
+//!
+//! The shared building block of the [random forest](crate::forest) and the
+//! [gradient booster](crate::gbt). Splits minimize the summed squared
+//! error across *all* target outputs (the natural multi-output extension
+//! of variance reduction), computed in O(n) per feature via prefix sums
+//! over sorted rows.
+//!
+//! Leaf values support an optional L2 shrinkage `λ` (`value = Σy / (n+λ)`),
+//! which is exactly the XGBoost leaf-weight formula for squared loss —
+//! plain CART uses λ = 0.
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::rng::Xoshiro256pp;
+use pv_stats::StatsError;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::{Regressor, Result};
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per node (`None` = all).
+    pub max_features: Option<usize>,
+    /// L2 leaf shrinkage λ: leaf value = Σy / (n + λ).
+    pub leaf_lambda: f64,
+    /// Seed for per-node feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            leaf_lambda: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted multi-output regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    /// Growth configuration.
+    pub config: TreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_outputs: usize,
+    importance: Vec<f64>,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        RegressionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            n_outputs: 0,
+            importance: Vec::new(),
+        }
+    }
+
+    /// Impurity-based feature importances: total SSE reduction credited to
+    /// splits on each feature, normalized to sum to 1 (all zeros for a
+    /// stump). Available after `fit`.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Creates an unfitted tree with default CART settings.
+    pub fn default_cart() -> Self {
+        RegressionTree::new(TreeConfig::default())
+    }
+
+    /// Number of nodes in the fitted tree (0 when unfitted).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+/// Shared split-growing state.
+struct Builder<'a> {
+    data: &'a Dataset,
+    cfg: TreeConfig,
+    rng: Xoshiro256pp,
+    nodes: Vec<Node>,
+    importance: Vec<f64>,
+}
+
+impl<'a> Builder<'a> {
+    /// Leaf value Σy/(n+λ) over the rows in `idx`.
+    fn leaf_value(&self, idx: &[usize]) -> Vec<f64> {
+        let t = self.data.n_outputs();
+        let mut v = vec![0.0; t];
+        for &i in idx {
+            for (acc, y) in v.iter_mut().zip(self.data.y.row(i)) {
+                *acc += y;
+            }
+        }
+        let denom = idx.len() as f64 + self.cfg.leaf_lambda;
+        for acc in v.iter_mut() {
+            *acc /= denom;
+        }
+        v
+    }
+
+    /// Finds the best (feature, threshold) split of `idx`, returning
+    /// `(feature, threshold, gain)`; `None` when no valid split exists.
+    fn best_split(&mut self, idx: &mut [usize]) -> Option<(usize, f64, f64)> {
+        let n = idx.len();
+        let d = self.data.n_features();
+        let t = self.data.n_outputs();
+        if n < self.cfg.min_samples_split || n < 2 * self.cfg.min_samples_leaf {
+            return None;
+        }
+
+        // Parent SSE components: Σy per output and the scalar Σ_k Σ y².
+        let mut tot = vec![0.0; t];
+        let mut tot2_sum = 0.0;
+        for &i in idx.iter() {
+            for (acc, &y) in tot.iter_mut().zip(self.data.y.row(i)) {
+                *acc += y;
+                tot2_sum += y * y;
+            }
+        }
+        let parent_sse: f64 =
+            tot2_sum - tot.iter().map(|s| s * s).sum::<f64>() / n as f64;
+        if parent_sse <= 1e-12 {
+            return None; // already pure
+        }
+
+        // Candidate features: all, or a random subset per node.
+        let n_cand = self.cfg.max_features.unwrap_or(d).clamp(1, d);
+        let mut features: Vec<usize> = (0..d).collect();
+        if n_cand < d {
+            // Partial Fisher–Yates for the first n_cand slots.
+            for i in 0..n_cand {
+                let j = self.rng.gen_range(i..d);
+                features.swap(i, j);
+            }
+            features.truncate(n_cand);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut left = vec![0.0; t];
+        // Scratch of (feature value, row) pairs: sorting a contiguous key
+        // buffer is several times faster than sorting `idx` through an
+        // indirect matrix-access comparator, and this loop dominates tree
+        // (and therefore forest/boosting) training time.
+        let mut scratch: Vec<(f64, u32)> = Vec::with_capacity(n);
+        let min_leaf = self.cfg.min_samples_leaf.max(1);
+        for &f in &features {
+            scratch.clear();
+            scratch.extend(idx.iter().map(|&i| (self.data.x.get(i, f), i as u32)));
+            scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            if scratch[0].0 == scratch[n - 1].0 {
+                continue; // constant feature in this node
+            }
+            left.iter_mut().for_each(|v| *v = 0.0);
+            // Σ_k left2_k only ever appears summed over outputs, so track
+            // it as a scalar; histogram-style targets are mostly zeros,
+            // and skipping them cuts the dominant accumulation loop.
+            let mut left_sq = 0.0;
+            for pos in 0..n - 1 {
+                let row = scratch[pos].1 as usize;
+                for (l, &y) in left.iter_mut().zip(self.data.y.row(row)) {
+                    if y != 0.0 {
+                        *l += y;
+                        left_sq += y * y;
+                    }
+                }
+                let nl = pos + 1;
+                let nr = n - nl;
+                if nl < min_leaf || nr < min_leaf {
+                    continue;
+                }
+                let xl = scratch[pos].0;
+                let xr = scratch[pos + 1].0;
+                if xl == xr {
+                    continue; // can't split between equal values
+                }
+                // SSE_left + SSE_right, vectorized over outputs:
+                //   Σ_k left2_k − (Σ_k left_k²)/nl
+                // + (tot2 − Σ_k left2_k) − (Σ_k (tot_k − left_k)²)/nr
+                let mut sum_l2 = 0.0;
+                let mut sum_r2 = 0.0;
+                for (l, t0) in left.iter().zip(&tot) {
+                    sum_l2 += l * l;
+                    let r = t0 - l;
+                    sum_r2 += r * r;
+                }
+                let sse = (left_sq - sum_l2 / nl as f64)
+                    + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
+                let gain = parent_sse - sse;
+                if gain > best.map_or(1e-12, |b| b.2) {
+                    best = Some((f, 0.5 * (xl + xr), gain));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, idx: &mut [usize], depth: usize) -> usize {
+        let make_leaf = depth >= self.cfg.max_depth || idx.len() < self.cfg.min_samples_split;
+        let split = if make_leaf { None } else { self.best_split(idx) };
+        match split {
+            None => {
+                let value = self.leaf_value(idx);
+                self.nodes.push(Node::Leaf { value });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold, gain)) => {
+                self.importance[feature] += gain;
+                // Partition indices around the threshold.
+                let mid = itertools_partition(idx, |&i| self.data.x.get(i, feature) <= threshold);
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: Vec::new() }); // placeholder
+                let (l_idx, r_idx) = idx.split_at_mut(mid);
+                let left = self.build(l_idx, depth + 1);
+                let right = self.build(r_idx, depth + 1);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+}
+
+/// Stable-enough in-place partition; returns the number of elements
+/// satisfying the predicate (moved to the front).
+fn itertools_partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut store = 0;
+    for i in 0..xs.len() {
+        if pred(&xs[i]) {
+            xs.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, data: &Dataset) -> Result<()> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "RegressionTree::fit",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if data.x.as_slice().iter().any(|v| !v.is_finite())
+            || data.y.as_slice().iter().any(|v| !v.is_finite())
+        {
+            return Err(StatsError::NonFinite {
+                what: "RegressionTree::fit",
+            });
+        }
+        let mut builder = Builder {
+            data,
+            cfg: self.config,
+            rng: Xoshiro256pp::seed_from_u64(self.config.seed),
+            nodes: Vec::new(),
+            importance: vec![0.0; data.n_features()],
+        };
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        builder.build(&mut idx, 0);
+        self.nodes = builder.nodes;
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        // Normalize importances to a distribution over features.
+        let total: f64 = builder.importance.iter().sum();
+        if total > 0.0 {
+            for v in builder.importance.iter_mut() {
+                *v /= total;
+            }
+        }
+        self.importance = builder.importance;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.nodes.is_empty() {
+            return Err(StatsError::invalid("RegressionTree", "model not fitted"));
+        }
+        if x.len() != self.n_features {
+            return Err(StatsError::invalid(
+                "RegressionTree::predict",
+                format!(
+                    "row has {} features, model expects {}",
+                    x.len(),
+                    self.n_features
+                ),
+            ));
+        }
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return Ok(value.clone()),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DenseMatrix;
+
+    fn step_dataset() -> Dataset {
+        // y = 0 for x < 5, y = 10 for x ≥ 5 (plus second output = -y).
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let v = if i < 10 { 0.0 } else { 10.0 };
+                vec![v, -v]
+            })
+            .collect();
+        Dataset::ungrouped(
+            DenseMatrix::from_rows(&rows).unwrap(),
+            DenseMatrix::from_rows(&ys).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let mut t = RegressionTree::default_cart();
+        t.fit(&step_dataset()).unwrap();
+        assert_eq!(t.predict(&[3.0]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(t.predict(&[15.0]).unwrap(), vec![10.0, -10.0]);
+        // The split threshold sits between 9 and 10.
+        assert_eq!(t.predict(&[9.4]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(t.predict(&[9.6]).unwrap(), vec![10.0, -10.0]);
+    }
+
+    #[test]
+    fn pure_targets_make_a_single_leaf() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![7.0], vec![7.0], vec![7.0]]).unwrap();
+        let mut t = RegressionTree::default_cart();
+        t.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[99.0]).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let mut cfg = TreeConfig::default();
+        cfg.max_depth = 1;
+        let mut t = RegressionTree::new(cfg);
+        // y = x: would need many splits to fit exactly.
+        let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        t.fit(
+            &Dataset::ungrouped(
+                DenseMatrix::from_rows(&rows).unwrap(),
+                DenseMatrix::from_rows(&ys).unwrap(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(t.depth() <= 1);
+        assert!(t.n_nodes() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let mut cfg = TreeConfig::default();
+        cfg.min_samples_leaf = 8;
+        let mut t = RegressionTree::new(cfg);
+        t.fit(&step_dataset()).unwrap();
+        // Both children of the root have ≥ 8 samples; with a 10/10 step
+        // the exact split is still allowed.
+        assert!(t.depth() >= 1);
+        // A leaf-size of 8 on 20 points allows at most two levels.
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn leaf_lambda_shrinks_leaf_values() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![10.0], vec![10.0]]).unwrap();
+        let mut cfg = TreeConfig::default();
+        cfg.leaf_lambda = 2.0;
+        let mut t = RegressionTree::new(cfg);
+        t.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
+        // Leaf value = 20 / (2 + 2) = 5 (shrunk from 10).
+        assert_eq!(t.predict(&[0.5]).unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn multi_feature_picks_the_informative_one() {
+        // Feature 0 is noise (constant); feature 1 carries the signal.
+        let rows: Vec<Vec<f64>> = (0..16).map(|i| vec![1.0, (i % 2) as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 2) as f64 * 4.0]).collect();
+        let mut t = RegressionTree::default_cart();
+        t.fit(
+            &Dataset::ungrouped(
+                DenseMatrix::from_rows(&rows).unwrap(),
+                DenseMatrix::from_rows(&ys).unwrap(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(t.predict(&[1.0, 0.0]).unwrap(), vec![0.0]);
+        assert_eq!(t.predict(&[1.0, 1.0]).unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let data = step_dataset();
+        let mut cfg = TreeConfig::default();
+        cfg.max_features = Some(1);
+        cfg.seed = 7;
+        let mut t1 = RegressionTree::new(cfg);
+        let mut t2 = RegressionTree::new(cfg);
+        t1.fit(&data).unwrap();
+        t2.fit(&data).unwrap();
+        for x in [0.0, 5.0, 12.0] {
+            assert_eq!(t1.predict(&[x]).unwrap(), t2.predict(&[x]).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_usage_errors() {
+        let t = RegressionTree::default_cart();
+        assert!(t.predict(&[1.0]).is_err()); // unfitted
+
+        let mut t = RegressionTree::default_cart();
+        t.fit(&step_dataset()).unwrap();
+        assert!(t.predict(&[1.0, 2.0]).is_err()); // wrong width
+
+        let x = DenseMatrix::from_rows(&[vec![f64::NAN]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut t = RegressionTree::default_cart();
+        assert!(t.fit(&Dataset::ungrouped(x, y).unwrap()).is_err());
+    }
+
+    #[test]
+    fn partition_helper() {
+        let mut v = vec![5, 2, 8, 1, 9, 3];
+        let mid = itertools_partition(&mut v, |&x| x < 5);
+        assert_eq!(mid, 3);
+        assert!(v[..mid].iter().all(|&x| x < 5));
+        assert!(v[mid..].iter().all(|&x| x >= 5));
+    }
+}

@@ -1,0 +1,216 @@
+//! Classification of four-moment specifications into Pearson types.
+
+use pv_stats::moments::MomentSummary;
+use serde::{Deserialize, Serialize};
+
+/// The eight members of the Pearson system (type 0 is the normal
+/// distribution in MATLAB's `pearsrnd` numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PearsonType {
+    /// Normal distribution (β₁ = 0, β₂ = 3).
+    Zero,
+    /// Four-parameter beta (κ < 0).
+    I,
+    /// Symmetric beta (β₁ = 0, β₂ < 3).
+    II,
+    /// Shifted gamma (2β₂ − 3β₁ − 6 = 0).
+    III,
+    /// The `[1+x²]^{−m} e^{−ν arctan x}` family (0 < κ < 1).
+    IV,
+    /// Inverse gamma (κ = 1).
+    V,
+    /// Beta-prime / F-like (κ > 1).
+    VI,
+    /// Scaled Student-t (β₁ = 0, β₂ > 3).
+    VII,
+    /// Degenerate point mass (σ = 0); not a classical Pearson member but a
+    /// value a prediction pipeline must be able to handle.
+    Degenerate,
+}
+
+/// Tolerance for the measure-zero boundary cases (types 0, II, III, V,
+/// VII live on curves in the (β₁, β₂) plane; exact float equality would
+/// almost never fire).
+pub(crate) const BOUNDARY_TOL: f64 = 1e-10;
+
+/// The *unnormalized* Pearson quadratic coefficients `(b0, b1, b2)` plus
+/// the classic normalizer `denom = 10β₂ − 12β₁ − 18`.
+///
+/// The normalized coefficients are `cᵢ = bᵢ / denom`, but `denom` vanishes
+/// on a line that crosses the type I/II region (the uniform distribution
+/// sits exactly on it), so downstream parameter formulas are written in
+/// the denominator-free form `(b1 + root·denom) / (b2 · span)` which stays
+/// exact for `denom = 0`. The criterion κ uses only scale-invariant ratios
+/// and is unaffected.
+pub(crate) fn pearson_coeffs(skew: f64, kurt: f64) -> (f64, f64, f64, f64) {
+    let beta1 = skew * skew;
+    let beta2 = kurt;
+    let denom = 10.0 * beta2 - 12.0 * beta1 - 18.0;
+    let b0 = 4.0 * beta2 - 3.0 * beta1;
+    let b1 = skew * (beta2 + 3.0);
+    let b2 = 2.0 * beta2 - 3.0 * beta1 - 6.0;
+    (b0, b1, b2, denom)
+}
+
+/// Classifies a moment specification into its Pearson type.
+///
+/// Infeasible specifications (β₂ < β₁ + 1) are *not* clamped here — they
+/// classify as whatever region the raw numbers fall in; use
+/// [`MomentSummary::clamped_feasible`] before fitting. A zero standard
+/// deviation classifies as [`PearsonType::Degenerate`].
+pub fn classify(m: &MomentSummary) -> PearsonType {
+    if !(m.std > 0.0) {
+        return PearsonType::Degenerate;
+    }
+    let skew = m.skewness;
+    let kurt = m.kurtosis;
+    let beta1 = skew * skew;
+
+    if skew.abs() < BOUNDARY_TOL {
+        if (kurt - 3.0).abs() < BOUNDARY_TOL {
+            return PearsonType::Zero;
+        }
+        if kurt < 3.0 {
+            return PearsonType::II;
+        }
+        return PearsonType::VII;
+    }
+
+    let b2 = 2.0 * kurt - 3.0 * beta1 - 6.0;
+    if b2.abs() < BOUNDARY_TOL {
+        return PearsonType::III;
+    }
+
+    let (b0, b1, b2_, _) = pearson_coeffs(skew, kurt);
+    let kappa = b1 * b1 / (4.0 * b0 * b2_);
+    if kappa < 0.0 {
+        PearsonType::I
+    } else if (kappa - 1.0).abs() < BOUNDARY_TOL {
+        PearsonType::V
+    } else if kappa < 1.0 {
+        PearsonType::IV
+    } else {
+        PearsonType::VI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(skew: f64, kurt: f64) -> MomentSummary {
+        MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: skew,
+            kurtosis: kurt,
+        }
+    }
+
+    #[test]
+    fn normal_is_type_zero() {
+        assert_eq!(classify(&spec(0.0, 3.0)), PearsonType::Zero);
+    }
+
+    #[test]
+    fn symmetric_platykurtic_is_type_two() {
+        assert_eq!(classify(&spec(0.0, 2.0)), PearsonType::II);
+        assert_eq!(classify(&spec(0.0, 1.8)), PearsonType::II);
+        // Uniform distribution: kurtosis 1.8.
+    }
+
+    #[test]
+    fn symmetric_leptokurtic_is_type_seven() {
+        assert_eq!(classify(&spec(0.0, 4.0)), PearsonType::VII);
+        assert_eq!(classify(&spec(0.0, 10.0)), PearsonType::VII);
+    }
+
+    #[test]
+    fn gamma_line_is_type_three() {
+        // Gamma with shape k: skew = 2/√k, kurt = 3 + 6/k.
+        // Check 2β₂ − 3β₁ − 6 = 6 + 12/k − 12/k − 6 = 0. ✓
+        for k in [0.5, 1.0, 4.0, 25.0] {
+            let skew = 2.0 / (k as f64).sqrt();
+            let kurt = 3.0 + 6.0 / k;
+            assert_eq!(classify(&spec(skew, kurt)), PearsonType::III, "k={k}");
+        }
+    }
+
+    #[test]
+    fn beta_distribution_moments_are_type_one() {
+        // Beta(2, 5): skew = 0.596…, kurt ≈ 2.88. Below the gamma line.
+        let (a, b): (f64, f64) = (2.0, 5.0);
+        let skew = 2.0 * (b - a) * (a + b + 1.0).sqrt() / ((a + b + 2.0) * (a * b).sqrt());
+        let ex_kurt = 6.0 * ((a - b).powi(2) * (a + b + 1.0) - a * b * (a + b + 2.0))
+            / (a * b * (a + b + 2.0) * (a + b + 3.0));
+        assert_eq!(classify(&spec(skew, ex_kurt + 3.0)), PearsonType::I);
+    }
+
+    #[test]
+    fn skewed_moderate_kurtosis_is_type_four() {
+        // Above the gamma line but below the type V boundary.
+        assert_eq!(classify(&spec(0.8, 4.5)), PearsonType::IV);
+        assert_eq!(classify(&spec(-0.8, 4.5)), PearsonType::IV);
+    }
+
+    #[test]
+    fn heavy_skew_heavy_tail_is_type_six() {
+        // Log-normal-like moments live in the type VI region: for σ²=0.25,
+        // skew ≈ 1.75, kurt ≈ 8.9.
+        assert_eq!(classify(&spec(1.75, 8.9)), PearsonType::VI);
+    }
+
+    #[test]
+    fn inverse_gamma_boundary_is_type_five() {
+        // Construct a point exactly on κ = 1 numerically: for given skew,
+        // solve for kurt on the V line by bisection between IV and VI.
+        let skew = 1.0f64;
+        let kappa = |kurt: f64| {
+            let (b0, b1, b2, _) = pearson_coeffs(skew, kurt);
+            b1 * b1 / (4.0 * b0 * b2)
+        };
+        // κ decreases with kurtosis above the gamma line: just past the
+        // type III line it is huge (VI region), and it falls below 1 (IV
+        // region) as kurtosis grows. Bracket the κ = 1 crossing.
+        let (mut lo, mut hi) = (4.6, 12.0); // VI side, IV side
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if kappa(mid) > 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let kurt_v = 0.5 * (lo + hi);
+        // The classifier should see κ ≈ 1 within tolerance.
+        let t = classify(&spec(skew, kurt_v));
+        assert!(
+            t == PearsonType::V || t == PearsonType::IV || t == PearsonType::VI,
+            "boundary classification = {t:?}"
+        );
+        // And points clearly on either side classify VI (below) / IV
+        // (above). The VI strip between the III line (κ→∞) and the V curve
+        // (κ=1) is thin — for skew = 1 it spans kurtosis ≈ (4.5, 4.97) —
+        // so step down by less than the strip width.
+        assert_eq!(classify(&spec(skew, kurt_v - 0.2)), PearsonType::VI);
+        assert_eq!(classify(&spec(skew, kurt_v + 0.5)), PearsonType::IV);
+    }
+
+    #[test]
+    fn zero_std_is_degenerate() {
+        let m = MomentSummary {
+            mean: 5.0,
+            std: 0.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        assert_eq!(classify(&m), PearsonType::Degenerate);
+    }
+
+    #[test]
+    fn classification_is_mirror_symmetric_in_skew() {
+        for (s, k) in [(0.5, 3.2), (1.2, 6.0), (0.3, 2.5)] {
+            assert_eq!(classify(&spec(s, k)), classify(&spec(-s, k)));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # pv-pearson — the Pearson distribution system
+//!
+//! A from-scratch Rust equivalent of MATLAB's `pearsrnd`, which the paper
+//! uses for its best-performing distribution representation
+//! ("PearsonRnd", Section III-B2): given the first four moments of a
+//! performance distribution (mean, standard deviation, skewness,
+//! kurtosis), draw random numbers from the member of the Pearson family
+//! with exactly those moments, and rebuild the distribution from the
+//! sample.
+//!
+//! The Pearson system partitions the (β₁, β₂) = (skewness², kurtosis)
+//! plane into seven families plus the normal distribution:
+//!
+//! | Type | Region | Family |
+//! |------|--------|--------|
+//! | 0    | β₁ = 0, β₂ = 3 | normal |
+//! | I    | κ < 0 | four-parameter beta |
+//! | II   | β₁ = 0, β₂ < 3 | symmetric beta |
+//! | III  | 2β₂ − 3β₁ − 6 = 0 | shifted gamma |
+//! | IV   | 0 < κ < 1 | `[1+x²]^{−m} e^{−ν arctan x}` |
+//! | V    | κ = 1 | inverse gamma |
+//! | VI   | κ > 1 | beta-prime (F-like) |
+//! | VII  | β₁ = 0, β₂ > 3 | scaled Student-t |
+//!
+//! where `κ = c₁² / (4 c₀ c₂)` is the classic Pearson criterion computed
+//! from the moment-derived quadratic `c₀ + c₁x + c₂x²`.
+//!
+//! The central type is [`PearsonDist`]: [`PearsonDist::fit`] classifies the
+//! moments, recovers the family parameters analytically, and the result
+//! samples / evaluates densities in the original (unstandardized)
+//! coordinates.
+//!
+//! ```
+//! use pv_pearson::PearsonDist;
+//! use pv_stats::moments::MomentSummary;
+//! use pv_stats::rng::Xoshiro256pp;
+//! use rand::SeedableRng;
+//!
+//! // A right-skewed, heavy-tailed spec — Pearson type IV territory.
+//! let m = MomentSummary { mean: 1.0, std: 0.05, skewness: 0.8, kurtosis: 4.5 };
+//! let dist = PearsonDist::fit(m).unwrap();
+//! let mut rng = Xoshiro256pp::seed_from_u64(7);
+//! let xs = dist.sample_n(&mut rng, 10_000);
+//! let got = MomentSummary::from_sample(&xs).unwrap();
+//! assert!((got.mean - 1.0).abs() < 0.01);
+//! ```
+
+mod classify;
+mod dist;
+
+pub use classify::{classify, PearsonType};
+pub use dist::PearsonDist;
+
+/// Result alias re-using the statistical substrate's error type.
+pub type Result<T> = std::result::Result<T, pv_stats::StatsError>;

@@ -1,0 +1,87 @@
+//! Property tests: every feasible four-moment specification must fit,
+//! sample finitely, and approximately round-trip its first two moments.
+
+use proptest::prelude::*;
+use pv_pearson::{classify, PearsonDist, PearsonType};
+use pv_stats::moments::MomentSummary;
+use pv_stats::rng::Xoshiro256pp;
+use rand::SeedableRng;
+
+fn feasible_spec() -> impl Strategy<Value = MomentSummary> {
+    // skew in [-2, 2], kurtosis above the feasibility bound with margin.
+    (-5.0..5.0f64, 0.01..10.0f64, -2.0..2.0f64, 0.05..6.0f64).prop_map(
+        |(mean, std, skew, excess_over_bound)| MomentSummary {
+            mean,
+            std,
+            skewness: skew,
+            kurtosis: skew * skew + 1.0 + excess_over_bound,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_feasible_spec_fits_and_samples(spec in feasible_spec()) {
+        let d = PearsonDist::fit(spec).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let xs = d.sample_n(&mut rng, 4000);
+        prop_assert!(xs.iter().all(|x| x.is_finite()));
+        let got = MomentSummary::from_sample(&xs).unwrap();
+        // Mean and std round-trip within sampling noise. Tolerances are
+        // loose because heavy-tailed members converge slowly.
+        prop_assert!(
+            (got.mean - spec.mean).abs() < 0.35 * spec.std + 1e-9,
+            "mean {} vs {} (type {:?})", got.mean, spec.mean, d.pearson_type()
+        );
+        prop_assert!(
+            got.std > 0.3 * spec.std && got.std < 3.0 * spec.std,
+            "std {} vs {} (type {:?})", got.std, spec.std, d.pearson_type()
+        );
+    }
+
+    #[test]
+    fn classification_is_deterministic_and_total(spec in feasible_spec()) {
+        let t1 = classify(&spec);
+        let t2 = classify(&spec);
+        prop_assert_eq!(t1, t2);
+        prop_assert!(t1 != PearsonType::Degenerate);
+    }
+
+    #[test]
+    fn pdf_is_nonnegative_and_finite(spec in feasible_spec()) {
+        let d = PearsonDist::fit(spec).unwrap();
+        for i in -20..=20 {
+            let x = spec.mean + spec.std * i as f64 / 4.0;
+            let p = d.pdf(x);
+            prop_assert!(p >= 0.0, "pdf({x}) = {p}");
+            prop_assert!(p.is_finite(), "pdf({x}) = {p}");
+        }
+    }
+
+    #[test]
+    fn scaling_moments_scales_samples(skew in -1.5..1.5f64, ex in 0.2..4.0f64) {
+        let base = MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: skew,
+            kurtosis: skew * skew + 1.0 + ex,
+        };
+        let scaled = MomentSummary {
+            mean: 10.0,
+            std: 3.0,
+            ..base
+        };
+        let d1 = PearsonDist::fit(base).unwrap();
+        let d2 = PearsonDist::fit(scaled).unwrap();
+        // Same standardized family → identical samples after affine map.
+        let mut r1 = Xoshiro256pp::seed_from_u64(5);
+        let mut r2 = Xoshiro256pp::seed_from_u64(5);
+        let a = d1.sample_n(&mut r1, 200);
+        let b = d2.sample_n(&mut r2, 200);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((10.0 + 3.0 * x - y).abs() < 1e-9);
+        }
+    }
+}

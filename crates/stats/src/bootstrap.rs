@@ -1,0 +1,149 @@
+//! Bootstrap resampling.
+//!
+//! The related work the paper builds on (Maricq et al., OSDI'18) estimates
+//! how many runs a benchmark needs by bootstrapping confidence intervals;
+//! we provide the same machinery both for tests and for users who want CIs
+//! on predicted-distribution statistics.
+
+use rand::Rng;
+
+use crate::descriptive::quantile;
+use crate::error::{ensure_finite, ensure_len};
+use crate::Result;
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate: the statistic on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Bootstrap standard error (std of the replicate statistics).
+    pub std_error: f64,
+}
+
+/// Draws one bootstrap resample (with replacement) of `xs`.
+pub fn resample<R: Rng + ?Sized>(rng: &mut R, xs: &[f64]) -> Vec<f64> {
+    (0..xs.len())
+        .map(|_| xs[rng.gen_range(0..xs.len())])
+        .collect()
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// `confidence` is the two-sided level, e.g. `0.95`.
+///
+/// # Errors
+/// Fails on empty/non-finite input, `replicates == 0`, or a confidence
+/// level outside `(0, 1)`.
+pub fn bootstrap_ci<R, F>(
+    rng: &mut R,
+    xs: &[f64],
+    statistic: F,
+    replicates: usize,
+    confidence: f64,
+) -> Result<BootstrapCi>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_len("bootstrap_ci", xs, 1)?;
+    ensure_finite("bootstrap_ci", xs)?;
+    if replicates == 0 {
+        return Err(crate::StatsError::invalid("bootstrap_ci", "replicates must be ≥ 1"));
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(crate::StatsError::invalid(
+            "bootstrap_ci",
+            format!("confidence must be in (0,1), got {confidence}"),
+        ));
+    }
+    let estimate = statistic(xs);
+    let mut reps = Vec::with_capacity(replicates);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..replicates {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        reps.push(statistic(&buf));
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo = quantile(&reps, alpha)?;
+    let hi = quantile(&reps, 1.0 - alpha)?;
+    let std_error = crate::moments::Moments::from_slice(&reps).sample_std();
+    Ok(BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        std_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::samplers::{Normal, Sampler};
+    use rand::SeedableRng;
+
+    #[test]
+    fn resample_preserves_length_and_support() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let r = resample(&mut rng, &xs);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|v| xs.contains(v)));
+    }
+
+    #[test]
+    fn ci_covers_true_mean_for_normal_data() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let xs = d.sample_n(&mut rng, 500);
+        let ci = bootstrap_ci(
+            &mut rng,
+            &xs,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            1000,
+            0.95,
+        )
+        .unwrap();
+        assert!(ci.lo < 5.0 && 5.0 < ci.hi, "CI [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo < ci.estimate && ci.estimate < ci.hi);
+        // SE of the mean ≈ σ/√n ≈ 0.089
+        assert!((ci.std_error - 2.0 / (500.0f64).sqrt()).abs() < 0.03);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mean_fn = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let narrow = bootstrap_ci(&mut rng, &xs, mean_fn, 800, 0.80).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let wide = bootstrap_ci(&mut rng, &xs, mean_fn, 800, 0.99).unwrap();
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mean_fn = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        assert!(bootstrap_ci(&mut rng, &[], mean_fn, 10, 0.95).is_err());
+        assert!(bootstrap_ci(&mut rng, &[1.0], mean_fn, 0, 0.95).is_err());
+        assert!(bootstrap_ci(&mut rng, &[1.0], mean_fn, 10, 1.5).is_err());
+        assert!(bootstrap_ci(&mut rng, &[1.0], mean_fn, 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let xs = vec![7.0; 50];
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let ci = bootstrap_ci(&mut rng, &xs, |s| s[0], 100, 0.9).unwrap();
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+        assert_eq!(ci.std_error, 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Correlation and similarity measures.
+//!
+//! The paper's best model is kNN with **cosine similarity** between
+//! application profiles (Section III-B3); Pearson and Spearman correlation
+//! round out the toolkit for feature analysis.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::moments::Moments;
+use crate::{Result, StatsError};
+
+fn ensure_same_len(what: &'static str, a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(StatsError::invalid(
+            what,
+            format!("length mismatch: {} vs {}", a.len(), b.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Cosine similarity `a·b / (‖a‖‖b‖)`, in `[-1, 1]`.
+///
+/// A zero vector has undefined direction; this returns 0 for that case
+/// (maximally dissimilar under the kNN distance `1 - cos`), matching
+/// scikit-learn's practical behaviour for all-zero profile rows.
+///
+/// # Errors
+/// Fails on empty input, length mismatch, or non-finite values.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("cosine_similarity", a, 1)?;
+    ensure_same_len("cosine_similarity", a, b)?;
+    ensure_finite("cosine_similarity", a)?;
+    ensure_finite("cosine_similarity", b)?;
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((dot / (na * nb)).clamp(-1.0, 1.0))
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// # Errors
+/// Fails on input shorter than 2, length mismatch, non-finite values, or a
+/// zero-variance input.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("pearson", a, 2)?;
+    ensure_same_len("pearson", a, b)?;
+    ensure_finite("pearson", a)?;
+    ensure_finite("pearson", b)?;
+    let ma = Moments::from_slice(a);
+    let mb = Moments::from_slice(b);
+    let (mua, mub) = (ma.mean(), mb.mean());
+    let cov: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - mua) * (y - mub))
+        .sum::<f64>()
+        / a.len() as f64;
+    let denom = ma.population_std() * mb.population_std();
+    if denom == 0.0 {
+        return Err(StatsError::invalid("pearson", "zero variance input"));
+    }
+    Ok((cov / denom).clamp(-1.0, 1.0))
+}
+
+/// Ranks with average tie handling (1-based).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on average-tie ranks).
+///
+/// # Errors
+/// Same conditions as [`pearson`].
+pub fn spearman(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("spearman", a, 2)?;
+    ensure_same_len("spearman", a, b)?;
+    ensure_finite("spearman", a)?;
+    ensure_finite("spearman", b)?;
+    pearson(&ranks(a), &ranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((cosine_similarity(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(cosine_similarity(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        let a = [1.0, -2.0];
+        let b = [-1.0, 2.0];
+        assert!((cosine_similarity(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_convention() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cosine_validates_input() {
+        assert!(cosine_similarity(&[], &[]).is_err());
+        assert!(cosine_similarity(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cosine_similarity(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = b.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_is_near_zero() {
+        let a: Vec<f64> = (0..200).map(|i| ((i * 97) % 101) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| ((i * 31 + 7) % 103) as f64).collect();
+        assert!(pearson(&a, &b).unwrap().abs() < 0.2);
+    }
+
+    #[test]
+    fn pearson_zero_variance_errors() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Distribution divergences beyond KS.
+//!
+//! The paper scores predictions with the KS statistic only; these extra
+//! divergences back the ablation benches ("would the conclusions change
+//! under a different distance?") and give downstream users more options:
+//! Wasserstein-1 (earth mover's), Jensen–Shannon, Hellinger, and total
+//! variation on shared histogram grids.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::histogram::Histogram;
+use crate::{Result, StatsError};
+
+/// Wasserstein-1 (earth mover's) distance between two empirical samples.
+///
+/// Computed exactly as `∫ |F₁(x) − F₂(x)| dx` by sweeping the merged sorted
+/// breakpoints; handles unequal sample sizes.
+///
+/// # Errors
+/// Fails when either sample is empty or contains non-finite values.
+pub fn wasserstein1(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("wasserstein1", a, 1)?;
+    ensure_len("wasserstein1", b, 1)?;
+    ensure_finite("wasserstein1", a)?;
+    ensure_finite("wasserstein1", b)?;
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+
+    // Merge all breakpoints, integrating |F1 - F2| over each gap.
+    let n = xs.len() as f64;
+    let m = ys.len() as f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut dist = 0.0;
+    let mut prev: Option<f64> = None;
+    while i < xs.len() || j < ys.len() {
+        let t = match (xs.get(i), ys.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        if let Some(p) = prev {
+            let f1 = i as f64 / n;
+            let f2 = j as f64 / m;
+            dist += (f1 - f2).abs() * (t - p);
+        }
+        while i < xs.len() && xs[i] <= t {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= t {
+            j += 1;
+        }
+        prev = Some(t);
+    }
+    Ok(dist)
+}
+
+fn shared_probs(p: &Histogram, q: &Histogram) -> Result<(Vec<f64>, Vec<f64>)> {
+    if p.n_bins() != q.n_bins() || p.lo() != q.lo() || p.hi() != q.hi() {
+        return Err(StatsError::invalid(
+            "divergence",
+            "histograms must share the same bin grid",
+        ));
+    }
+    Ok((p.probabilities(), q.probabilities()))
+}
+
+/// Total variation distance `½ Σ |pᵢ − qᵢ|` between two histograms on the
+/// same grid; in `[0, 1]`.
+///
+/// # Errors
+/// Fails when the histograms do not share a grid.
+pub fn total_variation(p: &Histogram, q: &Histogram) -> Result<f64> {
+    let (p, q) = shared_probs(p, q)?;
+    Ok(0.5 * p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+}
+
+/// Hellinger distance `√(½ Σ (√pᵢ − √qᵢ)²)`; in `[0, 1]`.
+///
+/// # Errors
+/// Fails when the histograms do not share a grid.
+pub fn hellinger(p: &Histogram, q: &Histogram) -> Result<f64> {
+    let (p, q) = shared_probs(p, q)?;
+    let s: f64 = p
+        .iter()
+        .zip(&q)
+        .map(|(a, b)| {
+            let d = a.sqrt() - b.sqrt();
+            d * d
+        })
+        .sum();
+    Ok((0.5 * s).sqrt())
+}
+
+/// Jensen–Shannon divergence (base-2 logarithm, so the result lies in
+/// `[0, 1]`); symmetric and finite even with disjoint supports.
+///
+/// # Errors
+/// Fails when the histograms do not share a grid.
+pub fn jensen_shannon(p: &Histogram, q: &Histogram) -> Result<f64> {
+    let (p, q) = shared_probs(p, q)?;
+    let kl = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .filter(|(x, _)| **x > 0.0)
+            .map(|(x, y)| x * (x / y).log2())
+            .sum()
+    };
+    let m: Vec<f64> = p.iter().zip(&q).map(|(a, b)| 0.5 * (a + b)).collect();
+    Ok(0.5 * kl(&p, &m) + 0.5 * kl(&q, &m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::samplers::{Normal, Sampler};
+    use rand::SeedableRng;
+
+    fn hist(xs: &[f64]) -> Histogram {
+        Histogram::from_data_with_range(xs, -5.0, 5.0, 50).unwrap()
+    }
+
+    #[test]
+    fn wasserstein_of_identical_samples_is_zero() {
+        let xs = [1.0, 2.0, 5.0];
+        assert_eq!(wasserstein1(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_of_point_masses_is_their_gap() {
+        // δ_0 vs δ_3: W1 = 3.
+        let a = [0.0, 0.0, 0.0];
+        let b = [3.0, 3.0];
+        assert!((wasserstein1(&a, &b).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_of_shift_is_the_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 2.5).collect();
+        assert!((wasserstein1(&a, &b).unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric() {
+        let a = [1.0, 4.0, 2.0];
+        let b = [0.0, 3.0];
+        assert!(
+            (wasserstein1(&a, &b).unwrap() - wasserstein1(&b, &a).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn wasserstein_normal_samples() {
+        let d1 = Normal::new(0.0, 1.0).unwrap();
+        let d2 = Normal::new(1.0, 1.0).unwrap();
+        let mut r = Xoshiro256pp::seed_from_u64(1);
+        let a = d1.sample_n(&mut r, 4000);
+        let b = d2.sample_n(&mut r, 4000);
+        // W1 of equal-variance normals = |μ1 - μ2| = 1.
+        assert!((wasserstein1(&a, &b).unwrap() - 1.0).abs() < 0.08);
+    }
+
+    #[test]
+    fn tv_bounds_and_identity() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut r = Xoshiro256pp::seed_from_u64(2);
+        let a = hist(&d.sample_n(&mut r, 2000));
+        assert_eq!(total_variation(&a, &a).unwrap(), 0.0);
+        let far = hist(&vec![4.9; 100]);
+        let tv = total_variation(&a, &far).unwrap();
+        assert!(tv > 0.9 && tv <= 1.0);
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        let a = hist(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(hellinger(&a, &a).unwrap(), 0.0);
+        let b = hist(&[4.5, 4.6, 4.7]);
+        let h = hellinger(&a, &b).unwrap();
+        assert!(h > 0.9 && h <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn js_divergence_properties() {
+        let a = hist(&[-1.0, 0.0, 1.0]);
+        let b = hist(&[-1.0, 0.0, 1.0]);
+        assert!(jensen_shannon(&a, &b).unwrap().abs() < 1e-12);
+        let c = hist(&[4.0, 4.1]);
+        let js_ac = jensen_shannon(&a, &c).unwrap();
+        let js_ca = jensen_shannon(&c, &a).unwrap();
+        assert!((js_ac - js_ca).abs() < 1e-12, "JS must be symmetric");
+        // Disjoint supports → exactly 1 bit.
+        assert!((js_ac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_grids_error() {
+        let a = Histogram::from_data_with_range(&[0.0], 0.0, 1.0, 4).unwrap();
+        let b = Histogram::from_data_with_range(&[0.0], 0.0, 1.0, 5).unwrap();
+        assert!(total_variation(&a, &b).is_err());
+        assert!(hellinger(&a, &b).is_err());
+        assert!(jensen_shannon(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(wasserstein1(&[], &[1.0]).is_err());
+        assert!(wasserstein1(&[1.0], &[]).is_err());
+    }
+}

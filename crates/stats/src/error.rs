@@ -1,0 +1,141 @@
+//! Error type shared by all `pv-stats` operations.
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+///
+/// The substrate is deliberately strict: silent NaN propagation is a classic
+/// source of wrong performance-analysis conclusions, so routines validate
+/// their inputs and report *why* they cannot produce a number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input sample was empty (or shorter than the minimum required).
+    EmptyInput {
+        /// Operation that was attempted.
+        what: &'static str,
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// An input contained a NaN or infinite value.
+    NonFinite {
+        /// Operation that was attempted.
+        what: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Operation that was attempted.
+        what: &'static str,
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Operation that was attempted.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A linear system was singular (or numerically so).
+    SingularMatrix {
+        /// Operation that was attempted.
+        what: &'static str,
+    },
+}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::InvalidParameter`].
+    pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        StatsError::InvalidParameter {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { what, needed, got } => {
+                write!(f, "{what}: needs at least {needed} observation(s), got {got}")
+            }
+            StatsError::NonFinite { what } => {
+                write!(f, "{what}: input contains NaN or infinite values")
+            }
+            StatsError::InvalidParameter { what, detail } => {
+                write!(f, "{what}: invalid parameter: {detail}")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "{what}: failed to converge after {iterations} iterations")
+            }
+            StatsError::SingularMatrix { what } => {
+                write!(f, "{what}: matrix is singular to working precision")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validates that every element of `xs` is finite.
+pub(crate) fn ensure_finite(what: &'static str, xs: &[f64]) -> crate::Result<()> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        Err(StatsError::NonFinite { what })
+    } else {
+        Ok(())
+    }
+}
+
+/// Validates that `xs` holds at least `needed` observations.
+pub(crate) fn ensure_len(what: &'static str, xs: &[f64], needed: usize) -> crate::Result<()> {
+    if xs.len() < needed {
+        Err(StatsError::EmptyInput {
+            what,
+            needed,
+            got: xs.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::EmptyInput {
+            what: "mean",
+            needed: 1,
+            got: 0,
+        };
+        assert!(e.to_string().contains("mean"));
+        assert!(e.to_string().contains("at least 1"));
+
+        let e = StatsError::invalid("kde", "bandwidth must be positive");
+        assert!(e.to_string().contains("bandwidth"));
+
+        let e = StatsError::NoConvergence {
+            what: "maxent",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_inf() {
+        assert!(ensure_finite("t", &[1.0, 2.0]).is_ok());
+        assert!(ensure_finite("t", &[1.0, f64::NAN]).is_err());
+        assert!(ensure_finite("t", &[f64::INFINITY]).is_err());
+        assert!(ensure_finite("t", &[]).is_ok());
+    }
+
+    #[test]
+    fn ensure_len_enforces_minimum() {
+        assert!(ensure_len("t", &[1.0], 1).is_ok());
+        assert!(ensure_len("t", &[], 1).is_err());
+        assert!(ensure_len("t", &[1.0, 2.0], 3).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Additional goodness-of-fit statistics: Anderson–Darling and
+//! Cramér–von Mises (two-sample forms).
+//!
+//! The paper scores distribution agreement with KS only; KS is most
+//! sensitive near the median and notoriously blind in the tails — exactly
+//! where performance variability bites. These two EDF statistics weight
+//! the tails more (AD) or integrate squared discrepancy (CvM), and back
+//! the `repro ablations` question *"would the paper's conclusions change
+//! under a different distance?"*.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::Result;
+
+/// Pools two samples into a sorted list of `(value, from_first)` tags.
+fn pooled(a: &[f64], b: &[f64]) -> Vec<(f64, bool)> {
+    let mut v: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&x| (x, true))
+        .chain(b.iter().map(|&x| (x, false)))
+        .collect();
+    v.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite"));
+    v
+}
+
+/// Two-sample Cramér–von Mises criterion
+/// `T = (nm)/(n+m)² · Σ_pooled (F_a(x) − F_b(x))²` — the rank-based form
+/// of Anderson (1962). 0 for identical samples; grows with discrepancy.
+///
+/// # Errors
+/// Fails when either sample is empty or contains non-finite values.
+pub fn cramer_von_mises(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("cramer_von_mises", a, 1)?;
+    ensure_len("cramer_von_mises", b, 1)?;
+    ensure_finite("cramer_von_mises", a)?;
+    ensure_finite("cramer_von_mises", b)?;
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    let pool = pooled(a, b);
+    let mut fa = 0.0;
+    let mut fb = 0.0;
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < pool.len() {
+        // Advance through ties as a block so both EDFs update together.
+        let x = pool[i].0;
+        while i < pool.len() && pool[i].0 == x {
+            if pool[i].1 {
+                fa += 1.0 / n;
+            } else {
+                fb += 1.0 / m;
+            }
+            i += 1;
+        }
+        let d = fa - fb;
+        sum += d * d;
+    }
+    Ok(n * m / ((n + m) * (n + m)) * sum)
+}
+
+/// Two-sample Anderson–Darling statistic (Pettitt 1976 / Scholz–Stephens
+/// k=2 form), which up-weights discrepancies in the tails:
+///
+/// ```text
+/// A² = (nm/N) Σ_{pooled, H(x)∈(0,1)} (F_a − F_b)² / (H (1 − H)) · ΔH
+/// ```
+///
+/// where `H` is the pooled EDF. 0 for identical samples.
+///
+/// # Errors
+/// Fails when either sample is empty or contains non-finite values.
+pub fn anderson_darling(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("anderson_darling", a, 1)?;
+    ensure_len("anderson_darling", b, 1)?;
+    ensure_finite("anderson_darling", a)?;
+    ensure_finite("anderson_darling", b)?;
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    let big_n = n + m;
+    let pool = pooled(a, b);
+    let mut fa = 0.0;
+    let mut fb = 0.0;
+    let mut h_prev = 0.0;
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < pool.len() {
+        let x = pool[i].0;
+        let mut block = 0.0;
+        while i < pool.len() && pool[i].0 == x {
+            if pool[i].1 {
+                fa += 1.0 / n;
+            } else {
+                fb += 1.0 / m;
+            }
+            block += 1.0;
+            i += 1;
+        }
+        let h = h_prev + block / big_n;
+        // The last pooled block has H = 1 (weight denominator 0); it
+        // contributes nothing because F_a = F_b = 1 there.
+        if h < 1.0 {
+            let d = fa - fb;
+            sum += d * d / (h * (1.0 - h)) * (block / big_n);
+        }
+        h_prev = h;
+    }
+    Ok(n * m / big_n * sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::samplers::{Normal, Sampler};
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_samples_score_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cramer_von_mises(&xs, &xs).unwrap(), 0.0);
+        assert_eq!(anderson_darling(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn statistics_are_symmetric() {
+        let a = [1.0, 3.0, 5.0, 2.0];
+        let b = [0.5, 2.5, 4.5];
+        assert!(
+            (cramer_von_mises(&a, &b).unwrap() - cramer_von_mises(&b, &a).unwrap()).abs()
+                < 1e-12
+        );
+        assert!(
+            (anderson_darling(&a, &b).unwrap() - anderson_darling(&b, &a).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn same_distribution_scores_small() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut r = Xoshiro256pp::seed_from_u64(1);
+        let a = d.sample_n(&mut r, 2000);
+        let b = d.sample_n(&mut r, 2000);
+        // Under H0 the CvM criterion has mean ≈ 1/6 and AD mean ≈ 1.
+        let cvm = cramer_von_mises(&a, &b).unwrap();
+        let ad = anderson_darling(&a, &b).unwrap();
+        assert!(cvm < 0.7, "CvM = {cvm}");
+        assert!(ad < 4.0, "AD = {ad}");
+    }
+
+    #[test]
+    fn shifted_distribution_scores_large() {
+        let d1 = Normal::new(0.0, 1.0).unwrap();
+        let d2 = Normal::new(1.0, 1.0).unwrap();
+        let mut r = Xoshiro256pp::seed_from_u64(2);
+        let a = d1.sample_n(&mut r, 1000);
+        let b = d2.sample_n(&mut r, 1000);
+        assert!(cramer_von_mises(&a, &b).unwrap() > 10.0);
+        assert!(anderson_darling(&a, &b).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn ad_is_more_tail_sensitive_than_cvm() {
+        // Two samples identical in the bulk but differing in the extreme
+        // tail: AD's relative growth over its null mean must exceed CvM's.
+        let bulk: Vec<f64> = (0..980).map(|i| i as f64 / 980.0).collect();
+        let mut a = bulk.clone();
+        let mut b = bulk;
+        a.extend((0..20).map(|i| 1.0 + i as f64 * 0.001)); // short tail
+        b.extend((0..20).map(|i| 5.0 + i as f64 * 0.5)); // far tail
+        let cvm = cramer_von_mises(&a, &b).unwrap();
+        let ad = anderson_darling(&a, &b).unwrap();
+        // Normalize by null means (CvM ≈ 1/6, AD ≈ 1).
+        assert!(
+            ad / 1.0 > cvm / (1.0 / 6.0),
+            "AD {ad} not more sensitive than CvM {cvm}"
+        );
+    }
+
+    #[test]
+    fn handles_ties_across_samples() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0];
+        // Must not panic or divide by zero; values finite and ≥ 0.
+        let cvm = cramer_von_mises(&a, &b).unwrap();
+        let ad = anderson_darling(&a, &b).unwrap();
+        assert!(cvm.is_finite() && cvm >= 0.0);
+        assert!(ad.is_finite() && ad >= 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(cramer_von_mises(&[], &[1.0]).is_err());
+        assert!(anderson_darling(&[1.0], &[]).is_err());
+        assert!(cramer_von_mises(&[f64::NAN], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Histograms: construction, automatic binning rules, density
+//! normalization, and sampling.
+//!
+//! The paper's first distribution representation ("Histogram",
+//! Section III-B2) encodes a performance distribution as the bin heights of
+//! a histogram of the relative time — a discretized PDF. This module
+//! provides that encoding plus the classic automatic bin-count rules
+//! (Sturges, Scott, Freedman–Diaconis) and inverse-CDF sampling from a
+//! histogram, which the decoding side of the representation needs to turn a
+//! predicted bin vector back into a sample set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive;
+use crate::error::{ensure_finite, ensure_len};
+use crate::moments::Moments;
+use crate::{Result, StatsError};
+
+/// Automatic bin-count selection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinRule {
+    /// `⌈log₂ n⌉ + 1` bins.
+    Sturges,
+    /// Bin width `3.49 σ n^{-1/3}`.
+    Scott,
+    /// Bin width `2 · IQR · n^{-1/3}`; falls back to Scott when IQR = 0.
+    FreedmanDiaconis,
+}
+
+/// Chooses a bin count for `xs` using `rule`, clamped to `[1, 512]`.
+///
+/// # Errors
+/// Fails on empty or non-finite input.
+pub fn auto_bins(xs: &[f64], rule: BinRule) -> Result<usize> {
+    ensure_len("auto_bins", xs, 1)?;
+    ensure_finite("auto_bins", xs)?;
+    let n = xs.len() as f64;
+    let span = descriptive::range(xs)?;
+    let k = match rule {
+        BinRule::Sturges => (n.log2().ceil() + 1.0) as usize,
+        BinRule::Scott => {
+            let sigma = Moments::from_slice(xs).sample_std();
+            width_to_bins(span, 3.49 * sigma * n.powf(-1.0 / 3.0))
+        }
+        BinRule::FreedmanDiaconis => {
+            let iqr = descriptive::iqr(xs)?;
+            if iqr <= 0.0 {
+                return auto_bins(xs, BinRule::Scott);
+            }
+            width_to_bins(span, 2.0 * iqr * n.powf(-1.0 / 3.0))
+        }
+    };
+    Ok(k.clamp(1, 512))
+}
+
+fn width_to_bins(span: f64, width: f64) -> usize {
+    if width <= 0.0 || span <= 0.0 {
+        1
+    } else {
+        (span / width).ceil() as usize
+    }
+}
+
+/// An equal-width histogram over a fixed range.
+///
+/// Counts are stored as `f64` so that a histogram can also carry *predicted*
+/// (fractional, possibly renormalized) masses coming out of a regression
+/// model — exactly how the paper's Histogram representation round-trips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+    total: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins on
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Fails when `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::invalid("Histogram", "bins must be ≥ 1"));
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::invalid(
+                "Histogram",
+                format!("invalid range [{lo}, {hi}]"),
+            ));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+            total: 0.0,
+        })
+    }
+
+    /// Builds a histogram of `xs` with `bins` bins spanning the data range
+    /// (slightly padded so the maximum lands inside the last bin).
+    ///
+    /// # Errors
+    /// Fails on empty/non-finite input or `bins == 0`.
+    pub fn from_data(xs: &[f64], bins: usize) -> Result<Self> {
+        ensure_len("Histogram::from_data", xs, 1)?;
+        ensure_finite("Histogram::from_data", xs)?;
+        let lo = descriptive::min(xs)?;
+        let hi = descriptive::max(xs)?;
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in xs {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Builds a histogram of `xs` over an explicit `[lo, hi]` range;
+    /// observations outside the range are clamped into the edge bins
+    /// (the paper's relative-time histograms use a fixed range across all
+    /// applications so that feature vectors are comparable).
+    ///
+    /// # Errors
+    /// Fails on invalid range or `bins == 0`.
+    pub fn from_data_with_range(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in xs {
+            h.add(x.clamp(lo, hi));
+        }
+        Ok(h)
+    }
+
+    /// Reconstructs a histogram from predicted bin masses over `[lo, hi]`.
+    /// Negative masses (a regression artifact) are clipped to zero.
+    ///
+    /// # Errors
+    /// Fails when `masses` is empty, the range is invalid, or all masses
+    /// are ≤ 0.
+    pub fn from_masses(masses: &[f64], lo: f64, hi: f64) -> Result<Self> {
+        let mut h = Histogram::new(lo, hi, masses.len().max(1))?;
+        if masses.is_empty() {
+            return Err(StatsError::invalid("Histogram::from_masses", "no bins"));
+        }
+        let mut total = 0.0;
+        for (slot, &m) in h.counts.iter_mut().zip(masses) {
+            let m = if m.is_finite() && m > 0.0 { m } else { 0.0 };
+            *slot = m;
+            total += m;
+        }
+        if total <= 0.0 {
+            return Err(StatsError::invalid(
+                "Histogram::from_masses",
+                "all predicted masses are ≤ 0",
+            ));
+        }
+        h.total = total;
+        Ok(h)
+    }
+
+    /// Adds one observation (ignored if outside the range).
+    pub fn add(&mut self, x: f64) {
+        if let Some(i) = self.bin_index(x) {
+            self.counts[i] += 1.0;
+            self.total += 1.0;
+        }
+    }
+
+    /// Index of the bin containing `x`, or `None` if out of range. The
+    /// upper edge belongs to the last bin.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if x < self.lo || x > self.hi || !x.is_finite() {
+            return None;
+        }
+        let k = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        Some(((t * k as f64) as usize).min(k - 1))
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower range bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper range bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Total accumulated mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Raw per-bin masses.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Per-bin probability masses (sum = 1); all zeros if empty.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total <= 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|c| c / self.total).collect()
+    }
+
+    /// Per-bin density values (integrates to 1 over the range).
+    pub fn densities(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        self.probabilities().into_iter().map(|p| p / w).collect()
+    }
+
+    /// Density evaluated at a point (0 outside the range or when empty).
+    pub fn density_at(&self, x: f64) -> f64 {
+        match self.bin_index(x) {
+            Some(i) if self.total > 0.0 => self.counts[i] / (self.total * self.bin_width()),
+            _ => 0.0,
+        }
+    }
+
+    /// CDF evaluated at `x` by linear interpolation inside the bin.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let i = self.bin_index(x).expect("in range");
+        let below: f64 = self.counts[..i].iter().sum();
+        let frac = (x - (self.lo + i as f64 * self.bin_width())) / self.bin_width();
+        (below + self.counts[i] * frac) / self.total
+    }
+
+    /// Draws `n` samples via inverse-CDF: pick a bin by mass, then a
+    /// uniform point inside it. This is how a predicted histogram is turned
+    /// back into a concrete sample set for KS scoring.
+    pub fn sample_n<R: rand::Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        let probs = self.probabilities();
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cum.push(acc);
+        }
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        let w = self.bin_width();
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let i = cum.iter().position(|&c| u < c).unwrap_or(probs.len() - 1);
+                let v: f64 = rng.gen();
+                self.lo + (i as f64 + v) * w
+            })
+            .collect()
+    }
+
+    /// Overlap coefficient with another histogram over the same grid
+    /// (∑ min(pᵢ, qᵢ) — 1 for identical histograms).
+    ///
+    /// # Errors
+    /// Fails when bin grids differ.
+    pub fn overlap(&self, other: &Histogram) -> Result<f64> {
+        if self.counts.len() != other.counts.len() || self.lo != other.lo || self.hi != other.hi {
+            return Err(StatsError::invalid(
+                "Histogram::overlap",
+                "histograms must share the same bin grid",
+            ));
+        }
+        let p = self.probabilities();
+        let q = other.probabilities();
+        Ok(p.iter().zip(&q).map(|(a, b)| a.min(*b)).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_land_in_expected_bins() {
+        let h = Histogram::from_data(&[0.0, 0.1, 0.9, 1.0, 0.5], 2).unwrap();
+        // Range [0,1], two bins: [0,0.5) and [0.5,1].
+        assert_eq!(h.counts()[0], 2.0);
+        assert_eq!(h.counts()[1], 3.0);
+        assert_eq!(h.total(), 5.0);
+    }
+
+    #[test]
+    fn upper_edge_belongs_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(1.0);
+        assert_eq!(h.counts()[3], 1.0);
+        assert_eq!(h.bin_index(1.0), Some(3));
+        assert_eq!(h.bin_index(1.0001), None);
+    }
+
+    #[test]
+    fn degenerate_data_gets_padded_range() {
+        let h = Histogram::from_data(&[2.0, 2.0, 2.0], 3).unwrap();
+        assert!(h.lo() < 2.0 && h.hi() > 2.0);
+        assert_eq!(h.total(), 3.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let h = Histogram::from_data(&xs, 13).unwrap();
+        let s: f64 = h.probabilities().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.11).cos() * 3.0).collect();
+        let h = Histogram::from_data(&xs, 20).unwrap();
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_with_correct_endpoints() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 29) % 97) as f64 / 10.0).collect();
+        let h = Histogram::from_data(&xs, 16).unwrap();
+        assert_eq!(h.cdf(h.lo() - 1.0), 0.0);
+        assert_eq!(h.cdf(h.hi() + 1.0), 1.0);
+        let mut prev = -1.0;
+        for i in 0..=50 {
+            let x = h.lo() + (h.hi() - h.lo()) * i as f64 / 50.0;
+            let c = h.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sampling_reproduces_bin_masses() {
+        let h = Histogram::from_masses(&[1.0, 3.0], 0.0, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs = h.sample_n(&mut rng, 40_000);
+        let low = xs.iter().filter(|&&x| x < 1.0).count() as f64 / xs.len() as f64;
+        assert!((low - 0.25).abs() < 0.01, "low mass = {low}");
+        assert!(xs.iter().all(|&x| (0.0..=2.0).contains(&x)));
+    }
+
+    #[test]
+    fn from_masses_clips_negatives() {
+        let h = Histogram::from_masses(&[-1.0, 2.0, f64::NAN, 2.0], 0.0, 4.0).unwrap();
+        assert_eq!(h.counts(), &[0.0, 2.0, 0.0, 2.0]);
+        assert!(Histogram::from_masses(&[-1.0, -2.0], 0.0, 1.0).is_err());
+        assert!(Histogram::from_masses(&[], 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn fixed_range_clamps_outliers() {
+        let h = Histogram::from_data_with_range(&[-5.0, 0.5, 9.0], 0.0, 1.0, 2).unwrap();
+        assert_eq!(h.total(), 3.0);
+        // -5 clamps to 0 → bin 0; 0.5 lands on the second bin's left edge;
+        // 9 clamps to 1 → last bin.
+        assert_eq!(h.counts()[0], 1.0);
+        assert_eq!(h.counts()[1], 2.0);
+    }
+
+    #[test]
+    fn auto_bins_rules_are_sane() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.013).sin()).collect();
+        let sturges = auto_bins(&xs, BinRule::Sturges).unwrap();
+        assert_eq!(sturges, 11); // ceil(log2(1000)) + 1
+        let scott = auto_bins(&xs, BinRule::Scott).unwrap();
+        let fd = auto_bins(&xs, BinRule::FreedmanDiaconis).unwrap();
+        assert!(scott >= 1 && scott <= 512);
+        assert!(fd >= 1 && fd <= 512);
+    }
+
+    #[test]
+    fn auto_bins_constant_data_falls_back() {
+        let xs = vec![3.0; 50];
+        assert_eq!(auto_bins(&xs, BinRule::FreedmanDiaconis).unwrap(), 1);
+        assert_eq!(auto_bins(&xs, BinRule::Scott).unwrap(), 1);
+    }
+
+    #[test]
+    fn overlap_identical_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_data_with_range(&xs, 0.0, 100.0, 10).unwrap();
+        assert!((h.overlap(&h).unwrap() - 1.0).abs() < 1e-12);
+        let g = Histogram::from_data_with_range(&xs, 0.0, 100.0, 11).unwrap();
+        assert!(h.overlap(&g).is_err());
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::from_data(&[], 4).is_err());
+    }
+
+    #[test]
+    fn density_at_point() {
+        // Uniform mass over [0,1] with 4 bins → density 1 everywhere.
+        let h = Histogram::from_masses(&[1.0, 1.0, 1.0, 1.0], 0.0, 1.0).unwrap();
+        assert!((h.density_at(0.1) - 1.0).abs() < 1e-12);
+        assert!((h.density_at(0.9) - 1.0).abs() < 1e-12);
+        assert_eq!(h.density_at(2.0), 0.0);
+    }
+}

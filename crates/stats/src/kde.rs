@@ -1,0 +1,259 @@
+//! Gaussian kernel density estimation.
+//!
+//! The paper visualizes every performance distribution as a KDE
+//! (Section IV-E) and its violin plots of KS scores are KDEs too. The
+//! reconstruction side of the PearsonRnd representation also passes through
+//! a KDE: predicted moments → Pearson samples → smooth density.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive;
+use crate::error::{ensure_finite, ensure_len};
+use crate::moments::Moments;
+use crate::{Result, StatsError};
+
+/// Bandwidth selection rules for Gaussian KDE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb:
+    /// `0.9 · min(σ̂, IQR/1.34) · n^{-1/5}`.
+    Silverman,
+    /// Scott's rule: `1.06 · σ̂ · n^{-1/5}`.
+    Scott,
+    /// A fixed, user-supplied bandwidth (must be positive).
+    Fixed(f64),
+}
+
+/// A Gaussian kernel density estimate over a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE to `xs` with the given bandwidth rule.
+    ///
+    /// Degenerate samples (zero spread) get a small floor bandwidth so the
+    /// estimate stays a proper density.
+    ///
+    /// # Errors
+    /// Fails on empty/non-finite input or a non-positive fixed bandwidth.
+    pub fn fit(xs: &[f64], rule: Bandwidth) -> Result<Self> {
+        ensure_len("Kde::fit", xs, 1)?;
+        ensure_finite("Kde::fit", xs)?;
+        let n = xs.len() as f64;
+        let m = Moments::from_slice(xs);
+        let sigma = m.sample_std();
+        let h = match rule {
+            Bandwidth::Silverman => {
+                let iqr = descriptive::iqr(xs)?;
+                let spread = if iqr > 0.0 {
+                    sigma.min(iqr / 1.34)
+                } else {
+                    sigma
+                };
+                0.9 * spread * n.powf(-0.2)
+            }
+            Bandwidth::Scott => 1.06 * sigma * n.powf(-0.2),
+            Bandwidth::Fixed(h) => {
+                if !(h.is_finite() && h > 0.0) {
+                    return Err(StatsError::invalid("Kde::fit", format!("bandwidth {h}")));
+                }
+                h
+            }
+        };
+        // Degenerate sample: fall back to a tiny bandwidth relative to the
+        // data magnitude so pdf() does not blow up to a delta.
+        let h = if h > 0.0 {
+            h
+        } else {
+            let scale = m.mean().abs().max(1.0);
+            1e-3 * scale
+        };
+        Ok(Kde {
+            data: xs.to_vec(),
+            bandwidth: h,
+        })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the KDE holds no data (never true for a fitted value).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Density estimate at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.data.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.data
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Smoothed CDF at `x` (average of per-kernel normal CDFs).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        self.data
+            .iter()
+            .map(|&xi| crate::special::normal_cdf((x - xi) / h))
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// Evaluates the density on a regular grid of `m ≥ 2` points over
+    /// `[lo, hi]`, returning `(x, pdf(x))` pairs.
+    pub fn grid(&self, lo: f64, hi: f64, m: usize) -> Vec<(f64, f64)> {
+        let m = m.max(2);
+        (0..m)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (m - 1) as f64;
+                (x, self.pdf(x))
+            })
+            .collect()
+    }
+
+    /// A natural plotting range: data range padded by 3 bandwidths.
+    pub fn support(&self) -> (f64, f64) {
+        let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo - 3.0 * self.bandwidth, hi + 3.0 * self.bandwidth)
+    }
+
+    /// Draws `n` samples from the KDE (data point + Gaussian noise).
+    pub fn sample_n<R: rand::Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let i = rng.gen_range(0..self.data.len());
+                self.data[i] + self.bandwidth * crate::samplers::standard_normal(rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::samplers::{Normal, Sampler};
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.31).sin() * 2.0).collect();
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        let (lo, hi) = kde.support();
+        let m = 2000;
+        let h = (hi - lo) / m as f64;
+        let integral: f64 = (0..m).map(|i| kde.pdf(lo + (i as f64 + 0.5) * h) * h).sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn recovers_normal_density_shape() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs = d.sample_n(&mut rng, 5000);
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        // Peak near 0 with density close to φ(0) ≈ 0.3989.
+        assert!((kde.pdf(0.0) - 0.3989).abs() < 0.05);
+        // Symmetric-ish.
+        assert!((kde.pdf(1.0) - kde.pdf(-1.0)).abs() < 0.03);
+        // Tail is small.
+        assert!(kde.pdf(5.0) < 0.01);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 17) as f64).collect();
+        let kde = Kde::fit(&xs, Bandwidth::Scott).unwrap();
+        let mut prev = 0.0;
+        for i in -5..25 {
+            let c = kde.cdf(i as f64);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(kde.cdf(-100.0) < 1e-6);
+        assert!(kde.cdf(100.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn bimodal_data_has_two_peaks() {
+        let mut xs: Vec<f64> = Vec::new();
+        let d1 = Normal::new(-3.0, 0.4).unwrap();
+        let d2 = Normal::new(3.0, 0.4).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        xs.extend(d1.sample_n(&mut rng, 1000));
+        xs.extend(d2.sample_n(&mut rng, 1000));
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        let peak_l = kde.pdf(-3.0);
+        let peak_r = kde.pdf(3.0);
+        let valley = kde.pdf(0.0);
+        assert!(peak_l > 3.0 * valley);
+        assert!(peak_r > 3.0 * valley);
+    }
+
+    #[test]
+    fn degenerate_sample_still_valid_density() {
+        let xs = vec![5.0; 20];
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.pdf(5.0).is_finite());
+        assert!(kde.pdf(5.0) > 0.0);
+    }
+
+    #[test]
+    fn fixed_bandwidth_is_respected() {
+        let xs = [0.0, 1.0, 2.0];
+        let kde = Kde::fit(&xs, Bandwidth::Fixed(0.25)).unwrap();
+        assert_eq!(kde.bandwidth(), 0.25);
+        assert!(Kde::fit(&xs, Bandwidth::Fixed(0.0)).is_err());
+        assert!(Kde::fit(&xs, Bandwidth::Fixed(-1.0)).is_err());
+    }
+
+    #[test]
+    fn sampling_from_kde_resembles_data() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let xs = d.sample_n(&mut rng, 2000);
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        let ys = kde.sample_n(&mut rng, 2000);
+        let m = Moments::from_slice(&ys);
+        assert!((m.mean() - 10.0).abs() < 0.3);
+        assert!((m.population_std() - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn grid_has_requested_shape() {
+        let xs = [0.0, 1.0];
+        let kde = Kde::fit(&xs, Bandwidth::Fixed(0.5)).unwrap();
+        let g = kde.grid(-1.0, 2.0, 7);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g[0].0, -1.0);
+        assert_eq!(g[6].0, 2.0);
+        // Degenerate request is bumped to 2 points.
+        assert_eq!(kde.grid(0.0, 1.0, 1).len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Kde::fit(&[], Bandwidth::Silverman).is_err());
+        assert!(Kde::fit(&[f64::NAN], Bandwidth::Scott).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal dense linear algebra: small matrices and LU solves.
+//!
+//! Sized for the workloads in this workspace — the MaxEnt Newton step
+//! solves a 5×5 system, covariance summaries are tens of columns — so a
+//! straightforward partial-pivoting LU is the right tool (no blocking, no
+//! SIMD heroics).
+
+use crate::{Result, StatsError};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    /// Fails when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(StatsError::invalid(
+                "Matrix::from_rows",
+                format!("expected {} elements, got {}", rows * cols, data.len()),
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of a row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(StatsError::invalid(
+                "Matrix::matvec",
+                format!("matrix is {}×{}, vector has {}", self.rows, self.cols, x.len()),
+            ));
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Adds `lambda` to every diagonal entry (ridge regularization for
+    /// near-singular Newton systems).
+    pub fn add_ridge(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves `A x = b` by LU decomposition with partial pivoting.
+///
+/// `a` is consumed by value because the factorization is in-place.
+///
+/// # Errors
+/// Fails when `A` is not square, dimensions mismatch, or `A` is singular
+/// to working precision.
+pub fn lu_solve(mut a: Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(StatsError::invalid("lu_solve", "matrix must be square"));
+    }
+    if b.len() != n {
+        return Err(StatsError::invalid(
+            "lu_solve",
+            format!("rhs has {} entries for an {n}×{n} system", b.len()),
+        ));
+    }
+    let mut x = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        let mut p = k;
+        let mut best = a[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = a[(r, k)].abs();
+            if v > best {
+                best = v;
+                p = r;
+            }
+        }
+        if best < 1e-300 {
+            return Err(StatsError::SingularMatrix { what: "lu_solve" });
+        }
+        if p != k {
+            for c in 0..n {
+                let tmp = a[(k, c)];
+                a[(k, c)] = a[(p, c)];
+                a[(p, c)] = tmp;
+            }
+            x.swap(k, p);
+            perm.swap(k, p);
+        }
+        // Eliminate below the pivot.
+        for r in (k + 1)..n {
+            let factor = a[(r, k)] / a[(k, k)];
+            a[(r, k)] = 0.0;
+            for c in (k + 1)..n {
+                let akc = a[(k, c)];
+                a[(r, c)] -= factor * akc;
+            }
+            x[r] -= factor * x[k];
+        }
+    }
+
+    // Back substitution.
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for c in (k + 1)..n {
+            s -= a[(k, c)] * x[c];
+        }
+        x[k] = s / a[(k, k)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = lu_solve(a, &b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solves_known_2x2() {
+        // 2x + y = 5; x - y = 1 → x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]).unwrap();
+        let x = lu_solve(a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Zero on the initial pivot forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = lu_solve(a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        // Deterministic well-conditioned matrix: diagonally dominant.
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 17) % 13) as f64 / 13.0;
+            }
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = lu_solve(a.clone(), &b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            lu_solve(a, &[1.0, 2.0]),
+            Err(StatsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lu_solve(a, &[1.0, 2.0]).is_err());
+        let a = Matrix::identity(2);
+        assert!(lu_solve(a, &[1.0]).is_err());
+        assert!(Matrix::from_rows(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn ridge_moves_singular_to_solvable() {
+        let mut a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        a.add_ridge(0.5);
+        let x = lu_solve(a, &[1.0, 1.0]).unwrap();
+        // (1.5 1; 1 1.5) x = (1,1) → x = (0.4, 0.4)
+        assert!((x[0] - 0.4).abs() < 1e-12);
+        assert!((x[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_and_indexing() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+}

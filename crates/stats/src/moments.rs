@@ -1,0 +1,492 @@
+//! Numerically stable, mergeable moment accumulation.
+//!
+//! The paper represents both application profiles and performance
+//! distributions by their first four moments (mean, standard deviation,
+//! skewness, kurtosis — Section III-B). This module implements the one-pass
+//! update formulas of Pébay (2008) for the central moments `M2..M4`, plus
+//! the pairwise *merge* rule, which makes the accumulator usable as a
+//! rayon reduction identity: accumulating a slice in chunks on different
+//! threads and merging gives bit-for-bit deterministic results for a fixed
+//! chunking, and numerically identical statistics for any chunking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// One-pass accumulator for count, mean, and 2nd–4th central moments.
+///
+/// ```
+/// use pv_stats::Moments;
+/// let mut m = Moments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates all values of a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Moments::new();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        // Order matters: each update uses the *previous* lower moments.
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Pébay's pairwise rule).
+    ///
+    /// Associative and commutative up to floating-point rounding, which is
+    /// what makes parallel reduction with rayon meaningful.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of accumulated observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation seen (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population (biased, `/n`) variance.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (unbiased, `/(n-1)`) variance; 0 when fewer than 2 points.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population skewness `g1 = m3 / m2^{3/2}` (0 for degenerate input).
+    ///
+    /// This is the *moment* definition used by MATLAB's `skewness(x)` and
+    /// NumPy/SciPy's `skew(x)` with default bias, matching what the paper's
+    /// Python/MATLAB pipeline computes.
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        let m3 = self.m3 / n;
+        m3 / m2.powf(1.5)
+    }
+
+    /// Population kurtosis `m4 / m2²` (the *non-excess* convention: a
+    /// normal distribution has kurtosis 3). MATLAB's `kurtosis(x)` and
+    /// `pearsrnd` use this convention; degenerate input returns 3.
+    pub fn kurtosis(&self) -> f64 {
+        if self.n == 0 || self.m2 <= 0.0 {
+            return 3.0;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        let m4 = self.m4 / n;
+        m4 / (m2 * m2)
+    }
+
+    /// Excess kurtosis (`kurtosis() - 3`).
+    pub fn excess_kurtosis(&self) -> f64 {
+        self.kurtosis() - 3.0
+    }
+
+    /// Freezes the accumulator into a [`MomentSummary`].
+    pub fn summary(&self) -> MomentSummary {
+        MomentSummary {
+            mean: self.mean(),
+            std: self.population_std(),
+            skewness: self.skewness(),
+            kurtosis: self.kurtosis(),
+        }
+    }
+}
+
+/// The paper's four-moment description of a distribution: mean, standard
+/// deviation, skewness, and (non-excess) kurtosis.
+///
+/// This struct is the lingua franca between the statistical substrate, the
+/// Pearson system (`pv-pearson`), the maximum-entropy reconstruction
+/// (`pv-maxent`), and the prediction pipelines (`pv-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MomentSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Moment skewness `m3 / m2^{3/2}`.
+    pub skewness: f64,
+    /// Non-excess kurtosis `m4 / m2²` (normal = 3).
+    pub kurtosis: f64,
+}
+
+impl MomentSummary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Errors
+    /// Fails when the sample is empty or contains non-finite values.
+    pub fn from_sample(xs: &[f64]) -> Result<Self> {
+        ensure_len("moment summary", xs, 1)?;
+        ensure_finite("moment summary", xs)?;
+        Ok(Moments::from_slice(xs).summary())
+    }
+
+    /// The summary of a standard normal distribution.
+    pub fn standard_normal() -> Self {
+        MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        }
+    }
+
+    /// Squared skewness, the Pearson-plane coordinate β₁.
+    pub fn beta1(&self) -> f64 {
+        self.skewness * self.skewness
+    }
+
+    /// Kurtosis, the Pearson-plane coordinate β₂.
+    pub fn beta2(&self) -> f64 {
+        self.kurtosis
+    }
+
+    /// Whether (β₁, β₂) lies in the feasible region `β₂ ≥ β₁ + 1` (a hard
+    /// constraint any real distribution satisfies).
+    pub fn is_feasible(&self) -> bool {
+        self.std >= 0.0 && self.kurtosis >= self.beta1() + 1.0
+    }
+
+    /// Projects an infeasible (β₁, β₂) pair to the closest feasible point by
+    /// raising kurtosis to `β₁ + 1 + margin`. Predicted moment vectors from
+    /// a regression model can be slightly infeasible; the paper's pipeline
+    /// must still reconstruct *a* distribution from them.
+    pub fn clamped_feasible(&self, margin: f64) -> Self {
+        let mut out = *self;
+        if !out.std.is_finite() || out.std < 0.0 {
+            out.std = 0.0;
+        }
+        let floor = out.beta1() + 1.0 + margin;
+        if !(out.kurtosis >= floor) {
+            out.kurtosis = floor;
+        }
+        out
+    }
+
+    /// Packs the summary into a fixed-order feature vector
+    /// `[mean, std, skewness, kurtosis]`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![self.mean, self.std, self.skewness, self.kurtosis]
+    }
+
+    /// Inverse of [`MomentSummary::to_vec`].
+    ///
+    /// # Errors
+    /// Fails when the slice does not hold exactly four values.
+    pub fn from_vec(v: &[f64]) -> Result<Self> {
+        if v.len() != 4 {
+            return Err(StatsError::invalid(
+                "moment summary",
+                format!("expected 4 values, got {}", v.len()),
+            ));
+        }
+        Ok(MomentSummary {
+            mean: v[0],
+            std: v[1],
+            skewness: v[2],
+            kurtosis: v[3],
+        })
+    }
+}
+
+/// Convenience: mean of a slice.
+///
+/// # Errors
+/// Fails on empty or non-finite input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    ensure_len("mean", xs, 1)?;
+    ensure_finite("mean", xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Convenience: sample variance (`/(n-1)`) of a slice.
+///
+/// # Errors
+/// Fails when fewer than two observations are provided.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    ensure_len("sample variance", xs, 2)?;
+    ensure_finite("sample variance", xs)?;
+    Ok(Moments::from_slice(xs).sample_variance())
+}
+
+/// Convenience: sample standard deviation of a slice.
+///
+/// # Errors
+/// Fails when fewer than two observations are provided.
+pub fn sample_std(xs: &[f64]) -> Result<f64> {
+    Ok(sample_variance(xs)?.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_accumulator_is_benign() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.skewness(), 0.0);
+        assert_eq!(m.kurtosis(), 3.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let m = Moments::from_slice(&[42.0]);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), 42.0);
+        assert_eq!(m.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_naive_two_pass_computation() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 7.0 - 3.0).collect();
+        let m = Moments::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mu = xs.iter().sum::<f64>() / n;
+        let c2 = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+        let c3 = xs.iter().map(|x| (x - mu).powi(3)).sum::<f64>() / n;
+        let c4 = xs.iter().map(|x| (x - mu).powi(4)).sum::<f64>() / n;
+        assert!(close(m.mean(), mu, 1e-12));
+        assert!(close(m.population_variance(), c2, 1e-12));
+        assert!(close(m.skewness(), c3 / c2.powf(1.5), 1e-10));
+        assert!(close(m.kurtosis(), c4 / (c2 * c2), 1e-10));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let seq = Moments::from_slice(&xs);
+        for split in [1, 17, 500, 999] {
+            let mut a = Moments::from_slice(&xs[..split]);
+            let b = Moments::from_slice(&xs[split..]);
+            a.merge(&b);
+            assert_eq!(a.count(), seq.count());
+            assert!(close(a.mean(), seq.mean(), 1e-12));
+            assert!(close(a.population_variance(), seq.population_variance(), 1e-10));
+            assert!(close(a.skewness(), seq.skewness(), 1e-8));
+            assert!(close(a.kurtosis(), seq.kurtosis(), 1e-8));
+            assert_eq!(a.min(), seq.min());
+            assert_eq!(a.max(), seq.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.5];
+        let mut a = Moments::from_slice(&xs);
+        let before = a;
+        a.merge(&Moments::new());
+        assert_eq!(a, before);
+
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn skewness_sign_tracks_tail_direction() {
+        // Right-skewed sample (long right tail) → positive skewness.
+        let right: Vec<f64> = vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 8.0, 20.0];
+        assert!(Moments::from_slice(&right).skewness() > 0.5);
+        // Mirrored sample → negative skewness of the same magnitude.
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        let s_r = Moments::from_slice(&right).skewness();
+        let s_l = Moments::from_slice(&left).skewness();
+        assert!(close(s_l, -s_r, 1e-12));
+    }
+
+    #[test]
+    fn kurtosis_of_two_point_symmetric_distribution_is_one() {
+        // ±1 with equal probability: m4/m2² = 1, the theoretical minimum.
+        let xs = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!(close(Moments::from_slice(&xs).kurtosis(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn shift_invariance_of_central_moments() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).cos()).collect();
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1e6).collect();
+        let a = Moments::from_slice(&xs);
+        let b = Moments::from_slice(&shifted);
+        assert!(close(a.population_variance(), b.population_variance(), 1e-6));
+        assert!(close(a.skewness(), b.skewness(), 1e-4));
+        assert!(close(a.kurtosis(), b.kurtosis(), 1e-4));
+    }
+
+    #[test]
+    fn summary_roundtrip_through_vec() {
+        let s = MomentSummary {
+            mean: 1.5,
+            std: 0.25,
+            skewness: -0.4,
+            kurtosis: 3.6,
+        };
+        let v = s.to_vec();
+        let back = MomentSummary::from_vec(&v).unwrap();
+        assert_eq!(s, back);
+        assert!(MomentSummary::from_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn feasibility_clamp() {
+        let bad = MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: 2.0,
+            kurtosis: 2.0, // infeasible: needs ≥ 5
+        };
+        assert!(!bad.is_feasible());
+        let fixed = bad.clamped_feasible(0.1);
+        assert!(fixed.is_feasible());
+        assert!(close(fixed.kurtosis, 5.1, 1e-12));
+
+        let good = MomentSummary::standard_normal();
+        assert!(good.is_feasible());
+        assert_eq!(good.clamped_feasible(0.0), good);
+    }
+
+    #[test]
+    fn from_sample_validates_input() {
+        assert!(MomentSummary::from_sample(&[]).is_err());
+        assert!(MomentSummary::from_sample(&[1.0, f64::NAN]).is_err());
+        let s = MomentSummary::from_sample(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(close(s.mean, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn convenience_helpers() {
+        assert!(close(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0, 1e-12));
+        assert!(close(sample_variance(&[1.0, 2.0, 3.0]).unwrap(), 1.0, 1e-12));
+        assert!(close(sample_std(&[1.0, 2.0, 3.0]).unwrap(), 1.0, 1e-12));
+        assert!(mean(&[]).is_err());
+        assert!(sample_variance(&[1.0]).is_err());
+    }
+}

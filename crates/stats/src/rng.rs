@@ -1,0 +1,238 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! Every experiment in the workspace must be reproducible byte-for-byte
+//! from a single `u64` seed, *independently of thread count*. The pattern
+//! used throughout is:
+//!
+//! 1. the experiment owns a root seed,
+//! 2. each parallel work item derives its own generator with
+//!    [`derive_stream`] from `(root_seed, item_index)`,
+//! 3. nothing ever shares a generator across rayon tasks.
+//!
+//! The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
+//! through SplitMix64 as its authors recommend. It implements
+//! [`rand::RngCore`]/[`rand::SeedableRng`] so it composes with the `rand`
+//! ecosystem APIs used elsewhere in the workspace.
+
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64 step: the canonical 64-bit seed expander.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a seed and a stream index into an independent child seed.
+///
+/// Used to give each parallel work item (benchmark, tree, fold, …) its own
+/// RNG stream so results do not depend on scheduling order.
+#[inline]
+pub fn derive_stream(seed: u64, stream: u64) -> u64 {
+    // Feed both words through SplitMix64 twice; the golden-ratio increment
+    // guarantees distinct, decorrelated outputs for distinct inputs.
+    let mut s = seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    a ^ b.rotate_left(32)
+}
+
+/// xoshiro256++ generator.
+///
+/// ```
+/// use pv_stats::rng::Xoshiro256pp;
+/// use rand::{Rng, SeedableRng};
+/// let mut rng = Xoshiro256pp::seed_from_u64(42);
+/// let x: f64 = rng.gen(); // uniform in [0, 1)
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator for the given `(seed, stream)` pair; see
+    /// [`derive_stream`].
+    pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
+        Self::seed_from_u64(derive_stream(seed, stream))
+    }
+
+    /// Next uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // All-zero state is a fixed point; nudge it.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(123);
+        let mut b = Xoshiro256pp::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_stream_produces_distinct_streams() {
+        let seeds: Vec<u64> = (0..1000).map(|i| derive_stream(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "stream seeds must be unique");
+    }
+
+    #[test]
+    fn derive_stream_depends_on_both_arguments() {
+        assert_ne!(derive_stream(1, 0), derive_stream(2, 0));
+        assert_ne!(derive_stream(1, 0), derive_stream(1, 1));
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval_and_covers_it() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01, "low tail not covered: {lo}");
+        assert!(hi > 0.99, "high tail not covered: {hi}");
+    }
+
+    #[test]
+    fn uniform_mean_is_one_half() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // Can't assert randomness, but must not panic and (for len >= 8)
+            // should not be all zeros with overwhelming probability.
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_seed_state_is_escaped() {
+        let rng = Xoshiro256pp::from_seed([0u8; 32]);
+        let mut rng = rng;
+        // Must produce non-zero output.
+        assert!((0..8).any(|_| rng.next_u64() != 0));
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y: u32 = rng.gen_range(0..10);
+        assert!(y < 10);
+    }
+}

@@ -1,0 +1,753 @@
+//! Random-variate samplers and analytic distribution objects.
+//!
+//! `rand` 0.8 without `rand_distr` only ships uniform sampling, so the
+//! distribution families needed by the Pearson system (`pv-pearson`) and
+//! the system simulator (`pv-sysmodel`) are implemented here from scratch:
+//! normal (Marsaglia polar), gamma (Marsaglia–Tsang), beta, chi-square,
+//! Student-t, log-normal, exponential, Pareto, triangular, and finite
+//! mixtures.
+//!
+//! Each sampler is a small value type with a validated constructor, a
+//! `sample` method generic over [`rand::Rng`], and — where the reproduction
+//! needs it — `pdf`/`cdf`/analytic moments used by tests.
+
+use rand::Rng;
+
+use crate::special::{gamma_cdf, ln_gamma, normal_cdf};
+use crate::{Result, StatsError};
+
+/// Common sampling interface for one-dimensional distributions.
+pub trait Sampler {
+    /// Draws one variate.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` variates into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Location.
+    pub mean: f64,
+    /// Scale (standard deviation), strictly positive.
+    pub std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    /// Fails when `std` is not finite and positive.
+    pub fn new(mean: f64, std: f64) -> Result<Self> {
+        if !(std.is_finite() && std > 0.0 && mean.is_finite()) {
+            return Err(StatsError::invalid(
+                "Normal",
+                format!("mean={mean}, std={std}"),
+            ));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, std: 1.0 }
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mean) / self.std)
+    }
+}
+
+/// Draws one standard-normal variate via the Marsaglia polar method.
+///
+/// Stateless (no cached spare value) so it is safe to call from any sampler
+/// without carrying state; the rejection loop accepts with probability π/4.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Std of the underlying normal, strictly positive.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal
+    /// parameters.
+    ///
+    /// # Errors
+    /// Fails when `sigma` is not finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma.is_finite() && sigma > 0.0 && mu.is_finite()) {
+            return Err(StatsError::invalid(
+                "LogNormal",
+                format!("mu={mu}, sigma={sigma}"),
+            ));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Analytic mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (1 / mean), strictly positive.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    /// Fails when `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::invalid("Exponential", format!("lambda={lambda}")));
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1-U avoids ln(0).
+        -(1.0 - rng.gen::<f64>()).ln() / self.lambda
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    /// Shape, strictly positive.
+    pub shape: f64,
+    /// Scale, strictly positive.
+    pub scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution.
+    ///
+    /// # Errors
+    /// Fails when either parameter is not finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0) {
+            return Err(StatsError::invalid(
+                "Gamma",
+                format!("shape={shape}, scale={scale}"),
+            ));
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    /// Analytic mean `k·θ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Analytic variance `k·θ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let t = self.scale;
+        ((k - 1.0) * x.ln() - x / t - ln_gamma(k) - k * t.ln()).exp()
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        gamma_cdf(x, self.shape, self.scale)
+    }
+}
+
+/// Marsaglia–Tsang (2000) gamma variate with shape `k ≥ 1`, scale 1.
+fn gamma_variate_shape_ge1<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = rng.gen::<f64>();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+impl Sampler for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = if self.shape >= 1.0 {
+            gamma_variate_shape_ge1(rng, self.shape)
+        } else {
+            // Boost: G(k) = G(k+1) · U^{1/k}
+            let g = gamma_variate_shape_ge1(rng, self.shape + 1.0);
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            g * u.powf(1.0 / self.shape)
+        };
+        raw * self.scale
+    }
+}
+
+/// Chi-square distribution with `k` degrees of freedom (= Gamma(k/2, 2)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// Degrees of freedom, strictly positive.
+    pub dof: f64,
+}
+
+impl ChiSquare {
+    /// Creates a chi-square distribution.
+    ///
+    /// # Errors
+    /// Fails when `dof` is not finite and positive.
+    pub fn new(dof: f64) -> Result<Self> {
+        if !(dof.is_finite() && dof > 0.0) {
+            return Err(StatsError::invalid("ChiSquare", format!("dof={dof}")));
+        }
+        Ok(ChiSquare { dof })
+    }
+}
+
+impl Sampler for ChiSquare {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Gamma {
+            shape: self.dof / 2.0,
+            scale: 2.0,
+        }
+        .sample(rng)
+    }
+}
+
+/// Beta distribution on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    /// First shape, strictly positive.
+    pub alpha: f64,
+    /// Second shape, strictly positive.
+    pub beta: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution.
+    ///
+    /// # Errors
+    /// Fails when either shape is not finite and positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0) {
+            return Err(StatsError::invalid(
+                "Beta",
+                format!("alpha={alpha}, beta={beta}"),
+            ));
+        }
+        Ok(Beta { alpha, beta })
+    }
+
+    /// Analytic mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        crate::special::beta_cdf(x, self.alpha, self.beta)
+    }
+}
+
+impl Sampler for Beta {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = Gamma {
+            shape: self.alpha,
+            scale: 1.0,
+        }
+        .sample(rng);
+        let y = Gamma {
+            shape: self.beta,
+            scale: 1.0,
+        }
+        .sample(rng);
+        let s = x + y;
+        if s > 0.0 {
+            x / s
+        } else {
+            // Both gammas underflowed to zero (possible for very small
+            // shapes, where Beta(α, β) → Bernoulli(α/(α+β)) on {0, 1}).
+            if rng.gen::<f64>() < self.alpha / (self.alpha + self.beta) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Student-t distribution with `nu` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    /// Degrees of freedom, strictly positive.
+    pub dof: f64,
+}
+
+impl StudentT {
+    /// Creates a Student-t distribution.
+    ///
+    /// # Errors
+    /// Fails when `dof` is not finite and positive.
+    pub fn new(dof: f64) -> Result<Self> {
+        if !(dof.is_finite() && dof > 0.0) {
+            return Err(StatsError::invalid("StudentT", format!("dof={dof}")));
+        }
+        Ok(StudentT { dof })
+    }
+
+    /// CDF at `t`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        crate::special::student_t_cdf(t, self.dof)
+    }
+}
+
+impl Sampler for StudentT {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        let w = ChiSquare { dof: self.dof }.sample(rng);
+        z / (w / self.dof).sqrt()
+    }
+}
+
+/// Pareto (type I) distribution: heavy right tail, minimum `scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (x_m), strictly positive.
+    pub scale: f64,
+    /// Tail index α, strictly positive (smaller = heavier tail).
+    pub shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    /// Fails when either parameter is not finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self> {
+        if !(scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0) {
+            return Err(StatsError::invalid(
+                "Pareto",
+                format!("scale={scale}, shape={shape}"),
+            ));
+        }
+        Ok(Pareto { scale, shape })
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = (1.0 - rng.gen::<f64>()).max(1e-300);
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Triangular distribution on `[lo, hi]` with mode `mode`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    /// Lower bound.
+    pub lo: f64,
+    /// Mode (peak), in `[lo, hi]`.
+    pub mode: f64,
+    /// Upper bound, `> lo`.
+    pub hi: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular distribution.
+    ///
+    /// # Errors
+    /// Fails unless `lo ≤ mode ≤ hi` and `lo < hi`.
+    pub fn new(lo: f64, mode: f64, hi: f64) -> Result<Self> {
+        if !(lo < hi && (lo..=hi).contains(&mode)) {
+            return Err(StatsError::invalid(
+                "Triangular",
+                format!("lo={lo}, mode={mode}, hi={hi}"),
+            ));
+        }
+        Ok(Triangular { lo, mode, hi })
+    }
+}
+
+impl Sampler for Triangular {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let fc = (self.mode - self.lo) / (self.hi - self.lo);
+        if u < fc {
+            self.lo + ((self.hi - self.lo) * (self.mode - self.lo) * u).sqrt()
+        } else {
+            self.hi - ((self.hi - self.lo) * (self.hi - self.mode) * (1.0 - u)).sqrt()
+        }
+    }
+}
+
+/// A finite mixture of arbitrary boxed samplers with given weights.
+///
+/// [`Mixture::sample_with_component`] also reports *which* component fired,
+/// which the system simulator uses to correlate perf-counter readings with
+/// the performance mode a run landed in.
+pub struct Mixture {
+    components: Vec<Box<dyn DynSampler + Send + Sync>>,
+    cumulative: Vec<f64>,
+}
+
+/// Object-safe sampling interface used by [`Mixture`].
+pub trait DynSampler {
+    /// Draws one variate using the supplied RNG through a dyn-compatible
+    /// signature.
+    fn sample_dyn(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+impl<T: Sampler> DynSampler for T {
+    fn sample_dyn(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample(rng)
+    }
+}
+
+/// Sized adapter that lets a `?Sized` generic RNG cross the `dyn RngCore`
+/// boundary inside [`Mixture`].
+struct RngShim<'a, R: Rng + ?Sized>(&'a mut R);
+
+impl<R: Rng + ?Sized> rand::RngCore for RngShim<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs; weights are
+    /// normalized internally.
+    ///
+    /// # Errors
+    /// Fails when no component is given or a weight is negative/non-finite.
+    pub fn new(parts: Vec<(f64, Box<dyn DynSampler + Send + Sync>)>) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(StatsError::invalid("Mixture", "no components"));
+        }
+        let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+        if !(total.is_finite() && total > 0.0) || parts.iter().any(|(w, _)| *w < 0.0) {
+            return Err(StatsError::invalid("Mixture", "weights must be ≥ 0 and sum > 0"));
+        }
+        let mut cumulative = Vec::with_capacity(parts.len());
+        let mut acc = 0.0;
+        let mut components = Vec::with_capacity(parts.len());
+        for (w, c) in parts {
+            acc += w / total;
+            cumulative.push(acc);
+            components.push(c);
+        }
+        // Guard against rounding: the last boundary must be exactly 1.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Ok(Mixture {
+            components,
+            cumulative,
+        })
+    }
+
+    /// Number of mixture components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Draws one variate and the index of the component that produced it.
+    pub fn sample_with_component<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, usize) {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+        {
+            Some(i) => i,
+            None => self.components.len() - 1,
+        };
+        (self.components[idx].sample_dyn(&mut RngShim(rng)), idx)
+    }
+}
+
+impl Sampler for Mixture {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_with_component(rng).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::Moments;
+    use crate::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    const N: usize = 60_000;
+
+    fn draw<S: Sampler>(s: &S, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        s.sample_n(&mut rng, N)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let m = Moments::from_slice(&draw(&d, 1));
+        assert!((m.mean() - 3.0).abs() < 0.05);
+        assert!((m.population_std() - 2.0).abs() < 0.05);
+        assert!(m.skewness().abs() < 0.08);
+        assert!((m.kurtosis() - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn normal_pdf_cdf_consistency() {
+        let d = Normal::standard();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((d.pdf(0.0) - 0.3989422804).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_analytic() {
+        let d = LogNormal::new(0.5, 0.4).unwrap();
+        let m = Moments::from_slice(&draw(&d, 2));
+        assert!((m.mean() - d.mean()).abs() / d.mean() < 0.02);
+        // Log-normal is right-skewed.
+        assert!(m.skewness() > 0.5);
+    }
+
+    #[test]
+    fn exponential_moments_and_cdf() {
+        let d = Exponential::new(2.0).unwrap();
+        let m = Moments::from_slice(&draw(&d, 3));
+        assert!((m.mean() - 0.5).abs() < 0.02);
+        assert!((m.population_std() - 0.5).abs() < 0.02);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let d = Gamma::new(4.0, 0.5).unwrap();
+        let m = Moments::from_slice(&draw(&d, 4));
+        assert!((m.mean() - d.mean()).abs() < 0.03);
+        assert!((m.population_variance() - d.variance()).abs() < 0.05);
+        // Gamma skewness = 2/√k = 1
+        assert!((m.skewness() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let d = Gamma::new(0.5, 2.0).unwrap();
+        let m = Moments::from_slice(&draw(&d, 5));
+        assert!((m.mean() - 1.0).abs() < 0.05);
+        // All samples must be positive.
+        assert!(draw(&d, 6).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_pdf_integrates_to_cdf() {
+        // Numeric check: ∫ pdf over [0, 3] ≈ CDF(3) for Gamma(2, 0.7)
+        let d = Gamma::new(2.0, 0.7).unwrap();
+        let n = 4000;
+        let h = 3.0 / n as f64;
+        let integral: f64 = (0..n)
+            .map(|i| d.pdf((i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - d.cdf(3.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn beta_mean_matches_analytic() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let xs = draw(&d, 7);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let m = Moments::from_slice(&xs);
+        assert!((m.mean() - d.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn chi_square_mean_is_dof() {
+        let d = ChiSquare::new(5.0).unwrap();
+        let m = Moments::from_slice(&draw(&d, 8));
+        assert!((m.mean() - 5.0).abs() < 0.1);
+        assert!((m.population_variance() - 10.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn student_t_is_symmetric_heavy_tailed() {
+        let d = StudentT::new(5.0).unwrap();
+        let m = Moments::from_slice(&draw(&d, 9));
+        assert!(m.mean().abs() < 0.05);
+        // Var = ν/(ν-2) = 5/3
+        assert!((m.population_variance() - 5.0 / 3.0).abs() < 0.15);
+        // Kurtosis = 3 + 6/(ν-4) = 9 in theory (slow convergence; just
+        // check it's clearly heavier than normal).
+        assert!(m.kurtosis() > 4.0);
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        let xs = draw(&d, 10);
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let m = Moments::from_slice(&xs);
+        // Mean = α/(α-1) = 1.5
+        assert!((m.mean() - 1.5).abs() < 0.05);
+        assert!(m.skewness() > 1.0, "Pareto must be strongly right-skewed");
+    }
+
+    #[test]
+    fn triangular_bounds_and_mean() {
+        let d = Triangular::new(0.0, 1.0, 4.0).unwrap();
+        let xs = draw(&d, 11);
+        assert!(xs.iter().all(|&x| (0.0..=4.0).contains(&x)));
+        let m = Moments::from_slice(&xs);
+        // Mean = (lo + mode + hi)/3 = 5/3
+        assert!((m.mean() - 5.0 / 3.0).abs() < 0.02);
+        assert!(Triangular::new(0.0, 5.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn mixture_weights_control_component_frequency() {
+        let mix = Mixture::new(vec![
+            (0.8, Box::new(Normal::new(0.0, 0.1).unwrap()) as _),
+            (0.2, Box::new(Normal::new(10.0, 0.1).unwrap()) as _),
+        ])
+        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let mut counts = [0usize; 2];
+        for _ in 0..N {
+            let (_, c) = mix.sample_with_component(&mut rng);
+            counts[c] += 1;
+        }
+        let frac0 = counts[0] as f64 / N as f64;
+        assert!((frac0 - 0.8).abs() < 0.01, "frac0 = {frac0}");
+        assert_eq!(mix.n_components(), 2);
+    }
+
+    #[test]
+    fn mixture_produces_bimodal_sample() {
+        let mix = Mixture::new(vec![
+            (0.5, Box::new(Normal::new(-5.0, 0.5).unwrap()) as _),
+            (0.5, Box::new(Normal::new(5.0, 0.5).unwrap()) as _),
+        ])
+        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let xs = mix.sample_n(&mut rng, N);
+        // Bimodal symmetric: mean ≈ 0, kurtosis ≈ 1 (two-point-like).
+        let m = Moments::from_slice(&xs);
+        assert!(m.mean().abs() < 0.1);
+        assert!(m.kurtosis() < 1.5);
+    }
+
+    #[test]
+    fn mixture_validates_inputs() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(
+            -1.0,
+            Box::new(Normal::standard()) as _
+        )])
+        .is_err());
+        assert!(Mixture::new(vec![(0.0, Box::new(Normal::standard()) as _)]).is_err());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let d = Gamma::new(2.0, 1.0).unwrap();
+        let a = draw(&d, 42);
+        let b = draw(&d, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Adaptive stopping rule for performance measurements.
+//!
+//! The paper's motivation section leans on two prior results: measuring
+//! too few runs misleads, and always measuring 1,000 wastes resources;
+//! Maricq et al. (OSDI '18) and Mittal et al. (PMBS '23) — both cited —
+//! answer *"how many runs are enough?"* with confidence-interval-based
+//! stopping. This module provides that tool so a `perfvar` user can
+//! decide when their measured sample is trustworthy enough to train on
+//! (or to skip prediction entirely).
+//!
+//! The rule: keep sampling until the bootstrap percentile CIs of the
+//! median **and** of a tail quantile (default p95) are both narrower than
+//! a target fraction of the median. Tail quantiles converge slowest, so
+//! gating on one protects exactly the distribution feature scalar
+//! summaries hide.
+
+use rand::Rng;
+
+use crate::bootstrap::bootstrap_ci;
+use crate::descriptive::quantile;
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// Configuration of the stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Two-sided confidence level of the bootstrap CIs (e.g. 0.95).
+    pub confidence: f64,
+    /// Maximum tolerated CI width as a fraction of the sample median
+    /// (e.g. 0.02 = CI no wider than 2% of the median).
+    pub relative_width: f64,
+    /// Tail quantile that must also converge (e.g. 0.95).
+    pub tail_quantile: f64,
+    /// Bootstrap replicates per check.
+    pub replicates: usize,
+    /// Minimum number of observations before the rule may fire.
+    pub min_samples: usize,
+}
+
+impl Default for StoppingRule {
+    fn default() -> Self {
+        StoppingRule {
+            confidence: 0.95,
+            relative_width: 0.02,
+            tail_quantile: 0.95,
+            replicates: 300,
+            min_samples: 10,
+        }
+    }
+}
+
+/// Outcome of a stopping-rule check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingDecision {
+    /// Whether the sample satisfies the rule.
+    pub stop: bool,
+    /// Relative CI width of the median.
+    pub median_rel_width: f64,
+    /// Relative CI width of the tail quantile.
+    pub tail_rel_width: f64,
+    /// Number of observations examined.
+    pub n: usize,
+}
+
+impl StoppingRule {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Fails on out-of-range parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0 < self.confidence && self.confidence < 1.0) {
+            return Err(StatsError::invalid("StoppingRule", "confidence ∉ (0,1)"));
+        }
+        if !(self.relative_width > 0.0) {
+            return Err(StatsError::invalid("StoppingRule", "relative_width ≤ 0"));
+        }
+        if !(0.0 < self.tail_quantile && self.tail_quantile < 1.0) {
+            return Err(StatsError::invalid("StoppingRule", "tail_quantile ∉ (0,1)"));
+        }
+        if self.replicates == 0 || self.min_samples < 2 {
+            return Err(StatsError::invalid(
+                "StoppingRule",
+                "replicates ≥ 1 and min_samples ≥ 2 required",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks whether `xs` (the runs measured so far) satisfies the rule.
+    ///
+    /// # Errors
+    /// Fails on invalid configuration or degenerate input (empty,
+    /// non-finite, or non-positive median).
+    pub fn check<R: Rng + ?Sized>(&self, rng: &mut R, xs: &[f64]) -> Result<StoppingDecision> {
+        self.validate()?;
+        ensure_len("StoppingRule::check", xs, 2)?;
+        ensure_finite("StoppingRule::check", xs)?;
+        let med = quantile(xs, 0.5)?;
+        if !(med > 0.0) {
+            return Err(StatsError::invalid(
+                "StoppingRule::check",
+                "median must be positive (run times)",
+            ));
+        }
+        let med_ci = bootstrap_ci(rng, xs, |s| quantile(s, 0.5).unwrap_or(f64::NAN), self.replicates, self.confidence)?;
+        let q = self.tail_quantile;
+        let tail_ci = bootstrap_ci(
+            rng,
+            xs,
+            move |s| quantile(s, q).unwrap_or(f64::NAN),
+            self.replicates,
+            self.confidence,
+        )?;
+        let median_rel_width = (med_ci.hi - med_ci.lo) / med;
+        let tail_rel_width = (tail_ci.hi - tail_ci.lo) / med;
+        let stop = xs.len() >= self.min_samples
+            && median_rel_width <= self.relative_width
+            && tail_rel_width <= self.relative_width;
+        Ok(StoppingDecision {
+            stop,
+            median_rel_width,
+            tail_rel_width,
+            n: xs.len(),
+        })
+    }
+
+    /// Runs the rule over a pre-collected sequence, returning the first
+    /// prefix length at which it fires (checking every `step` runs), or
+    /// `None` if it never does.
+    ///
+    /// # Errors
+    /// Propagates configuration/input failures from [`StoppingRule::check`].
+    pub fn first_sufficient_prefix<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        xs: &[f64],
+        step: usize,
+    ) -> Result<Option<usize>> {
+        self.validate()?;
+        let step = step.max(1);
+        let mut n = self.min_samples.max(2);
+        while n <= xs.len() {
+            if self.check(rng, &xs[..n])?.stop {
+                return Ok(Some(n));
+            }
+            n += step;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::samplers::{LogNormal, Normal, Sampler};
+    use rand::SeedableRng;
+
+    #[test]
+    fn tight_distribution_stops_early() {
+        let d = Normal::new(100.0, 0.1).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs = d.sample_n(&mut rng, 500);
+        let rule = StoppingRule::default();
+        let n = rule
+            .first_sufficient_prefix(&mut rng, &xs, 10)
+            .unwrap()
+            .expect("should stop");
+        assert!(n <= 50, "stopped only at n = {n}");
+    }
+
+    #[test]
+    fn wide_tailed_distribution_needs_more_runs() {
+        let tight = Normal::new(100.0, 0.5).unwrap();
+        let heavy = LogNormal::new(100.0f64.ln(), 0.2).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let a = tight.sample_n(&mut rng, 800);
+        let b = heavy.sample_n(&mut rng, 800);
+        let rule = StoppingRule {
+            relative_width: 0.05,
+            ..StoppingRule::default()
+        };
+        let na = rule.first_sufficient_prefix(&mut rng, &a, 10).unwrap();
+        let nb = rule.first_sufficient_prefix(&mut rng, &b, 10).unwrap();
+        let na = na.unwrap_or(usize::MAX);
+        let nb = nb.unwrap_or(usize::MAX);
+        assert!(nb > na, "heavy-tailed {nb} vs tight {na}");
+    }
+
+    #[test]
+    fn decision_reports_widths() {
+        let d = Normal::new(10.0, 1.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let xs = d.sample_n(&mut rng, 100);
+        let rule = StoppingRule::default();
+        let dec = rule.check(&mut rng, &xs).unwrap();
+        assert_eq!(dec.n, 100);
+        assert!(dec.median_rel_width > 0.0);
+        assert!(dec.tail_rel_width > 0.0);
+        // With σ/μ = 10%, a 2% CI target is far from met at n = 100.
+        assert!(!dec.stop);
+    }
+
+    #[test]
+    fn min_samples_gates_the_rule() {
+        // Even a constant sample must not fire before min_samples.
+        let xs = vec![5.0; 8];
+        let rule = StoppingRule {
+            min_samples: 10,
+            ..StoppingRule::default()
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let dec = rule.check(&mut rng, &xs).unwrap();
+        assert!(!dec.stop);
+        let xs = vec![5.0; 10];
+        let dec = rule.check(&mut rng, &xs).unwrap();
+        assert!(dec.stop);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let xs = [1.0, 2.0, 3.0];
+        for bad in [
+            StoppingRule {
+                confidence: 1.5,
+                ..StoppingRule::default()
+            },
+            StoppingRule {
+                relative_width: 0.0,
+                ..StoppingRule::default()
+            },
+            StoppingRule {
+                tail_quantile: 1.0,
+                ..StoppingRule::default()
+            },
+            StoppingRule {
+                replicates: 0,
+                ..StoppingRule::default()
+            },
+        ] {
+            assert!(bad.check(&mut rng, &xs).is_err());
+        }
+        // Non-positive median rejected.
+        let rule = StoppingRule::default();
+        assert!(rule.check(&mut rng, &[-1.0, -2.0, -3.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Normal::new(50.0, 2.0).unwrap();
+        let mut r1 = Xoshiro256pp::seed_from_u64(6);
+        let xs = d.sample_n(&mut r1, 200);
+        let rule = StoppingRule::default();
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        assert_eq!(rule.check(&mut a, &xs).unwrap(), rule.check(&mut b, &xs).unwrap());
+    }
+}

@@ -1,0 +1,363 @@
+//! Latent microarchitectural character of a benchmark.
+//!
+//! Every benchmark in the roster gets a deterministic vector of latent
+//! traits — instruction mix, memory behaviour, synchronization pressure,
+//! runtime-system overhead, and so on. The traits are *the* hidden common
+//! cause in the simulation:
+//!
+//! * a system model maps traits → per-second perf-counter base rates
+//!   (what the profile features observe), and
+//! * the same traits → the non-determinism structure of the run-time
+//!   distribution (what the paper predicts).
+//!
+//! This mirrors why the paper's approach works on real hardware: the same
+//! microarchitectural behaviour that shows up in the counters also drives
+//! how variable the benchmark is.
+//!
+//! Traits are drawn around suite-specific priors (an NPB kernel is not a
+//! Spark MLlib job) with per-benchmark jitter, all seeded, so the whole
+//! corpus is a pure function of one `u64`.
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::rng::{derive_stream, Xoshiro256pp};
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::suites::{BenchmarkId, Suite};
+
+/// Latent traits of one benchmark; all fields except `base_time_s` are
+/// intensities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Character {
+    /// Arithmetic / ILP intensity.
+    pub compute: f64,
+    /// Memory-traffic intensity (cache + DRAM pressure).
+    pub memory: f64,
+    /// Sensitivity to cache/page allocation (coloring, conflict misses).
+    pub cache_sensitivity: f64,
+    /// Branch volume.
+    pub branchiness: f64,
+    /// Branch unpredictability.
+    pub branch_entropy: f64,
+    /// TLB pressure (working-set page count).
+    pub tlb_pressure: f64,
+    /// Sensitivity to NUMA placement.
+    pub numa_sensitivity: f64,
+    /// Synchronization / lock-contention intensity.
+    pub sync_intensity: f64,
+    /// I/O and syscall rate.
+    pub io_rate: f64,
+    /// Managed-runtime pressure (GC, JIT — high for Spark MLlib).
+    pub runtime_pressure: f64,
+    /// Floating-point intensity.
+    pub fp_intensity: f64,
+    /// Working-set size (drives faults and TLB).
+    pub working_set: f64,
+    /// Thread imbalance (straggler proneness).
+    pub imbalance: f64,
+    /// Nominal single-run wall time in seconds.
+    pub base_time_s: f64,
+}
+
+/// Suite-level prior for the traits (mean values; jitter is added per
+/// benchmark).
+struct Prior {
+    compute: f64,
+    memory: f64,
+    cache_sensitivity: f64,
+    branchiness: f64,
+    branch_entropy: f64,
+    tlb_pressure: f64,
+    numa_sensitivity: f64,
+    sync_intensity: f64,
+    io_rate: f64,
+    runtime_pressure: f64,
+    fp_intensity: f64,
+    working_set: f64,
+    imbalance: f64,
+    /// Log₁₀ of the typical runtime in seconds.
+    log_time: f64,
+}
+
+fn prior(suite: Suite) -> Prior {
+    match suite {
+        // Dense numeric kernels: compute + memory, very regular.
+        Suite::Npb => Prior {
+            compute: 0.8,
+            memory: 0.6,
+            cache_sensitivity: 0.35,
+            branchiness: 0.25,
+            branch_entropy: 0.15,
+            tlb_pressure: 0.4,
+            numa_sensitivity: 0.45,
+            sync_intensity: 0.25,
+            io_rate: 0.05,
+            runtime_pressure: 0.05,
+            fp_intensity: 0.85,
+            working_set: 0.55,
+            imbalance: 0.2,
+            log_time: 1.3,
+        },
+        // Mixed multithreaded apps: pipelines, locks, irregular data.
+        Suite::Parsec => Prior {
+            compute: 0.55,
+            memory: 0.55,
+            cache_sensitivity: 0.55,
+            branchiness: 0.55,
+            branch_entropy: 0.45,
+            tlb_pressure: 0.45,
+            numa_sensitivity: 0.4,
+            sync_intensity: 0.6,
+            io_rate: 0.25,
+            runtime_pressure: 0.1,
+            fp_intensity: 0.45,
+            working_set: 0.5,
+            imbalance: 0.5,
+            log_time: 1.1,
+        },
+        // Large OpenMP applications: long, memory-bound, NUMA-exposed.
+        Suite::SpecOmp => Prior {
+            compute: 0.7,
+            memory: 0.7,
+            cache_sensitivity: 0.5,
+            branchiness: 0.3,
+            branch_entropy: 0.25,
+            tlb_pressure: 0.55,
+            numa_sensitivity: 0.65,
+            sync_intensity: 0.45,
+            io_rate: 0.05,
+            runtime_pressure: 0.05,
+            fp_intensity: 0.75,
+            working_set: 0.7,
+            imbalance: 0.4,
+            log_time: 1.9,
+        },
+        // Accelerator-offload suite run on CPU: bandwidth heavy.
+        Suite::SpecAccel => Prior {
+            compute: 0.65,
+            memory: 0.75,
+            cache_sensitivity: 0.45,
+            branchiness: 0.25,
+            branch_entropy: 0.2,
+            tlb_pressure: 0.5,
+            numa_sensitivity: 0.55,
+            sync_intensity: 0.3,
+            io_rate: 0.1,
+            runtime_pressure: 0.05,
+            fp_intensity: 0.8,
+            working_set: 0.65,
+            imbalance: 0.3,
+            log_time: 1.6,
+        },
+        // Short throughput kernels: narrow distributions.
+        Suite::Parboil => Prior {
+            compute: 0.7,
+            memory: 0.5,
+            cache_sensitivity: 0.3,
+            branchiness: 0.3,
+            branch_entropy: 0.25,
+            tlb_pressure: 0.3,
+            numa_sensitivity: 0.3,
+            sync_intensity: 0.2,
+            io_rate: 0.1,
+            runtime_pressure: 0.05,
+            fp_intensity: 0.6,
+            working_set: 0.35,
+            imbalance: 0.2,
+            log_time: 0.8,
+        },
+        // Heterogeneous-computing kernels: similar to Parboil, slightly
+        // more irregular.
+        Suite::Rodinia => Prior {
+            compute: 0.6,
+            memory: 0.55,
+            cache_sensitivity: 0.35,
+            branchiness: 0.4,
+            branch_entropy: 0.35,
+            tlb_pressure: 0.35,
+            numa_sensitivity: 0.3,
+            sync_intensity: 0.3,
+            io_rate: 0.1,
+            runtime_pressure: 0.05,
+            fp_intensity: 0.55,
+            working_set: 0.4,
+            imbalance: 0.3,
+            log_time: 0.9,
+        },
+        // JVM/Spark: GC, JIT, task scheduling — wide, multi-modal, tailed.
+        Suite::MlLib => Prior {
+            compute: 0.45,
+            memory: 0.5,
+            cache_sensitivity: 0.4,
+            branchiness: 0.6,
+            branch_entropy: 0.5,
+            tlb_pressure: 0.5,
+            numa_sensitivity: 0.35,
+            sync_intensity: 0.55,
+            io_rate: 0.45,
+            runtime_pressure: 0.8,
+            fp_intensity: 0.35,
+            working_set: 0.55,
+            imbalance: 0.55,
+            log_time: 1.4,
+        },
+    }
+}
+
+/// Stable 64-bit hash of a benchmark identity (FNV-1a over the qualified
+/// name), independent of any std hasher randomization.
+pub fn benchmark_hash(id: &BenchmarkId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.qualified().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Character {
+    /// Generates the deterministic character of `id` under the corpus
+    /// `seed`.
+    pub fn generate(id: &BenchmarkId, seed: u64) -> Character {
+        let p = prior(id.suite);
+        let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, benchmark_hash(id)));
+        // Each trait jitters around its suite prior; spread 0.35 keeps
+        // benchmarks within a suite related but distinct.
+        let mut j = |base: f64| -> f64 {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            (base + 0.35 * u).clamp(0.02, 0.98)
+        };
+        let compute = j(p.compute);
+        let memory = j(p.memory);
+        let cache_sensitivity = j(p.cache_sensitivity);
+        let branchiness = j(p.branchiness);
+        let branch_entropy = j(p.branch_entropy);
+        let tlb_pressure = j(p.tlb_pressure);
+        let numa_sensitivity = j(p.numa_sensitivity);
+        let sync_intensity = j(p.sync_intensity);
+        let io_rate = j(p.io_rate);
+        let runtime_pressure = j(p.runtime_pressure);
+        let fp_intensity = j(p.fp_intensity);
+        let working_set = j(p.working_set);
+        let imbalance = j(p.imbalance);
+        let log_time = p.log_time + (rng.gen::<f64>() - 0.5) * 0.8;
+        Character {
+            compute,
+            memory,
+            cache_sensitivity,
+            branchiness,
+            branch_entropy,
+            tlb_pressure,
+            numa_sensitivity,
+            sync_intensity,
+            io_rate,
+            runtime_pressure,
+            fp_intensity,
+            working_set,
+            imbalance,
+            base_time_s: 10f64.powf(log_time),
+        }
+    }
+
+    /// Composite propensity for *discrete* performance modes (NUMA
+    /// placement, cache coloring, straggler threads).
+    pub fn mode_propensity(&self) -> f64 {
+        (0.45 * self.numa_sensitivity
+            + 0.3 * self.cache_sensitivity
+            + 0.15 * self.imbalance
+            + 0.1 * self.runtime_pressure)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Composite propensity for heavy right tails (interrupts, GC pauses,
+    /// I/O stalls).
+    pub fn tail_propensity(&self) -> f64 {
+        (0.45 * self.runtime_pressure + 0.3 * self.io_rate + 0.25 * self.sync_intensity)
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{find, roster};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let b = find("npb/cg").unwrap();
+        assert_eq!(Character::generate(&b, 42), Character::generate(&b, 42));
+    }
+
+    #[test]
+    fn different_seeds_give_different_characters() {
+        let b = find("npb/cg").unwrap();
+        assert_ne!(Character::generate(&b, 1), Character::generate(&b, 2));
+    }
+
+    #[test]
+    fn different_benchmarks_differ_within_a_suite() {
+        let a = Character::generate(&find("npb/cg").unwrap(), 7);
+        let b = Character::generate(&find("npb/ft").unwrap(), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_name_different_suite_differ() {
+        let a = Character::generate(&find("parboil/bfs").unwrap(), 7);
+        let b = Character::generate(&find("rodinia/bfs").unwrap(), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn traits_are_in_unit_range() {
+        for id in roster() {
+            let c = Character::generate(&id, 3);
+            for v in [
+                c.compute,
+                c.memory,
+                c.cache_sensitivity,
+                c.branchiness,
+                c.branch_entropy,
+                c.tlb_pressure,
+                c.numa_sensitivity,
+                c.sync_intensity,
+                c.io_rate,
+                c.runtime_pressure,
+                c.fp_intensity,
+                c.working_set,
+                c.imbalance,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{id}: {v}");
+            }
+            assert!(c.base_time_s > 0.5 && c.base_time_s < 1000.0, "{id}");
+            assert!((0.0..=1.0).contains(&c.mode_propensity()));
+            assert!((0.0..=1.0).contains(&c.tail_propensity()));
+        }
+    }
+
+    #[test]
+    fn suite_priors_shape_the_population() {
+        // MLlib benchmarks must have systematically higher runtime
+        // pressure than NPB ones.
+        let seed = 11;
+        let avg = |suite: crate::suites::Suite| -> f64 {
+            let ids: Vec<_> = roster().into_iter().filter(|b| b.suite == suite).collect();
+            ids.iter()
+                .map(|b| Character::generate(b, seed).runtime_pressure)
+                .sum::<f64>()
+                / ids.len() as f64
+        };
+        assert!(avg(crate::suites::Suite::MlLib) > avg(crate::suites::Suite::Npb) + 0.3);
+    }
+
+    #[test]
+    fn benchmark_hash_is_stable_and_distinct() {
+        let a = benchmark_hash(&find("npb/bt").unwrap());
+        let b = benchmark_hash(&find("npb/bt").unwrap());
+        assert_eq!(a, b);
+        let all: std::collections::HashSet<u64> =
+            roster().iter().map(benchmark_hash).collect();
+        assert_eq!(all.len(), 60, "hash collision in roster");
+    }
+}

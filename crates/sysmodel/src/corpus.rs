@@ -1,0 +1,136 @@
+//! Corpus collection: the full measurement campaign over the roster.
+//!
+//! The paper's methodology measures 1,000 repeated executions of every
+//! benchmark on every system (Section IV-E). [`Corpus::collect`] runs that
+//! campaign in the simulator — parallelized over benchmarks with rayon,
+//! with per-benchmark RNG streams so the result is identical for any
+//! thread count.
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::character::Character;
+use crate::metrics::SystemId;
+use crate::runner::{simulate_runs, RunSet};
+use crate::suites::{roster, BenchmarkId};
+use crate::system::{GroundTruth, SystemModel};
+
+/// One benchmark's slice of a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchmarkData {
+    /// The benchmark.
+    pub id: BenchmarkId,
+    /// Its latent character (kept for analysis; the prediction pipelines
+    /// never look at it — they only see runs).
+    pub character: Character,
+    /// The exact ground-truth distribution (again: analysis only).
+    pub ground_truth: GroundTruth,
+    /// The simulated runs (times + metric vectors).
+    pub runs: RunSet,
+}
+
+/// A full measurement campaign on one system.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Corpus {
+    /// The system measured.
+    pub system: SystemId,
+    /// Runs per benchmark.
+    pub n_runs: usize,
+    /// Root seed of the campaign.
+    pub seed: u64,
+    /// Per-benchmark data, in Table I roster order.
+    pub benchmarks: Vec<BenchmarkData>,
+}
+
+impl Corpus {
+    /// Runs the campaign: `n_runs` executions of every roster benchmark
+    /// on `sys`.
+    pub fn collect(sys: &SystemModel, n_runs: usize, seed: u64) -> Corpus {
+        let benchmarks: Vec<BenchmarkData> = roster()
+            .into_par_iter()
+            .map(|id| {
+                let character = Character::generate(&id, seed);
+                let ground_truth = sys.ground_truth(&id, &character, seed);
+                let runs = simulate_runs(sys, &id, &character, &ground_truth, n_runs, seed);
+                BenchmarkData {
+                    id,
+                    character,
+                    ground_truth,
+                    runs,
+                }
+            })
+            .collect();
+        Corpus {
+            system: sys.id,
+            n_runs,
+            seed,
+            benchmarks,
+        }
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.benchmarks.is_empty()
+    }
+
+    /// Finds a benchmark's data by qualified label.
+    pub fn get(&self, qualified: &str) -> Option<&BenchmarkData> {
+        self.benchmarks.iter().find(|b| b.id.qualified() == qualified)
+    }
+
+    /// Metric dimensionality of this corpus (catalog size of the system).
+    pub fn n_metrics(&self) -> usize {
+        self.system.catalog().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_the_whole_roster() {
+        let c = Corpus::collect(&SystemModel::intel(), 20, 1);
+        assert_eq!(c.len(), 60);
+        assert!(!c.is_empty());
+        assert!(c.benchmarks.iter().all(|b| b.runs.len() == 20));
+        assert_eq!(c.n_metrics(), 68);
+    }
+
+    #[test]
+    fn collection_is_deterministic_across_calls() {
+        // rayon scheduling must not affect results.
+        let a = Corpus::collect(&SystemModel::amd(), 10, 42);
+        let b = Corpus::collect(&SystemModel::amd(), 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let c = Corpus::collect(&SystemModel::intel(), 5, 2);
+        assert!(c.get("specomp/376").is_some());
+        assert!(c.get("nope/nothing").is_none());
+    }
+
+    #[test]
+    fn corpus_serializes_to_json() {
+        let c = Corpus::collect(&SystemModel::intel(), 3, 3);
+        let json = serde_json::to_string(&c.benchmarks[0].ground_truth).unwrap();
+        assert!(json.contains("modes"));
+    }
+
+    #[test]
+    fn different_systems_share_characters_but_not_distributions() {
+        let a = Corpus::collect(&SystemModel::intel(), 5, 7);
+        let b = Corpus::collect(&SystemModel::amd(), 5, 7);
+        for (x, y) in a.benchmarks.iter().zip(&b.benchmarks) {
+            assert_eq!(x.character, y.character, "{}", x.id);
+            assert_ne!(x.ground_truth, y.ground_truth, "{}", x.id);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # pv-sysmodel — the simulated testbed
+//!
+//! The paper's raw inputs are two physical servers (an Intel Xeon
+//! Platinum 8358 node and an AMD EPYC 7543 node), seven benchmark suites
+//! (Table I), and Linux `perf` counters (Tables II & III). None of those
+//! are available to this reproduction, so this crate simulates the entire
+//! data-generating process — the substitution is documented in DESIGN.md.
+//!
+//! The simulation preserves the three properties the paper's learning
+//! problem depends on:
+//!
+//! 1. **Distribution diversity** (Fig. 3): every benchmark×system pair has
+//!    a structured ground-truth distribution of relative run time —
+//!    Gaussian modes from discrete non-determinism (NUMA placement, cache
+//!    coloring, stragglers) plus an optional heavy exponential tail (GC,
+//!    interrupts, I/O) — spanning narrow, wide, multi-modal, and skewed
+//!    shapes.
+//! 2. **Informative profiles**: per-run counter readings are driven by the
+//!    same latent [character](character::Character) that shapes the
+//!    distribution, with per-second dilution (`1/rel`), cause-specific
+//!    coupling, and measurement noise. Profiles identify applications
+//!    *and* leak distribution shape, exactly like real counters do.
+//! 3. **Cross-system structure**: both systems observe the same benchmark
+//!    characters but respond differently (the AMD model's CCX topology
+//!    makes it more mode-prone), so system-to-system prediction is
+//!    possible but not trivial.
+//!
+//! Entry points: [`system::SystemModel::intel`] /
+//! [`system::SystemModel::amd`], then [`corpus::Corpus::collect`] for a
+//! whole campaign or [`runner::simulate_runs`] for one benchmark.
+
+pub mod character;
+pub mod corpus;
+pub mod metrics;
+pub mod runner;
+pub mod suites;
+pub mod system;
+
+pub use character::Character;
+pub use corpus::{BenchmarkData, Corpus};
+pub use metrics::{MetricClass, MetricDef, SystemId, AMD_METRICS, INTEL_METRICS};
+pub use runner::{simulate_runs, RunRecord, RunSet};
+pub use suites::{roster, BenchmarkId, Suite};
+pub use system::{GroundTruth, SystemModel};

@@ -1,0 +1,319 @@
+//! The perf-metric catalogs of the paper's two systems.
+//!
+//! Tables II and III list the exact `perf` events profiled on the Intel
+//! Xeon Platinum 8358 system (68 metrics) and the AMD EPYC 7543 system
+//! (75 metrics). The catalogs here reproduce those lists verbatim — the
+//! names drive feature naming and dimensionality in the pipeline — and
+//! attach a semantic [`MetricClass`] to each entry, which is what the
+//! simulator uses to generate realistic per-second rates from a
+//! benchmark's latent character.
+
+use serde::{Deserialize, Serialize};
+
+/// Semantic family of a profiling metric; the simulator maps a benchmark
+/// character onto base rates per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricClass {
+    /// Branch volume (branch instructions, branch loads).
+    Branch,
+    /// Branch misprediction events.
+    BranchMiss,
+    /// Core execution volume (cycles, instructions, uops, slots).
+    Cpu,
+    /// Frontend/backend stall cycles.
+    Stall,
+    /// Floating-point activity.
+    Fp,
+    /// L1 cache activity.
+    CacheL1,
+    /// L2 cache activity.
+    CacheL2,
+    /// Last-level cache activity.
+    CacheLlc,
+    /// Cache misses at any level (miss-specific counters).
+    CacheMiss,
+    /// TLB activity and misses.
+    Tlb,
+    /// Memory instructions and DRAM traffic.
+    Memory,
+    /// Cross-node / NUMA traffic.
+    Numa,
+    /// OS events: context switches, migrations, faults.
+    Os,
+    /// Page-fault events specifically.
+    Fault,
+    /// Uncore / IO-related counters.
+    Io,
+    /// Wall-clock-like counters (task-clock, duration).
+    Clock,
+}
+
+/// One catalog entry: the `perf` event name and its semantic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// The `perf` event name exactly as the paper lists it.
+    pub name: &'static str,
+    /// Semantic family used by the rate generator.
+    pub class: MetricClass,
+}
+
+const fn m(name: &'static str, class: MetricClass) -> MetricDef {
+    MetricDef { name, class }
+}
+
+use MetricClass as C;
+
+/// Table II: the 68 metrics collected on the Intel system.
+pub const INTEL_METRICS: [MetricDef; 68] = [
+    m("branch-instructions", C::Branch),
+    m("branch-misses", C::BranchMiss),
+    m("bus-cycles", C::Cpu),
+    m("cache-misses", C::CacheMiss),
+    m("cache-references", C::CacheLlc),
+    m("cpu-cycles", C::Cpu),
+    m("instructions", C::Cpu),
+    m("ref-cycles", C::Cpu),
+    m("alignment-faults", C::Fault),
+    m("bpf-output", C::Os),
+    m("cgroup-switches", C::Os),
+    m("context-switches", C::Os),
+    m("cpu-clock", C::Clock),
+    m("cpu-migrations", C::Os),
+    m("emulation-faults", C::Fault),
+    m("major-faults", C::Fault),
+    m("minor-faults", C::Fault),
+    m("page-faults", C::Fault),
+    m("task-clock", C::Clock),
+    m("duration_time", C::Clock),
+    m("L1-dcache-load-misses", C::CacheMiss),
+    m("L1-dcache-loads", C::CacheL1),
+    m("L1-dcache-stores", C::CacheL1),
+    m("l1d.replacement", C::CacheL1),
+    m("L1-icache-load-misses", C::CacheMiss),
+    m("l2_lines_in.all", C::CacheL2),
+    m("l2_rqsts.all_demand_miss", C::CacheMiss),
+    m("l2_rqsts.all_rfo", C::CacheL2),
+    m("l2_trans.l2_wb", C::CacheL2),
+    m("LLC-load-misses", C::CacheMiss),
+    m("LLC-loads", C::CacheLlc),
+    m("LLC-store-misses", C::CacheMiss),
+    m("LLC-stores", C::CacheLlc),
+    m("longest_lat_cache.miss", C::CacheMiss),
+    m("mem_inst_retired.all_loads", C::Memory),
+    m("mem_inst_retired.all_stores", C::Memory),
+    m("mem_inst_retired.lock_loads", C::Memory),
+    m("branch-load-misses", C::BranchMiss),
+    m("branch-loads", C::Branch),
+    m("dTLB-load-misses", C::Tlb),
+    m("dTLB-loads", C::Tlb),
+    m("dTLB-store-misses", C::Tlb),
+    m("dTLB-stores", C::Tlb),
+    m("iTLB-load-misses", C::Tlb),
+    m("node-load-misses", C::Numa),
+    m("node-loads", C::Numa),
+    m("node-store-misses", C::Numa),
+    m("node-stores", C::Numa),
+    m("mem-loads", C::Memory),
+    m("mem-stores", C::Memory),
+    m("slots", C::Cpu),
+    m("assists.fp", C::Fp),
+    m("cycle_activity.stalls_l3_miss", C::Stall),
+    m("assists.any", C::Cpu),
+    m("topdown.backend_bound_slots", C::Stall),
+    m("br_inst_retired.all_branches", C::Branch),
+    m("br_misp_retired.all_branches", C::BranchMiss),
+    m("cpu_clk_unhalted.distributed", C::Cpu),
+    m("cycle_activity.stalls_total", C::Stall),
+    m("inst_retired.any", C::Cpu),
+    m("lsd.uops", C::Cpu),
+    m("resource_stalls.sb", C::Stall),
+    m("resource_stalls.scoreboard", C::Stall),
+    m("dtlb_load_misses.stlb_hit", C::Tlb),
+    m("dtlb_store_misses.stlb_hit", C::Tlb),
+    m("itlb_misses.stlb_hit", C::Tlb),
+    m("unc_cha_tor_inserts.io_hit", C::Io),
+    m("unc_cha_tor_inserts.io_miss", C::Io),
+];
+
+/// Table III: the 75 metrics collected on the AMD system. (The paper's
+/// table repeats a handful of generic events under two collection groups —
+/// e.g. `branch-instructions` appears twice — and we reproduce the list
+/// as printed, duplicates included, because feature dimensionality
+/// matters.)
+pub const AMD_METRICS: [MetricDef; 75] = [
+    m("branch-instructions", C::Branch),
+    m("branch-misses", C::BranchMiss),
+    m("cache-misses", C::CacheMiss),
+    m("cache-references", C::CacheLlc),
+    m("cpu-cycles", C::Cpu),
+    m("instructions", C::Cpu),
+    m("stalled-cycles-backend", C::Stall),
+    m("stalled-cycles-frontend", C::Stall),
+    m("alignment-faults", C::Fault),
+    m("bpf-output", C::Os),
+    m("cgroup-switches", C::Os),
+    m("context-switches", C::Os),
+    m("cpu-clock", C::Clock),
+    m("cpu-migrations", C::Os),
+    m("emulation-faults", C::Fault),
+    m("major-faults", C::Fault),
+    m("minor-faults", C::Fault),
+    m("page-faults", C::Fault),
+    m("task-clock", C::Clock),
+    m("duration_time", C::Clock),
+    m("L1-dcache-load-misses", C::CacheMiss),
+    m("L1-dcache-loads", C::CacheL1),
+    m("L1-dcache-prefetches", C::CacheL1),
+    m("L1-icache-load-misses", C::CacheMiss),
+    m("L1-icache-loads", C::CacheL1),
+    m("branch-load-misses", C::BranchMiss),
+    m("branch-loads", C::Branch),
+    m("dTLB-load-misses", C::Tlb),
+    m("dTLB-loads", C::Tlb),
+    m("iTLB-load-misses", C::Tlb),
+    m("iTLB-loads", C::Tlb),
+    m("branch-instructions#2", C::Branch),
+    m("branch-misses#2", C::BranchMiss),
+    m("cache-misses#2", C::CacheMiss),
+    m("cache-references#2", C::CacheLlc),
+    m("cpu-cycles#2", C::Cpu),
+    m("stalled-cycles-backend#2", C::Stall),
+    m("stalled-cycles-frontend#2", C::Stall),
+    m("bp_l2_btb_correct", C::Branch),
+    m("bp_tlb_rel", C::Tlb),
+    m("bp_l1_tlb_miss_l2_tlb_hit", C::Tlb),
+    m("bp_l1_tlb_miss_l2_tlb_miss", C::Tlb),
+    m("ic_fetch_stall.ic_stall_any", C::Stall),
+    m("ic_tag_hit_miss.instruction_cache_hit", C::CacheL1),
+    m("ic_tag_hit_miss.instruction_cache_miss", C::CacheMiss),
+    m("op_cache_hit_miss.all_op_cache_accesses", C::Cpu),
+    m("fp_ret_sse_avx_ops.all", C::Fp),
+    m("fpu_pipe_assignment.total", C::Fp),
+    m("l1_data_cache_fills_all", C::CacheL1),
+    m("l1_data_cache_fills_from_external_ccx_cache", C::Numa),
+    m("l1_data_cache_fills_from_memory", C::Memory),
+    m("l1_data_cache_fills_from_remote_node", C::Numa),
+    m("l1_data_cache_fills_from_within_same_ccx", C::CacheL2),
+    m("l1_dtlb_misses", C::Tlb),
+    m("l2_cache_accesses_from_dc_misses", C::CacheL2),
+    m("l2_cache_accesses_from_ic_misses", C::CacheL2),
+    m("l2_cache_hits_from_dc_misses", C::CacheL2),
+    m("l2_cache_hits_from_ic_misses", C::CacheL2),
+    m("l2_cache_hits_from_l2_hwpf", C::CacheL2),
+    m("l2_cache_misses_from_dc_misses", C::CacheMiss),
+    m("l2_cache_misses_from_ic_miss", C::CacheMiss),
+    m("l2_dtlb_misses", C::Tlb),
+    m("l2_itlb_misses", C::Tlb),
+    m("macro_ops_retired", C::Cpu),
+    m("sse_avx_stalls", C::Stall),
+    m("l3_cache_accesses", C::CacheLlc),
+    m("l3_misses", C::CacheMiss),
+    m("ls_sw_pf_dc_fills.mem_io_local", C::Memory),
+    m("ls_sw_pf_dc_fills.mem_io_remote", C::Numa),
+    m("ls_hw_pf_dc_fills.mem_io_local", C::Memory),
+    m("ls_hw_pf_dc_fills.mem_io_remote", C::Numa),
+    m("ls_int_taken", C::Io),
+    m("all_tlbs_flushed", C::Tlb),
+    m("instructions#2", C::Cpu),
+    m("bp_l1_btb_correct", C::Branch),
+];
+
+/// Which system a catalog belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemId {
+    /// Intel Xeon Platinum 8358 (2 × 32 cores, 512 GB DDR4).
+    IntelXeon8358,
+    /// AMD EPYC 7543 (2 × 32 cores, 512 GB DDR4).
+    AmdEpyc7543,
+}
+
+impl SystemId {
+    /// Short display name matching the paper's prose ("Intel" / "AMD").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SystemId::IntelXeon8358 => "Intel",
+            SystemId::AmdEpyc7543 => "AMD",
+        }
+    }
+
+    /// The metric catalog the paper collected on this system.
+    pub fn catalog(&self) -> &'static [MetricDef] {
+        match self {
+            SystemId::IntelXeon8358 => &INTEL_METRICS,
+            SystemId::AmdEpyc7543 => &AMD_METRICS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes_match_the_paper() {
+        assert_eq!(INTEL_METRICS.len(), 68, "Table II lists 68 metrics");
+        assert_eq!(AMD_METRICS.len(), 75, "Table III lists 75 metrics");
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        for catalog in [&INTEL_METRICS[..], &AMD_METRICS[..]] {
+            let mut names: Vec<&str> = catalog.iter().map(|m| m.name).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate metric name in catalog");
+        }
+    }
+
+    #[test]
+    fn system_ids_resolve_catalogs() {
+        assert_eq!(SystemId::IntelXeon8358.catalog().len(), 68);
+        assert_eq!(SystemId::AmdEpyc7543.catalog().len(), 75);
+        assert_eq!(SystemId::IntelXeon8358.short_name(), "Intel");
+        assert_eq!(SystemId::AmdEpyc7543.short_name(), "AMD");
+    }
+
+    #[test]
+    fn both_catalogs_cover_the_key_classes() {
+        use std::collections::HashSet;
+        for catalog in [&INTEL_METRICS[..], &AMD_METRICS[..]] {
+            let classes: HashSet<MetricClass> = catalog.iter().map(|m| m.class).collect();
+            for required in [
+                C::Branch,
+                C::BranchMiss,
+                C::Cpu,
+                C::CacheMiss,
+                C::Tlb,
+                C::Memory,
+                C::Numa,
+                C::Os,
+                C::Fault,
+                C::Clock,
+                C::Stall,
+            ] {
+                assert!(classes.contains(&required), "missing {required:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_generic_events_appear_in_both_catalogs() {
+        let intel: Vec<&str> = INTEL_METRICS.iter().map(|m| m.name).collect();
+        let amd: Vec<&str> = AMD_METRICS.iter().map(|m| m.name).collect();
+        for shared in [
+            "branch-instructions",
+            "cache-misses",
+            "cpu-cycles",
+            "instructions",
+            "context-switches",
+            "page-faults",
+            "task-clock",
+            "duration_time",
+            "dTLB-load-misses",
+        ] {
+            assert!(intel.contains(&shared), "Intel missing {shared}");
+            assert!(amd.contains(&shared), "AMD missing {shared}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The benchmark roster of Table I: seven suites, 60 benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// NAS Parallel Benchmarks.
+    Npb,
+    /// PARSEC 3.0.
+    Parsec,
+    /// SPEC OMP 2012.
+    SpecOmp,
+    /// SPEC Accel.
+    SpecAccel,
+    /// Parboil.
+    Parboil,
+    /// Rodinia.
+    Rodinia,
+    /// Apache Spark MLlib.
+    MlLib,
+}
+
+impl Suite {
+    /// All suites in Table I order.
+    pub const ALL: [Suite; 7] = [
+        Suite::Npb,
+        Suite::Parsec,
+        Suite::SpecOmp,
+        Suite::SpecAccel,
+        Suite::Parboil,
+        Suite::Rodinia,
+        Suite::MlLib,
+    ];
+
+    /// Display name matching the paper's Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::Npb => "NPB",
+            Suite::Parsec => "PARSEC3.0",
+            Suite::SpecOmp => "SPEC OMP",
+            Suite::SpecAccel => "SPEC Accel",
+            Suite::Parboil => "Parboil",
+            Suite::Rodinia => "Rodinia",
+            Suite::MlLib => "MLlib",
+        }
+    }
+
+    /// The benchmarks Table I lists for this suite.
+    pub fn benchmarks(&self) -> &'static [&'static str] {
+        match self {
+            Suite::Npb => &["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"],
+            Suite::Parsec => &[
+                "blackscholes",
+                "bodytrack",
+                "canneal",
+                "dedup",
+                "fluidanimate",
+                "freqmine",
+                "netdedup",
+                "streamcluster",
+                "swaptions",
+            ],
+            Suite::SpecOmp => &["358", "362", "367", "372", "376"],
+            Suite::SpecAccel => &["303", "304", "353", "354", "355", "356", "359", "363"],
+            Suite::Parboil => &[
+                "bfs",
+                "cutcp",
+                "histo",
+                "lbm",
+                "mrigridding",
+                "sgemm",
+                "spmv",
+                "stencil",
+            ],
+            Suite::Rodinia => &[
+                "backprop",
+                "bfs",
+                "heartwall",
+                "hotspot",
+                "kmeans",
+                "lavaMD",
+                "leukocyte",
+                "ludomp",
+                "particle_filter",
+                "pathfinder",
+            ],
+            Suite::MlLib => &[
+                "correlation",
+                "dtclassifier",
+                "fmclassifier",
+                "gbtclassifier",
+                "kmeans",
+                "logisticregression",
+                "lsvc",
+                "mlp",
+                "pca",
+                "randomforestclassifier",
+                "summarizer",
+            ],
+        }
+    }
+}
+
+/// A benchmark identity: suite + name (names repeat across suites — both
+/// Parboil and Rodinia have `bfs` — so the pair is the key).
+///
+/// Serializes as its qualified label (e.g. `"specomp/376"`) and
+/// deserializes by roster lookup, so the static strings never cross the
+/// serde boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    /// Owning suite.
+    pub suite: Suite,
+    /// Benchmark name within the suite.
+    pub name: &'static str,
+}
+
+impl Serialize for BenchmarkId {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.qualified())
+    }
+}
+
+impl<'de> Deserialize<'de> for BenchmarkId {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let label = String::deserialize(d)?;
+        find(&label).ok_or_else(|| {
+            serde::de::Error::custom(format!("unknown benchmark label {label:?}"))
+        })
+    }
+}
+
+impl BenchmarkId {
+    /// Fully qualified label, e.g. `"specomp/376"`.
+    pub fn qualified(&self) -> String {
+        let suite = match self.suite {
+            Suite::Npb => "npb",
+            Suite::Parsec => "parsec",
+            Suite::SpecOmp => "specomp",
+            Suite::SpecAccel => "specaccel",
+            Suite::Parboil => "parboil",
+            Suite::Rodinia => "rodinia",
+            Suite::MlLib => "mllib",
+        };
+        format!("{suite}/{}", self.name)
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.qualified())
+    }
+}
+
+/// The full Table I roster, in table order.
+pub fn roster() -> Vec<BenchmarkId> {
+    let mut out = Vec::with_capacity(60);
+    for suite in Suite::ALL {
+        for &name in suite.benchmarks() {
+            out.push(BenchmarkId { suite, name });
+        }
+    }
+    out
+}
+
+/// Looks a benchmark up by qualified label (e.g. `"specomp/376"`).
+pub fn find(qualified: &str) -> Option<BenchmarkId> {
+    roster().into_iter().find(|b| b.qualified() == qualified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_sixty_benchmarks() {
+        assert_eq!(roster().len(), 60);
+    }
+
+    #[test]
+    fn suite_counts_match_table_one() {
+        assert_eq!(Suite::Npb.benchmarks().len(), 9);
+        assert_eq!(Suite::Parsec.benchmarks().len(), 9);
+        assert_eq!(Suite::SpecOmp.benchmarks().len(), 5);
+        assert_eq!(Suite::SpecAccel.benchmarks().len(), 8);
+        assert_eq!(Suite::Parboil.benchmarks().len(), 8);
+        assert_eq!(Suite::Rodinia.benchmarks().len(), 10);
+        assert_eq!(Suite::MlLib.benchmarks().len(), 11);
+    }
+
+    #[test]
+    fn qualified_ids_are_unique() {
+        let mut ids: Vec<String> = roster().iter().map(|b| b.qualified()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn bfs_appears_in_two_suites() {
+        let bfs: Vec<BenchmarkId> = roster().into_iter().filter(|b| b.name == "bfs").collect();
+        assert_eq!(bfs.len(), 2);
+        assert_ne!(bfs[0].suite, bfs[1].suite);
+    }
+
+    #[test]
+    fn find_resolves_qualified_names() {
+        let b = find("specomp/376").unwrap();
+        assert_eq!(b.suite, Suite::SpecOmp);
+        assert_eq!(b.name, "376");
+        assert!(find("nonexistent/xyz").is_none());
+    }
+
+    #[test]
+    fn display_matches_qualified() {
+        let b = find("npb/bt").unwrap();
+        assert_eq!(format!("{b}"), "npb/bt");
+    }
+}

@@ -1,0 +1,528 @@
+//! System models: how a machine turns a benchmark character into a
+//! ground-truth run-time distribution and into perf-counter base rates.
+//!
+//! The two presets mirror the paper's testbed (Section IV-C):
+//!
+//! * **Intel** — Xeon Platinum 8358: monolithic L3 per socket, aggressive
+//!   turbo/AVX frequency levels → slightly more continuous frequency
+//!   jitter, fewer discrete cache modes.
+//! * **AMD** — EPYC 7543: 8 CCXs with private L3 slices → cache/NUMA
+//!   placement creates more discrete modes and slightly heavier tails.
+//!
+//! The AMD preset's richer mode structure makes its distributions harder
+//! *targets* — which is the mechanism behind the paper's Fig. 8
+//! observation that predicting AMD→Intel is slightly easier than
+//! Intel→AMD.
+
+use serde::{Deserialize, Serialize};
+
+use pv_stats::rng::{derive_stream, Xoshiro256pp};
+use pv_stats::samplers::standard_normal;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::character::{benchmark_hash, Character};
+use crate::metrics::{MetricClass, SystemId};
+use crate::suites::BenchmarkId;
+
+/// Tunable response parameters of a system model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Continuous frequency/turbo jitter (relative σ contribution).
+    pub freq_jitter: f64,
+    /// Scheduler / OS noise (relative σ contribution, scaled by sync
+    /// intensity).
+    pub sched_noise: f64,
+    /// Gain on the discrete-mode propensity (NUMA + cache placement).
+    pub mode_gain: f64,
+    /// Typical relative separation between adjacent modes.
+    pub mode_separation: f64,
+    /// Gain on heavy-tail weight.
+    pub tail_gain: f64,
+    /// Measurement noise σ on per-run counter readings (relative).
+    pub measurement_noise: f64,
+    /// How strongly a run's position in the distribution couples into
+    /// cause-specific counters (misses, stalls, NUMA traffic).
+    pub coupling_gain: f64,
+}
+
+/// A machine: identity plus response parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemModel {
+    /// Which catalog/system this is.
+    pub id: SystemId,
+    /// Response parameters.
+    pub params: SystemParams,
+}
+
+impl SystemModel {
+    /// The Intel Xeon Platinum 8358 preset.
+    pub fn intel() -> Self {
+        SystemModel {
+            id: SystemId::IntelXeon8358,
+            params: SystemParams {
+                freq_jitter: 0.006,
+                sched_noise: 0.008,
+                mode_gain: 1.1,
+                mode_separation: 0.055,
+                tail_gain: 1.4,
+                measurement_noise: 0.035,
+                coupling_gain: 1.0,
+            },
+        }
+    }
+
+    /// The AMD EPYC 7543 preset.
+    pub fn amd() -> Self {
+        SystemModel {
+            id: SystemId::AmdEpyc7543,
+            params: SystemParams {
+                freq_jitter: 0.005,
+                sched_noise: 0.009,
+                // CCX-sliced L3: placement modes are more likely and a bit
+                // wider apart, tails a bit heavier → harder target.
+                mode_gain: 1.35,
+                mode_separation: 0.07,
+                tail_gain: 1.7,
+                measurement_noise: 0.035,
+                coupling_gain: 1.1,
+            },
+        }
+    }
+
+    /// Resolves a preset by id.
+    pub fn preset(id: SystemId) -> Self {
+        match id {
+            SystemId::IntelXeon8358 => SystemModel::intel(),
+            SystemId::AmdEpyc7543 => SystemModel::amd(),
+        }
+    }
+
+    /// Builds the ground-truth relative-time distribution of `bench` on
+    /// this system (deterministic per `(system, benchmark, seed)`).
+    pub fn ground_truth(&self, bench: &BenchmarkId, ch: &Character, seed: u64) -> GroundTruth {
+        let stream = derive_stream(seed, benchmark_hash(bench) ^ system_salt(self.id));
+        let mut rng = Xoshiro256pp::seed_from_u64(stream);
+        let p = &self.params;
+
+        // --- Discrete modes -------------------------------------------
+        let propensity = (ch.mode_propensity() * p.mode_gain).clamp(0.0, 1.2);
+        let score = propensity + 0.25 * (rng.gen::<f64>() - 0.5);
+        let n_modes = 1 + usize::from(score > 0.38) + usize::from(score > 0.62);
+
+        // Mode separations grow with the benchmark's placement
+        // sensitivity and the system's topology granularity.
+        let sep_base = p.mode_separation * (0.5 + propensity);
+        let mut centers = vec![1.0];
+        for _ in 1..n_modes {
+            let sep = sep_base * (0.5 + rng.gen::<f64>());
+            centers.push(centers.last().expect("non-empty") + sep);
+        }
+
+        // Primary mode carries most of the mass; the rest decays.
+        let w0 = 0.5 + 0.35 * rng.gen::<f64>();
+        let mut weights = vec![w0];
+        let mut remaining = 1.0 - w0;
+        for k in 1..n_modes {
+            let w = if k == n_modes - 1 {
+                remaining
+            } else {
+                let w = remaining * (0.5 + 0.3 * rng.gen::<f64>());
+                remaining -= w;
+                w
+            };
+            weights.push(w);
+        }
+
+        // Continuous jitter inside each mode. Widely separated placement
+        // modes also see more variable contention inside each mode, so
+        // mode width grows with the separation scale.
+        let sigma_base = (p.freq_jitter + p.sched_noise * (0.3 + 0.7 * ch.sync_intensity))
+            * (0.4 + 0.6 * ch.memory)
+            + if n_modes > 1 { 0.08 * sep_base } else { 0.0 };
+        let modes: Vec<ModeComponent> = centers
+            .iter()
+            .zip(&weights)
+            .map(|(&center, &weight)| ModeComponent {
+                weight,
+                center,
+                sigma: sigma_base * (0.4 + 1.5 * rng.gen::<f64>()),
+            })
+            .collect();
+
+        // --- Heavy right tail -----------------------------------------
+        // Discrete slow modes and tail excursions are alternative
+        // manifestations of the same straggler mass: a benchmark whose
+        // slow events already separated into modes contributes less
+        // leftover tail.
+        let tail_w = p.tail_gain * ch.tail_propensity() * (0.06 + 0.12 * rng.gen::<f64>())
+            / n_modes as f64;
+        let tail = if tail_w > 0.015 {
+            let last = modes.last().expect("non-empty");
+            Some(TailComponent {
+                weight: tail_w.min(0.2),
+                start: last.center + 2.0 * last.sigma,
+                // Mean tail excursion: 1%–8% of run time.
+                mean_excess: 0.02 + 0.13 * ch.tail_propensity() * rng.gen::<f64>(),
+            })
+        } else {
+            None
+        };
+
+        let mut gt = GroundTruth { modes, tail };
+        // The tail weight was added on top of the unit mode mass; rescale
+        // all weights to a proper mixture before normalizing the mean.
+        let total: f64 = gt.modes.iter().map(|m| m.weight).sum::<f64>()
+            + gt.tail.map_or(0.0, |t| t.weight);
+        for m in gt.modes.iter_mut() {
+            m.weight /= total;
+        }
+        if let Some(t) = gt.tail.as_mut() {
+            t.weight /= total;
+        }
+        gt.normalize_mean();
+        gt
+    }
+
+    /// Per-second base rate for every metric in this system's catalog,
+    /// as a pure function of the benchmark character.
+    pub fn base_rates(&self, ch: &Character) -> Vec<f64> {
+        self.id
+            .catalog()
+            .iter()
+            .enumerate()
+            .map(|(i, def)| {
+                let scale = class_scale(def.class);
+                let driver = class_driver(def.class, ch);
+                // Per-metric deterministic spread inside the class so two
+                // metrics of one class are related but not identical.
+                let mut h = metric_salt(self.id, i);
+                let u = pv_stats::rng::splitmix64(&mut h) as f64 / u64::MAX as f64;
+                let spread = (1.5 * (u - 0.5)).exp();
+                scale * driver * spread
+            })
+            .collect()
+    }
+
+    /// How strongly a metric class reacts to a run landing `(rel − 1)`
+    /// away from the fast mode. The value is the slope of total event
+    /// count vs. relative time; slope 1.0 cancels the universal
+    /// per-second `1/rel` dilution exactly (used for clock-like counters).
+    pub fn class_coupling(&self, class: MetricClass) -> f64 {
+        let g = self.params.coupling_gain;
+        match class {
+            MetricClass::Numa => 12.0 * g,
+            MetricClass::CacheMiss => 8.0 * g,
+            MetricClass::Stall => 6.0 * g,
+            MetricClass::CacheLlc => 4.0 * g,
+            MetricClass::Os => 4.0 * g,
+            MetricClass::Tlb => 3.0 * g,
+            MetricClass::Fault => 2.0 * g,
+            MetricClass::Io => 2.0 * g,
+            MetricClass::CacheL2 => 2.0 * g,
+            MetricClass::Memory => 1.5 * g,
+            MetricClass::BranchMiss => 1.2 * g,
+            MetricClass::CacheL1 => 1.0,
+            MetricClass::Branch => 1.0,
+            MetricClass::Cpu => 1.0,
+            MetricClass::Fp => 1.0,
+            MetricClass::Clock => 1.0,
+        }
+    }
+}
+
+fn system_salt(id: SystemId) -> u64 {
+    match id {
+        SystemId::IntelXeon8358 => 0x1A7E_1000,
+        SystemId::AmdEpyc7543 => 0xA3D0_2000,
+    }
+}
+
+fn metric_salt(id: SystemId, index: usize) -> u64 {
+    system_salt(id) ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Typical per-second magnitude of a metric class on a 64-core node.
+fn class_scale(class: MetricClass) -> f64 {
+    match class {
+        MetricClass::Branch => 2.0e9,
+        MetricClass::BranchMiss => 2.0e7,
+        MetricClass::Cpu => 3.0e9,
+        MetricClass::Stall => 5.0e8,
+        MetricClass::Fp => 1.0e9,
+        MetricClass::CacheL1 => 1.5e9,
+        MetricClass::CacheL2 => 2.0e8,
+        MetricClass::CacheLlc => 5.0e7,
+        MetricClass::CacheMiss => 2.0e7,
+        MetricClass::Tlb => 1.0e8,
+        MetricClass::Memory => 8.0e8,
+        MetricClass::Numa => 1.0e7,
+        MetricClass::Os => 1.0e3,
+        MetricClass::Fault => 1.0e4,
+        MetricClass::Io => 1.0e5,
+        MetricClass::Clock => 1.0,
+    }
+}
+
+/// How a benchmark character modulates a class's rate (multiplicative, on
+/// top of [`class_scale`]).
+fn class_driver(class: MetricClass, ch: &Character) -> f64 {
+    match class {
+        MetricClass::Branch => 0.1 + 0.9 * ch.branchiness,
+        MetricClass::BranchMiss => (0.1 + 0.9 * ch.branchiness) * (0.05 + 0.95 * ch.branch_entropy),
+        MetricClass::Cpu => 0.4 + 0.6 * ch.compute,
+        MetricClass::Stall => 0.2 + 0.8 * ch.memory,
+        MetricClass::Fp => 0.05 + 0.95 * ch.fp_intensity,
+        MetricClass::CacheL1 => 0.3 + 0.7 * ch.memory,
+        MetricClass::CacheL2 => (0.2 + 0.8 * ch.memory) * (0.4 + 0.6 * ch.working_set),
+        MetricClass::CacheLlc => (0.1 + 0.9 * ch.memory) * (0.3 + 0.7 * ch.working_set),
+        MetricClass::CacheMiss => {
+            (0.1 + 0.9 * ch.memory) * (0.1 + 0.9 * ch.cache_sensitivity)
+        }
+        MetricClass::Tlb => 0.1 + 0.9 * ch.tlb_pressure,
+        MetricClass::Memory => 0.2 + 0.8 * ch.memory,
+        MetricClass::Numa => (0.05 + 0.95 * ch.numa_sensitivity) * (0.2 + 0.8 * ch.memory),
+        MetricClass::Os => 0.1 + 0.5 * ch.sync_intensity + 0.4 * ch.runtime_pressure,
+        MetricClass::Fault => 0.1 + 0.5 * ch.working_set + 0.4 * ch.runtime_pressure,
+        MetricClass::Io => 0.05 + 0.95 * ch.io_rate,
+        MetricClass::Clock => 1.0,
+    }
+}
+
+/// One discrete performance mode: a Gaussian component in relative time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeComponent {
+    /// Mixture weight.
+    pub weight: f64,
+    /// Relative-time center.
+    pub center: f64,
+    /// Within-mode jitter (σ).
+    pub sigma: f64,
+}
+
+/// Heavy right tail: a shifted exponential fired with small probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailComponent {
+    /// Mixture weight.
+    pub weight: f64,
+    /// Left edge of the tail.
+    pub start: f64,
+    /// Mean excursion beyond `start`.
+    pub mean_excess: f64,
+}
+
+/// Ground-truth relative-time distribution: Gaussian modes + optional
+/// exponential tail, normalized to mean 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Discrete modes (at least one).
+    pub modes: Vec<ModeComponent>,
+    /// Optional heavy right tail.
+    pub tail: Option<TailComponent>,
+}
+
+impl GroundTruth {
+    /// Analytic mean of the mixture.
+    pub fn mean(&self) -> f64 {
+        let mode_mass: f64 = self.modes.iter().map(|m| m.weight).sum();
+        let tail_mass = self.tail.map_or(0.0, |t| t.weight);
+        let total = mode_mass + tail_mass;
+        let mut mean = self
+            .modes
+            .iter()
+            .map(|m| m.weight * m.center)
+            .sum::<f64>();
+        if let Some(t) = self.tail {
+            mean += t.weight * (t.start + t.mean_excess);
+        }
+        mean / total
+    }
+
+    /// Rescales all locations so the mixture mean is exactly 1.
+    pub fn normalize_mean(&mut self) {
+        let m = self.mean();
+        for c in self.modes.iter_mut() {
+            c.center /= m;
+            c.sigma /= m;
+        }
+        if let Some(t) = self.tail.as_mut() {
+            t.start /= m;
+            t.mean_excess /= m;
+        }
+    }
+
+    /// Number of mixture components (modes + tail).
+    pub fn n_components(&self) -> usize {
+        self.modes.len() + usize::from(self.tail.is_some())
+    }
+
+    /// Draws one relative time and the index of the component that fired
+    /// (`modes.len()` denotes the tail).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, usize) {
+        let total: f64 = self.modes.iter().map(|m| m.weight).sum::<f64>()
+            + self.tail.map_or(0.0, |t| t.weight);
+        let mut u: f64 = rng.gen::<f64>() * total;
+        for (i, m) in self.modes.iter().enumerate() {
+            if u < m.weight {
+                // Truncate at a small positive floor; relative time can't
+                // be ≤ 0.
+                let v = (m.center + m.sigma * standard_normal(rng)).max(0.01);
+                return (v, i);
+            }
+            u -= m.weight;
+        }
+        let t = self.tail.expect("mass accounting");
+        let exc: f64 = -(1.0 - rng.gen::<f64>()).ln() * t.mean_excess;
+        (t.start + exc, self.modes.len())
+    }
+
+    /// Draws `n` relative times (component indices discarded).
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng).0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{find, roster};
+    use pv_stats::moments::Moments;
+
+    fn gt_for(label: &str, sys: &SystemModel, seed: u64) -> GroundTruth {
+        let id = find(label).unwrap();
+        let ch = Character::generate(&id, seed);
+        sys.ground_truth(&id, &ch, seed)
+    }
+
+    #[test]
+    fn ground_truth_is_deterministic() {
+        let sys = SystemModel::intel();
+        assert_eq!(gt_for("npb/bt", &sys, 5), gt_for("npb/bt", &sys, 5));
+    }
+
+    #[test]
+    fn ground_truth_differs_across_systems() {
+        let a = gt_for("npb/bt", &SystemModel::intel(), 5);
+        let b = gt_for("npb/bt", &SystemModel::amd(), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_is_normalized_to_one() {
+        for sys in [SystemModel::intel(), SystemModel::amd()] {
+            for id in roster() {
+                let ch = Character::generate(&id, 9);
+                let gt = sys.ground_truth(&id, &ch, 9);
+                assert!((gt.mean() - 1.0).abs() < 1e-9, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let sys = SystemModel::intel();
+        let gt = gt_for("mllib/kmeans", &sys, 3);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let xs = gt.sample_n(&mut rng, 60_000);
+        let m = Moments::from_slice(&xs);
+        assert!((m.mean() - 1.0).abs() < 0.01, "mean = {}", m.mean());
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn corpus_exhibits_distribution_diversity() {
+        // The Fig. 3 premise: across the roster we must see narrow and
+        // wide distributions, multi-modality, and tails.
+        let sys = SystemModel::intel();
+        let seed = 0xC0FFEE;
+        let mut n_multi = 0;
+        let mut n_tail = 0;
+        let mut widths = Vec::new();
+        for id in roster() {
+            let ch = Character::generate(&id, seed);
+            let gt = sys.ground_truth(&id, &ch, seed);
+            if gt.modes.len() > 1 {
+                n_multi += 1;
+            }
+            if gt.tail.is_some() {
+                n_tail += 1;
+            }
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let xs = gt.sample_n(&mut rng, 2000);
+            widths.push(Moments::from_slice(&xs).population_std());
+        }
+        assert!(n_multi >= 10, "only {n_multi}/60 multi-modal");
+        assert!(n_multi <= 50, "{n_multi}/60 multi-modal — too uniform");
+        assert!(n_tail >= 8, "only {n_tail}/60 tailed");
+        let min_w = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_w = widths.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min_w < 0.01, "narrowest σ = {min_w}");
+        assert!(max_w > 0.025, "widest σ = {max_w}");
+    }
+
+    #[test]
+    fn amd_is_more_mode_prone_than_intel() {
+        let seed = 0xC0FFEE;
+        let count_modes = |sys: &SystemModel| -> usize {
+            roster()
+                .iter()
+                .map(|id| {
+                    let ch = Character::generate(id, seed);
+                    sys.ground_truth(id, &ch, seed).modes.len()
+                })
+                .sum()
+        };
+        assert!(count_modes(&SystemModel::amd()) > count_modes(&SystemModel::intel()));
+    }
+
+    #[test]
+    fn base_rates_cover_catalog_and_are_positive() {
+        for sys in [SystemModel::intel(), SystemModel::amd()] {
+            let id = find("parsec/dedup").unwrap();
+            let ch = Character::generate(&id, 4);
+            let rates = sys.base_rates(&ch);
+            assert_eq!(rates.len(), sys.id.catalog().len());
+            assert!(rates.iter().all(|&r| r > 0.0 && r.is_finite()));
+        }
+    }
+
+    #[test]
+    fn base_rates_reflect_character() {
+        // A memory-heavy character must produce more cache misses than a
+        // compute-only one.
+        let sys = SystemModel::intel();
+        let id = find("npb/cg").unwrap();
+        let mut hot = Character::generate(&id, 1);
+        hot.memory = 0.95;
+        hot.cache_sensitivity = 0.95;
+        let mut cold = hot;
+        cold.memory = 0.05;
+        cold.cache_sensitivity = 0.05;
+        let miss_idx = sys
+            .id
+            .catalog()
+            .iter()
+            .position(|m| m.name == "LLC-load-misses")
+            .unwrap();
+        assert!(sys.base_rates(&hot)[miss_idx] > 5.0 * sys.base_rates(&cold)[miss_idx]);
+    }
+
+    #[test]
+    fn clock_coupling_cancels_dilution() {
+        let sys = SystemModel::intel();
+        assert_eq!(sys.class_coupling(MetricClass::Clock), 1.0);
+        assert!(sys.class_coupling(MetricClass::Numa) > sys.class_coupling(MetricClass::Cpu));
+    }
+
+    #[test]
+    fn component_weights_sum_to_one() {
+        for id in roster() {
+            let sys = SystemModel::amd();
+            let ch = Character::generate(&id, 2);
+            let gt = sys.ground_truth(&id, &ch, 2);
+            let total: f64 = gt.modes.iter().map(|m| m.weight).sum::<f64>()
+                + gt.tail.map_or(0.0, |t| t.weight);
+            assert!((total - 1.0).abs() < 1e-9, "{id}: Σw = {total}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the simulated testbed: every seed must produce a
+//! structurally valid world.
+
+use proptest::prelude::*;
+use pv_stats::moments::Moments;
+use pv_sysmodel::{roster, simulate_runs, Character, SystemModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ground_truth_is_valid_for_any_seed(seed in any::<u64>(), bench_idx in 0usize..60) {
+        let id = roster()[bench_idx];
+        for sys in [SystemModel::intel(), SystemModel::amd()] {
+            let ch = Character::generate(&id, seed);
+            let gt = sys.ground_truth(&id, &ch, seed);
+            // Weights form a distribution.
+            let total: f64 = gt.modes.iter().map(|m| m.weight).sum::<f64>()
+                + gt.tail.map_or(0.0, |t| t.weight);
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            // Mean normalized to 1.
+            prop_assert!((gt.mean() - 1.0).abs() < 1e-9);
+            // Positive spreads, ordered centers.
+            let mut prev = 0.0;
+            for m in &gt.modes {
+                prop_assert!(m.sigma > 0.0);
+                prop_assert!(m.center > prev);
+                prev = m.center;
+            }
+            if let Some(t) = gt.tail {
+                prop_assert!(t.weight >= 0.0 && t.mean_excess > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn characters_stay_in_bounds_for_any_seed(seed in any::<u64>(), bench_idx in 0usize..60) {
+        let id = roster()[bench_idx];
+        let c = Character::generate(&id, seed);
+        for v in [
+            c.compute, c.memory, c.cache_sensitivity, c.branchiness,
+            c.branch_entropy, c.tlb_pressure, c.numa_sensitivity,
+            c.sync_intensity, c.io_rate, c.runtime_pressure,
+            c.fp_intensity, c.working_set, c.imbalance,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert!(c.base_time_s > 0.1 && c.base_time_s < 10_000.0);
+    }
+
+    #[test]
+    fn simulated_runs_are_physical(seed in any::<u64>(), bench_idx in 0usize..60, n in 1usize..40) {
+        let id = roster()[bench_idx];
+        let sys = SystemModel::intel();
+        let ch = Character::generate(&id, seed);
+        let gt = sys.ground_truth(&id, &ch, seed);
+        let runs = simulate_runs(&sys, &id, &ch, &gt, n, seed);
+        prop_assert_eq!(runs.len(), n);
+        for r in &runs.records {
+            prop_assert!(r.time_s > 0.0);
+            prop_assert!(r.rel_time > 0.0);
+            prop_assert!(r.component < gt.n_components());
+            prop_assert_eq!(r.metrics.len(), 68);
+            prop_assert!(r.metrics.iter().all(|&m| m > 0.0 && m.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sample_mean_tracks_normalization(seed in any::<u64>(), bench_idx in 0usize..60) {
+        use rand::SeedableRng;
+        let id = roster()[bench_idx];
+        let sys = SystemModel::amd();
+        let ch = Character::generate(&id, seed);
+        let gt = sys.ground_truth(&id, &ch, seed);
+        let mut rng = pv_stats::rng::Xoshiro256pp::seed_from_u64(7);
+        let xs = gt.sample_n(&mut rng, 4000);
+        let m = Moments::from_slice(&xs);
+        // Sampling error on the mean of a ≤~0.2-σ mixture at n = 4000.
+        prop_assert!((m.mean() - 1.0).abs() < 0.05, "mean = {}", m.mean());
+    }
+}

@@ -1,0 +1,79 @@
+//! Tour of the reconstruction substrates: the Pearson system and the
+//! maximum-entropy solver, the two engines behind the paper's moment-based
+//! distribution representations.
+//!
+//! ```text
+//! cargo run --release --example distribution_zoo
+//! ```
+
+use perfvar_suite::core::report::{kde_curve, sparkline};
+use perfvar_suite::maxent::MaxEntDensity;
+use perfvar_suite::pearson::{classify, PearsonDist};
+use perfvar_suite::stats::moments::MomentSummary;
+use perfvar_suite::stats::rng::Xoshiro256pp;
+use rand::SeedableRng;
+
+fn show(label: &str, xs: &[f64]) {
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let curve = kde_curve(xs, lo, hi, 56).expect("kde");
+    println!("  {:<34} {}", label, sparkline(&curve));
+}
+
+fn main() {
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+
+    println!("Pearson system: one family member per (skewness, kurtosis) region\n");
+    let zoo = [
+        ("type 0  (normal)         γ₁=0, β₂=3", 0.0, 3.0),
+        ("type II  (symmetric beta) γ₁=0, β₂=2", 0.0, 2.0),
+        ("type II  (U-shaped)       γ₁=0, β₂=1.4", 0.0, 1.4),
+        ("type VII (heavy tails)    γ₁=0, β₂=6", 0.0, 6.0),
+        ("type III (gamma)          γ₁=1, β₂=4.5", 1.0, 4.5),
+        ("type IV                   γ₁=0.8, β₂=5.5", 0.8, 5.5),
+        ("type I   (skewed beta)    γ₁=0.6, β₂=2.9", 0.6, 2.9),
+        ("type VI  (beta-prime)     γ₁=1.8, β₂=9", 1.8, 9.0),
+    ];
+    for (label, skew, kurt) in zoo {
+        let spec = MomentSummary {
+            mean: 0.0,
+            std: 1.0,
+            skewness: skew,
+            kurtosis: kurt,
+        };
+        let d = PearsonDist::fit(spec).expect("fit");
+        let xs = d.sample_n(&mut rng, 20_000);
+        let got = MomentSummary::from_sample(&xs).expect("moments");
+        show(label, &xs);
+        println!(
+            "    classified {:?}; sample moments γ₁={:+.2} β₂={:.2}",
+            classify(&spec),
+            got.skewness,
+            got.kurtosis
+        );
+    }
+
+    println!("\nMaximum entropy: reconstructing a density from four moments\n");
+    for (label, skew, kurt) in [
+        ("normal moments", 0.0, 3.0),
+        ("uniform moments (flat)", 0.0, 1.8),
+        ("skewed moments", 0.7, 3.6),
+    ] {
+        let spec = MomentSummary {
+            mean: 1.0,
+            std: 0.05,
+            skewness: skew,
+            kurtosis: kurt,
+        };
+        let d = MaxEntDensity::from_summary(&spec, (0.75, 1.25)).expect("solve");
+        let xs = d.sample_n(&mut rng, 20_000);
+        show(label, &xs);
+        println!("    differential entropy {:.3} nats", d.entropy());
+    }
+
+    println!(
+        "\nBoth engines take the same four numbers — mean, std, skewness,\n\
+         kurtosis — and disagree about everything else; that disagreement\n\
+         is exactly what the paper's representation comparison measures."
+    );
+}

@@ -1,0 +1,70 @@
+//! Use case 1 walk-through: how many runs buy how much accuracy?
+//!
+//! The paper's first scenario (Section III-A1): a developer repeatedly
+//! inspects an application's performance distribution while optimizing it
+//! and cannot afford 1,000 runs per iteration. This example trains the
+//! few-runs predictor at several sample budgets and shows the
+//! accuracy/cost trade-off of Fig. 6, plus the representation comparison
+//! of Fig. 4 at one budget.
+//!
+//! ```text
+//! cargo run --release --example few_runs_prediction
+//! ```
+
+use perfvar_suite::core::eval::evaluate_few_runs;
+use perfvar_suite::core::report::violin_row;
+use perfvar_suite::core::usecase1::FewRunsConfig;
+use perfvar_suite::core::{ModelKind, ReprKind};
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+
+fn main() {
+    // A 300-run campaign keeps this example under a minute while leaving
+    // room for 10 × 10-run training windows per benchmark.
+    let corpus = Corpus::collect(&SystemModel::intel(), 300, 7);
+    println!(
+        "corpus: {} benchmarks × {} runs on {}\n",
+        corpus.len(),
+        corpus.n_runs,
+        corpus.system.short_name()
+    );
+
+    // --- the sampling budget trade-off (Fig. 6 in miniature) -----------
+    println!("KS score vs number of profile runs (PearsonRnd + kNN):");
+    for s in [1usize, 2, 5, 10, 25] {
+        let cfg = FewRunsConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            n_profile_runs: s,
+            profiles_per_benchmark: (300 / s).min(10),
+            seed: 7,
+        };
+        let summary = evaluate_few_runs(&corpus, cfg).expect("evaluation");
+        println!(
+            "{}",
+            violin_row(&format!("{s:>3} runs"), &summary.ks_values(), 40).expect("violin")
+        );
+    }
+
+    // --- the representation comparison at 10 runs (Fig. 4 column) ------
+    println!("\ndistribution representations at 10 runs (kNN):");
+    for repr in ReprKind::ALL {
+        let cfg = FewRunsConfig {
+            repr,
+            model: ModelKind::Knn,
+            n_profile_runs: 10,
+            profiles_per_benchmark: 10,
+            seed: 7,
+        };
+        let summary = evaluate_few_runs(&corpus, cfg).expect("evaluation");
+        println!(
+            "{}",
+            violin_row(repr.name(), &summary.ks_values(), 40).expect("violin")
+        );
+    }
+
+    println!(
+        "\nReading the violins: each row is a KDE of the 60 per-benchmark\n\
+         KS scores under leave-one-group-out cross-validation — mass near\n\
+         the left edge means accurate distribution predictions."
+    );
+}

@@ -1,0 +1,76 @@
+//! Survey of performance variability across the benchmark roster — the
+//! Fig. 3 view, plus per-suite statistics the paper's introduction argues
+//! from: scalar summaries hide modes, tails, and spread.
+//!
+//! ```text
+//! cargo run --release --example variability_explorer
+//! ```
+
+use perfvar_suite::core::report::{kde_curve, sparkline};
+use perfvar_suite::stats::descriptive::FiveNumber;
+use perfvar_suite::stats::moments::MomentSummary;
+use perfvar_suite::sysmodel::{Corpus, Suite, SystemModel};
+
+fn main() {
+    let corpus = Corpus::collect(&SystemModel::intel(), 1000, 0xC0FFEE);
+
+    println!("relative execution-time densities, all 60 benchmarks (Intel):\n");
+    for bench in &corpus.benchmarks {
+        let rel = bench.runs.rel_times();
+        let lo = rel.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rel.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let pad = 0.1 * (hi - lo).max(1e-3);
+        let curve = kde_curve(&rel, lo - pad, hi + pad, 56).expect("kde");
+        let m = MomentSummary::from_sample(&rel).expect("moments");
+        println!(
+            "  {:<26} {} σ={:.3} γ₁={:+.1}",
+            bench.id.qualified(),
+            sparkline(&curve),
+            m.std,
+            m.skewness
+        );
+    }
+
+    println!("\nper-suite variability (std of relative time, averaged):");
+    for suite in Suite::ALL {
+        let benches: Vec<_> = corpus
+            .benchmarks
+            .iter()
+            .filter(|b| b.id.suite == suite)
+            .collect();
+        let stds: Vec<f64> = benches
+            .iter()
+            .map(|b| MomentSummary::from_sample(&b.runs.rel_times()).expect("moments").std)
+            .collect();
+        let f = FiveNumber::from_sample(&stds).expect("summary");
+        let multi = benches
+            .iter()
+            .filter(|b| b.ground_truth.modes.len() > 1)
+            .count();
+        println!(
+            "  {:<12} mean σ {:.4}  range [{:.4}, {:.4}]  multimodal {}/{}",
+            suite.name(),
+            f.mean,
+            f.min,
+            f.max,
+            multi,
+            benches.len()
+        );
+    }
+
+    // The Fig. 1 argument: the mean hides the structure.
+    let b376 = corpus.get("specomp/376").expect("roster");
+    let rel = b376.runs.rel_times();
+    let m = MomentSummary::from_sample(&rel).expect("moments");
+    println!(
+        "\nspecomp/376: mean relative time {:.3} — but the distribution has\n\
+         {} mode(s){}; no scalar summary captures that.",
+        m.mean,
+        b376.ground_truth.modes.len(),
+        if b376.ground_truth.tail.is_some() {
+            " plus a heavy tail"
+        } else {
+            ""
+        }
+    );
+}

@@ -1,0 +1,26 @@
+//! # perfvar-suite — facade over the `perfvar` workspace
+//!
+//! A Rust reproduction of *Predicting Performance Variability*
+//! (Baydoun et al., IPPS 2025). This crate re-exports every workspace
+//! member so examples, integration tests, and downstream users can depend
+//! on a single crate:
+//!
+//! * [`stats`] — statistical substrate (moments, KDE, KS, samplers, …)
+//! * [`pearson`] — the Pearson distribution system (MATLAB `pearsrnd`)
+//! * [`maxent`] — maximum-entropy density reconstruction (PyMaxEnt)
+//! * [`ml`] — from-scratch kNN / random forest / gradient boosting + CV
+//! * [`sysmodel`] — the simulated benchmark/system testbed
+//! * [`core`] — the paper's pipeline: profiles, distribution
+//!   representations, use-case predictors, and the evaluation harness
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a full measure → train → predict →
+//! score round trip in about sixty lines.
+
+pub use pv_core as core;
+pub use pv_maxent as maxent;
+pub use pv_ml as ml;
+pub use pv_pearson as pearson;
+pub use pv_stats as stats;
+pub use pv_sysmodel as sysmodel;

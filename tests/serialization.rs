@@ -1,0 +1,72 @@
+//! Serde round-trips of the workspace's data-carrying types.
+
+use perfvar_suite::stats::moments::MomentSummary;
+use perfvar_suite::sysmodel::{
+    roster, BenchmarkId, Character, Corpus, GroundTruth, SystemModel,
+};
+
+#[test]
+fn benchmark_id_serializes_as_qualified_label() {
+    let id = roster()[0];
+    let json = serde_json::to_string(&id).unwrap();
+    assert_eq!(json, format!("\"{}\"", id.qualified()));
+    let back: BenchmarkId = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, id);
+}
+
+#[test]
+fn benchmark_id_rejects_unknown_labels() {
+    let bad: Result<BenchmarkId, _> = serde_json::from_str("\"nosuite/nothing\"");
+    assert!(bad.is_err());
+}
+
+#[test]
+fn every_roster_id_roundtrips() {
+    for id in roster() {
+        let json = serde_json::to_string(&id).unwrap();
+        let back: BenchmarkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}
+
+#[test]
+fn ground_truth_roundtrips() {
+    let id = roster()[10];
+    let ch = Character::generate(&id, 3);
+    let gt = SystemModel::intel().ground_truth(&id, &ch, 3);
+    let json = serde_json::to_string(&gt).unwrap();
+    let back: GroundTruth = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, gt);
+}
+
+#[test]
+fn character_roundtrips() {
+    let id = roster()[20];
+    let ch = Character::generate(&id, 4);
+    let json = serde_json::to_string(&ch).unwrap();
+    let back: Character = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ch);
+}
+
+#[test]
+fn moment_summary_roundtrips() {
+    let s = MomentSummary {
+        mean: 1.0,
+        std: 0.1,
+        skewness: -0.3,
+        kurtosis: 3.3,
+    };
+    let json = serde_json::to_string(&s).unwrap();
+    let back: MomentSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+}
+
+#[test]
+fn corpus_serializes_for_export() {
+    // Corpora are exported (not re-imported) for analysis; the JSON must
+    // carry the qualified benchmark labels.
+    let corpus = Corpus::collect(&SystemModel::intel(), 3, 1);
+    let json = serde_json::to_string(&corpus).unwrap();
+    assert!(json.contains("\"npb/bt\""));
+    assert!(json.contains("\"ground_truth\""));
+}
