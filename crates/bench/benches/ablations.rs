@@ -72,7 +72,8 @@ fn bench_bin_count(c: &mut Criterion) {
     for bins in [10usize, 15, 40, 120] {
         g.bench_with_input(BenchmarkId::new("encode", bins), &bins, |b, &bins| {
             b.iter(|| {
-                Histogram::from_data_with_range(black_box(&xs), 0.7, 1.5, bins).unwrap()
+                Histogram::from_data_with_range(black_box(&xs), 0.7, 1.5, bins)
+                    .unwrap()
                     .probabilities()
             })
         });

@@ -6,9 +6,15 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pv_bench::{uc1_config, uc2_config};
+use pv_core::eval::{
+    evaluate_few_runs, evaluate_few_runs_encoded, few_runs_spec, RECONSTRUCTION_SAMPLES,
+};
+use pv_core::pipeline::EncodedCorpus;
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{ModelKind, ReprKind};
+use pv_stats::ks::ks2_statistic;
+use pv_stats::rng::derive_stream;
 use pv_sysmodel::{Corpus, SystemModel};
 
 fn bench_corpus_collection(c: &mut Criterion) {
@@ -54,9 +60,7 @@ fn bench_use_case_two(c: &mut Criterion) {
     let include: Vec<usize> = (1..amd.len()).collect();
     let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
     g.bench_function("train_knn_pearson", |b| {
-        b.iter(|| {
-            CrossSystemPredictor::train(black_box(&amd), &intel, &include, cfg).unwrap()
-        })
+        b.iter(|| CrossSystemPredictor::train(black_box(&amd), &intel, &include, cfg).unwrap())
     });
     let predictor = CrossSystemPredictor::train(&amd, &intel, &include, cfg).unwrap();
     g.bench_function("predict_1000_samples", |b| {
@@ -69,10 +73,61 @@ fn bench_use_case_two(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole speedup: a full LOGO evaluation with profiles/encodings
+/// computed once (`EncodedCorpus` + `FoldRunner`) versus the historical
+/// shape that trained a fresh predictor per fold, recomputing every
+/// profile and encoding ~n times. All three produce bit-identical
+/// `EvalSummary`s (asserted in `tests/pipeline_equivalence.rs`).
+fn bench_logo_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logo_eval");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    let corpus = Corpus::collect(&SystemModel::intel(), 100, 7);
+    let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+
+    g.bench_function("naive_train_per_fold", |b| {
+        use rayon::prelude::*;
+        // Parallel over folds exactly like the historical
+        // `evaluate_few_runs`, so the delta measured here is the
+        // redundant per-fold profile/encoding work alone.
+        b.iter(|| {
+            let n = corpus.len();
+            let last: f64 = (0..n)
+                .into_par_iter()
+                .map(|held| {
+                    let include: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+                    let mut fold_cfg = cfg;
+                    fold_cfg.seed = derive_stream(cfg.seed, held as u64);
+                    let p =
+                        FewRunsPredictor::train(black_box(&corpus), &include, fold_cfg).unwrap();
+                    let bench = &corpus.benchmarks[held];
+                    let predicted = p
+                        .predict_distribution(&bench.runs, RECONSTRUCTION_SAMPLES, held as u64)
+                        .unwrap();
+                    ks2_statistic(&predicted, &bench.runs.rel_times()).unwrap()
+                })
+                .collect::<Vec<f64>>()
+                .iter()
+                .sum();
+            last
+        })
+    });
+    g.bench_function("pipeline_encode_then_fold", |b| {
+        b.iter(|| evaluate_few_runs(black_box(&corpus), cfg).unwrap())
+    });
+    let enc = EncodedCorpus::build(&corpus, &few_runs_spec(&cfg)).unwrap();
+    g.bench_function("pipeline_prebuilt_cache", |b| {
+        b.iter(|| evaluate_few_runs_encoded(black_box(&enc), cfg).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_corpus_collection,
     bench_use_case_one,
-    bench_use_case_two
+    bench_use_case_two,
+    bench_logo_eval
 );
 criterion_main!(benches);

@@ -7,23 +7,80 @@
 //!
 //! Each exhibit prints a text rendition to stdout and writes CSV series
 //! under `target/repro/` so the data can be re-plotted with any tool.
+//!
+//! All exhibits share two process-wide caches per system: the collected
+//! campaign corpus ([`intel_campaign`]/[`amd_campaign`]) and its
+//! [`EncodedCorpus`] built from [`campaign_spec`] — profiles for every
+//! swept sample count, target encodings for all three representations,
+//! and use-case-2 joined rows. Grids then run their cells in parallel
+//! over the shared cache; all outputs are bit-identical to the former
+//! train-per-fold harness.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
-use pv_bench::{amd_corpus, intel_corpus, uc1_config, uc2_config, CAMPAIGN_SEED};
-use pv_core::eval::{evaluate_cross_system, evaluate_few_runs, EvalSummary};
+use pv_bench::{
+    amd_campaign, campaign_spec, intel_campaign, uc1_config, uc2_config, CAMPAIGN_SEED,
+};
+use pv_core::eval::{evaluate_cross_system_encoded, evaluate_few_runs_encoded, EvalSummary};
+use pv_core::pipeline::EncodedCorpus;
 use pv_core::report::{kde_curve, overlay, sparkline, summary_table, violin_row, write_csv};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{ModelKind, ReprKind};
 use pv_stats::ks::ks2_statistic;
 use pv_stats::rng::Xoshiro256pp;
-use pv_sysmodel::{Corpus, INTEL_METRICS, AMD_METRICS};
+use pv_sysmodel::{Corpus, AMD_METRICS, INTEL_METRICS};
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 fn out_dir() -> PathBuf {
     PathBuf::from("target/repro")
+}
+
+/// The Intel campaign, with a one-time setup-timing line.
+fn intel() -> &'static Corpus {
+    static TIMED: OnceLock<()> = OnceLock::new();
+    TIMED.get_or_init(|| {
+        let t = Instant::now();
+        intel_campaign();
+        println!("[setup] Intel campaign collected in {:.1?}", t.elapsed());
+    });
+    intel_campaign()
+}
+
+/// The AMD campaign, with a one-time setup-timing line.
+fn amd() -> &'static Corpus {
+    static TIMED: OnceLock<()> = OnceLock::new();
+    TIMED.get_or_init(|| {
+        let t = Instant::now();
+        amd_campaign();
+        println!("[setup] AMD campaign collected in {:.1?}", t.elapsed());
+    });
+    amd_campaign()
+}
+
+/// The Intel campaign encoded once for every exhibit.
+fn intel_enc() -> &'static EncodedCorpus<'static> {
+    static ENC: OnceLock<EncodedCorpus<'static>> = OnceLock::new();
+    ENC.get_or_init(|| {
+        let t = Instant::now();
+        let enc = EncodedCorpus::build(intel(), &campaign_spec()).expect("encode");
+        println!("[setup] Intel campaign encoded in {:.1?}", t.elapsed());
+        enc
+    })
+}
+
+/// The AMD campaign encoded once for every exhibit.
+fn amd_enc() -> &'static EncodedCorpus<'static> {
+    static ENC: OnceLock<EncodedCorpus<'static>> = OnceLock::new();
+    ENC.get_or_init(|| {
+        let t = Instant::now();
+        let enc = EncodedCorpus::build(amd(), &campaign_spec()).expect("encode");
+        println!("[setup] AMD campaign encoded in {:.1?}", t.elapsed());
+        enc
+    })
 }
 
 fn main() {
@@ -36,68 +93,47 @@ fn main() {
     println!("outputs: {}", out_dir().display());
     println!();
 
-    // Corpora are shared across exhibits; collect lazily.
-    let mut intel: Option<Corpus> = None;
-    let mut amd: Option<Corpus> = None;
-    macro_rules! intel {
-        () => {{
-            if intel.is_none() {
-                let t = Instant::now();
-                intel = Some(intel_corpus());
-                println!("[setup] Intel campaign collected in {:.1?}", t.elapsed());
-            }
-            intel.as_ref().expect("just set")
-        }};
-    }
-    macro_rules! amd {
-        () => {{
-            if amd.is_none() {
-                let t = Instant::now();
-                amd = Some(amd_corpus());
-                println!("[setup] AMD campaign collected in {:.1?}", t.elapsed());
-            }
-            amd.as_ref().expect("just set")
-        }};
-    }
-
     if want("table1") {
         table1();
     }
     if want("table2") {
-        table_metrics("Table II (Intel, 68 metrics)", &INTEL_METRICS.map(|m| m.name));
+        table_metrics(
+            "Table II (Intel, 68 metrics)",
+            &INTEL_METRICS.map(|m| m.name),
+        );
     }
     if want("table3") {
         table_metrics("Table III (AMD, 75 metrics)", &AMD_METRICS.map(|m| m.name));
     }
     if want("fig1") {
-        fig1(intel!());
+        fig1();
     }
     if want("fig3") {
-        fig3(intel!());
+        fig3();
     }
     if want("fig4") {
-        fig4(intel!());
+        fig4();
     }
     if want("fig5") {
-        fig5(intel!());
+        fig5();
     }
     if want("fig6") {
-        fig6(intel!());
+        fig6();
     }
     if want("fig7") {
-        fig7(amd!(), intel!());
+        fig7();
     }
     if want("fig8") {
-        fig8(amd!(), intel!());
+        fig8();
     }
     if want("fig9") {
-        fig9(amd!(), intel!());
+        fig9();
     }
     if want("ablations") {
-        ablations(intel!());
+        ablations();
     }
     if want("baselines") {
-        baselines(intel!());
+        baselines();
     }
 
     println!("\ntotal: {:.1?}", started.elapsed());
@@ -129,8 +165,9 @@ fn table_metrics(title: &str, names: &[&str]) {
 
 /// Fig. 1: SPEC OMP 376 measured at 1000/2/3/5/10 samples + prediction
 /// from 10 samples.
-fn fig1(intel: &Corpus) {
+fn fig1() {
     println!("== Fig. 1: measured and predicted distributions of SPEC OMP 376 ==");
+    let intel = intel();
     let idx = intel
         .benchmarks
         .iter()
@@ -158,7 +195,7 @@ fn fig1(intel: &Corpus) {
     // (f): LOGO prediction from 10 runs, PearsonRnd + kNN.
     let include: Vec<usize> = (0..intel.len()).filter(|&i| i != idx).collect();
     let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
-    let predictor = FewRunsPredictor::train(intel, &include, cfg).expect("train");
+    let predictor = FewRunsPredictor::train_encoded(intel_enc(), &include, cfg).expect("train");
     let predicted = predictor
         .predict_distribution(&bench.runs, 1000, 376)
         .expect("predict");
@@ -176,8 +213,9 @@ fn fig1(intel: &Corpus) {
 }
 
 /// Fig. 3: relative-time KDE of every benchmark on the Intel system.
-fn fig3(intel: &Corpus) {
+fn fig3() {
     println!("== Fig. 3: relative execution time densities, all benchmarks (Intel) ==");
+    let intel = intel();
     let width = 64;
     let mut rows = Vec::new();
     let mut labels = Vec::new();
@@ -201,30 +239,37 @@ fn fig3(intel: &Corpus) {
 
 /// Fig. 4: KS violins per (representation × model) for use case 1 at ten
 /// runs, on the Intel system.
-fn fig4(intel: &Corpus) {
+fn fig4() {
     println!("== Fig. 4: use case 1, representation × model (Intel, 10 runs) ==");
-    let summaries = grid_uc1(intel, 10);
+    let summaries = grid_uc1(intel_enc(), 10);
     render_grid(&summaries, "fig4");
     headline_uc(&summaries);
 }
 
 /// Fig. 5: measured-vs-predicted overlays across the KS spectrum (UC1).
-fn fig5(intel: &Corpus) {
-    println!("== Fig. 5: prediction overlays across the KS spectrum (UC1, PearsonRnd+kNN, 10 runs) ==");
+fn fig5() {
+    println!(
+        "== Fig. 5: prediction overlays across the KS spectrum (UC1, PearsonRnd+kNN, 10 runs) =="
+    );
+    let intel = intel();
+    let enc = intel_enc();
     let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
     // Score every benchmark under LOGO, then show overlays at quantiles.
-    let summary = evaluate_few_runs(intel, cfg).expect("eval");
+    let summary = evaluate_few_runs_encoded(enc, cfg).expect("eval");
     let mut order: Vec<usize> = (0..summary.scores.len()).collect();
-    order.sort_by(|&a, &b| summary.scores[a].ks.partial_cmp(&summary.scores[b].ks).expect("finite"));
-    let picks: Vec<usize> = (0..8)
-        .map(|i| order[i * (order.len() - 1) / 7])
-        .collect();
+    order.sort_by(|&a, &b| {
+        summary.scores[a]
+            .ks
+            .partial_cmp(&summary.scores[b].ks)
+            .expect("finite")
+    });
+    let picks: Vec<usize> = (0..8).map(|i| order[i * (order.len() - 1) / 7]).collect();
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for &bi in &picks {
         let bench = &intel.benchmarks[bi];
         let include: Vec<usize> = (0..intel.len()).filter(|&i| i != bi).collect();
-        let p = FewRunsPredictor::train(intel, &include, cfg).expect("train");
+        let p = FewRunsPredictor::train_encoded(enc, &include, cfg).expect("train");
         let predicted = p
             .predict_distribution(&bench.runs, 1000, bi as u64)
             .expect("predict");
@@ -235,7 +280,10 @@ fn fig5(intel: &Corpus) {
             bench.id.qualified(),
             summary.scores[bi].ks
         );
-        print!("{}", overlay(&rel, &predicted, lo, hi, 64).expect("overlay"));
+        print!(
+            "{}",
+            overlay(&rel, &predicted, lo, hi, 64).expect("overlay")
+        );
         for (tag, xs) in [("measured", &rel), ("predicted", &predicted)] {
             labels.push(format!("{}:{tag}", bench.id.qualified()));
             let mut row = vec![summary.scores[bi].ks, lo, hi];
@@ -254,14 +302,14 @@ fn fig5(intel: &Corpus) {
 }
 
 /// Fig. 6: KS score vs. number of profile runs (UC1, best repr+model).
-fn fig6(intel: &Corpus) {
+fn fig6() {
     println!("== Fig. 6: KS vs number of samples (UC1, PearsonRnd+kNN, Intel) ==");
-    let sample_counts = [1usize, 2, 3, 5, 10, 25, 50, 100];
+    let enc = intel_enc();
     let mut rows = Vec::new();
     let mut labels = Vec::new();
-    for &s in &sample_counts {
+    for &s in &pv_bench::UC1_SAMPLE_COUNTS {
         let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, s);
-        let summary = evaluate_few_runs(intel, cfg).expect("eval");
+        let summary = evaluate_few_runs_encoded(enc, cfg).expect("eval");
         println!(
             "{}",
             violin_row(&format!("{s} samples"), &summary.ks_values(), 44).expect("violin")
@@ -272,7 +320,11 @@ fn fig6(intel: &Corpus) {
         rows.push(row);
     }
     let mut header: Vec<&str> = vec!["samples", "mean", "median"];
-    let bench_names: Vec<String> = intel.benchmarks.iter().map(|b| b.id.qualified()).collect();
+    let bench_names: Vec<String> = intel()
+        .benchmarks
+        .iter()
+        .map(|b| b.id.qualified())
+        .collect();
     let name_refs: Vec<&str> = bench_names.iter().map(|s| s.as_str()).collect();
     header.extend(name_refs);
     write_csv(&out_dir().join("fig6.csv"), &header, &rows, Some(&labels)).expect("csv");
@@ -281,19 +333,19 @@ fn fig6(intel: &Corpus) {
 
 /// Fig. 7: KS violins per (representation × model) for use case 2,
 /// AMD → Intel.
-fn fig7(amd: &Corpus, intel: &Corpus) {
+fn fig7() {
     println!("== Fig. 7: use case 2, representation × model (AMD → Intel) ==");
-    let summaries = grid_uc2(amd, intel);
+    let summaries = grid_uc2(amd_enc(), intel_enc());
     render_grid(&summaries, "fig7");
     headline_uc(&summaries);
 }
 
 /// Fig. 8: prediction direction comparison (AMD→Intel vs Intel→AMD).
-fn fig8(amd: &Corpus, intel: &Corpus) {
+fn fig8() {
     println!("== Fig. 8: direction of prediction (PearsonRnd + kNN) ==");
     let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
-    let a2i = evaluate_cross_system(amd, intel, cfg).expect("eval");
-    let i2a = evaluate_cross_system(intel, amd, cfg).expect("eval");
+    let a2i = evaluate_cross_system_encoded(amd_enc(), intel_enc(), cfg).expect("eval");
+    let i2a = evaluate_cross_system_encoded(intel_enc(), amd_enc(), cfg).expect("eval");
     println!(
         "{}",
         violin_row("AMD -> Intel", &a2i.ks_values(), 44).expect("violin")
@@ -328,20 +380,26 @@ fn fig8(amd: &Corpus, intel: &Corpus) {
 }
 
 /// Fig. 9: overlays for use case 2 (AMD → Intel).
-fn fig9(amd: &Corpus, intel: &Corpus) {
+fn fig9() {
     println!("== Fig. 9: prediction overlays across the KS spectrum (UC2, AMD → Intel) ==");
+    let amd = amd();
+    let intel = intel();
     let cfg = uc2_config(ReprKind::PearsonRnd, ModelKind::Knn);
-    let summary = evaluate_cross_system(amd, intel, cfg).expect("eval");
+    let summary = evaluate_cross_system_encoded(amd_enc(), intel_enc(), cfg).expect("eval");
     let mut order: Vec<usize> = (0..summary.scores.len()).collect();
-    order.sort_by(|&a, &b| summary.scores[a].ks.partial_cmp(&summary.scores[b].ks).expect("finite"));
-    let picks: Vec<usize> = (0..8)
-        .map(|i| order[i * (order.len() - 1) / 7])
-        .collect();
+    order.sort_by(|&a, &b| {
+        summary.scores[a]
+            .ks
+            .partial_cmp(&summary.scores[b].ks)
+            .expect("finite")
+    });
+    let picks: Vec<usize> = (0..8).map(|i| order[i * (order.len() - 1) / 7]).collect();
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for &bi in &picks {
         let include: Vec<usize> = (0..amd.len()).filter(|&i| i != bi).collect();
-        let p = CrossSystemPredictor::train(amd, intel, &include, cfg).expect("train");
+        let p = CrossSystemPredictor::train_encoded(amd_enc(), intel_enc(), &include, cfg)
+            .expect("train");
         let predicted = p
             .predict_distribution(&amd.benchmarks[bi], 1000, bi as u64)
             .expect("predict");
@@ -352,7 +410,10 @@ fn fig9(amd: &Corpus, intel: &Corpus) {
             intel.benchmarks[bi].id.qualified(),
             summary.scores[bi].ks
         );
-        print!("{}", overlay(&truth, &predicted, lo, hi, 64).expect("overlay"));
+        print!(
+            "{}",
+            overlay(&truth, &predicted, lo, hi, 64).expect("overlay")
+        );
         for (tag, xs) in [("actual", &truth), ("predicted", &predicted)] {
             labels.push(format!("{}:{tag}", intel.benchmarks[bi].id.qualified()));
             let mut row = vec![summary.scores[bi].ks, lo, hi];
@@ -372,10 +433,12 @@ fn fig9(amd: &Corpus, intel: &Corpus) {
 
 /// Ablations of the paper's inline design claims: distance metric, k,
 /// histogram bin count, and per-representation reconstruction floors.
-fn ablations(intel: &Corpus) {
-    use pv_core::ablation::{evaluate_knn_variant, histogram_floor, reconstruction_floor};
+fn ablations() {
+    use pv_core::ablation::{evaluate_knn_variant_encoded, histogram_floor, reconstruction_floor};
     use pv_ml::Distance;
 
+    let intel = intel();
+    let enc = intel_enc();
     println!("== Ablation: kNN distance metric (PearsonRnd, k=15, 10 runs) ==");
     let mut rows = Vec::new();
     let mut labels = Vec::new();
@@ -385,8 +448,11 @@ fn ablations(intel: &Corpus) {
         Distance::Manhattan,
         Distance::Chebyshev,
     ] {
-        let s = evaluate_knn_variant(intel, dist, 15, 10, CAMPAIGN_SEED).expect("eval");
-        println!("  {dist:<12?} mean KS {:.3}  median {:.3}", s.mean, s.spread.median);
+        let s = evaluate_knn_variant_encoded(enc, dist, 15, 10, CAMPAIGN_SEED).expect("eval");
+        println!(
+            "  {dist:<12?} mean KS {:.3}  median {:.3}",
+            s.mean, s.spread.median
+        );
         labels.push(format!("{dist:?}"));
         rows.push(vec![s.mean, s.spread.median]);
     }
@@ -402,7 +468,7 @@ fn ablations(intel: &Corpus) {
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for k in [1usize, 3, 5, 10, 15, 25, 40, 59] {
-        let s = evaluate_knn_variant(intel, Distance::Cosine, k, 10, CAMPAIGN_SEED)
+        let s = evaluate_knn_variant_encoded(enc, Distance::Cosine, k, 10, CAMPAIGN_SEED)
             .expect("eval");
         println!("  k = {k:<3} mean KS {:.3}", s.mean);
         labels.push(format!("{k}"));
@@ -444,15 +510,16 @@ fn ablations(intel: &Corpus) {
 
 /// Baselines: what does learning buy over (a) just using the s measured
 /// runs, (b) predicting the population distribution?
-fn baselines(intel: &Corpus) {
-    use pv_core::baseline::{empirical_baseline, population_baseline};
+fn baselines() {
+    use pv_core::baseline::{empirical_baseline_encoded, population_baseline_encoded};
+    let enc = intel_enc();
     println!("== Baselines vs the learned predictor (UC1, PearsonRnd + kNN) ==");
     let mut rows = Vec::new();
     let mut labels = Vec::new();
     for s in [2usize, 5, 10, 25, 100] {
-        let raw = empirical_baseline(intel, s).expect("baseline");
+        let raw = empirical_baseline_encoded(enc, s).expect("baseline");
         let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, s);
-        let learned = evaluate_few_runs(intel, cfg).expect("eval");
+        let learned = evaluate_few_runs_encoded(enc, cfg).expect("eval");
         println!(
             "  s = {s:<4} raw-empirical {:.3}   learned {:.3}   gain {:+.3}",
             raw.mean,
@@ -462,7 +529,7 @@ fn baselines(intel: &Corpus) {
         labels.push(format!("{s}"));
         rows.push(vec![raw.mean, learned.mean]);
     }
-    let pop = population_baseline(intel, 5000).expect("baseline");
+    let pop = population_baseline_encoded(enc, 5000).expect("baseline");
     println!("  population-pool baseline: {:.3}", pop.mean);
     write_csv(
         &out_dir().join("baselines.csv"),
@@ -491,53 +558,65 @@ fn axis_pair(a: &[f64], b: &[f64]) -> (f64, f64) {
     (l1.min(l2), h1.max(h2))
 }
 
-/// Runs the full 3×3 grid for use case 1 at `s` profile runs.
-fn grid_uc1(intel: &Corpus, s: usize) -> Vec<(String, EvalSummary)> {
-    let mut out = Vec::new();
-    for repr in ReprKind::ALL {
-        for model in ModelKind::ALL {
-            let t = Instant::now();
-            let cfg = uc1_config(repr, model, s);
-            let summary = evaluate_few_runs(intel, cfg).expect("eval");
-            eprintln!(
-                "  [{} × {}] mean KS {:.3} ({:.1?})",
-                repr.name(),
-                model.name(),
-                summary.mean,
-                t.elapsed()
-            );
-            out.push((format!("{} + {}", repr.name(), model.name()), summary));
-        }
-    }
-    out
+/// The 3×3 representation × model grid.
+fn grid_cells() -> Vec<(ReprKind, ModelKind)> {
+    ReprKind::ALL
+        .iter()
+        .flat_map(|&repr| ModelKind::ALL.iter().map(move |&model| (repr, model)))
+        .collect()
 }
 
-/// Runs the full 3×3 grid for use case 2 (src → dst).
-fn grid_uc2(src: &Corpus, dst: &Corpus) -> Vec<(String, EvalSummary)> {
-    let mut out = Vec::new();
-    for repr in ReprKind::ALL {
-        for model in ModelKind::ALL {
+/// Runs the full 3×3 grid for use case 1 at `s` profile runs.
+///
+/// Cells run in parallel over the shared cache; the order-preserving
+/// collect keeps output order (and contents) identical to the serial
+/// grid.
+fn grid_uc1(enc: &EncodedCorpus<'_>, s: usize) -> Vec<(String, EvalSummary)> {
+    let cells: Vec<(ReprKind, ModelKind, EvalSummary, Duration)> = grid_cells()
+        .into_par_iter()
+        .map(|(repr, model)| {
             let t = Instant::now();
-            let cfg = uc2_config(repr, model);
-            let summary = evaluate_cross_system(src, dst, cfg).expect("eval");
+            let summary = evaluate_few_runs_encoded(enc, uc1_config(repr, model, s)).expect("eval");
+            (repr, model, summary, t.elapsed())
+        })
+        .collect();
+    finish_grid(cells)
+}
+
+/// Runs the full 3×3 grid for use case 2 (src → dst), cells in parallel.
+fn grid_uc2(src: &EncodedCorpus<'_>, dst: &EncodedCorpus<'_>) -> Vec<(String, EvalSummary)> {
+    let cells: Vec<(ReprKind, ModelKind, EvalSummary, Duration)> = grid_cells()
+        .into_par_iter()
+        .map(|(repr, model)| {
+            let t = Instant::now();
+            let summary =
+                evaluate_cross_system_encoded(src, dst, uc2_config(repr, model)).expect("eval");
+            (repr, model, summary, t.elapsed())
+        })
+        .collect();
+    finish_grid(cells)
+}
+
+fn finish_grid(
+    cells: Vec<(ReprKind, ModelKind, EvalSummary, Duration)>,
+) -> Vec<(String, EvalSummary)> {
+    cells
+        .into_iter()
+        .map(|(repr, model, summary, elapsed)| {
             eprintln!(
                 "  [{} × {}] mean KS {:.3} ({:.1?})",
                 repr.name(),
                 model.name(),
                 summary.mean,
-                t.elapsed()
+                elapsed
             );
-            out.push((format!("{} + {}", repr.name(), model.name()), summary));
-        }
-    }
-    out
+            (format!("{} + {}", repr.name(), model.name()), summary)
+        })
+        .collect()
 }
 
 fn render_grid(summaries: &[(String, EvalSummary)], stem: &str) {
-    let rows: Vec<(String, &EvalSummary)> = summaries
-        .iter()
-        .map(|(l, s)| (l.clone(), s))
-        .collect();
+    let rows: Vec<(String, &EvalSummary)> = summaries.iter().map(|(l, s)| (l.clone(), s)).collect();
     println!("{}", summary_table(&rows).expect("table"));
     let csv_rows: Vec<Vec<f64>> = summaries
         .iter()

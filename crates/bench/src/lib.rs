@@ -13,6 +13,9 @@
 //!
 //! The library part hosts the experiment configuration shared by both.
 
+use std::sync::OnceLock;
+
+use pv_core::pipeline::EncodingSpec;
 use pv_core::usecase1::FewRunsConfig;
 use pv_core::usecase2::CrossSystemConfig;
 use pv_core::{ModelKind, ReprKind};
@@ -31,6 +34,13 @@ pub const CAMPAIGN_RUNS: usize = 1000;
 /// applications.
 pub const PROFILES_PER_BENCHMARK: usize = 1;
 
+/// Profile-run counts swept by the use-case-1 exhibits (Fig. 6 axis;
+/// Fig. 1/4/5 use the 10-run entry, the baselines a subset).
+pub const UC1_SAMPLE_COUNTS: [usize; 8] = [1, 2, 3, 5, 10, 25, 50, 100];
+
+/// Source-system runs summarized into the use-case-2 profile.
+pub const UC2_PROFILE_RUNS: usize = 100;
+
 /// Collects the full Intel campaign (60 benchmarks × 1,000 runs).
 pub fn intel_corpus() -> Corpus {
     Corpus::collect(&SystemModel::intel(), CAMPAIGN_RUNS, CAMPAIGN_SEED)
@@ -39,6 +49,40 @@ pub fn intel_corpus() -> Corpus {
 /// Collects the full AMD campaign.
 pub fn amd_corpus() -> Corpus {
     Corpus::collect(&SystemModel::amd(), CAMPAIGN_RUNS, CAMPAIGN_SEED)
+}
+
+/// The Intel campaign, collected once per process and shared by every
+/// exhibit/benchmark that asks.
+pub fn intel_campaign() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(intel_corpus)
+}
+
+/// The AMD campaign, collected once per process.
+pub fn amd_campaign() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(amd_corpus)
+}
+
+/// The encoding spec covering every campaign exhibit on one corpus:
+/// profile windows for each swept `s`, target encodings for all three
+/// representations (the grids), and use-case-2 joined rows. Build one
+/// [`EncodedCorpus`](pv_core::pipeline::EncodedCorpus) per corpus from
+/// this and every figure/table shares it.
+pub fn campaign_spec() -> EncodingSpec {
+    let mut spec = EncodingSpec::new();
+    for &s in &UC1_SAMPLE_COUNTS {
+        spec = spec.profiles(
+            s,
+            PROFILES_PER_BENCHMARK.min(CAMPAIGN_RUNS / s.max(1)).max(1),
+        );
+    }
+    for repr in ReprKind::ALL {
+        spec = spec
+            .target(repr)
+            .joined(UC2_PROFILE_RUNS.clamp(1, CAMPAIGN_RUNS), repr);
+    }
+    spec
 }
 
 /// The use-case-1 configuration for a given representation/model cell at
@@ -58,7 +102,7 @@ pub fn uc2_config(repr: ReprKind, model: ModelKind) -> CrossSystemConfig {
     CrossSystemConfig {
         repr,
         model,
-        profile_runs: 100,
+        profile_runs: UC2_PROFILE_RUNS,
         seed: CAMPAIGN_SEED,
     }
 }
@@ -78,7 +122,34 @@ mod tests {
 
     #[test]
     fn configs_carry_the_campaign_seed() {
-        assert_eq!(uc1_config(ReprKind::Histogram, ModelKind::Knn, 10).seed, CAMPAIGN_SEED);
-        assert_eq!(uc2_config(ReprKind::Histogram, ModelKind::Knn).seed, CAMPAIGN_SEED);
+        assert_eq!(
+            uc1_config(ReprKind::Histogram, ModelKind::Knn, 10).seed,
+            CAMPAIGN_SEED
+        );
+        assert_eq!(
+            uc2_config(ReprKind::Histogram, ModelKind::Knn).seed,
+            CAMPAIGN_SEED
+        );
+    }
+
+    #[test]
+    fn campaign_spec_covers_every_exhibit() {
+        use pv_core::pipeline::EncodedCorpus;
+        // A 100-run corpus admits every window the spec asks for (the
+        // largest is 1 × 100 runs), so this exercises the real spec
+        // without collecting the full campaign.
+        let c = Corpus::collect(&SystemModel::intel(), 100, 1);
+        let enc = EncodedCorpus::build(&c, &campaign_spec()).unwrap();
+        for &s in &UC1_SAMPLE_COUNTS {
+            assert!(enc.profile(s, 0, 0).is_ok(), "s = {s}");
+        }
+        for repr in ReprKind::ALL {
+            assert!(enc.target(repr, 0).is_ok(), "{}", repr.name());
+            assert!(
+                enc.joined(UC2_PROFILE_RUNS, repr, 0).is_ok(),
+                "{}",
+                repr.name()
+            );
+        }
     }
 }

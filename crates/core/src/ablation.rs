@@ -10,19 +10,24 @@
 
 use rand::SeedableRng;
 
-use pv_ml::{Dataset, DenseMatrix, Distance, KnnRegressor, Regressor, StandardScaler};
+use pv_ml::{Distance, KnnRegressor, Regressor};
 use pv_stats::ks::ks2_statistic;
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
 use pv_sysmodel::Corpus;
 
 use crate::eval::{BenchScore, EvalSummary, RECONSTRUCTION_SAMPLES};
-use crate::profile::Profile;
+use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
 use crate::repr::{DistributionRepr, HistogramRepr, ReprKind, REL_TIME_RANGE};
 
 /// Leave-one-out kNN evaluation with an explicit distance metric and `k`,
 /// PearsonRnd representation, `s`-run profiles. This is the engine behind
 /// the distance and k ablations.
+///
+/// Runs on the shared [`pipeline`](crate::pipeline) layer with
+/// [`SeedMode::Shared`], which preserves this module's historical seed
+/// chain (decode streams derive directly from `seed`), so scores are
+/// bit-identical to the original serial fold loop — now in parallel.
 ///
 /// # Errors
 /// Propagates training/encoding failures.
@@ -33,42 +38,60 @@ pub fn evaluate_knn_variant(
     s: usize,
     seed: u64,
 ) -> Result<EvalSummary, StatsError> {
+    let spec = EncodingSpec::new()
+        .profiles(s, 1)
+        .target(ReprKind::PearsonRnd);
+    let enc = EncodedCorpus::build(corpus, &spec)?;
+    evaluate_knn_variant_encoded(&enc, distance, k, s, seed)
+}
+
+/// [`evaluate_knn_variant`] on a prebuilt cache (the k/distance grids
+/// reuse one cache per `s`).
+///
+/// # Errors
+/// Fails when the cache is missing `s`-run profiles or PearsonRnd
+/// targets, plus anything [`evaluate_knn_variant`] can fail with.
+pub fn evaluate_knn_variant_encoded(
+    enc: &EncodedCorpus,
+    distance: Distance,
+    k: usize,
+    s: usize,
+    seed: u64,
+) -> Result<EvalSummary, StatsError> {
     let repr = ReprKind::PearsonRnd.build();
-    let n = corpus.len();
-    // Precompute features and targets once (they don't depend on the
-    // fold).
-    let mut features: Vec<Vec<f64>> = Vec::with_capacity(n);
-    let mut targets: Vec<Vec<f64>> = Vec::with_capacity(n);
-    for b in &corpus.benchmarks {
-        features.push(Profile::from_runs(&b.runs, s)?.features);
-        targets.push(repr.encode(&b.runs.rel_times())?);
-    }
-    let scores = (0..n)
-        .map(|held| {
-            let train_idx: Vec<usize> = (0..n).filter(|&i| i != held).collect();
-            let x_rows: Vec<Vec<f64>> =
-                train_idx.iter().map(|&i| features[i].clone()).collect();
-            let y_rows: Vec<Vec<f64>> = train_idx.iter().map(|&i| targets[i].clone()).collect();
-            let x = DenseMatrix::from_rows(&x_rows)?;
-            let y = DenseMatrix::from_rows(&y_rows)?;
-            let mut scaler = StandardScaler::new();
-            let x = scaler.fit_transform(&x)?;
-            let mut model = KnnRegressor::new(k).with_distance(distance);
-            model.fit(&Dataset::ungrouped(x, y)?)?;
-            let mut q = features[held].clone();
-            scaler.transform_row(&mut q)?;
-            let predicted_features = model.predict(&q)?;
-            let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, held as u64));
-            let predicted =
-                repr.decode(&predicted_features, &mut rng, RECONSTRUCTION_SAMPLES)?;
-            let ks = ks2_statistic(&predicted, &corpus.benchmarks[held].runs.rel_times())?;
-            Ok(BenchScore {
-                id: corpus.benchmarks[held].id,
-                ks,
+    let corpus = enc.corpus();
+    let runner = FoldRunner {
+        n_folds: enc.len(),
+        seed,
+        seed_mode: SeedMode::Shared,
+        standardize: true,
+        n_samples: RECONSTRUCTION_SAMPLES,
+        repr: repr.as_ref(),
+    };
+    runner.run(
+        |_fold_seed| Box::new(KnnRegressor::new(k).with_distance(distance)) as Box<dyn Regressor>,
+        |held, include| {
+            let x_rows = include
+                .iter()
+                .map(|&i| enc.profile(s, i, 0))
+                .collect::<Result<Vec<_>, _>>()?;
+            let y_rows = include
+                .iter()
+                .map(|&i| enc.target(ReprKind::PearsonRnd, i))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(FoldPlan {
+                x_rows,
+                y_rows,
+                // The historical loop used `Dataset::ungrouped`.
+                groups: (0..include.len()).collect(),
+                query: enc.profile(s, held, 0)?.to_vec(),
             })
-        })
-        .collect::<Result<Vec<_>, StatsError>>()?;
-    EvalSummary::from_scores(scores)
+        },
+        |held| FoldTruth {
+            id: corpus.benchmarks[held].id,
+            rel: enc.rel_times(held),
+        },
+    )
 }
 
 /// The reconstruction floor of a representation: encode each benchmark's
@@ -114,10 +137,73 @@ pub fn histogram_floor(corpus: &Corpus, bins: usize, seed: u64) -> Result<EvalSu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::Profile;
+    use pv_ml::{Dataset, DenseMatrix, StandardScaler};
     use pv_sysmodel::SystemModel;
 
     fn corpus() -> Corpus {
         Corpus::collect(&SystemModel::intel(), 100, 0xC0FFEE)
+    }
+
+    /// The pre-pipeline implementation, verbatim: a serial fold loop over
+    /// cloned rows. Kept as the ground truth the parallel runner must
+    /// reproduce bit for bit.
+    fn serial_reference(
+        corpus: &Corpus,
+        distance: Distance,
+        k: usize,
+        s: usize,
+        seed: u64,
+    ) -> EvalSummary {
+        let repr = ReprKind::PearsonRnd.build();
+        let n = corpus.len();
+        let mut features: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut targets: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for b in &corpus.benchmarks {
+            features.push(Profile::from_runs(&b.runs, s).unwrap().features);
+            targets.push(repr.encode(&b.runs.rel_times()).unwrap());
+        }
+        let scores = (0..n)
+            .map(|held| {
+                let train_idx: Vec<usize> = (0..n).filter(|&i| i != held).collect();
+                let x_rows: Vec<Vec<f64>> =
+                    train_idx.iter().map(|&i| features[i].clone()).collect();
+                let y_rows: Vec<Vec<f64>> = train_idx.iter().map(|&i| targets[i].clone()).collect();
+                let x = DenseMatrix::from_rows(&x_rows).unwrap();
+                let y = DenseMatrix::from_rows(&y_rows).unwrap();
+                let mut scaler = StandardScaler::new();
+                let x = scaler.fit_transform(&x).unwrap();
+                let mut model = KnnRegressor::new(k).with_distance(distance);
+                model.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
+                let mut q = features[held].clone();
+                scaler.transform_row(&mut q).unwrap();
+                let predicted_features = model.predict(&q).unwrap();
+                let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, held as u64));
+                let predicted = repr
+                    .decode(&predicted_features, &mut rng, RECONSTRUCTION_SAMPLES)
+                    .unwrap();
+                let ks =
+                    ks2_statistic(&predicted, &corpus.benchmarks[held].runs.rel_times()).unwrap();
+                BenchScore {
+                    id: corpus.benchmarks[held].id,
+                    ks,
+                }
+            })
+            .collect::<Vec<_>>();
+        EvalSummary::from_scores(scores).unwrap()
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_reference() {
+        let c = Corpus::collect(&SystemModel::intel(), 40, 7);
+        for (distance, k, s, seed) in [
+            (Distance::Cosine, 15, 10, 1),
+            (Distance::Manhattan, 5, 5, 9),
+        ] {
+            let parallel = evaluate_knn_variant(&c, distance, k, s, seed).unwrap();
+            let serial = serial_reference(&c, distance, k, s, seed);
+            assert_eq!(parallel, serial, "{distance:?} k={k} s={s}");
+        }
     }
 
     #[test]
@@ -135,7 +221,12 @@ mod tests {
         let c = corpus();
         let k15 = evaluate_knn_variant(&c, Distance::Cosine, 15, 10, 1).unwrap();
         let kall = evaluate_knn_variant(&c, Distance::Cosine, 59, 10, 1).unwrap();
-        assert!(k15.mean < kall.mean, "k=15 {} vs k=59 {}", k15.mean, kall.mean);
+        assert!(
+            k15.mean < kall.mean,
+            "k=15 {} vs k=59 {}",
+            k15.mean,
+            kall.mean
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use pv_stats::StatsError;
 use pv_sysmodel::Corpus;
 
 use crate::eval::{BenchScore, EvalSummary};
+use crate::pipeline::{EncodedCorpus, EncodingSpec};
 
 /// KS of the `s`-run empirical distribution against the full measured
 /// distribution, per benchmark.
@@ -24,6 +25,20 @@ use crate::eval::{BenchScore, EvalSummary};
 /// # Errors
 /// Fails when `s` is zero or exceeds the corpus run count.
 pub fn empirical_baseline(corpus: &Corpus, s: usize) -> Result<EvalSummary, StatsError> {
+    let enc = EncodedCorpus::build(corpus, &EncodingSpec::new())?;
+    empirical_baseline_encoded(&enc, s)
+}
+
+/// [`empirical_baseline`] on a prebuilt cache (relative times are always
+/// cached, so any [`EncodedCorpus`] works; sweeps over `s` share one).
+///
+/// # Errors
+/// Same as [`empirical_baseline`].
+pub fn empirical_baseline_encoded(
+    enc: &EncodedCorpus,
+    s: usize,
+) -> Result<EvalSummary, StatsError> {
+    let corpus = enc.corpus();
     if s == 0 || s > corpus.n_runs {
         return Err(StatsError::invalid(
             "empirical_baseline",
@@ -33,9 +48,10 @@ pub fn empirical_baseline(corpus: &Corpus, s: usize) -> Result<EvalSummary, Stat
     let scores = corpus
         .benchmarks
         .iter()
-        .map(|b| {
-            let rel = b.runs.rel_times();
-            let ks = ks2_statistic(&rel[..s], &rel)?;
+        .enumerate()
+        .map(|(bi, b)| {
+            let rel = enc.rel_times(bi);
+            let ks = ks2_statistic(&rel[..s], rel)?;
             Ok(BenchScore { id: b.id, ks })
         })
         .collect::<Result<Vec<_>, StatsError>>()?;
@@ -51,6 +67,19 @@ pub fn empirical_baseline(corpus: &Corpus, s: usize) -> Result<EvalSummary, Stat
 /// # Errors
 /// Fails on an empty corpus.
 pub fn population_baseline(corpus: &Corpus, max_pool: usize) -> Result<EvalSummary, StatsError> {
+    let enc = EncodedCorpus::build(corpus, &EncodingSpec::new())?;
+    population_baseline_encoded(&enc, max_pool)
+}
+
+/// [`population_baseline`] on a prebuilt cache.
+///
+/// # Errors
+/// Same as [`population_baseline`].
+pub fn population_baseline_encoded(
+    enc: &EncodedCorpus,
+    max_pool: usize,
+) -> Result<EvalSummary, StatsError> {
+    let corpus = enc.corpus();
     if corpus.is_empty() {
         return Err(StatsError::EmptyInput {
             what: "population_baseline",
@@ -65,14 +94,14 @@ pub fn population_baseline(corpus: &Corpus, max_pool: usize) -> Result<EvalSumma
         .map(|(held, b)| {
             // Pool every other benchmark's relative times.
             let mut pool: Vec<f64> = Vec::new();
-            for (i, other) in corpus.benchmarks.iter().enumerate() {
+            for i in 0..corpus.len() {
                 if i != held {
-                    pool.extend(other.runs.rel_times());
+                    pool.extend_from_slice(enc.rel_times(i));
                 }
             }
             let stride = (pool.len() / max_pool.max(1)).max(1);
             let thinned: Vec<f64> = pool.into_iter().step_by(stride).collect();
-            let ks = ks2_statistic(&thinned, &b.runs.rel_times())?;
+            let ks = ks2_statistic(&thinned, enc.rel_times(held))?;
             Ok(BenchScore { id: b.id, ks })
         })
         .collect::<Result<Vec<_>, StatsError>>()?;

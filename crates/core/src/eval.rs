@@ -5,18 +5,23 @@
 //! reconstructed into samples and scored with the two-sample KS statistic
 //! against the measured (1,000-run) distribution. Violin plots in the
 //! paper are KDEs over these 60 per-benchmark scores.
+//!
+//! Both evaluations run on the shared [`pipeline`](crate::pipeline)
+//! layer: profiles and target encodings are computed once per corpus
+//! ([`EncodedCorpus`]) and each fold is assembled by row slicing inside a
+//! [`FoldRunner`]. The `*_encoded` variants accept a prebuilt cache so
+//! sweeps over models/representations on the same corpus (the paper's
+//! grids) pay for encoding once.
 
-use rayon::prelude::*;
 use serde::Serialize;
 
 use pv_stats::descriptive::FiveNumber;
-use pv_stats::ks::ks2_statistic;
-use pv_stats::rng::derive_stream;
 use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkId, Corpus};
 
-use crate::usecase1::{FewRunsConfig, FewRunsPredictor};
-use crate::usecase2::{CrossSystemConfig, CrossSystemPredictor};
+use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
+use crate::usecase1::FewRunsConfig;
+use crate::usecase2::CrossSystemConfig;
 
 /// Number of samples drawn when reconstructing a predicted distribution
 /// for scoring (matches the 1,000-run measurement campaign).
@@ -63,6 +68,16 @@ impl EvalSummary {
     }
 }
 
+/// The cache spec [`evaluate_few_runs`] needs for a given configuration.
+///
+/// Use this to prebuild an [`EncodedCorpus`] shared across several
+/// configurations (merge specs by chaining the builder).
+pub fn few_runs_spec(cfg: &FewRunsConfig) -> EncodingSpec {
+    EncodingSpec::new()
+        .profiles(cfg.n_profile_runs, cfg.profiles_per_benchmark.max(1))
+        .target(cfg.repr)
+}
+
 /// Leave-one-group-out evaluation of use case #1 on one corpus.
 ///
 /// Folds run in parallel; each fold derives its own seeds, so the result
@@ -71,25 +86,69 @@ impl EvalSummary {
 /// # Errors
 /// Propagates training/prediction failures from any fold.
 pub fn evaluate_few_runs(corpus: &Corpus, cfg: FewRunsConfig) -> Result<EvalSummary, StatsError> {
-    let n = corpus.len();
-    let scores: Result<Vec<BenchScore>, StatsError> = (0..n)
-        .into_par_iter()
-        .map(|held| {
-            let include: Vec<usize> = (0..n).filter(|&i| i != held).collect();
-            let mut fold_cfg = cfg;
-            fold_cfg.seed = derive_stream(cfg.seed, held as u64);
-            let predictor = FewRunsPredictor::train(corpus, &include, fold_cfg)?;
-            let bench = &corpus.benchmarks[held];
-            let predicted = predictor.predict_distribution(
-                &bench.runs,
-                RECONSTRUCTION_SAMPLES,
-                held as u64,
-            )?;
-            let ks = ks2_statistic(&predicted, &bench.runs.rel_times())?;
-            Ok(BenchScore { id: bench.id, ks })
-        })
-        .collect();
-    EvalSummary::from_scores(scores?)
+    let enc = EncodedCorpus::build(corpus, &few_runs_spec(&cfg))?;
+    evaluate_few_runs_encoded(&enc, cfg)
+}
+
+/// [`evaluate_few_runs`] on a prebuilt cache.
+///
+/// Bit-identical to the uncached function for the same corpus, config and
+/// seed; the cache must cover [`few_runs_spec`] for this config.
+///
+/// # Errors
+/// Fails when the cache is missing required entries, plus anything
+/// [`evaluate_few_runs`] can fail with.
+pub fn evaluate_few_runs_encoded(
+    enc: &EncodedCorpus,
+    cfg: FewRunsConfig,
+) -> Result<EvalSummary, StatsError> {
+    let s = cfg.n_profile_runs;
+    let windows = cfg.profiles_per_benchmark.max(1);
+    let corpus = enc.corpus();
+    let repr = cfg.repr.build();
+    let runner = FoldRunner {
+        n_folds: enc.len(),
+        seed: cfg.seed,
+        seed_mode: SeedMode::PerFold,
+        standardize: cfg.model.wants_standardization(),
+        n_samples: RECONSTRUCTION_SAMPLES,
+        repr: repr.as_ref(),
+    };
+    runner.run(
+        |fold_seed| cfg.model.build(fold_seed),
+        |held, include| {
+            let mut x_rows = Vec::with_capacity(include.len() * windows);
+            let mut y_rows = Vec::with_capacity(include.len() * windows);
+            let mut groups = Vec::with_capacity(include.len() * windows);
+            for &bi in include {
+                let target = enc.target(cfg.repr, bi)?;
+                for w in 0..windows {
+                    x_rows.push(enc.profile(s, bi, w)?);
+                    y_rows.push(target);
+                    groups.push(bi);
+                }
+            }
+            Ok(FoldPlan {
+                x_rows,
+                y_rows,
+                groups,
+                query: enc.profile(s, held, 0)?.to_vec(),
+            })
+        },
+        |held| FoldTruth {
+            id: corpus.benchmarks[held].id,
+            rel: enc.rel_times(held),
+        },
+    )
+}
+
+/// The cache specs (source, destination) [`evaluate_cross_system`] needs.
+pub fn cross_system_specs(src: &Corpus, cfg: &CrossSystemConfig) -> (EncodingSpec, EncodingSpec) {
+    let s_eff = cfg.profile_runs.min(src.n_runs).max(1);
+    (
+        EncodingSpec::new().joined(s_eff, cfg.repr),
+        EncodingSpec::new().target(cfg.repr),
+    )
 }
 
 /// Leave-one-group-out evaluation of use case #2 (source → destination).
@@ -101,28 +160,80 @@ pub fn evaluate_cross_system(
     dst: &Corpus,
     cfg: CrossSystemConfig,
 ) -> Result<EvalSummary, StatsError> {
-    let n = src.len();
-    let scores: Result<Vec<BenchScore>, StatsError> = (0..n)
-        .into_par_iter()
-        .map(|held| {
-            let include: Vec<usize> = (0..n).filter(|&i| i != held).collect();
-            let mut fold_cfg = cfg;
-            fold_cfg.seed = derive_stream(cfg.seed, held as u64);
-            let predictor = CrossSystemPredictor::train(src, dst, &include, fold_cfg)?;
-            let predicted = predictor.predict_distribution(
-                &src.benchmarks[held],
-                RECONSTRUCTION_SAMPLES,
-                held as u64,
-            )?;
-            let truth = dst.benchmarks[held].runs.rel_times();
-            let ks = ks2_statistic(&predicted, &truth)?;
-            Ok(BenchScore {
-                id: dst.benchmarks[held].id,
-                ks,
+    let (src_spec, dst_spec) = cross_system_specs(src, &cfg);
+    let src_enc = EncodedCorpus::build(src, &src_spec)?;
+    let dst_enc = EncodedCorpus::build(dst, &dst_spec)?;
+    evaluate_cross_system_encoded(&src_enc, &dst_enc, cfg)
+}
+
+/// [`evaluate_cross_system`] on prebuilt caches.
+///
+/// Bit-identical to the uncached function for the same corpora, config
+/// and seed; the caches must cover [`cross_system_specs`].
+///
+/// # Errors
+/// Fails on mismatched corpora, missing cache entries, plus anything
+/// [`evaluate_cross_system`] can fail with.
+pub fn evaluate_cross_system_encoded(
+    src: &EncodedCorpus,
+    dst: &EncodedCorpus,
+    cfg: CrossSystemConfig,
+) -> Result<EvalSummary, StatsError> {
+    let src_corpus = src.corpus();
+    let dst_corpus = dst.corpus();
+    if src_corpus.len() != dst_corpus.len() {
+        return Err(StatsError::invalid(
+            "evaluate_cross_system",
+            "source and destination corpora cover different rosters",
+        ));
+    }
+    if src_corpus.system == dst_corpus.system {
+        return Err(StatsError::invalid(
+            "evaluate_cross_system",
+            "source and destination are the same system",
+        ));
+    }
+    for (s, d) in src_corpus.benchmarks.iter().zip(&dst_corpus.benchmarks) {
+        if s.id != d.id {
+            return Err(StatsError::invalid(
+                "evaluate_cross_system",
+                "corpora rosters are misaligned",
+            ));
+        }
+    }
+    let s_eff = cfg.profile_runs.min(src_corpus.n_runs).max(1);
+    let repr = cfg.repr.build();
+    let runner = FoldRunner {
+        n_folds: src.len(),
+        seed: cfg.seed,
+        seed_mode: SeedMode::PerFold,
+        standardize: cfg.model.wants_standardization(),
+        n_samples: RECONSTRUCTION_SAMPLES,
+        repr: repr.as_ref(),
+    };
+    runner.run(
+        |fold_seed| cfg.model.build(fold_seed),
+        |held, include| {
+            let mut x_rows = Vec::with_capacity(include.len());
+            let mut y_rows = Vec::with_capacity(include.len());
+            let mut groups = Vec::with_capacity(include.len());
+            for &bi in include {
+                x_rows.push(src.joined(s_eff, cfg.repr, bi)?);
+                y_rows.push(dst.target(cfg.repr, bi)?);
+                groups.push(bi);
+            }
+            Ok(FoldPlan {
+                x_rows,
+                y_rows,
+                groups,
+                query: src.joined(s_eff, cfg.repr, held)?.to_vec(),
             })
-        })
-        .collect();
-    EvalSummary::from_scores(scores?)
+        },
+        |held| FoldTruth {
+            id: dst_corpus.benchmarks[held].id,
+            rel: dst.rel_times(held),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -130,6 +241,7 @@ mod tests {
     use super::*;
     use crate::model::ModelKind;
     use crate::repr::ReprKind;
+    use pv_stats::ks::ks2_statistic;
     use pv_sysmodel::SystemModel;
 
     fn tiny_corpus(sys: SystemModel) -> Corpus {
@@ -151,10 +263,7 @@ mod tests {
         let corpus = tiny_corpus(SystemModel::intel());
         let summary = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
         assert_eq!(summary.scores.len(), 60);
-        assert!(summary
-            .scores
-            .iter()
-            .all(|s| (0.0..=1.0).contains(&s.ks)));
+        assert!(summary.scores.iter().all(|s| (0.0..=1.0).contains(&s.ks)));
         assert!(summary.mean > 0.0 && summary.mean < 1.0);
         assert!(summary.spread.min <= summary.mean && summary.mean <= summary.spread.max);
     }
@@ -165,6 +274,20 @@ mod tests {
         let a = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
         let b = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn few_runs_eval_is_thread_count_independent() {
+        let corpus = tiny_corpus(SystemModel::intel());
+        let baseline = evaluate_few_runs(&corpus, uc1_cfg()).unwrap();
+        for n in [1, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
+            let under_pool = pool.install(|| evaluate_few_runs(&corpus, uc1_cfg()).unwrap());
+            assert_eq!(baseline, under_pool, "{n} threads");
+        }
     }
 
     #[test]
@@ -190,6 +313,23 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_reproduces_per_call_results() {
+        // One cache built for the widest config serves narrower ones.
+        let corpus = tiny_corpus(SystemModel::intel());
+        let wide = uc1_cfg();
+        let narrow = FewRunsConfig {
+            profiles_per_benchmark: 1,
+            ..wide
+        };
+        let enc = EncodedCorpus::build(&corpus, &few_runs_spec(&wide)).unwrap();
+        for cfg in [wide, narrow] {
+            let cached = evaluate_few_runs_encoded(&enc, cfg).unwrap();
+            let fresh = evaluate_few_runs(&corpus, cfg).unwrap();
+            assert_eq!(cached, fresh);
+        }
+    }
+
+    #[test]
     fn cross_system_eval_runs_both_directions() {
         let amd = tiny_corpus(SystemModel::amd());
         let intel = tiny_corpus(SystemModel::intel());
@@ -205,6 +345,13 @@ mod tests {
         assert_eq!(i2a.scores.len(), 60);
         assert!(a2i.mean > 0.0 && a2i.mean < 1.0);
         assert!(i2a.mean > 0.0 && i2a.mean < 1.0);
+    }
+
+    #[test]
+    fn cross_system_rejects_mismatched_pairs() {
+        let amd = tiny_corpus(SystemModel::amd());
+        let cfg = CrossSystemConfig::default();
+        assert!(evaluate_cross_system(&amd, &amd, cfg).is_err());
     }
 
     #[test]

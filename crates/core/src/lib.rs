@@ -17,7 +17,15 @@
 //! | III-A1 few-runs prediction | [`usecase1`] |
 //! | III-A2 cross-system prediction | [`usecase2`] |
 //! | IV-E / V KS-scored leave-one-group-out evaluation | [`eval`] |
+//! | shared encode-once cache + LOGO fold runner | [`pipeline`] |
 //! | figure/table rendering | [`report`] |
+//!
+//! Every evaluation path — both use cases, the kNN ablation grid, and the
+//! baselines — runs on the [`pipeline`] layer: an [`pipeline::EncodedCorpus`]
+//! computes profiles and target encodings once (in parallel), and a
+//! [`pipeline::FoldRunner`] owns the leave-one-group-out scaffolding, so a
+//! fold is row slicing plus a model fit. Results are bit-identical to
+//! training each fold from scratch, for any thread count.
 //!
 //! ## Sixty-second example
 //!
@@ -40,15 +48,23 @@ pub mod ablation;
 pub mod baseline;
 pub mod eval;
 pub mod model;
+pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod repr;
 pub mod usecase1;
 pub mod usecase2;
 
-pub use baseline::{empirical_baseline, population_baseline};
-pub use eval::{evaluate_cross_system, evaluate_few_runs, BenchScore, EvalSummary};
+pub use baseline::{
+    empirical_baseline, empirical_baseline_encoded, population_baseline,
+    population_baseline_encoded,
+};
+pub use eval::{
+    evaluate_cross_system, evaluate_cross_system_encoded, evaluate_few_runs,
+    evaluate_few_runs_encoded, BenchScore, EvalSummary,
+};
 pub use model::ModelKind;
+pub use pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
 pub use profile::Profile;
 pub use repr::{DistributionRepr, ReprKind};
 pub use usecase1::{FewRunsConfig, FewRunsPredictor};

@@ -52,9 +52,7 @@ impl ModelKind {
     /// feature subsampling); kNN ignores it.
     pub fn build(&self, seed: u64) -> Box<dyn Regressor> {
         match self {
-            ModelKind::Knn => Box::new(
-                KnnRegressor::new(15).with_distance(Distance::Cosine),
-            ),
+            ModelKind::Knn => Box::new(KnnRegressor::new(15).with_distance(Distance::Cosine)),
             ModelKind::RandomForest => Box::new(
                 RandomForestRegressor::new(100)
                     .with_max_depth(14)

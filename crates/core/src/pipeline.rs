@@ -1,0 +1,535 @@
+//! Shared training/evaluation pipeline: encode once, slice per fold.
+//!
+//! Every evaluation in this crate is the same shape: a leave-one-group-out
+//! loop whose folds differ only in *which rows* of a fixed feature/target
+//! pool they train on. Profiles and representation encodings are RNG-free,
+//! so they can be computed once per corpus and reused across folds (and
+//! across grid cells sharing a corpus) without changing a single bit of
+//! output. This module provides the two pieces:
+//!
+//! * [`EncodedCorpus`] — per-benchmark profiles (for each requested window
+//!   setting) and per-representation target encodings, computed in
+//!   parallel up front; folds become row slicing.
+//! * [`FoldRunner`] — the LOGO scaffolding itself: include-set
+//!   construction, per-fold seed derivation, optional standardization,
+//!   model fit, representation decode, and KS scoring. Callers supply a
+//!   row-assembly closure, which is the only part that differs between
+//!   use case 1 (windowed profiles), use case 2 (profile ⊕ source
+//!   encoding), and the kNN ablation variants.
+//!
+//! Both seed-derivation chains used in the crate are preserved exactly
+//! (see [`SeedMode`]), so results are bit-identical to training each fold
+//! from scratch, for any thread count.
+
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
+use pv_stats::ks::ks2_statistic;
+use pv_stats::rng::{derive_stream, Xoshiro256pp};
+use pv_stats::StatsError;
+use pv_sysmodel::{BenchmarkId, Corpus, RunSet};
+
+use crate::eval::{BenchScore, EvalSummary};
+use crate::profile::Profile;
+use crate::repr::{DistributionRepr, ReprKind};
+
+/// What to precompute when building an [`EncodedCorpus`].
+///
+/// Requesting a superset is harmless (and how grids share one cache):
+/// entries are deduplicated, and window counts for the same `s` merge to
+/// the maximum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EncodingSpec {
+    profiles: Vec<(usize, usize)>,
+    targets: Vec<ReprKind>,
+    joined: Vec<(usize, ReprKind)>,
+}
+
+impl EncodingSpec {
+    /// An empty spec (only relative times are cached).
+    pub fn new() -> Self {
+        EncodingSpec::default()
+    }
+
+    /// Requests `windows` disjoint `s`-run window profiles per benchmark.
+    pub fn profiles(mut self, s: usize, windows: usize) -> Self {
+        self.profiles.push((s, windows.max(1)));
+        self
+    }
+
+    /// Requests the target encoding of every benchmark under `repr`.
+    pub fn target(mut self, repr: ReprKind) -> Self {
+        self.targets.push(repr);
+        self
+    }
+
+    /// Requests joined rows — `s`-run profile ⊕ `repr` encoding — the
+    /// feature layout of use case 2. Implies `profiles(s, 1)` and
+    /// `target(repr)`.
+    pub fn joined(mut self, s: usize, repr: ReprKind) -> Self {
+        self.joined.push((s, repr));
+        self
+    }
+}
+
+/// A corpus with its fold-invariant features and targets precomputed.
+///
+/// Construction is parallel over benchmarks; everything computed here is
+/// RNG-free, so the cache is a pure function of the corpus and spec.
+/// One feature row per benchmark, roster order.
+type BenchRows = Vec<Vec<f64>>;
+
+/// Window profiles per benchmark: `[bench][window] -> features`.
+type BenchWindows = Vec<Vec<Vec<f64>>>;
+
+pub struct EncodedCorpus<'c> {
+    corpus: &'c Corpus,
+    rel: Vec<Vec<f64>>,
+    /// `s` → per-benchmark window profiles.
+    profiles: Vec<(usize, BenchWindows)>,
+    /// Representation → per-benchmark target encoding.
+    targets: Vec<(ReprKind, BenchRows)>,
+    /// `(s, repr)` → per-benchmark joined row (profile ⊕ encoding).
+    joined: Vec<((usize, ReprKind), BenchRows)>,
+}
+
+impl<'c> EncodedCorpus<'c> {
+    /// Precomputes everything the spec asks for.
+    ///
+    /// # Errors
+    /// Fails when a window setting does not fit the corpus run count or
+    /// an encoding fails.
+    pub fn build(corpus: &'c Corpus, spec: &EncodingSpec) -> Result<Self, StatsError> {
+        // Merge window requests: one entry per distinct s, max windows.
+        let mut window_specs: Vec<(usize, usize)> = Vec::new();
+        let mut add_windows =
+            |s: usize, windows: usize| match window_specs.iter_mut().find(|(t, _)| *t == s) {
+                Some((_, w)) => *w = (*w).max(windows),
+                None => window_specs.push((s, windows)),
+            };
+        for &(s, windows) in &spec.profiles {
+            add_windows(s, windows);
+        }
+        for &(s, _) in &spec.joined {
+            add_windows(s, 1);
+        }
+        for &(s, windows) in &window_specs {
+            if s == 0 {
+                return Err(StatsError::invalid("EncodedCorpus", "profile window s = 0"));
+            }
+            if windows * s > corpus.n_runs {
+                return Err(StatsError::invalid(
+                    "EncodedCorpus",
+                    format!(
+                        "{windows} windows × {s} runs exceed the {}-run corpus",
+                        corpus.n_runs
+                    ),
+                ));
+            }
+        }
+
+        // One repr instance per distinct kind mentioned anywhere.
+        let mut kinds: Vec<ReprKind> = Vec::new();
+        for &k in spec
+            .targets
+            .iter()
+            .chain(spec.joined.iter().map(|(_, k)| k))
+        {
+            if !kinds.contains(&k) {
+                kinds.push(k);
+            }
+        }
+        let reprs: Vec<(ReprKind, Box<dyn DistributionRepr>)> =
+            kinds.iter().map(|&k| (k, k.build())).collect();
+
+        // Per-benchmark computation, parallel; rayon preserves order.
+        struct BenchEnc {
+            rel: Vec<f64>,
+            profiles: Vec<Vec<Vec<f64>>>,
+            targets: Vec<Vec<f64>>,
+        }
+        let n = corpus.len();
+        let per_bench: Result<Vec<BenchEnc>, StatsError> = (0..n)
+            .into_par_iter()
+            .map(|bi| {
+                let bench = &corpus.benchmarks[bi];
+                let rel = bench.runs.rel_times();
+                let mut profiles = Vec::with_capacity(window_specs.len());
+                for &(s, windows) in &window_specs {
+                    let mut per_window = Vec::with_capacity(windows);
+                    for w in 0..windows {
+                        // Same window construction as training always
+                        // used: a fresh RunSet over records [w·s, (w+1)·s).
+                        let window = RunSet {
+                            bench: bench.id,
+                            system: corpus.system,
+                            records: bench.runs.records[w * s..(w + 1) * s].to_vec(),
+                        };
+                        per_window.push(Profile::from_runs(&window, s)?.features);
+                    }
+                    profiles.push(per_window);
+                }
+                let targets = reprs
+                    .iter()
+                    .map(|(_, r)| r.encode(&rel))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(BenchEnc {
+                    rel,
+                    profiles,
+                    targets,
+                })
+            })
+            .collect();
+        let per_bench = per_bench?;
+
+        // Transpose bench-major results into key-major storage.
+        let mut rel = Vec::with_capacity(n);
+        let mut profiles: Vec<(usize, Vec<Vec<Vec<f64>>>)> = window_specs
+            .iter()
+            .map(|&(s, _)| (s, Vec::with_capacity(n)))
+            .collect();
+        let mut targets: Vec<(ReprKind, Vec<Vec<f64>>)> =
+            kinds.iter().map(|&k| (k, Vec::with_capacity(n))).collect();
+        for be in per_bench {
+            rel.push(be.rel);
+            for (slot, p) in profiles.iter_mut().zip(be.profiles) {
+                slot.1.push(p);
+            }
+            for (slot, t) in targets.iter_mut().zip(be.targets) {
+                slot.1.push(t);
+            }
+        }
+
+        let mut enc = EncodedCorpus {
+            corpus,
+            rel,
+            profiles,
+            targets,
+            joined: Vec::new(),
+        };
+        for &(s, kind) in &spec.joined {
+            if enc.joined.iter().any(|(key, _)| *key == (s, kind)) {
+                continue;
+            }
+            let rows = (0..n)
+                .map(|bi| {
+                    let mut row = enc.profile(s, bi, 0)?.to_vec();
+                    row.extend_from_slice(enc.target(kind, bi)?);
+                    Ok(row)
+                })
+                .collect::<Result<Vec<_>, StatsError>>()?;
+            enc.joined.push(((s, kind), rows));
+        }
+        Ok(enc)
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Whether the corpus has no benchmarks.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Cached relative times of benchmark `bi`.
+    pub fn rel_times(&self, bi: usize) -> &[f64] {
+        &self.rel[bi]
+    }
+
+    /// Cached window-`w` profile of benchmark `bi` for window setting `s`.
+    ///
+    /// # Errors
+    /// Fails when `(s, w)` was not covered by the build spec or `bi` is
+    /// out of range.
+    pub fn profile(&self, s: usize, bi: usize, w: usize) -> Result<&[f64], StatsError> {
+        let (_, per_bench) = self.profiles.iter().find(|(t, _)| *t == s).ok_or_else(|| {
+            StatsError::invalid("EncodedCorpus", format!("no profiles cached for s = {s}"))
+        })?;
+        let windows = per_bench
+            .get(bi)
+            .ok_or_else(|| StatsError::invalid("EncodedCorpus", "bad index"))?;
+        windows.get(w).map(Vec::as_slice).ok_or_else(|| {
+            StatsError::invalid(
+                "EncodedCorpus",
+                format!(
+                    "window {w} not cached for s = {s} ({} cached)",
+                    windows.len()
+                ),
+            )
+        })
+    }
+
+    /// Cached target encoding of benchmark `bi` under `repr`.
+    ///
+    /// # Errors
+    /// Fails when `repr` was not covered by the build spec or `bi` is out
+    /// of range.
+    pub fn target(&self, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+        let (_, per_bench) = self
+            .targets
+            .iter()
+            .find(|(k, _)| *k == repr)
+            .ok_or_else(|| {
+                StatsError::invalid(
+                    "EncodedCorpus",
+                    format!("no targets cached for {}", repr.name()),
+                )
+            })?;
+        per_bench
+            .get(bi)
+            .map(Vec::as_slice)
+            .ok_or_else(|| StatsError::invalid("EncodedCorpus", "bad index"))
+    }
+
+    /// Cached joined row (profile ⊕ encoding) of benchmark `bi`.
+    ///
+    /// # Errors
+    /// Fails when `(s, repr)` was not covered by the build spec or `bi`
+    /// is out of range.
+    pub fn joined(&self, s: usize, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+        let (_, per_bench) = self
+            .joined
+            .iter()
+            .find(|(key, _)| *key == (s, repr))
+            .ok_or_else(|| {
+                StatsError::invalid(
+                    "EncodedCorpus",
+                    format!("no joined rows cached for (s = {s}, {})", repr.name()),
+                )
+            })?;
+        per_bench
+            .get(bi)
+            .map(Vec::as_slice)
+            .ok_or_else(|| StatsError::invalid("EncodedCorpus", "bad index"))
+    }
+}
+
+/// How per-fold seeds derive from the root seed.
+///
+/// Both chains predate this module; preserving them keeps every output
+/// bit-identical to the per-fold training it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// The evaluation chain: fold seed = `derive_stream(root, held)`;
+    /// models are built with the fold seed and decode uses
+    /// `derive_stream(fold_seed, held)` (this is what per-fold
+    /// `FewRunsPredictor::train` + `predict_distribution(…, held)` did).
+    PerFold,
+    /// The ablation chain: the fold seed is the root seed itself; decode
+    /// uses `derive_stream(root, held)` and models ignore the seed.
+    Shared,
+}
+
+/// Training rows for one fold, assembled by the caller's closure.
+///
+/// Rows borrow from an [`EncodedCorpus`] (or any other cache), so
+/// assembling a fold is pointer shuffling; the single copy happens when
+/// the fold matrix is materialized (scaled or not) inside the runner.
+pub struct FoldPlan<'a> {
+    /// Feature rows, in training order.
+    pub x_rows: Vec<&'a [f64]>,
+    /// Target rows, parallel to `x_rows`.
+    pub y_rows: Vec<&'a [f64]>,
+    /// Group label per row.
+    pub groups: Vec<usize>,
+    /// The held-out query row (unscaled).
+    pub query: Vec<f64>,
+}
+
+/// Ground truth for scoring one fold.
+pub struct FoldTruth<'a> {
+    /// Identity reported in the per-benchmark score.
+    pub id: BenchmarkId,
+    /// Measured relative times the prediction is scored against.
+    pub rel: &'a [f64],
+}
+
+/// Generic leave-one-group-out fold runner.
+///
+/// Owns everything the folds share — include-set construction, seed
+/// derivation, optional standardization, fit, decode, KS scoring — and
+/// runs folds in parallel. Results are independent of thread count: fold
+/// seeds derive from the fold index alone and rayon preserves order.
+pub struct FoldRunner<'r> {
+    /// Number of folds (= benchmarks; fold `i` holds out benchmark `i`).
+    pub n_folds: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Seed-derivation chain (see [`SeedMode`]).
+    pub seed_mode: SeedMode,
+    /// Whether to fit a [`StandardScaler`] on each fold's training rows.
+    pub standardize: bool,
+    /// Samples drawn when reconstructing the predicted distribution.
+    pub n_samples: usize,
+    /// Representation used to decode predicted feature vectors.
+    pub repr: &'r dyn DistributionRepr,
+}
+
+impl FoldRunner<'_> {
+    /// Runs all folds and aggregates the per-benchmark KS scores.
+    ///
+    /// `build_model` receives the fold seed; `assemble` receives the
+    /// held-out index and the include set (all other indices, ascending)
+    /// and returns the fold's training rows; `truth` supplies what fold
+    /// `held` is scored against.
+    ///
+    /// # Errors
+    /// Propagates assembly/fit/decode/scoring failures from any fold.
+    pub fn run<'a, M, A, T>(
+        &self,
+        build_model: M,
+        assemble: A,
+        truth: T,
+    ) -> Result<EvalSummary, StatsError>
+    where
+        M: Fn(u64) -> Box<dyn Regressor> + Send + Sync,
+        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync,
+        T: Fn(usize) -> FoldTruth<'a> + Send + Sync,
+    {
+        let scores: Result<Vec<BenchScore>, StatsError> = (0..self.n_folds)
+            .into_par_iter()
+            .map(|held| {
+                let include: Vec<usize> = (0..self.n_folds).filter(|&i| i != held).collect();
+                let fold_seed = match self.seed_mode {
+                    SeedMode::PerFold => derive_stream(self.seed, held as u64),
+                    SeedMode::Shared => self.seed,
+                };
+                let plan = assemble(held, &include)?;
+                let (scaler, x) = if self.standardize {
+                    let mut sc = StandardScaler::new();
+                    sc.fit_rows(&plan.x_rows)?;
+                    let cols = plan.x_rows[0].len();
+                    let mut data = Vec::with_capacity(plan.x_rows.len() * cols);
+                    for r in &plan.x_rows {
+                        let mut row = r.to_vec();
+                        sc.transform_row(&mut row)?;
+                        data.append(&mut row);
+                    }
+                    (
+                        Some(sc),
+                        DenseMatrix::from_flat(plan.x_rows.len(), cols, data)?,
+                    )
+                } else {
+                    (None, DenseMatrix::from_row_refs(&plan.x_rows)?)
+                };
+                let y = DenseMatrix::from_row_refs(&plan.y_rows)?;
+                let data = Dataset::new(x, y, plan.groups)?;
+                let mut model = build_model(fold_seed);
+                model.fit(&data)?;
+                let mut query = plan.query;
+                if let Some(sc) = &scaler {
+                    sc.transform_row(&mut query)?;
+                }
+                let predicted_features = model.predict(&query)?;
+                let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(fold_seed, held as u64));
+                let predicted = self
+                    .repr
+                    .decode(&predicted_features, &mut rng, self.n_samples)?;
+                let t = truth(held);
+                let ks = ks2_statistic(&predicted, t.rel)?;
+                Ok(BenchScore { id: t.id, ks })
+            })
+            .collect();
+        EvalSummary::from_scores(scores?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sysmodel::SystemModel;
+
+    fn corpus() -> Corpus {
+        Corpus::collect(&SystemModel::intel(), 30, 11)
+    }
+
+    #[test]
+    fn cached_encodings_match_fresh_computation() {
+        let c = corpus();
+        let spec = EncodingSpec::new()
+            .profiles(5, 3)
+            .target(ReprKind::PearsonRnd)
+            .target(ReprKind::Histogram)
+            .joined(10, ReprKind::PearsonRnd);
+        let enc = EncodedCorpus::build(&c, &spec).unwrap();
+        for (bi, bench) in c.benchmarks.iter().enumerate() {
+            let rel = bench.runs.rel_times();
+            assert_eq!(enc.rel_times(bi), rel.as_slice());
+            for kind in [ReprKind::PearsonRnd, ReprKind::Histogram] {
+                let fresh = kind.build().encode(&rel).unwrap();
+                assert_eq!(enc.target(kind, bi).unwrap(), fresh.as_slice());
+            }
+            // Window 0 equals a fresh head profile.
+            let fresh = Profile::from_runs(&bench.runs, 5).unwrap().features;
+            assert_eq!(enc.profile(5, bi, 0).unwrap(), fresh.as_slice());
+            // Joined = 10-run profile ⊕ PearsonRnd encoding.
+            let mut joined = Profile::from_runs(&bench.runs, 10).unwrap().features;
+            joined.extend(ReprKind::PearsonRnd.build().encode(&rel).unwrap());
+            assert_eq!(
+                enc.joined(10, ReprKind::PearsonRnd, bi).unwrap(),
+                joined.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn window_profiles_cover_disjoint_runs() {
+        let c = corpus();
+        let enc = EncodedCorpus::build(&c, &EncodingSpec::new().profiles(5, 3)).unwrap();
+        // Windows of the same benchmark differ (different run slices)…
+        assert_ne!(enc.profile(5, 0, 0).unwrap(), enc.profile(5, 0, 1).unwrap());
+        // …and window 1 matches a profile built on that exact slice.
+        let bench = &c.benchmarks[0];
+        let window = RunSet {
+            bench: bench.id,
+            system: c.system,
+            records: bench.runs.records[5..10].to_vec(),
+        };
+        let fresh = Profile::from_runs(&window, 5).unwrap().features;
+        assert_eq!(enc.profile(5, 0, 1).unwrap(), fresh.as_slice());
+    }
+
+    #[test]
+    fn build_validates_window_settings() {
+        let c = corpus();
+        assert!(EncodedCorpus::build(&c, &EncodingSpec::new().profiles(0, 1)).is_err());
+        assert!(EncodedCorpus::build(&c, &EncodingSpec::new().profiles(16, 2)).is_err());
+        assert!(EncodedCorpus::build(&c, &EncodingSpec::new().profiles(15, 2)).is_ok());
+    }
+
+    #[test]
+    fn missing_cache_entries_error() {
+        let c = corpus();
+        let enc = EncodedCorpus::build(&c, &EncodingSpec::new().profiles(5, 1)).unwrap();
+        assert!(enc.profile(7, 0, 0).is_err());
+        assert!(enc.profile(5, 0, 1).is_err());
+        assert!(enc.target(ReprKind::PearsonRnd, 0).is_err());
+        assert!(enc.joined(5, ReprKind::PearsonRnd, 0).is_err());
+        assert!(enc.profile(5, c.len(), 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_spec_entries_merge() {
+        let c = corpus();
+        let spec = EncodingSpec::new()
+            .profiles(5, 2)
+            .profiles(5, 3)
+            .target(ReprKind::PearsonRnd)
+            .target(ReprKind::PearsonRnd)
+            .joined(5, ReprKind::PearsonRnd)
+            .joined(5, ReprKind::PearsonRnd);
+        let enc = EncodedCorpus::build(&c, &spec).unwrap();
+        assert!(enc.profile(5, 0, 2).is_ok());
+        assert!(enc.joined(5, ReprKind::PearsonRnd, 0).is_ok());
+        assert_eq!(enc.targets.len(), 1);
+        assert_eq!(enc.joined.len(), 1);
+    }
+}

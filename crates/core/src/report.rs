@@ -74,8 +74,14 @@ pub fn overlay(
     let mut out = String::new();
     writeln!(out, "  measured : {}", sparkline(&a)).expect("string write");
     writeln!(out, "  predicted: {}", sparkline(&p)).expect("string write");
-    writeln!(out, "             {:<w$.2}{:>6.2}", lo, hi, w = width.saturating_sub(6))
-        .expect("string write");
+    writeln!(
+        out,
+        "             {:<w$.2}{:>6.2}",
+        lo,
+        hi,
+        w = width.saturating_sub(6)
+    )
+    .expect("string write");
     Ok(out)
 }
 

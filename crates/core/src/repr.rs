@@ -76,7 +76,11 @@ pub enum ReprKind {
 
 impl ReprKind {
     /// All three representations, in the paper's presentation order.
-    pub const ALL: [ReprKind; 3] = [ReprKind::Histogram, ReprKind::PyMaxEnt, ReprKind::PearsonRnd];
+    pub const ALL: [ReprKind; 3] = [
+        ReprKind::Histogram,
+        ReprKind::PyMaxEnt,
+        ReprKind::PearsonRnd,
+    ];
 
     /// Instantiates the representation with its default configuration.
     pub fn build(&self) -> Box<dyn DistributionRepr> {
@@ -132,7 +136,8 @@ impl DistributionRepr for HistogramRepr {
                 got: 0,
             });
         }
-        let h = Histogram::from_data_with_range(rel_times, self.range.0, self.range.1, self.n_bins)?;
+        let h =
+            Histogram::from_data_with_range(rel_times, self.range.0, self.range.1, self.n_bins)?;
         Ok(h.probabilities())
     }
 
@@ -159,7 +164,10 @@ fn encode_moments(rel_times: &[f64]) -> Result<Vec<f64>, StatsError> {
     Ok(MomentSummary::from_sample(rel_times)?.to_vec())
 }
 
-fn summary_from_features(features: &[f64], what: &'static str) -> Result<MomentSummary, StatsError> {
+fn summary_from_features(
+    features: &[f64],
+    what: &'static str,
+) -> Result<MomentSummary, StatsError> {
     if features.len() != 4 {
         return Err(StatsError::invalid(
             what,
@@ -195,7 +203,9 @@ pub struct MaxEntRepr {
 
 impl Default for MaxEntRepr {
     fn default() -> Self {
-        MaxEntRepr { support_sigmas: 3.5 }
+        MaxEntRepr {
+            support_sigmas: 3.5,
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use pv_stats::StatsError;
 use pv_sysmodel::{Corpus, RunSet};
 
 use crate::model::ModelKind;
+use crate::pipeline::{EncodedCorpus, EncodingSpec};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
 
@@ -66,7 +67,11 @@ impl FewRunsPredictor {
     /// # Errors
     /// Fails when `include` is empty, windows don't fit in the corpus, or
     /// the underlying encode/fit fails.
-    pub fn train(corpus: &Corpus, include: &[usize], cfg: FewRunsConfig) -> Result<Self, StatsError> {
+    pub fn train(
+        corpus: &Corpus,
+        include: &[usize],
+        cfg: FewRunsConfig,
+    ) -> Result<Self, StatsError> {
         if include.is_empty() {
             return Err(StatsError::EmptyInput {
                 what: "FewRunsPredictor::train",
@@ -74,45 +79,59 @@ impl FewRunsPredictor {
                 got: 0,
             });
         }
-        let s = cfg.n_profile_runs;
-        if s == 0 {
-            return Err(StatsError::invalid("FewRunsPredictor::train", "n_profile_runs = 0"));
-        }
-        let windows = cfg.profiles_per_benchmark.max(1);
-        if windows * s > corpus.n_runs {
+        if cfg.n_profile_runs == 0 {
             return Err(StatsError::invalid(
                 "FewRunsPredictor::train",
-                format!(
-                    "{windows} windows × {s} runs exceed the {}-run corpus",
-                    corpus.n_runs
-                ),
+                "n_profile_runs = 0",
             ));
         }
+        let spec = EncodingSpec::new()
+            .profiles(cfg.n_profile_runs, cfg.profiles_per_benchmark.max(1))
+            .target(cfg.repr);
+        let enc = EncodedCorpus::build(corpus, &spec)?;
+        Self::train_encoded(&enc, include, cfg)
+    }
 
+    /// [`FewRunsPredictor::train`] on a prebuilt [`EncodedCorpus`] —
+    /// produces a bit-identical model without recomputing profiles or
+    /// encodings. The cache must cover `(n_profile_runs,
+    /// profiles_per_benchmark)` windows and the target representation.
+    ///
+    /// # Errors
+    /// Fails when `include` is empty or contains bad indices, or the
+    /// cache is missing required entries.
+    pub fn train_encoded(
+        enc: &EncodedCorpus,
+        include: &[usize],
+        cfg: FewRunsConfig,
+    ) -> Result<Self, StatsError> {
+        if include.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "FewRunsPredictor::train",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let corpus = enc.corpus();
+        let s = cfg.n_profile_runs;
+        let windows = cfg.profiles_per_benchmark.max(1);
         let repr = cfg.repr.build();
-        let mut x_rows: Vec<Vec<f64>> = Vec::with_capacity(include.len() * windows);
-        let mut y_rows: Vec<Vec<f64>> = Vec::with_capacity(include.len() * windows);
+        let mut x_rows: Vec<&[f64]> = Vec::with_capacity(include.len() * windows);
+        let mut y_rows: Vec<&[f64]> = Vec::with_capacity(include.len() * windows);
         let mut groups: Vec<usize> = Vec::with_capacity(include.len() * windows);
         for &bi in include {
-            let bench = corpus
-                .benchmarks
-                .get(bi)
-                .ok_or_else(|| StatsError::invalid("FewRunsPredictor::train", "bad index"))?;
-            let target = repr.encode(&bench.runs.rel_times())?;
+            if bi >= corpus.len() {
+                return Err(StatsError::invalid("FewRunsPredictor::train", "bad index"));
+            }
+            let target = enc.target(cfg.repr, bi)?;
             for w in 0..windows {
-                let window = RunSet {
-                    bench: bench.id,
-                    system: corpus.system,
-                    records: bench.runs.records[w * s..(w + 1) * s].to_vec(),
-                };
-                let p = Profile::from_runs(&window, s)?;
-                x_rows.push(p.features);
-                y_rows.push(target.clone());
+                x_rows.push(enc.profile(s, bi, w)?);
+                y_rows.push(target);
                 groups.push(bi);
             }
         }
-        let x = DenseMatrix::from_rows(&x_rows)?;
-        let y = DenseMatrix::from_rows(&y_rows)?;
+        let x = DenseMatrix::from_row_refs(&x_rows)?;
+        let y = DenseMatrix::from_row_refs(&y_rows)?;
         // kNN runs on raw per-second features (see
         // `ModelKind::wants_standardization`).
         let (scaler, x) = if cfg.model.wants_standardization() {
@@ -149,7 +168,10 @@ impl FewRunsPredictor {
         if p.n_metrics != self.n_metrics {
             return Err(StatsError::invalid(
                 "FewRunsPredictor::predict",
-                format!("profile has {} metrics, model expects {}", p.n_metrics, self.n_metrics),
+                format!(
+                    "profile has {} metrics, model expects {}",
+                    p.n_metrics, self.n_metrics
+                ),
             ));
         }
         let mut features = p.features;
@@ -230,6 +252,25 @@ mod tests {
             .predict_distribution(&corpus.benchmarks[3].runs, 100, 9)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_encoded_matches_train() {
+        let corpus = small_corpus();
+        let include: Vec<usize> = (1..corpus.len()).collect();
+        let spec = EncodingSpec::new()
+            .profiles(5, 4)
+            .target(ReprKind::PearsonRnd);
+        let enc = EncodedCorpus::build(&corpus, &spec).unwrap();
+        let a = FewRunsPredictor::train(&corpus, &include, cfg()).unwrap();
+        let b = FewRunsPredictor::train_encoded(&enc, &include, cfg()).unwrap();
+        let pa = a
+            .predict_distribution(&corpus.benchmarks[0].runs, 500, 7)
+            .unwrap();
+        let pb = b
+            .predict_distribution(&corpus.benchmarks[0].runs, 500, 7)
+            .unwrap();
+        assert_eq!(pa, pb);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkData, Corpus};
 
 use crate::model::ModelKind;
+use crate::pipeline::{EncodedCorpus, EncodingSpec};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
 
@@ -74,40 +75,71 @@ impl CrossSystemPredictor {
                 got: 0,
             });
         }
-        if src.len() != dst.len() {
+        let s_eff = cfg.profile_runs.min(src.n_runs).max(1);
+        let src_enc = EncodedCorpus::build(src, &EncodingSpec::new().joined(s_eff, cfg.repr))?;
+        let dst_enc = EncodedCorpus::build(dst, &EncodingSpec::new().target(cfg.repr))?;
+        Self::train_encoded(&src_enc, &dst_enc, include, cfg)
+    }
+
+    /// [`CrossSystemPredictor::train`] on prebuilt caches — produces a
+    /// bit-identical model without recomputing profiles or encodings. The
+    /// source cache must cover joined rows for the effective profile-run
+    /// count (`profile_runs` clamped to the corpus) under `cfg.repr`, the
+    /// destination cache target encodings under `cfg.repr`.
+    ///
+    /// # Errors
+    /// Fails on empty `include`, mismatched corpora, missing cache
+    /// entries, or fit failure.
+    pub fn train_encoded(
+        src: &EncodedCorpus,
+        dst: &EncodedCorpus,
+        include: &[usize],
+        cfg: CrossSystemConfig,
+    ) -> Result<Self, StatsError> {
+        if include.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "CrossSystemPredictor::train",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let src_corpus = src.corpus();
+        let dst_corpus = dst.corpus();
+        if src_corpus.len() != dst_corpus.len() {
             return Err(StatsError::invalid(
                 "CrossSystemPredictor::train",
                 "source and destination corpora cover different rosters",
             ));
         }
-        if src.system == dst.system {
+        if src_corpus.system == dst_corpus.system {
             return Err(StatsError::invalid(
                 "CrossSystemPredictor::train",
                 "source and destination are the same system",
             ));
         }
+        let s_eff = cfg.profile_runs.min(src_corpus.n_runs).max(1);
         let repr = cfg.repr.build();
-        let mut x_rows = Vec::with_capacity(include.len());
-        let mut y_rows = Vec::with_capacity(include.len());
+        let mut x_rows: Vec<&[f64]> = Vec::with_capacity(include.len());
+        let mut y_rows: Vec<&[f64]> = Vec::with_capacity(include.len());
         let mut groups = Vec::with_capacity(include.len());
         for &bi in include {
-            let s = src
+            let s = src_corpus
                 .benchmarks
                 .get(bi)
                 .ok_or_else(|| StatsError::invalid("CrossSystemPredictor::train", "bad index"))?;
-            let d = &dst.benchmarks[bi];
+            let d = &dst_corpus.benchmarks[bi];
             if s.id != d.id {
                 return Err(StatsError::invalid(
                     "CrossSystemPredictor::train",
                     "corpora rosters are misaligned",
                 ));
             }
-            x_rows.push(Self::feature_row(&repr, s, cfg.profile_runs)?);
-            y_rows.push(repr.encode(&d.runs.rel_times())?);
+            x_rows.push(src.joined(s_eff, cfg.repr, bi)?);
+            y_rows.push(dst.target(cfg.repr, bi)?);
             groups.push(bi);
         }
-        let x = DenseMatrix::from_rows(&x_rows)?;
-        let y = DenseMatrix::from_rows(&y_rows)?;
+        let x = DenseMatrix::from_row_refs(&x_rows)?;
+        let y = DenseMatrix::from_row_refs(&y_rows)?;
         // kNN runs on raw per-second features (see
         // `ModelKind::wants_standardization`).
         let (scaler, x) = if cfg.model.wants_standardization() {
@@ -136,7 +168,7 @@ impl CrossSystemPredictor {
     /// Assembles a feature row: source profile ⊕ source distribution
     /// representation.
     fn feature_row(
-        repr: &Box<dyn DistributionRepr>,
+        repr: &dyn DistributionRepr,
         bench: &BenchmarkData,
         profile_runs: usize,
     ) -> Result<Vec<f64>, StatsError> {
@@ -153,7 +185,7 @@ impl CrossSystemPredictor {
     /// # Errors
     /// Propagates profile/encoding/prediction failures.
     pub fn predict_features(&self, src_bench: &BenchmarkData) -> Result<Vec<f64>, StatsError> {
-        let mut row = Self::feature_row(&self.repr, src_bench, self.cfg.profile_runs)?;
+        let mut row = Self::feature_row(self.repr.as_ref(), src_bench, self.cfg.profile_runs)?;
         if let Some(sc) = &self.scaler {
             sc.transform_row(&mut row)?;
         }
@@ -201,9 +233,7 @@ mod tests {
         let (amd, intel) = corpora();
         let all: Vec<usize> = (0..amd.len()).collect();
         let p = CrossSystemPredictor::train(&amd, &intel, &all, cfg()).unwrap();
-        let pred = p
-            .predict_distribution(&amd.benchmarks[0], 500, 1)
-            .unwrap();
+        let pred = p.predict_distribution(&amd.benchmarks[0], 500, 1).unwrap();
         assert_eq!(pred.len(), 500);
         assert!(pred.iter().all(|v| v.is_finite()));
     }
@@ -219,6 +249,22 @@ mod tests {
     fn rejects_empty_include() {
         let (amd, intel) = corpora();
         assert!(CrossSystemPredictor::train(&amd, &intel, &[], cfg()).is_err());
+    }
+
+    #[test]
+    fn train_encoded_matches_train() {
+        let (amd, intel) = corpora();
+        let include: Vec<usize> = (1..amd.len()).collect();
+        let c = cfg();
+        let s_eff = c.profile_runs.min(amd.n_runs).max(1);
+        let src_enc =
+            EncodedCorpus::build(&amd, &EncodingSpec::new().joined(s_eff, c.repr)).unwrap();
+        let dst_enc = EncodedCorpus::build(&intel, &EncodingSpec::new().target(c.repr)).unwrap();
+        let a = CrossSystemPredictor::train(&amd, &intel, &include, c).unwrap();
+        let b = CrossSystemPredictor::train_encoded(&src_enc, &dst_enc, &include, c).unwrap();
+        let pa = a.predict_distribution(&amd.benchmarks[0], 400, 5).unwrap();
+        let pb = b.predict_distribution(&amd.benchmarks[0], 400, 5).unwrap();
+        assert_eq!(pa, pb);
     }
 
     #[test]
@@ -252,9 +298,7 @@ mod tests {
                     seed: 2,
                 };
                 let p = CrossSystemPredictor::train(&amd, &intel, &all, c).unwrap();
-                let pred = p
-                    .predict_distribution(&amd.benchmarks[2], 100, 3)
-                    .unwrap();
+                let pred = p.predict_distribution(&amd.benchmarks[2], 100, 3).unwrap();
                 assert_eq!(pred.len(), 100, "{} × {}", repr.name(), model.name());
             }
         }

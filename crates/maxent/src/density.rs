@@ -59,7 +59,7 @@ impl MaxEntDensity {
     /// # Errors
     /// Fails on a degenerate summary (σ ≤ 0) or solver failure.
     pub fn from_summary(s: &MomentSummary, support: (f64, f64)) -> Result<Self> {
-        if !(s.std > 0.0) {
+        if s.std <= 0.0 || s.std.is_nan() {
             return Err(StatsError::invalid(
                 "MaxEntDensity::from_summary",
                 "standard deviation must be positive",

@@ -61,16 +61,16 @@ fn map_moments_to_unit(mu: &[f64], a: f64, b: f64) -> Vec<f64> {
     let k = mu.len();
     let mut out = vec![0.0; k];
     // E[u^n] = h^{-n} Σ_j C(n, j) μ_j (−c)^{n−j}
-    for n in 0..k {
+    for (n, slot) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
         let mut binom = 1.0f64;
-        for j in 0..=n {
+        for (j, &mu_j) in mu.iter().enumerate().take(n + 1) {
             if j > 0 {
                 binom *= (n - j + 1) as f64 / j as f64;
             }
-            acc += binom * mu[j] * (-c).powi((n - j) as i32);
+            acc += binom * mu_j * (-c).powi((n - j) as i32);
         }
-        out[n] = acc / h.powi(n as i32);
+        *slot = acc / h.powi(n as i32);
     }
     out
 }
@@ -94,7 +94,9 @@ pub fn solve_maxent(mu: &[f64], a: f64, b: f64, opts: &MaxEntOptions) -> Result<
         ));
     }
     if mu.iter().any(|m| !m.is_finite()) {
-        return Err(StatsError::NonFinite { what: "solve_maxent" });
+        return Err(StatsError::NonFinite {
+            what: "solve_maxent",
+        });
     }
     if !(a.is_finite() && b.is_finite() && a < b) {
         return Err(StatsError::invalid(
@@ -311,12 +313,11 @@ mod tests {
             }
             e.exp()
         };
-        for k in 0..=4usize {
+        for (k, &mu_k) in mu.iter().enumerate().take(5) {
             let got = gl.integrate(-1.0, 1.0, |u| (c + h * u).powi(k as i32) * pdf_u(u));
             assert!(
-                (got - mu[k]).abs() < 1e-6 * (1.0 + mu[k].abs()),
-                "moment {k}: {got} vs {}",
-                mu[k]
+                (got - mu_k).abs() < 1e-6 * (1.0 + mu_k.abs()),
+                "moment {k}: {got} vs {mu_k}"
             );
         }
     }

@@ -34,11 +34,11 @@ proptest! {
         if let Ok(d) = MaxEntDensity::from_summary(&spec, (-8.0, 8.0)) {
             let gl = GaussLegendre::new(128).unwrap();
             let mu = central_to_raw_moments(&spec);
-            for k in 1..=4usize {
+            for (k, &mu_k) in mu.iter().enumerate().take(5).skip(1) {
                 let got = gl.integrate(-8.0, 8.0, |x| x.powi(k as i32) * d.pdf(x));
                 prop_assert!(
-                    (got - mu[k]).abs() < 1e-3 * (1.0 + mu[k].abs()),
-                    "moment {k}: {got} vs {}", mu[k]
+                    (got - mu_k).abs() < 1e-3 * (1.0 + mu_k.abs()),
+                    "moment {k}: {got} vs {mu_k}"
                 );
             }
         }

@@ -63,6 +63,46 @@ impl DenseMatrix {
         })
     }
 
+    /// Creates a matrix by copying borrowed row slices.
+    ///
+    /// The fold-runner assembles training sets as slices borrowed from a
+    /// precomputed corpus cache; this constructor turns them into an owned
+    /// matrix with a single copy (no intermediate `Vec<Vec<f64>>`).
+    ///
+    /// # Errors
+    /// Fails when rows have inconsistent widths or the input is empty.
+    pub fn from_row_refs(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "DenseMatrix::from_row_refs",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(StatsError::invalid(
+                    "DenseMatrix::from_row_refs",
+                    format!("row {i} has {} values, expected {cols}", r.len()),
+                ));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Borrowing view of a subset of rows — no data is copied until
+    /// [`RowsView::to_matrix`]. Indices may repeat.
+    pub fn view_rows<'m>(&'m self, idx: &'m [usize]) -> RowsView<'m> {
+        RowsView { matrix: self, idx }
+    }
+
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         DenseMatrix {
@@ -124,6 +164,49 @@ impl DenseMatrix {
     /// The flat row-major buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+}
+
+/// A borrowed row-subset view of a [`DenseMatrix`].
+///
+/// Fold training repeatedly needs "all rows except the held-out group";
+/// a view carries only the parent matrix and the index list, deferring
+/// the copy to the one place that truly needs owned data.
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'m> {
+    matrix: &'m DenseMatrix,
+    idx: &'m [usize],
+}
+
+impl<'m> RowsView<'m> {
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Number of columns (same as the parent matrix).
+    pub fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The `i`-th viewed row (borrowed from the parent matrix).
+    pub fn row(&self, i: usize) -> &'m [f64] {
+        self.matrix.row(self.idx[i])
+    }
+
+    /// Iterates the viewed rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'m [f64]> + '_ {
+        self.idx.iter().map(|&i| self.matrix.row(i))
+    }
+
+    /// The viewed rows as a slice list (for APIs taking `&[&[f64]]`).
+    pub fn row_slices(&self) -> Vec<&'m [f64]> {
+        self.iter().collect()
+    }
+
+    /// Materializes the view into an owned matrix (the single copy).
+    pub fn to_matrix(&self) -> DenseMatrix {
+        self.matrix.select_rows(self.idx)
     }
 }
 
@@ -208,6 +291,50 @@ impl Dataset {
             groups: idx.iter().map(|&i| self.groups[i]).collect(),
         }
     }
+
+    /// Borrowing row-subset view (the no-copy counterpart of
+    /// [`Dataset::subset`]).
+    pub fn view<'d>(&'d self, idx: &'d [usize]) -> DatasetView<'d> {
+        DatasetView {
+            x: self.x.view_rows(idx),
+            y: self.y.view_rows(idx),
+            dataset: self,
+            idx,
+        }
+    }
+}
+
+/// A borrowed row-subset view of a [`Dataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetView<'d> {
+    /// Feature rows of the subset.
+    pub x: RowsView<'d>,
+    /// Target rows of the subset.
+    pub y: RowsView<'d>,
+    dataset: &'d Dataset,
+    idx: &'d [usize],
+}
+
+impl<'d> DatasetView<'d> {
+    /// Number of samples in the view.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Group label of the `i`-th viewed row.
+    pub fn group(&self, i: usize) -> usize {
+        self.dataset.groups[self.idx[i]]
+    }
+
+    /// Materializes the view into an owned [`Dataset`].
+    pub fn materialize(&self) -> Dataset {
+        self.dataset.subset(self.idx)
+    }
 }
 
 #[cfg(test)]
@@ -215,12 +342,7 @@ mod tests {
     use super::*;
 
     fn sample_dataset() -> Dataset {
-        let x = DenseMatrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let x = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let y = DenseMatrix::from_rows(&[vec![10.0], vec![20.0], vec![30.0]]).unwrap();
         Dataset::new(x, y, vec![0, 0, 1]).unwrap()
     }
@@ -294,5 +416,47 @@ mod tests {
         let y = DenseMatrix::zeros(3, 1);
         let d = Dataset::ungrouped(x, y).unwrap();
         assert_eq!(d.groups, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_row_refs_matches_from_rows() {
+        let owned = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let refs: Vec<&[f64]> = owned.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(
+            DenseMatrix::from_row_refs(&refs).unwrap(),
+            DenseMatrix::from_rows(&owned).unwrap()
+        );
+        let ragged: Vec<&[f64]> = vec![&[1.0], &[1.0, 2.0]];
+        assert!(DenseMatrix::from_row_refs(&ragged).is_err());
+        assert!(DenseMatrix::from_row_refs(&[]).is_err());
+    }
+
+    #[test]
+    fn rows_view_borrows_without_copying() {
+        let m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let idx = [2, 0, 2];
+        let v = m.view_rows(&idx);
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 1);
+        assert_eq!(v.row(0), &[3.0]);
+        assert_eq!(v.row(1), &[1.0]);
+        let collected: Vec<&[f64]> = v.iter().collect();
+        assert_eq!(collected, v.row_slices());
+        assert_eq!(v.to_matrix(), m.select_rows(&idx));
+    }
+
+    #[test]
+    fn dataset_view_matches_subset() {
+        let d = sample_dataset();
+        let idx = [2, 0];
+        let v = d.view(&idx);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.group(0), 1);
+        assert_eq!(v.x.row(0), &[5.0, 6.0]);
+        assert_eq!(v.y.row(1), &[10.0]);
+        let materialized = v.materialize();
+        assert_eq!(materialized.groups, d.subset(&idx).groups);
+        assert_eq!(materialized.x, d.subset(&idx).x);
     }
 }

@@ -118,7 +118,10 @@ impl RandomForestRegressor {
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
         if self.n_trees == 0 {
-            return Err(StatsError::invalid("RandomForestRegressor", "n_trees must be ≥ 1"));
+            return Err(StatsError::invalid(
+                "RandomForestRegressor",
+                "n_trees must be ≥ 1",
+            ));
         }
         if data.is_empty() {
             return Err(StatsError::EmptyInput {
@@ -166,7 +169,10 @@ impl Regressor for RandomForestRegressor {
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.trees.is_empty() {
-            return Err(StatsError::invalid("RandomForestRegressor", "model not fitted"));
+            return Err(StatsError::invalid(
+                "RandomForestRegressor",
+                "model not fitted",
+            ));
         }
         let mut acc = vec![0.0; self.n_outputs];
         for tree in &self.trees {

@@ -274,8 +274,7 @@ mod tests {
         let mut g = GradientBoostingRegressor::new(1).with_learning_rate(1e-9);
         g.fit(&data).unwrap();
         let p = g.predict(&[1.0]).unwrap();
-        let mean0: f64 =
-            (0..data.len()).map(|r| data.y.get(r, 0)).sum::<f64>() / data.len() as f64;
+        let mean0: f64 = (0..data.len()).map(|r| data.y.get(r, 0)).sum::<f64>() / data.len() as f64;
         assert!((p[0] - mean0).abs() < 1e-6);
     }
 
@@ -297,8 +296,12 @@ mod tests {
     #[test]
     fn subsampling_is_deterministic_per_seed() {
         let data = sine_dataset();
-        let mut g1 = GradientBoostingRegressor::new(30).with_subsample(0.5).with_seed(11);
-        let mut g2 = GradientBoostingRegressor::new(30).with_subsample(0.5).with_seed(11);
+        let mut g1 = GradientBoostingRegressor::new(30)
+            .with_subsample(0.5)
+            .with_seed(11);
+        let mut g2 = GradientBoostingRegressor::new(30)
+            .with_subsample(0.5)
+            .with_seed(11);
         g1.fit(&data).unwrap();
         g2.fit(&data).unwrap();
         for x in [0.3, 3.3, 6.0] {

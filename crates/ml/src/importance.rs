@@ -61,11 +61,10 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
     let n = data.len();
     let d = data.n_features();
     let mut out = vec![0.0; d];
-    for f in 0..d {
+    for (f, slot) in out.iter_mut().enumerate() {
         let mut total = 0.0;
         for rep in 0..n_repeats.max(1) {
-            let mut rng =
-                Xoshiro256pp::seed_from_u64(derive_stream(seed, (f * 1009 + rep) as u64));
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(seed, (f * 1009 + rep) as u64));
             // Shuffle column f with Fisher–Yates over a copy of X.
             let mut x = data.x.clone();
             for i in (1..n).rev() {
@@ -78,7 +77,7 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
             let pred = model.predict_batch(&x)?;
             total += mse(&data.y, &pred)? - base_err;
         }
-        out[f] = total / n_repeats.max(1) as f64;
+        *slot = total / n_repeats.max(1) as f64;
     }
     Ok(out)
 }
@@ -152,10 +151,7 @@ mod tests {
         m.fit(&data).unwrap();
         let imp = permutation_importance(&m, &data, 3, 7).unwrap();
         assert_eq!(imp.len(), 2);
-        assert!(
-            imp[0] > 10.0 * imp[1].max(1e-9),
-            "importances = {imp:?}"
-        );
+        assert!(imp[0] > 10.0 * imp[1].max(1e-9), "importances = {imp:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod scaler;
 pub mod tree;
 
-pub use dataset::{Dataset, DenseMatrix};
+pub use dataset::{Dataset, DatasetView, DenseMatrix, RowsView};
 pub use distance::Distance;
 pub use forest::{MaxFeatures, RandomForestRegressor};
 pub use gbt::GradientBoostingRegressor;

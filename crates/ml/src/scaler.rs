@@ -52,6 +52,40 @@ impl StandardScaler {
         Ok(())
     }
 
+    /// Learns per-column statistics from borrowed row slices.
+    ///
+    /// Accumulates the same per-column [`Moments`] in the same row order
+    /// as [`StandardScaler::fit`], so fitting on borrowed fold rows is
+    /// bit-identical to materializing the fold matrix first.
+    ///
+    /// # Errors
+    /// Fails on empty input or ragged rows.
+    pub fn fit_rows(&mut self, rows: &[&[f64]]) -> Result<()> {
+        if rows.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "StandardScaler::fit",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let cols = rows[0].len();
+        let mut accs = vec![Moments::new(); cols];
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(StatsError::invalid(
+                    "StandardScaler::fit_rows",
+                    format!("row {i} has {} features, expected {cols}", r.len()),
+                ));
+            }
+            for (acc, &v) in accs.iter_mut().zip(*r) {
+                acc.push(v);
+            }
+        }
+        self.means = accs.iter().map(|a| a.mean()).collect();
+        self.stds = accs.iter().map(|a| a.population_std()).collect();
+        Ok(())
+    }
+
     /// Whether `fit` has been called.
     pub fn is_fitted(&self) -> bool {
         !self.means.is_empty()
@@ -68,7 +102,11 @@ impl StandardScaler {
         if row.len() != self.means.len() {
             return Err(StatsError::invalid(
                 "StandardScaler",
-                format!("row has {} features, scaler has {}", row.len(), self.means.len()),
+                format!(
+                    "row has {} features, scaler has {}",
+                    row.len(),
+                    self.means.len()
+                ),
             ));
         }
         for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
@@ -109,7 +147,11 @@ impl StandardScaler {
         if row.len() != self.means.len() {
             return Err(StatsError::invalid(
                 "StandardScaler",
-                format!("row has {} features, scaler has {}", row.len(), self.means.len()),
+                format!(
+                    "row has {} features, scaler has {}",
+                    row.len(),
+                    self.means.len()
+                ),
             ));
         }
         for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
@@ -182,5 +224,28 @@ mod tests {
     fn empty_matrix_rejected() {
         let mut s = StandardScaler::new();
         assert!(s.fit(&DenseMatrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn fit_rows_is_bit_identical_to_fit() {
+        let x = matrix();
+        let mut a = StandardScaler::new();
+        a.fit(&x).unwrap();
+        let rows: Vec<&[f64]> = (0..x.rows()).map(|r| x.row(r)).collect();
+        let mut b = StandardScaler::new();
+        b.fit_rows(&rows).unwrap();
+        let mut ra = x.row(1).to_vec();
+        let mut rb = ra.clone();
+        a.transform_row(&mut ra).unwrap();
+        b.transform_row(&mut rb).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn fit_rows_rejects_empty_and_ragged() {
+        let mut s = StandardScaler::new();
+        assert!(s.fit_rows(&[]).is_err());
+        let ragged: Vec<&[f64]> = vec![&[1.0, 2.0], &[1.0]];
+        assert!(s.fit_rows(&ragged).is_err());
     }
 }

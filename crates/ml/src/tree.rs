@@ -164,8 +164,7 @@ impl<'a> Builder<'a> {
                 tot2_sum += y * y;
             }
         }
-        let parent_sse: f64 =
-            tot2_sum - tot.iter().map(|s| s * s).sum::<f64>() / n as f64;
+        let parent_sse: f64 = tot2_sum - tot.iter().map(|s| s * s).sum::<f64>() / n as f64;
         if parent_sse <= 1e-12 {
             return None; // already pure
         }
@@ -230,8 +229,8 @@ impl<'a> Builder<'a> {
                     let r = t0 - l;
                     sum_r2 += r * r;
                 }
-                let sse = (left_sq - sum_l2 / nl as f64)
-                    + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
+                let sse =
+                    (left_sq - sum_l2 / nl as f64) + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
                 let gain = parent_sse - sse;
                 if gain > best.map_or(1e-12, |b| b.2) {
                     best = Some((f, 0.5 * (xl + xr), gain));
@@ -243,7 +242,11 @@ impl<'a> Builder<'a> {
 
     fn build(&mut self, idx: &mut [usize], depth: usize) -> usize {
         let make_leaf = depth >= self.cfg.max_depth || idx.len() < self.cfg.min_samples_split;
-        let split = if make_leaf { None } else { self.best_split(idx) };
+        let split = if make_leaf {
+            None
+        } else {
+            self.best_split(idx)
+        };
         match split {
             None => {
                 let value = self.leaf_value(idx);
@@ -347,7 +350,11 @@ impl Regressor for RegressionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -399,8 +406,10 @@ mod tests {
 
     #[test]
     fn max_depth_limits_growth() {
-        let mut cfg = TreeConfig::default();
-        cfg.max_depth = 1;
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
         let mut t = RegressionTree::new(cfg);
         // y = x: would need many splits to fit exactly.
         let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
@@ -419,8 +428,10 @@ mod tests {
 
     #[test]
     fn min_samples_leaf_is_respected() {
-        let mut cfg = TreeConfig::default();
-        cfg.min_samples_leaf = 8;
+        let cfg = TreeConfig {
+            min_samples_leaf: 8,
+            ..TreeConfig::default()
+        };
         let mut t = RegressionTree::new(cfg);
         t.fit(&step_dataset()).unwrap();
         // Both children of the root have ≥ 8 samples; with a 10/10 step
@@ -434,8 +445,10 @@ mod tests {
     fn leaf_lambda_shrinks_leaf_values() {
         let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         let y = DenseMatrix::from_rows(&[vec![10.0], vec![10.0]]).unwrap();
-        let mut cfg = TreeConfig::default();
-        cfg.leaf_lambda = 2.0;
+        let cfg = TreeConfig {
+            leaf_lambda: 2.0,
+            ..TreeConfig::default()
+        };
         let mut t = RegressionTree::new(cfg);
         t.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
         // Leaf value = 20 / (2 + 2) = 5 (shrunk from 10).
@@ -463,9 +476,11 @@ mod tests {
     #[test]
     fn feature_subsampling_is_deterministic_per_seed() {
         let data = step_dataset();
-        let mut cfg = TreeConfig::default();
-        cfg.max_features = Some(1);
-        cfg.seed = 7;
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            seed: 7,
+            ..TreeConfig::default()
+        };
         let mut t1 = RegressionTree::new(cfg);
         let mut t2 = RegressionTree::new(cfg);
         t1.fit(&data).unwrap();

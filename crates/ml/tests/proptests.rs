@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use pv_ml::cv::{k_fold, leave_one_group_out};
 use pv_ml::{
-    Dataset, DenseMatrix, Distance, GradientBoostingRegressor, KnnRegressor,
-    RandomForestRegressor, Regressor, StandardScaler,
+    Dataset, DenseMatrix, Distance, GradientBoostingRegressor, KnnRegressor, RandomForestRegressor,
+    Regressor, StandardScaler,
 };
 
 fn small_dataset() -> impl Strategy<Value = Dataset> {
@@ -33,11 +33,11 @@ proptest! {
         m.fit(&data).unwrap();
         let query = vec![q; data.n_features()];
         let p = m.predict(&query).unwrap();
-        for c in 0..data.n_outputs() {
+        for (c, &pc) in p.iter().enumerate().take(data.n_outputs()) {
             let col = data.y.column(c);
             let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(p[c] >= lo - 1e-9 && p[c] <= hi + 1e-9);
+            prop_assert!(pc >= lo - 1e-9 && pc <= hi + 1e-9);
         }
     }
 
@@ -47,11 +47,11 @@ proptest! {
         m.fit(&data).unwrap();
         let q: Vec<f64> = data.x.row(0).to_vec();
         let p = m.predict(&q).unwrap();
-        for c in 0..data.n_outputs() {
+        for (c, &pc) in p.iter().enumerate().take(data.n_outputs()) {
             let col = data.y.column(c);
             let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(p[c] >= lo - 1e-9 && p[c] <= hi + 1e-9);
+            prop_assert!(pc >= lo - 1e-9 && pc <= hi + 1e-9);
         }
     }
 

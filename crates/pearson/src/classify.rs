@@ -59,7 +59,7 @@ pub(crate) fn pearson_coeffs(skew: f64, kurt: f64) -> (f64, f64, f64, f64) {
 /// [`MomentSummary::clamped_feasible`] before fitting. A zero standard
 /// deviation classifies as [`PearsonType::Degenerate`].
 pub fn classify(m: &MomentSummary) -> PearsonType {
-    if !(m.std > 0.0) {
+    if m.std <= 0.0 || m.std.is_nan() {
         return PearsonType::Degenerate;
     }
     let skew = m.skewness;
@@ -129,8 +129,8 @@ mod tests {
     fn gamma_line_is_type_three() {
         // Gamma with shape k: skew = 2/√k, kurt = 3 + 6/k.
         // Check 2β₂ − 3β₁ − 6 = 6 + 12/k − 12/k − 6 = 0. ✓
-        for k in [0.5, 1.0, 4.0, 25.0] {
-            let skew = 2.0 / (k as f64).sqrt();
+        for k in [0.5f64, 1.0, 4.0, 25.0] {
+            let skew = 2.0 / k.sqrt();
             let kurt = 3.0 + 6.0 / k;
             assert_eq!(classify(&spec(skew, kurt)), PearsonType::III, "k={k}");
         }

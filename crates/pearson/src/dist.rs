@@ -87,7 +87,9 @@ impl PearsonDist {
             && spec.skewness.is_finite()
             && spec.kurtosis.is_finite())
         {
-            return Err(StatsError::NonFinite { what: "PearsonDist::fit" });
+            return Err(StatsError::NonFinite {
+                what: "PearsonDist::fit",
+            });
         }
         let spec = spec.clamped_feasible(1e-3);
         let ptype = classify(&spec);
@@ -155,7 +157,10 @@ impl PearsonDist {
             StdKind::Degenerate => 0.0,
             StdKind::Normal => standard_normal(rng),
             StdKind::BetaOn { a1, a2, p, q } => {
-                let b = Beta { alpha: *p, beta: *q };
+                let b = Beta {
+                    alpha: *p,
+                    beta: *q,
+                };
                 a1 + (a2 - a1) * b.sample(rng)
             }
             StdKind::GammaShifted { shape, sign } => {
@@ -172,7 +177,11 @@ impl PearsonDist {
                 let phi = inverse_cdf_grid(grid, u);
                 lambda + a * phi.tan()
             }
-            StdKind::InvGamma { shape, scale, shift } => {
+            StdKind::InvGamma {
+                shape,
+                scale,
+                shift,
+            } => {
                 let g = Gamma {
                     shape: *shape,
                     scale: 1.0,
@@ -250,7 +259,11 @@ impl PearsonDist {
                 let ln_pdf = -m * (1.0 + t * t).ln() - nu * t.atan();
                 ln_pdf.exp() / (norm * a)
             }
-            StdKind::InvGamma { shape, scale, shift } => {
+            StdKind::InvGamma {
+                shape,
+                scale,
+                shift,
+            } => {
                 // z = scale/y − shift with y ~ Gamma(shape, 1)
                 let y = scale / (z + shift);
                 if y <= 0.0 {
@@ -272,7 +285,8 @@ impl PearsonDist {
                 if w <= 0.0 {
                     return 0.0;
                 }
-                let ln_pdf = (alpha - 1.0) * w.ln() - (alpha + beta) * (1.0 + w).ln()
+                let ln_pdf = (alpha - 1.0) * w.ln()
+                    - (alpha + beta) * (1.0 + w).ln()
                     - ln_beta(*alpha, *beta)
                     - (a2 - a1).ln();
                 ln_pdf.exp()
@@ -327,7 +341,7 @@ fn fit_type_iv(spec: &MomentSummary) -> Result<StdKind> {
     let r = 6.0 * (beta2 - beta1 - 1.0) / denom;
     let m = 1.0 + r / 2.0;
     let disc = 16.0 * (r - 1.0) - beta1 * (r - 2.0) * (r - 2.0);
-    if !(disc > 0.0) || !(r > 2.0) {
+    if disc <= 0.0 || disc.is_nan() || r <= 2.0 || r.is_nan() {
         return Err(StatsError::invalid(
             "PearsonDist::fit(type IV)",
             format!("invalid parameters: r={r}, disc={disc}"),
@@ -360,7 +374,7 @@ fn fit_type_iv(spec: &MomentSummary) -> Result<StdKind> {
         prev_g = g;
     }
     let total = cdf;
-    if !(total > 0.0) {
+    if total <= 0.0 || total.is_nan() {
         return Err(StatsError::invalid(
             "PearsonDist::fit(type IV)",
             "degenerate angle density",
@@ -386,14 +400,17 @@ fn fit_type_iv(spec: &MomentSummary) -> Result<StdKind> {
 fn fit_type_v(spec: &MomentSummary) -> Result<StdKind> {
     let (_, b1, b2, denom) = pearson_coeffs(spec.skewness, spec.kurtosis);
     if b2 == 0.0 || denom == 0.0 {
-        return Err(StatsError::invalid("PearsonDist::fit(type V)", "degenerate coefficients"));
+        return Err(StatsError::invalid(
+            "PearsonDist::fit(type V)",
+            "degenerate coefficients",
+        ));
     }
     let c1 = b1 / denom;
     let c2 = b2 / denom;
     let c1_half = c1 / (2.0 * c2);
     let shape = 1.0 / c2 - 1.0;
     let scale = -(c1 - c1_half) / c2;
-    if !(shape > 0.0) {
+    if shape <= 0.0 || shape.is_nan() {
         return Err(StatsError::invalid(
             "PearsonDist::fit(type V)",
             format!("non-positive shape {shape}"),
@@ -604,22 +621,20 @@ mod tests {
     #[test]
     fn pdf_integrates_to_one_for_each_type() {
         let cases = [
-            spec(0.0, 1.0, 0.0, 3.0),      // 0
+            spec(0.0, 1.0, 0.0, 3.0),       // 0
             spec(0.0, 1.0, 0.5962, 2.8776), // I
-            spec(0.0, 1.0, 0.0, 2.0),      // II
-            spec(0.0, 1.0, 1.0, 4.5),      // III
-            spec(0.0, 1.0, 0.8, 4.5),      // IV
-            spec(0.0, 1.0, 1.7502, 8.898), // VI
-            spec(0.0, 1.0, 0.0, 4.0),      // VII
+            spec(0.0, 1.0, 0.0, 2.0),       // II
+            spec(0.0, 1.0, 1.0, 4.5),       // III
+            spec(0.0, 1.0, 0.8, 4.5),       // IV
+            spec(0.0, 1.0, 1.7502, 8.898),  // VI
+            spec(0.0, 1.0, 0.0, 4.0),       // VII
         ];
         for s in cases {
             let d = PearsonDist::fit(s).unwrap();
             // Integrate the pdf over a generous range.
             let (lo, hi, n) = (-30.0, 30.0, 60_000);
             let h = (hi - lo) / n as f64;
-            let integral: f64 = (0..n)
-                .map(|i| d.pdf(lo + (i as f64 + 0.5) * h) * h)
-                .sum();
+            let integral: f64 = (0..n).map(|i| d.pdf(lo + (i as f64 + 0.5) * h) * h).sum();
             assert!(
                 (integral - 1.0).abs() < 0.02,
                 "{:?}: ∫pdf = {integral}",
@@ -635,8 +650,7 @@ mod tests {
         assert_eq!(d.pearson_type(), PearsonType::IV);
         let mut rng = Xoshiro256pp::seed_from_u64(14);
         let xs = d.sample_n(&mut rng, N);
-        let h = pv_stats::histogram::Histogram::from_data_with_range(&xs, -4.0, 4.0, 40)
-            .unwrap();
+        let h = pv_stats::histogram::Histogram::from_data_with_range(&xs, -4.0, 4.0, 40).unwrap();
         // Compare a few interior bins' empirical density to the pdf.
         for i in [10, 20, 30] {
             let x = h.bin_center(i);

@@ -52,7 +52,10 @@ where
     ensure_len("bootstrap_ci", xs, 1)?;
     ensure_finite("bootstrap_ci", xs)?;
     if replicates == 0 {
-        return Err(crate::StatsError::invalid("bootstrap_ci", "replicates must be ≥ 1"));
+        return Err(crate::StatsError::invalid(
+            "bootstrap_ci",
+            "replicates must be ≥ 1",
+        ));
     }
     if !(0.0 < confidence && confidence < 1.0) {
         return Err(crate::StatsError::invalid(

@@ -147,9 +147,7 @@ mod tests {
     fn wasserstein_is_symmetric() {
         let a = [1.0, 4.0, 2.0];
         let b = [0.0, 3.0];
-        assert!(
-            (wasserstein1(&a, &b).unwrap() - wasserstein1(&b, &a).unwrap()).abs() < 1e-12
-        );
+        assert!((wasserstein1(&a, &b).unwrap() - wasserstein1(&b, &a).unwrap()).abs() < 1e-12);
     }
 
     #[test]

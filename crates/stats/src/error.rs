@@ -58,7 +58,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::EmptyInput { what, needed, got } => {
-                write!(f, "{what}: needs at least {needed} observation(s), got {got}")
+                write!(
+                    f,
+                    "{what}: needs at least {needed} observation(s), got {got}"
+                )
             }
             StatsError::NonFinite { what } => {
                 write!(f, "{what}: input contains NaN or infinite values")
@@ -67,7 +70,10 @@ impl fmt::Display for StatsError {
                 write!(f, "{what}: invalid parameter: {detail}")
             }
             StatsError::NoConvergence { what, iterations } => {
-                write!(f, "{what}: failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{what}: failed to converge after {iterations} iterations"
+                )
             }
             StatsError::SingularMatrix { what } => {
                 write!(f, "{what}: matrix is singular to working precision")

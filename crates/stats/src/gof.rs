@@ -125,12 +125,10 @@ mod tests {
         let a = [1.0, 3.0, 5.0, 2.0];
         let b = [0.5, 2.5, 4.5];
         assert!(
-            (cramer_von_mises(&a, &b).unwrap() - cramer_von_mises(&b, &a).unwrap()).abs()
-                < 1e-12
+            (cramer_von_mises(&a, &b).unwrap() - cramer_von_mises(&b, &a).unwrap()).abs() < 1e-12
         );
         assert!(
-            (anderson_darling(&a, &b).unwrap() - anderson_darling(&b, &a).unwrap()).abs()
-                < 1e-12
+            (anderson_darling(&a, &b).unwrap() - anderson_darling(&b, &a).unwrap()).abs() < 1e-12
         );
     }
 

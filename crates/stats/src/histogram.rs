@@ -395,8 +395,8 @@ mod tests {
         assert_eq!(sturges, 11); // ceil(log2(1000)) + 1
         let scott = auto_bins(&xs, BinRule::Scott).unwrap();
         let fd = auto_bins(&xs, BinRule::FreedmanDiaconis).unwrap();
-        assert!(scott >= 1 && scott <= 512);
-        assert!(fd >= 1 && fd <= 512);
+        assert!((1..=512).contains(&scott));
+        assert!((1..=512).contains(&fd));
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod moments;
 pub mod quadrature;
 pub mod rng;
 pub mod samplers;
-pub mod stopping;
 pub mod special;
+pub mod stopping;
 
 pub use error::StatsError;
 pub use moments::{MomentSummary, Moments};

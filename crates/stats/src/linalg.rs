@@ -71,7 +71,12 @@ impl Matrix {
         if x.len() != self.cols {
             return Err(StatsError::invalid(
                 "Matrix::matvec",
-                format!("matrix is {}×{}, vector has {}", self.rows, self.cols, x.len()),
+                format!(
+                    "matrix is {}×{}, vector has {}",
+                    self.rows,
+                    self.cols,
+                    x.len()
+                ),
             ));
         }
         Ok((0..self.rows)

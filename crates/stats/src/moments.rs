@@ -276,7 +276,7 @@ impl MomentSummary {
             out.std = 0.0;
         }
         let floor = out.beta1() + 1.0 + margin;
-        if !(out.kurtosis >= floor) {
+        if out.kurtosis < floor || out.kurtosis.is_nan() {
             out.kurtosis = floor;
         }
         out
@@ -367,7 +367,9 @@ mod tests {
 
     #[test]
     fn matches_naive_two_pass_computation() {
-        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 7.0 - 3.0).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| ((i * 37) % 101) as f64 / 7.0 - 3.0)
+            .collect();
         let m = Moments::from_slice(&xs);
         let n = xs.len() as f64;
         let mu = xs.iter().sum::<f64>() / n;
@@ -390,7 +392,11 @@ mod tests {
             a.merge(&b);
             assert_eq!(a.count(), seq.count());
             assert!(close(a.mean(), seq.mean(), 1e-12));
-            assert!(close(a.population_variance(), seq.population_variance(), 1e-10));
+            assert!(close(
+                a.population_variance(),
+                seq.population_variance(),
+                1e-10
+            ));
             assert!(close(a.skewness(), seq.skewness(), 1e-8));
             assert!(close(a.kurtosis(), seq.kurtosis(), 1e-8));
             assert_eq!(a.min(), seq.min());
@@ -436,7 +442,11 @@ mod tests {
         let shifted: Vec<f64> = xs.iter().map(|x| x + 1e6).collect();
         let a = Moments::from_slice(&xs);
         let b = Moments::from_slice(&shifted);
-        assert!(close(a.population_variance(), b.population_variance(), 1e-6));
+        assert!(close(
+            a.population_variance(),
+            b.population_variance(),
+            1e-6
+        ));
         assert!(close(a.skewness(), b.skewness(), 1e-4));
         assert!(close(a.kurtosis(), b.kurtosis(), 1e-4));
     }
@@ -484,7 +494,11 @@ mod tests {
     #[test]
     fn convenience_helpers() {
         assert!(close(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0, 1e-12));
-        assert!(close(sample_variance(&[1.0, 2.0, 3.0]).unwrap(), 1.0, 1e-12));
+        assert!(close(
+            sample_variance(&[1.0, 2.0, 3.0]).unwrap(),
+            1.0,
+            1e-12
+        ));
         assert!(close(sample_std(&[1.0, 2.0, 3.0]).unwrap(), 1.0, 1e-12));
         assert!(mean(&[]).is_err());
         assert!(sample_variance(&[1.0]).is_err());

@@ -26,7 +26,7 @@ impl GaussLegendre {
         }
         let mut nodes = vec![0.0; n];
         let mut weights = vec![0.0; n];
-        let m = (n + 1) / 2;
+        let m = n.div_ceil(2);
         for i in 0..m {
             // Chebyshev-based initial guess for the i-th root.
             let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
@@ -168,9 +168,7 @@ mod tests {
         // ∫_0^π sin x dx = 2
         assert!((gl.integrate(0.0, std::f64::consts::PI, f64::sin) - 2.0).abs() < 1e-12);
         // ∫_0^1 e^x dx = e - 1
-        assert!(
-            (gl.integrate(0.0, 1.0, f64::exp) - (std::f64::consts::E - 1.0)).abs() < 1e-13
-        );
+        assert!((gl.integrate(0.0, 1.0, f64::exp) - (std::f64::consts::E - 1.0)).abs() < 1e-13);
     }
 
     #[test]
@@ -204,9 +202,7 @@ mod tests {
 
     #[test]
     fn adaptive_simpson_matches_known_integrals() {
-        assert!(
-            (adaptive_simpson(&f64::sin, 0.0, std::f64::consts::PI, 1e-10) - 2.0).abs() < 1e-8
-        );
+        assert!((adaptive_simpson(&f64::sin, 0.0, std::f64::consts::PI, 1e-10) - 2.0).abs() < 1e-8);
         assert!((adaptive_simpson(&|x: f64| x * x, 0.0, 3.0, 1e-10) - 9.0).abs() < 1e-8);
         // A peaked integrand.
         let peak = |x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp();

@@ -53,7 +53,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mean: 0.0, std: 1.0 }
+        Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Density at `x`.
@@ -149,7 +152,10 @@ impl Exponential {
     /// Fails when `lambda` is not finite and positive.
     pub fn new(lambda: f64) -> Result<Self> {
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(StatsError::invalid("Exponential", format!("lambda={lambda}")));
+            return Err(StatsError::invalid(
+                "Exponential",
+                format!("lambda={lambda}"),
+            ));
         }
         Ok(Exponential { lambda })
     }
@@ -516,7 +522,10 @@ impl Mixture {
         }
         let total: f64 = parts.iter().map(|(w, _)| *w).sum();
         if !(total.is_finite() && total > 0.0) || parts.iter().any(|(w, _)| *w < 0.0) {
-            return Err(StatsError::invalid("Mixture", "weights must be ≥ 0 and sum > 0"));
+            return Err(StatsError::invalid(
+                "Mixture",
+                "weights must be ≥ 0 and sum > 0",
+            ));
         }
         let mut cumulative = Vec::with_capacity(parts.len());
         let mut acc = 0.0;
@@ -542,11 +551,7 @@ impl Mixture {
     /// Draws one variate and the index of the component that produced it.
     pub fn sample_with_component<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, usize) {
         let u: f64 = rng.gen();
-        let idx = match self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-        {
+        let idx = match self.cumulative.iter().position(|&c| u < c) {
             Some(i) => i,
             None => self.components.len() - 1,
         };
@@ -642,9 +647,7 @@ mod tests {
         let d = Gamma::new(2.0, 0.7).unwrap();
         let n = 4000;
         let h = 3.0 / n as f64;
-        let integral: f64 = (0..n)
-            .map(|i| d.pdf((i as f64 + 0.5) * h) * h)
-            .sum();
+        let integral: f64 = (0..n).map(|i| d.pdf((i as f64 + 0.5) * h) * h).sum();
         assert!((integral - d.cdf(3.0)).abs() < 1e-4);
     }
 
@@ -735,11 +738,7 @@ mod tests {
     #[test]
     fn mixture_validates_inputs() {
         assert!(Mixture::new(vec![]).is_err());
-        assert!(Mixture::new(vec![(
-            -1.0,
-            Box::new(Normal::standard()) as _
-        )])
-        .is_err());
+        assert!(Mixture::new(vec![(-1.0, Box::new(Normal::standard()) as _)]).is_err());
         assert!(Mixture::new(vec![(0.0, Box::new(Normal::standard()) as _)]).is_err());
     }
 

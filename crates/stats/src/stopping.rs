@@ -71,7 +71,7 @@ impl StoppingRule {
         if !(0.0 < self.confidence && self.confidence < 1.0) {
             return Err(StatsError::invalid("StoppingRule", "confidence ∉ (0,1)"));
         }
-        if !(self.relative_width > 0.0) {
+        if self.relative_width <= 0.0 || self.relative_width.is_nan() {
             return Err(StatsError::invalid("StoppingRule", "relative_width ≤ 0"));
         }
         if !(0.0 < self.tail_quantile && self.tail_quantile < 1.0) {
@@ -96,13 +96,19 @@ impl StoppingRule {
         ensure_len("StoppingRule::check", xs, 2)?;
         ensure_finite("StoppingRule::check", xs)?;
         let med = quantile(xs, 0.5)?;
-        if !(med > 0.0) {
+        if med <= 0.0 || med.is_nan() {
             return Err(StatsError::invalid(
                 "StoppingRule::check",
                 "median must be positive (run times)",
             ));
         }
-        let med_ci = bootstrap_ci(rng, xs, |s| quantile(s, 0.5).unwrap_or(f64::NAN), self.replicates, self.confidence)?;
+        let med_ci = bootstrap_ci(
+            rng,
+            xs,
+            |s| quantile(s, 0.5).unwrap_or(f64::NAN),
+            self.replicates,
+            self.confidence,
+        )?;
         let q = self.tail_quantile;
         let tail_ci = bootstrap_ci(
             rng,
@@ -254,6 +260,9 @@ mod tests {
         let rule = StoppingRule::default();
         let mut a = Xoshiro256pp::seed_from_u64(7);
         let mut b = Xoshiro256pp::seed_from_u64(7);
-        assert_eq!(rule.check(&mut a, &xs).unwrap(), rule.check(&mut b, &xs).unwrap());
+        assert_eq!(
+            rule.check(&mut a, &xs).unwrap(),
+            rule.check(&mut b, &xs).unwrap()
+        );
     }
 }

@@ -6,7 +6,7 @@ use pv_stats::descriptive::{quantile, FiveNumber};
 use pv_stats::divergence::wasserstein1;
 use pv_stats::ecdf::Ecdf;
 use pv_stats::histogram::Histogram;
-use pv_stats::ks::{ks2_statistic, kolmogorov_sf};
+use pv_stats::ks::{kolmogorov_sf, ks2_statistic};
 use pv_stats::moments::{MomentSummary, Moments};
 
 /// Strategy: a non-empty vector of "reasonable" finite floats.

@@ -356,8 +356,7 @@ mod tests {
         let a = benchmark_hash(&find("npb/bt").unwrap());
         let b = benchmark_hash(&find("npb/bt").unwrap());
         assert_eq!(a, b);
-        let all: std::collections::HashSet<u64> =
-            roster().iter().map(benchmark_hash).collect();
+        let all: std::collections::HashSet<u64> = roster().iter().map(benchmark_hash).collect();
         assert_eq!(all.len(), 60, "hash collision in roster");
     }
 }

@@ -80,7 +80,9 @@ impl Corpus {
 
     /// Finds a benchmark's data by qualified label.
     pub fn get(&self, qualified: &str) -> Option<&BenchmarkData> {
-        self.benchmarks.iter().find(|b| b.id.qualified() == qualified)
+        self.benchmarks
+            .iter()
+            .find(|b| b.id.qualified() == qualified)
     }
 
     /// Metric dimensionality of this corpus (catalog size of the system).

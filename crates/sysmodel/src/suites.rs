@@ -125,9 +125,8 @@ impl Serialize for BenchmarkId {
 impl<'de> Deserialize<'de> for BenchmarkId {
     fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         let label = String::deserialize(d)?;
-        find(&label).ok_or_else(|| {
-            serde::de::Error::custom(format!("unknown benchmark label {label:?}"))
-        })
+        find(&label)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown benchmark label {label:?}")))
     }
 }
 

@@ -155,8 +155,8 @@ impl SystemModel {
         // manifestations of the same straggler mass: a benchmark whose
         // slow events already separated into modes contributes less
         // leftover tail.
-        let tail_w = p.tail_gain * ch.tail_propensity() * (0.06 + 0.12 * rng.gen::<f64>())
-            / n_modes as f64;
+        let tail_w =
+            p.tail_gain * ch.tail_propensity() * (0.06 + 0.12 * rng.gen::<f64>()) / n_modes as f64;
         let tail = if tail_w > 0.015 {
             let last = modes.last().expect("non-empty");
             Some(TailComponent {
@@ -172,8 +172,8 @@ impl SystemModel {
         let mut gt = GroundTruth { modes, tail };
         // The tail weight was added on top of the unit mode mass; rescale
         // all weights to a proper mixture before normalizing the mean.
-        let total: f64 = gt.modes.iter().map(|m| m.weight).sum::<f64>()
-            + gt.tail.map_or(0.0, |t| t.weight);
+        let total: f64 =
+            gt.modes.iter().map(|m| m.weight).sum::<f64>() + gt.tail.map_or(0.0, |t| t.weight);
         for m in gt.modes.iter_mut() {
             m.weight /= total;
         }
@@ -276,9 +276,7 @@ fn class_driver(class: MetricClass, ch: &Character) -> f64 {
         MetricClass::CacheL1 => 0.3 + 0.7 * ch.memory,
         MetricClass::CacheL2 => (0.2 + 0.8 * ch.memory) * (0.4 + 0.6 * ch.working_set),
         MetricClass::CacheLlc => (0.1 + 0.9 * ch.memory) * (0.3 + 0.7 * ch.working_set),
-        MetricClass::CacheMiss => {
-            (0.1 + 0.9 * ch.memory) * (0.1 + 0.9 * ch.cache_sensitivity)
-        }
+        MetricClass::CacheMiss => (0.1 + 0.9 * ch.memory) * (0.1 + 0.9 * ch.cache_sensitivity),
         MetricClass::Tlb => 0.1 + 0.9 * ch.tlb_pressure,
         MetricClass::Memory => 0.2 + 0.8 * ch.memory,
         MetricClass::Numa => (0.05 + 0.95 * ch.numa_sensitivity) * (0.2 + 0.8 * ch.memory),
@@ -327,11 +325,7 @@ impl GroundTruth {
         let mode_mass: f64 = self.modes.iter().map(|m| m.weight).sum();
         let tail_mass = self.tail.map_or(0.0, |t| t.weight);
         let total = mode_mass + tail_mass;
-        let mut mean = self
-            .modes
-            .iter()
-            .map(|m| m.weight * m.center)
-            .sum::<f64>();
+        let mut mean = self.modes.iter().map(|m| m.weight * m.center).sum::<f64>();
         if let Some(t) = self.tail {
             mean += t.weight * (t.start + t.mean_excess);
         }
@@ -359,8 +353,8 @@ impl GroundTruth {
     /// Draws one relative time and the index of the component that fired
     /// (`modes.len()` denotes the tail).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, usize) {
-        let total: f64 = self.modes.iter().map(|m| m.weight).sum::<f64>()
-            + self.tail.map_or(0.0, |t| t.weight);
+        let total: f64 =
+            self.modes.iter().map(|m| m.weight).sum::<f64>() + self.tail.map_or(0.0, |t| t.weight);
         let mut u: f64 = rng.gen::<f64>() * total;
         for (i, m) in self.modes.iter().enumerate() {
             if u < m.weight {
@@ -520,8 +514,8 @@ mod tests {
             let sys = SystemModel::amd();
             let ch = Character::generate(&id, 2);
             let gt = sys.ground_truth(&id, &ch, 2);
-            let total: f64 = gt.modes.iter().map(|m| m.weight).sum::<f64>()
-                + gt.tail.map_or(0.0, |t| t.weight);
+            let total: f64 =
+                gt.modes.iter().map(|m| m.weight).sum::<f64>() + gt.tail.map_or(0.0, |t| t.weight);
             assert!((total - 1.0).abs() < 1e-9, "{id}: Σw = {total}");
         }
     }

@@ -15,9 +15,9 @@
 //! cargo run --release --example adaptive_measurement
 //! ```
 
+use perfvar_suite::core::Profile;
 use perfvar_suite::ml::{permutation_importance, Dataset, DenseMatrix, Regressor};
 use perfvar_suite::ml::{Distance, KnnRegressor};
-use perfvar_suite::core::Profile;
 use perfvar_suite::stats::rng::Xoshiro256pp;
 use perfvar_suite::stats::stopping::StoppingRule;
 use perfvar_suite::sysmodel::{Corpus, SystemModel};

@@ -12,9 +12,9 @@
 //! cargo run --release --example cross_system_prediction
 //! ```
 
+use perfvar_suite::core::eval::evaluate_cross_system;
 use perfvar_suite::core::report::{overlay, violin_row};
 use perfvar_suite::core::usecase2::{CrossSystemConfig, CrossSystemPredictor};
-use perfvar_suite::core::eval::evaluate_cross_system;
 use perfvar_suite::stats::ks::ks2_statistic;
 use perfvar_suite::sysmodel::{Corpus, SystemModel};
 

@@ -52,6 +52,9 @@ fn main() {
     println!("KS(predicted, measured) = {ks:.3}  (0 = perfect, 1 = disjoint)\n");
     let lo = 0.9;
     let hi = 1.3;
-    print!("{}", overlay(&measured, &predicted, lo, hi, 64).expect("overlay"));
+    print!(
+        "{}",
+        overlay(&measured, &predicted, lo, hi, 64).expect("overlay")
+    );
     println!("            (relative time axis: [{lo}, {hi}])");
 }

@@ -40,7 +40,11 @@ fn main() {
             .collect();
         let stds: Vec<f64> = benches
             .iter()
-            .map(|b| MomentSummary::from_sample(&b.runs.rel_times()).expect("moments").std)
+            .map(|b| {
+                MomentSummary::from_sample(&b.runs.rel_times())
+                    .expect("moments")
+                    .std
+            })
             .collect();
         let f = FiveNumber::from_sample(&stds).expect("summary");
         let multi = benches

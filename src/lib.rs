@@ -11,7 +11,9 @@
 //! * [`ml`] — from-scratch kNN / random forest / gradient boosting + CV
 //! * [`sysmodel`] — the simulated benchmark/system testbed
 //! * [`core`] — the paper's pipeline: profiles, distribution
-//!   representations, use-case predictors, and the evaluation harness
+//!   representations, use-case predictors, and the evaluation harness,
+//!   all running on the `core::pipeline` encode-once cache
+//!   (`EncodedCorpus`) + LOGO fold runner
 //!
 //! ## Quickstart
 //!

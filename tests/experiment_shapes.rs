@@ -132,8 +132,7 @@ fn knn_beats_boosting_in_use_case_two() {
             let predicted = p
                 .predict_distribution(&amd.benchmarks[held], 500, held as u64)
                 .unwrap();
-            total += ks2_statistic(&predicted, &intel.benchmarks[held].runs.rel_times())
-                .unwrap();
+            total += ks2_statistic(&predicted, &intel.benchmarks[held].runs.rel_times()).unwrap();
             count += 1.0;
         }
         means.push(total / count);

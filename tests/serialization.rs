@@ -1,9 +1,7 @@
 //! Serde round-trips of the workspace's data-carrying types.
 
 use perfvar_suite::stats::moments::MomentSummary;
-use perfvar_suite::sysmodel::{
-    roster, BenchmarkId, Character, Corpus, GroundTruth, SystemModel,
-};
+use perfvar_suite::sysmodel::{roster, BenchmarkId, Character, Corpus, GroundTruth, SystemModel};
 
 #[test]
 fn benchmark_id_serializes_as_qualified_label() {

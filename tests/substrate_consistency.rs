@@ -112,8 +112,8 @@ fn profile_features_identify_applications() {
     // second profile window to its own first window far more often than
     // chance (the premise of the kNN pipeline).
     use perfvar_suite::core::Profile;
-    use perfvar_suite::ml::{Distance, KnnRegressor, Regressor};
     use perfvar_suite::ml::{Dataset, DenseMatrix};
+    use perfvar_suite::ml::{Distance, KnnRegressor, Regressor};
     use perfvar_suite::sysmodel::{Corpus, RunSet, SystemModel};
 
     let corpus = Corpus::collect(&SystemModel::intel(), 40, 17);

@@ -1,0 +1,507 @@
+//! Offline-vendored property-testing work-alike.
+//!
+//! Mirrors the slice of proptest this workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`/`prop_flat_map`, tuple and range
+//! strategies, `prop::collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test RNG; there is no shrinking and no failure
+//! persistence, so a failing case reports its inputs via the assertion
+//! message instead of a minimized counterexample.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// runner plumbing
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error produced by a single test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => f.write_str(msg),
+            TestCaseError::Reject => f.write_str("input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Deterministic per-test RNG (SplitMix64 seeded from the test name and
+/// case index) so failures reproduce across runs and thread counts.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name gives every test its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        // Warm up so nearby case indices decorrelate.
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [0, bound). `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// strategies
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against round-up to the exclusive endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// any / Arbitrary
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Accepted by [`vec`]: an exact length or a half-open length range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec-size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------
+// macros
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_rejection() => {}
+                    ::std::result::Result::Err(e) => {
+                        panic!("proptest {} failed on case {case}: {e}", stringify!($name))
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// prelude
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirrors proptest's `prelude::prop` module (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-2.0..5.0f64), &mut rng);
+            assert!((-2.0..5.0).contains(&f));
+            let i = Strategy::sample(&(-9i64..-3), &mut rng);
+            assert!((-9..-3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (0usize..100, -1.0..1.0f64).prop_map(|(n, x)| (n, x));
+        let mut a = crate::TestRng::for_case("det", 7);
+        let mut b = crate::TestRng::for_case("det", 7);
+        assert_eq!(
+            Strategy::sample(&strat, &mut a),
+            Strategy::sample(&strat, &mut b)
+        );
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = crate::TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0.0..1.0f64, 2..9), &mut rng);
+            assert!((2..9).contains(&v.len()));
+            let w = Strategy::sample(&prop::collection::vec(0usize..5, 4usize), &mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_arguments(n in 1usize..50, xs in prop::collection::vec(-1.0..1.0f64, 1..20)) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!(!xs.is_empty());
+            prop_assume!(n != 13);
+            prop_assert_eq!(n == 13, false);
+        }
+
+        #[test]
+        fn flat_map_composes(v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0.0..1.0f64, n))) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline-vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small slice of `rand` it actually uses: the `RngCore`/`SeedableRng`
+//! plumbing traits, the `Rng` extension trait with `gen` and `gen_range`,
+//! and uniform sampling that matches rand 0.8 *bit for bit*, so seeded
+//! streams reproduce what upstream rand would have produced:
+//!
+//! * `f64` sampling uses the 53-high-bit construction
+//!   `(next_u64() >> 11) · 2⁻⁵³`, i.e. uniform in `[0, 1)`;
+//! * integer ranges replicate rand 0.8's `sample_single` widening-multiply
+//!   rejection: 8/16-bit types draw 32-bit words against an exact modulus
+//!   zone, 32-bit types draw 32-bit words and 64-bit types 64-bit words
+//!   against the `(range << range.leading_zeros()) - 1` zone
+//!   approximation. The approximation rejects slightly more than strict
+//!   Lemire would; copying it exactly is what keeps the RNG streams (and
+//!   therefore every seeded bootstrap/shuffle) identical to rand 0.8.
+//!
+//! Every generator in the workspace (`Xoshiro256pp`) implements `RngCore`
+//! itself; this crate supplies no RNGs of its own.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (never produced by the
+/// workspace's infallible generators; exists so `try_fill_bytes` has the
+/// standard signature).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure (infallible for
+    /// all generators in this workspace).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (same expander rand 0.8 documents for this method).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, byte) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = byte;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from `[0, 1)`-style "standard" distributions
+/// via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 high bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`; `high > low` required.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Draws uniformly from `[low, high]`; `high >= low` required.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// rand 0.8 `UniformInt::sample_single_inclusive`, replicated per draw
+/// width. `$t` is the public type, `$unsigned` its unsigned twin, and the
+/// draw/multiply width is selected by the `$draw` token (`u32` or `u64`):
+/// one word of that width is drawn per attempt and widening-multiplied by
+/// the range. `$exact_zone` selects rand's zone computation — the exact
+/// modulus for 8/16-bit types, the shifted approximation otherwise.
+macro_rules! impl_sample_uniform_int {
+    ($t:ty, $unsigned:ty, $draw:ty, $exact_zone:expr) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                // sample_single(low, high) = sample_single_inclusive(low, high - 1):
+                // range = high - low, never zero here.
+                let range = (high as $unsigned).wrapping_sub(low as $unsigned) as $draw;
+                low.wrapping_add(draw_in_range(rng, range, $exact_zone) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let range =
+                    ((high as $unsigned).wrapping_sub(low as $unsigned) as $draw).wrapping_add(1);
+                if range == 0 {
+                    // Full-width range: every draw is acceptable.
+                    return draw_word::<$draw, R>(rng) as $t;
+                }
+                low.wrapping_add(draw_in_range(rng, range, $exact_zone) as $t)
+            }
+        }
+    };
+}
+
+/// One random word of the draw width (`u32` via `next_u32`, `u64` via
+/// `next_u64`), exactly as rand 0.8's `Standard` does.
+trait DrawWord: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn wmul(self, range: Self) -> (Self, Self);
+    fn approx_zone(range: Self) -> Self;
+    fn exact_zone(range: Self) -> Self;
+}
+
+impl DrawWord for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+    fn wmul(self, range: Self) -> (Self, Self) {
+        let wide = (self as u64) * (range as u64);
+        ((wide >> 32) as u32, wide as u32)
+    }
+    fn approx_zone(range: Self) -> Self {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    }
+    fn exact_zone(range: Self) -> Self {
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    }
+}
+
+impl DrawWord for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+    fn wmul(self, range: Self) -> (Self, Self) {
+        let wide = (self as u128) * (range as u128);
+        ((wide >> 64) as u64, wide as u64)
+    }
+    fn approx_zone(range: Self) -> Self {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    }
+    fn exact_zone(range: Self) -> Self {
+        let ints_to_reject = (u64::MAX - range + 1) % range;
+        u64::MAX - ints_to_reject
+    }
+}
+
+fn draw_word<W: DrawWord, R: RngCore + ?Sized>(rng: &mut R) -> W {
+    W::draw(rng)
+}
+
+/// rand 0.8's rejection loop: draw a word, widening-multiply by the
+/// range, accept while the low half is inside the zone.
+fn draw_in_range<R: RngCore + ?Sized, W: DrawWord + Copy + PartialOrd>(
+    rng: &mut R,
+    range: W,
+    exact_zone: bool,
+) -> W {
+    let zone = if exact_zone {
+        W::exact_zone(range)
+    } else {
+        W::approx_zone(range)
+    };
+    loop {
+        let v = W::draw(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+// rand 0.8's `uniform_int_impl!` table: 8/16-bit types draw u32 words with
+// the exact modulus zone; u32/i32 draw u32 words, 64-bit and pointer-sized
+// types draw u64 words, both with the zone approximation.
+impl_sample_uniform_int!(u8, u8, u32, true);
+impl_sample_uniform_int!(u16, u16, u32, true);
+impl_sample_uniform_int!(u32, u32, u32, false);
+impl_sample_uniform_int!(u64, u64, u64, false);
+impl_sample_uniform_int!(usize, usize, u64, false);
+impl_sample_uniform_int!(i8, u8, u32, true);
+impl_sample_uniform_int!(i16, u16, u32, true);
+impl_sample_uniform_int!(i32, u32, u32, false);
+impl_sample_uniform_int!(i64, u64, u64, false);
+impl_sample_uniform_int!(isize, usize, u64, false);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f64::standard_sample(rng)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        low + (high - low) * f64::standard_sample(rng)
+    }
+}
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution (`[0, 1)` for
+    /// floats, full width for unsigned integers).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (rand 0.8's `Bernoulli`: the
+    /// probability is quantized to a 64-bit integer threshold, and
+    /// `p = 1` short-circuits without consuming the generator).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let scale = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * scale) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly imported traits, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny SplitMix64 generator for exercising the trait machinery.
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_in_unit_interval() {
+        let mut rng = SplitMix(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=5u32);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = SplitMix(3);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Replays a scripted word sequence, counting draws.
+    struct Scripted {
+        words: Vec<u64>,
+        at: usize,
+    }
+
+    impl RngCore for Scripted {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.at];
+            self.at += 1;
+            w
+        }
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn fill_bytes(&mut self, _: &mut [u8]) {}
+        fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    /// rand 0.8 rejects with the `(range << lz) - 1` zone approximation,
+    /// not strict Lemire. For range 59 the approximate zone is
+    /// `0xEBFF_FFFF_FFFF_FFFF`; a word whose widening low half lands above
+    /// it must be redrawn even though exact Lemire (reject `lo < 5`) would
+    /// accept it. Matching this exactly is what keeps seeded streams
+    /// identical to upstream rand.
+    #[test]
+    fn u64_range_uses_rand_08_zone_approximation() {
+        let rejected = 0xEC00_0000_0000_0000u64 / 59 + 1; // 59·v keeps hi = 0, lo > zone
+        assert!((rejected as u128 * 59) as u64 > 0xEBFF_FFFF_FFFF_FFFF);
+        let mut rng = Scripted {
+            words: vec![rejected, 100],
+            at: 0,
+        };
+        let got = rng.gen_range(0usize..59);
+        assert_eq!(got, 0); // hi of the second word (100·59 ≪ 2⁶⁴)
+        assert_eq!(rng.at, 2, "first word must be rejected");
+    }
+
+    #[test]
+    fn gen_bool_consumes_one_word_below_threshold() {
+        let mut rng = Scripted {
+            words: vec![0, u64::MAX],
+            at: 0,
+        };
+        assert!(rng.gen_bool(0.5)); // 0 < p_int
+        assert!(!rng.gen_bool(0.5)); // MAX ≥ p_int
+        assert_eq!(rng.at, 2);
+        assert!(rng.gen_bool(1.0)); // short-circuits, no draw
+        assert_eq!(rng.at, 2);
+    }
+
+    #[test]
+    fn seed_from_u64_default_expander_is_deterministic() {
+        struct ArrayRng([u8; 16]);
+        impl RngCore for ArrayRng {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), Error> {
+                Ok(())
+            }
+        }
+        impl SeedableRng for ArrayRng {
+            type Seed = [u8; 16];
+            fn from_seed(seed: Self::Seed) -> Self {
+                ArrayRng(seed)
+            }
+        }
+        let a = ArrayRng::seed_from_u64(7).0;
+        let b = ArrayRng::seed_from_u64(7).0;
+        let c = ArrayRng::seed_from_u64(8).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

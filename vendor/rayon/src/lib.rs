@@ -1,0 +1,344 @@
+//! Offline-vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses: `into_par_iter()` on ranges and vectors,
+//! `map` + order-preserving `collect` (into `Vec<T>` or
+//! `Result<Vec<T>, E>`), and `ThreadPoolBuilder::install` for pinning the
+//! worker count in determinism tests.
+//!
+//! Semantics the workspace relies on and this implementation guarantees:
+//!
+//! * **Order preservation** — `collect` returns results in input order
+//!   regardless of which worker computed what, so seeded computations are
+//!   identical for any thread count.
+//! * **Panic propagation** — a panicking closure propagates to the caller
+//!   (via `std::thread::scope`), as rayon does.
+//! * **No nested oversubscription** — parallel calls made from inside a
+//!   worker run inline on that worker, mirroring how rayon executes
+//!   nested jobs on the already-busy pool rather than spawning more
+//!   threads.
+//!
+//! Work is distributed dynamically: workers pull the next unclaimed index
+//! from a shared atomic counter, so uneven per-item cost (e.g. the
+//! iterative MaxEnt solver in some folds) does not serialize the run.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers so nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads a parallel call on this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+fn unpoisoned<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// Applies `f` to every item, in parallel, preserving input order.
+fn par_apply<I, T, F>(items: Vec<I>, f: &F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || IN_WORKER.with(|w| w.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = unpoisoned(slots[i].lock())
+                        .take()
+                        .expect("item claimed once");
+                    let result = f(item);
+                    *unpoisoned(out[i].lock()) = Some(result);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| unpoisoned(slot.into_inner()).expect("worker filled slot"))
+        .collect()
+}
+
+/// A parallel iterator: a source of items plus a composed mapping.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Evaluates the iterator, in parallel, preserving source order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects results in source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_vec(self.run())
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in source order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Source iterator over an owned vector of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, T, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    F: Fn(P::Item) -> T + Sync + Send,
+{
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = VecParIter<u64>;
+    fn into_par_iter(self) -> VecParIter<u64> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here; the
+/// builder cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle that pins the worker count for closures run under
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count installed for all parallel
+    /// calls made (transitively) on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.n)));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// The pinned worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    n: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default worker count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pins the worker count (`0` = default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self
+                .n
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |v| v.get())),
+        })
+    }
+}
+
+/// Commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let ok: Result<Vec<usize>, String> = (0..10usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "seven");
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = || -> Vec<u64> {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| i.wrapping_mul(i))
+                .collect()
+        };
+        let one = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(work);
+        let four = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(work);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..4usize).into_par_iter().map(|j| i + j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        assert_eq!(out[0], 6);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _: Vec<usize> = (0..16usize)
+            .into_par_iter()
+            .map(|i| if i == 11 { panic!("boom") } else { i })
+            .collect();
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let v = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

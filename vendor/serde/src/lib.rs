@@ -1,0 +1,570 @@
+//! Offline-vendored serde-compatible serialization core.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serde work-alike. It keeps the public trait shapes the
+//! workspace's code was written against (`Serialize`, `Deserialize<'de>`,
+//! `Serializer`, `Deserializer<'de>`, `ser::Error`, `de::Error`, and the
+//! `derive` feature re-exporting `#[derive(Serialize, Deserialize)]`), but
+//! pivots the whole data model around one concrete tree type,
+//! [`Content`]:
+//!
+//! * serializing means producing a `Content` tree (via
+//!   [`Serializer::serialize_content`]);
+//! * deserializing means consuming one (via
+//!   [`Deserializer::take_content`]).
+//!
+//! Formats such as the vendored `serde_json` convert between `Content`
+//! and their wire text. Conventions match serde's JSON defaults so the
+//! existing round-trip tests hold: structs become maps keyed by field
+//! name, unit enum variants become their name as a string, newtype/struct
+//! variants become single-entry maps, `Option` becomes the value or null.
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree at the center of the data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use super::Display;
+
+    /// Trait every serializer error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use super::Display;
+
+    /// Trait every deserializer error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Error produced while building or consuming a [`Content`] tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentError {
+    msg: String,
+}
+
+impl ContentError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ContentError { msg: msg.into() }
+    }
+}
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError::new(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError::new(msg.to_string())
+    }
+}
+
+/// A data format that values serialize themselves into.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a finished [`Content`] tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_string()))
+    }
+
+    /// Serializes a bool.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        if v <= i64::MAX as u64 {
+            self.serialize_content(Content::I64(v as i64))
+        } else {
+            self.serialize_content(Content::U64(v))
+        }
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serializes a unit value (`null`).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+}
+
+/// A data format that values deserialize themselves from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yields the input as a [`Content`] tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------
+// Content <-> value bridges
+
+/// Serializer that captures the value as a [`Content`] tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+///
+/// # Errors
+/// Propagates custom errors raised by `Serialize` impls (none of the
+/// workspace's impls fail).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Deserializer that reads from a captured [`Content`] tree, generic in
+/// the error type so formats can reuse it.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes any value from a [`Content`] tree.
+///
+/// # Errors
+/// Fails when the tree does not match the target type's shape.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer::<ContentError>::new(content))
+}
+
+// ---------------------------------------------------------------------
+// Support plumbing shared with the derive macro
+
+/// Helpers used by the generated code of `#[derive(Serialize,
+/// Deserialize)]`. Not part of the public API surface mirrored from
+/// serde; subject to change with the derive.
+pub mod __private {
+    use super::*;
+
+    /// Serializes one value to `Content`, mapping the error into the
+    /// caller's serializer error type.
+    pub fn field_content<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Content, E> {
+        to_content(value).map_err(|e| E::custom(e))
+    }
+
+    /// Removes a named field from a struct map.
+    pub fn take_field<E: de::Error>(
+        entries: &mut Vec<(String, Content)>,
+        type_name: &str,
+        field: &str,
+    ) -> Result<Content, E> {
+        match entries.iter().position(|(k, _)| k == field) {
+            Some(i) => Ok(entries.remove(i).1),
+            None => Err(E::custom(format!("missing field `{field}` in {type_name}"))),
+        }
+    }
+
+    /// Deserializes one field value, mapping the error into the caller's
+    /// deserializer error type.
+    pub fn field_value<'de, T: Deserialize<'de>, E: de::Error>(
+        content: Content,
+        type_name: &str,
+        field: &str,
+    ) -> Result<T, E> {
+        from_content(content).map_err(|e| E::custom(format!("{type_name}.{field}: {e}")))
+    }
+
+    /// Expects a struct map.
+    pub fn expect_map<E: de::Error>(
+        content: Content,
+        type_name: &str,
+    ) -> Result<Vec<(String, Content)>, E> {
+        match content {
+            Content::Map(m) => Ok(m),
+            other => Err(E::custom(format!(
+                "expected map for {type_name}, got {}",
+                kind(&other)
+            ))),
+        }
+    }
+
+    /// Short human label of a content node's kind, for error messages.
+    pub fn kind(c: &Content) -> &'static str {
+        match c {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    serializer.serialize_i64(*self as i64)
+                } else {
+                    serializer.serialize_u64(*self as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.take_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        crate::__private::kind(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_f64(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.take_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(D::Error::custom(format!(
+                        "expected float, got {}",
+                        crate::__private::kind(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!(
+                "expected bool, got {}",
+                __private::kind(&other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, got {}",
+                __private::kind(&other)
+            ))),
+        }
+    }
+}
+
+/// `&'static str` deserializes by leaking the owned string. The workspace
+/// only deserializes static strings inside small catalog types
+/// (`MetricDef`), never in bulk data, so the leak is bounded and
+/// intentional.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let owned = String::deserialize(d)?;
+        Ok(Box::leak(owned.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_content(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| from_content(c).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, got {}",
+                __private::kind(&other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_unit(),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::Error;
+                let seq = vec![$(to_content(&self.$idx).map_err(S::Error::custom)?),+];
+                serializer.serialize_content(Content::Seq(seq))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                use de::Error;
+                const ARITY: usize = [$($idx),+].len();
+                match d.take_content()? {
+                    Content::Seq(items) if items.len() == ARITY => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_content::<$name>(it.next().expect("arity checked"))
+                                .map_err(De::Error::custom)?
+                        },)+))
+                    }
+                    Content::Seq(items) => Err(De::Error::custom(format!(
+                        "expected tuple of {ARITY}, got sequence of {}",
+                        items.len()
+                    ))),
+                    other => Err(De::Error::custom(format!(
+                        "expected tuple of {ARITY}, got {}",
+                        __private::kind(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut seq = Vec::with_capacity(N);
+        for item in self {
+            seq.push(to_content(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_content() {
+        assert_eq!(from_content::<u64>(to_content(&7u64).unwrap()).unwrap(), 7);
+        assert_eq!(
+            from_content::<f64>(to_content(&1.5f64).unwrap()).unwrap(),
+            1.5
+        );
+        assert_eq!(
+            from_content::<String>(to_content("hi").unwrap()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            from_content::<Option<u32>>(to_content(&None::<u32>).unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            from_content::<(f64, f64)>(to_content(&(0.7f64, 1.5f64)).unwrap()).unwrap(),
+            (0.7, 1.5)
+        );
+        assert_eq!(
+            from_content::<Vec<i32>>(to_content(&vec![1i32, -2, 3]).unwrap()).unwrap(),
+            vec![1, -2, 3]
+        );
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        assert!(from_content::<u64>(Content::Str("x".into())).is_err());
+        assert!(from_content::<String>(Content::I64(3)).is_err());
+        assert!(from_content::<(f64, f64)>(Content::Seq(vec![Content::F64(1.0)])).is_err());
+    }
+
+    #[test]
+    fn negative_and_large_integers_keep_their_value() {
+        assert_eq!(
+            from_content::<i64>(to_content(&-9i64).unwrap()).unwrap(),
+            -9
+        );
+        let big = u64::MAX;
+        assert_eq!(from_content::<u64>(to_content(&big).unwrap()).unwrap(), big);
+    }
+}

@@ -1,0 +1,469 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's vendored serde
+//! work-alike.
+//!
+//! syn/quote are unavailable offline, so this crate parses the item's
+//! token stream by hand and emits the generated impl as source text. The
+//! supported shapes are exactly the ones the workspace uses:
+//!
+//! * structs with named fields, and unit structs;
+//! * enums with unit, newtype/tuple, and struct variants;
+//! * no generic parameters (every derived type in the workspace is
+//!   concrete);
+//! * field/variant attributes (`#[default]`, doc comments) are ignored.
+//!
+//! Field types never need to be understood: generated code binds fields
+//! by name and lets type inference pick the right `Serialize`/
+//! `Deserialize` impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named (struct/struct-variant), tuple arity, or
+/// unit.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Everything the generators need to know about the item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`, including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.next();
+                    }
+                    _ => return,
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the fields of a braced group: `name: Type, ...`. Types are
+/// skipped, not interpreted; commas inside angle brackets or groups do
+/// not terminate a field.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        names.push(name);
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a parenthesized tuple group by top-level commas.
+fn tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in group {
+        saw_token = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_token {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Optional discriminant is unsupported; expect `,` or end.
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("serde derive: unexpected token after variant: `{other}`"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported ({name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Emits `entries.push((name, content-of-field))` lines. `accessor`
+/// formats each field name into an expression.
+fn push_named_fields(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+    for f in fields {
+        out.push_str(&format!(
+            "entries.push((\"{f}\".to_string(), \
+             serde::__private::field_content::<_, S::Error>({})?));\n",
+            accessor(f)
+        ));
+    }
+}
+
+/// Emits a `Name {{ field: take-and-decode, .. }}` struct literal that
+/// pulls each named field out of `entries`.
+fn build_named_fields(out: &mut String, type_label: &str, path: &str, fields: &[String]) {
+    out.push_str(&format!("Ok({path} {{\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: serde::__private::field_value::<_, D::Error>(\
+             serde::__private::take_field::<D::Error>(&mut entries, \"{type_label}\", \"{f}\")?, \
+             \"{type_label}\", \"{f}\")?,\n"
+        ));
+    }
+    out.push_str("})\n");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, serializer: S) \
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    out.push_str("let mut entries: Vec<(String, serde::Content)> = Vec::new();\n");
+                    push_named_fields(&mut out, names, |f| format!("&self.{f}"));
+                    out.push_str("serializer.serialize_content(serde::Content::Map(entries))\n");
+                }
+                Fields::Unit => {
+                    out.push_str("serializer.serialize_unit()\n");
+                }
+                Fields::Tuple(arity) => {
+                    out.push_str("let mut seq: Vec<serde::Content> = Vec::new();\n");
+                    for i in 0..*arity {
+                        out.push_str(&format!(
+                            "seq.push(serde::__private::field_content::<_, S::Error>(&self.{i})?);\n"
+                        ));
+                    }
+                    out.push_str("serializer.serialize_content(serde::Content::Seq(seq))\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, serializer: S) \
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        out.push_str(&format!(
+                            "{name}::{vn} => serializer.serialize_str(\"{vn}\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        out.push_str(&format!(
+                            "{name}::{vn}(f0) => {{\n\
+                             let value = serde::__private::field_content::<_, S::Error>(f0)?;\n\
+                             serializer.serialize_content(serde::Content::Map(vec![\
+                             (\"{vn}\".to_string(), value)]))\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut seq: Vec<serde::Content> = Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            out.push_str(&format!(
+                                "seq.push(serde::__private::field_content::<_, S::Error>({b})?);\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "serializer.serialize_content(serde::Content::Map(vec![\
+                             (\"{vn}\".to_string(), serde::Content::Seq(seq))]))\n}}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut entries: Vec<(String, serde::Content)> = Vec::new();\n",
+                            fields.join(", ")
+                        ));
+                        push_named_fields(&mut out, fields, |f| f.to_string());
+                        out.push_str(&format!(
+                            "serializer.serialize_content(serde::Content::Map(vec![\
+                             (\"{vn}\".to_string(), serde::Content::Map(entries))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 let content = deserializer.take_content()?;\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    out.push_str(&format!(
+                        "let mut entries = serde::__private::expect_map::<D::Error>(content, \"{name}\")?;\n\
+                         let _ = &mut entries;\n"
+                    ));
+                    build_named_fields(&mut out, name, name, names);
+                }
+                Fields::Unit => {
+                    out.push_str(&format!(
+                        "match content {{\n\
+                         serde::Content::Null => Ok({name}),\n\
+                         serde::Content::Map(m) if m.is_empty() => Ok({name}),\n\
+                         other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                         \"expected unit for {name}, got {{}}\", serde::__private::kind(&other)))),\n\
+                         }}\n"
+                    ));
+                }
+                Fields::Tuple(arity) => {
+                    out.push_str(&format!(
+                        "match content {{\n\
+                         serde::Content::Seq(items) if items.len() == {arity} => {{\n\
+                         let mut it = items.into_iter();\n\
+                         Ok({name}(\n"
+                    ));
+                    for i in 0..*arity {
+                        out.push_str(&format!(
+                            "serde::__private::field_value::<_, D::Error>(\
+                             it.next().expect(\"arity checked\"), \"{name}\", \"{i}\")?,\n"
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "))\n}}\n\
+                         other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                         \"expected {arity}-tuple for {name}, got {{}}\", \
+                         serde::__private::kind(&other)))),\n}}\n"
+                    ));
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) \
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 let content = deserializer.take_content()?;\n\
+                 match content {{\n\
+                 serde::Content::Str(variant) => match variant.as_str() {{\n"
+            ));
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                 \"unknown variant {{other:?}} for {name}\"))),\n}}\n\
+                 serde::Content::Map(mut payload) if payload.len() == 1 => {{\n\
+                 let (variant, value) = payload.remove(0);\n\
+                 let _ = &value;\n\
+                 match variant.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             serde::__private::field_value::<_, D::Error>(\
+                             value, \"{name}\", \"{vn}\")?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(arity) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => match value {{\n\
+                             serde::Content::Seq(items) if items.len() == {arity} => {{\n\
+                             let mut it = items.into_iter();\n\
+                             Ok({name}::{vn}(\n"
+                        ));
+                        for i in 0..*arity {
+                            out.push_str(&format!(
+                                "serde::__private::field_value::<_, D::Error>(\
+                                 it.next().expect(\"arity checked\"), \"{name}\", \"{vn}.{i}\")?,\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "))\n}}\n\
+                             other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                             \"expected {arity}-tuple payload for {name}::{vn}, got {{}}\", \
+                             serde::__private::kind(&other)))),\n}},\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut entries = serde::__private::expect_map::<D::Error>(\
+                             value, \"{name}::{vn}\")?;\n\
+                             let _ = &mut entries;\n"
+                        ));
+                        build_named_fields(
+                            &mut out,
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                        );
+                        out.push_str("}\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                 \"unknown variant {{other:?}} for {name}\"))),\n}}\n}}\n\
+                 other => Err(<D::Error as serde::de::Error>::custom(format!(\
+                 \"expected variant of {name}, got {{}}\", serde::__private::kind(&other)))),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
