@@ -1,0 +1,75 @@
+//! Sweep-service benchmarks: what the cell cache buys on a re-run.
+//!
+//! `sweep_warm_vs_cold` measures the same small grid three ways — no
+//! cache, cold cache (store every cell), warm cache (every cell a
+//! verified hit) — so the tracked numbers expose both the caching
+//! overhead on first contact and the near-free re-run.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_core::pipeline::EncodedCorpus;
+use pv_core::sweep::{CellCache, GridSpec, Sweep};
+use pv_core::{ModelKind, ReprKind};
+use pv_sysmodel::{Corpus, SystemModel};
+
+/// A scratch cache directory unique to this process.
+fn scratch_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pv-sweep-bench-{}-{name}", std::process::id()))
+}
+
+fn bench_sweep_warm_vs_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_warm_vs_cold");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+
+    let corpus = Corpus::collect(&SystemModel::intel(), 100, 7);
+    let grid = GridSpec {
+        reprs: vec![ReprKind::Histogram, ReprKind::PearsonRnd],
+        models: vec![ModelKind::Knn],
+        sample_counts: vec![5, 10, 25],
+        seeds: vec![7],
+        profiles_per_benchmark: 1,
+    };
+    let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+
+    g.bench_function("uncached_6_cells", |b| {
+        let sweep = Sweep::few_runs(&enc);
+        b.iter(|| sweep.run(black_box(&grid)).unwrap())
+    });
+
+    g.bench_function("cold_cache_6_cells", |b| {
+        // Every iteration starts from an empty directory, so each cell
+        // is computed and stored: the cache's worst case.
+        let dir = scratch_dir("cold");
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let sweep = Sweep::few_runs(&enc).with_cache(CellCache::new(&dir));
+            sweep.run(black_box(&grid)).unwrap()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.bench_function("warm_cache_6_cells", |b| {
+        // The directory is pre-populated once; every iteration is pure
+        // verified hits.
+        let dir = scratch_dir("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sweep = Sweep::few_runs(&enc).with_cache(CellCache::new(&dir));
+        let seeded = sweep.run(&grid).unwrap();
+        assert_eq!(seeded.misses, seeded.cells.len());
+        b.iter(|| {
+            let report = sweep.run(black_box(&grid)).unwrap();
+            assert_eq!(report.misses, 0);
+            report
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_warm_vs_cold);
+criterion_main!(benches);

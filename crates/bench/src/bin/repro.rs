@@ -3,10 +3,15 @@
 //! ```text
 //! cargo run -p pv-bench --release --bin repro -- all
 //! cargo run -p pv-bench --release --bin repro -- fig4 fig6
+//! cargo run -p pv-bench --release --bin repro -- sweep --samples 5,10,25
 //! ```
 //!
 //! Each exhibit prints a text rendition to stdout and writes CSV series
 //! under `target/repro/` so the data can be re-plotted with any tool.
+//! The `sweep` subcommand runs a declarative config grid through the
+//! `pv_core::sweep` service with an on-disk cell cache (default
+//! `target/repro/sweep-cache`), so re-running with a widened grid only
+//! computes the new cells; see `sweep --help`.
 //!
 //! All exhibits share two process-wide caches per system: the collected
 //! campaign corpus ([`intel_campaign`]/[`amd_campaign`]) and its
@@ -17,6 +22,7 @@
 //! train-per-fold harness.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -26,6 +32,7 @@ use pv_bench::{
 use pv_core::eval::{evaluate_cross_system_encoded, evaluate_few_runs_encoded, EvalSummary};
 use pv_core::pipeline::EncodedCorpus;
 use pv_core::report::{kde_curve, overlay, sparkline, summary_table, violin_row, write_csv};
+use pv_core::sweep::{CellCache, GridSpec, Sweep, SweepReport};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{ModelKind, ReprKind};
@@ -85,6 +92,10 @@ fn amd_enc() -> &'static EncodedCorpus<'static> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_cmd(&args[1..]);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -539,6 +550,312 @@ fn baselines() {
     )
     .expect("csv");
     println!();
+}
+
+// ---------------------------------------------------------------------
+// the sweep service subcommand
+
+const SWEEP_HELP: &str = "\
+repro sweep — run a config grid through the cached sweep service
+
+USAGE:
+    repro -- sweep [OPTIONS]
+
+OPTIONS:
+    --uc 1|2             use case (default 1: few-runs on Intel;
+                         2: cross-system AMD -> Intel)
+    --reverse            swap use-case-2 direction (Intel -> AMD)
+    --reprs LIST         all | comma list of Histogram,PyMaxEnt,PearsonRnd
+    --models LIST        all | comma list of kNN,RandomForest,XGBoost
+    --samples LIST       profile sample counts, e.g. 5,10,25 (default 10)
+    --seeds LIST         root seeds, decimal or 0x-hex (default campaign seed)
+    --runs N             corpus runs per benchmark (default 1000)
+    --cache DIR          cell cache directory (default target/repro/sweep-cache)
+    --no-cache           run without a cell cache
+    --help               print this help
+
+A re-run with a widened grid loads finished cells from the cache and
+computes only the delta; cached results are bit-identical to fresh ones.";
+
+/// Parsed `sweep` flags.
+struct SweepArgs {
+    uc: usize,
+    reverse: bool,
+    grid: GridSpec,
+    runs: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+fn sweep_usage_error(msg: &str) -> ! {
+    eprintln!("sweep: {msg}\n\n{SWEEP_HELP}");
+    std::process::exit(2);
+}
+
+fn parse_sweep_args(args: &[String]) -> SweepArgs {
+    let mut parsed = SweepArgs {
+        uc: 1,
+        reverse: false,
+        grid: GridSpec {
+            seeds: vec![CAMPAIGN_SEED],
+            profiles_per_benchmark: pv_bench::PROFILES_PER_BENCHMARK,
+            ..GridSpec::default()
+        },
+        runs: pv_bench::CAMPAIGN_RUNS,
+        cache_dir: Some(out_dir().join("sweep-cache")),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| sweep_usage_error(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{SWEEP_HELP}");
+                std::process::exit(0);
+            }
+            "--uc" => {
+                parsed.uc = match value(&mut i, "--uc").as_str() {
+                    "1" => 1,
+                    "2" => 2,
+                    other => sweep_usage_error(&format!("--uc must be 1 or 2, got {other:?}")),
+                };
+            }
+            "--reverse" => parsed.reverse = true,
+            "--no-cache" => parsed.cache_dir = None,
+            "--cache" => parsed.cache_dir = Some(PathBuf::from(value(&mut i, "--cache"))),
+            "--runs" => {
+                parsed.runs = value(&mut i, "--runs")
+                    .parse()
+                    .unwrap_or_else(|e| sweep_usage_error(&format!("--runs: {e}")));
+            }
+            "--samples" => {
+                parsed.grid.sample_counts = value(&mut i, "--samples")
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|e| sweep_usage_error(&format!("--samples: {e}")))
+                    })
+                    .collect();
+            }
+            "--seeds" => {
+                parsed.grid.seeds = value(&mut i, "--seeds")
+                    .split(',')
+                    .map(|t| parse_seed(t.trim()))
+                    .collect();
+            }
+            "--reprs" => {
+                let v = value(&mut i, "--reprs");
+                if !v.eq_ignore_ascii_case("all") {
+                    parsed.grid.reprs = v
+                        .split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|e| sweep_usage_error(&format!("--reprs: {e}")))
+                        })
+                        .collect();
+                }
+            }
+            "--models" => {
+                let v = value(&mut i, "--models");
+                if !v.eq_ignore_ascii_case("all") {
+                    parsed.grid.models = v
+                        .split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|e| sweep_usage_error(&format!("--models: {e}")))
+                        })
+                        .collect();
+                }
+            }
+            other => sweep_usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if parsed.grid.is_degenerate() {
+        sweep_usage_error("the grid has an empty axis");
+    }
+    parsed
+}
+
+fn parse_seed(t: &str) -> u64 {
+    let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse(),
+    };
+    parsed.unwrap_or_else(|e| sweep_usage_error(&format!("--seeds: {t:?}: {e}")))
+}
+
+/// The `sweep` subcommand: expand the grid, run it over the cell cache,
+/// stream per-cell lines as they finish, and render the summary table.
+fn sweep_cmd(args: &[String]) {
+    let SweepArgs {
+        uc,
+        reverse,
+        grid,
+        runs,
+        cache_dir,
+    } = parse_sweep_args(args);
+    let started = Instant::now();
+    println!("perfvar sweep service — use case {uc}, {runs} runs/benchmark");
+
+    // Own the corpora only when the run count deviates from the shared
+    // campaign; the common path reuses the process-wide caches.
+    let full = runs == pv_bench::CAMPAIGN_RUNS;
+    let collect = |sys: pv_sysmodel::SystemModel| Corpus::collect(&sys, runs, CAMPAIGN_SEED);
+
+    let t = Instant::now();
+    let (primary, secondary): (&Corpus, Option<Corpus>);
+    let local: Corpus;
+    match (uc, reverse) {
+        (1, _) => {
+            if full {
+                primary = intel();
+                secondary = None;
+            } else {
+                local = collect(pv_sysmodel::SystemModel::intel());
+                primary = &local;
+                secondary = None;
+            }
+        }
+        (2, false) => {
+            if full {
+                primary = amd();
+                secondary = Some(intel().clone());
+            } else {
+                local = collect(pv_sysmodel::SystemModel::amd());
+                primary = &local;
+                secondary = Some(collect(pv_sysmodel::SystemModel::intel()));
+            }
+        }
+        (2, true) => {
+            if full {
+                primary = intel();
+                secondary = Some(amd().clone());
+            } else {
+                local = collect(pv_sysmodel::SystemModel::intel());
+                primary = &local;
+                secondary = Some(collect(pv_sysmodel::SystemModel::amd()));
+            }
+        }
+        _ => unreachable!("--uc validated"),
+    }
+    if !full || uc == 2 {
+        println!("[setup] corpora ready in {:.1?}", t.elapsed());
+    }
+
+    // Encode once for the whole grid, then run the cells over the cache.
+    let t = Instant::now();
+    let cache = cache_dir.as_ref().map(CellCache::new);
+    let report = match uc {
+        1 => {
+            let enc = EncodedCorpus::build(primary, &grid.few_runs_encoding()).expect("encode");
+            println!("[setup] corpus encoded in {:.1?}", t.elapsed());
+            let mut sweep = Sweep::few_runs(&enc);
+            if let Some(c) = cache.clone() {
+                sweep = sweep.with_cache(c);
+            }
+            run_sweep_streaming(&sweep, &grid)
+        }
+        _ => {
+            let dst_corpus = secondary.as_ref().expect("uc2 destination");
+            let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
+            let src = EncodedCorpus::build(primary, &src_spec).expect("encode src");
+            let dst = EncodedCorpus::build(dst_corpus, &dst_spec).expect("encode dst");
+            println!("[setup] corpora encoded in {:.1?}", t.elapsed());
+            let mut sweep = Sweep::cross_system(&src, &dst);
+            if let Some(c) = cache.clone() {
+                sweep = sweep.with_cache(c);
+            }
+            run_sweep_streaming(&sweep, &grid)
+        }
+    };
+
+    // Summary table in grid order + CSV + cache accounting.
+    println!();
+    let rows: Vec<(String, &EvalSummary)> = report
+        .cells
+        .iter()
+        .map(|c| (c.config.label(), &c.summary))
+        .collect();
+    println!("{}", summary_table(&rows).expect("table"));
+    let csv_rows: Vec<Vec<f64>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.config.sample_count() as f64,
+                c.config.seed() as f64,
+                c.summary.mean,
+                c.summary.spread.median,
+                c.summary.spread.q1,
+                c.summary.spread.q3,
+                if c.from_cache { 1.0 } else { 0.0 },
+            ]
+        })
+        .collect();
+    let labels: Vec<String> = report
+        .cells
+        .iter()
+        .map(|c| c.config.label().replace(' ', "_"))
+        .collect();
+    write_csv(
+        &out_dir().join("sweep.csv"),
+        &[
+            "cell",
+            "samples",
+            "seed",
+            "mean",
+            "median",
+            "q1",
+            "q3",
+            "from_cache",
+        ],
+        &csv_rows,
+        Some(&labels),
+    )
+    .expect("csv");
+    match &cache {
+        Some(c) => println!(
+            "cache: {} hits, {} misses — {} ({} entries, fingerprint {:016x})",
+            report.hits,
+            report.misses,
+            c.dir().display(),
+            c.entries(),
+            report.fingerprint,
+        ),
+        None => println!(
+            "cache: disabled — {} cells computed (fingerprint {:016x})",
+            report.misses, report.fingerprint,
+        ),
+    }
+    println!("total: {:.1?}", started.elapsed());
+}
+
+/// Runs the sweep, printing one line per cell the moment it completes.
+fn run_sweep_streaming(sweep: &Sweep<'_, '_>, grid: &GridSpec) -> SweepReport {
+    let n_cells = sweep.cells(grid).len();
+    let done = AtomicUsize::new(0);
+    sweep
+        .run_streaming(grid, |cell| {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            println!(
+                "  [{k:>3}/{n_cells}] {:<42} mean KS {:.3}  ({})",
+                cell.config.label(),
+                cell.summary.mean,
+                if cell.from_cache {
+                    "cache hit"
+                } else {
+                    "computed"
+                },
+            );
+        })
+        .expect("sweep")
 }
 
 // ---------------------------------------------------------------------

@@ -13,7 +13,7 @@
 //! sweeps over models/representations on the same corpus (the paper's
 //! grids) pay for encoding once.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use pv_stats::descriptive::FiveNumber;
 use pv_stats::StatsError;
@@ -28,7 +28,7 @@ use crate::usecase2::CrossSystemConfig;
 pub const RECONSTRUCTION_SAMPLES: usize = 1000;
 
 /// KS score of one held-out benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BenchScore {
     /// The held-out benchmark.
     pub id: BenchmarkId,
@@ -37,7 +37,11 @@ pub struct BenchScore {
 }
 
 /// Aggregate of a leave-one-group-out evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Serializes losslessly (shortest-round-trip floats), so a summary that
+/// round-trips through the sweep service's on-disk cell cache compares
+/// bit-identical to the freshly computed value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalSummary {
     /// Per-benchmark scores, roster order.
     pub scores: Vec<BenchScore>,

@@ -18,6 +18,7 @@
 //! | III-A2 cross-system prediction | [`usecase2`] |
 //! | IV-E / V KS-scored leave-one-group-out evaluation | [`eval`] |
 //! | shared encode-once cache + LOGO fold runner | [`pipeline`] |
+//! | config-grid sweep service with cached cells | [`sweep`] |
 //! | figure/table rendering | [`report`] |
 //!
 //! Every evaluation path — both use cases, the kNN ablation grid, and the
@@ -52,6 +53,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod repr;
+pub mod sweep;
 pub mod usecase1;
 pub mod usecase2;
 
@@ -64,8 +66,13 @@ pub use eval::{
     evaluate_few_runs_encoded, BenchScore, EvalSummary,
 };
 pub use model::ModelKind;
-pub use pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
+pub use pipeline::{
+    corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode,
+};
 pub use profile::Profile;
 pub use repr::{DistributionRepr, ReprKind};
+pub use sweep::{
+    cell_key, CellCache, CellConfig, CellResult, GridSpec, Sweep, SweepReport, SweepTarget,
+};
 pub use usecase1::{FewRunsConfig, FewRunsPredictor};
 pub use usecase2::{CrossSystemConfig, CrossSystemPredictor};

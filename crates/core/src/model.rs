@@ -10,6 +10,7 @@ use pv_ml::{
     Distance, GradientBoostingRegressor, KnnRegressor, MaxFeatures, RandomForestRegressor,
     Regressor,
 };
+use pv_stats::StatsError;
 
 /// Which regression model to use — the second comparison axis of
 /// Figs. 4 and 7.
@@ -71,6 +72,25 @@ impl ModelKind {
     }
 }
 
+impl std::str::FromStr for ModelKind {
+    type Err = StatsError;
+
+    /// Parses a display name case-insensitively (`"knn"`,
+    /// `"randomforest"` / `"rf"`, `"xgboost"` / `"xgb"`), as used by the
+    /// `repro sweep` command line.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "knn" => Ok(ModelKind::Knn),
+            "randomforest" | "rf" | "forest" => Ok(ModelKind::RandomForest),
+            "xgboost" | "xgb" | "gbt" => Ok(ModelKind::XgBoost),
+            _ => Err(StatsError::invalid(
+                "ModelKind::from_str",
+                format!("unknown model {s:?} (expected kNN, RandomForest, or XGBoost)"),
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +124,15 @@ mod tests {
         assert_eq!(ModelKind::Knn.name(), "kNN");
         assert_eq!(ModelKind::RandomForest.name(), "RandomForest");
         assert_eq!(ModelKind::XgBoost.name(), "XGBoost");
+    }
+
+    #[test]
+    fn display_names_parse_back() {
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.name().parse::<ModelKind>().unwrap(), kind);
+        }
+        assert_eq!("rf".parse::<ModelKind>().unwrap(), ModelKind::RandomForest);
+        assert!("perceptron".parse::<ModelKind>().is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
+use pv_stats::fingerprint::Fnv1a;
 use pv_stats::ks::ks2_statistic;
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
@@ -34,11 +35,52 @@ use crate::eval::{BenchScore, EvalSummary};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
 
+/// Stable content fingerprint of a corpus.
+///
+/// Covers everything an [`EncodedCorpus`] (and hence every evaluation)
+/// can observe: the system, campaign shape, seed, and every run's times
+/// and metric readings, all fed bit-exactly (floats as IEEE-754 bit
+/// patterns) into FNV-1a. Two corpora fingerprint equal iff every
+/// evaluation over them is bit-identical, so on-disk caches keyed by
+/// this value can trust a hit and must discard a mismatch.
+///
+/// The per-benchmark hashing runs in parallel; benchmark digests are
+/// folded in roster order, so the result is thread-count independent.
+pub fn corpus_fingerprint(corpus: &Corpus) -> u64 {
+    let per_bench: Vec<u64> = (0..corpus.benchmarks.len())
+        .into_par_iter()
+        .map(|bi| {
+            let b = &corpus.benchmarks[bi];
+            let mut h = Fnv1a::new();
+            h.write_str(&b.id.qualified());
+            h.write_usize(b.runs.records.len());
+            for r in &b.runs.records {
+                h.write_f64(r.time_s);
+                h.write_f64(r.rel_time);
+                h.write_f64s(&r.metrics);
+            }
+            h.finish()
+        })
+        .collect();
+    let mut h = Fnv1a::new();
+    h.write_str("pv-corpus-v1");
+    h.write_str(corpus.system.short_name());
+    h.write_usize(corpus.n_runs);
+    h.write_u64(corpus.seed);
+    h.write_usize(per_bench.len());
+    for d in per_bench {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
 /// What to precompute when building an [`EncodedCorpus`].
 ///
 /// Requesting a superset is harmless (and how grids share one cache):
-/// entries are deduplicated, and window counts for the same `s` merge to
-/// the maximum.
+/// the builder methods are idempotent — duplicate entries merge instead
+/// of accumulating, and window counts for the same `s` merge to the
+/// maximum — so two specs requesting the same coverage compare equal no
+/// matter how the requests were phrased.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EncodingSpec {
     profiles: Vec<(usize, usize)>,
@@ -47,28 +89,61 @@ pub struct EncodingSpec {
 }
 
 impl EncodingSpec {
-    /// An empty spec (only relative times are cached).
+    /// An empty spec (only relative times are cached). Identical to
+    /// `EncodingSpec::default()`.
     pub fn new() -> Self {
         EncodingSpec::default()
     }
 
     /// Requests `windows` disjoint `s`-run window profiles per benchmark.
+    ///
+    /// Idempotent: repeated requests for the same `s` keep the maximum
+    /// window count.
     pub fn profiles(mut self, s: usize, windows: usize) -> Self {
-        self.profiles.push((s, windows.max(1)));
+        let windows = windows.max(1);
+        match self.profiles.iter_mut().find(|(t, _)| *t == s) {
+            Some((_, w)) => *w = (*w).max(windows),
+            None => self.profiles.push((s, windows)),
+        }
         self
     }
 
     /// Requests the target encoding of every benchmark under `repr`.
+    ///
+    /// Idempotent: duplicate requests are no-ops.
     pub fn target(mut self, repr: ReprKind) -> Self {
-        self.targets.push(repr);
+        if !self.targets.contains(&repr) {
+            self.targets.push(repr);
+        }
         self
     }
 
     /// Requests joined rows — `s`-run profile ⊕ `repr` encoding — the
     /// feature layout of use case 2. Implies `profiles(s, 1)` and
     /// `target(repr)`.
+    ///
+    /// Idempotent: duplicate `(s, repr)` requests are no-ops, so nothing
+    /// is ever double-encoded.
     pub fn joined(mut self, s: usize, repr: ReprKind) -> Self {
-        self.joined.push((s, repr));
+        if !self.joined.contains(&(s, repr)) {
+            self.joined.push((s, repr));
+        }
+        self
+    }
+
+    /// The idempotent union of two specs: everything either requests.
+    /// Grids merge their cells' specs with this so one encode pass
+    /// covers the whole sweep.
+    pub fn merge(mut self, other: &EncodingSpec) -> Self {
+        for &(s, w) in &other.profiles {
+            self = self.profiles(s, w);
+        }
+        for &k in &other.targets {
+            self = self.target(k);
+        }
+        for &(s, k) in &other.joined {
+            self = self.joined(s, k);
+        }
         self
     }
 }
@@ -531,5 +606,54 @@ mod tests {
         assert!(enc.joined(5, ReprKind::PearsonRnd, 0).is_ok());
         assert_eq!(enc.targets.len(), 1);
         assert_eq!(enc.joined.len(), 1);
+    }
+
+    #[test]
+    fn spec_builders_are_idempotent() {
+        assert_eq!(EncodingSpec::new(), EncodingSpec::default());
+        let once = EncodingSpec::new()
+            .profiles(5, 3)
+            .target(ReprKind::Histogram)
+            .joined(10, ReprKind::PearsonRnd);
+        let twice = EncodingSpec::new()
+            .profiles(5, 2)
+            .profiles(5, 3)
+            .target(ReprKind::Histogram)
+            .target(ReprKind::Histogram)
+            .joined(10, ReprKind::PearsonRnd)
+            .joined(10, ReprKind::PearsonRnd);
+        assert_eq!(once, twice);
+        // Distinct settings still accumulate.
+        let two_s = EncodingSpec::new().profiles(5, 1).profiles(7, 1);
+        assert_ne!(two_s, EncodingSpec::new().profiles(5, 1));
+    }
+
+    #[test]
+    fn corpus_fingerprint_tracks_content() {
+        let a = Corpus::collect(&SystemModel::intel(), 20, 11);
+        let b = Corpus::collect(&SystemModel::intel(), 20, 11);
+        assert_eq!(corpus_fingerprint(&a), corpus_fingerprint(&b));
+        // Any observable difference — seed, run count, system — moves it.
+        let other_seed = Corpus::collect(&SystemModel::intel(), 20, 12);
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&other_seed));
+        let other_runs = Corpus::collect(&SystemModel::intel(), 21, 11);
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&other_runs));
+        let other_sys = Corpus::collect(&SystemModel::amd(), 20, 11);
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&other_sys));
+        // A single flipped bit in one run moves it too.
+        let mut tampered = a.clone();
+        tampered.benchmarks[17].runs.records[3].rel_time += 1e-12;
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&tampered));
+    }
+
+    #[test]
+    fn corpus_fingerprint_is_thread_count_independent() {
+        let c = corpus();
+        let baseline = corpus_fingerprint(&c);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(baseline, pool.install(|| corpus_fingerprint(&c)));
     }
 }

@@ -101,6 +101,27 @@ impl ReprKind {
     }
 }
 
+impl std::str::FromStr for ReprKind {
+    type Err = StatsError;
+
+    /// Parses a display name case-insensitively (`"histogram"`,
+    /// `"pymaxent"` / `"maxent"`, `"pearsonrnd"` / `"pearson"`), as used
+    /// by the `repro sweep` command line.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "histogram" | "hist" => Ok(ReprKind::Histogram),
+            "pymaxent" | "maxent" => Ok(ReprKind::PyMaxEnt),
+            "pearsonrnd" | "pearson" => Ok(ReprKind::PearsonRnd),
+            _ => Err(StatsError::invalid(
+                "ReprKind::from_str",
+                format!(
+                    "unknown representation {s:?} (expected Histogram, PyMaxEnt, or PearsonRnd)"
+                ),
+            )),
+        }
+    }
+}
+
 /// Histogram representation: bin masses over [`REL_TIME_RANGE`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HistogramRepr {
@@ -297,6 +318,15 @@ mod tests {
         let d = Normal::new(1.0, 0.03).unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         d.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn display_names_parse_back() {
+        for kind in ReprKind::ALL {
+            assert_eq!(kind.name().parse::<ReprKind>().unwrap(), kind);
+        }
+        assert_eq!("maxent".parse::<ReprKind>().unwrap(), ReprKind::PyMaxEnt);
+        assert!("spline".parse::<ReprKind>().is_err());
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! Config-grid sweep service with cached cells.
+//!
+//! The paper's evaluation is inherently a grid — representations ×
+//! models × profile sample counts (× seeds), scored by LOGO/KS — and the
+//! [`pipeline`](crate::pipeline) layer already lets every cell of such a
+//! grid share one [`EncodedCorpus`]. This module turns the grid into a
+//! service:
+//!
+//! * [`GridSpec`] declares the axes; it expands into [`CellConfig`]s in
+//!   a fixed deterministic order and derives the [`EncodingSpec`]s that
+//!   cover every cell, so one encode pass serves the whole sweep.
+//! * [`Sweep`] schedules the cells across the rayon worker pool over the
+//!   shared cache(s), streaming each [`CellResult`] to a callback the
+//!   moment it finishes and returning all of them (cell order, not
+//!   completion order) in a [`SweepReport`].
+//! * [`CellCache`] persists completed cells to disk, keyed by
+//!   `(corpus fingerprint, cell config)`. Re-running a widened grid
+//!   loads the old cells and computes only the delta; a stale or
+//!   corrupted file fails its fingerprint/config check and is recomputed
+//!   rather than trusted.
+//!
+//! Cached results are bit-identical to fresh ones: every cell evaluation
+//! is a pure function of (corpus, config) independent of thread count
+//! ([`FoldRunner`](crate::pipeline::FoldRunner)'s guarantee), the
+//! [`corpus_fingerprint`] pins the corpus bit-exactly, and the JSON
+//! round-trip preserves every `f64` (shortest-round-trip formatting).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use pv_stats::fingerprint::Fnv1a;
+use pv_stats::StatsError;
+use pv_sysmodel::Corpus;
+
+use crate::eval::{
+    cross_system_specs, evaluate_cross_system_encoded, evaluate_few_runs_encoded, few_runs_spec,
+    EvalSummary,
+};
+use crate::model::ModelKind;
+use crate::pipeline::{corpus_fingerprint, EncodedCorpus, EncodingSpec};
+use crate::repr::ReprKind;
+use crate::usecase1::FewRunsConfig;
+use crate::usecase2::CrossSystemConfig;
+
+/// Version tag baked into every cache entry; bump on any change to the
+/// cell layout or evaluation semantics to orphan old entries.
+const CACHE_VERSION: u32 = 1;
+
+/// A declarative config grid: the cross product of the four axes.
+///
+/// Expansion order is fixed — seeds, then sample counts, then
+/// representations, then models, each axis in declaration order with
+/// duplicates dropped — so the same spec always yields the same cell
+/// list, which is what makes streamed results comparable across runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Distribution representations to sweep.
+    pub reprs: Vec<ReprKind>,
+    /// Regression models to sweep.
+    pub models: Vec<ModelKind>,
+    /// Profile sample counts: `n_profile_runs` for use case 1,
+    /// `profile_runs` for use case 2.
+    pub sample_counts: Vec<usize>,
+    /// Root seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Training profile windows per benchmark (use case 1 only).
+    pub profiles_per_benchmark: usize,
+}
+
+impl Default for GridSpec {
+    /// The paper's headline grid: all representations × all models at
+    /// ten profile runs, one window per benchmark, campaign seed.
+    fn default() -> Self {
+        GridSpec {
+            reprs: ReprKind::ALL.to_vec(),
+            models: ModelKind::ALL.to_vec(),
+            sample_counts: vec![10],
+            seeds: vec![FewRunsConfig::default().seed],
+            profiles_per_benchmark: 1,
+        }
+    }
+}
+
+/// Deduplicates while preserving first-occurrence order.
+fn dedup_in_order<T: PartialEq + Copy>(xs: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(xs.len());
+    for &x in xs {
+        if !out.contains(&x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+impl GridSpec {
+    /// Whether any axis is empty (the grid expands to no cells).
+    pub fn is_degenerate(&self) -> bool {
+        self.reprs.is_empty()
+            || self.models.is_empty()
+            || self.sample_counts.is_empty()
+            || self.seeds.is_empty()
+    }
+
+    /// Expands the grid into use-case-1 cell configs.
+    pub fn few_runs_cells(&self) -> Vec<FewRunsConfig> {
+        let mut cells = Vec::new();
+        for &seed in &dedup_in_order(&self.seeds) {
+            for &s in &dedup_in_order(&self.sample_counts) {
+                for &repr in &dedup_in_order(&self.reprs) {
+                    for &model in &dedup_in_order(&self.models) {
+                        cells.push(FewRunsConfig {
+                            repr,
+                            model,
+                            n_profile_runs: s,
+                            profiles_per_benchmark: self.profiles_per_benchmark.max(1),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Expands the grid into use-case-2 cell configs.
+    pub fn cross_system_cells(&self) -> Vec<CrossSystemConfig> {
+        let mut cells = Vec::new();
+        for &seed in &dedup_in_order(&self.seeds) {
+            for &s in &dedup_in_order(&self.sample_counts) {
+                for &repr in &dedup_in_order(&self.reprs) {
+                    for &model in &dedup_in_order(&self.models) {
+                        cells.push(CrossSystemConfig {
+                            repr,
+                            model,
+                            profile_runs: s,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The encoding spec covering every use-case-1 cell of this grid.
+    pub fn few_runs_encoding(&self) -> EncodingSpec {
+        // The spec builder is idempotent, so merging per-cell specs
+        // unions coverage instead of accumulating duplicates.
+        self.few_runs_cells()
+            .iter()
+            .fold(EncodingSpec::new(), |spec, cfg| {
+                spec.merge(&few_runs_spec(cfg))
+            })
+    }
+
+    /// The (source, destination) encoding specs covering every
+    /// use-case-2 cell of this grid. `src` is needed to clamp profile
+    /// windows to the source corpus' run count, exactly as evaluation
+    /// does.
+    pub fn cross_system_encoding(&self, src: &Corpus) -> (EncodingSpec, EncodingSpec) {
+        self.cross_system_cells().iter().fold(
+            (EncodingSpec::new(), EncodingSpec::new()),
+            |(src_spec, dst_spec), cfg| {
+                let (s, d) = cross_system_specs(src, cfg);
+                (src_spec.merge(&s), dst_spec.merge(&d))
+            },
+        )
+    }
+}
+
+/// One cell of a sweep: which evaluation to run with which config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellConfig {
+    /// A use-case-1 (few-runs, same system) evaluation.
+    FewRuns(FewRunsConfig),
+    /// A use-case-2 (cross-system) evaluation.
+    CrossSystem(CrossSystemConfig),
+}
+
+impl CellConfig {
+    /// The cell's representation axis value.
+    pub fn repr(&self) -> ReprKind {
+        match self {
+            CellConfig::FewRuns(c) => c.repr,
+            CellConfig::CrossSystem(c) => c.repr,
+        }
+    }
+
+    /// The cell's model axis value.
+    pub fn model(&self) -> ModelKind {
+        match self {
+            CellConfig::FewRuns(c) => c.model,
+            CellConfig::CrossSystem(c) => c.model,
+        }
+    }
+
+    /// The cell's sample-count axis value.
+    pub fn sample_count(&self) -> usize {
+        match self {
+            CellConfig::FewRuns(c) => c.n_profile_runs,
+            CellConfig::CrossSystem(c) => c.profile_runs,
+        }
+    }
+
+    /// The cell's seed axis value.
+    pub fn seed(&self) -> u64 {
+        match self {
+            CellConfig::FewRuns(c) => c.seed,
+            CellConfig::CrossSystem(c) => c.seed,
+        }
+    }
+
+    /// A compact human-readable label, e.g.
+    /// `uc1 PearsonRnd+kNN s=10 seed=0xc0ffee`.
+    pub fn label(&self) -> String {
+        let uc = match self {
+            CellConfig::FewRuns(_) => "uc1",
+            CellConfig::CrossSystem(_) => "uc2",
+        };
+        format!(
+            "{uc} {}+{} s={} seed={:#x}",
+            self.repr().name(),
+            self.model().name(),
+            self.sample_count(),
+            self.seed(),
+        )
+    }
+}
+
+/// The stable on-disk key of a cell: FNV-1a over the corpus fingerprint
+/// and the cell config's canonical JSON form.
+///
+/// # Errors
+/// Fails when the config cannot be serialized (never happens for the
+/// shipped config types).
+pub fn cell_key(fingerprint: u64, cfg: &CellConfig) -> Result<u64, StatsError> {
+    let json = serde_json::to_string(cfg)
+        .map_err(|e| StatsError::invalid("cell_key", format!("serialize config: {e}")))?;
+    let mut h = Fnv1a::new();
+    h.write_u64(CACHE_VERSION as u64);
+    h.write_u64(fingerprint);
+    h.write_str(&json);
+    Ok(h.finish())
+}
+
+/// What a cell cache file holds. The fingerprint and config are stored
+/// alongside the summary so a hit can be *verified*, not assumed: a file
+/// that fails to parse, carries another corpus' fingerprint, or holds a
+/// different config (hash collision, hand-edited file) is treated as a
+/// miss and recomputed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CachedCell {
+    version: u32,
+    fingerprint: u64,
+    config: CellConfig,
+    summary: EvalSummary,
+}
+
+/// A serde-backed on-disk cache of completed sweep cells.
+///
+/// Layout: one JSON file per cell, `cell-<key:016x>.json` under the
+/// cache directory, where the key is [`cell_key`]. Writes go through a
+/// temp file + rename, so concurrent sweeps sharing a directory never
+/// observe partial entries.
+#[derive(Debug, Clone)]
+pub struct CellCache {
+    dir: PathBuf,
+}
+
+impl CellCache {
+    /// A cache rooted at `dir`. The directory is created on first store.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CellCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of a cell entry.
+    ///
+    /// # Errors
+    /// Propagates [`cell_key`] failures.
+    pub fn entry_path(&self, fingerprint: u64, cfg: &CellConfig) -> Result<PathBuf, StatsError> {
+        let key = cell_key(fingerprint, cfg)?;
+        Ok(self.dir.join(format!("cell-{key:016x}.json")))
+    }
+
+    /// Number of cell entries currently on disk.
+    pub fn entries(&self) -> usize {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        read.filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("cell-") && name.ends_with(".json")
+            })
+            .count()
+    }
+
+    /// Loads a cell if a verified entry exists.
+    ///
+    /// Any failure — missing file, unparsable JSON, version/fingerprint/
+    /// config mismatch — is a miss, never an error: the cache must be
+    /// safe to point at a stale or vandalized directory.
+    pub fn load(&self, fingerprint: u64, cfg: &CellConfig) -> Option<EvalSummary> {
+        let path = self.entry_path(fingerprint, cfg).ok()?;
+        let text = fs::read_to_string(path).ok()?;
+        let cell: CachedCell = serde_json::from_str(&text).ok()?;
+        (cell.version == CACHE_VERSION && cell.fingerprint == fingerprint && cell.config == *cfg)
+            .then_some(cell.summary)
+    }
+
+    /// Persists a completed cell.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors (unwritable directory, disk full).
+    pub fn store(
+        &self,
+        fingerprint: u64,
+        cfg: &CellConfig,
+        summary: &EvalSummary,
+    ) -> Result<(), StatsError> {
+        let path = self.entry_path(fingerprint, cfg)?;
+        fs::create_dir_all(&self.dir).map_err(|e| {
+            StatsError::invalid(
+                "CellCache::store",
+                format!("create {}: {e}", self.dir.display()),
+            )
+        })?;
+        let cell = CachedCell {
+            version: CACHE_VERSION,
+            fingerprint,
+            config: *cfg,
+            summary: summary.clone(),
+        };
+        let json = serde_json::to_string(&cell)
+            .map_err(|e| StatsError::invalid("CellCache::store", format!("serialize: {e}")))?;
+        let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+        fs::write(&tmp, json).map_err(|e| {
+            StatsError::invalid("CellCache::store", format!("write {}: {e}", tmp.display()))
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            StatsError::invalid(
+                "CellCache::store",
+                format!("rename {}: {e}", path.display()),
+            )
+        })?;
+        Ok(())
+    }
+}
+
+/// What a sweep evaluates its cells against.
+pub enum SweepTarget<'a, 'c> {
+    /// Use case 1 over one encoded corpus.
+    FewRuns(&'a EncodedCorpus<'c>),
+    /// Use case 2, source → destination.
+    CrossSystem {
+        /// The (encoded) corpus measured on the source system.
+        src: &'a EncodedCorpus<'c>,
+        /// The (encoded) corpus measured on the destination system.
+        dst: &'a EncodedCorpus<'c>,
+    },
+}
+
+/// One finished cell, streamed to the callback as it completes and
+/// collected (in cell order) into the [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellResult {
+    /// Position in the grid's deterministic cell order.
+    pub index: usize,
+    /// The cell's configuration.
+    pub config: CellConfig,
+    /// The cell's evaluation result.
+    pub summary: EvalSummary,
+    /// Whether the summary was loaded from the cache.
+    pub from_cache: bool,
+}
+
+/// Everything a sweep run produced.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepReport {
+    /// The corpus fingerprint the cells were keyed under.
+    pub fingerprint: u64,
+    /// All cells, in grid order (not completion order).
+    pub cells: Vec<CellResult>,
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells computed (and, with a cache attached, persisted).
+    pub misses: usize,
+}
+
+/// The sweep service: a target plus an optional cell cache.
+pub struct Sweep<'a, 'c> {
+    target: SweepTarget<'a, 'c>,
+    cache: Option<CellCache>,
+}
+
+impl<'a, 'c> Sweep<'a, 'c> {
+    /// A use-case-1 sweep over `enc`.
+    pub fn few_runs(enc: &'a EncodedCorpus<'c>) -> Self {
+        Sweep {
+            target: SweepTarget::FewRuns(enc),
+            cache: None,
+        }
+    }
+
+    /// A use-case-2 sweep, `src` → `dst`.
+    pub fn cross_system(src: &'a EncodedCorpus<'c>, dst: &'a EncodedCorpus<'c>) -> Self {
+        Sweep {
+            target: SweepTarget::CrossSystem { src, dst },
+            cache: None,
+        }
+    }
+
+    /// Attaches an on-disk cell cache.
+    pub fn with_cache(mut self, cache: CellCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&CellCache> {
+        self.cache.as_ref()
+    }
+
+    /// The fingerprint cells are keyed under: the corpus fingerprint for
+    /// use case 1, a combination of both corpora's for use case 2.
+    pub fn fingerprint(&self) -> u64 {
+        match &self.target {
+            SweepTarget::FewRuns(enc) => corpus_fingerprint(enc.corpus()),
+            SweepTarget::CrossSystem { src, dst } => {
+                let mut h = Fnv1a::new();
+                h.write_str("pv-sweep-cross");
+                h.write_u64(corpus_fingerprint(src.corpus()));
+                h.write_u64(corpus_fingerprint(dst.corpus()));
+                h.finish()
+            }
+        }
+    }
+
+    /// Expands `grid` into this target's cell list (deterministic
+    /// order).
+    pub fn cells(&self, grid: &GridSpec) -> Vec<CellConfig> {
+        match &self.target {
+            SweepTarget::FewRuns(_) => grid
+                .few_runs_cells()
+                .into_iter()
+                .map(CellConfig::FewRuns)
+                .collect(),
+            SweepTarget::CrossSystem { .. } => grid
+                .cross_system_cells()
+                .into_iter()
+                .map(CellConfig::CrossSystem)
+                .collect(),
+        }
+    }
+
+    /// Evaluates one cell from scratch on the shared encoded corpora.
+    fn eval_cell(&self, cfg: &CellConfig) -> Result<EvalSummary, StatsError> {
+        match (&self.target, cfg) {
+            (SweepTarget::FewRuns(enc), CellConfig::FewRuns(c)) => {
+                evaluate_few_runs_encoded(enc, *c)
+            }
+            (SweepTarget::CrossSystem { src, dst }, CellConfig::CrossSystem(c)) => {
+                evaluate_cross_system_encoded(src, dst, *c)
+            }
+            _ => Err(StatsError::invalid(
+                "Sweep::eval_cell",
+                "cell config does not match the sweep target's use case",
+            )),
+        }
+    }
+
+    /// Runs the grid, discarding the stream.
+    ///
+    /// # Errors
+    /// Propagates evaluation and cache-store failures from any cell.
+    pub fn run(&self, grid: &GridSpec) -> Result<SweepReport, StatsError> {
+        self.run_streaming(grid, |_| {})
+    }
+
+    /// Runs the grid, invoking `on_cell` as each cell finishes
+    /// (completion order; `CellResult::index` recovers grid order).
+    ///
+    /// Cells are scheduled across the ambient rayon pool and each cell's
+    /// folds parallelize too, so small grids still saturate the machine.
+    /// The returned report is independent of thread count and completion
+    /// order: cell summaries are pure functions of (corpus, config), and
+    /// the collected list is in grid order.
+    ///
+    /// # Errors
+    /// Propagates evaluation and cache-store failures from any cell.
+    pub fn run_streaming<F>(&self, grid: &GridSpec, on_cell: F) -> Result<SweepReport, StatsError>
+    where
+        F: Fn(&CellResult) + Send + Sync,
+    {
+        let cells = self.cells(grid);
+        let fingerprint = self.fingerprint();
+        let hits = AtomicUsize::new(0);
+        let misses = AtomicUsize::new(0);
+        let results: Result<Vec<CellResult>, StatsError> = (0..cells.len())
+            .into_par_iter()
+            .map(|index| {
+                let config = cells[index];
+                let cached = self
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.load(fingerprint, &config));
+                let (summary, from_cache) = match cached {
+                    Some(summary) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        (summary, true)
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        let summary = self.eval_cell(&config)?;
+                        if let Some(cache) = &self.cache {
+                            cache.store(fingerprint, &config, &summary)?;
+                        }
+                        (summary, false)
+                    }
+                };
+                let result = CellResult {
+                    index,
+                    config,
+                    summary,
+                    from_cache,
+                };
+                on_cell(&result);
+                Ok(result)
+            })
+            .collect();
+        Ok(SweepReport {
+            fingerprint,
+            cells: results?,
+            hits: hits.load(Ordering::Relaxed),
+            misses: misses.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_sysmodel::SystemModel;
+
+    fn corpus() -> Corpus {
+        Corpus::collect(&SystemModel::intel(), 30, 21)
+    }
+
+    fn small_grid() -> GridSpec {
+        GridSpec {
+            reprs: vec![ReprKind::PearsonRnd, ReprKind::Histogram],
+            models: vec![ModelKind::Knn],
+            sample_counts: vec![5],
+            seeds: vec![3],
+            profiles_per_benchmark: 1,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_deterministic_and_deduplicated() {
+        let mut grid = small_grid();
+        grid.sample_counts = vec![5, 10, 5];
+        grid.seeds = vec![3, 3];
+        let cells = grid.few_runs_cells();
+        assert_eq!(cells.len(), 2 * 2); // 2 reprs × 1 model × 2 s × 1 seed
+        assert_eq!(cells, grid.few_runs_cells());
+        // Fixed nesting: sample count varies slower than repr.
+        assert_eq!(cells[0].n_profile_runs, 5);
+        assert_eq!(cells[2].n_profile_runs, 10);
+        assert!(grid.cross_system_cells().len() == 4);
+    }
+
+    #[test]
+    fn encoding_specs_cover_every_cell() {
+        let c = corpus();
+        let mut grid = small_grid();
+        grid.sample_counts = vec![5, 10];
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let sweep = Sweep::few_runs(&enc);
+        let report = sweep.run(&grid).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.hits, 0);
+        assert_eq!(report.misses, 4);
+    }
+
+    #[test]
+    fn sweep_results_match_direct_evaluation() {
+        let c = corpus();
+        let grid = small_grid();
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc).run(&grid).unwrap();
+        for cell in &report.cells {
+            let CellConfig::FewRuns(cfg) = cell.config else {
+                panic!("uc1 sweep produced a uc2 cell");
+            };
+            let direct = evaluate_few_runs_encoded(&enc, cfg).unwrap();
+            assert_eq!(cell.summary, direct, "{}", cell.config.label());
+        }
+    }
+
+    #[test]
+    fn cross_system_sweep_runs() {
+        let amd = Corpus::collect(&SystemModel::amd(), 30, 21);
+        let intel = corpus();
+        let mut grid = small_grid();
+        grid.sample_counts = vec![20];
+        let (src_spec, dst_spec) = grid.cross_system_encoding(&amd);
+        let src = EncodedCorpus::build(&amd, &src_spec).unwrap();
+        let dst = EncodedCorpus::build(&intel, &dst_spec).unwrap();
+        let report = Sweep::cross_system(&src, &dst).run(&grid).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| matches!(c.config, CellConfig::CrossSystem(_))));
+    }
+
+    #[test]
+    fn degenerate_grid_produces_empty_report() {
+        let c = corpus();
+        let mut grid = small_grid();
+        grid.models.clear();
+        assert!(grid.is_degenerate());
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc).run(&grid).unwrap();
+        assert!(report.cells.is_empty());
+        assert_eq!((report.hits, report.misses), (0, 0));
+    }
+
+    #[test]
+    fn cell_configs_roundtrip_through_json() {
+        for cfg in [
+            CellConfig::FewRuns(FewRunsConfig::default()),
+            CellConfig::CrossSystem(CrossSystemConfig::default()),
+        ] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: CellConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+
+    #[test]
+    fn cell_keys_separate_fingerprints_and_configs() {
+        let a = CellConfig::FewRuns(FewRunsConfig::default());
+        let b = CellConfig::CrossSystem(CrossSystemConfig::default());
+        assert_ne!(cell_key(1, &a).unwrap(), cell_key(2, &a).unwrap());
+        assert_ne!(cell_key(1, &a).unwrap(), cell_key(1, &b).unwrap());
+        assert_eq!(cell_key(7, &a).unwrap(), cell_key(7, &a).unwrap());
+    }
+
+    #[test]
+    fn labels_name_the_axes() {
+        let label = CellConfig::FewRuns(FewRunsConfig::default()).label();
+        assert!(label.contains("uc1"), "{label}");
+        assert!(label.contains("PearsonRnd"), "{label}");
+        assert!(label.contains("s=10"), "{label}");
+    }
+}

@@ -23,7 +23,10 @@ use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
 
 /// Configuration of a few-runs predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// All fields are discrete, so the config is `Eq + Hash` and can key
+/// sweep-cell sets and caches directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FewRunsConfig {
     /// Distribution representation (prediction target format).
     pub repr: ReprKind,

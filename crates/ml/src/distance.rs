@@ -8,7 +8,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Distance metric between feature rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+///
+/// `Hash` (alongside `Eq`/serde) lets ablation-grid configs that carry a
+/// distance axis key cell sets and caches the same way the core sweep
+/// configs do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Distance {
     /// `√Σ(aᵢ−bᵢ)²`.
     Euclidean,

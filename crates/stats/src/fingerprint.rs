@@ -1,0 +1,158 @@
+//! Stable 64-bit content fingerprints (FNV-1a).
+//!
+//! On-disk caches key their entries by content hashes, and those hashes
+//! must be stable across processes, platforms, and compiler releases —
+//! which rules out `std::collections::hash_map::DefaultHasher` (its
+//! algorithm is explicitly unspecified) and `#[derive(Hash)]`'s
+//! discriminant encoding. [`Fnv1a`] is the classic Fowler–Noll–Vo 64-bit
+//! hash over explicitly fed bytes: every write method defines exactly
+//! which bytes enter the state (integers little-endian, floats as their
+//! IEEE-754 bit patterns), so a fingerprint pins exact numeric content
+//! and two equal inputs hash identically forever.
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// The FNV-1a 64-bit offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as eight little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` (stable across pointer widths).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` as its IEEE-754 bit pattern. Distinguishes `0.0`
+    /// from `-0.0` and every NaN payload — exactly what a bit-exactness
+    /// cache wants.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a whole `f64` slice, length-prefixed so `[1.0] ++ [2.0]`
+    /// and `[1.0, 2.0]` fed as slices hash differently.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// Feeds a string's UTF-8 bytes, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.write_bytes(bytes);
+    }
+}
+
+/// One-shot fingerprint of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_and_one_shot_agree() {
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foo");
+        h.write_bytes(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fnv1a::new();
+        c.write_f64(1.5);
+        let mut d = Fnv1a::new();
+        d.write_f64(1.5);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn slice_writes_are_length_prefixed() {
+        let mut a = Fnv1a::new();
+        a.write_f64s(&[1.0]);
+        a.write_f64s(&[2.0]);
+        let mut b = Fnv1a::new();
+        b.write_f64s(&[1.0, 2.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn usable_as_std_hasher() {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::new();
+        42u64.hash(&mut h);
+        let direct = {
+            let mut d = Fnv1a::new();
+            d.write_u64(42);
+            Hasher::finish(&d)
+        };
+        assert_eq!(Hasher::finish(&h), direct);
+    }
+}

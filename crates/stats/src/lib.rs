@@ -25,7 +25,9 @@
 //!   steps,
 //! * [correlation measures](correlation) including the cosine similarity
 //!   used by the paper's kNN model,
-//! * [bootstrap resampling](bootstrap), and
+//! * [bootstrap resampling](bootstrap),
+//! * stable content [fingerprints](fingerprint) (FNV-1a) for on-disk
+//!   cache keying, and
 //! * a deterministic, splittable [PRNG](rng) so that every experiment in
 //!   the workspace is reproducible independently of thread count.
 //!
@@ -39,6 +41,7 @@ pub mod descriptive;
 pub mod divergence;
 pub mod ecdf;
 pub mod error;
+pub mod fingerprint;
 pub mod gof;
 pub mod histogram;
 pub mod kde;

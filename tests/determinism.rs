@@ -1,6 +1,10 @@
 //! Reproducibility guarantees: everything is a pure function of the seed.
 
+use std::sync::Mutex;
+
 use perfvar_suite::core::eval::evaluate_few_runs;
+use perfvar_suite::core::pipeline::EncodedCorpus;
+use perfvar_suite::core::sweep::{CellResult, GridSpec, Sweep};
 use perfvar_suite::core::usecase1::FewRunsConfig;
 use perfvar_suite::core::{ModelKind, ReprKind};
 use perfvar_suite::sysmodel::{Corpus, SystemModel};
@@ -72,4 +76,47 @@ fn seeded_models_are_bitwise_repeatable() {
     let a = evaluate_few_runs(&corpus, cfg).unwrap();
     let b = evaluate_few_runs(&corpus, cfg).unwrap();
     assert_eq!(a, b);
+}
+
+#[test]
+fn streamed_sweep_results_are_independent_of_thread_count() {
+    // Cells finish in pool-dependent order, but the *set* of streamed
+    // results — and the report's grid-ordered cells — must be identical
+    // for any thread count.
+    let corpus = Corpus::collect(&SystemModel::intel(), 30, 17);
+    let grid = GridSpec {
+        reprs: vec![ReprKind::Histogram, ReprKind::PearsonRnd],
+        models: vec![ModelKind::Knn],
+        sample_counts: vec![3, 5],
+        seeds: vec![17],
+        profiles_per_benchmark: 1,
+    };
+
+    let run_with = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+                let streamed: Mutex<Vec<CellResult>> = Mutex::new(Vec::new());
+                let report = Sweep::few_runs(&enc)
+                    .run_streaming(&grid, |cell| {
+                        streamed.lock().unwrap().push(cell.clone());
+                    })
+                    .unwrap();
+                let mut streamed = streamed.into_inner().unwrap();
+                streamed.sort_by_key(|c| c.index);
+                (report, streamed)
+            })
+    };
+
+    let (report_1, streamed_1) = run_with(1);
+    let (report_4, streamed_4) = run_with(4);
+    assert_eq!(report_1.cells.len(), 4);
+    assert_eq!(report_1, report_4);
+    assert_eq!(streamed_1, streamed_4);
+    // The callback saw exactly what the report collected.
+    assert_eq!(streamed_1, report_1.cells);
+    assert_eq!(streamed_4, report_4.cells);
 }
