@@ -32,7 +32,8 @@ use pv_bench::{
 use pv_core::eval::{evaluate_cross_system_encoded, evaluate_few_runs_encoded, EvalSummary};
 use pv_core::pipeline::EncodedCorpus;
 use pv_core::report::{kde_curve, overlay, sparkline, summary_table, violin_row, write_csv};
-use pv_core::sweep::{CellCache, GridSpec, Sweep, SweepReport};
+use pv_core::resilience::{silence_injected_panics, FaultPlan, PvError, DEFAULT_MAX_RETRIES};
+use pv_core::sweep::{CellCache, CellOutcome, GridSpec, Sweep, SweepReport};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{ModelKind, ReprKind};
@@ -572,10 +573,23 @@ OPTIONS:
     --runs N             corpus runs per benchmark (default 1000)
     --cache DIR          cell cache directory (default target/repro/sweep-cache)
     --no-cache           run without a cell cache
+    --keep-going         exit 0 even when cells fail; report them in the
+                         failure summary instead
+    --max-retries N      retry a failing cell up to N times with a fresh
+                         deterministic sub-seed (default 2)
+    --inject LIST        deterministic fault injection, comma list of
+                         KIND@CELL[:ATTEMPTS] where KIND is one of
+                         panic,nonconv,nan,corrupt — e.g. panic@3 or
+                         nonconv@0:1 (transient: fails attempt 0 only)
     --help               print this help
 
 A re-run with a widened grid loads finished cells from the cache and
-computes only the delta; cached results are bit-identical to fresh ones.";
+computes only the delta; cached results are bit-identical to fresh ones.
+Failing cells never abort the sweep: they are retried, recorded in the
+failure summary, and quarantined next to the cache so later runs skip
+them (delete quarantine.json to retry). MaxEnt cells whose solver does
+not converge fall back to a histogram representation and are marked
+degraded.";
 
 /// Parsed `sweep` flags.
 struct SweepArgs {
@@ -584,6 +598,9 @@ struct SweepArgs {
     grid: GridSpec,
     runs: usize,
     cache_dir: Option<PathBuf>,
+    keep_going: bool,
+    max_retries: u32,
+    faults: FaultPlan,
 }
 
 fn sweep_usage_error(msg: &str) -> ! {
@@ -602,6 +619,9 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
         },
         runs: pv_bench::CAMPAIGN_RUNS,
         cache_dir: Some(out_dir().join("sweep-cache")),
+        keep_going: false,
+        max_retries: DEFAULT_MAX_RETRIES,
+        faults: FaultPlan::none(),
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
@@ -624,6 +644,18 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
                 };
             }
             "--reverse" => parsed.reverse = true,
+            "--keep-going" => parsed.keep_going = true,
+            "--max-retries" => {
+                parsed.max_retries = value(&mut i, "--max-retries")
+                    .parse()
+                    .unwrap_or_else(|e| sweep_usage_error(&format!("--max-retries: {e}")));
+            }
+            "--inject" => {
+                for spec in value(&mut i, "--inject").split(',') {
+                    let (cell, kind, attempts) = parse_fault_spec(spec.trim());
+                    parsed.faults = parsed.faults.inject_transient(cell, kind, attempts);
+                }
+            }
             "--no-cache" => parsed.cache_dir = None,
             "--cache" => parsed.cache_dir = Some(PathBuf::from(value(&mut i, "--cache"))),
             "--runs" => {
@@ -683,6 +715,28 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
     parsed
 }
 
+/// Parses one `--inject` spec: `KIND@CELL[:ATTEMPTS]`.
+fn parse_fault_spec(spec: &str) -> (usize, pv_core::FaultKind, u32) {
+    let (kind, rest) = spec
+        .split_once('@')
+        .unwrap_or_else(|| sweep_usage_error(&format!("--inject: {spec:?} is not KIND@CELL")));
+    let kind = kind
+        .parse()
+        .unwrap_or_else(|e| sweep_usage_error(&format!("--inject: {e}")));
+    let (cell, attempts) = match rest.split_once(':') {
+        Some((c, a)) => (
+            c,
+            a.parse()
+                .unwrap_or_else(|e| sweep_usage_error(&format!("--inject: attempts: {e}"))),
+        ),
+        None => (rest, u32::MAX),
+    };
+    let cell: usize = cell
+        .parse()
+        .unwrap_or_else(|e| sweep_usage_error(&format!("--inject: cell: {e}")));
+    (cell, kind, attempts)
+}
+
 fn parse_seed(t: &str) -> u64 {
     let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
         Some(hex) => u64::from_str_radix(hex, 16),
@@ -700,9 +754,25 @@ fn sweep_cmd(args: &[String]) {
         grid,
         runs,
         cache_dir,
+        keep_going,
+        max_retries,
+        faults,
     } = parse_sweep_args(args);
     let started = Instant::now();
     println!("perfvar sweep service — use case {uc}, {runs} runs/benchmark");
+    if !faults.is_empty() {
+        silence_injected_panics();
+        println!(
+            "[inject] {} deterministic fault(s) armed: {}",
+            faults.faults().len(),
+            faults
+                .faults()
+                .iter()
+                .map(|f| format!("{}@{}", f.kind.name(), f.cell))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
 
     // Own the corpora only when the run count deviates from the shared
     // campaign; the common path reuses the process-wide caches.
@@ -752,11 +822,25 @@ fn sweep_cmd(args: &[String]) {
     // Encode once for the whole grid, then run the cells over the cache.
     let t = Instant::now();
     let cache = cache_dir.as_ref().map(CellCache::new);
+    fn encode_or_die<'c>(
+        what: &str,
+        r: Result<EncodedCorpus<'c>, pv_stats::StatsError>,
+    ) -> EncodedCorpus<'c> {
+        r.unwrap_or_else(|e| {
+            eprintln!("sweep: cannot encode {what} corpus: {e}");
+            std::process::exit(1);
+        })
+    }
     let report = match uc {
         1 => {
-            let enc = EncodedCorpus::build(primary, &grid.few_runs_encoding()).expect("encode");
+            let enc = encode_or_die(
+                "primary",
+                EncodedCorpus::build(primary, &grid.few_runs_encoding()),
+            );
             println!("[setup] corpus encoded in {:.1?}", t.elapsed());
-            let mut sweep = Sweep::few_runs(&enc);
+            let mut sweep = Sweep::few_runs(&enc)
+                .with_max_retries(max_retries)
+                .with_faults(faults);
             if let Some(c) = cache.clone() {
                 sweep = sweep.with_cache(c);
             }
@@ -765,10 +849,12 @@ fn sweep_cmd(args: &[String]) {
         _ => {
             let dst_corpus = secondary.as_ref().expect("uc2 destination");
             let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
-            let src = EncodedCorpus::build(primary, &src_spec).expect("encode src");
-            let dst = EncodedCorpus::build(dst_corpus, &dst_spec).expect("encode dst");
+            let src = encode_or_die("source", EncodedCorpus::build(primary, &src_spec));
+            let dst = encode_or_die("destination", EncodedCorpus::build(dst_corpus, &dst_spec));
             println!("[setup] corpora encoded in {:.1?}", t.elapsed());
-            let mut sweep = Sweep::cross_system(&src, &dst);
+            let mut sweep = Sweep::cross_system(&src, &dst)
+                .with_max_retries(max_retries)
+                .with_faults(faults);
             if let Some(c) = cache.clone() {
                 sweep = sweep.with_cache(c);
             }
@@ -776,31 +862,38 @@ fn sweep_cmd(args: &[String]) {
         }
     };
 
-    // Summary table in grid order + CSV + cache accounting.
+    // Summary table in grid order (healthy + degraded cells) + CSV.
     println!();
     let rows: Vec<(String, &EvalSummary)> = report
         .cells
         .iter()
-        .map(|c| (c.config.label(), &c.summary))
+        .filter_map(|c| c.summary().map(|s| (c.config.label(), s)))
         .collect();
-    println!("{}", summary_table(&rows).expect("table"));
-    let csv_rows: Vec<Vec<f64>> = report
+    if !rows.is_empty() {
+        println!("{}", summary_table(&rows).expect("table"));
+    }
+    let scored: Vec<_> = report
         .cells
         .iter()
+        .filter(|c| c.summary().is_some())
+        .collect();
+    let csv_rows: Vec<Vec<f64>> = scored
+        .iter()
         .map(|c| {
+            let s = c.summary().expect("scored cell");
             vec![
                 c.config.sample_count() as f64,
                 c.config.seed() as f64,
-                c.summary.mean,
-                c.summary.spread.median,
-                c.summary.spread.q1,
-                c.summary.spread.q3,
+                s.mean,
+                s.spread.median,
+                s.spread.q1,
+                s.spread.q3,
                 if c.from_cache { 1.0 } else { 0.0 },
+                if c.outcome.is_degraded() { 1.0 } else { 0.0 },
             ]
         })
         .collect();
-    let labels: Vec<String> = report
-        .cells
+    let labels: Vec<String> = scored
         .iter()
         .map(|c| c.config.label().replace(' ', "_"))
         .collect();
@@ -815,6 +908,7 @@ fn sweep_cmd(args: &[String]) {
             "q1",
             "q3",
             "from_cache",
+            "degraded",
         ],
         &csv_rows,
         Some(&labels),
@@ -834,28 +928,99 @@ fn sweep_cmd(args: &[String]) {
             report.misses, report.fingerprint,
         ),
     }
+    let ok = print_failure_summary(&report);
     println!("total: {:.1?}", started.elapsed());
+    if !ok && !keep_going {
+        eprintln!("sweep: failing cells present (re-run with --keep-going to tolerate them)");
+        std::process::exit(1);
+    }
+}
+
+/// Renders the failure summary table; returns true when the run is clean.
+fn print_failure_summary(report: &SweepReport) -> bool {
+    if report.store_failures > 0 {
+        eprintln!(
+            "warning: {} cache write(s) failed; those cells will recompute next run",
+            report.store_failures
+        );
+    }
+    if report.is_clean() {
+        return true;
+    }
+    println!(
+        "failure summary: {} failed, {} degraded, {} quarantined",
+        report.failed, report.degraded, report.quarantined
+    );
+    println!("  {:<6} {:<42} DETAIL", "STATUS", "CELL");
+    for cell in &report.cells {
+        let (status, detail) = match &cell.outcome {
+            CellOutcome::Ok { .. } => continue,
+            CellOutcome::Degraded {
+                fallback,
+                error,
+                attempts,
+                ..
+            } => (
+                "DEGR",
+                format!(
+                    "fell back to {} after {attempts} attempt(s): {error}",
+                    fallback.name()
+                ),
+            ),
+            CellOutcome::Failed { error, attempts } => (
+                "FAIL",
+                format!("[{}] after {attempts} attempt(s): {error}", error.kind()),
+            ),
+            CellOutcome::Quarantined { error } => {
+                ("QUAR", format!("skipped, previously failed: {error}"))
+            }
+        };
+        println!("  {:<6} {:<42} {detail}", status, cell.config.label());
+    }
+    report.failed == 0 && report.quarantined == 0
 }
 
 /// Runs the sweep, printing one line per cell the moment it completes.
 fn run_sweep_streaming(sweep: &Sweep<'_, '_>, grid: &GridSpec) -> SweepReport {
     let n_cells = sweep.cells(grid).len();
     let done = AtomicUsize::new(0);
-    sweep
-        .run_streaming(grid, |cell| {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            println!(
-                "  [{k:>3}/{n_cells}] {:<42} mean KS {:.3}  ({})",
-                cell.config.label(),
-                cell.summary.mean,
-                if cell.from_cache {
-                    "cache hit"
-                } else {
-                    "computed"
-                },
-            );
-        })
-        .expect("sweep")
+    let result = sweep.run_streaming(grid, |cell| {
+        let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let provenance = if cell.from_cache {
+            "cache hit"
+        } else {
+            "computed"
+        };
+        let line = match &cell.outcome {
+            CellOutcome::Ok { summary, .. } => {
+                format!("mean KS {:.3}  ({provenance})", summary.mean)
+            }
+            CellOutcome::Degraded {
+                summary, fallback, ..
+            } => format!(
+                "mean KS {:.3}  ({provenance}, degraded -> {})",
+                summary.mean,
+                fallback.name()
+            ),
+            CellOutcome::Failed { error, attempts } => {
+                format!("FAILED after {attempts} attempt(s): [{}]", error.kind())
+            }
+            CellOutcome::Quarantined { .. } => "quarantined (skipped)".to_string(),
+        };
+        println!("  [{k:>3}/{n_cells}] {:<42} {line}", cell.config.label());
+    });
+    match result {
+        Ok(report) => report,
+        Err(PvError::CacheIo { what, detail }) => {
+            eprintln!("sweep: cache unavailable ({what}: {detail})");
+            eprintln!("sweep: another run may hold the lock; retry or use --no-cache");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -135,6 +135,7 @@ pub fn histogram_floor(corpus: &Corpus, bins: usize, seed: u64) -> Result<EvalSu
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::profile::Profile;

@@ -109,6 +109,7 @@ pub fn population_baseline_encoded(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::eval::evaluate_few_runs;

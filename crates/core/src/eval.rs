@@ -241,6 +241,7 @@ pub fn evaluate_cross_system_encoded(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::ModelKind;

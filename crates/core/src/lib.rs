@@ -19,6 +19,7 @@
 //! | IV-E / V KS-scored leave-one-group-out evaluation | [`eval`] |
 //! | shared encode-once cache + LOGO fold runner | [`pipeline`] |
 //! | config-grid sweep service with cached cells | [`sweep`] |
+//! | fault tolerance: error taxonomy, retries, quarantine, fault injection | [`resilience`] |
 //! | figure/table rendering | [`report`] |
 //!
 //! Every evaluation path — both use cases, the kNN ablation grid, and the
@@ -45,6 +46,11 @@
 //! assert!(summary.mean < 0.6);
 //! ```
 
+// Panics on the evaluation/sweep paths sink whole campaigns; failures
+// must travel as typed `resilience::PvError` values instead. Spots
+// where a panic really is an invariant carry an explicit `#[allow]`.
+#![warn(clippy::unwrap_used)]
+
 pub mod ablation;
 pub mod baseline;
 pub mod eval;
@@ -53,6 +59,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod report;
 pub mod repr;
+pub mod resilience;
 pub mod sweep;
 pub mod usecase1;
 pub mod usecase2;
@@ -71,8 +78,10 @@ pub use pipeline::{
 };
 pub use profile::Profile;
 pub use repr::{DistributionRepr, ReprKind};
+pub use resilience::{FaultKind, FaultPlan, PvError, Quarantine};
 pub use sweep::{
-    cell_key, CellCache, CellConfig, CellResult, GridSpec, Sweep, SweepReport, SweepTarget,
+    cell_key, CellCache, CellConfig, CellOutcome, CellResult, GridSpec, Sweep, SweepReport,
+    SweepTarget,
 };
 pub use usecase1::{FewRunsConfig, FewRunsPredictor};
 pub use usecase2::{CrossSystemConfig, CrossSystemPredictor};

@@ -92,6 +92,7 @@ impl std::str::FromStr for ModelKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_ml::{Dataset, DenseMatrix};

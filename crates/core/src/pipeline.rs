@@ -478,6 +478,19 @@ impl FoldRunner<'_> {
                     SeedMode::Shared => self.seed,
                 };
                 let plan = assemble(held, &include)?;
+                if plan.x_rows.is_empty() || plan.x_rows.len() != plan.y_rows.len() {
+                    // Without this, `x_rows[0]` below panics on an empty
+                    // fold — e.g. a single-benchmark corpus where the
+                    // include set is empty.
+                    return Err(StatsError::degenerate(
+                        "FoldRunner",
+                        format!(
+                            "fold {held} has {} feature rows and {} target rows",
+                            plan.x_rows.len(),
+                            plan.y_rows.len()
+                        ),
+                    ));
+                }
                 let (scaler, x) = if self.standardize {
                     let mut sc = StandardScaler::new();
                     sc.fit_rows(&plan.x_rows)?;
@@ -518,6 +531,7 @@ impl FoldRunner<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_sysmodel::SystemModel;

@@ -75,6 +75,7 @@ impl Profile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_sysmodel::{simulate_runs, suites, Character, SystemModel};

@@ -163,6 +163,7 @@ pub fn write_csv(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::eval::{BenchScore, EvalSummary};

@@ -307,6 +307,7 @@ impl DistributionRepr for PearsonRepr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_stats::ks::ks2_statistic;

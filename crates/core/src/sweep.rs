@@ -24,10 +24,22 @@
 //! ([`FoldRunner`](crate::pipeline::FoldRunner)'s guarantee), the
 //! [`corpus_fingerprint`] pins the corpus bit-exactly, and the JSON
 //! round-trip preserves every `f64` (shortest-round-trip formatting).
+//!
+//! Execution is fault tolerant (see [`resilience`](crate::resilience)):
+//! each cell attempt runs behind a panic-isolation boundary, failing
+//! cells are retried with fresh deterministic sub-seeds, solver failures
+//! fall back to the histogram representation with a recorded
+//! [`CellOutcome::Degraded`] marker, cells that exhaust their retries
+//! are quarantined next to the cache, and the whole run holds an
+//! advisory [`CacheLock`] on the cache directory so concurrent sweeps
+//! cannot interleave writes. A failing cell yields a
+//! [`CellOutcome::Failed`] — it never sinks the pool.
 
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -43,12 +55,21 @@ use crate::eval::{
 use crate::model::ModelKind;
 use crate::pipeline::{corpus_fingerprint, EncodedCorpus, EncodingSpec};
 use crate::repr::ReprKind;
+use crate::resilience::{
+    panic_message, retry_seed, validate_summary, CacheLock, FaultKind, FaultPlan, PvError,
+    Quarantine, QuarantineEntry, DEFAULT_MAX_RETRIES,
+};
 use crate::usecase1::FewRunsConfig;
 use crate::usecase2::CrossSystemConfig;
 
 /// Version tag baked into every cache entry; bump on any change to the
 /// cell layout or evaluation semantics to orphan old entries.
-const CACHE_VERSION: u32 = 1;
+/// (v2: entries carry the degraded-fallback marker.)
+const CACHE_VERSION: u32 = 2;
+
+/// How long a sweep waits for the cache directory's advisory lock
+/// before giving up, unless overridden by [`Sweep::with_lock_timeout`].
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A declarative config grid: the cross product of the four axes.
 ///
@@ -146,27 +167,41 @@ impl GridSpec {
         cells
     }
 
-    /// The encoding spec covering every use-case-1 cell of this grid.
+    /// The encoding spec covering every use-case-1 cell of this grid,
+    /// plus the histogram-representation coverage each cell's degraded
+    /// fallback would need — so a MaxEnt cell that falls back mid-sweep
+    /// finds its encodings already cached.
     pub fn few_runs_encoding(&self) -> EncodingSpec {
         // The spec builder is idempotent, so merging per-cell specs
         // unions coverage instead of accumulating duplicates.
         self.few_runs_cells()
             .iter()
             .fold(EncodingSpec::new(), |spec, cfg| {
+                let fallback = FewRunsConfig {
+                    repr: ReprKind::Histogram,
+                    ..*cfg
+                };
                 spec.merge(&few_runs_spec(cfg))
+                    .merge(&few_runs_spec(&fallback))
             })
     }
 
     /// The (source, destination) encoding specs covering every
-    /// use-case-2 cell of this grid. `src` is needed to clamp profile
-    /// windows to the source corpus' run count, exactly as evaluation
-    /// does.
+    /// use-case-2 cell of this grid (plus histogram fallback coverage,
+    /// as in [`GridSpec::few_runs_encoding`]). `src` is needed to clamp
+    /// profile windows to the source corpus' run count, exactly as
+    /// evaluation does.
     pub fn cross_system_encoding(&self, src: &Corpus) -> (EncodingSpec, EncodingSpec) {
         self.cross_system_cells().iter().fold(
             (EncodingSpec::new(), EncodingSpec::new()),
             |(src_spec, dst_spec), cfg| {
+                let fallback = CrossSystemConfig {
+                    repr: ReprKind::Histogram,
+                    ..*cfg
+                };
                 let (s, d) = cross_system_specs(src, cfg);
-                (src_spec.merge(&s), dst_spec.merge(&d))
+                let (fs, fd) = cross_system_specs(src, &fallback);
+                (src_spec.merge(&s).merge(&fs), dst_spec.merge(&d).merge(&fd))
             },
         )
     }
@@ -214,6 +249,25 @@ impl CellConfig {
         }
     }
 
+    /// The same cell with a different seed (used by the retry policy to
+    /// re-run a failing cell under a fresh deterministic sub-seed).
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            CellConfig::FewRuns(c) => CellConfig::FewRuns(FewRunsConfig { seed, ..c }),
+            CellConfig::CrossSystem(c) => CellConfig::CrossSystem(CrossSystemConfig { seed, ..c }),
+        }
+    }
+
+    /// The same cell with a different representation (used by the
+    /// degraded fallback to re-run a solver-failed cell on the
+    /// histogram representation).
+    pub fn with_repr(self, repr: ReprKind) -> Self {
+        match self {
+            CellConfig::FewRuns(c) => CellConfig::FewRuns(FewRunsConfig { repr, ..c }),
+            CellConfig::CrossSystem(c) => CellConfig::CrossSystem(CrossSystemConfig { repr, ..c }),
+        }
+    }
+
     /// A compact human-readable label, e.g.
     /// `uc1 PearsonRnd+kNN s=10 seed=0xc0ffee`.
     pub fn label(&self) -> String {
@@ -258,6 +312,11 @@ struct CachedCell {
     fingerprint: u64,
     config: CellConfig,
     summary: EvalSummary,
+    /// `Some(error)` when the summary is a degraded histogram fallback
+    /// recorded after `error`; `None` for a healthy cell. Persisting the
+    /// marker keeps warm re-runs honest — a degraded cell stays visibly
+    /// degraded instead of laundering into a clean hit.
+    degraded: Option<PvError>,
 }
 
 /// A serde-backed on-disk cache of completed sweep cells.
@@ -305,20 +364,26 @@ impl CellCache {
             .count()
     }
 
-    /// Loads a cell if a verified entry exists.
+    /// Loads a cell if a verified entry exists, together with its
+    /// degraded-fallback marker (`None` for a healthy cell).
     ///
     /// Any failure — missing file, unparsable JSON, version/fingerprint/
     /// config mismatch — is a miss, never an error: the cache must be
     /// safe to point at a stale or vandalized directory.
-    pub fn load(&self, fingerprint: u64, cfg: &CellConfig) -> Option<EvalSummary> {
+    pub fn load(
+        &self,
+        fingerprint: u64,
+        cfg: &CellConfig,
+    ) -> Option<(EvalSummary, Option<PvError>)> {
         let path = self.entry_path(fingerprint, cfg).ok()?;
         let text = fs::read_to_string(path).ok()?;
         let cell: CachedCell = serde_json::from_str(&text).ok()?;
         (cell.version == CACHE_VERSION && cell.fingerprint == fingerprint && cell.config == *cfg)
-            .then_some(cell.summary)
+            .then_some((cell.summary, cell.degraded))
     }
 
-    /// Persists a completed cell.
+    /// Persists a completed cell (`degraded` records the error a
+    /// degraded-fallback summary stands in for).
     ///
     /// # Errors
     /// Fails on filesystem errors (unwritable directory, disk full).
@@ -327,6 +392,7 @@ impl CellCache {
         fingerprint: u64,
         cfg: &CellConfig,
         summary: &EvalSummary,
+        degraded: Option<&PvError>,
     ) -> Result<(), StatsError> {
         let path = self.entry_path(fingerprint, cfg)?;
         fs::create_dir_all(&self.dir).map_err(|e| {
@@ -340,6 +406,7 @@ impl CellCache {
             fingerprint,
             config: *cfg,
             summary: summary.clone(),
+            degraded: degraded.cloned(),
         };
         let json = serde_json::to_string(&cell)
             .map_err(|e| StatsError::invalid("CellCache::store", format!("serialize: {e}")))?;
@@ -370,6 +437,88 @@ pub enum SweepTarget<'a, 'c> {
     },
 }
 
+/// How one cell of a sweep ended.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum CellOutcome {
+    /// The cell evaluated cleanly.
+    Ok {
+        /// The evaluation result.
+        summary: EvalSummary,
+        /// Attempts spent (1 for a first-try success, 0 for a cache
+        /// hit, more when retries recovered a transient fault).
+        attempts: u32,
+    },
+    /// The configured representation failed its solver; the summary is
+    /// a recorded fallback onto `fallback` — usable, but not the
+    /// fidelity the cell asked for. Never silently mixed with `Ok`.
+    Degraded {
+        /// The fallback evaluation result.
+        summary: EvalSummary,
+        /// Representation the cell fell back to.
+        fallback: ReprKind,
+        /// The error that forced the fallback.
+        error: PvError,
+        /// Attempts spent before falling back.
+        attempts: u32,
+    },
+    /// The cell exhausted its retries without a usable result. With a
+    /// cache attached the cell is quarantined for subsequent runs.
+    Failed {
+        /// The error from the final attempt.
+        error: PvError,
+        /// Attempts spent.
+        attempts: u32,
+    },
+    /// The cell was on the cache directory's quarantine list and was
+    /// skipped without evaluation.
+    Quarantined {
+        /// The persisted error description from the quarantining run.
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// The usable summary, if the cell produced one (clean or degraded).
+    pub fn summary(&self) -> Option<&EvalSummary> {
+        match self {
+            CellOutcome::Ok { summary, .. } | CellOutcome::Degraded { summary, .. } => {
+                Some(summary)
+            }
+            _ => None,
+        }
+    }
+
+    /// Attempts spent on this cell in this run.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellOutcome::Ok { attempts, .. }
+            | CellOutcome::Degraded { attempts, .. }
+            | CellOutcome::Failed { attempts, .. } => *attempts,
+            CellOutcome::Quarantined { .. } => 0,
+        }
+    }
+
+    /// Whether the cell evaluated cleanly.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok { .. })
+    }
+
+    /// Whether the cell fell back to a degraded representation.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CellOutcome::Degraded { .. })
+    }
+
+    /// Whether the cell failed outright.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+
+    /// Whether the cell was skipped via the quarantine list.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, CellOutcome::Quarantined { .. })
+    }
+}
+
 /// One finished cell, streamed to the callback as it completes and
 /// collected (in cell order) into the [`SweepReport`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -378,10 +527,17 @@ pub struct CellResult {
     pub index: usize,
     /// The cell's configuration.
     pub config: CellConfig,
-    /// The cell's evaluation result.
-    pub summary: EvalSummary,
-    /// Whether the summary was loaded from the cache.
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// Whether the outcome was loaded from the cache.
     pub from_cache: bool,
+}
+
+impl CellResult {
+    /// The usable summary, if the cell produced one.
+    pub fn summary(&self) -> Option<&EvalSummary> {
+        self.outcome.summary()
+    }
 }
 
 /// Everything a sweep run produced.
@@ -395,34 +551,85 @@ pub struct SweepReport {
     pub hits: usize,
     /// Cells computed (and, with a cache attached, persisted).
     pub misses: usize,
+    /// Cells that failed after exhausting retries.
+    pub failed: usize,
+    /// Cells that completed on a degraded fallback representation.
+    pub degraded: usize,
+    /// Cells skipped via the quarantine list.
+    pub quarantined: usize,
+    /// Cache-store failures (non-fatal: the summary was still returned).
+    pub store_failures: usize,
 }
 
-/// The sweep service: a target plus an optional cell cache.
+impl SweepReport {
+    /// Whether every cell produced a clean (non-degraded) result.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0 && self.degraded == 0 && self.quarantined == 0
+    }
+
+    /// The cells that did not produce a usable summary (failed or
+    /// quarantined), grid order.
+    pub fn failures(&self) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.outcome.is_failed() || c.outcome.is_quarantined())
+            .collect()
+    }
+}
+
+/// The sweep service: a target plus an optional cell cache, a retry
+/// budget, and (for the test tiers) a fault-injection plan.
 pub struct Sweep<'a, 'c> {
     target: SweepTarget<'a, 'c>,
     cache: Option<CellCache>,
+    faults: FaultPlan,
+    max_retries: u32,
+    lock_timeout: Duration,
 }
 
 impl<'a, 'c> Sweep<'a, 'c> {
     /// A use-case-1 sweep over `enc`.
     pub fn few_runs(enc: &'a EncodedCorpus<'c>) -> Self {
-        Sweep {
-            target: SweepTarget::FewRuns(enc),
-            cache: None,
-        }
+        Self::new(SweepTarget::FewRuns(enc))
     }
 
     /// A use-case-2 sweep, `src` → `dst`.
     pub fn cross_system(src: &'a EncodedCorpus<'c>, dst: &'a EncodedCorpus<'c>) -> Self {
+        Self::new(SweepTarget::CrossSystem { src, dst })
+    }
+
+    fn new(target: SweepTarget<'a, 'c>) -> Self {
         Sweep {
-            target: SweepTarget::CrossSystem { src, dst },
+            target,
             cache: None,
+            faults: FaultPlan::none(),
+            max_retries: DEFAULT_MAX_RETRIES,
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
         }
     }
 
     /// Attaches an on-disk cell cache.
     pub fn with_cache(mut self, cache: CellCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a fault-injection plan (testing and drills only; the
+    /// default plan injects nothing).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-cell retry budget (attempts = 1 + retries).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets how long to wait for the cache directory's advisory lock.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
         self
     }
 
@@ -479,11 +686,105 @@ impl<'a, 'c> Sweep<'a, 'c> {
         }
     }
 
+    /// One panic-isolated, fault-injectable evaluation attempt.
+    fn eval_attempt(
+        &self,
+        index: usize,
+        attempt: u32,
+        cfg: &CellConfig,
+    ) -> Result<EvalSummary, PvError> {
+        // catch_unwind wraps the whole attempt (injection included), so
+        // a panic anywhere inside the cell becomes a typed error before
+        // rayon's scope can observe it and sink the pool.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<EvalSummary, PvError> {
+            match self.faults.eval_fault(index, attempt) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: panic in cell {index} attempt {attempt}")
+                }
+                Some(FaultKind::NonConvergence) => {
+                    return Err(PvError::Solver {
+                        what: format!("injected fault: non-convergence in cell {index}"),
+                        iterations: 0,
+                    });
+                }
+                Some(FaultKind::NanRun) => {
+                    let mut summary = self.eval_cell(cfg)?;
+                    summary.mean = f64::NAN;
+                    return Ok(summary);
+                }
+                Some(FaultKind::CacheCorruption) | None => {}
+            }
+            self.eval_cell(cfg).map_err(PvError::from)
+        }));
+        match outcome {
+            Ok(result) => result.and_then(|summary| {
+                validate_summary(&summary)?;
+                Ok(summary)
+            }),
+            Err(payload) => Err(PvError::CellPanic {
+                message: panic_message(payload),
+            }),
+        }
+    }
+
+    /// Evaluates one cell under the retry/fallback policy. Infallible by
+    /// construction: every failure mode is folded into the outcome.
+    fn eval_cell_resilient(&self, index: usize, config: &CellConfig) -> CellOutcome {
+        let attempts_allowed = self.max_retries.saturating_add(1);
+        let mut last_err = PvError::Invalid {
+            what: "Sweep".to_string(),
+            detail: "cell was given no attempts".to_string(),
+        };
+        for attempt in 0..attempts_allowed {
+            // Attempt 0 runs the configured seed (so an un-faulted cell
+            // is bit-identical with or without the retry machinery);
+            // later attempts re-seed deterministically.
+            let cfg = config.with_seed(retry_seed(config.seed(), attempt));
+            match self.eval_attempt(index, attempt, &cfg) {
+                Ok(summary) => {
+                    return CellOutcome::Ok {
+                        summary,
+                        attempts: attempt + 1,
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if last_err.fallback_eligible() && config.repr() != ReprKind::Histogram {
+            // Solver non-convergence: fall back to the histogram
+            // representation under the original seed — recorded, never
+            // silently mixed with clean cells. No fault injection here
+            // (the faults model the configured repr's failure), but the
+            // panic boundary and numeric validation still apply.
+            let fallback_cfg = config.with_repr(ReprKind::Histogram);
+            let fallback = catch_unwind(AssertUnwindSafe(|| {
+                self.eval_cell(&fallback_cfg).map_err(PvError::from)
+            }));
+            if let Ok(Ok(summary)) = fallback {
+                if validate_summary(&summary).is_ok() {
+                    return CellOutcome::Degraded {
+                        summary,
+                        fallback: ReprKind::Histogram,
+                        error: last_err,
+                        attempts: attempts_allowed,
+                    };
+                }
+            }
+        }
+        CellOutcome::Failed {
+            error: last_err,
+            attempts: attempts_allowed,
+        }
+    }
+
     /// Runs the grid, discarding the stream.
     ///
     /// # Errors
-    /// Propagates evaluation and cache-store failures from any cell.
-    pub fn run(&self, grid: &GridSpec) -> Result<SweepReport, StatsError> {
+    /// Fails only on environmental problems that precede cell execution
+    /// (the cache directory's advisory lock cannot be acquired). Cell
+    /// failures are reported per cell in the [`SweepReport`], never as
+    /// an error.
+    pub fn run(&self, grid: &GridSpec) -> Result<SweepReport, PvError> {
         self.run_streaming(grid, |_| {})
     }
 
@@ -496,58 +797,166 @@ impl<'a, 'c> Sweep<'a, 'c> {
     /// order: cell summaries are pure functions of (corpus, config), and
     /// the collected list is in grid order.
     ///
+    /// Execution is fault tolerant: a panicking, non-converging, or
+    /// NaN-producing cell is retried up to the retry budget (fresh
+    /// deterministic sub-seed per attempt), solver failures fall back to
+    /// the histogram representation as [`CellOutcome::Degraded`], and a
+    /// cell that exhausts its budget becomes [`CellOutcome::Failed`] and
+    /// (with a cache attached) is quarantined so re-runs skip it.
+    ///
     /// # Errors
-    /// Propagates evaluation and cache-store failures from any cell.
-    pub fn run_streaming<F>(&self, grid: &GridSpec, on_cell: F) -> Result<SweepReport, StatsError>
+    /// Fails only when the cache directory's advisory lock cannot be
+    /// acquired within the lock timeout.
+    pub fn run_streaming<F>(&self, grid: &GridSpec, on_cell: F) -> Result<SweepReport, PvError>
     where
         F: Fn(&CellResult) + Send + Sync,
     {
         let cells = self.cells(grid);
         let fingerprint = self.fingerprint();
+        // The advisory lock covers cache reads, writes, and the
+        // quarantine update; it is held until this function returns.
+        let _lock = match &self.cache {
+            Some(cache) => Some(CacheLock::acquire(cache.dir(), self.lock_timeout)?),
+            None => None,
+        };
+        let quarantine = match &self.cache {
+            Some(cache) => Quarantine::load(cache.dir()),
+            None => Quarantine::new(),
+        };
         let hits = AtomicUsize::new(0);
         let misses = AtomicUsize::new(0);
-        let results: Result<Vec<CellResult>, StatsError> = (0..cells.len())
+        let store_failures = AtomicUsize::new(0);
+        let results: Vec<CellResult> = (0..cells.len())
             .into_par_iter()
             .map(|index| {
                 let config = cells[index];
+                if let Some(entry) = cell_key(fingerprint, &config)
+                    .ok()
+                    .and_then(|k| quarantine.get(k))
+                {
+                    // Known-bad from a previous run: skip-and-report
+                    // (counted in neither hits nor misses — nothing was
+                    // looked up or computed).
+                    let result = CellResult {
+                        index,
+                        config,
+                        outcome: CellOutcome::Quarantined {
+                            error: entry.error.to_string(),
+                        },
+                        from_cache: false,
+                    };
+                    on_cell(&result);
+                    return result;
+                }
                 let cached = self
                     .cache
                     .as_ref()
                     .and_then(|c| c.load(fingerprint, &config));
-                let (summary, from_cache) = match cached {
-                    Some(summary) => {
+                let (outcome, from_cache) = match cached {
+                    Some((summary, degraded)) => {
                         hits.fetch_add(1, Ordering::Relaxed);
-                        (summary, true)
+                        let outcome = match degraded {
+                            Some(error) => CellOutcome::Degraded {
+                                summary,
+                                fallback: ReprKind::Histogram,
+                                error,
+                                attempts: 0,
+                            },
+                            None => CellOutcome::Ok {
+                                summary,
+                                attempts: 0,
+                            },
+                        };
+                        (outcome, true)
                     }
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
-                        let summary = self.eval_cell(&config)?;
+                        let outcome = self.eval_cell_resilient(index, &config);
                         if let Some(cache) = &self.cache {
-                            cache.store(fingerprint, &config, &summary)?;
+                            let stored = match &outcome {
+                                CellOutcome::Ok { summary, .. } => {
+                                    cache.store(fingerprint, &config, summary, None)
+                                }
+                                CellOutcome::Degraded { summary, error, .. } => {
+                                    cache.store(fingerprint, &config, summary, Some(error))
+                                }
+                                _ => Ok(()),
+                            };
+                            if stored.is_err() {
+                                // A failed store must not fail the cell:
+                                // the summary is still valid, only the
+                                // warm-start is lost.
+                                store_failures.fetch_add(1, Ordering::Relaxed);
+                            } else if self.faults.corrupts_store(index) {
+                                // Torn-write drill: vandalize the entry
+                                // we just stored so the next run's
+                                // verified load treats it as a miss.
+                                if let Ok(path) = cache.entry_path(fingerprint, &config) {
+                                    let _ = fs::write(&path, "{ corrupted by fault injection");
+                                }
+                            }
                         }
-                        (summary, false)
+                        (outcome, false)
                     }
                 };
                 let result = CellResult {
                     index,
                     config,
-                    summary,
+                    outcome,
                     from_cache,
                 };
                 on_cell(&result);
-                Ok(result)
+                result
             })
             .collect();
-        Ok(SweepReport {
+
+        if let Some(cache) = &self.cache {
+            // Quarantine newly failed cells (grid order → deterministic
+            // file content for a given plan, any thread count).
+            let mut q = quarantine;
+            let mut dirty = false;
+            for r in &results {
+                if let CellOutcome::Failed { error, attempts } = &r.outcome {
+                    if let Ok(key) = cell_key(fingerprint, &r.config) {
+                        q.insert(QuarantineEntry {
+                            key,
+                            label: r.config.label(),
+                            error: error.clone(),
+                            attempts: *attempts,
+                        });
+                        dirty = true;
+                    }
+                }
+            }
+            if dirty && q.save(cache.dir()).is_err() {
+                store_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let mut report = SweepReport {
             fingerprint,
-            cells: results?,
+            cells: results,
             hits: hits.load(Ordering::Relaxed),
             misses: misses.load(Ordering::Relaxed),
-        })
+            failed: 0,
+            degraded: 0,
+            quarantined: 0,
+            store_failures: store_failures.load(Ordering::Relaxed),
+        };
+        for cell in &report.cells {
+            match &cell.outcome {
+                CellOutcome::Ok { .. } => {}
+                CellOutcome::Degraded { .. } => report.degraded += 1,
+                CellOutcome::Failed { .. } => report.failed += 1,
+                CellOutcome::Quarantined { .. } => report.quarantined += 1,
+            }
+        }
+        Ok(report)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_sysmodel::SystemModel;
@@ -604,8 +1013,126 @@ mod tests {
                 panic!("uc1 sweep produced a uc2 cell");
             };
             let direct = evaluate_few_runs_encoded(&enc, cfg).unwrap();
-            assert_eq!(cell.summary, direct, "{}", cell.config.label());
+            assert_eq!(cell.summary().unwrap(), &direct, "{}", cell.config.label());
+            assert!(cell.outcome.is_ok());
+            assert_eq!(cell.outcome.attempts(), 1);
         }
+    }
+
+    #[test]
+    fn config_rewrites_preserve_the_other_axes() {
+        let cfg = CellConfig::FewRuns(FewRunsConfig::default());
+        let reseeded = cfg.with_seed(99);
+        assert_eq!(reseeded.seed(), 99);
+        assert_eq!(reseeded.repr(), cfg.repr());
+        assert_eq!(reseeded.model(), cfg.model());
+        let histo = cfg.with_repr(ReprKind::Histogram);
+        assert_eq!(histo.repr(), ReprKind::Histogram);
+        assert_eq!(histo.seed(), cfg.seed());
+    }
+
+    #[test]
+    fn panicking_cell_is_contained_and_reported() {
+        crate::resilience::silence_injected_panics();
+        let c = corpus();
+        let grid = small_grid();
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::Panic))
+            .run(&grid)
+            .unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.failed, 1);
+        let failed = &report.cells[0];
+        let CellOutcome::Failed { error, attempts } = &failed.outcome else {
+            panic!("expected Failed, got {:?}", failed.outcome);
+        };
+        assert_eq!(error.kind(), "panic");
+        assert_eq!(*attempts, DEFAULT_MAX_RETRIES + 1);
+        // The sibling cell is untouched.
+        assert!(report.cells[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn nonconvergence_falls_back_to_histogram_as_degraded() {
+        let c = corpus();
+        let grid = small_grid(); // cells: [PearsonRnd, Histogram] × kNN
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::NonConvergence))
+            .run(&grid)
+            .unwrap();
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.failed, 0);
+        let CellOutcome::Degraded {
+            summary, fallback, ..
+        } = &report.cells[0].outcome
+        else {
+            panic!("expected Degraded, got {:?}", report.cells[0].outcome);
+        };
+        assert_eq!(*fallback, ReprKind::Histogram);
+        // The recorded fallback equals the histogram cell computed under
+        // the same seed/model/sample axes — cell 1 of this grid.
+        assert_eq!(Some(summary), report.cells[1].summary());
+    }
+
+    #[test]
+    fn nonconvergence_on_a_histogram_cell_fails_without_fallback() {
+        let c = corpus();
+        let mut grid = small_grid();
+        grid.reprs = vec![ReprKind::Histogram];
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::NonConvergence))
+            .run(&grid)
+            .unwrap();
+        // Histogram is already the floor of the degrade ladder.
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.degraded, 0);
+    }
+
+    #[test]
+    fn transient_fault_recovers_via_reseeded_retry() {
+        crate::resilience::silence_injected_panics();
+        let c = corpus();
+        let grid = small_grid();
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_faults(FaultPlan::none().inject_transient(0, FaultKind::Panic, 1))
+            .run(&grid)
+            .unwrap();
+        assert!(report.is_clean());
+        let CellOutcome::Ok { attempts, .. } = &report.cells[0].outcome else {
+            panic!("expected Ok, got {:?}", report.cells[0].outcome);
+        };
+        assert_eq!(*attempts, 2, "one failed attempt, one recovery");
+        // The recovered cell ran under a derived sub-seed, so it may
+        // differ from the fault-free value — but it must be the value
+        // the derived seed produces, deterministically.
+        let CellConfig::FewRuns(cfg) = report.cells[0].config else {
+            panic!("uc1 grid");
+        };
+        let reseeded = FewRunsConfig {
+            seed: crate::resilience::retry_seed(cfg.seed, 1),
+            ..cfg
+        };
+        let direct = evaluate_few_runs_encoded(&enc, reseeded).unwrap();
+        assert_eq!(report.cells[0].summary().unwrap(), &direct);
+    }
+
+    #[test]
+    fn zero_retries_still_yields_one_attempt() {
+        let c = corpus();
+        let grid = small_grid();
+        let enc = EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_max_retries(0)
+            .with_faults(FaultPlan::none().inject_transient(0, FaultKind::NanRun, 1))
+            .run(&grid)
+            .unwrap();
+        // No retry budget: the transient fault is fatal for the cell.
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.cells[0].outcome.attempts(), 1);
     }
 
     #[test]

@@ -202,6 +202,7 @@ impl FewRunsPredictor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_stats::ks::ks2_statistic;

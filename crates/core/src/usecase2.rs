@@ -213,6 +213,7 @@ impl CrossSystemPredictor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pv_sysmodel::SystemModel;

@@ -57,12 +57,22 @@ impl MaxEntDensity {
     /// (mean/std/skewness/kurtosis) on the given support.
     ///
     /// # Errors
-    /// Fails on a degenerate summary (σ ≤ 0) or solver failure.
+    /// Fails on a degenerate summary (σ ≤ 0, or any non-finite moment —
+    /// reported as `DegenerateInput` rather than fed to the Newton solver,
+    /// which would burn its full iteration budget on NaN residuals) or on
+    /// solver failure.
     pub fn from_summary(s: &MomentSummary, support: (f64, f64)) -> Result<Self> {
-        if s.std <= 0.0 || s.std.is_nan() {
-            return Err(StatsError::invalid(
+        let finite = [s.mean, s.std, s.skewness, s.kurtosis];
+        if finite.iter().any(|m| !m.is_finite()) {
+            return Err(StatsError::degenerate(
                 "MaxEntDensity::from_summary",
-                "standard deviation must be positive",
+                format!("non-finite moment summary {finite:?}"),
+            ));
+        }
+        if s.std <= 0.0 {
+            return Err(StatsError::degenerate(
+                "MaxEntDensity::from_summary",
+                format!("standard deviation must be positive, got {}", s.std),
             ));
         }
         let s = s.clamped_feasible(1e-3);
@@ -327,6 +337,20 @@ mod tests {
             kurtosis: 3.0,
         };
         assert!(MaxEntDensity::from_summary(&spec, (0.0, 2.0)).is_err());
+    }
+
+    #[test]
+    fn non_finite_summary_is_degenerate_not_nonconvergent() {
+        let spec = MomentSummary {
+            mean: f64::NAN,
+            std: 1.0,
+            skewness: 0.0,
+            kurtosis: 3.0,
+        };
+        match MaxEntDensity::from_summary(&spec, (0.0, 2.0)) {
+            Err(StatsError::DegenerateInput { .. }) => {}
+            other => panic!("expected DegenerateInput, got {other:?}"),
+        }
     }
 
     #[test]

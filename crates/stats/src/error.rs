@@ -23,6 +23,17 @@ pub enum StatsError {
         /// Operation that was attempted.
         what: &'static str,
     },
+    /// The input was structurally degenerate — a constant sample, an
+    /// empty range, NaN-polluted observations — so the result is
+    /// undefined rather than merely invalid. Downstream layers map this
+    /// to `PvError::DegenerateInput` and treat it as a data problem of
+    /// the cell, not a bug in the pipeline.
+    DegenerateInput {
+        /// Operation that was attempted.
+        what: &'static str,
+        /// Human-readable description of the degeneracy.
+        detail: String,
+    },
     /// A parameter was outside its valid domain.
     InvalidParameter {
         /// Operation that was attempted.
@@ -52,6 +63,14 @@ impl StatsError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for [`StatsError::DegenerateInput`].
+    pub fn degenerate(what: &'static str, detail: impl Into<String>) -> Self {
+        StatsError::DegenerateInput {
+            what,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for StatsError {
@@ -65,6 +84,9 @@ impl fmt::Display for StatsError {
             }
             StatsError::NonFinite { what } => {
                 write!(f, "{what}: input contains NaN or infinite values")
+            }
+            StatsError::DegenerateInput { what, detail } => {
+                write!(f, "{what}: degenerate input: {detail}")
             }
             StatsError::InvalidParameter { what, detail } => {
                 write!(f, "{what}: invalid parameter: {detail}")
@@ -122,6 +144,10 @@ mod tests {
 
         let e = StatsError::invalid("kde", "bandwidth must be positive");
         assert!(e.to_string().contains("bandwidth"));
+
+        let e = StatsError::degenerate("histogram", "all observations are NaN");
+        assert!(e.to_string().contains("degenerate"));
+        assert!(e.to_string().contains("NaN"));
 
         let e = StatsError::NoConvergence {
             what: "maxent",

@@ -85,9 +85,9 @@ impl Histogram {
             return Err(StatsError::invalid("Histogram", "bins must be ≥ 1"));
         }
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
-            return Err(StatsError::invalid(
+            return Err(StatsError::degenerate(
                 "Histogram",
-                format!("invalid range [{lo}, {hi}]"),
+                format!("empty or non-finite range [{lo}, {hi}]"),
             ));
         }
         Ok(Histogram {
@@ -126,8 +126,19 @@ impl Histogram {
     /// applications so that feature vectors are comparable).
     ///
     /// # Errors
-    /// Fails on invalid range or `bins == 0`.
+    /// Fails on invalid range, `bins == 0`, an empty sample, or a sample
+    /// containing NaN/infinite observations. The NaN guard matters: a
+    /// NaN clamps to NaN and would silently vanish from the bins,
+    /// leaving a histogram whose masses understate the sample — or, for
+    /// an all-NaN sample, an all-zero "distribution".
     pub fn from_data_with_range(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        ensure_len("Histogram::from_data_with_range", xs, 1)?;
+        if xs.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::degenerate(
+                "Histogram::from_data_with_range",
+                "sample contains NaN observations",
+            ));
+        }
         let mut h = Histogram::new(lo, hi, bins)?;
         for &x in xs {
             h.add(x.clamp(lo, hi));
@@ -421,6 +432,33 @@ mod tests {
         assert!(Histogram::new(1.0, 1.0, 4).is_err());
         assert!(Histogram::new(2.0, 1.0, 4).is_err());
         assert!(Histogram::from_data(&[], 4).is_err());
+    }
+
+    #[test]
+    fn empty_range_is_reported_as_degenerate_input() {
+        match Histogram::new(1.0, 1.0, 4) {
+            Err(StatsError::DegenerateInput { .. }) => {}
+            other => panic!("expected DegenerateInput, got {other:?}"),
+        }
+        match Histogram::new(f64::NAN, 1.0, 4) {
+            Err(StatsError::DegenerateInput { .. }) => {}
+            other => panic!("expected DegenerateInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_range_rejects_nan_and_empty_samples() {
+        // Before the guard, a NaN observation clamped to NaN and silently
+        // fell out of every bin, leaving total < n.
+        match Histogram::from_data_with_range(&[0.5, f64::NAN], 0.0, 1.0, 2) {
+            Err(StatsError::DegenerateInput { .. }) => {}
+            other => panic!("expected DegenerateInput, got {other:?}"),
+        }
+        assert!(Histogram::from_data_with_range(&[], 0.0, 1.0, 2).is_err());
+        // Infinities are not NaN: they clamp into the edge bins like any
+        // other out-of-range observation.
+        let h = Histogram::from_data_with_range(&[f64::INFINITY, 0.1], 0.0, 1.0, 2).unwrap();
+        assert_eq!(h.total(), 2.0);
     }
 
     #[test]

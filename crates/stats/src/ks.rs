@@ -34,8 +34,11 @@ pub fn ks2_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
     ensure_finite("ks2", b)?;
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
-    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    // total_cmp rather than partial_cmp().expect(): the finiteness guard
+    // above makes them equivalent today, but a sort must never be the
+    // thing that panics a sweep cell if the guard and this line drift.
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
 
     let (n, m) = (xs.len(), ys.len());
     let (mut i, mut j) = (0usize, 0usize);
@@ -251,5 +254,22 @@ mod tests {
         assert!(ks2_statistic(&[], &[1.0]).is_err());
         assert!(ks2_statistic(&[1.0], &[]).is_err());
         assert!(ks1_statistic(&[], |_| 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_input_instead_of_panicking() {
+        assert!(ks2_statistic(&[1.0, f64::NAN], &[1.0]).is_err());
+        assert!(ks2_statistic(&[1.0], &[f64::NEG_INFINITY]).is_err());
+        assert!(ks1_statistic(&[f64::NAN], |_| 0.5).is_err());
+    }
+
+    #[test]
+    fn constant_samples_give_finite_statistic() {
+        // A constant sample is degenerate but well-defined for the KS
+        // statistic: two equal constants agree, different ones disjoint.
+        assert_eq!(ks2_statistic(&[3.0; 5], &[3.0; 7]).unwrap(), 0.0);
+        assert_eq!(ks2_statistic(&[3.0; 5], &[4.0; 7]).unwrap(), 1.0);
+        let d = ks1_statistic(&[3.0; 5], |x| if x < 3.0 { 0.0 } else { 1.0 }).unwrap();
+        assert!(d.is_finite());
     }
 }

@@ -67,8 +67,9 @@ fn cached_cell_is_bit_identical_to_a_fresh_single_threaded_run() {
             let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
             Sweep::few_runs(&enc).run(&grid).unwrap()
         });
-    assert_eq!(warm.cells[0].summary, cold.cells[0].summary);
-    assert_eq!(warm.cells[0].summary, fresh.cells[0].summary);
+    assert_eq!(warm.cells[0].summary(), cold.cells[0].summary());
+    assert_eq!(warm.cells[0].summary(), fresh.cells[0].summary());
+    assert!(warm.cells[0].summary().is_some());
     assert_eq!(warm.fingerprint, fresh.fingerprint);
 }
 
@@ -107,7 +108,7 @@ fn widened_grid_recomputes_only_the_delta() {
         .find(|c| c.config == first.cells[0].config)
         .expect("narrow cell present in wide grid");
     assert!(shared.from_cache);
-    assert_eq!(shared.summary, first.cells[0].summary);
+    assert_eq!(shared.summary(), first.cells[0].summary());
     assert_eq!(tmp.cache().entries(), 4);
 }
 
@@ -132,7 +133,7 @@ fn corrupted_cache_entry_is_a_miss_and_gets_recomputed() {
 
     let second = sweep.run(&grid).unwrap();
     assert_eq!((second.hits, second.misses), (0, 1));
-    assert_eq!(second.cells[0].summary, first.cells[0].summary);
+    assert_eq!(second.cells[0].summary(), first.cells[0].summary());
 
     // The recompute healed the entry.
     let third = sweep.run(&grid).unwrap();
@@ -170,7 +171,39 @@ fn stale_fingerprint_is_detected_and_recomputed() {
     assert_eq!((report_b.hits, report_b.misses), (0, 1));
     assert!(!report_b.cells[0].from_cache);
     // Different corpus, different result — the stale value was not reused.
-    assert_ne!(report_b.cells[0].summary, report_a.cells[0].summary);
+    assert_ne!(report_b.cells[0].summary(), report_a.cells[0].summary());
+}
+
+#[test]
+fn concurrent_sweeps_on_one_cache_dir_are_serialized_by_the_lock() {
+    use perfvar_suite::core::resilience::{CacheLock, PvError};
+    use std::time::Duration;
+
+    let corpus = Corpus::collect(&SystemModel::intel(), 30, 3);
+    let grid = one_cell_grid();
+    let tmp = TempCache::new("lock");
+
+    let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+    let sweep = Sweep::few_runs(&enc)
+        .with_cache(tmp.cache())
+        .with_lock_timeout(Duration::from_millis(80));
+
+    // Another process (simulated by holding the lock in this one) is
+    // mid-sweep on the same cache directory: our run must refuse to
+    // interleave rather than mix half-written entries.
+    let held = CacheLock::acquire(&tmp.dir, Duration::from_millis(80)).unwrap();
+    let err = sweep.run(&grid).unwrap_err();
+    assert!(
+        matches!(err, PvError::CacheIo { .. }),
+        "expected a cache-io lock timeout, got {err:?}"
+    );
+    drop(held);
+
+    // Once the holder releases, the same sweep proceeds and the lock
+    // file does not outlive the run.
+    let report = sweep.run(&grid).unwrap();
+    assert_eq!((report.hits, report.misses), (0, 1));
+    assert!(!tmp.dir.join("sweep.lock").exists());
 }
 
 fn first_cell_config(
@@ -215,7 +248,8 @@ mod properties {
             prop_assert_eq!(&cold.cells.len(), &warm.cells.len());
             for (c, w) in cold.cells.iter().zip(&warm.cells) {
                 prop_assert_eq!(&c.config, &w.config);
-                prop_assert_eq!(&c.summary, &w.summary);
+                prop_assert_eq!(c.summary(), w.summary());
+                prop_assert!(c.summary().is_some());
             }
         }
     }
@@ -248,7 +282,7 @@ fn golden_sweep_cell_means_are_pinned() {
     let got: Vec<u64> = report
         .cells
         .iter()
-        .map(|c| c.summary.mean.to_bits())
+        .map(|c| c.summary().expect("healthy cell").mean.to_bits())
         .collect();
     let labels: Vec<String> = report.cells.iter().map(|c| c.config.label()).collect();
     assert_eq!(
