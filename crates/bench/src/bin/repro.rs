@@ -92,15 +92,21 @@ fn amd_enc() -> &'static EncodedCorpus<'static> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsFlags::extract(&mut args);
     if args.first().map(String::as_str) == Some("sweep") {
-        sweep_cmd(&args[1..]);
+        sweep_cmd(&args[1..], &obs);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("obs-check") {
+        obs_check_cmd(&args[1..]);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
     let started = Instant::now();
+    let collector = obs.install();
     println!("perfvar reproduction harness — seed {CAMPAIGN_SEED:#x}");
     println!("outputs: {}", out_dir().display());
     println!();
@@ -149,6 +155,7 @@ fn main() {
     }
 
     println!("\ntotal: {:.1?}", started.elapsed());
+    obs.finalize(collector);
 }
 
 /// Table I: the benchmark roster.
@@ -554,6 +561,199 @@ fn baselines() {
 }
 
 // ---------------------------------------------------------------------
+// observability output (shared by `repro all` and `repro sweep`)
+
+/// `--trace-out` / `--metrics-out` / `--obs-summary`, valid on any
+/// subcommand. Extracted before dispatch so exhibit selection and the
+/// sweep parser never see them.
+struct ObsFlags {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    summary: bool,
+}
+
+impl ObsFlags {
+    /// Strips the obs flags out of `args` and returns them parsed.
+    fn extract(args: &mut Vec<String>) -> ObsFlags {
+        let mut flags = ObsFlags {
+            trace_out: None,
+            metrics_out: None,
+            summary: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace-out" | "--metrics-out" => {
+                    let flag = args.remove(i);
+                    if i >= args.len() {
+                        eprintln!("repro: {flag} needs a file path");
+                        std::process::exit(2);
+                    }
+                    let path = PathBuf::from(args.remove(i));
+                    if flag == "--trace-out" {
+                        flags.trace_out = Some(path);
+                    } else {
+                        flags.metrics_out = Some(path);
+                    }
+                }
+                "--obs-summary" => {
+                    args.remove(i);
+                    flags.summary = true;
+                }
+                _ => i += 1,
+            }
+        }
+        flags
+    }
+
+    /// Installs the collector when any obs output was requested.
+    fn install(&self) -> Option<pv_obs::Collector> {
+        let active = self.trace_out.is_some() || self.metrics_out.is_some() || self.summary;
+        active.then(pv_obs::Collector::install)
+    }
+
+    /// Finishes the session, writes the requested files, and prints the
+    /// summary table. A write failure warns but does not abort: the run's
+    /// scientific output is already on disk.
+    fn finalize(&self, collector: Option<pv_obs::Collector>) {
+        let Some(collector) = collector else { return };
+        let report = collector.finish();
+        if let Some(path) = &self.trace_out {
+            match pv_obs::write_trace(path, &report.events) {
+                Ok(()) => println!(
+                    "trace: {} events -> {}",
+                    report.events.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("warning: cannot write trace {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            match pv_obs::write_metrics(path, &report.metrics) {
+                Ok(()) => println!(
+                    "metrics: {} counters, {} gauges, {} histograms -> {}",
+                    report.metrics.counters.len(),
+                    report.metrics.gauges.len(),
+                    report.metrics.histograms.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("warning: cannot write metrics {}: {e}", path.display()),
+            }
+        }
+        if self.summary {
+            println!();
+            println!(
+                "{}",
+                pv_obs::render_summary(&report, pv_core::sweep::SWEEP_OBS_COUNTERS)
+            );
+        }
+    }
+}
+
+const OBS_CHECK_HELP: &str = "\
+repro obs-check — validate observability artifacts (CI gate)
+
+USAGE:
+    repro -- obs-check TRACE.jsonl METRICS.json [--require COUNTER]...
+
+Parses the JSONL trace line by line and the metrics snapshot, checks the
+span tree is well-formed (every exit carries a duration and a matching
+enter), and asserts every --require'd counter is present with a value
+greater than zero. Exits 1 on the first violation.";
+
+/// The `obs-check` subcommand: parse the two artifact files and assert
+/// required counters are non-zero.
+fn obs_check_cmd(args: &[String]) {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{OBS_CHECK_HELP}");
+                std::process::exit(0);
+            }
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => {
+                        eprintln!("obs-check: --require needs a counter name\n\n{OBS_CHECK_HELP}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let [trace_path, metrics_path] = paths.as_slice() else {
+        eprintln!("obs-check: expected exactly TRACE.jsonl METRICS.json\n\n{OBS_CHECK_HELP}");
+        std::process::exit(2);
+    };
+
+    let events = pv_obs::read_trace(trace_path).unwrap_or_else(|e| {
+        eprintln!("obs-check: trace: {e}");
+        std::process::exit(1);
+    });
+    let mut enters = 0usize;
+    let mut exits = 0usize;
+    for ev in &events {
+        match ev.kind.as_str() {
+            "enter" => enters += 1,
+            "exit" => {
+                exits += 1;
+                if ev.dur_ns.is_none() {
+                    eprintln!(
+                        "obs-check: exit event {} ({}) has no duration",
+                        ev.id, ev.name
+                    );
+                    std::process::exit(1);
+                }
+            }
+            other => {
+                eprintln!("obs-check: unknown event kind {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if enters != exits {
+        eprintln!("obs-check: unbalanced span tree: {enters} enters, {exits} exits");
+        std::process::exit(1);
+    }
+    println!(
+        "obs-check: trace ok — {} events ({enters} spans) in {}",
+        events.len(),
+        trace_path.display()
+    );
+
+    let metrics = pv_obs::read_metrics(metrics_path).unwrap_or_else(|e| {
+        eprintln!("obs-check: metrics: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "obs-check: metrics ok — {} counters, {} gauges, {} histograms in {}",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len(),
+        metrics_path.display()
+    );
+    for name in &required {
+        match metrics.counter(name) {
+            Some(v) if v > 0 => println!("obs-check: {name} = {v}"),
+            Some(_) => {
+                eprintln!("obs-check: required counter {name} is zero");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("obs-check: required counter {name} is missing");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // the sweep service subcommand
 
 const SWEEP_HELP: &str = "\
@@ -581,6 +781,11 @@ OPTIONS:
                          KIND@CELL[:ATTEMPTS] where KIND is one of
                          panic,nonconv,nan,corrupt — e.g. panic@3 or
                          nonconv@0:1 (transient: fails attempt 0 only)
+    --progress           periodic progress line on stderr (completed/total,
+                         hit rate, failed/degraded, ETA)
+    --trace-out FILE     write a JSONL span trace of the run
+    --metrics-out FILE   write the metrics snapshot as JSON
+    --obs-summary        print the observability summary table at the end
     --help               print this help
 
 A re-run with a widened grid loads finished cells from the cache and
@@ -601,6 +806,7 @@ struct SweepArgs {
     keep_going: bool,
     max_retries: u32,
     faults: FaultPlan,
+    progress: bool,
 }
 
 fn sweep_usage_error(msg: &str) -> ! {
@@ -622,6 +828,7 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
         keep_going: false,
         max_retries: DEFAULT_MAX_RETRIES,
         faults: FaultPlan::none(),
+        progress: false,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
@@ -645,6 +852,7 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
             }
             "--reverse" => parsed.reverse = true,
             "--keep-going" => parsed.keep_going = true,
+            "--progress" => parsed.progress = true,
             "--max-retries" => {
                 parsed.max_retries = value(&mut i, "--max-retries")
                     .parse()
@@ -747,7 +955,7 @@ fn parse_seed(t: &str) -> u64 {
 
 /// The `sweep` subcommand: expand the grid, run it over the cell cache,
 /// stream per-cell lines as they finish, and render the summary table.
-fn sweep_cmd(args: &[String]) {
+fn sweep_cmd(args: &[String], obs: &ObsFlags) {
     let SweepArgs {
         uc,
         reverse,
@@ -757,8 +965,10 @@ fn sweep_cmd(args: &[String]) {
         keep_going,
         max_retries,
         faults,
+        progress,
     } = parse_sweep_args(args);
     let started = Instant::now();
+    let collector = obs.install();
     println!("perfvar sweep service — use case {uc}, {runs} runs/benchmark");
     if !faults.is_empty() {
         silence_injected_panics();
@@ -844,7 +1054,7 @@ fn sweep_cmd(args: &[String]) {
             if let Some(c) = cache.clone() {
                 sweep = sweep.with_cache(c);
             }
-            run_sweep_streaming(&sweep, &grid)
+            run_sweep_streaming(&sweep, &grid, progress)
         }
         _ => {
             let dst_corpus = secondary.as_ref().expect("uc2 destination");
@@ -858,7 +1068,7 @@ fn sweep_cmd(args: &[String]) {
             if let Some(c) = cache.clone() {
                 sweep = sweep.with_cache(c);
             }
-            run_sweep_streaming(&sweep, &grid)
+            run_sweep_streaming(&sweep, &grid, progress)
         }
     };
 
@@ -930,6 +1140,9 @@ fn sweep_cmd(args: &[String]) {
     }
     let ok = print_failure_summary(&report);
     println!("total: {:.1?}", started.elapsed());
+    // Finalize obs before any failure exit so traces of the failing run
+    // are exactly the ones worth inspecting.
+    obs.finalize(collector);
     if !ok && !keep_going {
         eprintln!("sweep: failing cells present (re-run with --keep-going to tolerate them)");
         std::process::exit(1);
@@ -980,12 +1193,34 @@ fn print_failure_summary(report: &SweepReport) -> bool {
     report.failed == 0 && report.quarantined == 0
 }
 
+/// Minimum spacing between `--progress` stderr lines.
+const PROGRESS_EVERY: Duration = Duration::from_millis(250);
+
 /// Runs the sweep, printing one line per cell the moment it completes.
-fn run_sweep_streaming(sweep: &Sweep<'_, '_>, grid: &GridSpec) -> SweepReport {
+/// With `progress` set, a rate-limited status line (completed/total, hit
+/// rate, failures, ETA) also goes to stderr.
+fn run_sweep_streaming(sweep: &Sweep<'_, '_>, grid: &GridSpec, progress: bool) -> SweepReport {
     let n_cells = sweep.cells(grid).len();
     let done = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let degraded = AtomicUsize::new(0);
+    let started = Instant::now();
+    let last_line = std::sync::Mutex::new(Instant::now());
     let result = sweep.run_streaming(grid, |cell| {
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if cell.from_cache {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        match &cell.outcome {
+            CellOutcome::Failed { .. } | CellOutcome::Quarantined { .. } => {
+                failed.fetch_add(1, Ordering::Relaxed);
+            }
+            CellOutcome::Degraded { .. } => {
+                degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            CellOutcome::Ok { .. } => {}
+        }
         let provenance = if cell.from_cache {
             "cache hit"
         } else {
@@ -1008,6 +1243,24 @@ fn run_sweep_streaming(sweep: &Sweep<'_, '_>, grid: &GridSpec) -> SweepReport {
             CellOutcome::Quarantined { .. } => "quarantined (skipped)".to_string(),
         };
         println!("  [{k:>3}/{n_cells}] {:<42} {line}", cell.config.label());
+        if progress {
+            let mut last = last_line
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if last.elapsed() >= PROGRESS_EVERY || k == n_cells {
+                *last = Instant::now();
+                drop(last);
+                let elapsed = started.elapsed();
+                let eta = elapsed.mul_f64((n_cells - k) as f64 / k as f64);
+                eprintln!(
+                    "[progress] {k}/{n_cells} cells, {:.0}% hit, {} failed, {} degraded, ETA {:.1?}",
+                    100.0 * hits.load(Ordering::Relaxed) as f64 / k as f64,
+                    failed.load(Ordering::Relaxed),
+                    degraded.load(Ordering::Relaxed),
+                    eta,
+                );
+            }
+        }
     });
     match result {
         Ok(report) => report,

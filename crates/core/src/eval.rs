@@ -106,6 +106,12 @@ pub fn evaluate_few_runs_encoded(
     enc: &EncodedCorpus,
     cfg: FewRunsConfig,
 ) -> Result<EvalSummary, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.few_runs",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.n_profile_runs,
+    );
     let s = cfg.n_profile_runs;
     let windows = cfg.profiles_per_benchmark.max(1);
     let corpus = enc.corpus();
@@ -183,6 +189,12 @@ pub fn evaluate_cross_system_encoded(
     dst: &EncodedCorpus,
     cfg: CrossSystemConfig,
 ) -> Result<EvalSummary, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.cross_system",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.profile_runs,
+    );
     let src_corpus = src.corpus();
     let dst_corpus = dst.corpus();
     if src_corpus.len() != dst_corpus.len() {

@@ -176,6 +176,7 @@ impl<'c> EncodedCorpus<'c> {
     /// Fails when a window setting does not fit the corpus run count or
     /// an encoding fails.
     pub fn build(corpus: &'c Corpus, spec: &EncodingSpec) -> Result<Self, StatsError> {
+        let _span = pv_obs::span!("pv.core.pipeline.encode_corpus", benches = corpus.len());
         // Merge window requests: one entry per distinct s, max windows.
         let mut window_specs: Vec<(usize, usize)> = Vec::new();
         let mut add_windows =
@@ -469,9 +470,11 @@ impl FoldRunner<'_> {
         A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync,
         T: Fn(usize) -> FoldTruth<'a> + Send + Sync,
     {
+        let _span = pv_obs::span!("pv.core.pipeline.logo_eval", folds = self.n_folds);
         let scores: Result<Vec<BenchScore>, StatsError> = (0..self.n_folds)
             .into_par_iter()
             .map(|held| {
+                let _fold_span = pv_obs::span!("pv.core.pipeline.fold", held = held);
                 let include: Vec<usize> = (0..self.n_folds).filter(|&i| i != held).collect();
                 let fold_seed = match self.seed_mode {
                     SeedMode::PerFold => derive_stream(self.seed, held as u64),

@@ -576,7 +576,8 @@ impl CacheLock {
             detail: format!("create {}: {e}", dir.display()),
         })?;
         let path = dir.join(LOCK_FILE);
-        let deadline = Instant::now() + timeout;
+        let wait_started = Instant::now();
+        let deadline = wait_started + timeout;
         loop {
             match fs::OpenOptions::new()
                 .write(true)
@@ -586,12 +587,18 @@ impl CacheLock {
                 Ok(mut file) => {
                     use std::io::Write;
                     let _ = write!(file, "{}", std::process::id());
+                    pv_obs::observe!(
+                        "pv.core.sweep.lock_wait_ns",
+                        pv_obs::BucketSpec::latency(),
+                        wait_started.elapsed().as_nanos() as f64
+                    );
                     return Ok(CacheLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     if Self::holder_is_dead(&path) {
                         // Stale lock from a crashed sweep: break it and
                         // race for re-acquisition on the next iteration.
+                        pv_obs::counter_inc!("pv.core.sweep.lock_steal");
                         let _ = fs::remove_file(&path);
                         continue;
                     }

@@ -71,6 +71,27 @@ const CACHE_VERSION: u32 = 2;
 /// before giving up, unless overridden by [`Sweep::with_lock_timeout`].
 pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// The operational counters a sweep pre-registers at run start (when a
+/// collector is installed), so metrics snapshots and summary tables list
+/// every one of them even at zero — "0 retries" is an observation, a
+/// missing row is not. Includes the lock/store/quarantine tallies that
+/// were previously visible only when non-zero at exit.
+pub const SWEEP_OBS_COUNTERS: &[&str] = &[
+    "pv.core.resilience.fallback",
+    "pv.core.resilience.panic_caught",
+    "pv.core.resilience.retry",
+    "pv.core.sweep.cache_hit",
+    "pv.core.sweep.cache_miss",
+    "pv.core.sweep.cache_store_fail",
+    "pv.core.sweep.cache_verify_fail",
+    "pv.core.sweep.cells",
+    "pv.core.sweep.degraded",
+    "pv.core.sweep.failed",
+    "pv.core.sweep.lock_steal",
+    "pv.core.sweep.ok",
+    "pv.core.sweep.quarantine_skip",
+];
+
 /// A declarative config grid: the cross product of the four axes.
 ///
 /// Expansion order is fixed — seeds, then sample counts, then
@@ -377,9 +398,19 @@ impl CellCache {
     ) -> Option<(EvalSummary, Option<PvError>)> {
         let path = self.entry_path(fingerprint, cfg).ok()?;
         let text = fs::read_to_string(path).ok()?;
-        let cell: CachedCell = serde_json::from_str(&text).ok()?;
-        (cell.version == CACHE_VERSION && cell.fingerprint == fingerprint && cell.config == *cfg)
-            .then_some((cell.summary, cell.degraded))
+        let verified = serde_json::from_str::<CachedCell>(&text)
+            .ok()
+            .filter(|cell| {
+                cell.version == CACHE_VERSION
+                    && cell.fingerprint == fingerprint
+                    && cell.config == *cfg
+            });
+        if verified.is_none() {
+            // The entry existed but was corrupt or stale — distinct from a
+            // plain miss (no file), which the sweep counts separately.
+            pv_obs::counter_inc!("pv.core.sweep.cache_verify_fail");
+        }
+        verified.map(|cell| (cell.summary, cell.degraded))
     }
 
     /// Persists a completed cell (`degraded` records the error a
@@ -721,9 +752,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
                 validate_summary(&summary)?;
                 Ok(summary)
             }),
-            Err(payload) => Err(PvError::CellPanic {
-                message: panic_message(payload),
-            }),
+            Err(payload) => {
+                pv_obs::counter_inc!("pv.core.resilience.panic_caught");
+                Err(PvError::CellPanic {
+                    message: panic_message(payload),
+                })
+            }
         }
     }
 
@@ -739,6 +773,9 @@ impl<'a, 'c> Sweep<'a, 'c> {
             // Attempt 0 runs the configured seed (so an un-faulted cell
             // is bit-identical with or without the retry machinery);
             // later attempts re-seed deterministically.
+            if attempt > 0 {
+                pv_obs::counter_inc!("pv.core.resilience.retry");
+            }
             let cfg = config.with_seed(retry_seed(config.seed(), attempt));
             match self.eval_attempt(index, attempt, &cfg) {
                 Ok(summary) => {
@@ -762,6 +799,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
             }));
             if let Ok(Ok(summary)) = fallback {
                 if validate_summary(&summary).is_ok() {
+                    pv_obs::counter_inc!("pv.core.resilience.fallback");
                     return CellOutcome::Degraded {
                         summary,
                         fallback: ReprKind::Histogram,
@@ -813,6 +851,9 @@ impl<'a, 'c> Sweep<'a, 'c> {
     {
         let cells = self.cells(grid);
         let fingerprint = self.fingerprint();
+        let _sweep_span = pv_obs::span!("pv.core.sweep.run", cells = cells.len());
+        pv_obs::metrics::preregister_counters(SWEEP_OBS_COUNTERS);
+        pv_obs::gauge_set!("pv.core.sweep.cells_total", cells.len());
         // The advisory lock covers cache reads, writes, and the
         // quarantine update; it is held until this function returns.
         let _lock = match &self.cache {
@@ -830,6 +871,8 @@ impl<'a, 'c> Sweep<'a, 'c> {
             .into_par_iter()
             .map(|index| {
                 let config = cells[index];
+                let _cell_span = pv_obs::span!("pv.core.sweep.cell", index = index);
+                pv_obs::counter_inc!("pv.core.sweep.cells");
                 if let Some(entry) = cell_key(fingerprint, &config)
                     .ok()
                     .and_then(|k| quarantine.get(k))
@@ -837,6 +880,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
                     // Known-bad from a previous run: skip-and-report
                     // (counted in neither hits nor misses — nothing was
                     // looked up or computed).
+                    pv_obs::counter_inc!("pv.core.sweep.quarantine_skip");
                     let result = CellResult {
                         index,
                         config,
@@ -855,6 +899,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
                 let (outcome, from_cache) = match cached {
                     Some((summary, degraded)) => {
                         hits.fetch_add(1, Ordering::Relaxed);
+                        pv_obs::counter_inc!("pv.core.sweep.cache_hit");
                         let outcome = match degraded {
                             Some(error) => CellOutcome::Degraded {
                                 summary,
@@ -871,6 +916,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
                     }
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
+                        pv_obs::counter_inc!("pv.core.sweep.cache_miss");
                         let outcome = self.eval_cell_resilient(index, &config);
                         if let Some(cache) = &self.cache {
                             let stored = match &outcome {
@@ -887,6 +933,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
                                 // the summary is still valid, only the
                                 // warm-start is lost.
                                 store_failures.fetch_add(1, Ordering::Relaxed);
+                                pv_obs::counter_inc!("pv.core.sweep.cache_store_fail");
                             } else if self.faults.corrupts_store(index) {
                                 // Torn-write drill: vandalize the entry
                                 // we just stored so the next run's
@@ -899,6 +946,14 @@ impl<'a, 'c> Sweep<'a, 'c> {
                         (outcome, false)
                     }
                 };
+                match &outcome {
+                    CellOutcome::Ok { .. } => pv_obs::counter_inc!("pv.core.sweep.ok"),
+                    CellOutcome::Degraded { .. } => {
+                        pv_obs::counter_inc!("pv.core.sweep.degraded")
+                    }
+                    CellOutcome::Failed { .. } => pv_obs::counter_inc!("pv.core.sweep.failed"),
+                    CellOutcome::Quarantined { .. } => {}
+                }
                 let result = CellResult {
                     index,
                     config,
@@ -930,6 +985,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
             }
             if dirty && q.save(cache.dir()).is_err() {
                 store_failures.fetch_add(1, Ordering::Relaxed);
+                pv_obs::counter_inc!("pv.core.sweep.cache_store_fail");
             }
         }
 

@@ -87,6 +87,49 @@ fn map_moments_to_unit(mu: &[f64], a: f64, b: f64) -> Vec<f64> {
 /// target moments are infeasible on the support, or Newton fails to
 /// converge.
 pub fn solve_maxent(mu: &[f64], a: f64, b: f64, opts: &MaxEntOptions) -> Result<Vec<f64>> {
+    let _timer = pv_obs::timed!("pv.maxent.solver.solve_ns");
+    match solve_maxent_inner(mu, a, b, opts) {
+        Ok((lambda, iterations)) => {
+            pv_obs::counter_inc!("pv.maxent.solver.converged");
+            pv_obs::observe!(
+                "pv.maxent.solver.iterations",
+                ITERATION_BUCKETS,
+                iterations as f64
+            );
+            Ok(lambda)
+        }
+        Err(e) => {
+            // Only genuine convergence failures count against the solver;
+            // invalid/infeasible inputs never entered the Newton loop.
+            if matches!(e, StatsError::NoConvergence { .. }) {
+                pv_obs::counter_inc!("pv.maxent.solver.failed");
+                pv_obs::observe!(
+                    "pv.maxent.solver.iterations",
+                    ITERATION_BUCKETS,
+                    opts.max_iter as f64
+                );
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Bucket layout for the Newton-iteration histogram: unit-ish bins over
+/// the default 200-iteration budget.
+const ITERATION_BUCKETS: pv_obs::BucketSpec = pv_obs::BucketSpec::Linear {
+    lo: 0.0,
+    hi: 200.0,
+    bins: 40,
+};
+
+/// [`solve_maxent`] minus the instrumentation, returning the Newton
+/// iterations spent alongside the multipliers.
+fn solve_maxent_inner(
+    mu: &[f64],
+    a: f64,
+    b: f64,
+    opts: &MaxEntOptions,
+) -> Result<(Vec<f64>, usize)> {
     if mu.len() < 2 {
         return Err(StatsError::invalid(
             "solve_maxent",
@@ -160,10 +203,12 @@ pub fn solve_maxent(mu: &[f64], a: f64, b: f64, opts: &MaxEntOptions) -> Result<
 
     let mut mom = moments_of(&lambda);
     let mut err = residual_norm(&mom);
+    let mut iterations = 0;
     for _ in 0..opts.max_iter {
         if err < opts.tol {
-            return Ok(lambda);
+            return Ok((lambda, iterations));
         }
+        iterations += 1;
         // Newton step: H δ = −(G − target), H_{ij} = moment_{i+j}.
         let mut h = Matrix::zeros(k, k);
         for i in 0..k {
@@ -210,7 +255,7 @@ pub fn solve_maxent(mu: &[f64], a: f64, b: f64, opts: &MaxEntOptions) -> Result<
     if err < opts.tol * 100.0 {
         // Accept near-converged solutions: the downstream KS comparison
         // operates at the 1e-3 level, so 1e-8 moment residuals are fine.
-        return Ok(lambda);
+        return Ok((lambda, iterations));
     }
     Err(StatsError::NoConvergence {
         what: "solve_maxent",

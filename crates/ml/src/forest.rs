@@ -117,6 +117,7 @@ impl RandomForestRegressor {
 
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let _timer = pv_obs::timed!("pv.ml.forest.fit_ns");
         if self.n_trees == 0 {
             return Err(StatsError::invalid(
                 "RandomForestRegressor",
@@ -168,6 +169,7 @@ impl Regressor for RandomForestRegressor {
     }
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let _timer = pv_obs::timed!("pv.ml.forest.predict_ns");
         if self.trees.is_empty() {
             return Err(StatsError::invalid(
                 "RandomForestRegressor",

@@ -99,6 +99,7 @@ impl GradientBoostingRegressor {
 
 impl Regressor for GradientBoostingRegressor {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let _timer = pv_obs::timed!("pv.ml.gbt.fit_ns");
         if self.n_rounds == 0 {
             return Err(StatsError::invalid(
                 "GradientBoostingRegressor",
@@ -198,6 +199,7 @@ impl Regressor for GradientBoostingRegressor {
     }
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let _timer = pv_obs::timed!("pv.ml.gbt.predict_ns");
         if self.trees.is_empty() {
             return Err(StatsError::invalid(
                 "GradientBoostingRegressor",

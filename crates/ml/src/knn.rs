@@ -96,6 +96,7 @@ impl KnnRegressor {
 
 impl Regressor for KnnRegressor {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
+        let _timer = pv_obs::timed!("pv.ml.knn.fit_ns");
         if self.k == 0 {
             return Err(StatsError::invalid("KnnRegressor", "k must be ≥ 1"));
         }
@@ -112,6 +113,7 @@ impl Regressor for KnnRegressor {
     }
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let _timer = pv_obs::timed!("pv.ml.knn.predict_ns");
         let neigh = self.neighbors(x)?;
         let (_, ty) = self.fitted()?;
         let t = ty.cols();

@@ -1,0 +1,361 @@
+//! Exporters: JSONL traces, metrics-snapshot JSON, span aggregation, and
+//! the human-readable end-of-run summary table.
+//!
+//! The JSONL trace is one [`TraceEvent`] per line, sorted by `(t_ns, id)`
+//! so the file reads as a timeline even though threads flush out of order.
+//! Every line round-trips through the vendored serde, which `tests/obs.rs`
+//! locks in.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::TraceEvent;
+use crate::ObsReport;
+
+/// Serializes events as JSONL, sorted by `(t_ns, id)`.
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.t_ns, e.id));
+    let mut out = String::new();
+    for event in ordered {
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Err(_) => {
+                // A span field that fails to serialize should not sink the
+                // whole trace; skip the line.
+            }
+        }
+    }
+    out
+}
+
+/// Writes the JSONL trace file (`--trace-out`).
+pub fn write_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    fs::write(path, trace_to_jsonl(events))
+}
+
+/// Parses JSONL trace text line-by-line.
+///
+/// # Errors
+/// Reports the first malformed line (1-based) with the parser message.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent =
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Reads and parses a JSONL trace file.
+///
+/// # Errors
+/// On I/O failure or any malformed line.
+pub fn read_trace(path: &Path) -> Result<Vec<TraceEvent>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_trace(&text)
+}
+
+/// Writes the metrics snapshot as a single JSON document (`--metrics-out`).
+pub fn write_metrics(path: &Path, snapshot: &MetricsSnapshot) -> io::Result<()> {
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(path, json)
+}
+
+/// Reads a metrics-snapshot JSON file back.
+///
+/// # Errors
+/// On I/O failure or malformed JSON.
+pub fn read_metrics(path: &Path) -> Result<MetricsSnapshot, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    pub name: String,
+    /// Completed spans (exit events) with this name.
+    pub count: u64,
+    /// Sum of span durations.
+    pub total_ns: u64,
+    /// Total minus time spent in direct children (may span threads'
+    /// wall-clocks, so totals can exceed the run's wall time).
+    pub self_ns: u64,
+}
+
+/// Aggregates exit events into per-name totals, sorted by `total_ns`
+/// descending (ties by name for a stable table).
+pub fn span_stats(events: &[TraceEvent]) -> Vec<SpanStats> {
+    // Duration of each completed span, and time its direct children used.
+    let mut dur: HashMap<u64, (&str, u64)> = HashMap::new();
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        if e.kind != "exit" {
+            continue;
+        }
+        let d = e.dur_ns.unwrap_or(0);
+        dur.insert(e.id, (e.name.as_str(), d));
+        if let Some(parent) = e.parent {
+            *child_ns.entry(parent).or_insert(0) += d;
+        }
+    }
+    let mut by_name: HashMap<&str, SpanStats> = HashMap::new();
+    for (id, (name, d)) in &dur {
+        let children = child_ns.get(id).copied().unwrap_or(0);
+        let entry = by_name.entry(name).or_insert_with(|| SpanStats {
+            name: (*name).to_string(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        entry.count += 1;
+        entry.total_ns += d;
+        entry.self_ns += d.saturating_sub(children);
+    }
+    let mut stats: Vec<SpanStats> = by_name.into_values().collect();
+    stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// Formats nanoseconds for humans: `532ns`, `4.21µs`, `18.3ms`, `2.05s`.
+pub fn humanize_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "-".to_string();
+    }
+    let (value, unit) = if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    };
+    if value >= 100.0 || unit == "ns" {
+        format!("{value:.0}{unit}")
+    } else if value >= 10.0 {
+        format!("{value:.1}{unit}")
+    } else {
+        format!("{value:.2}{unit}")
+    }
+}
+
+const TOP_SPANS: usize = 12;
+
+/// Renders the end-of-run summary table: top spans by total/self time,
+/// every counter (with `always_counters` forced into the table at zero
+/// even when never touched), gauges, and histograms with a bucket
+/// sparkline.
+pub fn render_summary(report: &ObsReport, always_counters: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "observability summary");
+    let _ = writeln!(out, "---------------------");
+
+    let stats = span_stats(&report.events);
+    if stats.is_empty() {
+        let _ = writeln!(out, "spans: none recorded");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "mean", "self"
+        );
+        for s in stats.iter().take(TOP_SPANS) {
+            let mean = s.total_ns as f64 / s.count as f64;
+            let _ = writeln!(
+                out,
+                "{:<34} {:>8} {:>10} {:>10} {:>10}",
+                s.name,
+                s.count,
+                humanize_ns(s.total_ns as f64),
+                humanize_ns(mean),
+                humanize_ns(s.self_ns as f64),
+            );
+        }
+        if stats.len() > TOP_SPANS {
+            let _ = writeln!(out, "... and {} more span names", stats.len() - TOP_SPANS);
+        }
+    }
+
+    let mut rows: Vec<(String, u64)> = report
+        .metrics
+        .counters
+        .iter()
+        .map(|c| (c.name.clone(), c.value))
+        .collect();
+    for name in always_counters {
+        if !rows.iter().any(|(n, _)| n == name) {
+            rows.push((name.to_string(), 0));
+        }
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:<44} {:>10}", "counter", "value");
+    for (name, value) in &rows {
+        let _ = writeln!(out, "{name:<44} {value:>10}");
+    }
+
+    if !report.metrics.gauges.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<44} {:>10}", "gauge", "value");
+        for g in &report.metrics.gauges {
+            let _ = writeln!(out, "{:<44} {:>10}", g.name, g.value);
+        }
+    }
+
+    if !report.metrics.histograms.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>10}  buckets",
+            "histogram", "count", "mean"
+        );
+        for h in &report.metrics.histograms {
+            let mean = h.mean().unwrap_or(f64::NAN);
+            let mean = if h.name.ends_with("_ns") {
+                humanize_ns(mean)
+            } else if mean.is_finite() {
+                format!("{mean:.2}")
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>8} {:>10}  {}",
+                h.name,
+                h.count,
+                mean,
+                sparkline(&h.counts)
+            );
+        }
+    }
+    out
+}
+
+/// A compact per-bucket bar chart (`▁▂▃▄▅▆▇█`; `·` for empty buckets).
+fn sparkline(counts: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "·".repeat(counts.len().min(40));
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                '·'
+            } else {
+                let idx = (c as f64 / max as f64 * 8.0).ceil() as usize;
+                BARS[idx.clamp(1, 8) - 1]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BucketSpec;
+    use crate::Collector;
+
+    fn event(
+        kind: &str,
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        t_ns: u64,
+        dur_ns: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind: kind.to_string(),
+            id,
+            parent,
+            thread: 1,
+            name: name.to_string(),
+            t_ns,
+            dur_ns,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde() {
+        let mut e = event("enter", 7, Some(3), "export.test", 100, None);
+        e.fields = vec![("cell".to_string(), "4".to_string())];
+        let events = vec![event("exit", 7, Some(3), "export.test", 250, Some(150)), e];
+        let text = trace_to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_trace(&text).expect("parses");
+        // Sorted by t_ns: enter first.
+        assert_eq!(parsed[0].kind, "enter");
+        assert_eq!(parsed[0].fields[0].1, "4");
+        assert_eq!(parsed[1].dur_ns, Some(150));
+        assert!(parse_trace("{not json}\n").is_err());
+    }
+
+    #[test]
+    fn span_stats_computes_self_time() {
+        // root (100ns) with two children (30ns + 20ns), one of another name.
+        let events = vec![
+            event("exit", 1, None, "root", 200, Some(100)),
+            event("exit", 2, Some(1), "child", 150, Some(30)),
+            event("exit", 3, Some(1), "child", 190, Some(20)),
+        ];
+        let stats = span_stats(&events);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "root");
+        assert_eq!(stats[0].total_ns, 100);
+        assert_eq!(stats[0].self_ns, 50);
+        assert_eq!(stats[1].name, "child");
+        assert_eq!(stats[1].count, 2);
+        assert_eq!(stats[1].total_ns, 50);
+        assert_eq!(stats[1].self_ns, 50);
+    }
+
+    #[test]
+    fn summary_always_lists_forced_counters() {
+        let collector = Collector::install();
+        crate::counter_inc!("pv.obs.test.fired");
+        crate::observe!("pv.obs.test.iter", BucketSpec::linear(0.0, 8.0, 4), 3.0);
+        let report = collector.finish();
+        let table = render_summary(&report, &["pv.obs.test.never"]);
+        assert!(table.contains("pv.obs.test.fired"));
+        assert!(table.contains("pv.obs.test.never"));
+        assert!(table.contains("pv.obs.test.iter"));
+    }
+
+    #[test]
+    fn humanize_ns_picks_units() {
+        assert_eq!(humanize_ns(532.0), "532ns");
+        assert_eq!(humanize_ns(4_210.0), "4.21µs");
+        assert_eq!(humanize_ns(18_300_000.0), "18.3ms");
+        assert_eq!(humanize_ns(2_050_000_000.0), "2.05s");
+    }
+
+    #[test]
+    fn metrics_snapshot_file_round_trips() {
+        let collector = Collector::install();
+        crate::counter_add!("pv.obs.test.file", 5);
+        let report = collector.finish();
+        let dir = std::env::temp_dir().join(format!("pv_obs_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.json");
+        write_metrics(&path, &report.metrics).expect("write");
+        let back = read_metrics(&path).expect("read");
+        assert_eq!(back, report.metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

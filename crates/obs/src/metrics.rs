@@ -1,0 +1,503 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind atomics.
+//!
+//! Handles are looked up by name on each use (a short read-locked linear
+//! scan — every instrumented call site is cold relative to the work it
+//! measures) and update lock-free atomics. [`Registry::snapshot`] is stable
+//! under any rayon thread count for everything integer-valued: counter
+//! values, histogram bucket counts, and observation counts are exact atomic
+//! sums. Float histogram *sums* accumulate in thread-completion order, so
+//! their low bits may differ run to run — consumers that need bit-stability
+//! compare counters only (see `tests/obs.rs`).
+//!
+//! Histogram bucketing reuses the equal-width grid of
+//! [`pv_stats::histogram::Histogram`]: a [`BucketSpec`] instantiates an
+//! empty `Histogram` as the grid template and delegates bin assignment to
+//! its `bin_index`, so obs histograms discretize exactly like the paper's
+//! distribution representations do.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use pv_stats::histogram::Histogram as StatsHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Metric naming convention: `pv.<crate>.<unit>`, e.g.
+/// `pv.core.sweep.cache_hit` or `pv.maxent.solver.iterations`. Latency
+/// histograms end in `_ns`.
+pub const NAMING_CONVENTION: &str = "pv.<crate>.<unit>";
+
+/// Bucket layout for an obs histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BucketSpec {
+    /// Equal-width bins on `[lo, hi]` (the `pv_stats` grid); out-of-range
+    /// observations clamp into the edge bins.
+    Linear { lo: f64, hi: f64, bins: usize },
+    /// Latency preset for nanosecond timings: 32 log10-spaced buckets
+    /// covering 1µs..100s (values are bucketed by `log10(ns)`; the raw
+    /// `sum` stays in nanoseconds).
+    LatencyNs,
+}
+
+impl BucketSpec {
+    /// Equal-width bins on `[lo, hi]`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> BucketSpec {
+        BucketSpec::Linear { lo, hi, bins }
+    }
+
+    /// The nanosecond-latency preset used by [`Timer`]/`timed!`.
+    pub fn latency() -> BucketSpec {
+        BucketSpec::LatencyNs
+    }
+
+    /// The grid template plus whether observations are `log10`-transformed
+    /// before bucketing.
+    fn grid(&self) -> (StatsHistogram, bool) {
+        match *self {
+            BucketSpec::Linear { lo, hi, bins } => {
+                let grid = StatsHistogram::new(lo, hi, bins.max(1)).unwrap_or_else(|_| {
+                    // Degenerate spec (NaN / inverted range): fall back to a
+                    // single catch-all bucket rather than poisoning the
+                    // instrumented path with an error.
+                    StatsHistogram::new(0.0, 1.0, 1).expect("unit grid is valid")
+                });
+                (grid, false)
+            }
+            BucketSpec::LatencyNs => (
+                StatsHistogram::new(3.0, 11.0, 32).expect("latency grid is valid"),
+                true,
+            ),
+        }
+    }
+}
+
+struct HistoCore {
+    grid: StatsHistogram,
+    log10: bool,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistoCore {
+    fn new(spec: BucketSpec) -> HistoCore {
+        let (grid, log10) = spec.grid();
+        let bins = grid.n_bins();
+        HistoCore {
+            grid,
+            log10,
+            counts: (0..bins).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let x = if self.log10 {
+            value.max(1.0).log10()
+        } else {
+            value
+        };
+        let x = x.clamp(self.grid.lo(), self.grid.hi());
+        let idx = self.grid.bin_index(x).unwrap_or(0);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `value`.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histo(Arc<HistoCore>);
+
+impl Histo {
+    /// Records one observation (non-finite values are dropped).
+    pub fn observe(&self, value: f64) {
+        self.0.observe(value);
+    }
+}
+
+/// The process-global metric store. Use the free functions
+/// [`counter`]/[`gauge`]/[`histogram`] (or the crate macros) at call sites.
+pub struct Registry {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histo)>>,
+}
+
+fn find_or_insert<T: Clone>(
+    table: &Mutex<Vec<(String, T)>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> T {
+    let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some((_, v)) = table.iter().find(|(n, _)| n == name) {
+        return v.clone();
+    }
+    let v = make();
+    table.push((name.to_string(), v.clone()));
+    v
+}
+
+impl Registry {
+    const fn new() -> Registry {
+        Registry {
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The named counter, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        find_or_insert(&self.counters, name, || {
+            Counter(Arc::new(AtomicU64::new(0)))
+        })
+    }
+
+    /// The named gauge, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        find_or_insert(&self.gauges, name, || {
+            Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        })
+    }
+
+    /// The named histogram; `spec` applies on first use (later callers get
+    /// the existing grid).
+    pub fn histogram(&self, name: &str, spec: BucketSpec) -> Histo {
+        find_or_insert(&self.histograms, name, || {
+            Histo(Arc::new(HistoCore::new(spec)))
+        })
+    }
+
+    /// Drops every registered metric (collector session start).
+    pub fn reset(&self) {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// A point-in-time copy of every metric, each section sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterValue> = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, c)| CounterValue {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeValue> = self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, g)| GaugeValue {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramValue> = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, h)| {
+                let core = &h.0;
+                HistogramValue {
+                    name: name.clone(),
+                    scale: if core.log10 { "log10" } else { "linear" }.to_string(),
+                    edges: core.grid.bin_edges(),
+                    counts: core
+                        .counts
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                    count: core.count.load(Ordering::Relaxed),
+                    sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The global [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Global-registry shorthand for [`Registry::counter`].
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Global-registry shorthand for [`Registry::gauge`].
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Global-registry shorthand for [`Registry::histogram`].
+pub fn histogram(name: &str, spec: BucketSpec) -> Histo {
+    registry().histogram(name, spec)
+}
+
+/// Pre-registers counters at zero so a snapshot (and the summary table)
+/// lists them even when nothing ever fired — "0 retries" is a statement,
+/// a missing row is not. No-op without a collector.
+pub fn preregister_counters(names: &[&str]) {
+    if !crate::enabled() {
+        return;
+    }
+    for name in names {
+        counter(name);
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    pub name: String,
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    pub name: String,
+    /// `"linear"` (edges in observed units) or `"log10"` (edges in
+    /// `log10(observed)`, the latency preset).
+    pub scale: String,
+    /// `counts.len() + 1` bucket edges.
+    pub edges: Vec<f64>,
+    /// Per-bucket observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of raw observed values (not log-transformed).
+    pub sum: f64,
+}
+
+impl HistogramValue {
+    /// Mean raw observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Every metric at one point in time; vendored-serde friendly (sorted
+/// `Vec`s of named values, no maps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterValue>,
+    pub gauges: Vec<GaugeValue>,
+    pub histograms: Vec<HistogramValue>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The named gauge's value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Scope timer: records elapsed nanoseconds into a latency histogram on
+/// drop. Construct via the [`timed!`](crate::timed!) macro.
+pub struct Timer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Starts timing now (inert when no collector is installed).
+    pub fn start(name: &'static str) -> Timer {
+        Timer {
+            name,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if crate::enabled() {
+                histogram(self.name, BucketSpec::latency())
+                    .observe(start.elapsed().as_nanos() as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn histogram_buckets_match_pv_stats_grid() {
+        let _session = Collector::install();
+        let h = histogram("pv.obs.test.grid", BucketSpec::linear(0.0, 10.0, 5));
+        for v in [0.0, 1.9, 2.0, 10.0, -3.0, 42.0, f64::NAN] {
+            h.observe(v);
+        }
+        let snap = registry().snapshot();
+        let hv = snap.histogram("pv.obs.test.grid").expect("registered");
+        // Same assignment Histogram::from_data_with_range makes: clamp,
+        // half-open bins (2.0 starts bin 1), upper edge in the last bin,
+        // NaN dropped.
+        assert_eq!(hv.counts, vec![3, 1, 0, 0, 2]);
+        assert_eq!(hv.count, 6);
+        assert_eq!(hv.edges.len(), 6);
+        assert_eq!(hv.edges[0], 0.0);
+        assert_eq!(hv.edges[5], 10.0);
+        assert_eq!(hv.scale, "linear");
+    }
+
+    #[test]
+    fn latency_preset_is_log_bucketed_with_raw_sum() {
+        let _session = Collector::install();
+        let h = histogram("pv.obs.test.lat_ns", BucketSpec::latency());
+        h.observe(1_000_000.0); // 1 ms → log10 = 6
+        h.observe(1_000_000.0);
+        let snap = registry().snapshot();
+        let hv = snap.histogram("pv.obs.test.lat_ns").expect("registered");
+        assert_eq!(hv.scale, "log10");
+        assert_eq!(hv.count, 2);
+        assert_eq!(hv.sum, 2_000_000.0);
+        assert_eq!(hv.mean(), Some(1_000_000.0));
+        // Both land in the same bucket and the bucket index matches the
+        // grid's own arithmetic.
+        let nonzero: Vec<usize> = hv
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero.len(), 1);
+        assert_eq!(hv.counts[nonzero[0]], 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let _session = Collector::install();
+        counter("pv.obs.test.b").add(2);
+        counter("pv.obs.test.a").inc();
+        gauge("pv.obs.test.g").set(-1.25);
+        let snap = registry().snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.counter("pv.obs.test.a"), Some(1));
+        assert_eq!(snap.counter("pv.obs.test.b"), Some(2));
+        assert_eq!(snap.counter("pv.obs.test.missing"), None);
+        assert_eq!(snap.gauge("pv.obs.test.g"), Some(-1.25));
+    }
+
+    #[test]
+    fn degenerate_linear_spec_falls_back_to_one_bucket() {
+        let _session = Collector::install();
+        let h = histogram("pv.obs.test.degenerate", BucketSpec::linear(5.0, 5.0, 4));
+        h.observe(123.0);
+        let snap = registry().snapshot();
+        let hv = snap
+            .histogram("pv.obs.test.degenerate")
+            .expect("registered");
+        assert_eq!(hv.counts.len(), 1);
+        assert_eq!(hv.count, 1);
+    }
+}

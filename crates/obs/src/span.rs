@@ -1,0 +1,251 @@
+//! The span layer: hierarchical enter/exit events with monotonic timing,
+//! buffered per thread and drained to a global collector.
+//!
+//! Each thread keeps a span *stack* (for parent links) and an event
+//! *buffer*. The buffer flushes to the global collector when the stack
+//! empties — i.e. when the thread's outermost span closes — or when it hits
+//! [`BUF_FLUSH_CAP`]. Rayon work items (sweep cells, LOGO folds) open a span
+//! at their root, so worker buffers drain at work-item granularity and are
+//! guaranteed globally visible once the fork/join region returns.
+//!
+//! Parent links are strictly thread-local: a span stolen onto another worker
+//! thread becomes a root span *on that thread* rather than borrowing a
+//! parent it does not nest inside. That is what "no cross-thread parent
+//! corruption" means in `tests/obs.rs`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread buffer cap: an eager flush triggers at this size so a
+/// long-running root span cannot pin unbounded memory.
+const BUF_FLUSH_CAP: usize = 4096;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn global() -> &'static Mutex<Vec<TraceEvent>> {
+    static GLOBAL: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+    &GLOBAL
+}
+
+/// One line of the JSONL trace: a span enter or exit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// `"enter"` or `"exit"`.
+    pub kind: String,
+    /// Process-unique span id (shared by the enter and its exit).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Obs-assigned thread id (dense, first-use order — not the OS tid).
+    pub thread: u64,
+    /// Span name, e.g. `pv.core.sweep.cell`.
+    pub name: String,
+    /// Nanoseconds since the process obs epoch (monotonic clock).
+    pub t_ns: u64,
+    /// Exit events carry the span duration; `None` on enters.
+    pub dur_ns: Option<u64>,
+    /// `key = value` fields from the `span!` call site (enters only).
+    pub fields: Vec<(String, String)>,
+}
+
+struct ThreadState {
+    thread: u64,
+    stack: Vec<u64>,
+    buf: Vec<TraceEvent>,
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState {
+        thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        buf: Vec::new(),
+    });
+}
+
+/// RAII guard for an open span; records the exit event on drop. Construct
+/// via the [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Opens a span (records nothing when no collector is installed).
+    pub fn enter(name: &'static str, fields: Vec<(String, String)>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::noop();
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let t_ns = crate::now_ns();
+        STATE.with(|state| {
+            let mut s = state.borrow_mut();
+            let event = TraceEvent {
+                kind: "enter".to_string(),
+                id,
+                parent: s.stack.last().copied(),
+                thread: s.thread,
+                name: name.to_string(),
+                t_ns,
+                dur_ns: None,
+                fields,
+            };
+            s.buf.push(event);
+            s.stack.push(id);
+        });
+        SpanGuard {
+            id,
+            name,
+            start_ns: t_ns,
+        }
+    }
+
+    /// An inert guard; dropping it records nothing.
+    pub fn noop() -> SpanGuard {
+        SpanGuard {
+            id: 0,
+            name: "",
+            start_ns: 0,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        STATE.with(|state| {
+            let mut s = state.borrow_mut();
+            // Pop through any children whose exits were skipped (a panic
+            // unwinding past a mem::forget'd guard); normally the top of
+            // the stack is this span.
+            while let Some(top) = s.stack.pop() {
+                if top == self.id {
+                    break;
+                }
+            }
+            if !crate::enabled() {
+                // Session ended while this span was open: its enter was
+                // (or will be) discarded, so drop the exit too instead of
+                // leaking it into the next session.
+                s.buf.clear();
+                return;
+            }
+            let t_ns = crate::now_ns();
+            let event = TraceEvent {
+                kind: "exit".to_string(),
+                id: self.id,
+                parent: s.stack.last().copied(),
+                thread: s.thread,
+                name: self.name.to_string(),
+                t_ns,
+                dur_ns: Some(t_ns.saturating_sub(self.start_ns)),
+                fields: Vec::new(),
+            };
+            s.buf.push(event);
+            if s.stack.is_empty() || s.buf.len() >= BUF_FLUSH_CAP {
+                flush(&mut s);
+            }
+        });
+    }
+}
+
+fn flush(s: &mut ThreadState) {
+    if s.buf.is_empty() {
+        return;
+    }
+    global()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .append(&mut s.buf);
+}
+
+/// Flushes the calling thread's buffer to the global collector.
+pub fn flush_current_thread() {
+    STATE.with(|state| flush(&mut state.borrow_mut()));
+}
+
+/// Clears the global collector and the calling thread's local state
+/// (session start).
+pub(crate) fn clear() {
+    global()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    STATE.with(|state| {
+        let mut s = state.borrow_mut();
+        s.stack.clear();
+        s.buf.clear();
+    });
+}
+
+/// Takes every globally collected event (session end).
+pub(crate) fn drain() -> Vec<TraceEvent> {
+    std::mem::take(&mut *global().lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn nested_spans_link_parents_and_flush_on_root_exit() {
+        let collector = Collector::install();
+        let (root_id, child_id);
+        {
+            let root = SpanGuard::enter("span.test.root", Vec::new());
+            root_id = root.id;
+            {
+                let child = SpanGuard::enter("span.test.child", Vec::new());
+                child_id = child.id;
+            }
+            // Child exited but root is still open: nothing flushed yet.
+            assert!(global()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty());
+        }
+        let report = collector.finish();
+        assert_eq!(report.events.len(), 4);
+        let enters: Vec<_> = report.events.iter().filter(|e| e.kind == "enter").collect();
+        assert_eq!(enters.len(), 2);
+        let child = enters.iter().find(|e| e.id == child_id).expect("child");
+        assert_eq!(child.parent, Some(root_id));
+        let exit = report
+            .events
+            .iter()
+            .find(|e| e.kind == "exit" && e.id == child_id)
+            .expect("child exit");
+        assert!(exit.dur_ns.is_some());
+    }
+
+    #[test]
+    fn spans_on_spawned_threads_are_roots_there() {
+        let collector = Collector::install();
+        let handle = std::thread::spawn(|| {
+            let _s = SpanGuard::enter("span.test.worker", Vec::new());
+        });
+        handle.join().expect("worker");
+        let _local = SpanGuard::enter("span.test.local", Vec::new());
+        drop(_local);
+        let report = collector.finish();
+        let worker = report
+            .events
+            .iter()
+            .find(|e| e.name == "span.test.worker" && e.kind == "enter")
+            .expect("worker enter");
+        let local = report
+            .events
+            .iter()
+            .find(|e| e.name == "span.test.local" && e.kind == "enter")
+            .expect("local enter");
+        assert_eq!(worker.parent, None);
+        assert_ne!(worker.thread, local.thread);
+    }
+}

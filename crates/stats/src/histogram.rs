@@ -212,6 +212,23 @@ impl Histogram {
         (self.hi - self.lo) / self.counts.len() as f64
     }
 
+    /// The `n_bins() + 1` bin edges from `lo` to `hi` (the last edge is
+    /// exactly `hi`, not `lo + n·width`, so edges round-trip through
+    /// serialization without drift).
+    pub fn bin_edges(&self) -> Vec<f64> {
+        let n = self.counts.len();
+        let w = self.bin_width();
+        (0..=n)
+            .map(|i| {
+                if i == n {
+                    self.hi
+                } else {
+                    self.lo + i as f64 * w
+                }
+            })
+            .collect()
+    }
+
     /// Total accumulated mass.
     pub fn total(&self) -> f64 {
         self.total

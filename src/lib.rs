@@ -14,6 +14,8 @@
 //!   representations, use-case predictors, and the evaluation harness,
 //!   all running on the `core::pipeline` encode-once cache
 //!   (`EncodedCorpus`) + LOGO fold runner
+//! * [`obs`] — zero-dep observability: spans, metrics, and exporters
+//!   threaded through the pipeline/sweep/resilience hot paths
 //!
 //! ## Quickstart
 //!
@@ -23,6 +25,7 @@
 pub use pv_core as core;
 pub use pv_maxent as maxent;
 pub use pv_ml as ml;
+pub use pv_obs as obs;
 pub use pv_pearson as pearson;
 pub use pv_stats as stats;
 pub use pv_sysmodel as sysmodel;

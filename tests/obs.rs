@@ -1,0 +1,335 @@
+//! Observability tier: span-tree well-formedness under rayon, counter
+//! totals invariant across thread counts, lossless exporter round-trips,
+//! exact counter/report agreement on fault-injected sweeps, and the
+//! bit-identity of evaluation results with a collector installed.
+//!
+//! Every test takes [`exclusive`] first: the collector and the metrics
+//! registry are process-global, so a test running instrumented code
+//! while another test's session is live would leak events into it.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use perfvar_suite::core::pipeline::EncodedCorpus;
+use perfvar_suite::core::resilience::{silence_injected_panics, FaultKind, FaultPlan};
+use perfvar_suite::core::sweep::{CellCache, GridSpec, Sweep, SweepReport, SWEEP_OBS_COUNTERS};
+use perfvar_suite::core::{ModelKind, ReprKind};
+use perfvar_suite::obs::metrics::MetricsSnapshot;
+use perfvar_suite::obs::{Collector, ObsReport, TraceEvent};
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests in this file; the obs collector is process-wide.
+fn exclusive() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A unique, self-cleaning cache directory per test.
+struct TempCache {
+    dir: PathBuf,
+}
+
+impl TempCache {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("pv-obs-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempCache { dir }
+    }
+
+    fn cache(&self) -> CellCache {
+        CellCache::new(&self.dir)
+    }
+}
+
+impl Drop for TempCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Grid order (reprs vary fastest): Histogram s5, PyMaxEnt s5,
+/// PearsonRnd s5, Histogram s10, PyMaxEnt s10, PearsonRnd s10.
+fn six_cell_grid() -> GridSpec {
+    GridSpec {
+        reprs: vec![
+            ReprKind::Histogram,
+            ReprKind::PyMaxEnt,
+            ReprKind::PearsonRnd,
+        ],
+        models: vec![ModelKind::Knn],
+        sample_counts: vec![5, 10],
+        seeds: vec![17],
+        profiles_per_benchmark: 1,
+    }
+}
+
+/// Runs `grid` uncached under a live collector and returns both reports.
+fn observed_sweep(corpus: &Corpus, grid: &GridSpec, faults: FaultPlan) -> (SweepReport, ObsReport) {
+    let collector = Collector::install();
+    let enc = EncodedCorpus::build(corpus, &grid.few_runs_encoding()).unwrap();
+    let report = Sweep::few_runs(&enc).with_faults(faults).run(grid).unwrap();
+    (report, collector.finish())
+}
+
+#[test]
+fn span_tree_is_well_formed_across_rayon_threads() {
+    let _guard = exclusive();
+    let corpus = Corpus::collect(&SystemModel::intel(), 30, 7);
+    let (report, obs) = observed_sweep(&corpus, &six_cell_grid(), FaultPlan::none());
+    assert!(report.is_clean());
+
+    let enters: HashMap<u64, &TraceEvent> = obs
+        .events
+        .iter()
+        .filter(|e| e.kind == "enter")
+        .map(|e| (e.id, e))
+        .collect();
+    let exits: HashMap<u64, &TraceEvent> = obs
+        .events
+        .iter()
+        .filter(|e| e.kind == "exit")
+        .map(|e| (e.id, e))
+        .collect();
+    assert_eq!(
+        enters.len() + exits.len(),
+        obs.events.len(),
+        "only enter/exit kinds exist"
+    );
+    assert_eq!(enters.len(), exits.len(), "every enter has an exit");
+
+    for exit in exits.values() {
+        let enter = enters.get(&exit.id).expect("exit without a matching enter");
+        assert_eq!(enter.name, exit.name);
+        assert_eq!(enter.thread, exit.thread, "a span may not migrate threads");
+        assert!(enter.dur_ns.is_none(), "enters carry no duration");
+        assert!(exit.dur_ns.is_some(), "exits carry the duration");
+    }
+
+    // Parent links are strictly thread-local, and a child's lifetime is
+    // contained in its parent's: work stolen onto another thread must
+    // appear as a root there, never as a cross-thread child.
+    for event in &obs.events {
+        let Some(parent_id) = event.parent else {
+            continue;
+        };
+        let parent_enter = enters.get(&parent_id).expect("parent span recorded");
+        let parent_exit = exits.get(&parent_id).expect("parent span closed");
+        assert_eq!(
+            parent_enter.thread, event.thread,
+            "{}: parent {} lives on another thread",
+            event.name, parent_enter.name
+        );
+        assert!(parent_enter.t_ns <= event.t_ns && event.t_ns <= parent_exit.t_ns);
+    }
+
+    let count = |name: &str| {
+        obs.events
+            .iter()
+            .filter(|e| e.kind == "enter" && e.name == name)
+            .count()
+    };
+    assert_eq!(count("pv.core.sweep.run"), 1);
+    assert_eq!(count("pv.core.sweep.cell"), report.cells.len());
+    assert_eq!(count("pv.core.eval.few_runs"), report.cells.len());
+    assert!(count("pv.core.pipeline.fold") > 0);
+}
+
+#[test]
+fn counter_totals_are_invariant_under_thread_count() {
+    let _guard = exclusive();
+    let corpus = Corpus::collect(&SystemModel::intel(), 24, 5);
+    let grid = six_cell_grid();
+
+    let run_with_threads = |n: usize| -> MetricsSnapshot {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap();
+        let collector = Collector::install();
+        pool.install(|| {
+            let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+            Sweep::few_runs(&enc).run(&grid).unwrap()
+        });
+        collector.finish().metrics
+    };
+
+    let base = run_with_threads(1);
+    assert_eq!(base.counter("pv.core.sweep.cells"), Some(6));
+    for n in [2, 8] {
+        let snap = run_with_threads(n);
+        assert_eq!(
+            snap.counters, base.counters,
+            "counters diverged at {n} threads"
+        );
+        // Iteration counts are seeded per cell, so even the histogram's
+        // bucket occupancy is thread-count independent (unlike the
+        // wall-clock latency histograms, which are excluded here).
+        assert_eq!(
+            snap.histogram("pv.maxent.solver.iterations"),
+            base.histogram("pv.maxent.solver.iterations"),
+        );
+    }
+}
+
+#[test]
+fn exporters_round_trip_losslessly_through_files() {
+    let _guard = exclusive();
+    let tmp = TempCache::new("roundtrip");
+    std::fs::create_dir_all(&tmp.dir).unwrap();
+    let corpus = Corpus::collect(&SystemModel::intel(), 24, 5);
+    let (report, obs) = observed_sweep(&corpus, &six_cell_grid(), FaultPlan::none());
+    assert!(report.is_clean());
+    assert!(!obs.events.is_empty());
+
+    let trace_path = tmp.dir.join("trace.jsonl");
+    perfvar_suite::obs::write_trace(&trace_path, &obs.events).unwrap();
+    let mut sorted = obs.events.clone();
+    sorted.sort_by_key(|e| (e.t_ns, e.id));
+    assert_eq!(
+        perfvar_suite::obs::read_trace(&trace_path).unwrap(),
+        sorted,
+        "trace must survive the JSONL round trip, in time order"
+    );
+    // Line-by-line: every line is one standalone JSON event.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert_eq!(text.lines().count(), obs.events.len());
+
+    let metrics_path = tmp.dir.join("metrics.json");
+    perfvar_suite::obs::write_metrics(&metrics_path, &obs.metrics).unwrap();
+    assert_eq!(
+        perfvar_suite::obs::read_metrics(&metrics_path).unwrap(),
+        obs.metrics
+    );
+}
+
+#[test]
+fn fault_injected_counters_match_the_sweep_report_exactly() {
+    let _guard = exclusive();
+    silence_injected_panics();
+    let corpus = Corpus::collect(&SystemModel::intel(), 30, 7);
+
+    // Cell 0 (Histogram): persistent panic — no fallback, Failed after
+    // every attempt. Cell 1 (PyMaxEnt): persistent non-convergence —
+    // Degraded onto the histogram fallback. Cell 3 (Histogram):
+    // transient non-convergence — one retry, then healthy.
+    let plan = FaultPlan::none()
+        .inject(0, FaultKind::Panic)
+        .inject(1, FaultKind::NonConvergence)
+        .inject_transient(3, FaultKind::NonConvergence, 1);
+    let (report, obs) = observed_sweep(&corpus, &six_cell_grid(), plan);
+    assert_eq!(
+        (report.failed, report.degraded, report.quarantined),
+        (1, 1, 0)
+    );
+
+    let counter = |name: &str| {
+        obs.metrics
+            .counter(name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(counter("pv.core.sweep.cells"), report.cells.len() as u64);
+    assert_eq!(counter("pv.core.sweep.ok"), 4);
+    assert_eq!(counter("pv.core.sweep.degraded"), report.degraded as u64);
+    assert_eq!(counter("pv.core.sweep.failed"), report.failed as u64);
+    assert_eq!(counter("pv.core.sweep.cache_hit"), report.hits as u64);
+    assert_eq!(counter("pv.core.sweep.cache_miss"), report.misses as u64);
+    assert_eq!(counter("pv.core.sweep.quarantine_skip"), 0);
+
+    // Retries are exactly the attempts beyond the first, summed over the
+    // grid; the panic cell panicked on every one of its attempts; the
+    // degraded cell took exactly one fallback evaluation.
+    let expected_retries: u64 = report
+        .cells
+        .iter()
+        .map(|c| u64::from(c.outcome.attempts().saturating_sub(1)))
+        .sum();
+    assert_eq!(counter("pv.core.resilience.retry"), expected_retries);
+    let panic_attempts = report
+        .cells
+        .iter()
+        .find(|c| c.summary().is_none())
+        .expect("the panic cell failed")
+        .outcome
+        .attempts();
+    assert_eq!(
+        counter("pv.core.resilience.panic_caught"),
+        u64::from(panic_attempts)
+    );
+    assert_eq!(counter("pv.core.resilience.fallback"), 1);
+
+    // Satellite (b): the full counter roster is pre-registered, so even
+    // the all-zero ones appear in the snapshot and the summary table.
+    for name in SWEEP_OBS_COUNTERS {
+        assert!(
+            obs.metrics.counter(name).is_some(),
+            "{name} must be present even at zero"
+        );
+    }
+    let rendered = perfvar_suite::obs::render_summary(&obs, SWEEP_OBS_COUNTERS);
+    for name in SWEEP_OBS_COUNTERS {
+        assert!(rendered.contains(name), "summary table must list {name}");
+    }
+}
+
+#[test]
+fn evaluation_is_bit_identical_with_and_without_a_collector() {
+    let _guard = exclusive();
+    let corpus = Corpus::collect(&SystemModel::intel(), 30, 7);
+    let grid = six_cell_grid();
+
+    let bare = {
+        let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+        Sweep::few_runs(&enc).run(&grid).unwrap()
+    };
+    let (observed, obs) = observed_sweep(&corpus, &grid, FaultPlan::none());
+    assert!(!obs.events.is_empty(), "the collector did record the run");
+
+    assert_eq!(bare.fingerprint, observed.fingerprint);
+    assert_eq!(bare.cells.len(), observed.cells.len());
+    for (b, o) in bare.cells.iter().zip(&observed.cells) {
+        assert_eq!(b.config, o.config);
+        assert_eq!(b.summary(), o.summary(), "{}", b.config.label());
+        assert!(b.summary().is_some());
+    }
+}
+
+#[test]
+fn warm_cache_rerun_reports_every_cell_as_a_hit() {
+    let _guard = exclusive();
+    let corpus = Corpus::collect(&SystemModel::intel(), 24, 5);
+    let grid = six_cell_grid();
+    let tmp = TempCache::new("warm");
+
+    let run = |faults: FaultPlan| {
+        let collector = Collector::install();
+        let enc = EncodedCorpus::build(&corpus, &grid.few_runs_encoding()).unwrap();
+        let report = Sweep::few_runs(&enc)
+            .with_cache(tmp.cache())
+            .with_faults(faults)
+            .run(&grid)
+            .unwrap();
+        (report, collector.finish())
+    };
+
+    let (cold, cold_obs) = run(FaultPlan::none());
+    assert_eq!((cold.hits, cold.misses), (0, 6));
+    assert_eq!(cold_obs.metrics.counter("pv.core.sweep.cache_hit"), Some(0));
+    assert_eq!(
+        cold_obs.metrics.counter("pv.core.sweep.cache_miss"),
+        Some(6)
+    );
+
+    let (warm, warm_obs) = run(FaultPlan::none());
+    assert_eq!((warm.hits, warm.misses), (6, 0));
+    assert_eq!(warm_obs.metrics.counter("pv.core.sweep.cache_hit"), Some(6));
+    assert_eq!(
+        warm_obs.metrics.counter("pv.core.sweep.cache_miss"),
+        Some(0)
+    );
+    assert_eq!(warm_obs.metrics.counter("pv.core.sweep.ok"), Some(6));
+    for (c, w) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(c.summary(), w.summary());
+    }
+}
