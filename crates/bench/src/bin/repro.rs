@@ -771,6 +771,9 @@ OPTIONS:
     --samples LIST       profile sample counts, e.g. 5,10,25 (default 10)
     --seeds LIST         root seeds, decimal or 0x-hex (default campaign seed)
     --runs N             corpus runs per benchmark (default 1000)
+    --append N           corpus-growth scenario: sweep the corpus minus its
+                         last N benchmarks first, then sweep the full corpus
+                         so unchanged folds replay from the fold cache
     --cache DIR          cell cache directory (default target/repro/sweep-cache)
     --no-cache           run without a cell cache
     --keep-going         exit 0 even when cells fail; report them in the
@@ -802,6 +805,7 @@ struct SweepArgs {
     reverse: bool,
     grid: GridSpec,
     runs: usize,
+    append: usize,
     cache_dir: Option<PathBuf>,
     keep_going: bool,
     max_retries: u32,
@@ -824,6 +828,7 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
             ..GridSpec::default()
         },
         runs: pv_bench::CAMPAIGN_RUNS,
+        append: 0,
         cache_dir: Some(out_dir().join("sweep-cache")),
         keep_going: false,
         max_retries: DEFAULT_MAX_RETRIES,
@@ -870,6 +875,11 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
                 parsed.runs = value(&mut i, "--runs")
                     .parse()
                     .unwrap_or_else(|e| sweep_usage_error(&format!("--runs: {e}")));
+            }
+            "--append" => {
+                parsed.append = value(&mut i, "--append")
+                    .parse()
+                    .unwrap_or_else(|e| sweep_usage_error(&format!("--append: {e}")));
             }
             "--samples" => {
                 parsed.grid.sample_counts = value(&mut i, "--samples")
@@ -920,6 +930,9 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
     if parsed.grid.is_degenerate() {
         sweep_usage_error("the grid has an empty axis");
     }
+    if parsed.append > 0 && parsed.cache_dir.is_none() {
+        sweep_usage_error("--append needs the cell cache (drop --no-cache)");
+    }
     parsed
 }
 
@@ -961,6 +974,7 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
         reverse,
         grid,
         runs,
+        append,
         cache_dir,
         keep_going,
         max_retries,
@@ -1030,7 +1044,6 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
     }
 
     // Encode once for the whole grid, then run the cells over the cache.
-    let t = Instant::now();
     let cache = cache_dir.as_ref().map(CellCache::new);
     fn encode_or_die<'c>(
         what: &str,
@@ -1041,36 +1054,73 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
             std::process::exit(1);
         })
     }
-    let report = match uc {
-        1 => {
-            let enc = encode_or_die(
-                "primary",
-                EncodedCorpus::build(primary, &grid.few_runs_encoding()),
-            );
-            println!("[setup] corpus encoded in {:.1?}", t.elapsed());
-            let mut sweep = Sweep::few_runs(&enc)
-                .with_max_retries(max_retries)
-                .with_faults(faults);
-            if let Some(c) = cache.clone() {
-                sweep = sweep.with_cache(c);
+    // One grid pass over a (primary, secondary) corpus pair. Reused by
+    // the `--append` growth scenario, which sweeps a truncated base
+    // corpus first so the full-corpus pass can replay unchanged folds.
+    let run_grid = |primary: &Corpus, secondary: Option<&Corpus>, faults: FaultPlan| {
+        let t = Instant::now();
+        match uc {
+            1 => {
+                let enc = encode_or_die(
+                    "primary",
+                    EncodedCorpus::build(primary, &grid.few_runs_encoding()),
+                );
+                println!("[setup] corpus encoded in {:.1?}", t.elapsed());
+                let mut sweep = Sweep::few_runs(&enc)
+                    .with_max_retries(max_retries)
+                    .with_faults(faults);
+                if let Some(c) = cache.clone() {
+                    sweep = sweep.with_cache(c);
+                }
+                run_sweep_streaming(&sweep, &grid, progress)
             }
-            run_sweep_streaming(&sweep, &grid, progress)
-        }
-        _ => {
-            let dst_corpus = secondary.as_ref().expect("uc2 destination");
-            let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
-            let src = encode_or_die("source", EncodedCorpus::build(primary, &src_spec));
-            let dst = encode_or_die("destination", EncodedCorpus::build(dst_corpus, &dst_spec));
-            println!("[setup] corpora encoded in {:.1?}", t.elapsed());
-            let mut sweep = Sweep::cross_system(&src, &dst)
-                .with_max_retries(max_retries)
-                .with_faults(faults);
-            if let Some(c) = cache.clone() {
-                sweep = sweep.with_cache(c);
+            _ => {
+                let dst_corpus = secondary.expect("uc2 destination");
+                let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
+                let src = encode_or_die("source", EncodedCorpus::build(primary, &src_spec));
+                let dst = encode_or_die("destination", EncodedCorpus::build(dst_corpus, &dst_spec));
+                println!("[setup] corpora encoded in {:.1?}", t.elapsed());
+                let mut sweep = Sweep::cross_system(&src, &dst)
+                    .with_max_retries(max_retries)
+                    .with_faults(faults);
+                if let Some(c) = cache.clone() {
+                    sweep = sweep.with_cache(c);
+                }
+                run_sweep_streaming(&sweep, &grid, progress)
             }
-            run_sweep_streaming(&sweep, &grid, progress)
         }
     };
+    if append > 0 {
+        let n = primary.benchmarks.len();
+        if append >= n {
+            eprintln!("sweep: --append {append} leaves no base corpus ({n} benchmarks)");
+            std::process::exit(2);
+        }
+        // Phase 1: the corpus as it stood before the last `append`
+        // benchmarks arrived. Collection is per-benchmark seeded, so a
+        // truncated clone is bit-identical to having measured the
+        // smaller corpus directly. Faults are armed only for the full
+        // pass — they address cells of the run under test.
+        let mut base = primary.clone();
+        base.benchmarks.truncate(n - append);
+        let base_secondary = secondary.as_ref().map(|s| {
+            let mut s = s.clone();
+            s.benchmarks.truncate(n - append);
+            s
+        });
+        println!(
+            "[append] phase 1/2: base corpus, {} of {n} benchmarks",
+            n - append
+        );
+        let seeded = run_grid(&base, base_secondary.as_ref(), FaultPlan::none());
+        println!(
+            "[append] fold cache seeded: {} fold(s) scored across {} cell(s)",
+            seeded.fold_stats.misses + seeded.fold_stats.deltas,
+            seeded.misses,
+        );
+        println!("[append] phase 2/2: full corpus, +{append} benchmark(s)");
+    }
+    let report = run_grid(primary, secondary.as_ref(), faults);
 
     // Summary table in grid order (healthy + degraded cells) + CSV.
     println!();
@@ -1137,6 +1187,13 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
             "cache: disabled — {} cells computed (fingerprint {:016x})",
             report.misses, report.fingerprint,
         ),
+    }
+    let f = &report.fold_stats;
+    if f.total() > 0 {
+        println!(
+            "fold cache: {} exact hit(s), {} delta-verified, {} recomputed",
+            f.hits, f.deltas, f.misses,
+        );
     }
     let ok = print_failure_summary(&report);
     println!("total: {:.1?}", started.elapsed());

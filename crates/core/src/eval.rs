@@ -20,6 +20,7 @@ use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkId, Corpus};
 
 use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
+use crate::repr::DistributionRepr;
 use crate::usecase1::FewRunsConfig;
 use crate::usecase2::CrossSystemConfig;
 
@@ -94,6 +95,70 @@ pub fn evaluate_few_runs(corpus: &Corpus, cfg: FewRunsConfig) -> Result<EvalSumm
     evaluate_few_runs_encoded(&enc, cfg)
 }
 
+/// The [`FoldRunner`] a use-case-1 evaluation uses (shared with the
+/// incremental layer so both paths are one code path, not two copies
+/// that could drift).
+pub(crate) fn few_runs_runner<'r>(
+    n_folds: usize,
+    cfg: &FewRunsConfig,
+    repr: &'r dyn DistributionRepr,
+) -> FoldRunner<'r> {
+    FoldRunner {
+        n_folds,
+        seed: cfg.seed,
+        seed_mode: SeedMode::PerFold,
+        standardize: cfg.model.wants_standardization(),
+        n_samples: RECONSTRUCTION_SAMPLES,
+        repr,
+    }
+}
+
+/// The fold-assembly closure of use case 1: `windows` profile rows per
+/// included benchmark, all mapping to the benchmark's target encoding.
+///
+/// Row order is include-rank-major (`rank × windows + w`), so when the
+/// corpus grows, surviving rows keep their positions and only new rows
+/// append — the property the kNN delta path in
+/// [`crate::incremental`] relies on.
+pub(crate) fn few_runs_assemble<'a, 'c>(
+    enc: &'a EncodedCorpus<'c>,
+    cfg: FewRunsConfig,
+) -> impl Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync + 'a {
+    let s = cfg.n_profile_runs;
+    let windows = cfg.profiles_per_benchmark.max(1);
+    move |held, include| {
+        let mut x_rows = Vec::with_capacity(include.len() * windows);
+        let mut y_rows = Vec::with_capacity(include.len() * windows);
+        let mut groups = Vec::with_capacity(include.len() * windows);
+        for &bi in include {
+            let target = enc.target(cfg.repr, bi)?;
+            for w in 0..windows {
+                x_rows.push(enc.profile(s, bi, w)?);
+                y_rows.push(target);
+                groups.push(bi);
+            }
+        }
+        Ok(FoldPlan {
+            x_rows,
+            y_rows,
+            groups,
+            query: enc.profile(s, held, 0)?.to_vec(),
+        })
+    }
+}
+
+/// The fold-truth closure of use case 1: score against the held-out
+/// benchmark's measured relative times.
+pub(crate) fn few_runs_truth<'a, 'c>(
+    enc: &'a EncodedCorpus<'c>,
+) -> impl Fn(usize) -> FoldTruth<'a> + Send + Sync + 'a {
+    let corpus = enc.corpus();
+    move |held| FoldTruth {
+        id: corpus.benchmarks[held].id,
+        rel: enc.rel_times(held),
+    }
+}
+
 /// [`evaluate_few_runs`] on a prebuilt cache.
 ///
 /// Bit-identical to the uncached function for the same corpus, config and
@@ -112,43 +177,12 @@ pub fn evaluate_few_runs_encoded(
         model = cfg.model.name(),
         s = cfg.n_profile_runs,
     );
-    let s = cfg.n_profile_runs;
-    let windows = cfg.profiles_per_benchmark.max(1);
-    let corpus = enc.corpus();
     let repr = cfg.repr.build();
-    let runner = FoldRunner {
-        n_folds: enc.len(),
-        seed: cfg.seed,
-        seed_mode: SeedMode::PerFold,
-        standardize: cfg.model.wants_standardization(),
-        n_samples: RECONSTRUCTION_SAMPLES,
-        repr: repr.as_ref(),
-    };
+    let runner = few_runs_runner(enc.len(), &cfg, repr.as_ref());
     runner.run(
         |fold_seed| cfg.model.build(fold_seed),
-        |held, include| {
-            let mut x_rows = Vec::with_capacity(include.len() * windows);
-            let mut y_rows = Vec::with_capacity(include.len() * windows);
-            let mut groups = Vec::with_capacity(include.len() * windows);
-            for &bi in include {
-                let target = enc.target(cfg.repr, bi)?;
-                for w in 0..windows {
-                    x_rows.push(enc.profile(s, bi, w)?);
-                    y_rows.push(target);
-                    groups.push(bi);
-                }
-            }
-            Ok(FoldPlan {
-                x_rows,
-                y_rows,
-                groups,
-                query: enc.profile(s, held, 0)?.to_vec(),
-            })
-        },
-        |held| FoldTruth {
-            id: corpus.benchmarks[held].id,
-            rel: enc.rel_times(held),
-        },
+        few_runs_assemble(enc, cfg),
+        few_runs_truth(enc),
     )
 }
 
@@ -176,27 +210,12 @@ pub fn evaluate_cross_system(
     evaluate_cross_system_encoded(&src_enc, &dst_enc, cfg)
 }
 
-/// [`evaluate_cross_system`] on prebuilt caches.
-///
-/// Bit-identical to the uncached function for the same corpora, config
-/// and seed; the caches must cover [`cross_system_specs`].
-///
-/// # Errors
-/// Fails on mismatched corpora, missing cache entries, plus anything
-/// [`evaluate_cross_system`] can fail with.
-pub fn evaluate_cross_system_encoded(
-    src: &EncodedCorpus,
-    dst: &EncodedCorpus,
-    cfg: CrossSystemConfig,
-) -> Result<EvalSummary, StatsError> {
-    let _span = pv_obs::span!(
-        "pv.core.eval.cross_system",
-        repr = cfg.repr.name(),
-        model = cfg.model.name(),
-        s = cfg.profile_runs,
-    );
-    let src_corpus = src.corpus();
-    let dst_corpus = dst.corpus();
+/// Validates a use-case-2 corpus pair: aligned rosters on two distinct
+/// systems.
+pub(crate) fn validate_cross_system_pair(
+    src_corpus: &Corpus,
+    dst_corpus: &Corpus,
+) -> Result<(), StatsError> {
     if src_corpus.len() != dst_corpus.len() {
         return Err(StatsError::invalid(
             "evaluate_cross_system",
@@ -217,38 +236,92 @@ pub fn evaluate_cross_system_encoded(
             ));
         }
     }
-    let s_eff = cfg.profile_runs.min(src_corpus.n_runs).max(1);
-    let repr = cfg.repr.build();
-    let runner = FoldRunner {
-        n_folds: src.len(),
+    Ok(())
+}
+
+/// The [`FoldRunner`] a use-case-2 evaluation uses.
+pub(crate) fn cross_system_runner<'r>(
+    n_folds: usize,
+    cfg: &CrossSystemConfig,
+    repr: &'r dyn DistributionRepr,
+) -> FoldRunner<'r> {
+    FoldRunner {
+        n_folds,
         seed: cfg.seed,
         seed_mode: SeedMode::PerFold,
         standardize: cfg.model.wants_standardization(),
         n_samples: RECONSTRUCTION_SAMPLES,
-        repr: repr.as_ref(),
-    };
+        repr,
+    }
+}
+
+/// The fold-assembly closure of use case 2: one joined source row per
+/// included benchmark mapping to its destination target encoding.
+///
+/// Row order is include-rank order, so corpus growth appends rows
+/// without moving survivors (see [`few_runs_assemble`]).
+pub(crate) fn cross_system_assemble<'a, 'c>(
+    src: &'a EncodedCorpus<'c>,
+    dst: &'a EncodedCorpus<'c>,
+    cfg: CrossSystemConfig,
+) -> impl Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync + 'a {
+    let s_eff = cfg.profile_runs.min(src.corpus().n_runs).max(1);
+    move |held, include| {
+        let mut x_rows = Vec::with_capacity(include.len());
+        let mut y_rows = Vec::with_capacity(include.len());
+        let mut groups = Vec::with_capacity(include.len());
+        for &bi in include {
+            x_rows.push(src.joined(s_eff, cfg.repr, bi)?);
+            y_rows.push(dst.target(cfg.repr, bi)?);
+            groups.push(bi);
+        }
+        Ok(FoldPlan {
+            x_rows,
+            y_rows,
+            groups,
+            query: src.joined(s_eff, cfg.repr, held)?.to_vec(),
+        })
+    }
+}
+
+/// The fold-truth closure of use case 2: score against the held-out
+/// benchmark's measured relative times on the *destination* system.
+pub(crate) fn cross_system_truth<'a, 'c>(
+    dst: &'a EncodedCorpus<'c>,
+) -> impl Fn(usize) -> FoldTruth<'a> + Send + Sync + 'a {
+    let dst_corpus = dst.corpus();
+    move |held| FoldTruth {
+        id: dst_corpus.benchmarks[held].id,
+        rel: dst.rel_times(held),
+    }
+}
+
+/// [`evaluate_cross_system`] on prebuilt caches.
+///
+/// Bit-identical to the uncached function for the same corpora, config
+/// and seed; the caches must cover [`cross_system_specs`].
+///
+/// # Errors
+/// Fails on mismatched corpora, missing cache entries, plus anything
+/// [`evaluate_cross_system`] can fail with.
+pub fn evaluate_cross_system_encoded(
+    src: &EncodedCorpus,
+    dst: &EncodedCorpus,
+    cfg: CrossSystemConfig,
+) -> Result<EvalSummary, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.cross_system",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.profile_runs,
+    );
+    validate_cross_system_pair(src.corpus(), dst.corpus())?;
+    let repr = cfg.repr.build();
+    let runner = cross_system_runner(src.len(), &cfg, repr.as_ref());
     runner.run(
         |fold_seed| cfg.model.build(fold_seed),
-        |held, include| {
-            let mut x_rows = Vec::with_capacity(include.len());
-            let mut y_rows = Vec::with_capacity(include.len());
-            let mut groups = Vec::with_capacity(include.len());
-            for &bi in include {
-                x_rows.push(src.joined(s_eff, cfg.repr, bi)?);
-                y_rows.push(dst.target(cfg.repr, bi)?);
-                groups.push(bi);
-            }
-            Ok(FoldPlan {
-                x_rows,
-                y_rows,
-                groups,
-                query: src.joined(s_eff, cfg.repr, held)?.to_vec(),
-            })
-        },
-        |held| FoldTruth {
-            id: dst_corpus.benchmarks[held].id,
-            rel: dst.rel_times(held),
-        },
+        cross_system_assemble(src, dst, cfg),
+        cross_system_truth(dst),
     )
 }
 

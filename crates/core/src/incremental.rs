@@ -1,0 +1,658 @@
+//! Incremental fold-level evaluation: per-fold score cache with
+//! corpus-append delta recompute.
+//!
+//! A LOGO evaluation is a set of independent folds, and each fold's score
+//! is a pure function of (config, held-out benchmark, ordered training
+//! set). This module keys every fold by a **fold fingerprint** — FNV-1a
+//! over the config's canonical JSON, the held-out benchmark's content
+//! digest, and the *ordered* per-benchmark digests of its training set
+//! (order matters: [`pv_ml::StandardScaler`] accumulates moments in row
+//! order, so permuted training sets are not bit-identical) — and reuses
+//! cached [`FoldEntry`]s whenever the fingerprint proves nothing the fold
+//! can observe has changed.
+//!
+//! When a corpus *grows* (benchmarks appended to the roster), every old
+//! fold's training set changes, so exact fingerprint hits never fire on
+//! an append. For uniform-weight kNN there is a cheaper truth: the
+//! prediction is the mean of the neighbours' unscaled target rows,
+//! accumulated in ascending row order — a pure function of the
+//! neighbour *set*. If the held-out query's k-set survives the append
+//! (standardization shifts every distance and near-ties swap ranks, but
+//! membership only changes when the new rows actually enter the
+//! neighbourhood — expected rate ≈ k/n per appended benchmark), the
+//! prediction — and the decode and KS score behind it, which dominate
+//! fold cost — is bit-identical. The **delta path** prepares the fold
+//! (cheap: row assembly + scaling), fits the kNN (cheap: it just stores
+//! rows), recomputes the canonical neighbour set, and reuses the cached
+//! score on an exact match; any mismatch falls through to a full
+//! recompute. Soundness rests on three pinned properties:
+//!
+//! * `ModelKind::neighbor_delta_model` is exactly what `build` runs for
+//!   kNN (uniform weights, k = 15, cosine), and uniform-kNN accumulates
+//!   its mean in ascending row order, so the neighbour set fully
+//!   determines the prediction bit-for-bit.
+//! * Fold assembly is include-rank-major, so surviving rows keep their
+//!   matrix positions when the roster grows and cached `u32` row indices
+//!   stay comparable.
+//! * kNN neighbour *selection* is canonical — `(distance, row index)`
+//!   under `total_cmp` — so the k-set is deterministic, not a
+//!   `select_nth` accident, and `neighbor_indices` reports it sorted
+//!   ascending.
+//!
+//! Every cached entry carries an integrity digest over its own fields; a
+//! tampered or torn entry fails [`FoldEntry::verify`] and is recomputed,
+//! never trusted (mirroring the sweep cell cache's verified loads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use pv_ml::{KnnRegressor, Regressor};
+use pv_stats::fingerprint::Fnv1a;
+use pv_stats::StatsError;
+
+use crate::eval::{
+    cross_system_assemble, cross_system_runner, cross_system_truth, few_runs_assemble,
+    few_runs_runner, few_runs_truth, validate_cross_system_pair, BenchScore, EvalSummary,
+};
+use crate::pipeline::{EncodedCorpus, FoldPlan, FoldRunner, FoldTruth};
+use crate::usecase1::FewRunsConfig;
+use crate::usecase2::CrossSystemConfig;
+
+/// Domain tag of the fold fingerprint; bump to orphan all cached folds
+/// on any change to fold evaluation semantics.
+const FOLD_FP_TAG: &str = "pv-fold-v1";
+
+/// The fold fingerprint: everything fold `held_index`'s score is a
+/// function of, hashed bit-exactly.
+///
+/// `config_json` is the canonical serde_json form of the evaluation
+/// config (repr, model, sample count, windows, seed); `held_fp` is the
+/// held-out benchmark's content digest; `train_fps` are the training
+/// benchmarks' digests **in training order**.
+pub fn fold_fingerprint(
+    config_json: &str,
+    held_index: usize,
+    held_fp: u64,
+    train_fps: &[u64],
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(FOLD_FP_TAG);
+    h.write_str(config_json);
+    h.write_usize(held_index);
+    h.write_u64(held_fp);
+    h.write_usize(train_fps.len());
+    for &fp in train_fps {
+        h.write_u64(fp);
+    }
+    h.finish()
+}
+
+/// One cached fold: its fingerprint inputs, its score, and (for kNN) the
+/// held-out query's canonical ordered neighbour list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldEntry {
+    /// Fold index (= held-out benchmark's roster index).
+    pub held_index: usize,
+    /// Content digest of the held-out benchmark.
+    pub held_fp: u64,
+    /// Content digests of the training benchmarks, training order.
+    pub train_fps: Vec<u64>,
+    /// The fold fingerprint ([`fold_fingerprint`] over the above plus
+    /// the config).
+    pub fold_fp: u64,
+    /// The fold's KS score.
+    pub score: BenchScore,
+    /// The held-out query's neighbour row indices, ascending (`Some`
+    /// only for neighbour-delta-eligible models, i.e. kNN).
+    pub neighbors: Option<Vec<u32>>,
+    /// Integrity digest over every field above; entries that fail
+    /// [`FoldEntry::verify`] are recomputed, not trusted.
+    pub check: u64,
+}
+
+impl FoldEntry {
+    fn integrity(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("pv-fold-entry-v1");
+        h.write_usize(self.held_index);
+        h.write_u64(self.held_fp);
+        h.write_usize(self.train_fps.len());
+        for &fp in &self.train_fps {
+            h.write_u64(fp);
+        }
+        h.write_u64(self.fold_fp);
+        h.write_str(&self.score.id.qualified());
+        h.write_f64(self.score.ks);
+        match &self.neighbors {
+            None => h.write_usize(0),
+            Some(n) => {
+                h.write_usize(1);
+                h.write_usize(n.len());
+                for &i in n {
+                    h.write_u64(i as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Seals the entry: stamps the integrity digest.
+    fn sealed(mut self) -> Self {
+        self.check = self.integrity();
+        self
+    }
+
+    /// Whether the entry's integrity digest matches its content.
+    pub fn verify(&self) -> bool {
+        self.check == self.integrity()
+    }
+}
+
+/// Per-fold cache tallies of one incremental evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldCacheStats {
+    /// Folds reused on an exact fold-fingerprint match.
+    pub hits: usize,
+    /// Folds reused after a verified kNN neighbour-delta check.
+    pub deltas: usize,
+    /// Folds recomputed in full.
+    pub misses: usize,
+}
+
+impl FoldCacheStats {
+    /// Total folds the evaluation covered.
+    pub fn total(&self) -> usize {
+        self.hits + self.deltas + self.misses
+    }
+
+    /// Folds served from cache (exact hits + verified deltas).
+    pub fn reused(&self) -> usize {
+        self.hits + self.deltas
+    }
+
+    /// Element-wise sum (for aggregating across sweep cells).
+    pub fn add(&mut self, other: &FoldCacheStats) {
+        self.hits += other.hits;
+        self.deltas += other.deltas;
+        self.misses += other.misses;
+    }
+}
+
+/// An incremental evaluation's full result: the summary (bit-identical
+/// to a cold run), the fold entries to persist for the next run, and
+/// the hit/delta/miss tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalEval {
+    /// The aggregate, bit-identical to the non-incremental evaluation.
+    pub summary: EvalSummary,
+    /// Per-fold entries (fold order) for the next run's `prior`.
+    pub folds: Vec<FoldEntry>,
+    /// How the folds were served.
+    pub stats: FoldCacheStats,
+}
+
+/// Whether `old` is a strict prefix of `new` — the training-set shape a
+/// pure corpus append produces for every surviving fold.
+fn is_strict_prefix(old: &[u64], new: &[u64]) -> bool {
+    old.len() < new.len() && new[..old.len()] == *old
+}
+
+/// The generic incremental fold loop shared by both use cases.
+///
+/// For each fold: an exact fold-fingerprint match against a verified
+/// prior entry reuses the cached score outright; otherwise, when
+/// `delta_model` is available and the prior entry describes the same
+/// held-out benchmark under this config with a strictly-grown training
+/// set, the fold is prepared and the cached score reused iff the
+/// recomputed canonical neighbour set matches; everything else is a
+/// full recompute. Folds run in parallel; rayon preserves order, and
+/// every reuse is bit-identical by construction, so the summary is
+/// independent of both thread count and cache state.
+/// The cache-side inputs of [`run_folds`]: everything fold identity and
+/// reuse decisions read, as opposed to the evaluation closures.
+struct FoldReuse<'p> {
+    /// Per-benchmark content digests, roster order.
+    bench_fps: &'p [u64],
+    /// Canonical config JSON (hashed into every fold fingerprint).
+    config_json: &'p str,
+    /// The neighbour-delta probe model, when the config's model is
+    /// delta-eligible (kNN).
+    delta_model: Option<KnnRegressor>,
+    /// Fold entries from a previous run (any corpus state).
+    prior: &'p [FoldEntry],
+}
+
+fn run_folds<'a, M, A, T>(
+    runner: &FoldRunner<'_>,
+    build_model: M,
+    assemble: A,
+    truth: T,
+    reuse: FoldReuse<'_>,
+) -> Result<IncrementalEval, StatsError>
+where
+    M: Fn(u64) -> Box<dyn Regressor> + Send + Sync,
+    A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync,
+    T: Fn(usize) -> FoldTruth<'a> + Send + Sync,
+{
+    let FoldReuse {
+        bench_fps,
+        config_json,
+        delta_model,
+        prior,
+    } = reuse;
+    let _span = pv_obs::span!("pv.core.pipeline.logo_eval", folds = runner.n_folds);
+    let hits = AtomicUsize::new(0);
+    let deltas = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+    let folds: Result<Vec<FoldEntry>, StatsError> = (0..runner.n_folds)
+        .into_par_iter()
+        .map(|held| {
+            let _fold_span = pv_obs::span!("pv.core.pipeline.fold", held = held);
+            let held_fp = bench_fps[held];
+            let train_fps: Vec<u64> = (0..runner.n_folds)
+                .filter(|&i| i != held)
+                .map(|i| bench_fps[i])
+                .collect();
+            let fold_fp = fold_fingerprint(config_json, held, held_fp, &train_fps);
+            // Verification at the point of consumption: a prior entry
+            // that fails its integrity digest is simply absent.
+            let cached = prior.iter().find(|e| e.held_index == held && e.verify());
+
+            if let Some(e) = cached {
+                if e.fold_fp == fold_fp {
+                    // Nothing this fold observes has changed.
+                    pv_obs::counter_inc!("pv.core.pipeline.fold_cache.hit");
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FoldEntry {
+                        held_index: held,
+                        held_fp,
+                        train_fps,
+                        fold_fp,
+                        score: e.score,
+                        neighbors: e.neighbors.clone(),
+                        check: 0,
+                    }
+                    .sealed());
+                }
+                // Delta eligibility: the entry must have been produced
+                // under this exact config (its own fold fingerprint must
+                // reproduce from its stored inputs — that pins the
+                // config JSON), describe the same held-out content, and
+                // its training set must be a strict prefix of ours (a
+                // pure append).
+                let same_config_and_held = e.held_fp == held_fp
+                    && fold_fingerprint(config_json, held, e.held_fp, &e.train_fps) == e.fold_fp;
+                if let (Some(knn), Some(old_neighbors), true) = (
+                    &delta_model,
+                    e.neighbors.as_ref(),
+                    same_config_and_held && is_strict_prefix(&e.train_fps, &train_fps),
+                ) {
+                    let prepared = runner.prepare_fold(held, &assemble)?;
+                    let mut knn = knn.clone();
+                    knn.fit(&prepared.data)?;
+                    let neighbors = knn.neighbor_indices(&prepared.query)?;
+                    if &neighbors == old_neighbors {
+                        // Same neighbour set ⇒ same row-ordered mean of
+                        // the same unscaled target rows ⇒ bit-identical
+                        // predict, decode, and KS. Skip all three.
+                        pv_obs::counter_inc!("pv.core.pipeline.fold_cache.delta");
+                        deltas.fetch_add(1, Ordering::Relaxed);
+                        return Ok(FoldEntry {
+                            held_index: held,
+                            held_fp,
+                            train_fps,
+                            fold_fp,
+                            score: e.score,
+                            neighbors: Some(neighbors),
+                            check: 0,
+                        }
+                        .sealed());
+                    }
+                    // The append disturbed the neighbourhood: pay for
+                    // the back half on the already-prepared fold.
+                    pv_obs::counter_inc!("pv.core.pipeline.fold_cache.miss");
+                    misses.fetch_add(1, Ordering::Relaxed);
+                    let score = runner.score_fold(held, &prepared, &build_model, &truth)?;
+                    return Ok(FoldEntry {
+                        held_index: held,
+                        held_fp,
+                        train_fps,
+                        fold_fp,
+                        score,
+                        neighbors: Some(neighbors),
+                        check: 0,
+                    }
+                    .sealed());
+                }
+            }
+
+            // Full recompute; for delta-eligible models also record the
+            // canonical neighbour list so the *next* run can delta.
+            pv_obs::counter_inc!("pv.core.pipeline.fold_cache.miss");
+            misses.fetch_add(1, Ordering::Relaxed);
+            let prepared = runner.prepare_fold(held, &assemble)?;
+            let neighbors = match &delta_model {
+                Some(knn) => {
+                    let mut knn = knn.clone();
+                    knn.fit(&prepared.data)?;
+                    Some(knn.neighbor_indices(&prepared.query)?)
+                }
+                None => None,
+            };
+            let score = runner.score_fold(held, &prepared, &build_model, &truth)?;
+            Ok(FoldEntry {
+                held_index: held,
+                held_fp,
+                train_fps,
+                fold_fp,
+                score,
+                neighbors,
+                check: 0,
+            }
+            .sealed())
+        })
+        .collect();
+    let folds = folds?;
+    let summary = EvalSummary::from_scores(folds.iter().map(|f| f.score).collect())?;
+    Ok(IncrementalEval {
+        summary,
+        folds,
+        stats: FoldCacheStats {
+            hits: hits.load(Ordering::Relaxed),
+            deltas: deltas.load(Ordering::Relaxed),
+            misses: misses.load(Ordering::Relaxed),
+        },
+    })
+}
+
+/// Serializes a config into the canonical JSON the fold fingerprint
+/// hashes.
+fn config_json<C: Serialize>(tag: &str, cfg: &C) -> Result<String, StatsError> {
+    let json = serde_json::to_string(cfg)
+        .map_err(|e| StatsError::invalid("incremental", format!("serialize config: {e}")))?;
+    Ok(format!("{tag}:{json}"))
+}
+
+/// Incremental [`crate::eval::evaluate_few_runs_encoded`]: bit-identical
+/// summary, but folds whose fingerprints (or kNN neighbour lists) match
+/// verified `prior` entries are served from cache.
+///
+/// With an empty `prior` this is a cold run that additionally returns
+/// the fold entries to seed the next one.
+///
+/// # Errors
+/// Everything the non-incremental evaluation can fail with.
+pub fn evaluate_few_runs_incremental(
+    enc: &EncodedCorpus,
+    cfg: FewRunsConfig,
+    prior: &[FoldEntry],
+) -> Result<IncrementalEval, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.few_runs",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.n_profile_runs,
+    );
+    let json = config_json("uc1", &cfg)?;
+    let repr = cfg.repr.build();
+    let runner = few_runs_runner(enc.len(), &cfg, repr.as_ref());
+    run_folds(
+        &runner,
+        |fold_seed| cfg.model.build(fold_seed),
+        few_runs_assemble(enc, cfg),
+        few_runs_truth(enc),
+        FoldReuse {
+            bench_fps: enc.bench_fingerprints(),
+            config_json: &json,
+            delta_model: cfg.model.neighbor_delta_model(),
+            prior,
+        },
+    )
+}
+
+/// Incremental [`crate::eval::evaluate_cross_system_encoded`]; see
+/// [`evaluate_few_runs_incremental`].
+///
+/// Per-fold fingerprints hash the *pair* of source/destination benchmark
+/// digests, so a change on either system invalidates exactly the folds
+/// that observe it.
+///
+/// # Errors
+/// Everything the non-incremental evaluation can fail with.
+pub fn evaluate_cross_system_incremental(
+    src: &EncodedCorpus,
+    dst: &EncodedCorpus,
+    cfg: CrossSystemConfig,
+    prior: &[FoldEntry],
+) -> Result<IncrementalEval, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.cross_system",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.profile_runs,
+    );
+    validate_cross_system_pair(src.corpus(), dst.corpus())?;
+    let json = config_json("uc2", &cfg)?;
+    let bench_fps: Vec<u64> = src
+        .bench_fingerprints()
+        .iter()
+        .zip(dst.bench_fingerprints())
+        .map(|(&s, &d)| {
+            let mut h = Fnv1a::new();
+            h.write_str("pv-bench-pair");
+            h.write_u64(s);
+            h.write_u64(d);
+            h.finish()
+        })
+        .collect();
+    let repr = cfg.repr.build();
+    let runner = cross_system_runner(src.len(), &cfg, repr.as_ref());
+    run_folds(
+        &runner,
+        |fold_seed| cfg.model.build(fold_seed),
+        cross_system_assemble(src, dst, cfg),
+        cross_system_truth(dst),
+        FoldReuse {
+            bench_fps: &bench_fps,
+            config_json: &json,
+            delta_model: cfg.model.neighbor_delta_model(),
+            prior,
+        },
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_few_runs_encoded, few_runs_spec};
+    use crate::model::ModelKind;
+    use crate::pipeline::EncodingSpec;
+    use crate::repr::ReprKind;
+    use pv_sysmodel::{Corpus, SystemModel};
+
+    fn corpus(n_runs: usize) -> Corpus {
+        Corpus::collect(&SystemModel::intel(), n_runs, 5)
+    }
+
+    fn truncated(c: &Corpus, drop: usize) -> Corpus {
+        let mut t = c.clone();
+        t.benchmarks.truncate(t.benchmarks.len() - drop);
+        t
+    }
+
+    fn cfg() -> FewRunsConfig {
+        FewRunsConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            n_profile_runs: 5,
+            profiles_per_benchmark: 1,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn cold_incremental_matches_plain_eval_bitwise() {
+        let c = corpus(30);
+        let enc = EncodedCorpus::build(&c, &few_runs_spec(&cfg())).unwrap();
+        let plain = evaluate_few_runs_encoded(&enc, cfg()).unwrap();
+        let inc = evaluate_few_runs_incremental(&enc, cfg(), &[]).unwrap();
+        assert_eq!(inc.summary, plain);
+        assert_eq!(inc.stats.misses, c.len());
+        assert_eq!(inc.stats.reused(), 0);
+        assert_eq!(inc.folds.len(), c.len());
+        assert!(inc.folds.iter().all(|f| f.verify()));
+        assert!(inc.folds.iter().all(|f| f.neighbors.is_some()));
+    }
+
+    #[test]
+    fn same_corpus_rerun_is_all_exact_hits() {
+        let c = corpus(30);
+        let enc = EncodedCorpus::build(&c, &few_runs_spec(&cfg())).unwrap();
+        let cold = evaluate_few_runs_incremental(&enc, cfg(), &[]).unwrap();
+        let warm = evaluate_few_runs_incremental(&enc, cfg(), &cold.folds).unwrap();
+        assert_eq!(warm.summary, cold.summary);
+        assert_eq!(warm.stats.hits, c.len());
+        assert_eq!(warm.stats.misses, 0);
+        assert_eq!(warm.folds, cold.folds);
+    }
+
+    #[test]
+    fn append_reuses_unchanged_folds_and_stays_bit_identical() {
+        let full = corpus(30);
+        let small = truncated(&full, 1);
+        let spec = few_runs_spec(&cfg());
+        let small_enc = EncodedCorpus::build(&small, &spec).unwrap();
+        let prior = evaluate_few_runs_incremental(&small_enc, cfg(), &[]).unwrap();
+
+        let full_enc = EncodedCorpus::build(&full, &spec).unwrap();
+        let warm = evaluate_few_runs_incremental(&full_enc, cfg(), &prior.folds).unwrap();
+        let cold = evaluate_few_runs_encoded(&full_enc, cfg()).unwrap();
+        assert_eq!(warm.summary, cold, "reuse must be bit-identical");
+        // An append changes every surviving fold's training set, so
+        // exact hits cannot fire; reuse comes from the delta path.
+        assert_eq!(warm.stats.hits, 0);
+        assert!(
+            warm.stats.deltas > 0,
+            "expected some neighbour-stable folds: {:?}",
+            warm.stats
+        );
+        // The appended benchmark's own fold has no prior entry.
+        assert!(warm.stats.misses >= 1);
+        assert_eq!(warm.stats.total(), full.len());
+    }
+
+    #[test]
+    fn append_result_is_thread_count_independent() {
+        let full = corpus(30);
+        let small = truncated(&full, 1);
+        let spec = few_runs_spec(&cfg());
+        let small_enc = EncodedCorpus::build(&small, &spec).unwrap();
+        let prior = evaluate_few_runs_incremental(&small_enc, cfg(), &[]).unwrap();
+        let full_enc = EncodedCorpus::build(&full, &spec).unwrap();
+        let baseline = evaluate_few_runs_incremental(&full_enc, cfg(), &prior.folds).unwrap();
+        for n in [1, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
+            let under = pool
+                .install(|| evaluate_few_runs_incremental(&full_enc, cfg(), &prior.folds))
+                .unwrap();
+            assert_eq!(baseline.summary, under.summary, "{n} threads");
+            assert_eq!(baseline.stats, under.stats, "{n} threads");
+            assert_eq!(baseline.folds, under.folds, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn tampered_prior_entry_is_recomputed_not_trusted() {
+        let c = corpus(30);
+        let enc = EncodedCorpus::build(&c, &few_runs_spec(&cfg())).unwrap();
+        let cold = evaluate_few_runs_incremental(&enc, cfg(), &[]).unwrap();
+        let mut vandalized = cold.folds.clone();
+        // A lying score with a stale integrity digest…
+        vandalized[3].score.ks += 0.25;
+        // …and one where the attacker also "fixed" nothing else.
+        vandalized[7].fold_fp ^= 1;
+        let warm = evaluate_few_runs_incremental(&enc, cfg(), &vandalized).unwrap();
+        // Both tampered folds fail verification and recompute; the
+        // summary still comes out bit-identical to the cold run.
+        assert_eq!(warm.summary, cold.summary);
+        assert_eq!(warm.stats.hits, c.len() - 2);
+        assert_eq!(warm.stats.misses, 2);
+    }
+
+    #[test]
+    fn config_change_invalidates_every_fold() {
+        let c = corpus(30);
+        let spec = EncodingSpec::new()
+            .profiles(5, 1)
+            .target(ReprKind::PearsonRnd)
+            .target(ReprKind::Histogram);
+        let enc = EncodedCorpus::build(&c, &spec).unwrap();
+        let cold = evaluate_few_runs_incremental(&enc, cfg(), &[]).unwrap();
+        let other = FewRunsConfig {
+            repr: ReprKind::Histogram,
+            ..cfg()
+        };
+        let cross = evaluate_few_runs_incremental(&enc, other, &cold.folds).unwrap();
+        // Same corpus, different config: no hit, no delta (the prior
+        // entries' fingerprints don't reproduce under this config).
+        assert_eq!(cross.stats.reused(), 0);
+        assert_eq!(cross.stats.misses, c.len());
+    }
+
+    #[test]
+    fn non_knn_models_never_take_the_delta_path() {
+        let full = corpus(20);
+        let small = truncated(&full, 1);
+        let rf = FewRunsConfig {
+            model: ModelKind::RandomForest,
+            ..cfg()
+        };
+        let spec = few_runs_spec(&rf);
+        let small_enc = EncodedCorpus::build(&small, &spec).unwrap();
+        let prior = evaluate_few_runs_incremental(&small_enc, rf, &[]).unwrap();
+        assert!(prior.folds.iter().all(|f| f.neighbors.is_none()));
+        let full_enc = EncodedCorpus::build(&full, &spec).unwrap();
+        let warm = evaluate_few_runs_incremental(&full_enc, rf, &prior.folds).unwrap();
+        assert_eq!(warm.stats.reused(), 0);
+        assert_eq!(warm.stats.misses, full.len());
+        // And it still matches the cold evaluation bitwise.
+        let cold = evaluate_few_runs_encoded(&full_enc, rf).unwrap();
+        assert_eq!(warm.summary, cold);
+    }
+
+    #[test]
+    fn cross_system_incremental_matches_and_caches() {
+        let amd = Corpus::collect(&SystemModel::amd(), 30, 5);
+        let intel = corpus(30);
+        let uc2 = CrossSystemConfig {
+            repr: ReprKind::PearsonRnd,
+            model: ModelKind::Knn,
+            profile_runs: 15,
+            seed: 4,
+        };
+        let (src_spec, dst_spec) = crate::eval::cross_system_specs(&amd, &uc2);
+        let src = EncodedCorpus::build(&amd, &src_spec).unwrap();
+        let dst = EncodedCorpus::build(&intel, &dst_spec).unwrap();
+        let cold = evaluate_cross_system_incremental(&src, &dst, uc2, &[]).unwrap();
+        let plain = crate::eval::evaluate_cross_system_encoded(&src, &dst, uc2).unwrap();
+        assert_eq!(cold.summary, plain);
+        let warm = evaluate_cross_system_incremental(&src, &dst, uc2, &cold.folds).unwrap();
+        assert_eq!(warm.stats.hits, amd.len());
+        assert_eq!(warm.summary, plain);
+    }
+
+    #[test]
+    fn strict_prefix_detection() {
+        assert!(is_strict_prefix(&[1, 2], &[1, 2, 3]));
+        assert!(!is_strict_prefix(&[1, 2], &[1, 2]));
+        assert!(!is_strict_prefix(&[1, 3], &[1, 2, 3]));
+        assert!(!is_strict_prefix(&[1, 2, 3], &[1, 2]));
+        assert!(is_strict_prefix(&[], &[9]));
+    }
+}

@@ -18,6 +18,7 @@
 //! | III-A2 cross-system prediction | [`usecase2`] |
 //! | IV-E / V KS-scored leave-one-group-out evaluation | [`eval`] |
 //! | shared encode-once cache + LOGO fold runner | [`pipeline`] |
+//! | incremental fold-level evaluation (per-fold score cache + append delta) | [`incremental`] |
 //! | config-grid sweep service with cached cells | [`sweep`] |
 //! | fault tolerance: error taxonomy, retries, quarantine, fault injection | [`resilience`] |
 //! | figure/table rendering | [`report`] |
@@ -54,6 +55,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod eval;
+pub mod incremental;
 pub mod model;
 pub mod pipeline;
 pub mod profile;
@@ -72,9 +74,14 @@ pub use eval::{
     evaluate_cross_system, evaluate_cross_system_encoded, evaluate_few_runs,
     evaluate_few_runs_encoded, BenchScore, EvalSummary,
 };
+pub use incremental::{
+    evaluate_cross_system_incremental, evaluate_few_runs_incremental, fold_fingerprint,
+    FoldCacheStats, FoldEntry, IncrementalEval,
+};
 pub use model::ModelKind;
 pub use pipeline::{
-    corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode,
+    bench_fingerprints, corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner,
+    FoldTruth, PreparedFold, SeedMode,
 };
 pub use profile::Profile;
 pub use repr::{DistributionRepr, ReprKind};

@@ -48,6 +48,26 @@ impl ModelKind {
         }
     }
 
+    /// The concrete kNN instance whose prediction is a pure function of
+    /// its neighbour *set* (uniform weights — the mean of the
+    /// neighbours' unscaled target rows, accumulated in ascending row
+    /// order), or `None` for models whose predictions depend on more
+    /// than neighbour identity.
+    ///
+    /// This is what makes the incremental fold cache's delta path sound
+    /// (see [`crate::incremental`]): when a corpus grows, every fold's
+    /// standardization — and hence every distance — changes, but if the
+    /// held-out query's neighbour set is unchanged, a uniform-weight
+    /// kNN prediction (and everything downstream of it) is
+    /// bit-identical. Must instantiate exactly what [`Self::build`]
+    /// builds for [`ModelKind::Knn`]; a unit test pins the two together.
+    pub fn neighbor_delta_model(&self) -> Option<KnnRegressor> {
+        match self {
+            ModelKind::Knn => Some(KnnRegressor::new(15).with_distance(Distance::Cosine)),
+            ModelKind::RandomForest | ModelKind::XgBoost => None,
+        }
+    }
+
     /// Instantiates an unfitted model with the evaluation
     /// hyper-parameters. `seed` drives any internal randomness (bagging,
     /// feature subsampling); kNN ignores it.
@@ -134,6 +154,23 @@ mod tests {
         }
         assert_eq!("rf".parse::<ModelKind>().unwrap(), ModelKind::RandomForest);
         assert!("perceptron".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn neighbor_delta_model_matches_build() {
+        // The delta-path kNN must be the exact model `build` runs, or the
+        // incremental cache would verify one model and reuse another's
+        // score.
+        let data = tiny_dataset();
+        let mut built = ModelKind::Knn.build(7);
+        built.fit(&data).unwrap();
+        let mut delta = ModelKind::Knn.neighbor_delta_model().unwrap();
+        delta.fit(&data).unwrap();
+        let q = [0.4, 0.6];
+        assert_eq!(built.predict(&q).unwrap(), delta.predict(&q).unwrap());
+        // Only kNN is neighbour-delta eligible.
+        assert!(ModelKind::RandomForest.neighbor_delta_model().is_none());
+        assert!(ModelKind::XgBoost.neighbor_delta_model().is_none());
     }
 
     #[test]

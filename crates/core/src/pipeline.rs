@@ -29,11 +29,54 @@ use pv_stats::fingerprint::Fnv1a;
 use pv_stats::ks::ks2_statistic;
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
-use pv_sysmodel::{BenchmarkId, Corpus, RunSet};
+use pv_sysmodel::{BenchmarkData, BenchmarkId, Corpus, RunSet};
 
 use crate::eval::{BenchScore, EvalSummary};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
+
+/// Per-benchmark content fingerprints of a corpus, roster order.
+///
+/// Each digest covers one benchmark's identity and every run's times and
+/// metric readings, floats as IEEE-754 bit patterns. These are the exact
+/// digests [`corpus_fingerprint`] folds together, exposed separately so
+/// the incremental fold cache (see [`crate::incremental`]) can fingerprint
+/// a fold's training set as the ordered list of its benchmarks' digests.
+///
+/// Hashing runs in parallel over benchmarks; rayon preserves order.
+pub fn bench_fingerprints(corpus: &Corpus) -> Vec<u64> {
+    (0..corpus.benchmarks.len())
+        .into_par_iter()
+        .map(|bi| bench_digest(&corpus.benchmarks[bi]))
+        .collect()
+}
+
+/// One benchmark's content digest (identity + every run, bit-exact).
+fn bench_digest(b: &BenchmarkData) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(&b.id.qualified());
+    h.write_usize(b.runs.records.len());
+    for r in &b.runs.records {
+        h.write_f64(r.time_s);
+        h.write_f64(r.rel_time);
+        h.write_f64s(&r.metrics);
+    }
+    h.finish()
+}
+
+/// Folds per-benchmark digests into the corpus fingerprint.
+fn fold_corpus_digest(corpus: &Corpus, per_bench: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("pv-corpus-v1");
+    h.write_str(corpus.system.short_name());
+    h.write_usize(corpus.n_runs);
+    h.write_u64(corpus.seed);
+    h.write_usize(per_bench.len());
+    for &d in per_bench {
+        h.write_u64(d);
+    }
+    h.finish()
+}
 
 /// Stable content fingerprint of a corpus.
 ///
@@ -47,31 +90,7 @@ use crate::repr::{DistributionRepr, ReprKind};
 /// The per-benchmark hashing runs in parallel; benchmark digests are
 /// folded in roster order, so the result is thread-count independent.
 pub fn corpus_fingerprint(corpus: &Corpus) -> u64 {
-    let per_bench: Vec<u64> = (0..corpus.benchmarks.len())
-        .into_par_iter()
-        .map(|bi| {
-            let b = &corpus.benchmarks[bi];
-            let mut h = Fnv1a::new();
-            h.write_str(&b.id.qualified());
-            h.write_usize(b.runs.records.len());
-            for r in &b.runs.records {
-                h.write_f64(r.time_s);
-                h.write_f64(r.rel_time);
-                h.write_f64s(&r.metrics);
-            }
-            h.finish()
-        })
-        .collect();
-    let mut h = Fnv1a::new();
-    h.write_str("pv-corpus-v1");
-    h.write_str(corpus.system.short_name());
-    h.write_usize(corpus.n_runs);
-    h.write_u64(corpus.seed);
-    h.write_usize(per_bench.len());
-    for d in per_bench {
-        h.write_u64(d);
-    }
-    h.finish()
+    fold_corpus_digest(corpus, &bench_fingerprints(corpus))
 }
 
 /// What to precompute when building an [`EncodedCorpus`].
@@ -167,6 +186,11 @@ pub struct EncodedCorpus<'c> {
     targets: Vec<(ReprKind, BenchRows)>,
     /// `(s, repr)` → per-benchmark joined row (profile ⊕ encoding).
     joined: Vec<((usize, ReprKind), BenchRows)>,
+    /// Per-benchmark content digests, roster order. Hashing every run of
+    /// every benchmark is the single most expensive step of an
+    /// incremental evaluation (FNV-1a is byte-serial), so it happens once
+    /// here — inside the parallel per-benchmark pass — not per eval call.
+    bench_fps: Vec<u64>,
 }
 
 impl<'c> EncodedCorpus<'c> {
@@ -224,6 +248,7 @@ impl<'c> EncodedCorpus<'c> {
             rel: Vec<f64>,
             profiles: Vec<Vec<Vec<f64>>>,
             targets: Vec<Vec<f64>>,
+            fp: u64,
         }
         let n = corpus.len();
         let per_bench: Result<Vec<BenchEnc>, StatsError> = (0..n)
@@ -254,6 +279,7 @@ impl<'c> EncodedCorpus<'c> {
                     rel,
                     profiles,
                     targets,
+                    fp: bench_digest(bench),
                 })
             })
             .collect();
@@ -261,6 +287,7 @@ impl<'c> EncodedCorpus<'c> {
 
         // Transpose bench-major results into key-major storage.
         let mut rel = Vec::with_capacity(n);
+        let mut bench_fps = Vec::with_capacity(n);
         let mut profiles: Vec<(usize, Vec<Vec<Vec<f64>>>)> = window_specs
             .iter()
             .map(|&(s, _)| (s, Vec::with_capacity(n)))
@@ -269,6 +296,7 @@ impl<'c> EncodedCorpus<'c> {
             kinds.iter().map(|&k| (k, Vec::with_capacity(n))).collect();
         for be in per_bench {
             rel.push(be.rel);
+            bench_fps.push(be.fp);
             for (slot, p) in profiles.iter_mut().zip(be.profiles) {
                 slot.1.push(p);
             }
@@ -283,6 +311,7 @@ impl<'c> EncodedCorpus<'c> {
             profiles,
             targets,
             joined: Vec::new(),
+            bench_fps,
         };
         for &(s, kind) in &spec.joined {
             if enc.joined.iter().any(|(key, _)| *key == (s, kind)) {
@@ -303,6 +332,18 @@ impl<'c> EncodedCorpus<'c> {
     /// The underlying corpus.
     pub fn corpus(&self) -> &'c Corpus {
         self.corpus
+    }
+
+    /// Cached per-benchmark content digests, roster order — the same
+    /// values [`bench_fingerprints`] computes, hashed once at build time.
+    pub fn bench_fingerprints(&self) -> &[u64] {
+        &self.bench_fps
+    }
+
+    /// Cached corpus fingerprint — equals [`corpus_fingerprint`] on the
+    /// underlying corpus without re-hashing every run.
+    pub fn fingerprint(&self) -> u64 {
+        fold_corpus_digest(self.corpus, &self.bench_fps)
     }
 
     /// Number of benchmarks.
@@ -449,7 +490,142 @@ pub struct FoldRunner<'r> {
     pub repr: &'r dyn DistributionRepr,
 }
 
+/// One fold's training data, materialized and (optionally) standardized,
+/// plus the transformed query row — everything that happens before a
+/// model enters the picture.
+///
+/// Produced by [`FoldRunner::prepare_fold`]; consumed by
+/// [`FoldRunner::score_fold`]. The incremental layer
+/// (see [`crate::incremental`]) splits the fold here: it prepares a fold,
+/// probes the cheap delta check against a cached fold entry, and only
+/// pays for fit + decode + KS when the check fails.
+pub struct PreparedFold {
+    /// The fold's training set (scaled when the runner standardizes).
+    pub data: Dataset,
+    /// The held-out query row, transformed like the training rows.
+    pub query: Vec<f64>,
+    /// The fold's derived seed (see [`SeedMode`]).
+    pub fold_seed: u64,
+}
+
 impl FoldRunner<'_> {
+    /// The seed fold `held` trains and decodes with (see [`SeedMode`]).
+    pub fn fold_seed(&self, held: usize) -> u64 {
+        match self.seed_mode {
+            SeedMode::PerFold => derive_stream(self.seed, held as u64),
+            SeedMode::Shared => self.seed,
+        }
+    }
+
+    /// Assembles and materializes fold `held`: include-set construction,
+    /// row assembly via the caller's closure, optional standardization,
+    /// and query transformation. No model is involved yet.
+    ///
+    /// # Errors
+    /// Propagates assembly failures and rejects degenerate folds (empty
+    /// or mismatched row sets).
+    pub fn prepare_fold<'a, A>(&self, held: usize, assemble: &A) -> Result<PreparedFold, StatsError>
+    where
+        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError>,
+    {
+        let include: Vec<usize> = (0..self.n_folds).filter(|&i| i != held).collect();
+        let fold_seed = self.fold_seed(held);
+        let plan = assemble(held, &include)?;
+        if plan.x_rows.is_empty() || plan.x_rows.len() != plan.y_rows.len() {
+            // Without this, `x_rows[0]` below panics on an empty fold —
+            // e.g. a single-benchmark corpus where the include set is
+            // empty.
+            return Err(StatsError::degenerate(
+                "FoldRunner",
+                format!(
+                    "fold {held} has {} feature rows and {} target rows",
+                    plan.x_rows.len(),
+                    plan.y_rows.len()
+                ),
+            ));
+        }
+        let (scaler, x) = if self.standardize {
+            let mut sc = StandardScaler::new();
+            sc.fit_rows(&plan.x_rows)?;
+            let cols = plan.x_rows[0].len();
+            // One flat allocation, scaled in place: this path runs once
+            // per fold per eval (and again on every incremental delta
+            // check), so per-row temporaries show up in profiles.
+            let mut data = Vec::with_capacity(plan.x_rows.len() * cols);
+            for r in &plan.x_rows {
+                let start = data.len();
+                data.extend_from_slice(r);
+                sc.transform_row(&mut data[start..])?;
+            }
+            (
+                Some(sc),
+                DenseMatrix::from_flat(plan.x_rows.len(), cols, data)?,
+            )
+        } else {
+            (None, DenseMatrix::from_row_refs(&plan.x_rows)?)
+        };
+        let y = DenseMatrix::from_row_refs(&plan.y_rows)?;
+        let data = Dataset::new(x, y, plan.groups)?;
+        let mut query = plan.query;
+        if let Some(sc) = &scaler {
+            sc.transform_row(&mut query)?;
+        }
+        Ok(PreparedFold {
+            data,
+            query,
+            fold_seed,
+        })
+    }
+
+    /// Fits a fresh model on a prepared fold, decodes the prediction, and
+    /// scores it against the truth — the expensive back half of a fold.
+    ///
+    /// # Errors
+    /// Propagates fit/decode/scoring failures.
+    pub fn score_fold<'a, M, T>(
+        &self,
+        held: usize,
+        prepared: &PreparedFold,
+        build_model: &M,
+        truth: &T,
+    ) -> Result<BenchScore, StatsError>
+    where
+        M: Fn(u64) -> Box<dyn Regressor>,
+        T: Fn(usize) -> FoldTruth<'a>,
+    {
+        let mut model = build_model(prepared.fold_seed);
+        model.fit(&prepared.data)?;
+        let predicted_features = model.predict(&prepared.query)?;
+        let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(prepared.fold_seed, held as u64));
+        let predicted = self
+            .repr
+            .decode(&predicted_features, &mut rng, self.n_samples)?;
+        let t = truth(held);
+        let ks = ks2_statistic(&predicted, t.rel)?;
+        Ok(BenchScore { id: t.id, ks })
+    }
+
+    /// Runs one fold end to end: prepare, fit, decode, score.
+    ///
+    /// # Errors
+    /// Propagates assembly/fit/decode/scoring failures.
+    pub fn run_fold<'a, M, A, T>(
+        &self,
+        held: usize,
+        build_model: &M,
+        assemble: &A,
+        truth: &T,
+    ) -> Result<BenchScore, StatsError>
+    where
+        M: Fn(u64) -> Box<dyn Regressor>,
+        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError>,
+        T: Fn(usize) -> FoldTruth<'a>,
+    {
+        let _fold_span = pv_obs::span!("pv.core.pipeline.fold", held = held);
+        let prepared = self.prepare_fold(held, assemble)?;
+        self.score_fold(held, &prepared, build_model, truth)
+    }
+
     /// Runs all folds and aggregates the per-benchmark KS scores.
     ///
     /// `build_model` receives the fold seed; `assemble` receives the
@@ -473,61 +649,7 @@ impl FoldRunner<'_> {
         let _span = pv_obs::span!("pv.core.pipeline.logo_eval", folds = self.n_folds);
         let scores: Result<Vec<BenchScore>, StatsError> = (0..self.n_folds)
             .into_par_iter()
-            .map(|held| {
-                let _fold_span = pv_obs::span!("pv.core.pipeline.fold", held = held);
-                let include: Vec<usize> = (0..self.n_folds).filter(|&i| i != held).collect();
-                let fold_seed = match self.seed_mode {
-                    SeedMode::PerFold => derive_stream(self.seed, held as u64),
-                    SeedMode::Shared => self.seed,
-                };
-                let plan = assemble(held, &include)?;
-                if plan.x_rows.is_empty() || plan.x_rows.len() != plan.y_rows.len() {
-                    // Without this, `x_rows[0]` below panics on an empty
-                    // fold — e.g. a single-benchmark corpus where the
-                    // include set is empty.
-                    return Err(StatsError::degenerate(
-                        "FoldRunner",
-                        format!(
-                            "fold {held} has {} feature rows and {} target rows",
-                            plan.x_rows.len(),
-                            plan.y_rows.len()
-                        ),
-                    ));
-                }
-                let (scaler, x) = if self.standardize {
-                    let mut sc = StandardScaler::new();
-                    sc.fit_rows(&plan.x_rows)?;
-                    let cols = plan.x_rows[0].len();
-                    let mut data = Vec::with_capacity(plan.x_rows.len() * cols);
-                    for r in &plan.x_rows {
-                        let mut row = r.to_vec();
-                        sc.transform_row(&mut row)?;
-                        data.append(&mut row);
-                    }
-                    (
-                        Some(sc),
-                        DenseMatrix::from_flat(plan.x_rows.len(), cols, data)?,
-                    )
-                } else {
-                    (None, DenseMatrix::from_row_refs(&plan.x_rows)?)
-                };
-                let y = DenseMatrix::from_row_refs(&plan.y_rows)?;
-                let data = Dataset::new(x, y, plan.groups)?;
-                let mut model = build_model(fold_seed);
-                model.fit(&data)?;
-                let mut query = plan.query;
-                if let Some(sc) = &scaler {
-                    sc.transform_row(&mut query)?;
-                }
-                let predicted_features = model.predict(&query)?;
-                let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(fold_seed, held as u64));
-                let predicted = self
-                    .repr
-                    .decode(&predicted_features, &mut rng, self.n_samples)?;
-                let t = truth(held);
-                let ks = ks2_statistic(&predicted, t.rel)?;
-                Ok(BenchScore { id: t.id, ks })
-            })
+            .map(|held| self.run_fold(held, &build_model, &assemble, &truth))
             .collect();
         EvalSummary::from_scores(scores?)
     }

@@ -48,12 +48,12 @@ use pv_stats::fingerprint::Fnv1a;
 use pv_stats::StatsError;
 use pv_sysmodel::Corpus;
 
-use crate::eval::{
-    cross_system_specs, evaluate_cross_system_encoded, evaluate_few_runs_encoded, few_runs_spec,
-    EvalSummary,
+use crate::eval::{cross_system_specs, few_runs_spec, EvalSummary};
+use crate::incremental::{
+    evaluate_cross_system_incremental, evaluate_few_runs_incremental, FoldCacheStats, FoldEntry,
 };
 use crate::model::ModelKind;
-use crate::pipeline::{corpus_fingerprint, EncodedCorpus, EncodingSpec};
+use crate::pipeline::{EncodedCorpus, EncodingSpec};
 use crate::repr::ReprKind;
 use crate::resilience::{
     panic_message, retry_seed, validate_summary, CacheLock, FaultKind, FaultPlan, PvError,
@@ -64,8 +64,9 @@ use crate::usecase2::CrossSystemConfig;
 
 /// Version tag baked into every cache entry; bump on any change to the
 /// cell layout or evaluation semantics to orphan old entries.
-/// (v2: entries carry the degraded-fallback marker.)
-const CACHE_VERSION: u32 = 2;
+/// (v2: entries carry the degraded-fallback marker; v3: entries carry
+/// per-fold [`FoldEntry`] scores for the incremental fold cache.)
+const CACHE_VERSION: u32 = 3;
 
 /// How long a sweep waits for the cache directory's advisory lock
 /// before giving up, unless overridden by [`Sweep::with_lock_timeout`].
@@ -77,6 +78,9 @@ pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(60);
 /// missing row is not. Includes the lock/store/quarantine tallies that
 /// were previously visible only when non-zero at exit.
 pub const SWEEP_OBS_COUNTERS: &[&str] = &[
+    "pv.core.pipeline.fold_cache.delta",
+    "pv.core.pipeline.fold_cache.hit",
+    "pv.core.pipeline.fold_cache.miss",
     "pv.core.resilience.fallback",
     "pv.core.resilience.panic_caught",
     "pv.core.resilience.retry",
@@ -338,6 +342,12 @@ struct CachedCell {
     /// marker keeps warm re-runs honest — a degraded cell stays visibly
     /// degraded instead of laundering into a clean hit.
     degraded: Option<PvError>,
+    /// Per-fold score entries (fold order). When the corpus grows, a
+    /// later sweep with a *different* fingerprint but the same config
+    /// uses these as the incremental fold cache's prior, so only the
+    /// folds the growth actually changed are recomputed. Empty for
+    /// degraded cells and cells recovered by a reseeded retry.
+    folds: Vec<FoldEntry>,
 }
 
 /// A serde-backed on-disk cache of completed sweep cells.
@@ -413,8 +423,63 @@ impl CellCache {
         verified.map(|cell| (cell.summary, cell.degraded))
     }
 
+    /// The best fold-cache donors on disk for corpora *other than*
+    /// `fingerprint`: for every config with at least one non-degraded
+    /// entry carrying folds, the entry with the most folds (ties broken
+    /// by smaller fingerprint, so the pick is deterministic for any
+    /// directory enumeration order).
+    ///
+    /// This is what turns a corpus append into an incremental sweep:
+    /// the grown corpus fingerprints differently, so its cells all miss,
+    /// but each cell's evaluation starts from the old corpus' per-fold
+    /// scores. Unreadable or stale files are skipped, never trusted —
+    /// and each [`FoldEntry`] is integrity-checked again at the point of
+    /// consumption.
+    pub fn donor_folds(
+        &self,
+        fingerprint: u64,
+    ) -> std::collections::HashMap<CellConfig, Vec<FoldEntry>> {
+        let mut best: std::collections::HashMap<CellConfig, (usize, u64, Vec<FoldEntry>)> =
+            std::collections::HashMap::new();
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return std::collections::HashMap::new();
+        };
+        for entry in read.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if !(name.starts_with("cell-") && name.ends_with(".json")) {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(entry.path()) else {
+                continue;
+            };
+            let Ok(cell) = serde_json::from_str::<CachedCell>(&text) else {
+                continue;
+            };
+            if cell.version != CACHE_VERSION
+                || cell.fingerprint == fingerprint
+                || cell.degraded.is_some()
+                || cell.folds.is_empty()
+            {
+                continue;
+            }
+            let candidate = (cell.folds.len(), cell.fingerprint);
+            let better = match best.get(&cell.config) {
+                Some(&(len, fp, _)) => {
+                    candidate.0 > len || (candidate.0 == len && candidate.1 < fp)
+                }
+                None => true,
+            };
+            if better {
+                best.insert(cell.config, (candidate.0, candidate.1, cell.folds));
+            }
+        }
+        best.into_iter().map(|(k, (_, _, v))| (k, v)).collect()
+    }
+
     /// Persists a completed cell (`degraded` records the error a
-    /// degraded-fallback summary stands in for).
+    /// degraded-fallback summary stands in for; `folds` are the per-fold
+    /// entries future incremental evaluations can reuse).
     ///
     /// # Errors
     /// Fails on filesystem errors (unwritable directory, disk full).
@@ -424,6 +489,7 @@ impl CellCache {
         cfg: &CellConfig,
         summary: &EvalSummary,
         degraded: Option<&PvError>,
+        folds: &[FoldEntry],
     ) -> Result<(), StatsError> {
         let path = self.entry_path(fingerprint, cfg)?;
         fs::create_dir_all(&self.dir).map_err(|e| {
@@ -438,6 +504,7 @@ impl CellCache {
             config: *cfg,
             summary: summary.clone(),
             degraded: degraded.cloned(),
+            folds: folds.to_vec(),
         };
         let json = serde_json::to_string(&cell)
             .map_err(|e| StatsError::invalid("CellCache::store", format!("serialize: {e}")))?;
@@ -590,6 +657,10 @@ pub struct SweepReport {
     pub quarantined: usize,
     /// Cache-store failures (non-fatal: the summary was still returned).
     pub store_failures: usize,
+    /// Fold-cache tallies aggregated over every cell this run actually
+    /// evaluated (cell-level cache hits evaluate no folds and contribute
+    /// nothing here).
+    pub fold_stats: FoldCacheStats,
 }
 
 impl SweepReport {
@@ -673,12 +744,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
     /// use case 1, a combination of both corpora's for use case 2.
     pub fn fingerprint(&self) -> u64 {
         match &self.target {
-            SweepTarget::FewRuns(enc) => corpus_fingerprint(enc.corpus()),
+            SweepTarget::FewRuns(enc) => enc.fingerprint(),
             SweepTarget::CrossSystem { src, dst } => {
                 let mut h = Fnv1a::new();
                 h.write_str("pv-sweep-cross");
-                h.write_u64(corpus_fingerprint(src.corpus()));
-                h.write_u64(corpus_fingerprint(dst.corpus()));
+                h.write_u64(src.fingerprint());
+                h.write_u64(dst.fingerprint());
                 h.finish()
             }
         }
@@ -701,20 +772,29 @@ impl<'a, 'c> Sweep<'a, 'c> {
         }
     }
 
-    /// Evaluates one cell from scratch on the shared encoded corpora.
-    fn eval_cell(&self, cfg: &CellConfig) -> Result<EvalSummary, StatsError> {
-        match (&self.target, cfg) {
+    /// Evaluates one cell on the shared encoded corpora, incrementally
+    /// against `prior` fold entries (empty prior ⇒ a cold evaluation —
+    /// same bits, all folds counted as misses).
+    fn eval_cell(
+        &self,
+        cfg: &CellConfig,
+        prior: &[FoldEntry],
+    ) -> Result<(EvalSummary, Vec<FoldEntry>, FoldCacheStats), StatsError> {
+        let result = match (&self.target, cfg) {
             (SweepTarget::FewRuns(enc), CellConfig::FewRuns(c)) => {
-                evaluate_few_runs_encoded(enc, *c)
+                evaluate_few_runs_incremental(enc, *c, prior)?
             }
             (SweepTarget::CrossSystem { src, dst }, CellConfig::CrossSystem(c)) => {
-                evaluate_cross_system_encoded(src, dst, *c)
+                evaluate_cross_system_incremental(src, dst, *c, prior)?
             }
-            _ => Err(StatsError::invalid(
-                "Sweep::eval_cell",
-                "cell config does not match the sweep target's use case",
-            )),
-        }
+            _ => {
+                return Err(StatsError::invalid(
+                    "Sweep::eval_cell",
+                    "cell config does not match the sweep target's use case",
+                ))
+            }
+        };
+        Ok((result.summary, result.folds, result.stats))
     }
 
     /// One panic-isolated, fault-injectable evaluation attempt.
@@ -723,11 +803,13 @@ impl<'a, 'c> Sweep<'a, 'c> {
         index: usize,
         attempt: u32,
         cfg: &CellConfig,
-    ) -> Result<EvalSummary, PvError> {
+        prior: &[FoldEntry],
+    ) -> Result<(EvalSummary, Vec<FoldEntry>, FoldCacheStats), PvError> {
+        type AttemptOk = (EvalSummary, Vec<FoldEntry>, FoldCacheStats);
         // catch_unwind wraps the whole attempt (injection included), so
         // a panic anywhere inside the cell becomes a typed error before
         // rayon's scope can observe it and sink the pool.
-        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<EvalSummary, PvError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<AttemptOk, PvError> {
             match self.faults.eval_fault(index, attempt) {
                 Some(FaultKind::Panic) => {
                     panic!("injected fault: panic in cell {index} attempt {attempt}")
@@ -739,18 +821,18 @@ impl<'a, 'c> Sweep<'a, 'c> {
                     });
                 }
                 Some(FaultKind::NanRun) => {
-                    let mut summary = self.eval_cell(cfg)?;
+                    let (mut summary, folds, stats) = self.eval_cell(cfg, prior)?;
                     summary.mean = f64::NAN;
-                    return Ok(summary);
+                    return Ok((summary, folds, stats));
                 }
                 Some(FaultKind::CacheCorruption) | None => {}
             }
-            self.eval_cell(cfg).map_err(PvError::from)
+            self.eval_cell(cfg, prior).map_err(PvError::from)
         }));
         match outcome {
-            Ok(result) => result.and_then(|summary| {
+            Ok(result) => result.and_then(|(summary, folds, stats)| {
                 validate_summary(&summary)?;
-                Ok(summary)
+                Ok((summary, folds, stats))
             }),
             Err(payload) => {
                 pv_obs::counter_inc!("pv.core.resilience.panic_caught");
@@ -763,7 +845,19 @@ impl<'a, 'c> Sweep<'a, 'c> {
 
     /// Evaluates one cell under the retry/fallback policy. Infallible by
     /// construction: every failure mode is folded into the outcome.
-    fn eval_cell_resilient(&self, index: usize, config: &CellConfig) -> CellOutcome {
+    ///
+    /// Alongside the outcome, returns the fold entries worth persisting
+    /// (only a first-attempt success produces any: a reseeded retry ran
+    /// under a different effective config, and a degraded fallback under
+    /// a different representation, so their folds would poison the
+    /// original cell's fold cache) and the fold-cache tallies of the
+    /// work actually performed.
+    fn eval_cell_resilient(
+        &self,
+        index: usize,
+        config: &CellConfig,
+        prior: &[FoldEntry],
+    ) -> (CellOutcome, Vec<FoldEntry>, FoldCacheStats) {
         let attempts_allowed = self.max_retries.saturating_add(1);
         let mut last_err = PvError::Invalid {
             what: "Sweep".to_string(),
@@ -777,12 +871,15 @@ impl<'a, 'c> Sweep<'a, 'c> {
                 pv_obs::counter_inc!("pv.core.resilience.retry");
             }
             let cfg = config.with_seed(retry_seed(config.seed(), attempt));
-            match self.eval_attempt(index, attempt, &cfg) {
-                Ok(summary) => {
-                    return CellOutcome::Ok {
+            let attempt_prior = if attempt == 0 { prior } else { &[] };
+            match self.eval_attempt(index, attempt, &cfg, attempt_prior) {
+                Ok((summary, folds, stats)) => {
+                    let outcome = CellOutcome::Ok {
                         summary,
                         attempts: attempt + 1,
-                    }
+                    };
+                    let folds = if attempt == 0 { folds } else { Vec::new() };
+                    return (outcome, folds, stats);
                 }
                 Err(e) => last_err = e,
             }
@@ -795,24 +892,29 @@ impl<'a, 'c> Sweep<'a, 'c> {
             // panic boundary and numeric validation still apply.
             let fallback_cfg = config.with_repr(ReprKind::Histogram);
             let fallback = catch_unwind(AssertUnwindSafe(|| {
-                self.eval_cell(&fallback_cfg).map_err(PvError::from)
+                self.eval_cell(&fallback_cfg, &[]).map_err(PvError::from)
             }));
-            if let Ok(Ok(summary)) = fallback {
+            if let Ok(Ok((summary, _folds, stats))) = fallback {
                 if validate_summary(&summary).is_ok() {
                     pv_obs::counter_inc!("pv.core.resilience.fallback");
-                    return CellOutcome::Degraded {
+                    let outcome = CellOutcome::Degraded {
                         summary,
                         fallback: ReprKind::Histogram,
                         error: last_err,
                         attempts: attempts_allowed,
                     };
+                    return (outcome, Vec::new(), stats);
                 }
             }
         }
-        CellOutcome::Failed {
-            error: last_err,
-            attempts: attempts_allowed,
-        }
+        (
+            CellOutcome::Failed {
+                error: last_err,
+                attempts: attempts_allowed,
+            },
+            Vec::new(),
+            FoldCacheStats::default(),
+        )
     }
 
     /// Runs the grid, discarding the stream.
@@ -864,9 +966,19 @@ impl<'a, 'c> Sweep<'a, 'c> {
             Some(cache) => Quarantine::load(cache.dir()),
             None => Quarantine::new(),
         };
+        // One directory scan up front: the best same-config donor folds
+        // from *other* corpus fingerprints (i.e. earlier, smaller
+        // corpora), feeding the incremental fold cache of every miss.
+        let donors = match &self.cache {
+            Some(cache) => cache.donor_folds(fingerprint),
+            None => std::collections::HashMap::new(),
+        };
         let hits = AtomicUsize::new(0);
         let misses = AtomicUsize::new(0);
         let store_failures = AtomicUsize::new(0);
+        let fold_hits = AtomicUsize::new(0);
+        let fold_deltas = AtomicUsize::new(0);
+        let fold_misses = AtomicUsize::new(0);
         let results: Vec<CellResult> = (0..cells.len())
             .into_par_iter()
             .map(|index| {
@@ -917,14 +1029,19 @@ impl<'a, 'c> Sweep<'a, 'c> {
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
                         pv_obs::counter_inc!("pv.core.sweep.cache_miss");
-                        let outcome = self.eval_cell_resilient(index, &config);
+                        let prior = donors.get(&config).map(Vec::as_slice).unwrap_or_default();
+                        let (outcome, folds, fstats) =
+                            self.eval_cell_resilient(index, &config, prior);
+                        fold_hits.fetch_add(fstats.hits, Ordering::Relaxed);
+                        fold_deltas.fetch_add(fstats.deltas, Ordering::Relaxed);
+                        fold_misses.fetch_add(fstats.misses, Ordering::Relaxed);
                         if let Some(cache) = &self.cache {
                             let stored = match &outcome {
                                 CellOutcome::Ok { summary, .. } => {
-                                    cache.store(fingerprint, &config, summary, None)
+                                    cache.store(fingerprint, &config, summary, None, &folds)
                                 }
                                 CellOutcome::Degraded { summary, error, .. } => {
-                                    cache.store(fingerprint, &config, summary, Some(error))
+                                    cache.store(fingerprint, &config, summary, Some(error), &[])
                                 }
                                 _ => Ok(()),
                             };
@@ -998,6 +1115,11 @@ impl<'a, 'c> Sweep<'a, 'c> {
             degraded: 0,
             quarantined: 0,
             store_failures: store_failures.load(Ordering::Relaxed),
+            fold_stats: FoldCacheStats {
+                hits: fold_hits.load(Ordering::Relaxed),
+                deltas: fold_deltas.load(Ordering::Relaxed),
+                misses: fold_misses.load(Ordering::Relaxed),
+            },
         };
         for cell in &report.cells {
             match &cell.outcome {
@@ -1015,6 +1137,7 @@ impl<'a, 'c> Sweep<'a, 'c> {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate_few_runs_encoded;
     use pv_sysmodel::SystemModel;
 
     fn corpus() -> Corpus {

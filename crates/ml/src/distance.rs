@@ -65,6 +65,39 @@ impl Distance {
     }
 }
 
+/// `Σxᵢ²` of a row, accumulated in element order — the quantity cosine
+/// recomputes for both rows on every pair. Callers that score one query
+/// against many candidates (kNN) compute it once per row and pass it to
+/// [`cosine_with_sq_norms`].
+#[inline]
+pub fn squared_norm(v: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &x in v {
+        s += x * x;
+    }
+    s
+}
+
+/// Cosine distance with both squared norms precomputed.
+///
+/// Bit-identical to [`Distance::Cosine`]'s `eval`: the naive path
+/// accumulates `dot`, `na`, `nb` as three independent chains in element
+/// order, so hoisting the norm chains out of the loop changes no
+/// rounding (asserted in `cached_norms_match_naive_cosine_bitwise`).
+#[inline]
+pub fn cosine_with_sq_norms(a: &[f64], b: &[f64], na: f64, nb: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if na == 0.0 || nb == 0.0 {
+        // A zero vector has no direction: maximally distant.
+        return 1.0;
+    }
+    let mut dot = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+    }
+    (1.0 - (dot / (na.sqrt() * nb.sqrt()))).clamp(0.0, 2.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +159,34 @@ mod tests {
     #[test]
     fn default_is_cosine() {
         assert_eq!(Distance::default(), Distance::Cosine);
+    }
+
+    #[test]
+    fn cached_norms_match_naive_cosine_bitwise() {
+        // Deterministic pseudo-random rows (LCG) across widths, plus the
+        // zero-vector edge case: the cached-norm path must reproduce the
+        // naive interleaved loop to the last bit.
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        for width in [1usize, 3, 8, 33] {
+            for _ in 0..16 {
+                let a: Vec<f64> = (0..width).map(|_| next()).collect();
+                let b: Vec<f64> = (0..width).map(|_| next()).collect();
+                let naive = Distance::Cosine.eval(&a, &b);
+                let cached = cosine_with_sq_norms(&a, &b, squared_norm(&a), squared_norm(&b));
+                assert_eq!(naive.to_bits(), cached.to_bits());
+            }
+        }
+        let z = vec![0.0; 4];
+        let b: Vec<f64> = (0..4).map(|_| next()).collect();
+        assert_eq!(
+            Distance::Cosine.eval(&z, &b).to_bits(),
+            cosine_with_sq_norms(&z, &b, squared_norm(&z), squared_norm(&b)).to_bits()
+        );
     }
 }

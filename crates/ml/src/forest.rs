@@ -52,6 +52,10 @@ pub struct RandomForestRegressor {
     pub max_features: MaxFeatures,
     /// Whether to bootstrap rows (true = classic bagging).
     pub bootstrap: bool,
+    /// Use histogram (pre-binned) split finding in every tree; see
+    /// [`TreeConfig::binned`]. Off by default — the exact path is what
+    /// the pinned goldens run on.
+    pub binned: bool,
     /// Root RNG seed.
     pub seed: u64,
     trees: Vec<RegressionTree>,
@@ -73,6 +77,7 @@ impl RandomForestRegressor {
             min_samples_leaf: 1,
             max_features: MaxFeatures::Sqrt,
             bootstrap: true,
+            binned: false,
             seed: 0,
             trees: Vec::new(),
             n_outputs: 0,
@@ -100,6 +105,12 @@ impl RandomForestRegressor {
     /// Builder: row bootstrapping on/off.
     pub fn with_bootstrap(mut self, b: bool) -> Self {
         self.bootstrap = b;
+        self
+    }
+
+    /// Builder: histogram (pre-binned) split finding on/off.
+    pub fn with_binned(mut self, b: bool) -> Self {
+        self.binned = b;
         self
     }
 
@@ -136,19 +147,25 @@ impl Regressor for RandomForestRegressor {
         let max_feats = self.max_features.resolve(d);
         let seed = self.seed;
         let bootstrap = self.bootstrap;
+        let binned = self.binned;
         let max_depth = self.max_depth;
         let min_leaf = self.min_samples_leaf;
 
+        // One bin table serves the whole forest: binning only reads the
+        // feature matrix, and every bootstrap row is a copy of an
+        // original row, so each tree maps its rows back into the shared
+        // table instead of re-sorting every feature per replicate.
+        let shared_bins = binned.then(|| crate::tree::BinnedFeatures::build(data));
         let trees: Result<Vec<RegressionTree>> = (0..self.n_trees)
             .into_par_iter()
             .map(|t| {
                 let stream = derive_stream(seed, t as u64);
                 let mut rng = Xoshiro256pp::seed_from_u64(stream);
-                let subset = if bootstrap {
-                    let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-                    data.subset(&idx)
-                } else {
-                    data.clone()
+                let idx: Option<Vec<usize>> =
+                    bootstrap.then(|| (0..n).map(|_| rng.gen_range(0..n)).collect());
+                let subset = match &idx {
+                    Some(idx) => data.subset(idx),
+                    None => data.clone(),
                 };
                 let cfg = TreeConfig {
                     max_depth,
@@ -157,9 +174,13 @@ impl Regressor for RandomForestRegressor {
                     max_features: Some(max_feats),
                     leaf_lambda: 0.0,
                     seed: derive_stream(stream, 1),
+                    binned,
                 };
                 let mut tree = RegressionTree::new(cfg);
-                tree.fit(&subset)?;
+                match &shared_bins {
+                    Some(bins) => tree.fit_with_shared_bins(&subset, bins, idx.as_deref())?,
+                    None => tree.fit(&subset)?,
+                }
                 Ok(tree)
             })
             .collect();

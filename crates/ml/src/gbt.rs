@@ -35,6 +35,9 @@ pub struct GradientBoostingRegressor {
     pub subsample: f64,
     /// Root RNG seed (used only when `subsample < 1`).
     pub seed: u64,
+    /// Use histogram (pre-binned) split finding in every round's tree;
+    /// see [`TreeConfig::binned`]. Off by default.
+    pub binned: bool,
     base: Vec<f64>,
     trees: Vec<RegressionTree>,
 }
@@ -56,6 +59,7 @@ impl GradientBoostingRegressor {
             lambda: 1.0,
             subsample: 1.0,
             seed: 0,
+            binned: false,
             base: Vec::new(),
             trees: Vec::new(),
         }
@@ -88,6 +92,12 @@ impl GradientBoostingRegressor {
     /// Builder: RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: histogram (pre-binned) split finding on/off.
+    pub fn with_binned(mut self, b: bool) -> Self {
+        self.binned = b;
         self
     }
 
@@ -147,6 +157,13 @@ impl Regressor for GradientBoostingRegressor {
 
         let mut trees = Vec::with_capacity(self.n_rounds);
         let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+        // Residuals change every round but the feature matrix never
+        // does, and binning only reads features — so one bin table
+        // serves all rounds, with each round's subsample mapped back
+        // into it.
+        let shared_bins = self
+            .binned
+            .then(|| crate::tree::BinnedFeatures::build(data));
         for round in 0..self.n_rounds {
             // Residual matrix for this round.
             let mut resid = DenseMatrix::zeros(n, t);
@@ -180,9 +197,13 @@ impl Regressor for GradientBoostingRegressor {
                 max_features: None,
                 leaf_lambda: self.lambda,
                 seed: derive_stream(self.seed, round as u64),
+                binned: self.binned,
             };
             let mut tree = RegressionTree::new(cfg);
-            tree.fit(&round_data)?;
+            match &shared_bins {
+                Some(bins) => tree.fit_with_shared_bins(&round_data, bins, Some(&rows))?,
+                None => tree.fit(&round_data)?,
+            }
             // Update the running prediction.
             for r in 0..n {
                 let p = tree.predict(data.x.row(r))?;

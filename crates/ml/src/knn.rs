@@ -10,8 +10,18 @@ use serde::{Deserialize, Serialize};
 use pv_stats::StatsError;
 
 use crate::dataset::{Dataset, DenseMatrix};
-use crate::distance::Distance;
+use crate::distance::{cosine_with_sq_norms, squared_norm, Distance};
 use crate::{Regressor, Result};
+
+/// The canonical neighbour *selection* order: ascending distance, ties
+/// broken by training-row index. A total order (exact-tie handling
+/// independent of scan order) makes the selected k-set deterministic, so
+/// the incremental evaluator can compare neighbour sets computed over
+/// different corpus generations.
+#[inline]
+fn canonical(a: &(usize, f64), b: &(usize, f64)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
 
 /// Neighbour weighting schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -35,6 +45,10 @@ pub struct KnnRegressor {
     pub weights: WeightScheme,
     train_x: Option<DenseMatrix>,
     train_y: Option<DenseMatrix>,
+    /// Per-row `Σx²`, computed once at fit time for cosine distance so
+    /// predict stops re-deriving every candidate norm per query. `None`
+    /// (other metrics) falls back to the bit-identical naive path.
+    train_sq_norms: Option<Vec<f64>>,
 }
 
 impl KnnRegressor {
@@ -47,6 +61,7 @@ impl KnnRegressor {
             weights: WeightScheme::Uniform,
             train_x: None,
             train_y: None,
+            train_sq_norms: None,
         }
     }
 
@@ -63,7 +78,7 @@ impl KnnRegressor {
     }
 
     /// Indices and distances of the `k` nearest training rows to `x`,
-    /// sorted ascending by distance.
+    /// in [`canonical`] order (ascending distance, index-tie-broken).
     ///
     /// # Errors
     /// Fails when unfitted or on feature-width mismatch.
@@ -75,15 +90,42 @@ impl KnnRegressor {
                 format!("row has {} features, model expects {}", x.len(), tx.cols()),
             ));
         }
-        let mut dists: Vec<(usize, f64)> = (0..tx.rows())
-            .map(|r| (r, self.distance.eval(x, tx.row(r))))
-            .collect();
+        let mut dists: Vec<(usize, f64)> = match (self.distance, &self.train_sq_norms) {
+            (Distance::Cosine, Some(norms)) => {
+                let qn = squared_norm(x);
+                (0..tx.rows())
+                    .map(|r| (r, cosine_with_sq_norms(x, tx.row(r), qn, norms[r])))
+                    .collect()
+            }
+            _ => (0..tx.rows())
+                .map(|r| (r, self.distance.eval(x, tx.row(r))))
+                .collect(),
+        };
         let k = self.k.min(dists.len());
         // Partial selection then sort of the head: O(n + k log k).
-        dists.select_nth_unstable_by(k - 1, |a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        dists.select_nth_unstable_by(k - 1, canonical);
         dists.truncate(k);
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        dists.sort_unstable_by(canonical);
         Ok(dists)
+    }
+
+    /// The neighbour row positions alone (no distances), sorted
+    /// ascending — the canonical *set* representation the incremental
+    /// fold cache stores and compares. Uniform-weight predictions are a
+    /// pure function of this set ([`Self::predict`] accumulates in
+    /// ascending row order), so two equal lists guarantee bit-identical
+    /// predictions even when the distance ranking differs.
+    ///
+    /// # Errors
+    /// Fails when unfitted or on feature-width mismatch.
+    pub fn neighbor_indices(&self, x: &[f64]) -> Result<Vec<u32>> {
+        let mut idx: Vec<u32> = self
+            .neighbors(x)?
+            .into_iter()
+            .map(|(i, _)| i as u32)
+            .collect();
+        idx.sort_unstable();
+        Ok(idx)
     }
 
     fn fitted(&self) -> Result<(&DenseMatrix, &DenseMatrix)> {
@@ -107,6 +149,14 @@ impl Regressor for KnnRegressor {
                 got: 0,
             });
         }
+        self.train_sq_norms = match self.distance {
+            Distance::Cosine => Some(
+                (0..data.x.rows())
+                    .map(|r| squared_norm(data.x.row(r)))
+                    .collect(),
+            ),
+            _ => None,
+        };
         self.train_x = Some(data.x.clone());
         self.train_y = Some(data.y.clone());
         Ok(())
@@ -114,7 +164,16 @@ impl Regressor for KnnRegressor {
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
         let _timer = pv_obs::timed!("pv.ml.knn.predict_ns");
-        let neigh = self.neighbors(x)?;
+        let mut neigh = self.neighbors(x)?;
+        // Accumulate in ascending row order, not distance rank. Float
+        // addition is commutative but not associative, so rank-order
+        // summation would let near-tie rank swaps move the prediction's
+        // last bits even when the neighbour set is unchanged. Row order
+        // makes a uniform-weight prediction a pure function of the
+        // neighbour set — the property the incremental fold cache's
+        // delta path relies on (weights travel with their rows, so
+        // inverse-distance weighting is unaffected by the order).
+        neigh.sort_unstable_by_key(|&(idx, _)| idx);
         let (_, ty) = self.fitted()?;
         let t = ty.cols();
         let mut out = vec![0.0; t];
@@ -226,6 +285,98 @@ mod tests {
         let mut m = KnnRegressor::new(2);
         m.fit(&toy()).unwrap();
         assert!(m.predict(&[1.0]).is_err()); // wrong width
+    }
+
+    #[test]
+    fn cached_norms_predict_matches_naive_path_bitwise() {
+        // Irrational-ish features so cosine actually exercises rounding.
+        let rows: Vec<Vec<f64>> = (1..40)
+            .map(|i| {
+                let f = i as f64;
+                vec![f.sqrt(), (f * 0.37).sin() + 1.5, f.ln() + 0.1, 1.0 / f]
+            })
+            .collect();
+        let ys: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![i as f64 * 0.31, -(i as f64)])
+            .collect();
+        let data = Dataset::ungrouped(
+            DenseMatrix::from_rows(&rows).unwrap(),
+            DenseMatrix::from_rows(&ys).unwrap(),
+        )
+        .unwrap();
+        let mut cached = KnnRegressor::new(7).with_distance(Distance::Cosine);
+        cached.fit(&data).unwrap();
+        assert!(cached.train_sq_norms.is_some());
+        let mut naive = cached.clone();
+        naive.train_sq_norms = None; // what a deserialized model looks like
+        for q in &rows {
+            let a = cached.predict(q).unwrap();
+            let b = naive.predict(q).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(
+                cached.neighbor_indices(q).unwrap(),
+                naive.neighbor_indices(q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_predict_accumulates_in_row_order() {
+        // The prediction must be a pure function of the neighbour set:
+        // bit-equal to a manual mean over the selected rows in ascending
+        // row order, regardless of their distance ranking.
+        let rows: Vec<Vec<f64>> = (1..30)
+            .map(|i| {
+                let f = i as f64;
+                vec![(f * 0.7).sin() + 2.0, f.sqrt(), 1.0 / f]
+            })
+            .collect();
+        let ys: Vec<Vec<f64>> = (1..30)
+            .map(|i| vec![(i as f64 * 0.13).cos(), i as f64 * 0.01])
+            .collect();
+        let data = Dataset::ungrouped(
+            DenseMatrix::from_rows(&rows).unwrap(),
+            DenseMatrix::from_rows(&ys).unwrap(),
+        )
+        .unwrap();
+        let mut m = KnnRegressor::new(7).with_distance(Distance::Cosine);
+        m.fit(&data).unwrap();
+        for q in rows.iter().step_by(5) {
+            let idx = m.neighbor_indices(q).unwrap();
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+            let mut want = vec![0.0; 2];
+            for &i in &idx {
+                for (o, v) in want.iter_mut().zip(&ys[i as usize]) {
+                    *o += *v;
+                }
+            }
+            for o in want.iter_mut() {
+                *o /= idx.len() as f64;
+            }
+            let got = m.predict(q).unwrap();
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_distance_ties_break_by_row_index() {
+        // Three identical rows: all distances tie exactly; the canonical
+        // order must pick ascending indices regardless of k.
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![5.0, 9.0],
+        ])
+        .unwrap();
+        let y = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let mut m = KnnRegressor::new(2).with_distance(Distance::Euclidean);
+        m.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
+        assert_eq!(m.neighbor_indices(&[1.0, 2.0]).unwrap(), vec![0, 1]);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct TreeConfig {
     pub leaf_lambda: f64,
     /// Seed for per-node feature subsampling.
     pub seed: u64,
+    /// Split-finding strategy. `false` (the default, and the path every
+    /// pinned golden runs on) sorts each node's rows per feature; `true`
+    /// pre-bins every feature into ≤ 256 value bins once per fit and
+    /// finds splits with an O(n + bins) histogram scan per feature.
+    pub binned: bool,
 }
 
 impl Default for TreeConfig {
@@ -46,6 +51,7 @@ impl Default for TreeConfig {
             max_features: None,
             leaf_lambda: 0.0,
             seed: 0,
+            binned: false,
         }
     }
 }
@@ -98,6 +104,66 @@ impl RegressionTree {
         RegressionTree::new(TreeConfig::default())
     }
 
+    /// [`Regressor::fit`] with a pre-built bin table (see [`BinView`]):
+    /// `map`, when present, sends each of `data`'s rows to the row of
+    /// the table's corpus it replicates. Ensembles bin their corpus once
+    /// and fit every member through here.
+    ///
+    /// # Errors
+    /// Same contract as [`Regressor::fit`].
+    pub(crate) fn fit_with_shared_bins(
+        &mut self,
+        data: &Dataset,
+        bins: &BinnedFeatures,
+        map: Option<&[usize]>,
+    ) -> Result<()> {
+        validate_fit_input(data)?;
+        self.fit_trunk(data, Some(BinView { bins, map }));
+        Ok(())
+    }
+
+    /// The common fit body: grows the tree with an optional histogram
+    /// bin view. Input validation is the caller's job.
+    fn fit_trunk(&mut self, data: &Dataset, bins: Option<BinView<'_>>) {
+        let t = data.n_outputs();
+        let nb = match &bins {
+            Some(view) => view
+                .bins
+                .thresholds
+                .iter()
+                .map(|t| t.len() + 1)
+                .max()
+                .unwrap_or(1),
+            None => 0,
+        };
+        let mut builder = Builder {
+            data,
+            cfg: self.config,
+            rng: Xoshiro256pp::seed_from_u64(self.config.seed),
+            nodes: Vec::new(),
+            importance: vec![0.0; data.n_features()],
+            bins,
+            scratch: Vec::with_capacity(data.len()),
+            left: vec![0.0; t],
+            hist_counts: vec![0; nb],
+            hist_sums: vec![0.0; nb * t],
+            hist_sqs: vec![0.0; nb],
+        };
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        builder.build(&mut idx, 0);
+        self.nodes = builder.nodes;
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        // Normalize importances to a distribution over features.
+        let total: f64 = builder.importance.iter().sum();
+        if total > 0.0 {
+            for v in builder.importance.iter_mut() {
+                *v /= total;
+            }
+        }
+        self.importance = builder.importance;
+    }
+
     /// Number of nodes in the fitted tree (0 when unfitted).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -119,17 +185,136 @@ impl RegressionTree {
     }
 }
 
-/// Shared split-growing state.
+/// Per-feature value binning, built once per fit when
+/// [`TreeConfig::binned`] is set.
+///
+/// When a feature has ≤ 256 distinct values each value gets its own bin
+/// and the candidate thresholds coincide with the exact path's adjacent-
+/// value midpoints; otherwise bins are equal-frequency quantile cuts.
+/// Split finding then replaces the exact path's per-node O(n log n) sort
+/// with one O(n) histogram fill plus an O(bins) boundary scan.
+pub(crate) struct BinnedFeatures {
+    n_rows: usize,
+    /// Column-major bin codes: `codes[f · n_rows + i]` is row `i`'s bin.
+    codes: Vec<u8>,
+    /// Per feature, the candidate threshold between bins `b` and `b+1`:
+    /// the midpoint of bin `b`'s maximum and bin `b+1`'s minimum value,
+    /// so `value ≤ threshold` reproduces the code partition. Empty for
+    /// constant features.
+    thresholds: Vec<Vec<f64>>,
+}
+
+impl BinnedFeatures {
+    const MAX_BINS: usize = 256;
+
+    /// Bins `data.x` (targets are never read, so one table serves every
+    /// bootstrap replicate of a forest and every residual round of a
+    /// boosting fit).
+    pub(crate) fn build(data: &Dataset) -> Self {
+        let n = data.len();
+        let d = data.n_features();
+        let mut codes = vec![0u8; d * n];
+        let mut thresholds = Vec::with_capacity(d);
+        let mut sorted: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..d {
+            sorted.clear();
+            sorted.extend((0..n).map(|i| data.x.get(i, f)));
+            sorted.sort_unstable_by(f64::total_cmp);
+            // Bin upper bounds: every distinct value when they fit in
+            // 256 bins, else equal-frequency quantile cuts (the final
+            // cut lands on the maximum, so every value has a bin).
+            let mut uppers: Vec<f64> = Vec::with_capacity(Self::MAX_BINS);
+            uppers.push(sorted[0]);
+            for &v in &sorted[1..] {
+                if v != *uppers.last().expect("nonempty") {
+                    uppers.push(v);
+                }
+            }
+            if uppers.len() > Self::MAX_BINS {
+                uppers.clear();
+                for b in 1..=Self::MAX_BINS {
+                    let v = sorted[b * n / Self::MAX_BINS - 1];
+                    if uppers.last() != Some(&v) {
+                        uppers.push(v);
+                    }
+                }
+            }
+            // Threshold between b and b+1: midpoint of bin b's upper
+            // bound and the smallest value strictly above it.
+            let mut th = Vec::with_capacity(uppers.len().saturating_sub(1));
+            let mut j = 0usize;
+            for &upper in uppers.iter().take(uppers.len().saturating_sub(1)) {
+                while j < n && sorted[j] <= upper {
+                    j += 1;
+                }
+                th.push(0.5 * (upper + sorted[j]));
+            }
+            for i in 0..n {
+                let v = data.x.get(i, f);
+                codes[f * n + i] = uppers.partition_point(|u| *u < v) as u8;
+            }
+            thresholds.push(th);
+        }
+        BinnedFeatures {
+            n_rows: n,
+            codes,
+            thresholds,
+        }
+    }
+
+    #[inline]
+    fn code(&self, f: usize, i: usize) -> usize {
+        self.codes[f * self.n_rows + i] as usize
+    }
+}
+
+/// A borrowed bin table, optionally re-indexed: `map[i]` is the row in
+/// the table's corpus that the builder's row `i` is a copy of. `None`
+/// means the identity (the builder trains on the table's own corpus).
+/// This is what lets an ensemble bin once and train each member on a
+/// bootstrap/subsample replicate without rebuilding the table.
+#[derive(Clone, Copy)]
+pub(crate) struct BinView<'b> {
+    pub(crate) bins: &'b BinnedFeatures,
+    pub(crate) map: Option<&'b [usize]>,
+}
+
+impl BinView<'_> {
+    #[inline]
+    fn code(&self, f: usize, i: usize) -> usize {
+        let i = match self.map {
+            Some(m) => m[i],
+            None => i,
+        };
+        self.bins.code(f, i)
+    }
+
+    #[inline]
+    fn thresholds(&self, f: usize) -> &[f64] {
+        &self.bins.thresholds[f]
+    }
+}
+
+/// Shared split-growing state. The scratch buffers (`scratch`, `left`,
+/// the `hist_*` histograms) live here so one allocation serves every
+/// node of the tree instead of being re-made per split search.
 struct Builder<'a> {
     data: &'a Dataset,
     cfg: TreeConfig,
     rng: Xoshiro256pp,
     nodes: Vec<Node>,
     importance: Vec<f64>,
+    bins: Option<BinView<'a>>,
+    scratch: Vec<(f64, u32)>,
+    left: Vec<f64>,
+    hist_counts: Vec<u32>,
+    hist_sums: Vec<f64>,
+    hist_sqs: Vec<f64>,
 }
 
 impl<'a> Builder<'a> {
     /// Leaf value Σy/(n+λ) over the rows in `idx`.
+    #[inline]
     fn leaf_value(&self, idx: &[usize]) -> Vec<f64> {
         let t = self.data.n_outputs();
         let mut v = vec![0.0; t];
@@ -182,58 +367,137 @@ impl<'a> Builder<'a> {
         }
 
         let mut best: Option<(usize, f64, f64)> = None;
-        let mut left = vec![0.0; t];
-        // Scratch of (feature value, row) pairs: sorting a contiguous key
-        // buffer is several times faster than sorting `idx` through an
-        // indirect matrix-access comparator, and this loop dominates tree
-        // (and therefore forest/boosting) training time.
-        let mut scratch: Vec<(f64, u32)> = Vec::with_capacity(n);
         let min_leaf = self.cfg.min_samples_leaf.max(1);
+        // Disjoint field borrows: the bin table is read while the
+        // scratch/histogram buffers are written.
+        let Builder {
+            data,
+            bins,
+            scratch,
+            left,
+            hist_counts,
+            hist_sums,
+            hist_sqs,
+            ..
+        } = self;
+        let data: &Dataset = data;
+        // Kernel choice is per node *and* per feature: the histogram
+        // kernel replaces an O(n log n) sort with an O(n) fill — but its
+        // O(bins) clear + boundary scan is paid regardless of node size,
+        // so on nodes smaller than the bin count (the vast majority of
+        // nodes in a deep tree) the exact sort kernel is cheaper. Both
+        // kernels induce the same row partitions on data with ≤ 256
+        // distinct values per feature, where bin boundaries coincide
+        // with adjacent-value midpoints.
         for &f in &features {
-            scratch.clear();
-            scratch.extend(idx.iter().map(|&i| (self.data.x.get(i, f), i as u32)));
-            scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-            if scratch[0].0 == scratch[n - 1].0 {
-                continue; // constant feature in this node
-            }
-            left.iter_mut().for_each(|v| *v = 0.0);
-            // Σ_k left2_k only ever appears summed over outputs, so track
-            // it as a scalar; histogram-style targets are mostly zeros,
-            // and skipping them cuts the dominant accumulation loop.
-            let mut left_sq = 0.0;
-            for pos in 0..n - 1 {
-                let row = scratch[pos].1 as usize;
-                for (l, &y) in left.iter_mut().zip(self.data.y.row(row)) {
-                    if y != 0.0 {
-                        *l += y;
-                        left_sq += y * y;
+            match bins.as_ref() {
+                // A globally constant feature can never split any node.
+                Some(bins) if bins.thresholds(f).is_empty() => continue,
+                Some(bins) if n > bins.thresholds(f).len() => {
+                    let th = bins.thresholds(f);
+                    let nb = th.len() + 1;
+                    let counts = &mut hist_counts[..nb];
+                    counts.fill(0);
+                    let sums = &mut hist_sums[..nb * t];
+                    sums.fill(0.0);
+                    let sqs = &mut hist_sqs[..nb];
+                    sqs.fill(0.0);
+                    for &i in idx.iter() {
+                        let b = bins.code(f, i);
+                        counts[b] += 1;
+                        let mut sq = 0.0;
+                        for (acc, &y) in sums[b * t..(b + 1) * t].iter_mut().zip(data.y.row(i)) {
+                            if y != 0.0 {
+                                *acc += y;
+                                sq += y * y;
+                            }
+                        }
+                        sqs[b] += sq;
+                    }
+                    left.iter_mut().for_each(|v| *v = 0.0);
+                    let mut left_sq = 0.0;
+                    let mut nl = 0usize;
+                    for b in 0..nb - 1 {
+                        nl += counts[b] as usize;
+                        for (l, s) in left.iter_mut().zip(&sums[b * t..(b + 1) * t]) {
+                            *l += s;
+                        }
+                        left_sq += sqs[b];
+                        let nr = n - nl;
+                        if nl < min_leaf || nr < min_leaf {
+                            continue;
+                        }
+                        let mut sum_l2 = 0.0;
+                        let mut sum_r2 = 0.0;
+                        for (l, t0) in left.iter().zip(&tot) {
+                            sum_l2 += l * l;
+                            let r = t0 - l;
+                            sum_r2 += r * r;
+                        }
+                        let sse = (left_sq - sum_l2 / nl as f64)
+                            + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
+                        let gain = parent_sse - sse;
+                        // Strict improvement: an empty bin's boundary
+                        // repeats the previous partition with equal gain
+                        // and is skipped.
+                        if gain > best.map_or(1e-12, |b: (usize, f64, f64)| b.2) {
+                            best = Some((f, th[b], gain));
+                        }
                     }
                 }
-                let nl = pos + 1;
-                let nr = n - nl;
-                if nl < min_leaf || nr < min_leaf {
-                    continue;
-                }
-                let xl = scratch[pos].0;
-                let xr = scratch[pos + 1].0;
-                if xl == xr {
-                    continue; // can't split between equal values
-                }
-                // SSE_left + SSE_right, vectorized over outputs:
-                //   Σ_k left2_k − (Σ_k left_k²)/nl
-                // + (tot2 − Σ_k left2_k) − (Σ_k (tot_k − left_k)²)/nr
-                let mut sum_l2 = 0.0;
-                let mut sum_r2 = 0.0;
-                for (l, t0) in left.iter().zip(&tot) {
-                    sum_l2 += l * l;
-                    let r = t0 - l;
-                    sum_r2 += r * r;
-                }
-                let sse =
-                    (left_sq - sum_l2 / nl as f64) + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
-                let gain = parent_sse - sse;
-                if gain > best.map_or(1e-12, |b| b.2) {
-                    best = Some((f, 0.5 * (xl + xr), gain));
+                _ => {
+                    // Scratch of (feature value, row) pairs: sorting a
+                    // contiguous key buffer is several times faster than
+                    // sorting `idx` through an indirect matrix-access
+                    // comparator, and this loop dominates tree (and
+                    // therefore forest/boosting) training time.
+                    scratch.clear();
+                    scratch.extend(idx.iter().map(|&i| (data.x.get(i, f), i as u32)));
+                    scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    if scratch[0].0 == scratch[n - 1].0 {
+                        continue; // constant feature in this node
+                    }
+                    left.iter_mut().for_each(|v| *v = 0.0);
+                    // Σ_k left2_k only ever appears summed over outputs,
+                    // so track it as a scalar; histogram-style targets
+                    // are mostly zeros, and skipping them cuts the
+                    // dominant accumulation loop.
+                    let mut left_sq = 0.0;
+                    for pos in 0..n - 1 {
+                        let row = scratch[pos].1 as usize;
+                        for (l, &y) in left.iter_mut().zip(data.y.row(row)) {
+                            if y != 0.0 {
+                                *l += y;
+                                left_sq += y * y;
+                            }
+                        }
+                        let nl = pos + 1;
+                        let nr = n - nl;
+                        if nl < min_leaf || nr < min_leaf {
+                            continue;
+                        }
+                        let xl = scratch[pos].0;
+                        let xr = scratch[pos + 1].0;
+                        if xl == xr {
+                            continue; // can't split between equal values
+                        }
+                        // SSE_left + SSE_right, vectorized over outputs:
+                        //   Σ_k left2_k − (Σ_k left_k²)/nl
+                        // + (tot2 − Σ_k left2_k) − (Σ_k (tot_k − left_k)²)/nr
+                        let mut sum_l2 = 0.0;
+                        let mut sum_r2 = 0.0;
+                        for (l, t0) in left.iter().zip(&tot) {
+                            sum_l2 += l * l;
+                            let r = t0 - l;
+                            sum_r2 += r * r;
+                        }
+                        let sse = (left_sq - sum_l2 / nl as f64)
+                            + ((tot2_sum - left_sq) - sum_r2 / nr as f64);
+                        let gain = parent_sse - sse;
+                        if gain > best.map_or(1e-12, |b| b.2) {
+                            best = Some((f, 0.5 * (xl + xr), gain));
+                        }
+                    }
                 }
             }
         }
@@ -276,6 +540,7 @@ impl<'a> Builder<'a> {
 
 /// Stable-enough in-place partition; returns the number of elements
 /// satisfying the predicate (moved to the front).
+#[inline]
 fn itertools_partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
     let mut store = 0;
     for i in 0..xs.len() {
@@ -287,45 +552,34 @@ fn itertools_partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
     store
 }
 
+/// The shared fit-input contract: non-empty, all-finite data.
+fn validate_fit_input(data: &Dataset) -> Result<()> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput {
+            what: "RegressionTree::fit",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if data.x.as_slice().iter().any(|v| !v.is_finite())
+        || data.y.as_slice().iter().any(|v| !v.is_finite())
+    {
+        return Err(StatsError::NonFinite {
+            what: "RegressionTree::fit",
+        });
+    }
+    Ok(())
+}
+
 impl Regressor for RegressionTree {
     fn fit(&mut self, data: &Dataset) -> Result<()> {
-        if data.is_empty() {
-            return Err(StatsError::EmptyInput {
-                what: "RegressionTree::fit",
-                needed: 1,
-                got: 0,
-            });
-        }
-        if data.x.as_slice().iter().any(|v| !v.is_finite())
-            || data.y.as_slice().iter().any(|v| !v.is_finite())
-        {
-            return Err(StatsError::NonFinite {
-                what: "RegressionTree::fit",
-            });
-        }
-        let mut builder = Builder {
-            data,
-            cfg: self.config,
-            rng: Xoshiro256pp::seed_from_u64(self.config.seed),
-            nodes: Vec::new(),
-            importance: vec![0.0; data.n_features()],
-        };
-        let mut idx: Vec<usize> = (0..data.len()).collect();
-        builder.build(&mut idx, 0);
-        self.nodes = builder.nodes;
-        self.n_features = data.n_features();
-        self.n_outputs = data.n_outputs();
-        // Normalize importances to a distribution over features.
-        let total: f64 = builder.importance.iter().sum();
-        if total > 0.0 {
-            for v in builder.importance.iter_mut() {
-                *v /= total;
-            }
-        }
-        self.importance = builder.importance;
+        validate_fit_input(data)?;
+        let owned = self.config.binned.then(|| BinnedFeatures::build(data));
+        self.fit_trunk(data, owned.as_ref().map(|bins| BinView { bins, map: None }));
         Ok(())
     }
 
+    #[inline]
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.nodes.is_empty() {
             return Err(StatsError::invalid("RegressionTree", "model not fitted"));
@@ -503,6 +757,88 @@ mod tests {
         let y = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
         let mut t = RegressionTree::default_cart();
         assert!(t.fit(&Dataset::ungrouped(x, y).unwrap()).is_err());
+    }
+
+    /// Deterministic integer-valued dataset: every split-gain
+    /// accumulation is exact in f64, so the histogram scan must pick
+    /// the same partitions and leaf values as the sorted exact path.
+    fn integer_dataset(n: usize, modulus: u64) -> Dataset {
+        let mut state = 0x1234_5678_9abc_def0_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % modulus
+        };
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![next() as f64, next() as f64, next() as f64])
+            .collect();
+        let ys: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                let v = r[0] + 3.0 * r[1] - r[2];
+                vec![v, (r[1] as u64 % 5) as f64]
+            })
+            .collect();
+        Dataset::ungrouped(
+            DenseMatrix::from_rows(&rows).unwrap(),
+            DenseMatrix::from_rows(&ys).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binned_split_matches_exact_on_integer_data() {
+        // ≤ 256 distinct values per feature → bins are exactly the
+        // distinct values, thresholds the same adjacent-value midpoints,
+        // and integer arithmetic keeps every gain bit-identical.
+        let data = integer_dataset(300, 40);
+        for max_features in [None, Some(2)] {
+            let cfg = TreeConfig {
+                max_depth: 10,
+                max_features,
+                seed: 9,
+                ..TreeConfig::default()
+            };
+            let mut exact = RegressionTree::new(cfg);
+            let mut binned = RegressionTree::new(TreeConfig {
+                binned: true,
+                ..cfg
+            });
+            exact.fit(&data).unwrap();
+            binned.fit(&data).unwrap();
+            assert_eq!(exact.n_nodes(), binned.n_nodes());
+            assert_eq!(exact.depth(), binned.depth());
+            for r in 0..data.len() {
+                let pe = exact.predict(data.x.row(r)).unwrap();
+                let pb = binned.predict(data.x.row(r)).unwrap();
+                for (a, b) in pe.iter().zip(&pb) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binned_handles_more_than_256_distinct_values() {
+        // 2,000 distinct values per feature forces the quantile-cut
+        // path; the tree must still learn the function to tolerance.
+        let data = integer_dataset(2000, 100_000);
+        let mut t = RegressionTree::new(TreeConfig {
+            max_depth: 12,
+            binned: true,
+            ..TreeConfig::default()
+        });
+        t.fit(&data).unwrap();
+        let mut sse = 0.0;
+        let mut var = 0.0;
+        let mean: f64 = (0..data.len()).map(|r| data.y.get(r, 0)).sum::<f64>() / data.len() as f64;
+        for r in 0..data.len() {
+            let p = t.predict(data.x.row(r)).unwrap();
+            sse += (p[0] - data.y.get(r, 0)).powi(2);
+            var += (data.y.get(r, 0) - mean).powi(2);
+        }
+        assert!(sse < 0.05 * var, "sse {sse} vs var {var}");
     }
 
     #[test]

@@ -274,6 +274,57 @@ fn fault_injected_counters_match_the_sweep_report_exactly() {
 }
 
 #[test]
+fn fold_cache_counters_match_incremental_stats_exactly() {
+    use perfvar_suite::core::eval::few_runs_spec;
+    use perfvar_suite::core::{evaluate_few_runs_incremental, FewRunsConfig};
+
+    let _guard = exclusive();
+    let full = Corpus::collect(&SystemModel::intel(), 24, 5);
+    let mut base = full.clone();
+    base.benchmarks.truncate(full.len() - 1);
+    let cfg = FewRunsConfig {
+        repr: ReprKind::PearsonRnd,
+        model: ModelKind::Knn,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 1,
+        seed: 5,
+    };
+    let spec = few_runs_spec(&cfg);
+    let base_enc = EncodedCorpus::build(&base, &spec).unwrap();
+    let full_enc = EncodedCorpus::build(&full, &spec).unwrap();
+    let seeded = evaluate_few_runs_incremental(&base_enc, cfg, &[]).unwrap();
+
+    // One appended-corpus pass (deltas + misses) and one unchanged
+    // rerun (pure exact hits), both under the collector: the fold-cache
+    // counters must agree with the returned stats to the unit.
+    let collector = Collector::install();
+    let warm = evaluate_few_runs_incremental(&full_enc, cfg, &seeded.folds).unwrap();
+    let rerun = evaluate_few_runs_incremental(&full_enc, cfg, &warm.folds).unwrap();
+    let obs = collector.finish();
+
+    assert_eq!(warm.stats.hits, 0);
+    assert!(warm.stats.deltas > 0, "{:?}", warm.stats);
+    assert_eq!(rerun.stats.hits, full.len());
+    let counter = |name: &str| {
+        obs.metrics
+            .counter(name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(
+        counter("pv.core.pipeline.fold_cache.hit"),
+        (warm.stats.hits + rerun.stats.hits) as u64
+    );
+    assert_eq!(
+        counter("pv.core.pipeline.fold_cache.delta"),
+        (warm.stats.deltas + rerun.stats.deltas) as u64
+    );
+    assert_eq!(
+        counter("pv.core.pipeline.fold_cache.miss"),
+        (warm.stats.misses + rerun.stats.misses) as u64
+    );
+}
+
+#[test]
 fn evaluation_is_bit_identical_with_and_without_a_collector() {
     let _guard = exclusive();
     let corpus = Corpus::collect(&SystemModel::intel(), 30, 7);
