@@ -1,0 +1,191 @@
+//! Sharded data-plane benchmarks: encode throughput of the streaming
+//! shard builder, the sharded-vs-monolithic evaluation overhead (the
+//! re-layering claims ≤5% on a resident working set — the two numbers
+//! reported here pin it), and the peak-memory ceiling of a scale
+//! campaign that would cost hundreds of megabytes to materialize
+//! monolithically.
+//!
+//! The memory check runs first, before anything else allocates a whole
+//! corpus: it builds a 2,000-benchmark × 500-run campaign (≈600 MB of
+//! raw run records if collected at once) through `ShardedCorpus` with a
+//! 4-shard resident budget and asserts the process high-water mark
+//! stays under a quarter of that.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_core::eval::{evaluate_few_runs_sharded, few_runs_spec};
+use pv_core::pipeline::EncodedCorpus;
+use pv_core::shard::{CampaignSource, ShardSource, ShardedCorpus};
+use pv_core::usecase1::FewRunsConfig;
+use pv_core::{evaluate_few_runs_encoded, ModelKind, ReprKind};
+use pv_sysmodel::{collect_benchmarks, scaled_roster, Corpus, SystemModel};
+
+fn cfg() -> FewRunsConfig {
+    FewRunsConfig {
+        repr: ReprKind::PearsonRnd,
+        model: ModelKind::Knn,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 1,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn campaign(n_benchmarks: usize, n_runs: usize) -> CampaignSource {
+    CampaignSource {
+        system: SystemModel::intel(),
+        n_benchmarks,
+        n_runs,
+        seed: 7,
+    }
+}
+
+/// The process peak resident set in bytes (`VmHWM`), or `None` off
+/// Linux — the ceiling assertion is skipped there.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Scale scenario: 2,000 benchmarks never materialize at once. Runs
+/// before any monolithic allocation so the high-water mark reflects the
+/// sharded path alone.
+fn bench_scale_memory_ceiling(c: &mut Criterion) {
+    const CEILING: u64 = 160 * 1024 * 1024;
+    let source = campaign(2000, 500);
+    let sh = ShardedCorpus::builder(ShardSource::Campaign(source), &few_runs_spec(&cfg()))
+        .shard_size(64)
+        .resident_shards(4)
+        .build()
+        .unwrap();
+    assert_eq!(sh.len(), 2000);
+    assert!(sh.n_resident() <= 4);
+    if let Some(peak) = peak_rss_bytes() {
+        assert!(
+            peak < CEILING,
+            "sharded scale build peaked at {} MB, ceiling {} MB",
+            peak >> 20,
+            CEILING >> 20,
+        );
+        println!(
+            "scale campaign (2000 bench x 500 runs, shard 64, budget 4): peak RSS {} MB",
+            peak >> 20
+        );
+    }
+    drop(sh);
+
+    // Faulting an evicted shard back in (recompute, no spill) is the
+    // steady-state cost of touching a cold range at scale.
+    let source = campaign(256, 100);
+    let sh = ShardedCorpus::builder(ShardSource::Campaign(source), &few_runs_spec(&cfg()))
+        .shard_size(64)
+        .resident_shards(1)
+        .build()
+        .unwrap();
+    let mut g = c.benchmark_group("shard_scale");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.bench_function("fault_in_evicted_shard_64bench", |b| {
+        b.iter(|| {
+            // Budget 1: touching shard 0 then shard 3 always recomputes.
+            black_box(sh.shard(0).unwrap());
+            black_box(sh.shard(3).unwrap());
+        })
+    });
+    g.finish();
+}
+
+/// Streaming generate+encode throughput of the shard builder.
+fn bench_encode_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_encode");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    let spec = few_runs_spec(&cfg());
+    g.bench_function("sharded_build_256bench_100runs", |b| {
+        b.iter(|| {
+            ShardedCorpus::builder(ShardSource::Campaign(campaign(256, 100)), &spec)
+                .shard_size(64)
+                .build()
+                .unwrap()
+        })
+    });
+    g.bench_function("monolithic_build_256bench_100runs", |b| {
+        let sys = SystemModel::intel();
+        let ids = scaled_roster(256);
+        b.iter(|| {
+            let corpus = Corpus {
+                system: sys.id,
+                n_runs: 100,
+                seed: 7,
+                benchmarks: collect_benchmarks(&sys, &ids, 100, 7),
+            };
+            let enc = EncodedCorpus::build(&corpus, &spec).unwrap();
+            black_box(enc.len())
+        })
+    });
+    g.finish();
+}
+
+/// LOGO evaluation through shards vs the monolithic encoded corpus on
+/// the paper roster. The two numbers this group reports are the ≤5%
+/// overhead claim; the tripwire assertion below only catches gross
+/// regressions so noisy CI boxes don't flake.
+fn bench_eval_overhead(c: &mut Criterion) {
+    let corpus = Corpus::collect(&SystemModel::intel(), 100, 7);
+    let cfg = cfg();
+    let spec = few_runs_spec(&cfg);
+    let enc = EncodedCorpus::build(&corpus, &spec).unwrap();
+    let sh = ShardedCorpus::builder(ShardSource::Corpus(&corpus), &spec)
+        .shard_size(16)
+        .build()
+        .unwrap();
+    let mono = evaluate_few_runs_encoded(&enc, cfg).unwrap();
+    let sharded = evaluate_few_runs_sharded(&sh, cfg).unwrap();
+    assert_eq!(mono, sharded, "sharded eval must be bit-identical");
+
+    let time = |f: &dyn Fn()| {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            f();
+            best = best.min(t.elapsed());
+        }
+        best
+    };
+    let t_mono = time(&|| {
+        black_box(evaluate_few_runs_encoded(&enc, cfg).unwrap());
+    });
+    let t_shard = time(&|| {
+        black_box(evaluate_few_runs_sharded(&sh, cfg).unwrap());
+    });
+    let ratio = t_shard.as_secs_f64() / t_mono.as_secs_f64();
+    println!("sharded/monolithic eval ratio: {ratio:.3} ({t_shard:.1?} vs {t_mono:.1?})");
+    assert!(
+        ratio < 1.25,
+        "sharded eval overhead {ratio:.3}x exceeds the 1.25x tripwire"
+    );
+
+    let mut g = c.benchmark_group("shard_eval");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    g.bench_function("monolithic_logo_60bench", |b| {
+        b.iter(|| evaluate_few_runs_encoded(black_box(&enc), cfg).unwrap())
+    });
+    g.bench_function("sharded_logo_60bench_shard16", |b| {
+        b.iter(|| evaluate_few_runs_sharded(black_box(&sh), cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scale_memory_ceiling,
+    bench_encode_throughput,
+    bench_eval_overhead
+);
+criterion_main!(benches);

@@ -30,9 +30,10 @@ use pv_bench::{
     amd_campaign, campaign_spec, intel_campaign, uc1_config, uc2_config, CAMPAIGN_SEED,
 };
 use pv_core::eval::{evaluate_cross_system_encoded, evaluate_few_runs_encoded, EvalSummary};
-use pv_core::pipeline::EncodedCorpus;
+use pv_core::pipeline::{EncodedCorpus, EncodingSpec};
 use pv_core::report::{kde_curve, overlay, sparkline, summary_table, violin_row, write_csv};
 use pv_core::resilience::{silence_injected_panics, FaultPlan, PvError, DEFAULT_MAX_RETRIES};
+use pv_core::shard::{CampaignSource, ShardSource, ShardedCorpus};
 use pv_core::sweep::{CellCache, CellOutcome, GridSpec, Sweep, SweepReport};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
@@ -774,6 +775,17 @@ OPTIONS:
     --append N           corpus-growth scenario: sweep the corpus minus its
                          last N benchmarks first, then sweep the full corpus
                          so unchanged folds replay from the fold cache
+    --benchmarks N       scale scenario: sweep a synthetic campaign of N
+                         benchmarks (Table I roster first, then generated
+                         entries) through the sharded data plane, generating
+                         and encoding one shard at a time so peak memory is
+                         bounded by the resident-shard budget, not N. Unless
+                         --reprs/--models are given, the grid defaults to
+                         PearsonRnd x kNN
+    --shard-size K       benchmarks per shard for the sharded data plane
+                         (default 256; implies the sharded path even without
+                         --benchmarks). Results are bit-identical to the
+                         monolithic path at any K
     --cache DIR          cell cache directory (default target/repro/sweep-cache)
     --no-cache           run without a cell cache
     --keep-going         exit 0 even when cells fail; report them in the
@@ -806,6 +818,8 @@ struct SweepArgs {
     grid: GridSpec,
     runs: usize,
     append: usize,
+    benchmarks: Option<usize>,
+    shard_size: Option<usize>,
     cache_dir: Option<PathBuf>,
     keep_going: bool,
     max_retries: u32,
@@ -829,6 +843,8 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
         },
         runs: pv_bench::CAMPAIGN_RUNS,
         append: 0,
+        benchmarks: None,
+        shard_size: None,
         cache_dir: Some(out_dir().join("sweep-cache")),
         keep_going: false,
         max_retries: DEFAULT_MAX_RETRIES,
@@ -836,6 +852,8 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
         progress: false,
     };
     let mut i = 0;
+    let mut reprs_given = false;
+    let mut models_given = false;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
         args.get(*i)
@@ -881,6 +899,24 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
                     .parse()
                     .unwrap_or_else(|e| sweep_usage_error(&format!("--append: {e}")));
             }
+            "--benchmarks" => {
+                let n: usize = value(&mut i, "--benchmarks")
+                    .parse()
+                    .unwrap_or_else(|e| sweep_usage_error(&format!("--benchmarks: {e}")));
+                if n == 0 {
+                    sweep_usage_error("--benchmarks must be at least 1");
+                }
+                parsed.benchmarks = Some(n);
+            }
+            "--shard-size" => {
+                let k: usize = value(&mut i, "--shard-size")
+                    .parse()
+                    .unwrap_or_else(|e| sweep_usage_error(&format!("--shard-size: {e}")));
+                if k == 0 {
+                    sweep_usage_error("--shard-size must be at least 1");
+                }
+                parsed.shard_size = Some(k);
+            }
             "--samples" => {
                 parsed.grid.sample_counts = value(&mut i, "--samples")
                     .split(',')
@@ -898,6 +934,7 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
                     .collect();
             }
             "--reprs" => {
+                reprs_given = true;
                 let v = value(&mut i, "--reprs");
                 if !v.eq_ignore_ascii_case("all") {
                     parsed.grid.reprs = v
@@ -911,6 +948,7 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
                 }
             }
             "--models" => {
+                models_given = true;
                 let v = value(&mut i, "--models");
                 if !v.eq_ignore_ascii_case("all") {
                     parsed.grid.models = v
@@ -927,11 +965,24 @@ fn parse_sweep_args(args: &[String]) -> SweepArgs {
         }
         i += 1;
     }
+    // A scale run over thousands of benchmarks defaults to the cheap
+    // PearsonRnd × kNN cell so the grid doesn't multiply the campaign.
+    if parsed.benchmarks.is_some() {
+        if !reprs_given {
+            parsed.grid.reprs = vec![ReprKind::PearsonRnd];
+        }
+        if !models_given {
+            parsed.grid.models = vec![ModelKind::Knn];
+        }
+    }
     if parsed.grid.is_degenerate() {
         sweep_usage_error("the grid has an empty axis");
     }
     if parsed.append > 0 && parsed.cache_dir.is_none() {
         sweep_usage_error("--append needs the cell cache (drop --no-cache)");
+    }
+    if parsed.append > 0 && parsed.append >= parsed.benchmarks.unwrap_or(usize::MAX) {
+        sweep_usage_error("--append must leave at least one base benchmark");
     }
     parsed
 }
@@ -975,6 +1026,8 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
         grid,
         runs,
         append,
+        benchmarks,
+        shard_size,
         cache_dir,
         keep_going,
         max_retries,
@@ -998,129 +1051,114 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
         );
     }
 
-    // Own the corpora only when the run count deviates from the shared
-    // campaign; the common path reuses the process-wide caches.
-    let full = runs == pv_bench::CAMPAIGN_RUNS;
-    let collect = |sys: pv_sysmodel::SystemModel| Corpus::collect(&sys, runs, CAMPAIGN_SEED);
-
-    let t = Instant::now();
-    let (primary, secondary): (&Corpus, Option<Corpus>);
-    let local: Corpus;
-    match (uc, reverse) {
-        (1, _) => {
-            if full {
-                primary = intel();
-                secondary = None;
-            } else {
-                local = collect(pv_sysmodel::SystemModel::intel());
-                primary = &local;
-                secondary = None;
-            }
-        }
-        (2, false) => {
-            if full {
-                primary = amd();
-                secondary = Some(intel().clone());
-            } else {
-                local = collect(pv_sysmodel::SystemModel::amd());
-                primary = &local;
-                secondary = Some(collect(pv_sysmodel::SystemModel::intel()));
-            }
-        }
-        (2, true) => {
-            if full {
-                primary = intel();
-                secondary = Some(amd().clone());
-            } else {
-                local = collect(pv_sysmodel::SystemModel::intel());
-                primary = &local;
-                secondary = Some(collect(pv_sysmodel::SystemModel::amd()));
-            }
-        }
-        _ => unreachable!("--uc validated"),
-    }
-    if !full || uc == 2 {
-        println!("[setup] corpora ready in {:.1?}", t.elapsed());
-    }
-
-    // Encode once for the whole grid, then run the cells over the cache.
     let cache = cache_dir.as_ref().map(CellCache::new);
-    fn encode_or_die<'c>(
-        what: &str,
-        r: Result<EncodedCorpus<'c>, pv_stats::StatsError>,
-    ) -> EncodedCorpus<'c> {
-        r.unwrap_or_else(|e| {
-            eprintln!("sweep: cannot encode {what} corpus: {e}");
-            std::process::exit(1);
-        })
-    }
-    // One grid pass over a (primary, secondary) corpus pair. Reused by
-    // the `--append` growth scenario, which sweeps a truncated base
-    // corpus first so the full-corpus pass can replay unchanged folds.
-    let run_grid = |primary: &Corpus, secondary: Option<&Corpus>, faults: FaultPlan| {
-        let t = Instant::now();
-        match uc {
-            1 => {
-                let enc = encode_or_die(
-                    "primary",
-                    EncodedCorpus::build(primary, &grid.few_runs_encoding()),
-                );
-                println!("[setup] corpus encoded in {:.1?}", t.elapsed());
-                let mut sweep = Sweep::few_runs(&enc)
-                    .with_max_retries(max_retries)
-                    .with_faults(faults);
-                if let Some(c) = cache.clone() {
-                    sweep = sweep.with_cache(c);
-                }
-                run_sweep_streaming(&sweep, &grid, progress)
-            }
-            _ => {
-                let dst_corpus = secondary.expect("uc2 destination");
-                let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
-                let src = encode_or_die("source", EncodedCorpus::build(primary, &src_spec));
-                let dst = encode_or_die("destination", EncodedCorpus::build(dst_corpus, &dst_spec));
-                println!("[setup] corpora encoded in {:.1?}", t.elapsed());
-                let mut sweep = Sweep::cross_system(&src, &dst)
-                    .with_max_retries(max_retries)
-                    .with_faults(faults);
-                if let Some(c) = cache.clone() {
-                    sweep = sweep.with_cache(c);
-                }
-                run_sweep_streaming(&sweep, &grid, progress)
-            }
-        }
-    };
-    if append > 0 {
-        let n = primary.benchmarks.len();
-        if append >= n {
-            eprintln!("sweep: --append {append} leaves no base corpus ({n} benchmarks)");
+
+    // The sharded data plane: generate and encode the campaign one
+    // benchmark-range shard at a time, never materializing a whole
+    // corpus, with an LRU-bounded resident set. Cells are bit-identical
+    // to (and cache-compatible with) the monolithic path below.
+    let report = if benchmarks.is_some() || shard_size.is_some() {
+        let n_bench = benchmarks.unwrap_or_else(|| pv_sysmodel::roster().len());
+        let shard_sz = shard_size.unwrap_or(256);
+        if append >= n_bench && append > 0 {
+            eprintln!("sweep: --append {append} leaves no base corpus ({n_bench} benchmarks)");
             std::process::exit(2);
         }
-        // Phase 1: the corpus as it stood before the last `append`
-        // benchmarks arrived. Collection is per-benchmark seeded, so a
-        // truncated clone is bit-identical to having measured the
-        // smaller corpus directly. Faults are armed only for the full
-        // pass — they address cells of the run under test.
-        let mut base = primary.clone();
-        base.benchmarks.truncate(n - append);
-        let base_secondary = secondary.as_ref().map(|s| {
-            let mut s = s.clone();
-            s.benchmarks.truncate(n - append);
-            s
-        });
-        println!(
-            "[append] phase 1/2: base corpus, {} of {n} benchmarks",
-            n - append
-        );
-        let seeded = run_grid(&base, base_secondary.as_ref(), FaultPlan::none());
-        println!(
-            "[append] fold cache seeded: {} fold(s) scored across {} cell(s)",
-            seeded.fold_stats.misses + seeded.fold_stats.deltas,
-            seeded.misses,
-        );
-        println!("[append] phase 2/2: full corpus, +{append} benchmark(s)");
-    }
-    let report = run_grid(primary, secondary.as_ref(), faults);
+        let spill_dir = cache_dir.as_ref().map(|d| d.join("shard-spill"));
+        let campaign = |system: pv_sysmodel::SystemModel, n: usize| CampaignSource {
+            system,
+            n_benchmarks: n,
+            n_runs: runs,
+            seed: CAMPAIGN_SEED,
+        };
+        let build_sharded = |what: &str, source: CampaignSource, spec: &EncodingSpec| {
+            let t = Instant::now();
+            let mut b =
+                ShardedCorpus::builder(ShardSource::Campaign(source), spec).shard_size(shard_sz);
+            if let Some(dir) = &spill_dir {
+                b = b.spill_dir(dir);
+            }
+            let sh = b.build().unwrap_or_else(|e| {
+                eprintln!("sweep: cannot build sharded {what} corpus: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "[setup] {what} campaign sharded in {:.1?} ({} benchmarks, {} shard(s) of ≤{shard_sz}, {} resident)",
+                t.elapsed(),
+                sh.len(),
+                sh.layout().n_shards(),
+                sh.resident_budget(),
+            );
+            sh
+        };
+        let run_pass = |n: usize, faults: FaultPlan| -> SweepReport {
+            match uc {
+                1 => {
+                    let sh = build_sharded(
+                        "primary",
+                        campaign(pv_sysmodel::SystemModel::intel(), n),
+                        &grid.few_runs_encoding(),
+                    );
+                    let mut sweep = Sweep::few_runs_sharded(&sh)
+                        .with_max_retries(max_retries)
+                        .with_faults(faults);
+                    if let Some(c) = cache.clone() {
+                        sweep = sweep.with_cache(c);
+                    }
+                    run_sweep_streaming(&sweep, &grid, progress)
+                }
+                _ => {
+                    let (src_sys, dst_sys) = if reverse {
+                        (
+                            pv_sysmodel::SystemModel::intel(),
+                            pv_sysmodel::SystemModel::amd(),
+                        )
+                    } else {
+                        (
+                            pv_sysmodel::SystemModel::amd(),
+                            pv_sysmodel::SystemModel::intel(),
+                        )
+                    };
+                    let (src_spec, dst_spec) = grid.cross_system_encoding_for_runs(runs);
+                    let src = build_sharded("source", campaign(src_sys, n), &src_spec);
+                    let dst = build_sharded("destination", campaign(dst_sys, n), &dst_spec);
+                    let mut sweep = Sweep::cross_system_sharded(&src, &dst)
+                        .with_max_retries(max_retries)
+                        .with_faults(faults);
+                    if let Some(c) = cache.clone() {
+                        sweep = sweep.with_cache(c);
+                    }
+                    run_sweep_streaming(&sweep, &grid, progress)
+                }
+            }
+        };
+        if append > 0 {
+            println!(
+                "[append] phase 1/2: base campaign, {} of {n_bench} benchmarks",
+                n_bench - append
+            );
+            let seeded = run_pass(n_bench - append, FaultPlan::none());
+            println!(
+                "[append] fold cache seeded: {} fold(s) scored across {} cell(s)",
+                seeded.fold_stats.misses + seeded.fold_stats.deltas,
+                seeded.misses,
+            );
+            println!("[append] phase 2/2: full campaign, +{append} benchmark(s)");
+        }
+        run_pass(n_bench, faults)
+    } else {
+        monolithic_sweep(MonolithicSweep {
+            uc,
+            reverse,
+            grid: &grid,
+            runs,
+            append,
+            cache: cache.clone(),
+            max_retries,
+            faults,
+            progress,
+        })
+    };
 
     // Summary table in grid order (healthy + degraded cells) + CSV.
     println!();
@@ -1204,6 +1242,158 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
         eprintln!("sweep: failing cells present (re-run with --keep-going to tolerate them)");
         std::process::exit(1);
     }
+}
+
+/// Everything the monolithic (non-sharded) sweep path needs.
+struct MonolithicSweep<'g> {
+    uc: usize,
+    reverse: bool,
+    grid: &'g GridSpec,
+    runs: usize,
+    append: usize,
+    cache: Option<CellCache>,
+    max_retries: u32,
+    faults: FaultPlan,
+    progress: bool,
+}
+
+/// The classic sweep path: collect (or reuse) whole corpora, encode them
+/// once, and run the grid over them. Bit-identical to the sharded path
+/// on the same campaign.
+fn monolithic_sweep(p: MonolithicSweep<'_>) -> SweepReport {
+    let MonolithicSweep {
+        uc,
+        reverse,
+        grid,
+        runs,
+        append,
+        cache,
+        max_retries,
+        faults,
+        progress,
+    } = p;
+    // Own the corpora only when the run count deviates from the shared
+    // campaign; the common path reuses the process-wide caches.
+    let full = runs == pv_bench::CAMPAIGN_RUNS;
+    let collect = |sys: pv_sysmodel::SystemModel| Corpus::collect(&sys, runs, CAMPAIGN_SEED);
+
+    let t = Instant::now();
+    let (primary, secondary): (&Corpus, Option<Corpus>);
+    let local: Corpus;
+    match (uc, reverse) {
+        (1, _) => {
+            if full {
+                primary = intel();
+                secondary = None;
+            } else {
+                local = collect(pv_sysmodel::SystemModel::intel());
+                primary = &local;
+                secondary = None;
+            }
+        }
+        (2, false) => {
+            if full {
+                primary = amd();
+                secondary = Some(intel().clone());
+            } else {
+                local = collect(pv_sysmodel::SystemModel::amd());
+                primary = &local;
+                secondary = Some(collect(pv_sysmodel::SystemModel::intel()));
+            }
+        }
+        (2, true) => {
+            if full {
+                primary = intel();
+                secondary = Some(amd().clone());
+            } else {
+                local = collect(pv_sysmodel::SystemModel::intel());
+                primary = &local;
+                secondary = Some(collect(pv_sysmodel::SystemModel::amd()));
+            }
+        }
+        _ => unreachable!("--uc validated"),
+    }
+    if !full || uc == 2 {
+        println!("[setup] corpora ready in {:.1?}", t.elapsed());
+    }
+
+    // Encode once for the whole grid, then run the cells over the cache.
+    fn encode_or_die<'c>(
+        what: &str,
+        r: Result<EncodedCorpus<'c>, pv_stats::StatsError>,
+    ) -> EncodedCorpus<'c> {
+        r.unwrap_or_else(|e| {
+            eprintln!("sweep: cannot encode {what} corpus: {e}");
+            std::process::exit(1);
+        })
+    }
+    // One grid pass over a (primary, secondary) corpus pair. Reused by
+    // the `--append` growth scenario, which sweeps a truncated base
+    // corpus first so the full-corpus pass can replay unchanged folds.
+    let run_grid = |primary: &Corpus, secondary: Option<&Corpus>, faults: FaultPlan| {
+        let t = Instant::now();
+        match uc {
+            1 => {
+                let enc = encode_or_die(
+                    "primary",
+                    EncodedCorpus::build(primary, &grid.few_runs_encoding()),
+                );
+                println!("[setup] corpus encoded in {:.1?}", t.elapsed());
+                let mut sweep = Sweep::few_runs(&enc)
+                    .with_max_retries(max_retries)
+                    .with_faults(faults);
+                if let Some(c) = cache.clone() {
+                    sweep = sweep.with_cache(c);
+                }
+                run_sweep_streaming(&sweep, grid, progress)
+            }
+            _ => {
+                let dst_corpus = secondary.expect("uc2 destination");
+                let (src_spec, dst_spec) = grid.cross_system_encoding(primary);
+                let src = encode_or_die("source", EncodedCorpus::build(primary, &src_spec));
+                let dst = encode_or_die("destination", EncodedCorpus::build(dst_corpus, &dst_spec));
+                println!("[setup] corpora encoded in {:.1?}", t.elapsed());
+                let mut sweep = Sweep::cross_system(&src, &dst)
+                    .with_max_retries(max_retries)
+                    .with_faults(faults);
+                if let Some(c) = cache.clone() {
+                    sweep = sweep.with_cache(c);
+                }
+                run_sweep_streaming(&sweep, grid, progress)
+            }
+        }
+    };
+    if append > 0 {
+        let n = primary.benchmarks.len();
+        if append >= n {
+            eprintln!("sweep: --append {append} leaves no base corpus ({n} benchmarks)");
+            std::process::exit(2);
+        }
+        // Phase 1: the corpus as it stood before the last `append`
+        // benchmarks arrived. Collection is per-benchmark seeded, so a
+        // truncated clone is bit-identical to having measured the
+        // smaller corpus directly. Faults are armed only for the full
+        // pass — they address cells of the run under test.
+        let mut base = primary.clone();
+        base.benchmarks.truncate(n - append);
+        let base_secondary = secondary.as_ref().map(|s| {
+            let mut s = s.clone();
+            s.benchmarks.truncate(n - append);
+            s
+        });
+        println!(
+            "[append] phase 1/2: base corpus, {} of {n} benchmarks",
+            n - append
+        );
+        let seeded = run_grid(&base, base_secondary.as_ref(), FaultPlan::none());
+        println!(
+            "[append] fold cache seeded: {} fold(s) scored across {} cell(s)",
+            seeded.fold_stats.misses + seeded.fold_stats.deltas,
+            seeded.misses,
+        );
+        println!("[append] phase 2/2: full corpus, +{append} benchmark(s)");
+    }
+    run_grid(primary, secondary.as_ref(), faults)
 }
 
 /// Renders the failure summary table; returns true when the run is clean.

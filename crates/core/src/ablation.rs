@@ -8,6 +8,8 @@
 //! representation does when handed the *true* encoding — the irreducible
 //! error of the representation itself, with no model in the loop).
 
+use std::borrow::Cow;
+
 use rand::SeedableRng;
 
 use pv_ml::{Distance, KnnRegressor, Regressor};
@@ -17,7 +19,7 @@ use pv_stats::StatsError;
 use pv_sysmodel::Corpus;
 
 use crate::eval::{BenchScore, EvalSummary, RECONSTRUCTION_SAMPLES};
-use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
+use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldRunner, FoldTruth, FoldView, SeedMode};
 use crate::repr::{DistributionRepr, HistogramRepr, ReprKind, REL_TIME_RANGE};
 
 /// Leave-one-out kNN evaluation with an explicit distance metric and `k`,
@@ -71,25 +73,33 @@ pub fn evaluate_knn_variant_encoded(
     runner.run(
         |_fold_seed| Box::new(KnnRegressor::new(k).with_distance(distance)) as Box<dyn Regressor>,
         |held, include| {
-            let x_rows = include
-                .iter()
-                .map(|&i| enc.profile(s, i, 0))
-                .collect::<Result<Vec<_>, _>>()?;
-            let y_rows = include
-                .iter()
-                .map(|&i| enc.target(ReprKind::PearsonRnd, i))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(FoldPlan {
-                x_rows,
-                y_rows,
-                // The historical loop used `Dataset::ungrouped`.
-                groups: (0..include.len()).collect(),
-                query: enc.profile(s, held, 0)?.to_vec(),
-            })
+            let query = enc.profile(s, held, 0)?.to_vec();
+            let x_dim = query.len();
+            let y_dim = enc.target(ReprKind::PearsonRnd, held)?.len();
+            Ok(FoldView::new(
+                include.len(),
+                x_dim,
+                y_dim,
+                query,
+                move |sink| {
+                    for (rank, &i) in include.iter().enumerate() {
+                        // The historical loop used `Dataset::ungrouped`, so
+                        // groups are include ranks, not benchmark indices.
+                        sink(
+                            enc.profile(s, i, 0)?,
+                            enc.target(ReprKind::PearsonRnd, i)?,
+                            rank,
+                        )?;
+                    }
+                    Ok(())
+                },
+            ))
         },
-        |held| FoldTruth {
-            id: corpus.benchmarks[held].id,
-            rel: enc.rel_times(held),
+        |held| {
+            Ok(FoldTruth {
+                id: corpus.benchmarks[held].id,
+                rel: Cow::Borrowed(enc.rel_times(held)),
+            })
         },
     )
 }

@@ -13,14 +13,19 @@
 //! sweeps over models/representations on the same corpus (the paper's
 //! grids) pay for encoding once.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use pv_stats::descriptive::FiveNumber;
 use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkId, Corpus};
 
-use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner, FoldTruth, SeedMode};
+use crate::pipeline::{EncodedCorpus, EncodingSpec, FoldRunner, FoldTruth, FoldView, SeedMode};
 use crate::repr::DistributionRepr;
+use crate::shard::{
+    cross_system_assemble_sharded, few_runs_assemble_sharded, sharded_truth, ShardedCorpus,
+};
 use crate::usecase1::FewRunsConfig;
 use crate::usecase2::CrossSystemConfig;
 
@@ -123,27 +128,28 @@ pub(crate) fn few_runs_runner<'r>(
 pub(crate) fn few_runs_assemble<'a, 'c>(
     enc: &'a EncodedCorpus<'c>,
     cfg: FewRunsConfig,
-) -> impl Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync + 'a {
+) -> impl Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError> + Send + Sync + 'a {
     let s = cfg.n_profile_runs;
     let windows = cfg.profiles_per_benchmark.max(1);
     move |held, include| {
-        let mut x_rows = Vec::with_capacity(include.len() * windows);
-        let mut y_rows = Vec::with_capacity(include.len() * windows);
-        let mut groups = Vec::with_capacity(include.len() * windows);
-        for &bi in include {
-            let target = enc.target(cfg.repr, bi)?;
-            for w in 0..windows {
-                x_rows.push(enc.profile(s, bi, w)?);
-                y_rows.push(target);
-                groups.push(bi);
-            }
-        }
-        Ok(FoldPlan {
-            x_rows,
-            y_rows,
-            groups,
-            query: enc.profile(s, held, 0)?.to_vec(),
-        })
+        let query = enc.profile(s, held, 0)?.to_vec();
+        let x_dim = query.len();
+        let y_dim = enc.target(cfg.repr, held)?.len();
+        Ok(FoldView::new(
+            include.len() * windows,
+            x_dim,
+            y_dim,
+            query,
+            move |sink| {
+                for &bi in &include {
+                    let target = enc.target(cfg.repr, bi)?;
+                    for w in 0..windows {
+                        sink(enc.profile(s, bi, w)?, target, bi)?;
+                    }
+                }
+                Ok(())
+            },
+        ))
     }
 }
 
@@ -151,11 +157,13 @@ pub(crate) fn few_runs_assemble<'a, 'c>(
 /// benchmark's measured relative times.
 pub(crate) fn few_runs_truth<'a, 'c>(
     enc: &'a EncodedCorpus<'c>,
-) -> impl Fn(usize) -> FoldTruth<'a> + Send + Sync + 'a {
+) -> impl Fn(usize) -> Result<FoldTruth<'a>, StatsError> + Send + Sync + 'a {
     let corpus = enc.corpus();
-    move |held| FoldTruth {
-        id: corpus.benchmarks[held].id,
-        rel: enc.rel_times(held),
+    move |held| {
+        Ok(FoldTruth {
+            id: corpus.benchmarks[held].id,
+            rel: Cow::Borrowed(enc.rel_times(held)),
+        })
     }
 }
 
@@ -186,9 +194,49 @@ pub fn evaluate_few_runs_encoded(
     )
 }
 
+/// [`evaluate_few_runs`] over a sharded corpus.
+///
+/// Bit-identical to the monolithic paths for the same campaign, config
+/// and seed, at any shard layout and thread count: folds stream their
+/// rows shard by shard in the same include-rank-major order the
+/// monolithic assembly produces, and per-fold seeds never depend on the
+/// layout. Peak memory is bounded by the corpus's resident-shard budget,
+/// not the corpus size.
+///
+/// # Errors
+/// Fails when the sharded corpus's spec does not cover
+/// [`few_runs_spec`], plus anything [`evaluate_few_runs`] can fail with.
+pub fn evaluate_few_runs_sharded(
+    sh: &ShardedCorpus<'_>,
+    cfg: FewRunsConfig,
+) -> Result<EvalSummary, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.few_runs",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.n_profile_runs,
+    );
+    let repr = cfg.repr.build();
+    let runner = few_runs_runner(sh.len(), &cfg, repr.as_ref());
+    runner.run(
+        |fold_seed| cfg.model.build(fold_seed),
+        few_runs_assemble_sharded(sh, cfg),
+        sharded_truth(sh),
+    )
+}
+
 /// The cache specs (source, destination) [`evaluate_cross_system`] needs.
 pub fn cross_system_specs(src: &Corpus, cfg: &CrossSystemConfig) -> (EncodingSpec, EncodingSpec) {
-    let s_eff = cfg.profile_runs.min(src.n_runs).max(1);
+    cross_system_specs_for_runs(src.n_runs, cfg)
+}
+
+/// [`cross_system_specs`] from the source run count alone — for sharded
+/// campaigns that never materialize a [`Corpus`].
+pub fn cross_system_specs_for_runs(
+    src_n_runs: usize,
+    cfg: &CrossSystemConfig,
+) -> (EncodingSpec, EncodingSpec) {
+    let s_eff = cfg.profile_runs.min(src_n_runs).max(1);
     (
         EncodingSpec::new().joined(s_eff, cfg.repr),
         EncodingSpec::new().target(cfg.repr),
@@ -264,23 +312,28 @@ pub(crate) fn cross_system_assemble<'a, 'c>(
     src: &'a EncodedCorpus<'c>,
     dst: &'a EncodedCorpus<'c>,
     cfg: CrossSystemConfig,
-) -> impl Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync + 'a {
+) -> impl Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError> + Send + Sync + 'a {
     let s_eff = cfg.profile_runs.min(src.corpus().n_runs).max(1);
     move |held, include| {
-        let mut x_rows = Vec::with_capacity(include.len());
-        let mut y_rows = Vec::with_capacity(include.len());
-        let mut groups = Vec::with_capacity(include.len());
-        for &bi in include {
-            x_rows.push(src.joined(s_eff, cfg.repr, bi)?);
-            y_rows.push(dst.target(cfg.repr, bi)?);
-            groups.push(bi);
-        }
-        Ok(FoldPlan {
-            x_rows,
-            y_rows,
-            groups,
-            query: src.joined(s_eff, cfg.repr, held)?.to_vec(),
-        })
+        let query = src.joined(s_eff, cfg.repr, held)?.to_vec();
+        let x_dim = query.len();
+        let y_dim = dst.target(cfg.repr, held)?.len();
+        Ok(FoldView::new(
+            include.len(),
+            x_dim,
+            y_dim,
+            query,
+            move |sink| {
+                for &bi in &include {
+                    sink(
+                        src.joined(s_eff, cfg.repr, bi)?,
+                        dst.target(cfg.repr, bi)?,
+                        bi,
+                    )?;
+                }
+                Ok(())
+            },
+        ))
     }
 }
 
@@ -288,11 +341,13 @@ pub(crate) fn cross_system_assemble<'a, 'c>(
 /// benchmark's measured relative times on the *destination* system.
 pub(crate) fn cross_system_truth<'a, 'c>(
     dst: &'a EncodedCorpus<'c>,
-) -> impl Fn(usize) -> FoldTruth<'a> + Send + Sync + 'a {
+) -> impl Fn(usize) -> Result<FoldTruth<'a>, StatsError> + Send + Sync + 'a {
     let dst_corpus = dst.corpus();
-    move |held| FoldTruth {
-        id: dst_corpus.benchmarks[held].id,
-        rel: dst.rel_times(held),
+    move |held| {
+        Ok(FoldTruth {
+            id: dst_corpus.benchmarks[held].id,
+            rel: Cow::Borrowed(dst.rel_times(held)),
+        })
     }
 }
 
@@ -322,6 +377,58 @@ pub fn evaluate_cross_system_encoded(
         |fold_seed| cfg.model.build(fold_seed),
         cross_system_assemble(src, dst, cfg),
         cross_system_truth(dst),
+    )
+}
+
+/// Validates a use-case-2 sharded pair: aligned rosters on two distinct
+/// systems (shard layouts may differ — folds pin source and destination
+/// shards independently).
+pub(crate) fn validate_cross_system_sharded(
+    src: &ShardedCorpus<'_>,
+    dst: &ShardedCorpus<'_>,
+) -> Result<(), StatsError> {
+    if src.len() != dst.len() || src.ids() != dst.ids() {
+        return Err(StatsError::invalid(
+            "evaluate_cross_system",
+            "source and destination corpora cover different rosters",
+        ));
+    }
+    if src.system() == dst.system() {
+        return Err(StatsError::invalid(
+            "evaluate_cross_system",
+            "source and destination are the same system",
+        ));
+    }
+    Ok(())
+}
+
+/// [`evaluate_cross_system`] over sharded corpora.
+///
+/// Bit-identical to the monolithic paths for the same campaigns, config
+/// and seed, at any shard layouts and thread count (see
+/// [`evaluate_few_runs_sharded`]).
+///
+/// # Errors
+/// Fails on mismatched corpora or uncovered specs, plus anything
+/// [`evaluate_cross_system`] can fail with.
+pub fn evaluate_cross_system_sharded(
+    src: &ShardedCorpus<'_>,
+    dst: &ShardedCorpus<'_>,
+    cfg: CrossSystemConfig,
+) -> Result<EvalSummary, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.cross_system",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.profile_runs,
+    );
+    validate_cross_system_sharded(src, dst)?;
+    let repr = cfg.repr.build();
+    let runner = cross_system_runner(src.len(), &cfg, repr.as_ref());
+    runner.run(
+        |fold_seed| cfg.model.build(fold_seed),
+        cross_system_assemble_sharded(src, dst, cfg),
+        sharded_truth(dst),
     )
 }
 

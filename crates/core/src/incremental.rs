@@ -54,9 +54,13 @@ use pv_stats::StatsError;
 
 use crate::eval::{
     cross_system_assemble, cross_system_runner, cross_system_truth, few_runs_assemble,
-    few_runs_runner, few_runs_truth, validate_cross_system_pair, BenchScore, EvalSummary,
+    few_runs_runner, few_runs_truth, validate_cross_system_pair, validate_cross_system_sharded,
+    BenchScore, EvalSummary,
 };
-use crate::pipeline::{EncodedCorpus, FoldPlan, FoldRunner, FoldTruth};
+use crate::pipeline::{EncodedCorpus, FoldRunner, FoldTruth, FoldView};
+use crate::shard::{
+    cross_system_assemble_sharded, few_runs_assemble_sharded, sharded_truth, ShardedCorpus,
+};
 use crate::usecase1::FewRunsConfig;
 use crate::usecase2::CrossSystemConfig;
 
@@ -233,8 +237,8 @@ fn run_folds<'a, M, A, T>(
 ) -> Result<IncrementalEval, StatsError>
 where
     M: Fn(u64) -> Box<dyn Regressor> + Send + Sync,
-    A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync,
-    T: Fn(usize) -> FoldTruth<'a> + Send + Sync,
+    A: Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError> + Send + Sync,
+    T: Fn(usize) -> Result<FoldTruth<'a>, StatsError> + Send + Sync,
 {
     let FoldReuse {
         bench_fps,
@@ -454,6 +458,92 @@ pub fn evaluate_cross_system_incremental(
         |fold_seed| cfg.model.build(fold_seed),
         cross_system_assemble(src, dst, cfg),
         cross_system_truth(dst),
+        FoldReuse {
+            bench_fps: &bench_fps,
+            config_json: &json,
+            delta_model: cfg.model.neighbor_delta_model(),
+            prior,
+        },
+    )
+}
+
+/// Incremental [`crate::eval::evaluate_few_runs_sharded`]: the sharded
+/// corpus analogue of [`evaluate_few_runs_incremental`].
+///
+/// Fold fingerprints hash the per-benchmark digests the shards carry —
+/// the same digests the monolithic path computes, independent of shard
+/// layout — so fold entries written by a monolithic run serve exact hits
+/// and append-deltas to a sharded run of the same campaign and vice
+/// versa, at any shard size.
+///
+/// # Errors
+/// Everything the non-incremental sharded evaluation can fail with.
+pub fn evaluate_few_runs_incremental_sharded(
+    sh: &ShardedCorpus<'_>,
+    cfg: FewRunsConfig,
+    prior: &[FoldEntry],
+) -> Result<IncrementalEval, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.few_runs",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.n_profile_runs,
+    );
+    let json = config_json("uc1", &cfg)?;
+    let repr = cfg.repr.build();
+    let runner = few_runs_runner(sh.len(), &cfg, repr.as_ref());
+    run_folds(
+        &runner,
+        |fold_seed| cfg.model.build(fold_seed),
+        few_runs_assemble_sharded(sh, cfg),
+        sharded_truth(sh),
+        FoldReuse {
+            bench_fps: sh.bench_fingerprints(),
+            config_json: &json,
+            delta_model: cfg.model.neighbor_delta_model(),
+            prior,
+        },
+    )
+}
+
+/// Incremental [`crate::eval::evaluate_cross_system_sharded`]; see
+/// [`evaluate_few_runs_incremental_sharded`].
+///
+/// # Errors
+/// Everything the non-incremental sharded evaluation can fail with.
+pub fn evaluate_cross_system_incremental_sharded(
+    src: &ShardedCorpus<'_>,
+    dst: &ShardedCorpus<'_>,
+    cfg: CrossSystemConfig,
+    prior: &[FoldEntry],
+) -> Result<IncrementalEval, StatsError> {
+    let _span = pv_obs::span!(
+        "pv.core.eval.cross_system",
+        repr = cfg.repr.name(),
+        model = cfg.model.name(),
+        s = cfg.profile_runs,
+    );
+    validate_cross_system_sharded(src, dst)?;
+    let json = config_json("uc2", &cfg)?;
+    let bench_fps: Vec<u64> = src
+        .bench_fingerprints()
+        .iter()
+        .zip(dst.bench_fingerprints())
+        .map(|(&s, &d)| {
+            let mut h = Fnv1a::new();
+            h.write_str("pv-bench-pair");
+            h.write_u64(s);
+            h.write_u64(d);
+            h.finish()
+        })
+        .collect();
+    let repr = cfg.repr.build();
+    let runner = cross_system_runner(src.len(), &cfg, repr.as_ref());
+    run_folds(
+        &runner,
+        |fold_seed| cfg.model.build(fold_seed),
+        cross_system_assemble_sharded(src, dst, cfg),
+        sharded_truth(dst),
         FoldReuse {
             bench_fps: &bench_fps,
             config_json: &json,

@@ -62,6 +62,7 @@ pub mod profile;
 pub mod report;
 pub mod repr;
 pub mod resilience;
+pub mod shard;
 pub mod sweep;
 pub mod usecase1;
 pub mod usecase2;
@@ -71,21 +72,27 @@ pub use baseline::{
     population_baseline_encoded,
 };
 pub use eval::{
-    evaluate_cross_system, evaluate_cross_system_encoded, evaluate_few_runs,
-    evaluate_few_runs_encoded, BenchScore, EvalSummary,
+    evaluate_cross_system, evaluate_cross_system_encoded, evaluate_cross_system_sharded,
+    evaluate_few_runs, evaluate_few_runs_encoded, evaluate_few_runs_sharded, BenchScore,
+    EvalSummary,
 };
 pub use incremental::{
-    evaluate_cross_system_incremental, evaluate_few_runs_incremental, fold_fingerprint,
+    evaluate_cross_system_incremental, evaluate_cross_system_incremental_sharded,
+    evaluate_few_runs_incremental, evaluate_few_runs_incremental_sharded, fold_fingerprint,
     FoldCacheStats, FoldEntry, IncrementalEval,
 };
 pub use model::ModelKind;
 pub use pipeline::{
-    bench_fingerprints, corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldPlan, FoldRunner,
-    FoldTruth, PreparedFold, SeedMode,
+    bench_fingerprints, corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldRunner, FoldTruth,
+    FoldView, PreparedFold, RowSink, SeedMode,
 };
 pub use profile::Profile;
 pub use repr::{DistributionRepr, ReprKind};
 pub use resilience::{FaultKind, FaultPlan, PvError, Quarantine};
+pub use shard::{
+    CampaignSource, EncodedShard, ShardLayout, ShardSource, ShardedCorpus, ShardedCorpusBuilder,
+    SHARD_OBS_COUNTERS,
+};
 pub use sweep::{
     cell_key, CellCache, CellConfig, CellOutcome, CellResult, GridSpec, Sweep, SweepReport,
     SweepTarget,

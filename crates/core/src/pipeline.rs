@@ -21,6 +21,8 @@
 //! (see [`SeedMode`]), so results are bit-identical to training each fold
 //! from scratch, for any thread count.
 
+use std::borrow::Cow;
+
 use rand::SeedableRng;
 use rayon::prelude::*;
 
@@ -29,7 +31,7 @@ use pv_stats::fingerprint::Fnv1a;
 use pv_stats::ks::ks2_statistic;
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
-use pv_sysmodel::{BenchmarkData, BenchmarkId, Corpus, RunSet};
+use pv_sysmodel::{BenchmarkData, BenchmarkId, Corpus, RunSet, SystemId};
 
 use crate::eval::{BenchScore, EvalSummary};
 use crate::profile::Profile;
@@ -52,7 +54,7 @@ pub fn bench_fingerprints(corpus: &Corpus) -> Vec<u64> {
 }
 
 /// One benchmark's content digest (identity + every run, bit-exact).
-fn bench_digest(b: &BenchmarkData) -> u64 {
+pub(crate) fn bench_digest(b: &BenchmarkData) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str(&b.id.qualified());
     h.write_usize(b.runs.records.len());
@@ -64,18 +66,32 @@ fn bench_digest(b: &BenchmarkData) -> u64 {
     h.finish()
 }
 
-/// Folds per-benchmark digests into the corpus fingerprint.
-fn fold_corpus_digest(corpus: &Corpus, per_bench: &[u64]) -> u64 {
+/// Folds campaign identity + per-benchmark digests into the corpus
+/// fingerprint. Takes the identity fields directly so a
+/// [`crate::shard::ShardedCorpus`] — which never materializes a `Corpus`
+/// — can produce the exact same fingerprint as the monolithic path (and
+/// hence share fold and cell caches with it).
+pub(crate) fn corpus_digest_parts(
+    system: SystemId,
+    n_runs: usize,
+    seed: u64,
+    per_bench: &[u64],
+) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str("pv-corpus-v1");
-    h.write_str(corpus.system.short_name());
-    h.write_usize(corpus.n_runs);
-    h.write_u64(corpus.seed);
+    h.write_str(system.short_name());
+    h.write_usize(n_runs);
+    h.write_u64(seed);
     h.write_usize(per_bench.len());
     for &d in per_bench {
         h.write_u64(d);
     }
     h.finish()
+}
+
+/// Folds per-benchmark digests into the corpus fingerprint.
+fn fold_corpus_digest(corpus: &Corpus, per_bench: &[u64]) -> u64 {
+    corpus_digest_parts(corpus.system, corpus.n_runs, corpus.seed, per_bench)
 }
 
 /// Stable content fingerprint of a corpus.
@@ -150,6 +166,36 @@ impl EncodingSpec {
         self
     }
 
+    /// Writes a canonical digest of the requested coverage into `h`.
+    ///
+    /// Entries are sorted first, so two specs with equal coverage digest
+    /// equal no matter how the requests were phrased. Shard spill files
+    /// key on this: a spilled shard is only reusable when it was encoded
+    /// under the same coverage.
+    pub(crate) fn write_digest(&self, h: &mut Fnv1a) {
+        let mut profiles = self.profiles.clone();
+        profiles.sort_unstable();
+        h.write_usize(profiles.len());
+        for (s, w) in profiles {
+            h.write_usize(s);
+            h.write_usize(w);
+        }
+        let mut targets: Vec<&str> = self.targets.iter().map(|k| k.name()).collect();
+        targets.sort_unstable();
+        h.write_usize(targets.len());
+        for t in targets {
+            h.write_str(t);
+        }
+        let mut joined: Vec<(usize, &str)> =
+            self.joined.iter().map(|&(s, k)| (s, k.name())).collect();
+        joined.sort_unstable();
+        h.write_usize(joined.len());
+        for (s, t) in joined {
+            h.write_usize(s);
+            h.write_str(t);
+        }
+    }
+
     /// The idempotent union of two specs: everything either requests.
     /// Grids merge their cells' specs with this so one encode pass
     /// covers the whole sweep.
@@ -177,30 +223,38 @@ type BenchRows = Vec<Vec<f64>>;
 /// Window profiles per benchmark: `[bench][window] -> features`.
 type BenchWindows = Vec<Vec<Vec<f64>>>;
 
-pub struct EncodedCorpus<'c> {
-    corpus: &'c Corpus,
-    rel: Vec<Vec<f64>>,
+/// The encoded payload of a contiguous run of benchmarks — everything an
+/// evaluation reads, keyed by *local* index. [`EncodedCorpus`] wraps one
+/// block covering a whole corpus (local = global index);
+/// [`crate::shard::EncodedShard`] wraps one block per benchmark range.
+/// Both paths run the exact same per-benchmark encode, so sharding a
+/// corpus never changes an encoded bit.
+pub(crate) struct EncodedBlock {
+    pub(crate) rel: Vec<Vec<f64>>,
     /// `s` → per-benchmark window profiles.
-    profiles: Vec<(usize, BenchWindows)>,
+    pub(crate) profiles: Vec<(usize, BenchWindows)>,
     /// Representation → per-benchmark target encoding.
-    targets: Vec<(ReprKind, BenchRows)>,
+    pub(crate) targets: Vec<(ReprKind, BenchRows)>,
     /// `(s, repr)` → per-benchmark joined row (profile ⊕ encoding).
-    joined: Vec<((usize, ReprKind), BenchRows)>,
-    /// Per-benchmark content digests, roster order. Hashing every run of
-    /// every benchmark is the single most expensive step of an
-    /// incremental evaluation (FNV-1a is byte-serial), so it happens once
-    /// here — inside the parallel per-benchmark pass — not per eval call.
-    bench_fps: Vec<u64>,
+    pub(crate) joined: Vec<((usize, ReprKind), BenchRows)>,
+    /// Per-benchmark content digests. Hashing every run of every
+    /// benchmark is the single most expensive step of an incremental
+    /// evaluation (FNV-1a is byte-serial), so it happens once here —
+    /// inside the parallel per-benchmark pass — not per eval call.
+    pub(crate) bench_fps: Vec<u64>,
 }
 
-impl<'c> EncodedCorpus<'c> {
-    /// Precomputes everything the spec asks for.
+impl EncodedBlock {
+    /// Precomputes everything the spec asks for over `benches`.
     ///
     /// # Errors
-    /// Fails when a window setting does not fit the corpus run count or
-    /// an encoding fails.
-    pub fn build(corpus: &'c Corpus, spec: &EncodingSpec) -> Result<Self, StatsError> {
-        let _span = pv_obs::span!("pv.core.pipeline.encode_corpus", benches = corpus.len());
+    /// Fails when a window setting does not fit `n_runs` or an encoding
+    /// fails.
+    pub(crate) fn build(
+        benches: &[BenchmarkData],
+        n_runs: usize,
+        spec: &EncodingSpec,
+    ) -> Result<Self, StatsError> {
         // Merge window requests: one entry per distinct s, max windows.
         let mut window_specs: Vec<(usize, usize)> = Vec::new();
         let mut add_windows =
@@ -218,13 +272,10 @@ impl<'c> EncodedCorpus<'c> {
             if s == 0 {
                 return Err(StatsError::invalid("EncodedCorpus", "profile window s = 0"));
             }
-            if windows * s > corpus.n_runs {
+            if windows * s > n_runs {
                 return Err(StatsError::invalid(
                     "EncodedCorpus",
-                    format!(
-                        "{windows} windows × {s} runs exceed the {}-run corpus",
-                        corpus.n_runs
-                    ),
+                    format!("{windows} windows × {s} runs exceed the {n_runs}-run corpus"),
                 ));
             }
         }
@@ -250,11 +301,11 @@ impl<'c> EncodedCorpus<'c> {
             targets: Vec<Vec<f64>>,
             fp: u64,
         }
-        let n = corpus.len();
+        let n = benches.len();
         let per_bench: Result<Vec<BenchEnc>, StatsError> = (0..n)
             .into_par_iter()
             .map(|bi| {
-                let bench = &corpus.benchmarks[bi];
+                let bench = &benches[bi];
                 let rel = bench.runs.rel_times();
                 let mut profiles = Vec::with_capacity(window_specs.len());
                 for &(s, windows) in &window_specs {
@@ -264,7 +315,7 @@ impl<'c> EncodedCorpus<'c> {
                         // used: a fresh RunSet over records [w·s, (w+1)·s).
                         let window = RunSet {
                             bench: bench.id,
-                            system: corpus.system,
+                            system: bench.runs.system,
                             records: bench.runs.records[w * s..(w + 1) * s].to_vec(),
                         };
                         per_window.push(Profile::from_runs(&window, s)?.features);
@@ -305,8 +356,7 @@ impl<'c> EncodedCorpus<'c> {
             }
         }
 
-        let mut enc = EncodedCorpus {
-            corpus,
+        let mut block = EncodedBlock {
             rel,
             profiles,
             targets,
@@ -314,59 +364,33 @@ impl<'c> EncodedCorpus<'c> {
             bench_fps,
         };
         for &(s, kind) in &spec.joined {
-            if enc.joined.iter().any(|(key, _)| *key == (s, kind)) {
+            if block.joined.iter().any(|(key, _)| *key == (s, kind)) {
                 continue;
             }
             let rows = (0..n)
                 .map(|bi| {
-                    let mut row = enc.profile(s, bi, 0)?.to_vec();
-                    row.extend_from_slice(enc.target(kind, bi)?);
+                    let mut row = block.profile(s, bi, 0)?.to_vec();
+                    row.extend_from_slice(block.target(kind, bi)?);
                     Ok(row)
                 })
                 .collect::<Result<Vec<_>, StatsError>>()?;
-            enc.joined.push(((s, kind), rows));
+            block.joined.push(((s, kind), rows));
         }
-        Ok(enc)
+        Ok(block)
     }
 
-    /// The underlying corpus.
-    pub fn corpus(&self) -> &'c Corpus {
-        self.corpus
+    /// Number of benchmarks in the block.
+    pub(crate) fn len(&self) -> usize {
+        self.rel.len()
     }
 
-    /// Cached per-benchmark content digests, roster order — the same
-    /// values [`bench_fingerprints`] computes, hashed once at build time.
-    pub fn bench_fingerprints(&self) -> &[u64] {
-        &self.bench_fps
-    }
-
-    /// Cached corpus fingerprint — equals [`corpus_fingerprint`] on the
-    /// underlying corpus without re-hashing every run.
-    pub fn fingerprint(&self) -> u64 {
-        fold_corpus_digest(self.corpus, &self.bench_fps)
-    }
-
-    /// Number of benchmarks.
-    pub fn len(&self) -> usize {
-        self.corpus.len()
-    }
-
-    /// Whether the corpus has no benchmarks.
-    pub fn is_empty(&self) -> bool {
-        self.corpus.is_empty()
-    }
-
-    /// Cached relative times of benchmark `bi`.
-    pub fn rel_times(&self, bi: usize) -> &[f64] {
+    /// Cached relative times of local benchmark `bi`.
+    pub(crate) fn rel_times(&self, bi: usize) -> &[f64] {
         &self.rel[bi]
     }
 
-    /// Cached window-`w` profile of benchmark `bi` for window setting `s`.
-    ///
-    /// # Errors
-    /// Fails when `(s, w)` was not covered by the build spec or `bi` is
-    /// out of range.
-    pub fn profile(&self, s: usize, bi: usize, w: usize) -> Result<&[f64], StatsError> {
+    /// Cached window-`w` profile of local benchmark `bi` for setting `s`.
+    pub(crate) fn profile(&self, s: usize, bi: usize, w: usize) -> Result<&[f64], StatsError> {
         let (_, per_bench) = self.profiles.iter().find(|(t, _)| *t == s).ok_or_else(|| {
             StatsError::invalid("EncodedCorpus", format!("no profiles cached for s = {s}"))
         })?;
@@ -384,12 +408,8 @@ impl<'c> EncodedCorpus<'c> {
         })
     }
 
-    /// Cached target encoding of benchmark `bi` under `repr`.
-    ///
-    /// # Errors
-    /// Fails when `repr` was not covered by the build spec or `bi` is out
-    /// of range.
-    pub fn target(&self, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+    /// Cached target encoding of local benchmark `bi` under `repr`.
+    pub(crate) fn target(&self, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
         let (_, per_bench) = self
             .targets
             .iter()
@@ -406,12 +426,8 @@ impl<'c> EncodedCorpus<'c> {
             .ok_or_else(|| StatsError::invalid("EncodedCorpus", "bad index"))
     }
 
-    /// Cached joined row (profile ⊕ encoding) of benchmark `bi`.
-    ///
-    /// # Errors
-    /// Fails when `(s, repr)` was not covered by the build spec or `bi`
-    /// is out of range.
-    pub fn joined(&self, s: usize, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+    /// Cached joined row (profile ⊕ encoding) of local benchmark `bi`.
+    pub(crate) fn joined(&self, s: usize, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
         let (_, per_bench) = self
             .joined
             .iter()
@@ -426,6 +442,83 @@ impl<'c> EncodedCorpus<'c> {
             .get(bi)
             .map(Vec::as_slice)
             .ok_or_else(|| StatsError::invalid("EncodedCorpus", "bad index"))
+    }
+}
+
+pub struct EncodedCorpus<'c> {
+    corpus: &'c Corpus,
+    block: EncodedBlock,
+}
+
+impl<'c> EncodedCorpus<'c> {
+    /// Precomputes everything the spec asks for.
+    ///
+    /// # Errors
+    /// Fails when a window setting does not fit the corpus run count or
+    /// an encoding fails.
+    pub fn build(corpus: &'c Corpus, spec: &EncodingSpec) -> Result<Self, StatsError> {
+        let _span = pv_obs::span!("pv.core.pipeline.encode_corpus", benches = corpus.len());
+        let block = EncodedBlock::build(&corpus.benchmarks, corpus.n_runs, spec)?;
+        Ok(EncodedCorpus { corpus, block })
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Cached per-benchmark content digests, roster order — the same
+    /// values [`bench_fingerprints`] computes, hashed once at build time.
+    pub fn bench_fingerprints(&self) -> &[u64] {
+        &self.block.bench_fps
+    }
+
+    /// Cached corpus fingerprint — equals [`corpus_fingerprint`] on the
+    /// underlying corpus without re-hashing every run.
+    pub fn fingerprint(&self) -> u64 {
+        fold_corpus_digest(self.corpus, &self.block.bench_fps)
+    }
+
+    /// Number of benchmarks.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Whether the corpus has no benchmarks.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Cached relative times of benchmark `bi`.
+    pub fn rel_times(&self, bi: usize) -> &[f64] {
+        self.block.rel_times(bi)
+    }
+
+    /// Cached window-`w` profile of benchmark `bi` for window setting `s`.
+    ///
+    /// # Errors
+    /// Fails when `(s, w)` was not covered by the build spec or `bi` is
+    /// out of range.
+    pub fn profile(&self, s: usize, bi: usize, w: usize) -> Result<&[f64], StatsError> {
+        self.block.profile(s, bi, w)
+    }
+
+    /// Cached target encoding of benchmark `bi` under `repr`.
+    ///
+    /// # Errors
+    /// Fails when `repr` was not covered by the build spec or `bi` is out
+    /// of range.
+    pub fn target(&self, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+        self.block.target(repr, bi)
+    }
+
+    /// Cached joined row (profile ⊕ encoding) of benchmark `bi`.
+    ///
+    /// # Errors
+    /// Fails when `(s, repr)` was not covered by the build spec or `bi`
+    /// is out of range.
+    pub fn joined(&self, s: usize, repr: ReprKind, bi: usize) -> Result<&[f64], StatsError> {
+        self.block.joined(s, repr, bi)
     }
 }
 
@@ -445,20 +538,75 @@ pub enum SeedMode {
     Shared,
 }
 
-/// Training rows for one fold, assembled by the caller's closure.
+/// Row consumer fed by a [`FoldView`]: `(x_row, y_row, group)` per
+/// training row, in training order.
+pub type RowSink<'s> = dyn FnMut(&[f64], &[f64], usize) -> Result<(), StatsError> + 's;
+
+/// A streaming view over one fold's training rows.
 ///
-/// Rows borrow from an [`EncodedCorpus`] (or any other cache), so
-/// assembling a fold is pointer shuffling; the single copy happens when
-/// the fold matrix is materialized (scaled or not) inside the runner.
-pub struct FoldPlan<'a> {
-    /// Feature rows, in training order.
-    pub x_rows: Vec<&'a [f64]>,
-    /// Target rows, parallel to `x_rows`.
-    pub y_rows: Vec<&'a [f64]>,
-    /// Group label per row.
-    pub groups: Vec<usize>,
+/// The assemble closure declares the fold's shape up front and hands the
+/// runner a visitor that yields `(x_row, y_row, group)` triples borrowed
+/// from whatever cache backs the fold — an [`EncodedCorpus`], or one
+/// resident [`crate::shard::EncodedShard`] at a time. The runner
+/// materializes the fold matrix exactly once, while visiting; no
+/// intermediate row-pointer vectors or full-matrix copies exist on the
+/// hot path, monolithic or sharded.
+pub struct FoldView<'a> {
+    n_rows: usize,
+    x_dim: usize,
+    y_dim: usize,
+    query: Vec<f64>,
+    #[allow(clippy::type_complexity)]
+    visit: Box<dyn FnOnce(&mut RowSink<'_>) -> Result<(), StatsError> + 'a>,
+}
+
+impl<'a> FoldView<'a> {
+    /// A view declaring `n_rows` training rows of `x_dim` features and
+    /// `y_dim` targets, the (unscaled) held-out query row, and the
+    /// visitor that streams the rows.
+    pub fn new(
+        n_rows: usize,
+        x_dim: usize,
+        y_dim: usize,
+        query: Vec<f64>,
+        visit: impl FnOnce(&mut RowSink<'_>) -> Result<(), StatsError> + 'a,
+    ) -> Self {
+        FoldView {
+            n_rows,
+            x_dim,
+            y_dim,
+            query,
+            visit: Box::new(visit),
+        }
+    }
+
+    /// Declared number of training rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Declared feature width.
+    pub fn x_dim(&self) -> usize {
+        self.x_dim
+    }
+
+    /// Declared target width.
+    pub fn y_dim(&self) -> usize {
+        self.y_dim
+    }
+
     /// The held-out query row (unscaled).
-    pub query: Vec<f64>,
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// Consumes the view, feeding every training row to `sink` in order.
+    ///
+    /// # Errors
+    /// Propagates row-production and sink failures.
+    pub fn visit_rows(self, sink: &mut RowSink<'_>) -> Result<(), StatsError> {
+        (self.visit)(sink)
+    }
 }
 
 /// Ground truth for scoring one fold.
@@ -466,7 +614,9 @@ pub struct FoldTruth<'a> {
     /// Identity reported in the per-benchmark score.
     pub id: BenchmarkId,
     /// Measured relative times the prediction is scored against.
-    pub rel: &'a [f64],
+    /// Borrowed on the monolithic path; owned on the sharded path (the
+    /// backing shard may be evicted before scoring finishes).
+    pub rel: Cow<'a, [f64]>,
 }
 
 /// Generic leave-one-group-out fold runner.
@@ -526,47 +676,76 @@ impl FoldRunner<'_> {
     /// or mismatched row sets).
     pub fn prepare_fold<'a, A>(&self, held: usize, assemble: &A) -> Result<PreparedFold, StatsError>
     where
-        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError>,
+        A: Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError>,
     {
         let include: Vec<usize> = (0..self.n_folds).filter(|&i| i != held).collect();
         let fold_seed = self.fold_seed(held);
-        let plan = assemble(held, &include)?;
-        if plan.x_rows.is_empty() || plan.x_rows.len() != plan.y_rows.len() {
-            // Without this, `x_rows[0]` below panics on an empty fold —
-            // e.g. a single-benchmark corpus where the include set is
-            // empty.
+        let view = assemble(held, include)?;
+        if view.n_rows == 0 {
+            // Without this, fitting below fails obscurely on an empty
+            // fold — e.g. a single-benchmark corpus where the include
+            // set is empty.
             return Err(StatsError::degenerate(
                 "FoldRunner",
+                format!("fold {held} has no training rows"),
+            ));
+        }
+        let FoldView {
+            n_rows,
+            x_dim,
+            y_dim,
+            mut query,
+            visit,
+        } = view;
+        // Each row is copied into the flat fold buffers exactly once,
+        // straight from the backing cache; scaling happens in place
+        // afterwards (`StandardScaler::fit` accumulates per-column
+        // moments in the same row order `fit_rows` did on borrowed rows,
+        // so fit-then-transform-in-place is bit-identical to the old
+        // fit-on-borrows-then-copy).
+        let mut x_flat = Vec::with_capacity(n_rows * x_dim);
+        let mut y_flat = Vec::with_capacity(n_rows * y_dim);
+        let mut groups = Vec::with_capacity(n_rows);
+        let mut sink = |x_row: &[f64], y_row: &[f64], group: usize| {
+            if x_row.len() != x_dim || y_row.len() != y_dim {
+                return Err(StatsError::invalid(
+                    "FoldRunner",
+                    format!(
+                        "fold {held} row {}: {}×{} features/targets, expected {x_dim}×{y_dim}",
+                        groups.len(),
+                        x_row.len(),
+                        y_row.len()
+                    ),
+                ));
+            }
+            x_flat.extend_from_slice(x_row);
+            y_flat.extend_from_slice(y_row);
+            groups.push(group);
+            Ok(())
+        };
+        visit(&mut sink)?;
+        if groups.len() != n_rows {
+            return Err(StatsError::invalid(
+                "FoldRunner",
                 format!(
-                    "fold {held} has {} feature rows and {} target rows",
-                    plan.x_rows.len(),
-                    plan.y_rows.len()
+                    "fold {held} visited {} rows, view declared {n_rows}",
+                    groups.len()
                 ),
             ));
         }
-        let (scaler, x) = if self.standardize {
+        let mut x = DenseMatrix::from_flat(n_rows, x_dim, x_flat)?;
+        let scaler = if self.standardize {
             let mut sc = StandardScaler::new();
-            sc.fit_rows(&plan.x_rows)?;
-            let cols = plan.x_rows[0].len();
-            // One flat allocation, scaled in place: this path runs once
-            // per fold per eval (and again on every incremental delta
-            // check), so per-row temporaries show up in profiles.
-            let mut data = Vec::with_capacity(plan.x_rows.len() * cols);
-            for r in &plan.x_rows {
-                let start = data.len();
-                data.extend_from_slice(r);
-                sc.transform_row(&mut data[start..])?;
+            sc.fit(&x)?;
+            for r in 0..n_rows {
+                sc.transform_row(x.row_mut(r))?;
             }
-            (
-                Some(sc),
-                DenseMatrix::from_flat(plan.x_rows.len(), cols, data)?,
-            )
+            Some(sc)
         } else {
-            (None, DenseMatrix::from_row_refs(&plan.x_rows)?)
+            None
         };
-        let y = DenseMatrix::from_row_refs(&plan.y_rows)?;
-        let data = Dataset::new(x, y, plan.groups)?;
-        let mut query = plan.query;
+        let y = DenseMatrix::from_flat(n_rows, y_dim, y_flat)?;
+        let data = Dataset::new(x, y, groups)?;
         if let Some(sc) = &scaler {
             sc.transform_row(&mut query)?;
         }
@@ -591,7 +770,7 @@ impl FoldRunner<'_> {
     ) -> Result<BenchScore, StatsError>
     where
         M: Fn(u64) -> Box<dyn Regressor>,
-        T: Fn(usize) -> FoldTruth<'a>,
+        T: Fn(usize) -> Result<FoldTruth<'a>, StatsError>,
     {
         let mut model = build_model(prepared.fold_seed);
         model.fit(&prepared.data)?;
@@ -600,8 +779,8 @@ impl FoldRunner<'_> {
         let predicted = self
             .repr
             .decode(&predicted_features, &mut rng, self.n_samples)?;
-        let t = truth(held);
-        let ks = ks2_statistic(&predicted, t.rel)?;
+        let t = truth(held)?;
+        let ks = ks2_statistic(&predicted, &t.rel)?;
         Ok(BenchScore { id: t.id, ks })
     }
 
@@ -618,8 +797,8 @@ impl FoldRunner<'_> {
     ) -> Result<BenchScore, StatsError>
     where
         M: Fn(u64) -> Box<dyn Regressor>,
-        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError>,
-        T: Fn(usize) -> FoldTruth<'a>,
+        A: Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError>,
+        T: Fn(usize) -> Result<FoldTruth<'a>, StatsError>,
     {
         let _fold_span = pv_obs::span!("pv.core.pipeline.fold", held = held);
         let prepared = self.prepare_fold(held, assemble)?;
@@ -643,8 +822,8 @@ impl FoldRunner<'_> {
     ) -> Result<EvalSummary, StatsError>
     where
         M: Fn(u64) -> Box<dyn Regressor> + Send + Sync,
-        A: Fn(usize, &[usize]) -> Result<FoldPlan<'a>, StatsError> + Send + Sync,
-        T: Fn(usize) -> FoldTruth<'a> + Send + Sync,
+        A: Fn(usize, Vec<usize>) -> Result<FoldView<'a>, StatsError> + Send + Sync,
+        T: Fn(usize) -> Result<FoldTruth<'a>, StatsError> + Send + Sync,
     {
         let _span = pv_obs::span!("pv.core.pipeline.logo_eval", folds = self.n_folds);
         let scores: Result<Vec<BenchScore>, StatsError> = (0..self.n_folds)
@@ -743,8 +922,8 @@ mod tests {
         let enc = EncodedCorpus::build(&c, &spec).unwrap();
         assert!(enc.profile(5, 0, 2).is_ok());
         assert!(enc.joined(5, ReprKind::PearsonRnd, 0).is_ok());
-        assert_eq!(enc.targets.len(), 1);
-        assert_eq!(enc.joined.len(), 1);
+        assert_eq!(enc.block.targets.len(), 1);
+        assert_eq!(enc.block.joined.len(), 1);
     }
 
     #[test]
@@ -783,6 +962,101 @@ mod tests {
         let mut tampered = a.clone();
         tampered.benchmarks[17].runs.records[3].rel_time += 1e-12;
         assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&tampered));
+    }
+
+    #[test]
+    fn prepare_fold_reads_each_row_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Five single-row groups; the view counts how many times the
+        // runner pulls a row. Both the scaled and unscaled paths must
+        // stream every training row exactly once — a second pass would
+        // mean a full-matrix copy crept back onto the hot path.
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0 + i as f64]).collect();
+        let repr = ReprKind::PearsonRnd.build();
+        for standardize in [false, true] {
+            let visits = AtomicUsize::new(0);
+            let runner = FoldRunner {
+                n_folds: 5,
+                seed: 1,
+                seed_mode: SeedMode::PerFold,
+                standardize,
+                n_samples: 10,
+                repr: repr.as_ref(),
+            };
+            let assemble = |held: usize, include: Vec<usize>| {
+                let rows = &rows;
+                let visits = &visits;
+                Ok(FoldView::new(
+                    include.len(),
+                    2,
+                    2,
+                    rows[held].clone(),
+                    move |sink: &mut RowSink<'_>| {
+                        for &bi in &include {
+                            visits.fetch_add(1, Ordering::Relaxed);
+                            sink(&rows[bi], &rows[bi], bi)?;
+                        }
+                        Ok(())
+                    },
+                ))
+            };
+            let prepared = runner.prepare_fold(0, &assemble).unwrap();
+            assert_eq!(
+                visits.load(Ordering::Relaxed),
+                4,
+                "standardize={standardize}"
+            );
+            assert_eq!(prepared.query.len(), 2);
+        }
+    }
+
+    #[test]
+    fn prepare_fold_rejects_ragged_and_miscounted_views() {
+        let repr = ReprKind::PearsonRnd.build();
+        let runner = FoldRunner {
+            n_folds: 3,
+            seed: 1,
+            seed_mode: SeedMode::PerFold,
+            standardize: false,
+            n_samples: 10,
+            repr: repr.as_ref(),
+        };
+        // Ragged row.
+        let ragged = |_held: usize, _include: Vec<usize>| {
+            Ok(FoldView::new(
+                2,
+                2,
+                1,
+                vec![0.0, 0.0],
+                |sink: &mut RowSink<'_>| {
+                    sink(&[1.0, 2.0], &[3.0], 0)?;
+                    sink(&[1.0], &[3.0], 1)
+                },
+            ))
+        };
+        assert!(runner.prepare_fold(0, &ragged).is_err());
+        // Fewer rows than declared.
+        let short = |_held: usize, _include: Vec<usize>| {
+            Ok(FoldView::new(
+                2,
+                2,
+                1,
+                vec![0.0, 0.0],
+                |sink: &mut RowSink<'_>| sink(&[1.0, 2.0], &[3.0], 0),
+            ))
+        };
+        assert!(runner.prepare_fold(0, &short).is_err());
+        // Empty fold is degenerate.
+        let empty = |_held: usize, _include: Vec<usize>| {
+            Ok(FoldView::new(
+                0,
+                2,
+                1,
+                vec![0.0, 0.0],
+                |_sink: &mut RowSink<'_>| Ok(()),
+            ))
+        };
+        assert!(runner.prepare_fold(0, &empty).is_err());
     }
 
     #[test]

@@ -48,9 +48,11 @@ use pv_stats::fingerprint::Fnv1a;
 use pv_stats::StatsError;
 use pv_sysmodel::Corpus;
 
-use crate::eval::{cross_system_specs, few_runs_spec, EvalSummary};
+use crate::eval::{cross_system_specs_for_runs, few_runs_spec, EvalSummary};
 use crate::incremental::{
-    evaluate_cross_system_incremental, evaluate_few_runs_incremental, FoldCacheStats, FoldEntry,
+    evaluate_cross_system_incremental, evaluate_cross_system_incremental_sharded,
+    evaluate_few_runs_incremental, evaluate_few_runs_incremental_sharded, FoldCacheStats,
+    FoldEntry,
 };
 use crate::model::ModelKind;
 use crate::pipeline::{EncodedCorpus, EncodingSpec};
@@ -59,6 +61,7 @@ use crate::resilience::{
     panic_message, retry_seed, validate_summary, CacheLock, FaultKind, FaultPlan, PvError,
     Quarantine, QuarantineEntry, DEFAULT_MAX_RETRIES,
 };
+use crate::shard::{ShardedCorpus, SHARD_OBS_COUNTERS};
 use crate::usecase1::FewRunsConfig;
 use crate::usecase2::CrossSystemConfig;
 
@@ -217,6 +220,15 @@ impl GridSpec {
     /// profile windows to the source corpus' run count, exactly as
     /// evaluation does.
     pub fn cross_system_encoding(&self, src: &Corpus) -> (EncodingSpec, EncodingSpec) {
+        self.cross_system_encoding_for_runs(src.n_runs)
+    }
+
+    /// [`GridSpec::cross_system_encoding`] from the source run count
+    /// alone — for sharded campaigns that never materialize a corpus.
+    pub fn cross_system_encoding_for_runs(
+        &self,
+        src_n_runs: usize,
+    ) -> (EncodingSpec, EncodingSpec) {
         self.cross_system_cells().iter().fold(
             (EncodingSpec::new(), EncodingSpec::new()),
             |(src_spec, dst_spec), cfg| {
@@ -224,8 +236,8 @@ impl GridSpec {
                     repr: ReprKind::Histogram,
                     ..*cfg
                 };
-                let (s, d) = cross_system_specs(src, cfg);
-                let (fs, fd) = cross_system_specs(src, &fallback);
+                let (s, d) = cross_system_specs_for_runs(src_n_runs, cfg);
+                let (fs, fd) = cross_system_specs_for_runs(src_n_runs, &fallback);
                 (src_spec.merge(&s).merge(&fs), dst_spec.merge(&d).merge(&fd))
             },
         )
@@ -522,6 +534,17 @@ impl CellCache {
     }
 }
 
+/// The cell-cache fingerprint of a cross-system pair: both corpus
+/// fingerprints under a domain tag, identical for sharded and
+/// monolithic targets over the same campaigns.
+fn cross_fingerprint(src: u64, dst: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("pv-sweep-cross");
+    h.write_u64(src);
+    h.write_u64(dst);
+    h.finish()
+}
+
 /// What a sweep evaluates its cells against.
 pub enum SweepTarget<'a, 'c> {
     /// Use case 1 over one encoded corpus.
@@ -532,6 +555,17 @@ pub enum SweepTarget<'a, 'c> {
         src: &'a EncodedCorpus<'c>,
         /// The (encoded) corpus measured on the destination system.
         dst: &'a EncodedCorpus<'c>,
+    },
+    /// Use case 1 over a sharded corpus (bounded-memory path; results
+    /// and cache keys identical to [`SweepTarget::FewRuns`] on the
+    /// equivalent monolithic corpus).
+    FewRunsSharded(&'a ShardedCorpus<'c>),
+    /// Use case 2 over sharded corpora, source → destination.
+    CrossSystemSharded {
+        /// The (sharded) corpus measured on the source system.
+        src: &'a ShardedCorpus<'c>,
+        /// The (sharded) corpus measured on the destination system.
+        dst: &'a ShardedCorpus<'c>,
     },
 }
 
@@ -700,6 +734,18 @@ impl<'a, 'c> Sweep<'a, 'c> {
         Self::new(SweepTarget::CrossSystem { src, dst })
     }
 
+    /// A use-case-1 sweep over a sharded corpus. Cells evaluate
+    /// bit-identically to [`Sweep::few_runs`] on the equivalent
+    /// monolithic corpus and share its cell cache (same fingerprint).
+    pub fn few_runs_sharded(sh: &'a ShardedCorpus<'c>) -> Self {
+        Self::new(SweepTarget::FewRunsSharded(sh))
+    }
+
+    /// A use-case-2 sweep over sharded corpora, `src` → `dst`.
+    pub fn cross_system_sharded(src: &'a ShardedCorpus<'c>, dst: &'a ShardedCorpus<'c>) -> Self {
+        Self::new(SweepTarget::CrossSystemSharded { src, dst })
+    }
+
     fn new(target: SweepTarget<'a, 'c>) -> Self {
         Sweep {
             target,
@@ -745,12 +791,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
     pub fn fingerprint(&self) -> u64 {
         match &self.target {
             SweepTarget::FewRuns(enc) => enc.fingerprint(),
+            SweepTarget::FewRunsSharded(sh) => sh.fingerprint(),
             SweepTarget::CrossSystem { src, dst } => {
-                let mut h = Fnv1a::new();
-                h.write_str("pv-sweep-cross");
-                h.write_u64(src.fingerprint());
-                h.write_u64(dst.fingerprint());
-                h.finish()
+                cross_fingerprint(src.fingerprint(), dst.fingerprint())
+            }
+            SweepTarget::CrossSystemSharded { src, dst } => {
+                cross_fingerprint(src.fingerprint(), dst.fingerprint())
             }
         }
     }
@@ -759,12 +805,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
     /// order).
     pub fn cells(&self, grid: &GridSpec) -> Vec<CellConfig> {
         match &self.target {
-            SweepTarget::FewRuns(_) => grid
+            SweepTarget::FewRuns(_) | SweepTarget::FewRunsSharded(_) => grid
                 .few_runs_cells()
                 .into_iter()
                 .map(CellConfig::FewRuns)
                 .collect(),
-            SweepTarget::CrossSystem { .. } => grid
+            SweepTarget::CrossSystem { .. } | SweepTarget::CrossSystemSharded { .. } => grid
                 .cross_system_cells()
                 .into_iter()
                 .map(CellConfig::CrossSystem)
@@ -786,6 +832,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
             }
             (SweepTarget::CrossSystem { src, dst }, CellConfig::CrossSystem(c)) => {
                 evaluate_cross_system_incremental(src, dst, *c, prior)?
+            }
+            (SweepTarget::FewRunsSharded(sh), CellConfig::FewRuns(c)) => {
+                evaluate_few_runs_incremental_sharded(sh, *c, prior)?
+            }
+            (SweepTarget::CrossSystemSharded { src, dst }, CellConfig::CrossSystem(c)) => {
+                evaluate_cross_system_incremental_sharded(src, dst, *c, prior)?
             }
             _ => {
                 return Err(StatsError::invalid(
@@ -955,6 +1007,12 @@ impl<'a, 'c> Sweep<'a, 'c> {
         let fingerprint = self.fingerprint();
         let _sweep_span = pv_obs::span!("pv.core.sweep.run", cells = cells.len());
         pv_obs::metrics::preregister_counters(SWEEP_OBS_COUNTERS);
+        if matches!(
+            self.target,
+            SweepTarget::FewRunsSharded(_) | SweepTarget::CrossSystemSharded { .. }
+        ) {
+            pv_obs::metrics::preregister_counters(&SHARD_OBS_COUNTERS);
+        }
         pv_obs::gauge_set!("pv.core.sweep.cells_total", cells.len());
         // The advisory lock covers cache reads, writes, and the
         // quarantine update; it is held until this function returns.

@@ -42,29 +42,43 @@ pub struct Corpus {
     pub benchmarks: Vec<BenchmarkData>,
 }
 
+/// Collects campaign data for an explicit list of benchmarks.
+///
+/// Every stage (character, ground truth, run simulation) seeds from the
+/// benchmark id alone, so collecting any subset of a roster — e.g. one
+/// shard's contiguous range — is bit-identical to slicing a full
+/// [`Corpus::collect`] campaign.
+pub fn collect_benchmarks(
+    sys: &SystemModel,
+    ids: &[BenchmarkId],
+    n_runs: usize,
+    seed: u64,
+) -> Vec<BenchmarkData> {
+    ids.to_vec()
+        .into_par_iter()
+        .map(|id| {
+            let character = Character::generate(&id, seed);
+            let ground_truth = sys.ground_truth(&id, &character, seed);
+            let runs = simulate_runs(sys, &id, &character, &ground_truth, n_runs, seed);
+            BenchmarkData {
+                id,
+                character,
+                ground_truth,
+                runs,
+            }
+        })
+        .collect()
+}
+
 impl Corpus {
     /// Runs the campaign: `n_runs` executions of every roster benchmark
     /// on `sys`.
     pub fn collect(sys: &SystemModel, n_runs: usize, seed: u64) -> Corpus {
-        let benchmarks: Vec<BenchmarkData> = roster()
-            .into_par_iter()
-            .map(|id| {
-                let character = Character::generate(&id, seed);
-                let ground_truth = sys.ground_truth(&id, &character, seed);
-                let runs = simulate_runs(sys, &id, &character, &ground_truth, n_runs, seed);
-                BenchmarkData {
-                    id,
-                    character,
-                    ground_truth,
-                    runs,
-                }
-            })
-            .collect();
         Corpus {
             system: sys.id,
             n_runs,
             seed,
-            benchmarks,
+            benchmarks: collect_benchmarks(sys, &roster(), n_runs, seed),
         }
     }
 
@@ -124,6 +138,24 @@ mod tests {
         let c = Corpus::collect(&SystemModel::intel(), 3, 3);
         let json = serde_json::to_string(&c.benchmarks[0].ground_truth).unwrap();
         assert!(json.contains("modes"));
+    }
+
+    #[test]
+    fn range_collection_matches_full_campaign_slice() {
+        let full = Corpus::collect(&SystemModel::intel(), 8, 11);
+        let ids = roster();
+        let range = collect_benchmarks(&SystemModel::intel(), &ids[20..35], 8, 11);
+        assert_eq!(range, full.benchmarks[20..35]);
+    }
+
+    #[test]
+    fn synthetic_benchmarks_collect_deterministically() {
+        use crate::suites::scaled_roster;
+        let ids = scaled_roster(70);
+        let a = collect_benchmarks(&SystemModel::amd(), &ids[58..70], 6, 4);
+        let b = collect_benchmarks(&SystemModel::amd(), &ids[58..70], 6, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|bd| bd.runs.len() == 6));
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod suites;
 pub mod system;
 
 pub use character::Character;
-pub use corpus::{BenchmarkData, Corpus};
+pub use corpus::{collect_benchmarks, BenchmarkData, Corpus};
 pub use metrics::{MetricClass, MetricDef, SystemId, AMD_METRICS, INTEL_METRICS};
 pub use runner::{simulate_runs, RunRecord, RunSet};
-pub use suites::{roster, BenchmarkId, Suite};
+pub use suites::{roster, scaled_roster, synthetic_id, BenchmarkId, Suite};
 pub use system::{GroundTruth, SystemModel};

@@ -1,4 +1,13 @@
-//! The benchmark roster of Table I: seven suites, 60 benchmarks.
+//! The benchmark roster of Table I: seven suites, 60 benchmarks — plus
+//! synthetic roster extension for scale experiments.
+//!
+//! [`scaled_roster`] keeps the 60 real benchmarks and pads with synthetic
+//! ids (`npb/x00060`, `parsec/x00061`, …) whose names are interned once
+//! per process, so [`BenchmarkId`] stays `Copy` with `&'static str` names
+//! at any corpus size.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -163,9 +172,62 @@ pub fn roster() -> Vec<BenchmarkId> {
     out
 }
 
-/// Looks a benchmark up by qualified label (e.g. `"specomp/376"`).
+/// Interner for synthetic benchmark names: each ordinal leaks its name
+/// string exactly once, keeping `BenchmarkId.name: &'static str` valid
+/// for ids that are not in Table I.
+static SYNTHETIC_NAMES: Mutex<BTreeMap<usize, &'static str>> = Mutex::new(BTreeMap::new());
+
+fn synthetic_name(ordinal: usize) -> &'static str {
+    let mut names = SYNTHETIC_NAMES
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    names
+        .entry(ordinal)
+        .or_insert_with(|| Box::leak(format!("x{ordinal:05}").into_boxed_str()))
+}
+
+/// The synthetic benchmark at roster position `ordinal` (≥ 60). Suites
+/// are assigned round-robin so every suite keeps growing.
+pub fn synthetic_id(ordinal: usize) -> BenchmarkId {
+    BenchmarkId {
+        suite: Suite::ALL[ordinal % Suite::ALL.len()],
+        name: synthetic_name(ordinal),
+    }
+}
+
+/// A roster of `n` benchmarks: the Table I roster (truncated when
+/// `n < 60`) followed by synthetic benchmarks `x00060`, `x00061`, ….
+///
+/// Synthetic ids are deterministic in `ordinal` alone, so scaled rosters
+/// of different sizes agree on every shared prefix.
+pub fn scaled_roster(n: usize) -> Vec<BenchmarkId> {
+    let mut out = roster();
+    out.truncate(n);
+    for ordinal in out.len()..n {
+        out.push(synthetic_id(ordinal));
+    }
+    out
+}
+
+/// Looks a benchmark up by qualified label (e.g. `"specomp/376"` or the
+/// synthetic `"npb/x00060"`).
 pub fn find(qualified: &str) -> Option<BenchmarkId> {
-    roster().into_iter().find(|b| b.qualified() == qualified)
+    if let Some(real) = roster().into_iter().find(|b| b.qualified() == qualified) {
+        return Some(real);
+    }
+    // Synthetic labels are "{suite}/x{ordinal:05}" with the suite fixed
+    // by the ordinal, so parse the ordinal and check the round trip.
+    let (_, name) = qualified.split_once('/')?;
+    let digits = name.strip_prefix('x')?;
+    if digits.len() < 5 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let ordinal: usize = digits.parse().ok()?;
+    if ordinal < roster().len() {
+        return None; // ordinals below 60 belong to Table I names only
+    }
+    let id = synthetic_id(ordinal);
+    (id.qualified() == qualified).then_some(id)
 }
 
 #[cfg(test)]
@@ -216,5 +278,52 @@ mod tests {
     fn display_matches_qualified() {
         let b = find("npb/bt").unwrap();
         assert_eq!(format!("{b}"), "npb/bt");
+    }
+
+    #[test]
+    fn scaled_roster_extends_and_truncates() {
+        assert_eq!(scaled_roster(60), roster());
+        assert_eq!(scaled_roster(10), roster()[..10]);
+        let big = scaled_roster(75);
+        assert_eq!(big[..60], roster());
+        assert_eq!(big[60].name, "x00060");
+        assert_eq!(big[60].suite, Suite::ALL[60 % 7]);
+        // Shared prefixes agree across sizes.
+        assert_eq!(scaled_roster(70), big[..70]);
+    }
+
+    #[test]
+    fn synthetic_names_are_interned() {
+        let a = synthetic_id(123);
+        let b = synthetic_id(123);
+        assert!(std::ptr::eq(a.name, b.name));
+    }
+
+    #[test]
+    fn find_resolves_synthetic_labels() {
+        let id = synthetic_id(61);
+        assert_eq!(find(&id.qualified()), Some(id));
+        // Wrong suite for the ordinal is rejected.
+        assert!(find("npb/x00061").is_none());
+        // Ordinals below the real roster never resolve as synthetic.
+        assert!(find("npb/x00007").is_none());
+        assert!(find("npb/xabcde").is_none());
+    }
+
+    #[test]
+    fn scaled_roster_labels_are_unique() {
+        let mut ids: Vec<String> = scaled_roster(200).iter().map(|b| b.qualified()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn synthetic_ids_round_trip_serde() {
+        let id = synthetic_id(99);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: BenchmarkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
     }
 }

@@ -1,0 +1,290 @@
+//! The sharded data plane is a pure re-layering: evaluations through a
+//! `ShardedCorpus` must reproduce, bit for bit, what the monolithic
+//! `EncodedCorpus` path computes — at every shard layout, at any thread
+//! count, whether shards stay resident, get evicted and recomputed, or
+//! round-trip through spill files (including tampered ones).
+
+use std::fs;
+use std::path::PathBuf;
+
+use perfvar_suite::core::eval::{
+    cross_system_specs, evaluate_cross_system, evaluate_cross_system_sharded, evaluate_few_runs,
+    evaluate_few_runs_sharded, few_runs_spec, EvalSummary,
+};
+use perfvar_suite::core::shard::{CampaignSource, ShardLayout, ShardSource, ShardedCorpus};
+use perfvar_suite::core::sweep::{CellCache, GridSpec, Sweep};
+use perfvar_suite::core::usecase1::FewRunsConfig;
+use perfvar_suite::core::usecase2::CrossSystemConfig;
+use perfvar_suite::core::{ModelKind, ReprKind};
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+
+const RUNS: usize = 40;
+const SEED: u64 = 11;
+
+fn corpus(sys: SystemModel) -> Corpus {
+    Corpus::collect(&sys, RUNS, SEED)
+}
+
+fn uc1_cfg(model: ModelKind) -> FewRunsConfig {
+    FewRunsConfig {
+        model,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 2,
+        ..FewRunsConfig::default()
+    }
+}
+
+fn uc2_cfg(model: ModelKind) -> CrossSystemConfig {
+    CrossSystemConfig {
+        model,
+        profile_runs: 20,
+        ..CrossSystemConfig::default()
+    }
+}
+
+fn sharded<'c>(c: &'c Corpus, cfg: &FewRunsConfig, shard_size: usize) -> ShardedCorpus<'c> {
+    ShardedCorpus::builder(ShardSource::Corpus(c), &few_runs_spec(cfg))
+        .shard_size(shard_size)
+        .build()
+        .unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pv-shard-eq-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Shard sizes {1, 7, 64, corpus}: every boundary shape from
+/// one-benchmark shards through a single corpus-wide shard yields the
+/// exact monolithic summary, for both a standardizing kNN fold and a
+/// random forest fold.
+#[test]
+fn uc1_sharded_matches_monolithic_at_every_shard_size() {
+    let c = corpus(SystemModel::intel());
+    for model in [ModelKind::Knn, ModelKind::RandomForest] {
+        let cfg = uc1_cfg(model);
+        let mono = evaluate_few_runs(&c, cfg).unwrap();
+        for shard_size in [1, 7, 64, c.len()] {
+            let sh = sharded(&c, &cfg, shard_size);
+            let summary = evaluate_few_runs_sharded(&sh, cfg).unwrap();
+            assert_eq!(summary, mono, "{model:?} shard_size={shard_size}");
+        }
+    }
+}
+
+/// Use case 2 with *different* shard layouts on the source and the
+/// destination corpora still reproduces the monolithic summary.
+#[test]
+fn uc2_sharded_matches_monolithic_with_mismatched_layouts() {
+    let src = corpus(SystemModel::amd());
+    let dst = corpus(SystemModel::intel());
+    let cfg = uc2_cfg(ModelKind::Knn);
+    let mono = evaluate_cross_system(&src, &dst, cfg).unwrap();
+    let (src_spec, dst_spec) = cross_system_specs(&src, &cfg);
+    for (ss, ds) in [(7, 13), (1, 64), (64, 1)] {
+        let src_sh = ShardedCorpus::builder(ShardSource::Corpus(&src), &src_spec)
+            .shard_size(ss)
+            .build()
+            .unwrap();
+        let dst_sh = ShardedCorpus::builder(ShardSource::Corpus(&dst), &dst_spec)
+            .shard_size(ds)
+            .build()
+            .unwrap();
+        let summary = evaluate_cross_system_sharded(&src_sh, &dst_sh, cfg).unwrap();
+        assert_eq!(summary, mono, "src={ss} dst={ds}");
+    }
+}
+
+/// Thread-count independence survives the sharded path: one worker and
+/// five workers produce identical bits, even with a resident budget so
+/// tight that parallel folds constantly evict each other's shards.
+#[test]
+fn sharded_eval_is_thread_count_independent() {
+    let c = corpus(SystemModel::intel());
+    let cfg = uc1_cfg(ModelKind::Knn);
+    let run = |threads: usize| -> EvalSummary {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let sh = ShardedCorpus::builder(ShardSource::Corpus(&c), &few_runs_spec(&cfg))
+                    .shard_size(5)
+                    .resident_shards(2)
+                    .build()
+                    .unwrap();
+                evaluate_few_runs_sharded(&sh, cfg).unwrap()
+            })
+    };
+    let single = run(1);
+    let multi = run(5);
+    assert_eq!(single, multi);
+    assert_eq!(single, evaluate_few_runs(&c, cfg).unwrap());
+}
+
+/// A campaign generated shard-by-shard (never materialized as a corpus)
+/// is indistinguishable from a collected corpus: same fingerprint, same
+/// evaluation bits.
+#[test]
+fn campaign_source_evaluates_identically_to_collected_corpus() {
+    let c = corpus(SystemModel::intel());
+    let cfg = uc1_cfg(ModelKind::Knn);
+    let sh = ShardedCorpus::builder(
+        ShardSource::Campaign(CampaignSource {
+            system: SystemModel::intel(),
+            n_benchmarks: c.len(),
+            n_runs: RUNS,
+            seed: SEED,
+        }),
+        &few_runs_spec(&cfg),
+    )
+    .shard_size(16)
+    .resident_shards(2)
+    .build()
+    .unwrap();
+    assert_eq!(
+        sh.fingerprint(),
+        perfvar_suite::core::corpus_fingerprint(&c)
+    );
+    assert_eq!(
+        evaluate_few_runs_sharded(&sh, cfg).unwrap(),
+        evaluate_few_runs(&c, cfg).unwrap()
+    );
+}
+
+/// Tampered, truncated, or garbage spill files are silently recomputed —
+/// the evaluation still produces exact bits, never an error, and the
+/// healed spill file verifies again afterwards.
+#[test]
+fn tampered_spill_files_recover_silently() {
+    let dir = tmp_dir("tamper");
+    let c = corpus(SystemModel::intel());
+    let cfg = uc1_cfg(ModelKind::Knn);
+    let mono = evaluate_few_runs(&c, cfg).unwrap();
+    let sh = ShardedCorpus::builder(ShardSource::Corpus(&c), &few_runs_spec(&cfg))
+        .shard_size(8)
+        .spill_dir(&dir)
+        .resident_shards(1)
+        .build()
+        .unwrap();
+    // Corrupt every spill file a different way: bit-flip payload bytes,
+    // truncate, and replace with garbage.
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), sh.layout().n_shards());
+    for (i, path) in files.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                let mut bytes = fs::read(path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+                fs::write(path, bytes).unwrap();
+            }
+            1 => {
+                let bytes = fs::read(path).unwrap();
+                fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+            }
+            _ => fs::write(path, b"not a shard").unwrap(),
+        }
+    }
+    // Budget 1 forces every fold to fault shards back in through the
+    // corrupted files.
+    let summary = evaluate_few_runs_sharded(&sh, cfg).unwrap();
+    assert_eq!(summary, mono);
+    // Recomputed shards were re-spilled; a fresh build warm-loads them.
+    let warm = ShardedCorpus::builder(ShardSource::Corpus(&c), &few_runs_spec(&cfg))
+        .shard_size(8)
+        .spill_dir(&dir)
+        .build()
+        .unwrap();
+    assert_eq!(warm.shard_fingerprints(), sh.shard_fingerprints());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Spill I/O failures surface as the typed `cache-io` error kind, not a
+/// panic or a stringly error.
+#[test]
+fn unusable_spill_dir_is_typed_cache_io() {
+    let file = std::env::temp_dir().join(format!("pv-shard-eq-file-{}", std::process::id()));
+    fs::write(&file, b"occupied").unwrap();
+    let c = corpus(SystemModel::intel());
+    let cfg = uc1_cfg(ModelKind::Knn);
+    let err = ShardedCorpus::builder(ShardSource::Corpus(&c), &few_runs_spec(&cfg))
+        .spill_dir(&file)
+        .build()
+        .err()
+        .expect("a file as spill dir must fail");
+    assert_eq!(err.kind(), "cache-io");
+    let _ = fs::remove_file(&file);
+}
+
+/// Sweep-level interop: a sharded sweep and a monolithic sweep over the
+/// same campaign share one cell cache — whichever runs second gets pure
+/// hits and identical summaries.
+#[test]
+fn sharded_and_monolithic_sweeps_share_the_cell_cache() {
+    let dir = tmp_dir("sweep-interop");
+    let c = corpus(SystemModel::intel());
+    let grid = GridSpec {
+        reprs: vec![ReprKind::PearsonRnd],
+        models: vec![ModelKind::Knn],
+        sample_counts: vec![5],
+        ..GridSpec::default()
+    };
+    let enc =
+        perfvar_suite::core::pipeline::EncodedCorpus::build(&c, &grid.few_runs_encoding()).unwrap();
+    let mono = Sweep::few_runs(&enc)
+        .with_cache(CellCache::new(&dir))
+        .run(&grid)
+        .unwrap();
+    assert_eq!(mono.misses, 1);
+    let sh = ShardedCorpus::builder(ShardSource::Corpus(&c), &grid.few_runs_encoding())
+        .shard_size(9)
+        .build()
+        .unwrap();
+    let sharded = Sweep::few_runs_sharded(&sh)
+        .with_cache(CellCache::new(&dir))
+        .run(&grid)
+        .unwrap();
+    assert_eq!(
+        sharded.hits, 1,
+        "sharded sweep must hit the monolithic cell"
+    );
+    assert_eq!(sharded.fingerprint, mono.fingerprint);
+    assert_eq!(
+        sharded.cells[0].summary().unwrap(),
+        mono.cells[0].summary().unwrap()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+mod boundary_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Random shard boundaries never change fold assembly: any cut
+        /// set over the corpus produces the monolithic evaluation bits.
+        #[test]
+        fn random_boundaries_never_change_fold_assembly(
+            cuts in prop::collection::vec(0usize..60, 0..12),
+        ) {
+            let c = corpus(SystemModel::intel());
+            let cfg = uc1_cfg(ModelKind::Knn);
+            let layout = ShardLayout::from_boundaries(c.len(), &cuts);
+            let sh = ShardedCorpus::builder(ShardSource::Corpus(&c), &few_runs_spec(&cfg))
+                .layout(layout)
+                .resident_shards(3)
+                .build()
+                .unwrap();
+            let summary = evaluate_few_runs_sharded(&sh, cfg).unwrap();
+            prop_assert_eq!(summary, evaluate_few_runs(&c, cfg).unwrap());
+        }
+    }
+}
