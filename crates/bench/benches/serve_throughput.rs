@@ -1,0 +1,104 @@
+//! Serving-path throughput: the `pv-serve` engine answering prediction
+//! requests in-process, single-line vs micro-batched.
+//!
+//! The engine carries the campaign's default use-case-1 model
+//! (pearsonrnd + kNN at s = 10) exactly as `repro train` seals it; each
+//! request decodes `n_samples = 100` reconstruction samples, so the
+//! numbers are end-to-end (parse → predict → decode → render), not
+//! model-predict alone. `batched_64` also asserts the acceptance floor:
+//! sustained throughput must clear 2,000 predictions/second.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_bench::serve::{Outcome, ServeEngine, ServedModel};
+use pv_bench::{uc1_config, CAMPAIGN_SEED};
+use pv_core::registry::artifact_key;
+use pv_core::sweep::CellConfig;
+use pv_core::usecase1::FewRunsPredictor;
+use pv_core::{corpus_fingerprint, ModelKind, Profile, ReprKind};
+use pv_sysmodel::{Corpus, SystemModel};
+
+/// The engine plus a ring of pre-rendered request lines, trained once
+/// per process. 200 runs per benchmark keeps setup to a few seconds
+/// while leaving the serving path identical to production.
+fn fixture() -> &'static (ServeEngine, Vec<String>) {
+    static FIXTURE: OnceLock<(ServeEngine, Vec<String>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::collect(&SystemModel::intel(), 200, CAMPAIGN_SEED);
+        let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+        let include: Vec<usize> = (0..corpus.len()).collect();
+        let predictor = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
+        let key =
+            artifact_key(corpus_fingerprint(&corpus), &CellConfig::FewRuns(cfg)).expect("key");
+        let mut models = HashMap::new();
+        models.insert(key, ServedModel::FewRuns(predictor));
+        let lines: Vec<String> = corpus
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let profile = Profile::from_runs(&b.runs, 10).expect("profile");
+                format!(
+                    "{{\"id\": {i}, \"model\": \"{key:016x}\", \"profile\": {}, \
+                     \"n_samples\": 100, \"sample_seed\": {i}}}",
+                    serde_json::to_string(&profile).expect("json")
+                )
+            })
+            .collect();
+        (ServeEngine::from_models(models), lines)
+    })
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (engine, lines) = fixture();
+    let mut g = c.benchmark_group("serve_throughput");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+
+    g.bench_function("single_line", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let line = &lines[i % lines.len()];
+            i += 1;
+            let (resp, outcome) = engine.handle_line(black_box(line));
+            assert_eq!(outcome, Outcome::Ok, "{resp}");
+            resp
+        })
+    });
+
+    g.bench_function("batched_64", |b| {
+        let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
+        b.iter(|| {
+            let out = engine.handle_batch(black_box(&batch));
+            assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+            out
+        })
+    });
+
+    g.finish();
+
+    // Acceptance floor: the batched path must sustain >= 2,000
+    // predictions/second. Checked outside criterion's sampler so a
+    // regression fails the bench run loudly instead of only shifting a
+    // tracked number.
+    let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
+    let started = Instant::now();
+    let mut answered = 0usize;
+    while started.elapsed() < Duration::from_secs(2) {
+        let out = engine.handle_batch(&batch);
+        assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+        answered += out.len();
+    }
+    let rate = answered as f64 / started.elapsed().as_secs_f64();
+    println!("serve_throughput: sustained {rate:.0} predictions/sec (floor 2000)");
+    assert!(
+        rate >= 2000.0,
+        "serving throughput {rate:.0} predictions/sec is below the 2,000/sec floor"
+    );
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

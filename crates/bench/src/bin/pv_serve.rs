@@ -1,0 +1,143 @@
+//! `pv-serve` — a long-lived query daemon over a trained-model registry.
+//!
+//! Loads every verified entry of a [`ModelRegistry`] once at startup and
+//! answers line-delimited JSON prediction requests until EOF or a
+//! `{"shutdown": true}` request. Speaks stdin/stdout by default or a
+//! unix socket with `--socket`; concurrent queries are micro-batched
+//! across the rayon pool. Diagnostics go to stderr — stdout is the
+//! protocol channel.
+//!
+//! ```text
+//! cargo run -p pv-bench --release --bin repro -- train --registry target/registry
+//! cargo run -p pv-bench --release --bin pv-serve -- --registry target/registry \
+//!     --socket /tmp/pv-serve.sock --metrics-out METRICS.json
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pv_bench::serve::{
+    preregister_serve_counters, run_socket, run_stdio, ServeEngine, DEFAULT_BATCH, DEFAULT_MAX_LINE,
+};
+use pv_bench::ObsFlags;
+use pv_core::registry::ModelRegistry;
+
+const HELP: &str = "\
+pv-serve — answer prediction queries from a trained-model registry
+
+USAGE:
+    pv-serve --registry DIR [OPTIONS]
+
+OPTIONS:
+    --registry DIR     model registry directory (required; see `repro train`)
+    --socket PATH      serve a unix socket instead of stdin/stdout
+    --batch N          micro-batch size across the rayon pool (default 64)
+    --max-line BYTES   per-request line cap (default 1048576)
+    --trace-out FILE   write the JSONL span trace at exit
+    --metrics-out FILE write the metrics snapshot at exit
+    --obs-summary      print the observability summary at exit
+    --help             show this help
+
+PROTOCOL (one JSON object per line, one JSON reply per line):
+    {\"profile\": {...}, \"model\": \"<16-hex-key>\", \"n_samples\": 1000,
+     \"sample_seed\": 0, \"rel_times\": [...]}   -> {\"ok\": true, \"prediction\":
+    {\"features\": [...], \"samples\": [...]}, \"ks_confidence\": ...}
+    {\"shutdown\": true}                         -> ack, then exit 0
+
+Malformed requests get a typed error reply, never a crash; an unknown
+model key gets a not-found reply listing how many models are loaded.";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("pv-serve: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsFlags::extract(&mut args);
+
+    let mut registry_dir: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut batch = DEFAULT_BATCH;
+    let mut max_line = DEFAULT_MAX_LINE;
+    let mut i = 0;
+    let value = |i: &mut usize, args: &[String], flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return;
+            }
+            "--registry" => {
+                registry_dir = Some(PathBuf::from(value(&mut i, &args, "--registry")));
+            }
+            "--socket" => socket = Some(PathBuf::from(value(&mut i, &args, "--socket"))),
+            "--batch" => {
+                batch = value(&mut i, &args, "--batch")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage_error("--batch wants an integer"))
+                    .max(1);
+            }
+            "--max-line" => {
+                max_line = value(&mut i, &args, "--max-line")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage_error("--max-line wants a byte count"))
+                    .max(64);
+            }
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let registry_dir = registry_dir.unwrap_or_else(|| usage_error("--registry DIR is required"));
+
+    let collector = obs.install();
+    preregister_serve_counters();
+
+    let registry = ModelRegistry::new(&registry_dir);
+    let engine = match ServeEngine::from_registry(&registry) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!(
+                "pv-serve: cannot load registry {}: [{}] {e}",
+                registry_dir.display(),
+                e.kind()
+            );
+            std::process::exit(1);
+        }
+    };
+    if engine.is_empty() {
+        eprintln!(
+            "pv-serve: warning: registry {} holds no models; every query will 404",
+            registry_dir.display()
+        );
+    } else {
+        eprintln!(
+            "pv-serve: {} model(s) loaded from {}",
+            engine.len(),
+            registry_dir.display()
+        );
+        for key in engine.keys() {
+            eprintln!("pv-serve:   model-{key:016x}");
+        }
+    }
+
+    let engine = Arc::new(engine);
+    let served = match &socket {
+        Some(path) => {
+            eprintln!("pv-serve: listening on {}", path.display());
+            run_socket(engine, path, batch, max_line)
+        }
+        None => run_stdio(engine, batch, max_line),
+    };
+    if let Err(e) = served {
+        eprintln!("pv-serve: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("pv-serve: shutting down");
+    obs.finalize(collector, pv_bench::serve::SERVE_OBS_COUNTERS);
+}

@@ -27,7 +27,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use pv_bench::{
-    amd_campaign, campaign_spec, intel_campaign, uc1_config, uc2_config, CAMPAIGN_SEED,
+    amd_campaign, campaign_spec, intel_campaign, uc1_config, uc2_config, ObsFlags, CAMPAIGN_SEED,
 };
 use pv_core::eval::{evaluate_cross_system_encoded, evaluate_few_runs_encoded, EvalSummary};
 use pv_core::pipeline::{EncodedCorpus, EncodingSpec};
@@ -103,6 +103,14 @@ fn main() {
         obs_check_cmd(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("train") {
+        train_cmd(&args[1..], &obs);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("load-gen") {
+        load_gen_cmd(&args[1..]);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -156,7 +164,7 @@ fn main() {
     }
 
     println!("\ntotal: {:.1?}", started.elapsed());
-    obs.finalize(collector);
+    obs.finalize(collector, pv_core::sweep::SWEEP_OBS_COUNTERS);
 }
 
 /// Table I: the benchmark roster.
@@ -564,92 +572,10 @@ fn baselines() {
 // ---------------------------------------------------------------------
 // observability output (shared by `repro all` and `repro sweep`)
 
-/// `--trace-out` / `--metrics-out` / `--obs-summary`, valid on any
-/// subcommand. Extracted before dispatch so exhibit selection and the
-/// sweep parser never see them.
-struct ObsFlags {
-    trace_out: Option<PathBuf>,
-    metrics_out: Option<PathBuf>,
-    summary: bool,
-}
-
-impl ObsFlags {
-    /// Strips the obs flags out of `args` and returns them parsed.
-    fn extract(args: &mut Vec<String>) -> ObsFlags {
-        let mut flags = ObsFlags {
-            trace_out: None,
-            metrics_out: None,
-            summary: false,
-        };
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--trace-out" | "--metrics-out" => {
-                    let flag = args.remove(i);
-                    if i >= args.len() {
-                        eprintln!("repro: {flag} needs a file path");
-                        std::process::exit(2);
-                    }
-                    let path = PathBuf::from(args.remove(i));
-                    if flag == "--trace-out" {
-                        flags.trace_out = Some(path);
-                    } else {
-                        flags.metrics_out = Some(path);
-                    }
-                }
-                "--obs-summary" => {
-                    args.remove(i);
-                    flags.summary = true;
-                }
-                _ => i += 1,
-            }
-        }
-        flags
-    }
-
-    /// Installs the collector when any obs output was requested.
-    fn install(&self) -> Option<pv_obs::Collector> {
-        let active = self.trace_out.is_some() || self.metrics_out.is_some() || self.summary;
-        active.then(pv_obs::Collector::install)
-    }
-
-    /// Finishes the session, writes the requested files, and prints the
-    /// summary table. A write failure warns but does not abort: the run's
-    /// scientific output is already on disk.
-    fn finalize(&self, collector: Option<pv_obs::Collector>) {
-        let Some(collector) = collector else { return };
-        let report = collector.finish();
-        if let Some(path) = &self.trace_out {
-            match pv_obs::write_trace(path, &report.events) {
-                Ok(()) => println!(
-                    "trace: {} events -> {}",
-                    report.events.len(),
-                    path.display()
-                ),
-                Err(e) => eprintln!("warning: cannot write trace {}: {e}", path.display()),
-            }
-        }
-        if let Some(path) = &self.metrics_out {
-            match pv_obs::write_metrics(path, &report.metrics) {
-                Ok(()) => println!(
-                    "metrics: {} counters, {} gauges, {} histograms -> {}",
-                    report.metrics.counters.len(),
-                    report.metrics.gauges.len(),
-                    report.metrics.histograms.len(),
-                    path.display()
-                ),
-                Err(e) => eprintln!("warning: cannot write metrics {}: {e}", path.display()),
-            }
-        }
-        if self.summary {
-            println!();
-            println!(
-                "{}",
-                pv_obs::render_summary(&report, pv_core::sweep::SWEEP_OBS_COUNTERS)
-            );
-        }
-    }
-}
+// `--trace-out` / `--metrics-out` / `--obs-summary` are valid on any
+// subcommand, extracted before dispatch so exhibit selection and the
+// sweep parser never see them. The obs flag handling lives in `pv_bench::obs_cli` so `repro` and
+// `pv-serve` share one implementation.
 
 const OBS_CHECK_HELP: &str = "\
 repro obs-check — validate observability artifacts (CI gate)
@@ -751,6 +677,490 @@ fn obs_check_cmd(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the train / load-gen subcommands (model registry + pv-serve)
+
+const TRAIN_HELP: &str = "\
+repro train — fit predictors and seal them into a model registry
+
+USAGE:
+    repro -- train --registry DIR [OPTIONS]
+
+OPTIONS:
+    --registry DIR    registry directory (required)
+    --uc N            use case: 1 (few-runs, default) or 2 (cross-system)
+    --reverse         use case 2 direction Intel->AMD (default AMD->Intel)
+    --reprs LIST      comma list of pearsonrnd,pymaxent,histogram (default pearsonrnd)
+    --models LIST     comma list of knn,randomforest,xgboost (default knn)
+    --samples LIST    use-case-1 profile-run counts (default 10)
+    --runs N          runs per benchmark in the training corpus (default 1000)
+    --from-sweep DIR  also seal a model for every completed, non-degraded
+                      cell a sweep cache holds for the same corpus
+    --force           re-fit even when a verified entry already exists
+
+A verified existing entry is reused (printed as 'verified'); a missing,
+stale, or corrupt entry is healed by re-fitting (printed as 'trained').
+Also accepts --trace-out/--metrics-out/--obs-summary.";
+
+fn train_usage_error(msg: &str) -> ! {
+    eprintln!("train: {msg}\n\n{TRAIN_HELP}");
+    std::process::exit(2);
+}
+
+struct TrainArgs {
+    registry: PathBuf,
+    uc: usize,
+    reverse: bool,
+    reprs: Vec<ReprKind>,
+    models: Vec<ModelKind>,
+    samples: Vec<usize>,
+    runs: usize,
+    from_sweep: Option<PathBuf>,
+    force: bool,
+}
+
+fn parse_train_args(args: &[String]) -> TrainArgs {
+    let mut parsed = TrainArgs {
+        registry: PathBuf::new(),
+        uc: 1,
+        reverse: false,
+        reprs: vec![ReprKind::PearsonRnd],
+        models: vec![ModelKind::Knn],
+        samples: vec![10],
+        runs: pv_bench::CAMPAIGN_RUNS,
+        from_sweep: None,
+        force: false,
+    };
+    let mut registry = None;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| train_usage_error(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{TRAIN_HELP}");
+                std::process::exit(0);
+            }
+            "--registry" => registry = Some(PathBuf::from(value(&mut i, "--registry"))),
+            "--uc" => {
+                parsed.uc = value(&mut i, "--uc")
+                    .parse()
+                    .unwrap_or_else(|_| train_usage_error("--uc must be 1 or 2"));
+                if !(1..=2).contains(&parsed.uc) {
+                    train_usage_error("--uc must be 1 or 2");
+                }
+            }
+            "--reverse" => parsed.reverse = true,
+            "--reprs" => {
+                parsed.reprs = value(&mut i, "--reprs")
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|e| train_usage_error(&format!("{e}")))
+                    })
+                    .collect();
+            }
+            "--models" => {
+                parsed.models = value(&mut i, "--models")
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|e| train_usage_error(&format!("{e}")))
+                    })
+                    .collect();
+            }
+            "--samples" => {
+                parsed.samples = value(&mut i, "--samples")
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| train_usage_error("--samples wants integers"))
+                    })
+                    .collect();
+            }
+            "--runs" => {
+                parsed.runs = value(&mut i, "--runs")
+                    .parse()
+                    .unwrap_or_else(|_| train_usage_error("--runs wants an integer"));
+            }
+            "--from-sweep" => {
+                parsed.from_sweep = Some(PathBuf::from(value(&mut i, "--from-sweep")))
+            }
+            "--force" => parsed.force = true,
+            other => train_usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    parsed.registry = registry.unwrap_or_else(|| train_usage_error("--registry DIR is required"));
+    parsed
+}
+
+/// The `train` subcommand: explicit model fitting into the registry,
+/// with verified-entry reuse, corruption healing, and sweep scavenging.
+fn train_cmd(args: &[String], obs: &ObsFlags) {
+    use pv_core::registry::{artifact_key, ModelRegistry, REGISTRY_OBS_COUNTERS};
+    use pv_core::sweep::{cross_fingerprint, CellConfig};
+
+    let p = parse_train_args(args);
+    let collector = obs.install();
+    pv_obs::metrics::preregister_counters(REGISTRY_OBS_COUNTERS);
+    let registry = ModelRegistry::new(&p.registry);
+    let fail = |what: &str, e: PvError| -> ! {
+        eprintln!("train: {what}: [{}] {e}", e.kind());
+        std::process::exit(1);
+    };
+
+    let collect = |sys: pv_sysmodel::SystemModel| Corpus::collect(&sys, p.runs, CAMPAIGN_SEED);
+    let started = Instant::now();
+    // The pair is collected for both use cases so --from-sweep can seal
+    // whatever cell kinds the cache holds; uc 1 only touches `primary`.
+    let (primary, secondary) = if p.reverse {
+        (
+            collect(pv_sysmodel::SystemModel::intel()),
+            collect(pv_sysmodel::SystemModel::amd()),
+        )
+    } else {
+        (
+            collect(pv_sysmodel::SystemModel::amd()),
+            collect(pv_sysmodel::SystemModel::intel()),
+        )
+    };
+    let uc1_corpus = if p.reverse { &primary } else { &secondary };
+    let uc1_fp = pv_core::corpus_fingerprint(uc1_corpus);
+    let cross_fp = cross_fingerprint(
+        pv_core::corpus_fingerprint(&primary),
+        pv_core::corpus_fingerprint(&secondary),
+    );
+    println!(
+        "registry: {} ({} entries before)",
+        p.registry.display(),
+        registry.keys().len()
+    );
+
+    let mut cells: Vec<CellConfig> = Vec::new();
+    for &repr in &p.reprs {
+        for &model in &p.models {
+            match p.uc {
+                1 => {
+                    for &s in &p.samples {
+                        let mut cfg = uc1_config(repr, model, s);
+                        cfg.profiles_per_benchmark =
+                            cfg.profiles_per_benchmark.min(p.runs / s.max(1)).max(1);
+                        cells.push(CellConfig::FewRuns(cfg));
+                    }
+                }
+                _ => cells.push(CellConfig::CrossSystem(uc2_config(repr, model))),
+            }
+        }
+    }
+    if let Some(dir) = &p.from_sweep {
+        let cache = CellCache::new(dir);
+        let scavenged: Vec<CellConfig> = cache
+            .configs(uc1_fp)
+            .into_iter()
+            .chain(cache.configs(cross_fp))
+            .collect();
+        println!(
+            "from-sweep: {} completed cell(s) scavenged from {}",
+            scavenged.len(),
+            dir.display()
+        );
+        cells.extend(scavenged);
+    }
+    cells.sort_by_key(|c| format!("{c:?}"));
+    cells.dedup();
+
+    for cell in &cells {
+        let fp = match cell {
+            CellConfig::FewRuns(_) => uc1_fp,
+            CellConfig::CrossSystem(_) => cross_fp,
+        };
+        if p.force {
+            if let Ok(path) = registry.entry_path(fp, cell) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        let (key, trained) = match *cell {
+            CellConfig::FewRuns(cfg) => {
+                let (_, trained) = registry
+                    .ensure_few_runs(uc1_corpus, cfg)
+                    .unwrap_or_else(|e| fail(&cell.label(), e));
+                (artifact_key(fp, cell).expect("key"), trained)
+            }
+            CellConfig::CrossSystem(cfg) => {
+                let (_, trained) = registry
+                    .ensure_cross_system(&primary, &secondary, cfg)
+                    .unwrap_or_else(|e| fail(&cell.label(), e));
+                (artifact_key(fp, cell).expect("key"), trained)
+            }
+        };
+        println!(
+            "  {}  model-{key:016x}  {}",
+            if trained { "trained " } else { "verified" },
+            cell.label()
+        );
+    }
+    println!(
+        "train: {} model(s) ready in {:.1?} ({} entries now)",
+        cells.len(),
+        started.elapsed(),
+        registry.keys().len()
+    );
+    obs.finalize(collector, REGISTRY_OBS_COUNTERS);
+}
+
+const LOAD_GEN_HELP: &str = "\
+repro load-gen — fire concurrent predictions at a running pv-serve
+
+USAGE:
+    repro -- load-gen --socket PATH [OPTIONS]
+
+OPTIONS:
+    --socket PATH     unix socket of a running pv-serve (required)
+    --requests N      total requests to send (default 2000)
+    --concurrency C   concurrent client connections (default 8)
+    --repr R          model cell representation (default pearsonrnd)
+    --model M         model cell regressor (default knn)
+    --samples S       use-case-1 profile-run count (default 10)
+    --runs N          runs per benchmark of the training corpus (default 1000)
+    --uc N            use case: 1 (default) or 2
+    --reverse         use case 2 direction Intel->AMD
+    --n-samples N     reconstruction samples per request (default 1000)
+
+Re-collects the training corpus (same seed) to derive the registry key
+and build one profile per benchmark, then cycles benchmarks across the
+connections. Prints the sustained rate; exits 1 on any failed response.";
+
+fn load_gen_usage_error(msg: &str) -> ! {
+    eprintln!("load-gen: {msg}\n\n{LOAD_GEN_HELP}");
+    std::process::exit(2);
+}
+
+/// The `load-gen` subcommand: a protocol client that doubles as the CI
+/// smoke load for the serving path.
+fn load_gen_cmd(args: &[String]) {
+    use pv_core::registry::artifact_key;
+    use pv_core::sweep::{cross_fingerprint, CellConfig};
+    use pv_core::Profile;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let mut socket: Option<PathBuf> = None;
+    let mut requests = 2000usize;
+    let mut concurrency = 8usize;
+    let mut repr = ReprKind::PearsonRnd;
+    let mut model = ModelKind::Knn;
+    let mut samples = 10usize;
+    let mut runs = pv_bench::CAMPAIGN_RUNS;
+    let mut uc = 1usize;
+    let mut reverse = false;
+    let mut n_samples = 1000usize;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| load_gen_usage_error(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{LOAD_GEN_HELP}");
+                std::process::exit(0);
+            }
+            "--socket" => socket = Some(PathBuf::from(value(&mut i, "--socket"))),
+            "--requests" => {
+                requests = value(&mut i, "--requests")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--requests wants an integer"));
+            }
+            "--concurrency" => {
+                concurrency = value(&mut i, "--concurrency")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| load_gen_usage_error("--concurrency wants an integer"))
+                    .max(1);
+            }
+            "--repr" => {
+                repr = value(&mut i, "--repr")
+                    .parse()
+                    .unwrap_or_else(|e| load_gen_usage_error(&format!("{e}")));
+            }
+            "--model" => {
+                model = value(&mut i, "--model")
+                    .parse()
+                    .unwrap_or_else(|e| load_gen_usage_error(&format!("{e}")));
+            }
+            "--samples" => {
+                samples = value(&mut i, "--samples")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--samples wants an integer"));
+            }
+            "--runs" => {
+                runs = value(&mut i, "--runs")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--runs wants an integer"));
+            }
+            "--uc" => {
+                uc = value(&mut i, "--uc")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--uc must be 1 or 2"));
+            }
+            "--reverse" => reverse = true,
+            "--n-samples" => {
+                n_samples = value(&mut i, "--n-samples")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--n-samples wants an integer"));
+            }
+            other => load_gen_usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let socket = socket.unwrap_or_else(|| load_gen_usage_error("--socket PATH is required"));
+
+    // Derive the registry key exactly as `repro train` sealed it.
+    let collect = |sys: pv_sysmodel::SystemModel| Corpus::collect(&sys, runs, CAMPAIGN_SEED);
+    let (src, key) = if uc == 1 {
+        let corpus = if reverse {
+            collect(pv_sysmodel::SystemModel::amd())
+        } else {
+            collect(pv_sysmodel::SystemModel::intel())
+        };
+        let mut cfg = uc1_config(repr, model, samples);
+        cfg.profiles_per_benchmark = cfg.profiles_per_benchmark.min(runs / samples.max(1)).max(1);
+        let fp = pv_core::corpus_fingerprint(&corpus);
+        let key = artifact_key(fp, &CellConfig::FewRuns(cfg)).expect("key");
+        (corpus, key)
+    } else {
+        let (src, dst) = if reverse {
+            (
+                collect(pv_sysmodel::SystemModel::intel()),
+                collect(pv_sysmodel::SystemModel::amd()),
+            )
+        } else {
+            (
+                collect(pv_sysmodel::SystemModel::amd()),
+                collect(pv_sysmodel::SystemModel::intel()),
+            )
+        };
+        let fp = cross_fingerprint(
+            pv_core::corpus_fingerprint(&src),
+            pv_core::corpus_fingerprint(&dst),
+        );
+        let key = artifact_key(fp, &CellConfig::CrossSystem(uc2_config(repr, model))).expect("key");
+        (src, key)
+    };
+
+    // One request line per benchmark, cycled.
+    let profile_runs = if uc == 1 {
+        samples
+    } else {
+        pv_bench::UC2_PROFILE_RUNS.min(runs).max(1)
+    };
+    let lines: Vec<String> = src
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            let s = profile_runs.min(b.runs.len()).max(1);
+            let profile = Profile::from_runs(&b.runs, s).expect("profile");
+            let profile_json = serde_json::to_string(&profile).expect("profile json");
+            let rel = if uc == 2 {
+                let rel_json = serde_json::to_string(&b.runs.rel_times()).expect("rel json");
+                format!(", \"rel_times\": {rel_json}")
+            } else {
+                String::new()
+            };
+            format!(
+                "{{\"id\": {bi}, \"model\": \"{key:016x}\", \"profile\": {profile_json}{rel}, \
+                 \"n_samples\": {n_samples}, \"sample_seed\": {bi}}}"
+            )
+        })
+        .collect();
+
+    println!(
+        "load-gen: {requests} requests over {concurrency} connection(s) -> {} (model {key:016x})",
+        socket.display()
+    );
+    let started = Instant::now();
+    let failed = AtomicUsize::new(0);
+    let sent = AtomicUsize::new(0);
+    let first_failure: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for c in 0..concurrency {
+            let lines = &lines;
+            let failed = &failed;
+            let sent = &sent;
+            let first_failure = &first_failure;
+            let socket = &socket;
+            let share = requests / concurrency + usize::from(c < requests % concurrency);
+            scope.spawn(move || {
+                let Ok(stream) = UnixStream::connect(socket) else {
+                    failed.fetch_add(share, Ordering::Relaxed);
+                    let mut slot = first_failure.lock().expect("lock");
+                    slot.get_or_insert_with(|| format!("cannot connect to {}", socket.display()));
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut writer = stream;
+                let mut done = 0usize;
+                while done < share {
+                    // Pipeline in bursts so the daemon sees concurrent
+                    // queued work worth batching.
+                    let burst = (share - done).min(64);
+                    for k in 0..burst {
+                        let line = &lines[(c + (done + k) * concurrency) % lines.len()];
+                        if writer.write_all(line.as_bytes()).is_err()
+                            || writer.write_all(b"\n").is_err()
+                        {
+                            failed.fetch_add(share - done, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    if writer.flush().is_err() {
+                        failed.fetch_add(share - done, Ordering::Relaxed);
+                        return;
+                    }
+                    for _ in 0..burst {
+                        let mut resp = String::new();
+                        match reader.read_line(&mut resp) {
+                            Ok(n) if n > 0 => {
+                                sent.fetch_add(1, Ordering::Relaxed);
+                                if !resp.contains("\"ok\":true") {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                    let mut slot = first_failure.lock().expect("lock");
+                                    slot.get_or_insert_with(|| resp.trim().to_string());
+                                }
+                            }
+                            _ => {
+                                failed.fetch_add(share - done, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        done += 1;
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let answered = sent.load(Ordering::Relaxed);
+    let failures = failed.load(Ordering::Relaxed);
+    let rate = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "load-gen: {answered} responses in {elapsed:.1?} ({rate:.0} req/s), {failures} failed"
+    );
+    if let Some(first) = first_failure.lock().expect("lock").as_ref() {
+        eprintln!("load-gen: first failure: {first}");
+    }
+    if failures > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -1237,7 +1647,7 @@ fn sweep_cmd(args: &[String], obs: &ObsFlags) {
     println!("total: {:.1?}", started.elapsed());
     // Finalize obs before any failure exit so traces of the failing run
     // are exactly the ones worth inspecting.
-    obs.finalize(collector);
+    obs.finalize(collector, pv_core::sweep::SWEEP_OBS_COUNTERS);
     if !ok && !keep_going {
         eprintln!("sweep: failing cells present (re-run with --keep-going to tolerate them)");
         std::process::exit(1);

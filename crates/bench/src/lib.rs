@@ -11,7 +11,14 @@
 //!   MaxEnt solves, kNN/forest/boosting, end-to-end pipelines) plus
 //!   ablation benches for the design choices called out in DESIGN.md.
 //!
-//! The library part hosts the experiment configuration shared by both.
+//! The library part hosts the experiment configuration shared by both,
+//! plus the [`serve`] protocol engine behind the `pv-serve` daemon and
+//! the [`obs_cli`] flags shared by every workspace binary.
+
+pub mod obs_cli;
+pub mod serve;
+
+pub use obs_cli::ObsFlags;
 
 use std::sync::OnceLock;
 

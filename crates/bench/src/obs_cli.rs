@@ -1,0 +1,94 @@
+//! Shared observability CLI flags for the workspace binaries.
+//!
+//! Both `repro` and `pv-serve` accept `--trace-out`, `--metrics-out`,
+//! and `--obs-summary`; this module owns the extraction, collector
+//! installation, and exit-time export so the two binaries cannot drift.
+
+use std::path::PathBuf;
+
+/// The observability flags stripped from a binary's argument list.
+#[derive(Debug, Clone, Default)]
+pub struct ObsFlags {
+    /// `--trace-out FILE`: write the JSONL span trace at exit.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out FILE`: write the metrics snapshot at exit.
+    pub metrics_out: Option<PathBuf>,
+    /// `--obs-summary`: print the summary table at exit.
+    pub summary: bool,
+}
+
+impl ObsFlags {
+    /// Strips the obs flags out of `args` and returns them parsed.
+    /// Exits with status 2 on a flag missing its argument, like the
+    /// binaries' other usage errors.
+    pub fn extract(args: &mut Vec<String>) -> ObsFlags {
+        let mut flags = ObsFlags::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace-out" | "--metrics-out" => {
+                    let flag = args.remove(i);
+                    if i >= args.len() {
+                        eprintln!("{flag} needs a file path");
+                        std::process::exit(2);
+                    }
+                    let path = PathBuf::from(args.remove(i));
+                    if flag == "--trace-out" {
+                        flags.trace_out = Some(path);
+                    } else {
+                        flags.metrics_out = Some(path);
+                    }
+                }
+                "--obs-summary" => {
+                    args.remove(i);
+                    flags.summary = true;
+                }
+                _ => i += 1,
+            }
+        }
+        flags
+    }
+
+    /// Installs the collector when any obs output was requested.
+    pub fn install(&self) -> Option<pv_obs::Collector> {
+        let active = self.trace_out.is_some() || self.metrics_out.is_some() || self.summary;
+        active.then(pv_obs::Collector::install)
+    }
+
+    /// Finishes the session, writes the requested files, and prints the
+    /// summary table over `summary_counters`. A write failure warns but
+    /// does not abort: the run's real output is already out.
+    pub fn finalize(&self, collector: Option<pv_obs::Collector>, summary_counters: &[&str]) {
+        let Some(collector) = collector else { return };
+        let report = collector.finish();
+        // File notices go to stderr: for `pv-serve` stdout is the
+        // protocol channel, and for `repro` they are diagnostics, not
+        // exhibit output.
+        if let Some(path) = &self.trace_out {
+            match pv_obs::write_trace(path, &report.events) {
+                Ok(()) => eprintln!(
+                    "trace: {} events -> {}",
+                    report.events.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("warning: cannot write trace {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            match pv_obs::write_metrics(path, &report.metrics) {
+                Ok(()) => eprintln!(
+                    "metrics: {} counters, {} gauges, {} histograms -> {}",
+                    report.metrics.counters.len(),
+                    report.metrics.gauges.len(),
+                    report.metrics.histograms.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("warning: cannot write metrics {}: {e}", path.display()),
+            }
+        }
+        if self.summary {
+            println!();
+            println!("{}", pv_obs::render_summary(&report, summary_counters));
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! The `pv-serve` query protocol and daemon engine.
+//!
+//! A registry directory (see [`pv_core::registry`]) is the deployable
+//! unit; this module turns one into a long-lived query service. The
+//! protocol is line-delimited JSON on stdin/stdout or a unix socket:
+//!
+//! ```text
+//! → {"model": "b3e1…", "profile": {"n_runs": 10, "n_metrics": 68, "features": […]}}
+//! ← {"ok": true, "model": "b3e1…", "prediction": {"features": […], "samples": […]},
+//!    "ks_confidence": null}
+//! ```
+//!
+//! Request fields: `model` (registry key, 16-hex-digit string or
+//! integer; required), `profile` (a [`Profile`]; required), `rel_times`
+//! (measured relative times; required for cross-system models, and when
+//! present also scores `ks_confidence`), `n_samples` (default 1000),
+//! `sample_seed` (default 0), `id` (any JSON value, echoed back
+//! verbatim), `shutdown` (`true` asks the daemon to ack and exit 0).
+//!
+//! Every failure is a *typed response*, never a crash: unparsable or
+//! oversized lines get `{"ok": false, "error": {"kind": "bad-request",
+//! …}}`, an unknown model key `"not-found"`, and a prediction-time
+//! failure `"invalid"`. The daemon micro-batches concurrent queries —
+//! whatever is queued when a worker looks, up to a batch cap — across
+//! the rayon pool, and exports `pv.serve.*` metrics through `pv-obs`:
+//! by construction `pv.serve.request` equals the total response count
+//! and the per-kind counters partition it (pinned by
+//! `tests/serve_protocol.rs`).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+use serde::Content;
+
+use pv_core::registry::{ModelRegistry, REGISTRY_OBS_COUNTERS};
+use pv_core::resilience::PvError;
+use pv_core::usecase1::FewRunsPredictor;
+use pv_core::usecase2::CrossSystemPredictor;
+use pv_core::{Artifact, Profile};
+use pv_stats::ks::ks2_test;
+
+/// Default reconstruction sample count per prediction.
+pub const DEFAULT_N_SAMPLES: usize = 1000;
+
+/// Hard cap on `n_samples` — a typed refusal beats an allocation stall.
+pub const MAX_N_SAMPLES: usize = 100_000;
+
+/// Default micro-batch cap (requests drained per rayon dispatch).
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Default maximum request line length in bytes.
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+/// The observability counters the serving layer emits. `pv.serve.request`
+/// counts every line answered; `ok`/`bad`/`not_found`/`error`/`shutdown`
+/// partition it by response kind; `batch` counts rayon dispatches.
+pub const SERVE_OBS_COUNTERS: &[&str] = &[
+    "pv.serve.batch",
+    "pv.serve.request",
+    "pv.serve.request.bad",
+    "pv.serve.request.error",
+    "pv.serve.request.not_found",
+    "pv.serve.request.ok",
+    "pv.serve.shutdown",
+];
+
+/// Every counter a daemon process can emit (serve + registry loads),
+/// preregistered at startup so metrics snapshots list zeros explicitly.
+pub fn preregister_serve_counters() {
+    pv_obs::metrics::preregister_counters(SERVE_OBS_COUNTERS);
+    pv_obs::metrics::preregister_counters(REGISTRY_OBS_COUNTERS);
+}
+
+/// A raw JSON value — bridges `serde_json` text to a [`Content`] tree so
+/// requests can be picked apart *leniently*: a malformed field yields a
+/// typed error response instead of a whole-struct parse failure.
+#[derive(Debug, Clone)]
+pub struct Json(pub Content);
+
+impl serde::Serialize for Json {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.0.clone())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Json {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_content().map(Json)
+    }
+}
+
+/// How a request was answered — the response taxonomy the `pv.serve.*`
+/// counters mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A successful prediction.
+    Ok,
+    /// The request line was unparsable, oversized, or semantically
+    /// malformed.
+    BadRequest,
+    /// The model key is not in the registry.
+    NotFound,
+    /// The request was well-formed but prediction failed.
+    Error,
+    /// A shutdown request, acked.
+    Shutdown,
+}
+
+impl Outcome {
+    /// The counter this outcome increments.
+    pub fn counter(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "pv.serve.request.ok",
+            Outcome::BadRequest => "pv.serve.request.bad",
+            Outcome::NotFound => "pv.serve.request.not_found",
+            Outcome::Error => "pv.serve.request.error",
+            Outcome::Shutdown => "pv.serve.shutdown",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+
+struct Request {
+    id: Option<Content>,
+    model: u64,
+    profile: Profile,
+    rel_times: Option<Vec<f64>>,
+    n_samples: usize,
+    sample_seed: u64,
+}
+
+enum Parsed {
+    Predict(Box<Request>),
+    Shutdown { id: Option<Content> },
+}
+
+fn field<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(c: &Content) -> Option<u64> {
+    match *c {
+        Content::I64(v) if v >= 0 => Some(v as u64),
+        Content::U64(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn as_f64(c: &Content) -> Option<f64> {
+    match *c {
+        Content::I64(v) => Some(v as f64),
+        Content::U64(v) => Some(v as f64),
+        Content::F64(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Parses the `model` field: a 1–16-digit hex string (the registry
+/// filename form) or a plain unsigned integer.
+fn parse_model_key(c: &Content) -> Option<u64> {
+    match c {
+        Content::Str(s) if !s.is_empty() && s.len() <= 16 => u64::from_str_radix(s, 16).ok(),
+        other => as_u64(other),
+    }
+}
+
+fn parse_request(line: &str) -> Result<Parsed, String> {
+    let Json(content) =
+        serde_json::from_str::<Json>(line).map_err(|e| format!("unparsable JSON: {e}"))?;
+    let Content::Map(map) = content else {
+        return Err("request must be a JSON object".into());
+    };
+    let id = field(&map, "id").cloned();
+    if matches!(field(&map, "shutdown"), Some(Content::Bool(true))) {
+        return Ok(Parsed::Shutdown { id });
+    }
+    let model = field(&map, "model")
+        .and_then(parse_model_key)
+        .ok_or("missing or malformed \"model\" (expected a 16-hex-digit registry key)")?;
+    let profile: Profile = match field(&map, "profile") {
+        Some(c) => serde::from_content(c.clone()).map_err(|e| format!("bad \"profile\": {e}"))?,
+        None => return Err("missing \"profile\"".into()),
+    };
+    if profile.features.iter().any(|v| !v.is_finite()) {
+        return Err("\"profile\" features must be finite".into());
+    }
+    let rel_times = match field(&map, "rel_times") {
+        None | Some(Content::Null) => None,
+        Some(Content::Seq(xs)) => {
+            let vals: Option<Vec<f64>> = xs.iter().map(as_f64).collect();
+            match vals {
+                Some(v) if !v.is_empty() && v.iter().all(|x| x.is_finite()) => Some(v),
+                _ => {
+                    return Err(
+                        "bad \"rel_times\": expected a non-empty array of finite numbers".into(),
+                    )
+                }
+            }
+        }
+        Some(_) => return Err("bad \"rel_times\": expected an array".into()),
+    };
+    let n_samples = match field(&map, "n_samples") {
+        None | Some(Content::Null) => DEFAULT_N_SAMPLES,
+        Some(c) => match as_u64(c) {
+            Some(n) if n as usize <= MAX_N_SAMPLES => n as usize,
+            Some(n) => return Err(format!("n_samples {n} exceeds the cap {MAX_N_SAMPLES}")),
+            None => return Err("bad \"n_samples\": expected an unsigned integer".into()),
+        },
+    };
+    let sample_seed = match field(&map, "sample_seed") {
+        None | Some(Content::Null) => 0,
+        Some(c) => as_u64(c).ok_or("bad \"sample_seed\": expected an unsigned integer")?,
+    };
+    Ok(Parsed::Predict(Box::new(Request {
+        id,
+        model,
+        profile,
+        rel_times,
+        n_samples,
+        sample_seed,
+    })))
+}
+
+// ---------------------------------------------------------------------
+// Response building
+
+fn render(content: Content) -> String {
+    serde_json::to_string(&Json(content)).unwrap_or_else(|_| {
+        // A Content tree always serializes; keep the daemon alive anyway.
+        "{\"ok\":false,\"error\":{\"kind\":\"invalid\",\"detail\":\"render failure\"}}".into()
+    })
+}
+
+fn error_response(id: Option<Content>, kind: &str, detail: String) -> String {
+    let mut map = Vec::with_capacity(3);
+    if let Some(id) = id {
+        map.push(("id".to_string(), id));
+    }
+    map.push(("ok".to_string(), Content::Bool(false)));
+    map.push((
+        "error".to_string(),
+        Content::Map(vec![
+            ("kind".to_string(), Content::Str(kind.to_string())),
+            ("detail".to_string(), Content::Str(detail)),
+        ]),
+    ));
+    render(Content::Map(map))
+}
+
+fn ok_response(
+    id: Option<Content>,
+    model: u64,
+    features: Vec<f64>,
+    samples: Vec<f64>,
+    ks_confidence: Option<f64>,
+) -> String {
+    let floats = |xs: Vec<f64>| Content::Seq(xs.into_iter().map(Content::F64).collect());
+    let mut map = Vec::with_capacity(5);
+    if let Some(id) = id {
+        map.push(("id".to_string(), id));
+    }
+    map.push(("ok".to_string(), Content::Bool(true)));
+    map.push(("model".to_string(), Content::Str(format!("{model:016x}"))));
+    map.push((
+        "prediction".to_string(),
+        Content::Map(vec![
+            ("features".to_string(), floats(features)),
+            ("samples".to_string(), floats(samples)),
+        ]),
+    ));
+    map.push((
+        "ks_confidence".to_string(),
+        ks_confidence.map_or(Content::Null, Content::F64),
+    ));
+    render(Content::Map(map))
+}
+
+// ---------------------------------------------------------------------
+// Engine
+
+/// A predictor reconstructed from a registry artifact.
+pub enum ServedModel {
+    /// Use case 1: profile → same-system distribution.
+    FewRuns(FewRunsPredictor),
+    /// Use case 2: profile ⊕ measured distribution → other-system
+    /// distribution.
+    CrossSystem(CrossSystemPredictor),
+}
+
+/// The query engine: every registry model loaded once, ready to answer
+/// protocol lines from any number of threads.
+pub struct ServeEngine {
+    models: HashMap<u64, ServedModel>,
+}
+
+impl ServeEngine {
+    /// Loads and verifies every model in `registry`.
+    ///
+    /// # Errors
+    /// Propagates the first registry verification failure — a serving
+    /// directory must be wholly trustworthy.
+    pub fn from_registry(registry: &ModelRegistry) -> Result<Self, PvError> {
+        let mut models = HashMap::new();
+        for entry in registry.load_all()? {
+            let model = match entry.artifact {
+                Artifact::FewRuns(a) => ServedModel::FewRuns(FewRunsPredictor::from_artifact(a)?),
+                Artifact::CrossSystem(a) => {
+                    ServedModel::CrossSystem(CrossSystemPredictor::from_artifact(a)?)
+                }
+            };
+            models.insert(entry.key, model);
+        }
+        Ok(ServeEngine { models })
+    }
+
+    /// An engine over an explicit model table (for tests/benches).
+    pub fn from_models(models: HashMap<u64, ServedModel>) -> Self {
+        ServeEngine { models }
+    }
+
+    /// Number of models loaded.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The loaded registry keys, ascending.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.models.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Answers one protocol line: returns the response (without the
+    /// trailing newline) and its outcome, and updates the `pv.serve.*`
+    /// counters.
+    pub fn handle_line(&self, line: &str) -> (String, Outcome) {
+        pv_obs::counter_inc!("pv.serve.request");
+        let start = Instant::now();
+        let (response, outcome) = self.respond(line);
+        pv_obs::observe!(
+            "pv.serve.latency_ns",
+            pv_obs::metrics::BucketSpec::latency(),
+            start.elapsed().as_nanos() as f64
+        );
+        pv_obs::counter_inc!(outcome.counter());
+        (response, outcome)
+    }
+
+    /// The typed response to a line that exceeded the daemon's length
+    /// cap (counted like any other answered request).
+    pub fn handle_oversized(&self, max_line: usize) -> (String, Outcome) {
+        pv_obs::counter_inc!("pv.serve.request");
+        pv_obs::counter_inc!(Outcome::BadRequest.counter());
+        (
+            error_response(
+                None,
+                "bad-request",
+                format!("request line exceeds {max_line} bytes"),
+            ),
+            Outcome::BadRequest,
+        )
+    }
+
+    /// Answers a micro-batch across the rayon pool, preserving order.
+    pub fn handle_batch(&self, lines: &[&str]) -> Vec<(String, Outcome)> {
+        pv_obs::counter_inc!("pv.serve.batch");
+        lines
+            .to_vec()
+            .into_par_iter()
+            .map(|l| self.handle_line(l))
+            .collect()
+    }
+
+    fn respond(&self, line: &str) -> (String, Outcome) {
+        let req = match parse_request(line) {
+            Ok(Parsed::Shutdown { id }) => {
+                let mut map = Vec::with_capacity(3);
+                if let Some(id) = id {
+                    map.push(("id".to_string(), id));
+                }
+                map.push(("ok".to_string(), Content::Bool(true)));
+                map.push(("shutdown".to_string(), Content::Bool(true)));
+                return (render(Content::Map(map)), Outcome::Shutdown);
+            }
+            Ok(Parsed::Predict(req)) => req,
+            Err(detail) => {
+                return (
+                    error_response(None, "bad-request", detail),
+                    Outcome::BadRequest,
+                )
+            }
+        };
+        let Some(model) = self.models.get(&req.model) else {
+            return (
+                error_response(
+                    req.id,
+                    "not-found",
+                    format!(
+                        "unknown model {:016x} ({} models loaded)",
+                        req.model,
+                        self.models.len()
+                    ),
+                ),
+                Outcome::NotFound,
+            );
+        };
+        let predicted = match model {
+            ServedModel::FewRuns(p) => p.predict_features_profile(&req.profile).and_then(|f| {
+                let samples = p.decode_features(&f, req.n_samples, req.sample_seed)?;
+                Ok((f, samples))
+            }),
+            ServedModel::CrossSystem(p) => match &req.rel_times {
+                Some(rel) => p.predict_features_profile(&req.profile, rel).and_then(|f| {
+                    let samples = p.decode_features(&f, req.n_samples, req.sample_seed)?;
+                    Ok((f, samples))
+                }),
+                None => return (
+                    error_response(
+                        req.id,
+                        "bad-request",
+                        "cross-system model needs \"rel_times\" (the measured source distribution)"
+                            .into(),
+                    ),
+                    Outcome::BadRequest,
+                ),
+            },
+        };
+        match predicted {
+            Ok((features, samples)) => {
+                let ks_confidence = req
+                    .rel_times
+                    .as_deref()
+                    .filter(|_| !samples.is_empty())
+                    .and_then(|rel| ks2_test(&samples, rel).ok())
+                    .map(|k| k.p_value);
+                (
+                    ok_response(req.id, req.model, features, samples, ks_confidence),
+                    Outcome::Ok,
+                )
+            }
+            Err(e) => (
+                error_response(req.id, "invalid", e.to_string()),
+                Outcome::Error,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon plumbing
+
+/// One line read from a client, or the marker that it blew the length
+/// cap (the payload is discarded, the event still gets a response).
+pub enum LineItem {
+    /// A complete line within the cap.
+    Line(String),
+    /// A line that exceeded the cap and was discarded to the newline.
+    Oversized,
+}
+
+/// A queued request: the line plus the channel its response goes back
+/// on (`true` marks the shutdown ack).
+pub struct Job {
+    item: LineItem,
+    reply: Sender<(String, bool)>,
+}
+
+/// Reads newline-delimited items from `reader` with a hard per-line
+/// byte cap — an oversized line is discarded to its newline and
+/// surfaced as [`LineItem::Oversized`], so a hostile client cannot make
+/// the daemon buffer unboundedly. Blank lines are skipped. `sink`
+/// returns `false` to stop early.
+///
+/// # Errors
+/// Propagates reader I/O failures.
+pub fn read_lines_bounded<R: Read>(
+    reader: R,
+    max_line: usize,
+    mut sink: impl FnMut(LineItem) -> bool,
+) -> io::Result<()> {
+    let mut r = BufReader::new(reader);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a trailing unterminated line still gets answered.
+            if overflowed {
+                let _ = sink(LineItem::Oversized);
+            } else if !buf.iter().all(u8::is_ascii_whitespace) {
+                let _ = sink(LineItem::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            return Ok(());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflowed {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                r.consume(pos + 1);
+                let item = if overflowed || buf.len() > max_line {
+                    Some(LineItem::Oversized)
+                } else if buf.iter().all(u8::is_ascii_whitespace) {
+                    None
+                } else {
+                    Some(LineItem::Line(String::from_utf8_lossy(&buf).into_owned()))
+                };
+                buf.clear();
+                overflowed = false;
+                if let Some(item) = item {
+                    if !sink(item) {
+                        return Ok(());
+                    }
+                }
+            }
+            None => {
+                if !overflowed {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max_line {
+                        overflowed = true;
+                        buf = Vec::new();
+                    }
+                }
+                let n = chunk.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// The micro-batching dispatcher: drains whatever is queued (up to
+/// `batch` jobs), answers the batch across the rayon pool, and routes
+/// each response back to its connection in order. Runs until the job
+/// channel closes or a shutdown ack is dispatched.
+pub fn run_batcher(engine: &ServeEngine, jobs: &Receiver<Job>, batch: usize, max_line: usize) {
+    let batch = batch.max(1);
+    while let Ok(first) = jobs.recv() {
+        let mut pending = vec![first];
+        while pending.len() < batch {
+            match jobs.try_recv() {
+                Ok(job) => pending.push(job),
+                Err(_) => break,
+            }
+        }
+        pv_obs::counter_inc!("pv.serve.batch");
+        let items: Vec<&LineItem> = pending.iter().map(|j| &j.item).collect();
+        let results: Vec<(String, Outcome)> = items
+            .into_par_iter()
+            .map(|item| match item {
+                LineItem::Line(l) => engine.handle_line(l),
+                LineItem::Oversized => engine.handle_oversized(max_line),
+            })
+            .collect();
+        let mut saw_shutdown = false;
+        for (job, (response, outcome)) in pending.iter().zip(results) {
+            let is_shutdown = outcome == Outcome::Shutdown;
+            saw_shutdown |= is_shutdown;
+            // A vanished client already closed its reply channel; fine.
+            let _ = job.reply.send((response, is_shutdown));
+        }
+        if saw_shutdown {
+            return;
+        }
+    }
+}
+
+/// Pumps one client: a reader thread feeds the shared job queue, this
+/// thread writes responses back in request order. Returns `Ok(true)`
+/// when the client's shutdown request was acked (after the ack is
+/// flushed, so the flag flip in the caller cannot race the write).
+///
+/// # Errors
+/// Propagates writer I/O failures (a vanished client).
+pub fn serve_connection<R, W>(
+    reader: R,
+    mut writer: W,
+    jobs: Sender<Job>,
+    max_line: usize,
+) -> io::Result<bool>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    let (reply_tx, reply_rx) = mpsc::channel::<(String, bool)>();
+    std::thread::spawn(move || {
+        let _ = read_lines_bounded(reader, max_line, |item| {
+            jobs.send(Job {
+                item,
+                reply: reply_tx.clone(),
+            })
+            .is_ok()
+        });
+    });
+    for (response, is_shutdown) in reply_rx {
+        if is_shutdown {
+            // Best-effort ack: the client may legitimately hang up the
+            // moment it has read the ack bytes, racing our trailing
+            // newline/flush into an EPIPE. The daemon is coming down
+            // either way, so a failed ack write must not eat the
+            // shutdown signal.
+            let _ = writer.write_all(response.as_bytes());
+            let _ = writer.write_all(b"\n");
+            let _ = writer.flush();
+            return Ok(true);
+        }
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(false)
+}
+
+/// Serves stdin/stdout until EOF or a shutdown request.
+///
+/// # Errors
+/// Propagates stdout failures.
+pub fn run_stdio(engine: Arc<ServeEngine>, batch: usize, max_line: usize) -> io::Result<()> {
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let batcher = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, batch, max_line))
+    };
+    let saw_shutdown = serve_connection(io::stdin(), io::stdout(), jobs_tx, max_line)?;
+    if !saw_shutdown {
+        // EOF: the job sender is dropped, the batcher drains and exits.
+        let _ = batcher.join();
+    }
+    Ok(())
+}
+
+/// Serves a unix socket until a shutdown request, accepting any number
+/// of concurrent clients.
+///
+/// # Errors
+/// Fails when the socket cannot be bound.
+pub fn run_socket(
+    engine: Arc<ServeEngine>,
+    path: &Path,
+    batch: usize,
+    max_line: usize,
+) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, batch, max_line));
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let jobs = jobs_tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    if let Ok(true) = serve_connection(read_half, &stream, jobs, max_line) {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{uc1_config, CAMPAIGN_SEED};
+    use pv_core::registry::artifact_key;
+    use pv_core::sweep::CellConfig;
+    use pv_core::{ModelKind, ReprKind};
+    use pv_sysmodel::{Corpus, SystemModel};
+
+    fn tiny_engine() -> (ServeEngine, u64, Corpus) {
+        let corpus = Corpus::collect(&SystemModel::intel(), 30, 3);
+        let mut cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+        cfg.seed = CAMPAIGN_SEED;
+        let include: Vec<usize> = (0..corpus.len()).collect();
+        let p = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
+        let key = artifact_key(1, &CellConfig::FewRuns(cfg)).expect("key");
+        let mut models = HashMap::new();
+        models.insert(key, ServedModel::FewRuns(p));
+        (ServeEngine::from_models(models), key, corpus)
+    }
+
+    fn request_line(key: u64, profile: &Profile) -> String {
+        format!(
+            "{{\"model\": \"{key:016x}\", \"profile\": {}, \"n_samples\": 50, \"sample_seed\": 1}}",
+            serde_json::to_string(profile).expect("profile json")
+        )
+    }
+
+    #[test]
+    fn well_formed_request_gets_ok_with_samples() {
+        let (engine, key, corpus) = tiny_engine();
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let (resp, outcome) = engine.handle_line(&request_line(key, &profile));
+        assert_eq!(outcome, Outcome::Ok, "{resp}");
+        assert!(
+            resp.contains("\"ok\": true") || resp.contains("\"ok\":true"),
+            "{resp}"
+        );
+        assert!(resp.contains("samples"), "{resp}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_typed_errors() {
+        let (engine, key, corpus) = tiny_engine();
+        let (resp, outcome) = engine.handle_line("this is not json");
+        assert_eq!(outcome, Outcome::BadRequest);
+        assert!(resp.contains("bad-request"), "{resp}");
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let (resp, outcome) = engine.handle_line(&request_line(key ^ 1, &profile));
+        assert_eq!(outcome, Outcome::NotFound);
+        assert!(resp.contains("not-found"), "{resp}");
+    }
+
+    #[test]
+    fn bounded_reader_flags_oversized_lines_and_recovers() {
+        let input = format!("{}\nshort\n", "x".repeat(100));
+        let mut items = Vec::new();
+        read_lines_bounded(input.as_bytes(), 10, |item| {
+            items.push(matches!(item, LineItem::Oversized));
+            true
+        })
+        .expect("read");
+        assert_eq!(items, vec![true, false]);
+    }
+
+    #[test]
+    fn shutdown_request_is_acked() {
+        let (engine, _, _) = tiny_engine();
+        let (resp, outcome) = engine.handle_line("{\"shutdown\": true, \"id\": 7}");
+        assert_eq!(outcome, Outcome::Shutdown);
+        assert!(resp.contains("shutdown"), "{resp}");
+        assert!(resp.contains('7'), "{resp}");
+    }
+}

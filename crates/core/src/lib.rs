@@ -20,6 +20,7 @@
 //! | shared encode-once cache + LOGO fold runner | [`pipeline`] |
 //! | incremental fold-level evaluation (per-fold score cache + append delta) | [`incremental`] |
 //! | config-grid sweep service with cached cells | [`sweep`] |
+//! | trained-model registry (sealed fitted artifacts for serving) | [`registry`] |
 //! | fault tolerance: error taxonomy, retries, quarantine, fault injection | [`resilience`] |
 //! | figure/table rendering | [`report`] |
 //!
@@ -59,6 +60,7 @@ pub mod incremental;
 pub mod model;
 pub mod pipeline;
 pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod repr;
 pub mod resilience;
@@ -81,12 +83,15 @@ pub use incremental::{
     evaluate_few_runs_incremental, evaluate_few_runs_incremental_sharded, fold_fingerprint,
     FoldCacheStats, FoldEntry, IncrementalEval,
 };
-pub use model::ModelKind;
+pub use model::{FittedModel, ModelKind};
 pub use pipeline::{
     bench_fingerprints, corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldRunner, FoldTruth,
     FoldView, PreparedFold, RowSink, SeedMode,
 };
 pub use profile::Profile;
+pub use registry::{
+    artifact_key, Artifact, ModelRegistry, RegistryEntry, REGISTRY_OBS_COUNTERS, REGISTRY_VERSION,
+};
 pub use repr::{DistributionRepr, ReprKind};
 pub use resilience::{FaultKind, FaultPlan, PvError, Quarantine};
 pub use shard::{
@@ -94,8 +99,8 @@ pub use shard::{
     SHARD_OBS_COUNTERS,
 };
 pub use sweep::{
-    cell_key, CellCache, CellConfig, CellOutcome, CellResult, GridSpec, Sweep, SweepReport,
-    SweepTarget,
+    cell_key, cross_fingerprint, CellCache, CellConfig, CellOutcome, CellResult, GridSpec, Sweep,
+    SweepReport, SweepTarget,
 };
-pub use usecase1::{FewRunsConfig, FewRunsPredictor};
-pub use usecase2::{CrossSystemConfig, CrossSystemPredictor};
+pub use usecase1::{FewRunsArtifact, FewRunsConfig, FewRunsPredictor};
+pub use usecase2::{CrossSystemArtifact, CrossSystemConfig, CrossSystemPredictor};

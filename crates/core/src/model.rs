@@ -72,15 +72,30 @@ impl ModelKind {
     /// hyper-parameters. `seed` drives any internal randomness (bagging,
     /// feature subsampling); kNN ignores it.
     pub fn build(&self, seed: u64) -> Box<dyn Regressor> {
+        match self.build_fitted(seed) {
+            FittedModel::Knn(m) => Box::new(m),
+            FittedModel::RandomForest(m) => Box::new(m),
+            FittedModel::XgBoost(m) => Box::new(m),
+        }
+    }
+
+    /// [`Self::build`] in concrete, serializable form: the same unfitted
+    /// model instance, but as a [`FittedModel`] enum rather than a trait
+    /// object, so that after fitting its full state (split thresholds,
+    /// stored rows, leaf values) can round-trip through the model
+    /// registry. A unit test pins this to `build`.
+    pub fn build_fitted(&self, seed: u64) -> FittedModel {
         match self {
-            ModelKind::Knn => Box::new(KnnRegressor::new(15).with_distance(Distance::Cosine)),
-            ModelKind::RandomForest => Box::new(
+            ModelKind::Knn => {
+                FittedModel::Knn(KnnRegressor::new(15).with_distance(Distance::Cosine))
+            }
+            ModelKind::RandomForest => FittedModel::RandomForest(
                 RandomForestRegressor::new(100)
                     .with_max_depth(14)
                     .with_max_features(MaxFeatures::Sqrt)
                     .with_seed(seed),
             ),
-            ModelKind::XgBoost => Box::new(
+            ModelKind::XgBoost => FittedModel::XgBoost(
                 GradientBoostingRegressor::new(80)
                     .with_learning_rate(0.1)
                     .with_max_depth(3)
@@ -88,6 +103,52 @@ impl ModelKind {
                     .with_subsample(0.9)
                     .with_seed(seed),
             ),
+        }
+    }
+}
+
+/// A (possibly fitted) regression model in concrete form.
+///
+/// The predictors in [`crate::usecase1`] and [`crate::usecase2`] hold
+/// this instead of a `Box<dyn Regressor>` so a trained model's state is
+/// a plain serde value: the registry serializes it verbatim, and a
+/// deserialized copy predicts bit-identically to the original (pinned by
+/// `tests/serving_equivalence.rs`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedModel {
+    /// k-nearest neighbours — stores the (scaled) training rows.
+    Knn(KnnRegressor),
+    /// Random forest — stores every tree's split structure.
+    RandomForest(RandomForestRegressor),
+    /// Gradient boosting — stores base scores and per-round trees.
+    XgBoost(GradientBoostingRegressor),
+}
+
+impl FittedModel {
+    /// Which [`ModelKind`] this model is an instance of.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            FittedModel::Knn(_) => ModelKind::Knn,
+            FittedModel::RandomForest(_) => ModelKind::RandomForest,
+            FittedModel::XgBoost(_) => ModelKind::XgBoost,
+        }
+    }
+
+    /// The model as an abstract regressor.
+    pub fn regressor(&self) -> &dyn Regressor {
+        match self {
+            FittedModel::Knn(m) => m,
+            FittedModel::RandomForest(m) => m,
+            FittedModel::XgBoost(m) => m,
+        }
+    }
+
+    /// The model as a mutable abstract regressor (for fitting).
+    pub fn regressor_mut(&mut self) -> &mut dyn Regressor {
+        match self {
+            FittedModel::Knn(m) => m,
+            FittedModel::RandomForest(m) => m,
+            FittedModel::XgBoost(m) => m,
         }
     }
 }
@@ -171,6 +232,27 @@ mod tests {
         // Only kNN is neighbour-delta eligible.
         assert!(ModelKind::RandomForest.neighbor_delta_model().is_none());
         assert!(ModelKind::XgBoost.neighbor_delta_model().is_none());
+    }
+
+    #[test]
+    fn build_fitted_matches_build() {
+        // The registry serializes what `build_fitted` fits; it must be
+        // the exact model the evaluation path (`build`) runs.
+        let data = tiny_dataset();
+        let q = [0.4, 0.6];
+        for kind in ModelKind::ALL {
+            let mut boxed = kind.build(7);
+            boxed.fit(&data).unwrap();
+            let mut concrete = kind.build_fitted(7);
+            assert_eq!(concrete.kind(), kind);
+            concrete.regressor_mut().fit(&data).unwrap();
+            assert_eq!(
+                boxed.predict(&q).unwrap(),
+                concrete.regressor().predict(&q).unwrap(),
+                "{}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -435,6 +435,41 @@ impl CellCache {
         verified.map(|cell| (cell.summary, cell.degraded))
     }
 
+    /// The configs of every verified, non-degraded cell stored for
+    /// `fingerprint`, deterministically ordered by cell key. This is
+    /// what `repro train --from-sweep` scavenges: each config a sweep
+    /// completed is a model worth fitting and sealing into the
+    /// [model registry](crate::registry). Unreadable or stale files are
+    /// skipped.
+    pub fn configs(&self, fingerprint: u64) -> Vec<CellConfig> {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, CellConfig)> = read
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("cell-") && name.ends_with(".json")
+            })
+            .filter_map(|e| fs::read_to_string(e.path()).ok())
+            .filter_map(|text| serde_json::from_str::<CachedCell>(&text).ok())
+            .filter(|cell| {
+                cell.version == CACHE_VERSION
+                    && cell.fingerprint == fingerprint
+                    && cell.degraded.is_none()
+            })
+            .filter_map(|cell| {
+                cell_key(fingerprint, &cell.config)
+                    .ok()
+                    .map(|k| (k, cell.config))
+            })
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        out.dedup_by_key(|&mut (k, _)| k);
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
     /// The best fold-cache donors on disk for corpora *other than*
     /// `fingerprint`: for every config with at least one non-degraded
     /// entry carrying folds, the entry with the most folds (ties broken
@@ -537,7 +572,7 @@ impl CellCache {
 /// The cell-cache fingerprint of a cross-system pair: both corpus
 /// fingerprints under a domain tag, identical for sharded and
 /// monolithic targets over the same campaigns.
-fn cross_fingerprint(src: u64, dst: u64) -> u64 {
+pub fn cross_fingerprint(src: u64, dst: u64) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str("pv-sweep-cross");
     h.write_u64(src);

@@ -12,12 +12,12 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
+use pv_ml::{Dataset, DenseMatrix, StandardScaler};
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
 use pv_sysmodel::{Corpus, RunSet};
 
-use crate::model::ModelKind;
+use crate::model::{FittedModel, ModelKind};
 use crate::pipeline::{EncodedCorpus, EncodingSpec};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
@@ -56,10 +56,25 @@ impl Default for FewRunsConfig {
 /// A trained few-runs distribution predictor.
 pub struct FewRunsPredictor {
     repr: Box<dyn DistributionRepr>,
-    model: Box<dyn Regressor>,
+    model: FittedModel,
     scaler: Option<StandardScaler>,
     cfg: FewRunsConfig,
     n_metrics: usize,
+}
+
+/// The serializable state of a [`FewRunsPredictor`] — everything needed
+/// to reconstruct it bit-identically (the repr is rebuilt from
+/// `config.repr`, which is stateless).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FewRunsArtifact {
+    /// Training configuration.
+    pub config: FewRunsConfig,
+    /// Fitted model state.
+    pub model: FittedModel,
+    /// Fitted standardization moments, when the model standardizes.
+    pub scaler: Option<StandardScaler>,
+    /// Metric count of the training corpus (prediction-time validation).
+    pub n_metrics: usize,
 }
 
 impl FewRunsPredictor {
@@ -145,8 +160,8 @@ impl FewRunsPredictor {
             (None, x)
         };
         let data = Dataset::new(x, y, groups)?;
-        let mut model = cfg.model.build(cfg.seed);
-        model.fit(&data)?;
+        let mut model = cfg.model.build_fitted(cfg.seed);
+        model.regressor_mut().fit(&data)?;
         Ok(FewRunsPredictor {
             repr,
             model,
@@ -161,6 +176,48 @@ impl FewRunsPredictor {
         &self.cfg
     }
 
+    /// Metric count of the training corpus.
+    pub fn n_metrics(&self) -> usize {
+        self.n_metrics
+    }
+
+    /// Extracts the predictor's serializable state (for the model
+    /// registry).
+    pub fn to_artifact(&self) -> FewRunsArtifact {
+        FewRunsArtifact {
+            config: self.cfg,
+            model: self.model.clone(),
+            scaler: self.scaler.clone(),
+            n_metrics: self.n_metrics,
+        }
+    }
+
+    /// Reconstructs a predictor from its serialized state. The result
+    /// predicts bit-identically to the predictor the artifact was taken
+    /// from.
+    ///
+    /// # Errors
+    /// Fails when the fitted model's kind disagrees with the config.
+    pub fn from_artifact(artifact: FewRunsArtifact) -> Result<Self, StatsError> {
+        if artifact.model.kind() != artifact.config.model {
+            return Err(StatsError::invalid(
+                "FewRunsPredictor::from_artifact",
+                format!(
+                    "artifact model is {}, config says {}",
+                    artifact.model.kind().name(),
+                    artifact.config.model.name()
+                ),
+            ));
+        }
+        Ok(FewRunsPredictor {
+            repr: artifact.config.repr.build(),
+            model: artifact.model,
+            scaler: artifact.scaler,
+            cfg: artifact.config,
+            n_metrics: artifact.n_metrics,
+        })
+    }
+
     /// Predicts the representation feature vector from the first
     /// `n_profile_runs` runs of `runs`.
     ///
@@ -168,20 +225,41 @@ impl FewRunsPredictor {
     /// Fails when fewer runs are supplied than the profile needs.
     pub fn predict_features(&self, runs: &RunSet) -> Result<Vec<f64>, StatsError> {
         let p = Profile::from_runs(runs, self.cfg.n_profile_runs)?;
-        if p.n_metrics != self.n_metrics {
+        self.predict_features_profile(&p)
+    }
+
+    /// Predicts the representation feature vector from a prebuilt
+    /// [`Profile`] — the serving path, where the client ships the profile
+    /// instead of raw runs.
+    ///
+    /// # Errors
+    /// Fails when the profile's metric count or feature length disagrees
+    /// with what the model was trained on.
+    pub fn predict_features_profile(&self, profile: &Profile) -> Result<Vec<f64>, StatsError> {
+        if profile.n_metrics != self.n_metrics {
             return Err(StatsError::invalid(
                 "FewRunsPredictor::predict",
                 format!(
                     "profile has {} metrics, model expects {}",
-                    p.n_metrics, self.n_metrics
+                    profile.n_metrics, self.n_metrics
                 ),
             ));
         }
-        let mut features = p.features;
+        let dim = Profile::feature_dim(self.n_metrics, self.cfg.n_profile_runs);
+        if profile.features.len() != dim {
+            return Err(StatsError::invalid(
+                "FewRunsPredictor::predict",
+                format!(
+                    "profile has {} features, model expects {dim}",
+                    profile.features.len()
+                ),
+            ));
+        }
+        let mut features = profile.features.clone();
         if let Some(sc) = &self.scaler {
             sc.transform_row(&mut features)?;
         }
-        self.model.predict(&features)
+        self.model.regressor().predict(&features)
     }
 
     /// Predicts and reconstructs the distribution as `n_samples` relative
@@ -195,9 +273,38 @@ impl FewRunsPredictor {
         n_samples: usize,
         sample_seed: u64,
     ) -> Result<Vec<f64>, StatsError> {
-        let f = self.predict_features(runs)?;
+        let p = Profile::from_runs(runs, self.cfg.n_profile_runs)?;
+        self.predict_distribution_profile(&p, n_samples, sample_seed)
+    }
+
+    /// [`Self::predict_distribution`] from a prebuilt [`Profile`].
+    ///
+    /// # Errors
+    /// Propagates prediction/decoding failures.
+    pub fn predict_distribution_profile(
+        &self,
+        profile: &Profile,
+        n_samples: usize,
+        sample_seed: u64,
+    ) -> Result<Vec<f64>, StatsError> {
+        let f = self.predict_features_profile(profile)?;
+        self.decode_features(&f, n_samples, sample_seed)
+    }
+
+    /// Reconstructs `n_samples` relative times from an
+    /// already-predicted representation vector — lets a caller that
+    /// needs both the vector and the samples predict once.
+    ///
+    /// # Errors
+    /// Propagates decoding failures.
+    pub fn decode_features(
+        &self,
+        features: &[f64],
+        n_samples: usize,
+        sample_seed: u64,
+    ) -> Result<Vec<f64>, StatsError> {
         let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(self.cfg.seed, sample_seed));
-        self.repr.decode(&f, &mut rng, n_samples)
+        self.repr.decode(features, &mut rng, n_samples)
     }
 }
 

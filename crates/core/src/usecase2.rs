@@ -12,12 +12,12 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
+use pv_ml::{Dataset, DenseMatrix, StandardScaler};
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkData, Corpus};
 
-use crate::model::ModelKind;
+use crate::model::{FittedModel, ModelKind};
 use crate::pipeline::{EncodedCorpus, EncodingSpec};
 use crate::profile::Profile;
 use crate::repr::{DistributionRepr, ReprKind};
@@ -53,9 +53,20 @@ impl Default for CrossSystemConfig {
 /// A trained system-to-system distribution predictor.
 pub struct CrossSystemPredictor {
     repr: Box<dyn DistributionRepr>,
-    model: Box<dyn Regressor>,
+    model: FittedModel,
     scaler: Option<StandardScaler>,
     cfg: CrossSystemConfig,
+}
+
+/// The serializable state of a [`CrossSystemPredictor`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossSystemArtifact {
+    /// Training configuration.
+    pub config: CrossSystemConfig,
+    /// Fitted model state.
+    pub model: FittedModel,
+    /// Fitted standardization moments, when the model standardizes.
+    pub scaler: Option<StandardScaler>,
 }
 
 impl CrossSystemPredictor {
@@ -153,8 +164,8 @@ impl CrossSystemPredictor {
             (None, x)
         };
         let data = Dataset::new(x, y, groups)?;
-        let mut model = cfg.model.build(cfg.seed);
-        model.fit(&data)?;
+        let mut model = cfg.model.build_fitted(cfg.seed);
+        model.regressor_mut().fit(&data)?;
         Ok(CrossSystemPredictor {
             repr,
             model,
@@ -166,6 +177,41 @@ impl CrossSystemPredictor {
     /// The configuration this predictor was trained with.
     pub fn config(&self) -> &CrossSystemConfig {
         &self.cfg
+    }
+
+    /// Extracts the predictor's serializable state (for the model
+    /// registry).
+    pub fn to_artifact(&self) -> CrossSystemArtifact {
+        CrossSystemArtifact {
+            config: self.cfg,
+            model: self.model.clone(),
+            scaler: self.scaler.clone(),
+        }
+    }
+
+    /// Reconstructs a predictor from its serialized state. The result
+    /// predicts bit-identically to the predictor the artifact was taken
+    /// from.
+    ///
+    /// # Errors
+    /// Fails when the fitted model's kind disagrees with the config.
+    pub fn from_artifact(artifact: CrossSystemArtifact) -> Result<Self, StatsError> {
+        if artifact.model.kind() != artifact.config.model {
+            return Err(StatsError::invalid(
+                "CrossSystemPredictor::from_artifact",
+                format!(
+                    "artifact model is {}, config says {}",
+                    artifact.model.kind().name(),
+                    artifact.config.model.name()
+                ),
+            ));
+        }
+        Ok(CrossSystemPredictor {
+            repr: artifact.config.repr.build(),
+            model: artifact.model,
+            scaler: artifact.scaler,
+            cfg: artifact.config,
+        })
     }
 
     /// Assembles a feature row: source profile ⊕ source distribution
@@ -192,7 +238,28 @@ impl CrossSystemPredictor {
         if let Some(sc) = &self.scaler {
             sc.transform_row(&mut row)?;
         }
-        self.model.predict(&row)
+        self.model.regressor().predict(&row)
+    }
+
+    /// Predicts the destination representation vector from a prebuilt
+    /// source-system [`Profile`] plus the measured source relative times
+    /// — the serving path. The profile must cover the same metric set
+    /// the model was trained on (the scaler's dimension check catches a
+    /// mismatch).
+    ///
+    /// # Errors
+    /// Propagates encoding/standardization/prediction failures.
+    pub fn predict_features_profile(
+        &self,
+        profile: &Profile,
+        src_rel_times: &[f64],
+    ) -> Result<Vec<f64>, StatsError> {
+        let mut row = profile.features.clone();
+        row.extend(self.repr.encode(src_rel_times)?);
+        if let Some(sc) = &self.scaler {
+            sc.transform_row(&mut row)?;
+        }
+        self.model.regressor().predict(&row)
     }
 
     /// Predicts and reconstructs the destination distribution as
@@ -209,6 +276,38 @@ impl CrossSystemPredictor {
         let f = self.predict_features(src_bench)?;
         let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(self.cfg.seed, sample_seed));
         self.repr.decode(&f, &mut rng, n_samples)
+    }
+
+    /// [`Self::predict_distribution`] from a prebuilt profile plus
+    /// measured source relative times.
+    ///
+    /// # Errors
+    /// Propagates prediction/decoding failures.
+    pub fn predict_distribution_profile(
+        &self,
+        profile: &Profile,
+        src_rel_times: &[f64],
+        n_samples: usize,
+        sample_seed: u64,
+    ) -> Result<Vec<f64>, StatsError> {
+        let f = self.predict_features_profile(profile, src_rel_times)?;
+        self.decode_features(&f, n_samples, sample_seed)
+    }
+
+    /// Reconstructs `n_samples` relative times from an
+    /// already-predicted representation vector — lets a caller that
+    /// needs both the vector and the samples predict once.
+    ///
+    /// # Errors
+    /// Propagates decoding failures.
+    pub fn decode_features(
+        &self,
+        features: &[f64],
+        n_samples: usize,
+        sample_seed: u64,
+    ) -> Result<Vec<f64>, StatsError> {
+        let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(self.cfg.seed, sample_seed));
+        self.repr.decode(features, &mut rng, n_samples)
     }
 }
 

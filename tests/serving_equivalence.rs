@@ -1,0 +1,272 @@
+//! Serving equivalence: a predictor that round-trips through the model
+//! registry must answer queries **bit-identically** to the in-memory
+//! predictor it was sealed from — for every model kind, every
+//! representation, and at any rayon thread count (the forest predicts
+//! across the pool, so thread-shape bugs would surface here first).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use perfvar_suite::core::registry::{Artifact, ModelRegistry};
+use perfvar_suite::core::sweep::CellConfig;
+use perfvar_suite::core::usecase1::{FewRunsConfig, FewRunsPredictor};
+use perfvar_suite::core::usecase2::{CrossSystemConfig, CrossSystemPredictor};
+use perfvar_suite::core::{corpus_fingerprint, ModelKind, Profile, ReprKind};
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+use proptest::prelude::*;
+
+const RUNS: usize = 40;
+const SEED: u64 = 11;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn corpus(sys: SystemModel) -> Corpus {
+    Corpus::collect(&sys, RUNS, SEED)
+}
+
+fn uc1_cfg(repr: ReprKind, model: ModelKind) -> FewRunsConfig {
+    FewRunsConfig {
+        repr,
+        model,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 2,
+        ..FewRunsConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pv-serve-eq-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn in_pool<T: Send>(threads: usize, op: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(op)
+}
+
+/// Every model kind × representation: train, seal, reload, and compare
+/// feature vectors and full reconstructed distributions bit for bit —
+/// with the registry-loaded predictor answering from rayon pools of
+/// 1, 2, and 8 threads against the in-memory predictor's default pool.
+#[test]
+fn uc1_registry_round_trip_is_bit_identical_at_any_thread_count() {
+    let dir = tmp_dir("uc1");
+    let registry = ModelRegistry::new(&dir);
+    let corpus = corpus(SystemModel::intel());
+    let fp = corpus_fingerprint(&corpus);
+    let include: Vec<usize> = (0..corpus.len()).collect();
+    for repr in ReprKind::ALL {
+        for model in ModelKind::ALL {
+            let cfg = uc1_cfg(repr, model);
+            let trained = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
+            registry
+                .store(fp, &Artifact::FewRuns(trained.to_artifact()))
+                .expect("store");
+            let loaded = match registry.load(fp, &CellConfig::FewRuns(cfg)).expect("load") {
+                Artifact::FewRuns(a) => FewRunsPredictor::from_artifact(a).expect("rebuild"),
+                other => panic!("wrong artifact kind {}", other.model_name()),
+            };
+            for bi in [0, 7, 29] {
+                let runs = &corpus.benchmarks[bi].runs;
+                let profile = Profile::from_runs(runs, cfg.n_profile_runs).expect("profile");
+                let want_features = trained.predict_features(runs).expect("features");
+                let want_dist = trained.predict_distribution(runs, 200, 3).expect("dist");
+                for threads in THREADS {
+                    let (got_features, got_dist) = in_pool(threads, || {
+                        (
+                            loaded.predict_features_profile(&profile).expect("features"),
+                            loaded
+                                .predict_distribution_profile(&profile, 200, 3)
+                                .expect("dist"),
+                        )
+                    });
+                    assert_eq!(
+                        want_features,
+                        got_features,
+                        "{}/{} bench {bi} at {threads} thread(s)",
+                        repr.name(),
+                        model.name()
+                    );
+                    assert_eq!(
+                        want_dist,
+                        got_dist,
+                        "{}/{} bench {bi} at {threads} thread(s)",
+                        repr.name(),
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The cross-system artifact round-trips the same way: every model kind
+/// (one representation per kind keeps this affordable) reproduces the
+/// in-memory prediction bits from a registry reload at every thread
+/// count.
+#[test]
+fn uc2_registry_round_trip_is_bit_identical_at_any_thread_count() {
+    let dir = tmp_dir("uc2");
+    let registry = ModelRegistry::new(&dir);
+    let src = corpus(SystemModel::amd());
+    let dst = corpus(SystemModel::intel());
+    let include: Vec<usize> = (0..src.len().min(dst.len())).collect();
+    for (repr, model) in [
+        (ReprKind::Histogram, ModelKind::Knn),
+        (ReprKind::PearsonRnd, ModelKind::RandomForest),
+        (ReprKind::PyMaxEnt, ModelKind::XgBoost),
+    ] {
+        let cfg = CrossSystemConfig {
+            repr,
+            model,
+            profile_runs: 20,
+            ..CrossSystemConfig::default()
+        };
+        let trained = CrossSystemPredictor::train(&src, &dst, &include, cfg).expect("train");
+        // Cross-system cells are keyed by the pair fingerprint; any u64
+        // works for a single-entry equivalence check.
+        let fp = 0xA11CE;
+        registry
+            .store(fp, &Artifact::CrossSystem(trained.to_artifact()))
+            .expect("store");
+        let loaded = match registry
+            .load(fp, &CellConfig::CrossSystem(cfg))
+            .expect("load")
+        {
+            Artifact::CrossSystem(a) => CrossSystemPredictor::from_artifact(a).expect("rebuild"),
+            other => panic!("wrong artifact kind {}", other.model_name()),
+        };
+        for bi in [2, 13] {
+            let bench = &src.benchmarks[bi];
+            let s = cfg.profile_runs.min(bench.runs.len()).max(1);
+            let profile = Profile::from_runs(&bench.runs, s).expect("profile");
+            let rel = bench.runs.rel_times();
+            let want = trained
+                .predict_features_profile(&profile, &rel)
+                .expect("features");
+            let want_dist = trained
+                .predict_distribution_profile(&profile, &rel, 150, 9)
+                .expect("dist");
+            for threads in THREADS {
+                let (got, got_dist) = in_pool(threads, || {
+                    (
+                        loaded
+                            .predict_features_profile(&profile, &rel)
+                            .expect("features"),
+                        loaded
+                            .predict_distribution_profile(&profile, &rel, 150, 9)
+                            .expect("dist"),
+                    )
+                });
+                assert_eq!(want, got, "{}/{} bench {bi}", repr.name(), model.name());
+                assert_eq!(
+                    want_dist,
+                    got_dist,
+                    "{}/{} bench {bi} at {threads} thread(s)",
+                    repr.name(),
+                    model.name()
+                );
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Fixture for the query-order property: a forest model sealed once,
+/// loaded once, with reference answers for the first eight benchmarks.
+struct OrderFixture {
+    corpus: Corpus,
+    registry: ModelRegistry,
+    fingerprint: u64,
+    loaded: FewRunsPredictor,
+    reference: BTreeMap<usize, Vec<f64>>,
+}
+
+fn order_cfg() -> FewRunsConfig {
+    uc1_cfg(ReprKind::PearsonRnd, ModelKind::RandomForest)
+}
+
+fn order_fixture() -> &'static OrderFixture {
+    static FIXTURE: std::sync::OnceLock<OrderFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = tmp_dir("order");
+        let registry = ModelRegistry::new(&dir);
+        let corpus = corpus(SystemModel::intel());
+        let fingerprint = corpus_fingerprint(&corpus);
+        let include: Vec<usize> = (0..corpus.len()).collect();
+        let cfg = order_cfg();
+        let trained = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
+        registry
+            .store(fingerprint, &Artifact::FewRuns(trained.to_artifact()))
+            .expect("store");
+        let loaded = match registry
+            .load(fingerprint, &CellConfig::FewRuns(cfg))
+            .expect("load")
+        {
+            Artifact::FewRuns(a) => FewRunsPredictor::from_artifact(a).expect("rebuild"),
+            other => panic!("wrong artifact kind {}", other.model_name()),
+        };
+        let mut reference = BTreeMap::new();
+        for bi in 0..8 {
+            let profile = Profile::from_runs(&corpus.benchmarks[bi].runs, cfg.n_profile_runs)
+                .expect("profile");
+            reference.insert(
+                bi,
+                loaded
+                    .predict_distribution_profile(&profile, 120, 5)
+                    .expect("dist"),
+            );
+        }
+        OrderFixture {
+            corpus,
+            registry,
+            fingerprint,
+            loaded,
+            reference,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving a model must not mutate it: a loaded predictor answers
+    /// the same query identically no matter how many other queries ran
+    /// first, in what order, or whether it was freshly reloaded from
+    /// disk.
+    #[test]
+    fn loaded_predictor_is_deterministic_under_query_order(
+        order in proptest::collection::vec(0usize..8, 1..20),
+        reload in any::<bool>(),
+    ) {
+        let fx = order_fixture();
+        let cfg = order_cfg();
+        let fresh;
+        let predictor = if reload {
+            fresh = match fx
+                .registry
+                .load(fx.fingerprint, &CellConfig::FewRuns(cfg))
+                .expect("load")
+            {
+                Artifact::FewRuns(a) => FewRunsPredictor::from_artifact(a).expect("rebuild"),
+                other => panic!("wrong artifact kind {}", other.model_name()),
+            };
+            &fresh
+        } else {
+            &fx.loaded
+        };
+        for bi in order {
+            let profile = Profile::from_runs(&fx.corpus.benchmarks[bi].runs, cfg.n_profile_runs)
+                .expect("profile");
+            let dist = predictor
+                .predict_distribution_profile(&profile, 120, 5)
+                .expect("dist");
+            prop_assert_eq!(&dist, &fx.reference[&bi], "bench {}", bi);
+        }
+    }
+}
