@@ -20,12 +20,14 @@ use pv_core::sweep::CellConfig;
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::{corpus_fingerprint, ModelKind, Profile, ReprKind};
 use pv_sysmodel::{Corpus, SystemModel};
+use rayon::prelude::*;
 
-/// The engine plus a ring of pre-rendered request lines, trained once
-/// per process. 200 runs per benchmark keeps setup to a few seconds
-/// while leaving the serving path identical to production.
-fn fixture() -> &'static (ServeEngine, Vec<String>) {
-    static FIXTURE: OnceLock<(ServeEngine, Vec<String>)> = OnceLock::new();
+/// Two engines (plain and resilience-enabled) plus a ring of
+/// pre-rendered request lines, trained once per process. 200 runs per
+/// benchmark keeps setup to a few seconds while leaving the serving
+/// path identical to production.
+fn fixture() -> &'static (ServeEngine, ServeEngine, Vec<String>) {
+    static FIXTURE: OnceLock<(ServeEngine, ServeEngine, Vec<String>)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let corpus = Corpus::collect(&SystemModel::intel(), 200, CAMPAIGN_SEED);
         let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
@@ -33,8 +35,12 @@ fn fixture() -> &'static (ServeEngine, Vec<String>) {
         let predictor = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
         let key =
             artifact_key(corpus_fingerprint(&corpus), &CellConfig::FewRuns(cfg)).expect("key");
+        let twin =
+            FewRunsPredictor::from_artifact(predictor.to_artifact()).expect("artifact roundtrip");
         let mut models = HashMap::new();
         models.insert(key, ServedModel::FewRuns(predictor));
+        let mut resilient_models = HashMap::new();
+        resilient_models.insert(key, ServedModel::FewRuns(twin));
         let lines: Vec<String> = corpus
             .benchmarks
             .iter()
@@ -48,12 +54,18 @@ fn fixture() -> &'static (ServeEngine, Vec<String>) {
                 )
             })
             .collect();
-        (ServeEngine::from_models(models), lines)
+        (
+            ServeEngine::from_models(models),
+            // The production daemon path: a live deadline on every
+            // request (the chaos plan stays empty, as in production).
+            ServeEngine::from_models(resilient_models).with_deadline(Some(Duration::from_secs(5))),
+            lines,
+        )
     })
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
-    let (engine, lines) = fixture();
+    let (engine, resilient, lines) = fixture();
     let mut g = c.benchmark_group("serve_throughput");
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(5));
@@ -78,26 +90,65 @@ fn bench_serve_throughput(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("resilient_batched_64", |b| {
+        // The daemon's dispatch shape with the resilience layer live:
+        // per-request deadline checks via handle_timed across rayon.
+        let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
+        b.iter(|| {
+            let now = Instant::now();
+            let work: Vec<(usize, &str)> = batch.iter().copied().enumerate().collect();
+            let out: Vec<(String, Outcome)> = work
+                .into_par_iter()
+                .map(|(k, line)| resilient.handle_timed(black_box(line), k as u64, now))
+                .collect();
+            assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+            out
+        })
+    });
+
     g.finish();
 
     // Acceptance floor: the batched path must sustain >= 2,000
-    // predictions/second. Checked outside criterion's sampler so a
-    // regression fails the bench run loudly instead of only shifting a
-    // tracked number.
+    // predictions/second — both bare and with the resilience layer
+    // (deadline checks) enabled. Checked outside criterion's sampler so
+    // a regression fails the bench run loudly instead of only shifting
+    // a tracked number.
     let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
-    let started = Instant::now();
-    let mut answered = 0usize;
-    while started.elapsed() < Duration::from_secs(2) {
-        let out = engine.handle_batch(&batch);
-        assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
-        answered += out.len();
+    for (label, run) in [
+        (
+            "bare",
+            Box::new(|| {
+                let out = engine.handle_batch(&batch);
+                assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+                out.len()
+            }) as Box<dyn Fn() -> usize>,
+        ),
+        (
+            "resilient",
+            Box::new(|| {
+                let now = Instant::now();
+                let work: Vec<(usize, &str)> = batch.iter().copied().enumerate().collect();
+                let out: Vec<(String, Outcome)> = work
+                    .into_par_iter()
+                    .map(|(k, line)| resilient.handle_timed(line, k as u64, now))
+                    .collect();
+                assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+                out.len()
+            }),
+        ),
+    ] {
+        let started = Instant::now();
+        let mut answered = 0usize;
+        while started.elapsed() < Duration::from_secs(2) {
+            answered += run();
+        }
+        let rate = answered as f64 / started.elapsed().as_secs_f64();
+        println!("serve_throughput[{label}]: sustained {rate:.0} predictions/sec (floor 2000)");
+        assert!(
+            rate >= 2000.0,
+            "serving throughput [{label}] {rate:.0} predictions/sec is below the 2,000/sec floor"
+        );
     }
-    let rate = answered as f64 / started.elapsed().as_secs_f64();
-    println!("serve_throughput: sustained {rate:.0} predictions/sec (floor 2000)");
-    assert!(
-        rate >= 2000.0,
-        "serving throughput {rate:.0} predictions/sec is below the 2,000/sec floor"
-    );
 }
 
 criterion_group!(benches, bench_serve_throughput);

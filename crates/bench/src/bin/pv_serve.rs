@@ -7,20 +7,34 @@
 //! across the rayon pool. Diagnostics go to stderr — stdout is the
 //! protocol channel.
 //!
+//! Production resilience: `--deadline-ms` bounds every prediction with
+//! a typed `timeout` response, `--queue` bounds admission with typed
+//! `overloaded` shedding, `{"op": "reload"}` (or SIGHUP) hot-swaps a
+//! freshly verified registry snapshot without dropping in-flight
+//! requests, and `{"op": "health"}` reports `ok|degraded|draining`
+//! readiness. `--inject-serve` installs a deterministic chaos plan for
+//! testing.
+//!
 //! ```text
 //! cargo run -p pv-bench --release --bin repro -- train --registry target/registry
 //! cargo run -p pv-bench --release --bin pv-serve -- --registry target/registry \
-//!     --socket /tmp/pv-serve.sock --metrics-out METRICS.json
+//!     --socket /tmp/pv-serve.sock --deadline-ms 2000 --metrics-out METRICS.json
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use pv_bench::serve::{
-    preregister_serve_counters, run_socket, run_stdio, ServeEngine, DEFAULT_BATCH, DEFAULT_MAX_LINE,
+    preregister_serve_counters, run_socket, run_stdio, ServeEngine, ServeOpts, DEFAULT_BATCH,
+    DEFAULT_MAX_LINE, DEFAULT_QUEUE,
 };
 use pv_bench::ObsFlags;
 use pv_core::registry::ModelRegistry;
+use pv_core::resilience::ServeFaultPlan;
 
 const HELP: &str = "\
 pv-serve — answer prediction queries from a trained-model registry
@@ -33,6 +47,13 @@ OPTIONS:
     --socket PATH      serve a unix socket instead of stdin/stdout
     --batch N          micro-batch size across the rayon pool (default 64)
     --max-line BYTES   per-request line cap (default 1048576)
+    --deadline-ms MS   per-request prediction deadline; expired requests
+                       get a typed timeout response (0 = off, default)
+    --queue N          admission queue capacity; a full queue sheds with
+                       typed overloaded responses (default 1024, 0 = unbounded)
+    --inject-serve SPEC  deterministic serving chaos plan, e.g.
+                       \"slow@3:5000,shed@7,reload-io@0\" (slow/shed key on
+                       request arrival sequence, reload-io on reload attempt)
     --trace-out FILE   write the JSONL span trace at exit
     --metrics-out FILE write the metrics snapshot at exit
     --obs-summary      print the observability summary at exit
@@ -42,8 +63,13 @@ PROTOCOL (one JSON object per line, one JSON reply per line):
     {\"profile\": {...}, \"model\": \"<16-hex-key>\", \"n_samples\": 1000,
      \"sample_seed\": 0, \"rel_times\": [...]}   -> {\"ok\": true, \"prediction\":
     {\"features\": [...], \"samples\": [...]}, \"ks_confidence\": ...}
-    {\"shutdown\": true}                         -> ack, then exit 0
+    {\"op\": \"health\"}                          -> readiness + model staleness
+    {\"op\": \"reload\"}                          -> re-verify registry, atomic swap
+    {\"shutdown\": true}                         -> ack, drain, then exit 0
 
+SIGHUP triggers the same hot reload as {\"op\": \"reload\"}: entries that
+fail verification keep their previously loaded version serving and mark
+the daemon degraded — a bad deploy can never crash the serving path.
 Malformed requests get a typed error reply, never a crash; an unknown
 model key gets a not-found reply listing how many models are loaded.";
 
@@ -51,6 +77,30 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("pv-serve: {msg}\n\n{HELP}");
     std::process::exit(2);
 }
+
+/// Raised by the SIGHUP handler, polled by the dispatcher between
+/// batches (plain flag — all the reload work happens on the dispatcher
+/// thread, the handler itself is async-signal-safe).
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sighup() {
+    // glibc is already linked; declare `signal` directly rather than
+    // growing a libc dependency for one call.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_sighup(_signum: i32) {
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    const SIGHUP: i32 = 1;
+    unsafe {
+        signal(SIGHUP, on_sighup);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sighup() {}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +110,9 @@ fn main() {
     let mut socket: Option<PathBuf> = None;
     let mut batch = DEFAULT_BATCH;
     let mut max_line = DEFAULT_MAX_LINE;
+    let mut queue = DEFAULT_QUEUE;
+    let mut deadline_ms = 0u64;
+    let mut plan = ServeFaultPlan::none();
     let mut i = 0;
     let value = |i: &mut usize, args: &[String], flag: &str| -> String {
         *i += 1;
@@ -89,6 +142,21 @@ fn main() {
                     .unwrap_or_else(|_| usage_error("--max-line wants a byte count"))
                     .max(64);
             }
+            "--deadline-ms" => {
+                deadline_ms = value(&mut i, &args, "--deadline-ms")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_error("--deadline-ms wants milliseconds"));
+            }
+            "--queue" => {
+                queue = value(&mut i, &args, "--queue")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage_error("--queue wants a capacity"));
+            }
+            "--inject-serve" => {
+                plan = value(&mut i, &args, "--inject-serve")
+                    .parse::<ServeFaultPlan>()
+                    .unwrap_or_else(|e| usage_error(&format!("--inject-serve: {e}")));
+            }
             other => usage_error(&format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -110,6 +178,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let engine = engine
+        .with_deadline((deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)))
+        .with_fault_plan(plan);
     if engine.is_empty() {
         eprintln!(
             "pv-serve: warning: registry {} holds no models; every query will 404",
@@ -125,14 +196,40 @@ fn main() {
             eprintln!("pv-serve:   model-{key:016x}");
         }
     }
+    if !engine.plan().is_empty() {
+        eprintln!(
+            "pv-serve: chaos plan armed with {} fault(s)",
+            engine.plan().faults().len()
+        );
+    }
+
+    install_sighup();
+    // A static can't hold the Arc the serve loop wants; bridge via a
+    // forwarder that the dispatcher polls.
+    let reload_flag = Arc::new(AtomicBool::new(false));
+    {
+        let reload_flag = Arc::clone(&reload_flag);
+        std::thread::spawn(move || loop {
+            if RELOAD_REQUESTED.swap(false, Ordering::SeqCst) {
+                reload_flag.store(true, Ordering::SeqCst);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    let opts = ServeOpts {
+        batch,
+        max_line,
+        queue,
+        reload_signal: Some(reload_flag),
+    };
 
     let engine = Arc::new(engine);
     let served = match &socket {
         Some(path) => {
             eprintln!("pv-serve: listening on {}", path.display());
-            run_socket(engine, path, batch, max_line)
+            run_socket(engine, path, opts)
         }
-        None => run_stdio(engine, batch, max_line),
+        None => run_stdio(engine, opts),
     };
     if let Err(e) = served {
         eprintln!("pv-serve: serve loop failed: {e}");

@@ -21,6 +21,8 @@
 //! over the shared cache; all outputs are bit-identical to the former
 //! train-per-fold harness.
 
+#![warn(clippy::unwrap_used)]
+
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -926,6 +928,11 @@ OPTIONS:
     --socket PATH     unix socket of a running pv-serve (required)
     --requests N      total requests to send (default 2000)
     --concurrency C   concurrent client connections (default 8)
+    --expect-shed     treat overloaded/timeout/draining responses as
+                      retryable backpressure (jittered exponential
+                      backoff) instead of failures
+    --retries N       retry budget per request under --expect-shed
+                      (default 4; an exhausted budget is a failure)
     --repr R          model cell representation (default pearsonrnd)
     --model M         model cell regressor (default knn)
     --samples S       use-case-1 profile-run count (default 10)
@@ -936,7 +943,8 @@ OPTIONS:
 
 Re-collects the training corpus (same seed) to derive the registry key
 and build one profile per benchmark, then cycles benchmarks across the
-connections. Prints the sustained rate; exits 1 on any failed response.";
+connections. Prints the sustained rate plus shed/retry stats; exits 1 on
+any failed response (the success line always ends in \"0 failed\").";
 
 fn load_gen_usage_error(msg: &str) -> ! {
     eprintln!("load-gen: {msg}\n\n{LOAD_GEN_HELP}");
@@ -955,6 +963,8 @@ fn load_gen_cmd(args: &[String]) {
     let mut socket: Option<PathBuf> = None;
     let mut requests = 2000usize;
     let mut concurrency = 8usize;
+    let mut expect_shed = false;
+    let mut retries = 4u32;
     let mut repr = ReprKind::PearsonRnd;
     let mut model = ModelKind::Knn;
     let mut samples = 10usize;
@@ -986,6 +996,12 @@ fn load_gen_cmd(args: &[String]) {
                     .parse::<usize>()
                     .unwrap_or_else(|_| load_gen_usage_error("--concurrency wants an integer"))
                     .max(1);
+            }
+            "--expect-shed" => expect_shed = true,
+            "--retries" => {
+                retries = value(&mut i, "--retries")
+                    .parse()
+                    .unwrap_or_else(|_| load_gen_usage_error("--retries wants an integer"));
             }
             "--repr" => {
                 repr = value(&mut i, "--repr")
@@ -1085,22 +1101,46 @@ fn load_gen_cmd(args: &[String]) {
         .collect();
 
     println!(
-        "load-gen: {requests} requests over {concurrency} connection(s) -> {} (model {key:016x})",
-        socket.display()
+        "load-gen: {requests} requests over {concurrency} connection(s) -> {} (model {key:016x}){}",
+        socket.display(),
+        if expect_shed {
+            format!(" [expect-shed, {retries} retries]")
+        } else {
+            String::new()
+        }
     );
     let started = Instant::now();
     let failed = AtomicUsize::new(0);
     let sent = AtomicUsize::new(0);
+    let ok_count = AtomicUsize::new(0);
+    let shed_seen = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
     let first_failure: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    // A response whose error kind marks backpressure, not breakage:
+    // shed at admission, past its deadline, or refused during drain.
+    let shed_class = |resp: &str| {
+        ["\"overloaded\"", "\"timeout\"", "\"draining\""]
+            .iter()
+            .any(|kind| resp.contains(kind))
+    };
     std::thread::scope(|scope| {
         for c in 0..concurrency {
             let lines = &lines;
             let failed = &failed;
             let sent = &sent;
+            let ok_count = &ok_count;
+            let shed_seen = &shed_seen;
+            let retried = &retried;
             let first_failure = &first_failure;
             let socket = &socket;
+            let shed_class = &shed_class;
             let share = requests / concurrency + usize::from(c < requests % concurrency);
             scope.spawn(move || {
+                let record_failure = |resp: &str| {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    let mut slot = first_failure.lock().expect("lock");
+                    slot.get_or_insert_with(|| resp.trim().to_string());
+                };
                 let Ok(stream) = UnixStream::connect(socket) else {
                     failed.fetch_add(share, Ordering::Relaxed);
                     let mut slot = first_failure.lock().expect("lock");
@@ -1109,41 +1149,75 @@ fn load_gen_cmd(args: &[String]) {
                 };
                 let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
                 let mut writer = stream;
-                let mut done = 0usize;
-                while done < share {
+                let mut backoff_rng = Xoshiro256pp::from_seed_stream(load_gen_seed(), c as u64);
+                // Each pending entry is (line index, attempts so far);
+                // shed-class responses under --expect-shed re-queue
+                // their request instead of failing it.
+                let mut pending: std::collections::VecDeque<(usize, u32)> = (0..share)
+                    .map(|j| ((c + j * concurrency) % lines.len(), 0))
+                    .collect();
+                while !pending.is_empty() {
                     // Pipeline in bursts so the daemon sees concurrent
-                    // queued work worth batching.
-                    let burst = (share - done).min(64);
-                    for k in 0..burst {
-                        let line = &lines[(c + (done + k) * concurrency) % lines.len()];
-                        if writer.write_all(line.as_bytes()).is_err()
+                    // queued work worth batching. Responses come back
+                    // in request order, so the k-th reply of the burst
+                    // belongs to the k-th request sent.
+                    let burst: Vec<(usize, u32)> = {
+                        let n = pending.len().min(64);
+                        pending.drain(..n).collect()
+                    };
+                    for (idx, _) in &burst {
+                        if writer.write_all(lines[*idx].as_bytes()).is_err()
                             || writer.write_all(b"\n").is_err()
                         {
-                            failed.fetch_add(share - done, Ordering::Relaxed);
+                            failed.fetch_add(burst.len() + pending.len(), Ordering::Relaxed);
                             return;
                         }
                     }
                     if writer.flush().is_err() {
-                        failed.fetch_add(share - done, Ordering::Relaxed);
+                        failed.fetch_add(burst.len() + pending.len(), Ordering::Relaxed);
                         return;
                     }
-                    for _ in 0..burst {
+                    let mut max_requeued_attempt = None::<u32>;
+                    for (idx, attempts) in &burst {
                         let mut resp = String::new();
                         match reader.read_line(&mut resp) {
                             Ok(n) if n > 0 => {
                                 sent.fetch_add(1, Ordering::Relaxed);
-                                if !resp.contains("\"ok\":true") {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                    let mut slot = first_failure.lock().expect("lock");
-                                    slot.get_or_insert_with(|| resp.trim().to_string());
+                                if resp.contains("\"ok\":true") {
+                                    ok_count.fetch_add(1, Ordering::Relaxed);
+                                } else if shed_class(&resp) {
+                                    shed_seen.fetch_add(1, Ordering::Relaxed);
+                                    if expect_shed && *attempts < retries {
+                                        retried.fetch_add(1, Ordering::Relaxed);
+                                        pending.push_back((*idx, attempts + 1));
+                                        let a = attempts + 1;
+                                        max_requeued_attempt =
+                                            Some(max_requeued_attempt.map_or(a, |m: u32| m.max(a)));
+                                    } else {
+                                        record_failure(&resp);
+                                    }
+                                } else {
+                                    record_failure(&resp);
                                 }
                             }
                             _ => {
-                                failed.fetch_add(share - done, Ordering::Relaxed);
+                                failed.fetch_add(
+                                    1 + burst.len().saturating_sub(1) + pending.len(),
+                                    Ordering::Relaxed,
+                                );
+                                let mut slot = first_failure.lock().expect("lock");
+                                slot.get_or_insert_with(|| "connection closed mid-burst".into());
                                 return;
                             }
                         }
-                        done += 1;
+                    }
+                    // Back off before retrying shed work: exponential
+                    // in the deepest attempt, jittered so the
+                    // connections don't re-flood in lockstep.
+                    if let Some(attempt) = max_requeued_attempt {
+                        let base_ms = 5u64 << attempt.min(6);
+                        let jitter = (backoff_rng.next_f64() * base_ms as f64) as u64;
+                        std::thread::sleep(Duration::from_millis(base_ms + jitter));
                     }
                 }
             });
@@ -1151,10 +1225,14 @@ fn load_gen_cmd(args: &[String]) {
     });
     let elapsed = started.elapsed();
     let answered = sent.load(Ordering::Relaxed);
+    let oks = ok_count.load(Ordering::Relaxed);
+    let sheds = shed_seen.load(Ordering::Relaxed);
+    let retry_count = retried.load(Ordering::Relaxed);
     let failures = failed.load(Ordering::Relaxed);
     let rate = answered as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "load-gen: {answered} responses in {elapsed:.1?} ({rate:.0} req/s), {failures} failed"
+        "load-gen: {answered} responses in {elapsed:.1?} ({rate:.0} req/s): \
+         {oks} ok, {sheds} shed-class, {retry_count} retried, {failures} failed"
     );
     if let Some(first) = first_failure.lock().expect("lock").as_ref() {
         eprintln!("load-gen: first failure: {first}");
@@ -1162,6 +1240,11 @@ fn load_gen_cmd(args: &[String]) {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// The load generator's backoff jitter seed (arbitrary fixed constant).
+fn load_gen_seed() -> u64 {
+    0x1040_6e4a_11c3_7a2d
 }
 
 // ---------------------------------------------------------------------

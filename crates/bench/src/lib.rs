@@ -15,6 +15,10 @@
 //! plus the [`serve`] protocol engine behind the `pv-serve` daemon and
 //! the [`obs_cli`] flags shared by every workspace binary.
 
+// The serving path is a long-lived daemon: every failure must be a
+// typed response or a handled error, never a panic.
+#![warn(clippy::unwrap_used)]
+
 pub mod obs_cli;
 pub mod serve;
 
@@ -115,6 +119,7 @@ pub fn uc2_config(repr: ReprKind, model: ModelKind) -> CrossSystemConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

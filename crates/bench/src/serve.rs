@@ -16,30 +16,60 @@
 //! present also scores `ks_confidence`), `n_samples` (default 1000),
 //! `sample_seed` (default 0), `id` (any JSON value, echoed back
 //! verbatim), `shutdown` (`true` asks the daemon to ack and exit 0).
+//! An `"op"` field selects non-prediction operations: `"health"` (the
+//! readiness probe — state plus per-model staleness), `"reload"`
+//! (atomically swap in a freshly verified registry snapshot), and
+//! `"shutdown"`/`"predict"` as aliases for the field-based forms.
 //!
 //! Every failure is a *typed response*, never a crash: unparsable or
 //! oversized lines get `{"ok": false, "error": {"kind": "bad-request",
-//! …}}`, an unknown model key `"not-found"`, and a prediction-time
-//! failure `"invalid"`. The daemon micro-batches concurrent queries —
-//! whatever is queued when a worker looks, up to a batch cap — across
-//! the rayon pool, and exports `pv.serve.*` metrics through `pv-obs`:
-//! by construction `pv.serve.request` equals the total response count
-//! and the per-kind counters partition it (pinned by
-//! `tests/serve_protocol.rs`).
+//! …}}`, an unknown model key `"not-found"`, a prediction-time failure
+//! `"invalid"`, a request that blew its `--deadline-ms` budget
+//! `"timeout"`, one shed by the bounded admission queue `"overloaded"`,
+//! and one arriving while the daemon drains for shutdown `"draining"`.
+//! The daemon micro-batches concurrent queries — whatever is queued
+//! when a worker looks, up to a batch cap — across the rayon pool, and
+//! exports `pv.serve.*` metrics through `pv-obs`: by construction
+//! `pv.serve.request` equals the total response count and the per-kind
+//! counters partition it (pinned by `tests/serve_protocol.rs` and
+//! `tests/serve_chaos.rs`).
+//!
+//! # Failure semantics on the serving path
+//!
+//! * **Deadlines** apply to predictions only (`health`/`reload`/
+//!   `shutdown` are exempt): a request whose elapsed time — including
+//!   any [`ServeFaultPlan`]-injected *virtual* delay — exceeds the
+//!   deadline when a worker picks it up is answered `timeout` without
+//!   running the prediction. Virtual delays make "slow model blows the
+//!   deadline" deterministic at any thread count.
+//! * **Load shedding** happens at admission: the reader rejects a line
+//!   with `overloaded` the moment the bounded queue is full, so a
+//!   flood degrades into fast typed rejections instead of unbounded
+//!   buffering. `pv.serve.shed` counts sheds; `pv.serve.queue_depth` /
+//!   `pv.serve.queue_high_watermark` gauge the queue.
+//! * **Hot reload** re-verifies every registry entry and atomically
+//!   swaps the model table; in-flight requests keep the old snapshot
+//!   (each holds an `Arc`). An entry that fails verification keeps its
+//!   previously loaded version live (`held_over`) and marks the daemon
+//!   `degraded`; an entry deleted from disk is dropped. A reload that
+//!   cannot read the registry at all leaves the old snapshot serving.
+//! * **Drain**: after a shutdown ack the daemon state becomes
+//!   `draining` — already-admitted requests are answered, new lines get
+//!   a typed `draining` rejection, then the dispatcher exits.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use serde::Content;
 
 use pv_core::registry::{ModelRegistry, REGISTRY_OBS_COUNTERS};
-use pv_core::resilience::PvError;
+use pv_core::resilience::{PvError, ServeFaultPlan};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{Artifact, Profile};
@@ -57,24 +87,58 @@ pub const DEFAULT_BATCH: usize = 64;
 /// Default maximum request line length in bytes.
 pub const DEFAULT_MAX_LINE: usize = 1 << 20;
 
+/// Default admission-queue capacity (queued-but-unanswered requests
+/// before the daemon starts shedding). `0` means unbounded.
+pub const DEFAULT_QUEUE: usize = 1024;
+
+/// The real sleep cap for an injected slow-prediction fault. The
+/// fault's full delay is *virtual* (counted against the deadline
+/// arithmetically); only this much wall-clock is actually spent, enough
+/// to exercise genuine backpressure without serializing the test tier.
+pub const SLOW_FAULT_REAL_CAP: Duration = Duration::from_millis(25);
+
+/// How long the dispatcher keeps answering late-arriving jobs after a
+/// shutdown ack before abandoning the queue.
+const DRAIN_GRACE: Duration = Duration::from_millis(50);
+
 /// The observability counters the serving layer emits. `pv.serve.request`
-/// counts every line answered; `ok`/`bad`/`not_found`/`error`/`shutdown`
-/// partition it by response kind; `batch` counts rayon dispatches.
+/// counts every line answered; the `pv.serve.request.*` counters plus
+/// `pv.serve.shutdown` partition it by response kind; `pv.serve.batch`
+/// counts rayon dispatches; `pv.serve.shed` counts admission rejections
+/// (every shed is also an `overloaded` response); `pv.serve.reload` /
+/// `pv.serve.reload.fail` count snapshot swap attempts and whole-reload
+/// failures.
 pub const SERVE_OBS_COUNTERS: &[&str] = &[
     "pv.serve.batch",
+    "pv.serve.reload",
+    "pv.serve.reload.fail",
     "pv.serve.request",
     "pv.serve.request.bad",
+    "pv.serve.request.draining",
     "pv.serve.request.error",
+    "pv.serve.request.health",
     "pv.serve.request.not_found",
     "pv.serve.request.ok",
+    "pv.serve.request.overloaded",
+    "pv.serve.request.reload",
+    "pv.serve.request.timeout",
+    "pv.serve.shed",
     "pv.serve.shutdown",
 ];
 
-/// Every counter a daemon process can emit (serve + registry loads),
-/// preregistered at startup so metrics snapshots list zeros explicitly.
+/// The gauges the serving layer maintains: instantaneous admission
+/// queue depth and its high watermark.
+pub const SERVE_OBS_GAUGES: &[&str] = &["pv.serve.queue_depth", "pv.serve.queue_high_watermark"];
+
+/// Every counter and gauge a daemon process can emit (serve + registry
+/// loads), preregistered at startup so metrics snapshots list zeros
+/// explicitly.
 pub fn preregister_serve_counters() {
     pv_obs::metrics::preregister_counters(SERVE_OBS_COUNTERS);
     pv_obs::metrics::preregister_counters(REGISTRY_OBS_COUNTERS);
+    for name in SERVE_OBS_GAUGES {
+        let _ = pv_obs::metrics::gauge(name);
+    }
 }
 
 /// A raw JSON value — bridges `serde_json` text to a [`Content`] tree so
@@ -108,6 +172,18 @@ pub enum Outcome {
     NotFound,
     /// The request was well-formed but prediction failed.
     Error,
+    /// The request exceeded the per-request deadline before a worker
+    /// could answer it.
+    Timeout,
+    /// The request was shed at admission (queue full or injected shed).
+    Overloaded,
+    /// The request arrived while the daemon was draining for shutdown.
+    Draining,
+    /// A health probe, answered.
+    Health,
+    /// A reload request, attempted (success or failure — the
+    /// `pv.serve.reload*` counters carry which).
+    Reload,
     /// A shutdown request, acked.
     Shutdown,
 }
@@ -120,6 +196,11 @@ impl Outcome {
             Outcome::BadRequest => "pv.serve.request.bad",
             Outcome::NotFound => "pv.serve.request.not_found",
             Outcome::Error => "pv.serve.request.error",
+            Outcome::Timeout => "pv.serve.request.timeout",
+            Outcome::Overloaded => "pv.serve.request.overloaded",
+            Outcome::Draining => "pv.serve.request.draining",
+            Outcome::Health => "pv.serve.request.health",
+            Outcome::Reload => "pv.serve.request.reload",
             Outcome::Shutdown => "pv.serve.shutdown",
         }
     }
@@ -139,6 +220,8 @@ struct Request {
 
 enum Parsed {
     Predict(Box<Request>),
+    Health { id: Option<Content> },
+    Reload { id: Option<Content> },
     Shutdown { id: Option<Content> },
 }
 
@@ -181,6 +264,21 @@ fn parse_request(line: &str) -> Result<Parsed, String> {
     let id = field(&map, "id").cloned();
     if matches!(field(&map, "shutdown"), Some(Content::Bool(true))) {
         return Ok(Parsed::Shutdown { id });
+    }
+    match field(&map, "op") {
+        None => {}
+        Some(Content::Str(op)) => match op.as_str() {
+            "predict" => {}
+            "health" => return Ok(Parsed::Health { id }),
+            "reload" => return Ok(Parsed::Reload { id }),
+            "shutdown" => return Ok(Parsed::Shutdown { id }),
+            other => {
+                return Err(format!(
+                    "unknown op {other:?} (expected predict|health|reload|shutdown)"
+                ))
+            }
+        },
+        Some(_) => return Err("bad \"op\": expected a string".into()),
     }
     let model = field(&map, "model")
         .and_then(parse_model_key)
@@ -295,61 +393,378 @@ pub enum ServedModel {
     CrossSystem(CrossSystemPredictor),
 }
 
-/// The query engine: every registry model loaded once, ready to answer
-/// protocol lines from any number of threads.
+impl ServedModel {
+    /// Rebuilds the servable predictor from its registry artifact.
+    ///
+    /// # Errors
+    /// Propagates artifact reconstruction failures.
+    pub fn from_artifact(artifact: Artifact) -> Result<Self, PvError> {
+        Ok(match artifact {
+            Artifact::FewRuns(a) => ServedModel::FewRuns(FewRunsPredictor::from_artifact(a)?),
+            Artifact::CrossSystem(a) => {
+                ServedModel::CrossSystem(CrossSystemPredictor::from_artifact(a)?)
+            }
+        })
+    }
+}
+
+/// One model in the serving table, with its provenance.
+#[derive(Clone)]
+struct ModelSlot {
+    model: Arc<ServedModel>,
+    /// `true` when a reload failed to verify this key and the previous
+    /// snapshot's model was kept serving.
+    held_over: bool,
+    /// When this model version entered the table (staleness anchor).
+    loaded: Instant,
+}
+
+/// Engine health, as reported by the `{"op":"health"}` probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeState {
+    /// Every model current and verified.
+    Ok,
+    /// Serving, but at least one model is held over from a previous
+    /// snapshot or the last reload failed outright.
+    Degraded,
+    /// A shutdown was acked; queued requests finish, new ones are
+    /// rejected.
+    Draining,
+}
+
+impl ServeState {
+    /// The probe's status string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeState::Ok => "ok",
+            ServeState::Degraded => "degraded",
+            ServeState::Draining => "draining",
+        }
+    }
+
+    fn from_u8(v: u8) -> ServeState {
+        match v {
+            2 => ServeState::Draining,
+            1 => ServeState::Degraded,
+            _ => ServeState::Ok,
+        }
+    }
+}
+
+/// What a reload attempt did.
+#[derive(Debug)]
+pub struct ReloadReport {
+    /// Keys freshly loaded and verified.
+    pub loaded: usize,
+    /// Keys whose fresh artifact failed verification, with the error.
+    /// Each keeps its old model serving when one was loaded before.
+    pub held_over: Vec<(u64, PvError)>,
+    /// Keys dropped because their entry vanished from disk.
+    pub dropped: usize,
+    /// A whole-reload failure (registry unreachable); the previous
+    /// snapshot stays live.
+    pub error: Option<PvError>,
+}
+
+impl ReloadReport {
+    /// Whether the snapshot swap happened (possibly with held-over
+    /// models).
+    pub fn swapped(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// One-line operator summary (SIGHUP reloads log this to stderr).
+    pub fn summary_line(&self) -> String {
+        match &self.error {
+            Some(e) => format!("reload failed, old snapshot stays live: {e}"),
+            None => format!(
+                "reload: {} loaded, {} held over, {} dropped",
+                self.loaded,
+                self.held_over.len(),
+                self.dropped
+            ),
+        }
+    }
+}
+
+fn lock_read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_mutex<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The query engine: a verified model table behind an atomically
+/// swappable snapshot, ready to answer protocol lines from any number
+/// of threads, plus the daemon's health state machine and (when backed
+/// by a registry) hot reload.
 pub struct ServeEngine {
-    models: HashMap<u64, ServedModel>,
+    table: RwLock<Arc<HashMap<u64, ModelSlot>>>,
+    registry: Option<ModelRegistry>,
+    state: AtomicU8,
+    degraded_note: Mutex<Option<String>>,
+    reload_attempts: AtomicU64,
+    reload_lock: Mutex<()>,
+    plan: ServeFaultPlan,
+    deadline: Option<Duration>,
 }
 
 impl ServeEngine {
-    /// Loads and verifies every model in `registry`.
-    ///
-    /// # Errors
-    /// Propagates the first registry verification failure — a serving
-    /// directory must be wholly trustworthy.
-    pub fn from_registry(registry: &ModelRegistry) -> Result<Self, PvError> {
-        let mut models = HashMap::new();
-        for entry in registry.load_all()? {
-            let model = match entry.artifact {
-                Artifact::FewRuns(a) => ServedModel::FewRuns(FewRunsPredictor::from_artifact(a)?),
-                Artifact::CrossSystem(a) => {
-                    ServedModel::CrossSystem(CrossSystemPredictor::from_artifact(a)?)
-                }
-            };
-            models.insert(entry.key, model);
+    fn with_table(table: HashMap<u64, ModelSlot>, registry: Option<ModelRegistry>) -> Self {
+        ServeEngine {
+            table: RwLock::new(Arc::new(table)),
+            registry,
+            state: AtomicU8::new(0),
+            degraded_note: Mutex::new(None),
+            reload_attempts: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
+            plan: ServeFaultPlan::none(),
+            deadline: None,
         }
-        Ok(ServeEngine { models })
     }
 
-    /// An engine over an explicit model table (for tests/benches).
+    /// Loads and verifies every model in `registry`, keeping a handle
+    /// for hot reloads.
+    ///
+    /// # Errors
+    /// Propagates the first registry verification failure — the
+    /// *initial* load is strict, a serving directory must start wholly
+    /// trustworthy. (Reloads are lenient: see [`Self::reload`].)
+    pub fn from_registry(registry: &ModelRegistry) -> Result<Self, PvError> {
+        let mut table = HashMap::new();
+        for entry in registry.load_all()? {
+            table.insert(
+                entry.key,
+                ModelSlot {
+                    model: Arc::new(ServedModel::from_artifact(entry.artifact)?),
+                    held_over: false,
+                    loaded: Instant::now(),
+                },
+            );
+        }
+        Ok(Self::with_table(table, Some(registry.clone())))
+    }
+
+    /// An engine over an explicit model table (for tests/benches); not
+    /// reloadable.
     pub fn from_models(models: HashMap<u64, ServedModel>) -> Self {
-        ServeEngine { models }
+        let table = models
+            .into_iter()
+            .map(|(k, m)| {
+                (
+                    k,
+                    ModelSlot {
+                        model: Arc::new(m),
+                        held_over: false,
+                        loaded: Instant::now(),
+                    },
+                )
+            })
+            .collect();
+        Self::with_table(table, None)
+    }
+
+    /// Sets the per-request prediction deadline (`None` disables).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Installs a serving chaos plan.
+    pub fn with_fault_plan(mut self, plan: ServeFaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The installed chaos plan.
+    pub fn plan(&self) -> &ServeFaultPlan {
+        &self.plan
+    }
+
+    /// The per-request deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    fn snapshot(&self) -> Arc<HashMap<u64, ModelSlot>> {
+        Arc::clone(&lock_read(&self.table))
     }
 
     /// Number of models loaded.
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.snapshot().len()
     }
 
     /// Whether no models are loaded.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.snapshot().is_empty()
     }
 
     /// The loaded registry keys, ascending.
     pub fn keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.models.keys().copied().collect();
+        let mut keys: Vec<u64> = self.snapshot().keys().copied().collect();
         keys.sort_unstable();
         keys
     }
 
+    /// Current health state.
+    pub fn state(&self) -> ServeState {
+        ServeState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Whether the daemon is draining for shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.state() == ServeState::Draining
+    }
+
+    /// Enters the draining state (terminal — reloads cannot leave it).
+    pub fn begin_drain(&self) {
+        self.state.store(2, Ordering::SeqCst);
+    }
+
+    /// Flips between `ok` and `degraded`, never out of `draining`.
+    fn set_health(&self, degraded: bool, note: Option<String>) {
+        *lock_mutex(&self.degraded_note) = note;
+        let target = if degraded { 1 } else { 0 };
+        let mut current = self.state.load(Ordering::SeqCst);
+        while current != 2 {
+            match self
+                .state
+                .compare_exchange(current, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Re-verifies every registry entry and atomically swaps in the new
+    /// model table. In-flight requests finish on the snapshot they
+    /// already hold. Verification failures are *lenient* here, unlike
+    /// startup: a bad entry keeps its previously loaded model serving
+    /// (marked `held_over`) and the daemon goes `degraded`; entries
+    /// missing from disk are dropped; a registry that cannot be
+    /// enumerated at all (or an injected `reload-io` fault) fails the
+    /// whole reload and keeps the old snapshot live. Never panics,
+    /// never leaves the daemon without a table.
+    pub fn reload(&self) -> ReloadReport {
+        let _serialized = lock_mutex(&self.reload_lock);
+        let attempt = self.reload_attempts.fetch_add(1, Ordering::SeqCst);
+        pv_obs::counter_inc!("pv.serve.reload");
+        let whole_failure = |error: PvError, this: &Self| {
+            pv_obs::counter_inc!("pv.serve.reload.fail");
+            this.set_health(true, Some(error.to_string()));
+            ReloadReport {
+                loaded: 0,
+                held_over: Vec::new(),
+                dropped: 0,
+                error: Some(error),
+            }
+        };
+        let Some(registry) = &self.registry else {
+            return whole_failure(
+                PvError::Invalid {
+                    what: "ServeEngine::reload".into(),
+                    detail: "no registry backs this engine".into(),
+                },
+                self,
+            );
+        };
+        if self.plan.reload_io_at(attempt) {
+            return whole_failure(
+                PvError::CacheIo {
+                    what: "ServeEngine::reload".into(),
+                    detail: format!(
+                        "injected fault: registry I/O error at reload attempt {attempt}"
+                    ),
+                },
+                self,
+            );
+        }
+        let old = self.snapshot();
+        let mut next: HashMap<u64, ModelSlot> = HashMap::new();
+        let mut held_over: Vec<(u64, PvError)> = Vec::new();
+        let mut loaded = 0usize;
+        for key in registry.keys() {
+            match registry
+                .load_key(key)
+                .and_then(|entry| ServedModel::from_artifact(entry.artifact))
+            {
+                Ok(model) => {
+                    next.insert(
+                        key,
+                        ModelSlot {
+                            model: Arc::new(model),
+                            held_over: false,
+                            loaded: Instant::now(),
+                        },
+                    );
+                    loaded += 1;
+                }
+                Err(e) => {
+                    if let Some(slot) = old.get(&key) {
+                        let mut kept = slot.clone();
+                        kept.held_over = true;
+                        next.insert(key, kept);
+                    }
+                    held_over.push((key, e));
+                }
+            }
+        }
+        let dropped = old.keys().filter(|k| !next.contains_key(k)).count();
+        let degraded = !held_over.is_empty();
+        let note = degraded.then(|| {
+            let keys: Vec<String> = held_over
+                .iter()
+                .map(|(k, e)| format!("{k:016x} ({})", e.kind()))
+                .collect();
+            format!("reload kept old versions for: {}", keys.join(", "))
+        });
+        *lock_write(&self.table) = Arc::new(next);
+        self.set_health(degraded, note);
+        ReloadReport {
+            loaded,
+            held_over,
+            dropped,
+            error: None,
+        }
+    }
+
     /// Answers one protocol line: returns the response (without the
     /// trailing newline) and its outcome, and updates the `pv.serve.*`
-    /// counters.
+    /// counters. No deadline or chaos applies on this path (see
+    /// [`Self::handle_timed`]).
     pub fn handle_line(&self, line: &str) -> (String, Outcome) {
+        self.answer(line, false)
+    }
+
+    /// Answers one protocol line on the daemon path: applies the chaos
+    /// plan's fault for arrival sequence `seq` and the per-request
+    /// deadline measured from `arrival`. An injected slow fault adds
+    /// its delay *virtually* to the elapsed time for the deadline check
+    /// (real sleep capped at [`SLOW_FAULT_REAL_CAP`]), so timeout
+    /// behavior is deterministic at any thread count.
+    pub fn handle_timed(&self, line: &str, seq: u64, arrival: Instant) -> (String, Outcome) {
+        let mut penalty = Duration::ZERO;
+        if let Some(delay_ms) = self.plan.slow_at(seq) {
+            penalty = Duration::from_millis(delay_ms);
+            std::thread::sleep(penalty.min(SLOW_FAULT_REAL_CAP));
+        }
+        let expired = self
+            .deadline
+            .is_some_and(|d| arrival.elapsed() + penalty > d);
+        self.answer(line, expired)
+    }
+
+    fn answer(&self, line: &str, expired: bool) -> (String, Outcome) {
         pv_obs::counter_inc!("pv.serve.request");
         let start = Instant::now();
-        let (response, outcome) = self.respond(line);
+        let (response, outcome) = self.respond(line, expired);
         pv_obs::observe!(
             "pv.serve.latency_ns",
             pv_obs::metrics::BucketSpec::latency(),
@@ -374,6 +789,33 @@ impl ServeEngine {
         )
     }
 
+    /// The typed response to a request shed at admission — queue full
+    /// or an injected shed fault. Sheds are answered by the *reader*,
+    /// before the line is ever parsed, so no `id` is echoed.
+    pub fn handle_shed(&self, detail: String) -> (String, Outcome) {
+        pv_obs::counter_inc!("pv.serve.request");
+        pv_obs::counter_inc!("pv.serve.shed");
+        pv_obs::counter_inc!(Outcome::Overloaded.counter());
+        (
+            error_response(None, "overloaded", detail),
+            Outcome::Overloaded,
+        )
+    }
+
+    /// The typed response to a line arriving while the daemon drains.
+    pub fn handle_draining(&self) -> (String, Outcome) {
+        pv_obs::counter_inc!("pv.serve.request");
+        pv_obs::counter_inc!(Outcome::Draining.counter());
+        (
+            error_response(
+                None,
+                "draining",
+                "daemon is draining for shutdown; request rejected".into(),
+            ),
+            Outcome::Draining,
+        )
+    }
+
     /// Answers a micro-batch across the rayon pool, preserving order.
     pub fn handle_batch(&self, lines: &[&str]) -> Vec<(String, Outcome)> {
         pv_obs::counter_inc!("pv.serve.batch");
@@ -384,7 +826,89 @@ impl ServeEngine {
             .collect()
     }
 
-    fn respond(&self, line: &str) -> (String, Outcome) {
+    fn health_response(&self, id: Option<Content>) -> (String, Outcome) {
+        let snapshot = self.snapshot();
+        let mut keys: Vec<u64> = snapshot.keys().copied().collect();
+        keys.sort_unstable();
+        let models = Content::Seq(
+            keys.into_iter()
+                .map(|key| {
+                    let slot = &snapshot[&key];
+                    Content::Map(vec![
+                        ("model".to_string(), Content::Str(format!("{key:016x}"))),
+                        (
+                            "staleness_s".to_string(),
+                            Content::F64(slot.loaded.elapsed().as_secs_f64()),
+                        ),
+                        ("held_over".to_string(), Content::Bool(slot.held_over)),
+                    ])
+                })
+                .collect(),
+        );
+        let mut map = Vec::with_capacity(5);
+        if let Some(id) = id {
+            map.push(("id".to_string(), id));
+        }
+        map.push(("ok".to_string(), Content::Bool(true)));
+        map.push(("op".to_string(), Content::Str("health".into())));
+        map.push((
+            "status".to_string(),
+            Content::Str(self.state().name().into()),
+        ));
+        map.push(("models".to_string(), models));
+        if let Some(note) = lock_mutex(&self.degraded_note).clone() {
+            map.push(("note".to_string(), Content::Str(note)));
+        }
+        (render(Content::Map(map)), Outcome::Health)
+    }
+
+    fn reload_response(&self, id: Option<Content>) -> (String, Outcome) {
+        let report = self.reload();
+        let response = match &report.error {
+            Some(e) => {
+                let mut map = Vec::with_capacity(4);
+                if let Some(id) = id {
+                    map.push(("id".to_string(), id));
+                }
+                map.push(("ok".to_string(), Content::Bool(false)));
+                map.push(("op".to_string(), Content::Str("reload".into())));
+                map.push((
+                    "error".to_string(),
+                    Content::Map(vec![
+                        ("kind".to_string(), Content::Str("reload-failed".into())),
+                        ("detail".to_string(), Content::Str(e.to_string())),
+                    ]),
+                ));
+                map.push((
+                    "status".to_string(),
+                    Content::Str(self.state().name().into()),
+                ));
+                render(Content::Map(map))
+            }
+            None => {
+                let mut map = Vec::with_capacity(6);
+                if let Some(id) = id {
+                    map.push(("id".to_string(), id));
+                }
+                map.push(("ok".to_string(), Content::Bool(true)));
+                map.push(("op".to_string(), Content::Str("reload".into())));
+                map.push(("loaded".to_string(), Content::U64(report.loaded as u64)));
+                map.push((
+                    "held_over".to_string(),
+                    Content::U64(report.held_over.len() as u64),
+                ));
+                map.push(("dropped".to_string(), Content::U64(report.dropped as u64)));
+                map.push((
+                    "status".to_string(),
+                    Content::Str(self.state().name().into()),
+                ));
+                render(Content::Map(map))
+            }
+        };
+        (response, Outcome::Reload)
+    }
+
+    fn respond(&self, line: &str, expired: bool) -> (String, Outcome) {
         let req = match parse_request(line) {
             Ok(Parsed::Shutdown { id }) => {
                 let mut map = Vec::with_capacity(3);
@@ -395,6 +919,8 @@ impl ServeEngine {
                 map.push(("shutdown".to_string(), Content::Bool(true)));
                 return (render(Content::Map(map)), Outcome::Shutdown);
             }
+            Ok(Parsed::Health { id }) => return self.health_response(id),
+            Ok(Parsed::Reload { id }) => return self.reload_response(id),
             Ok(Parsed::Predict(req)) => req,
             Err(detail) => {
                 return (
@@ -403,7 +929,22 @@ impl ServeEngine {
                 )
             }
         };
-        let Some(model) = self.models.get(&req.model) else {
+        if expired {
+            let budget = self.deadline.unwrap_or_default();
+            return (
+                error_response(
+                    req.id,
+                    "timeout",
+                    format!(
+                        "deadline of {} ms exceeded before prediction started",
+                        budget.as_millis()
+                    ),
+                ),
+                Outcome::Timeout,
+            );
+        }
+        let snapshot = self.snapshot();
+        let Some(slot) = snapshot.get(&req.model) else {
             return (
                 error_response(
                     req.id,
@@ -411,13 +952,17 @@ impl ServeEngine {
                     format!(
                         "unknown model {:016x} ({} models loaded)",
                         req.model,
-                        self.models.len()
+                        snapshot.len()
                     ),
                 ),
                 Outcome::NotFound,
             );
         };
-        let predicted = match model {
+        // Hold the Arc, drop the snapshot reference: a reload swapping
+        // the table mid-prediction never invalidates this request.
+        let model = Arc::clone(&slot.model);
+        drop(snapshot);
+        let predicted = match &*model {
             ServedModel::FewRuns(p) => p.predict_features_profile(&req.profile).and_then(|f| {
                 let samples = p.decode_features(&f, req.n_samples, req.sample_seed)?;
                 Ok((f, samples))
@@ -471,11 +1016,151 @@ pub enum LineItem {
     Oversized,
 }
 
-/// A queued request: the line plus the channel its response goes back
-/// on (`true` marks the shutdown ack).
+/// A queued request: the line, its global arrival sequence and arrival
+/// time (the deadline/chaos keys), and the reply slot its response goes
+/// back on (`true` marks the shutdown ack).
 pub struct Job {
     item: LineItem,
+    seq: u64,
+    arrival: Instant,
     reply: Sender<(String, bool)>,
+}
+
+/// The bounded admission queue: a depth counter the readers enter
+/// before enqueueing and the dispatcher leaves on dequeue. When the
+/// queue is full, admission fails and the reader sheds the request with
+/// a typed `overloaded` response instead of buffering it. Maintains the
+/// `pv.serve.queue_depth` and `pv.serve.queue_high_watermark` gauges.
+pub struct Admission {
+    capacity: usize,
+    depth: AtomicUsize,
+    high_watermark: AtomicUsize,
+}
+
+impl Admission {
+    /// A queue admitting up to `capacity` unanswered requests
+    /// (`0` = unbounded, never sheds).
+    pub fn new(capacity: usize) -> Self {
+        Admission {
+            capacity,
+            depth: AtomicUsize::new(0),
+            high_watermark: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queued-but-unanswered request count.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark.load(Ordering::SeqCst)
+    }
+
+    /// Tries to admit one request; `false` means the queue is full and
+    /// the caller must shed.
+    pub fn try_enter(&self) -> bool {
+        let mut current = self.depth.load(Ordering::SeqCst);
+        loop {
+            if self.capacity != 0 && current >= self.capacity {
+                return false;
+            }
+            match self.depth.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    let now = current + 1;
+                    let mut hwm = self.high_watermark.load(Ordering::SeqCst);
+                    while now > hwm {
+                        match self.high_watermark.compare_exchange(
+                            hwm,
+                            now,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        ) {
+                            Ok(_) => break,
+                            Err(observed) => hwm = observed,
+                        }
+                    }
+                    pv_obs::gauge_set!("pv.serve.queue_depth", now as f64);
+                    pv_obs::gauge_set!(
+                        "pv.serve.queue_high_watermark",
+                        self.high_watermark.load(Ordering::SeqCst) as f64
+                    );
+                    return true;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Marks one admitted request as picked up by the dispatcher.
+    pub fn leave(&self) {
+        let before = self.depth.fetch_sub(1, Ordering::SeqCst);
+        pv_obs::gauge_set!("pv.serve.queue_depth", before.saturating_sub(1) as f64);
+    }
+}
+
+/// Daemon configuration threaded through the serve loops.
+#[derive(Clone)]
+pub struct ServeOpts {
+    /// Micro-batch cap (requests drained per rayon dispatch).
+    pub batch: usize,
+    /// Per-request line length cap in bytes.
+    pub max_line: usize,
+    /// Admission queue capacity (`0` = unbounded).
+    pub queue: usize,
+    /// When set, the dispatcher polls this flag between batches and
+    /// runs a registry reload when it is raised (the SIGHUP hook).
+    pub reload_signal: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            batch: DEFAULT_BATCH,
+            max_line: DEFAULT_MAX_LINE,
+            queue: DEFAULT_QUEUE,
+            reload_signal: None,
+        }
+    }
+}
+
+/// The per-daemon serving state every connection shares.
+#[derive(Clone)]
+pub struct ServeShared {
+    engine: Arc<ServeEngine>,
+    admission: Arc<Admission>,
+    seq: Arc<AtomicU64>,
+    jobs: Sender<Job>,
+    max_line: usize,
+}
+
+impl ServeShared {
+    /// Bundles the shared serving state for [`serve_connection`].
+    pub fn new(
+        engine: Arc<ServeEngine>,
+        admission: Arc<Admission>,
+        jobs: Sender<Job>,
+        max_line: usize,
+    ) -> Self {
+        ServeShared {
+            engine,
+            admission,
+            seq: Arc::new(AtomicU64::new(0)),
+            jobs,
+            max_line,
+        }
+    }
 }
 
 /// Reads newline-delimited items from `reader` with a hard per-line
@@ -541,13 +1226,67 @@ pub fn read_lines_bounded<R: Read>(
     }
 }
 
-/// The micro-batching dispatcher: drains whatever is queued (up to
-/// `batch` jobs), answers the batch across the rayon pool, and routes
-/// each response back to its connection in order. Runs until the job
-/// channel closes or a shutdown ack is dispatched.
-pub fn run_batcher(engine: &ServeEngine, jobs: &Receiver<Job>, batch: usize, max_line: usize) {
-    let batch = batch.max(1);
-    while let Ok(first) = jobs.recv() {
+fn process_job(
+    engine: &ServeEngine,
+    item: &LineItem,
+    seq: u64,
+    arrival: Instant,
+    max_line: usize,
+) -> (String, Outcome) {
+    match item {
+        LineItem::Line(l) => engine.handle_timed(l, seq, arrival),
+        LineItem::Oversized => engine.handle_oversized(max_line),
+    }
+}
+
+/// After the shutdown ack: answer every job already admitted (plus a
+/// short grace window for readers that raced the drain flag), then
+/// abandon the queue. Every drained job still gets its typed response —
+/// a clean drain never silently drops an admitted request.
+fn drain_remaining(
+    engine: &ServeEngine,
+    jobs: &Receiver<Job>,
+    admission: &Admission,
+    max_line: usize,
+) {
+    loop {
+        match jobs.recv_timeout(DRAIN_GRACE) {
+            Ok(job) => {
+                admission.leave();
+                let (response, outcome) =
+                    process_job(engine, &job.item, job.seq, job.arrival, max_line);
+                let _ = job.reply.send((response, outcome == Outcome::Shutdown));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// The micro-batching dispatcher: drains whatever is admitted (up to
+/// `opts.batch` jobs), answers the batch across the rayon pool, and
+/// routes each response back to its connection's reply slot. Polls the
+/// reload signal (SIGHUP) between batches. On a shutdown ack it flips
+/// the engine to `draining`, answers everything still queued, and
+/// exits; otherwise it runs until the job channel closes.
+pub fn run_batcher(
+    engine: &ServeEngine,
+    jobs: &Receiver<Job>,
+    admission: &Admission,
+    opts: &ServeOpts,
+) {
+    let batch = opts.batch.max(1);
+    loop {
+        if let Some(signal) = &opts.reload_signal {
+            if signal.swap(false, Ordering::SeqCst) {
+                let report = engine.reload();
+                eprintln!("pv-serve: SIGHUP {}", report.summary_line());
+            }
+        }
+        let first = match jobs.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
         let mut pending = vec![first];
         while pending.len() < batch {
             match jobs.try_recv() {
@@ -555,14 +1294,17 @@ pub fn run_batcher(engine: &ServeEngine, jobs: &Receiver<Job>, batch: usize, max
                 Err(_) => break,
             }
         }
+        for _ in &pending {
+            admission.leave();
+        }
         pv_obs::counter_inc!("pv.serve.batch");
-        let items: Vec<&LineItem> = pending.iter().map(|j| &j.item).collect();
-        let results: Vec<(String, Outcome)> = items
+        let work: Vec<(&LineItem, u64, Instant)> = pending
+            .iter()
+            .map(|j| (&j.item, j.seq, j.arrival))
+            .collect();
+        let results: Vec<(String, Outcome)> = work
             .into_par_iter()
-            .map(|item| match item {
-                LineItem::Line(l) => engine.handle_line(l),
-                LineItem::Oversized => engine.handle_oversized(max_line),
-            })
+            .map(|(item, seq, arrival)| process_job(engine, item, seq, arrival, opts.max_line))
             .collect();
         let mut saw_shutdown = false;
         for (job, (response, outcome)) in pending.iter().zip(results) {
@@ -572,39 +1314,81 @@ pub fn run_batcher(engine: &ServeEngine, jobs: &Receiver<Job>, batch: usize, max
             let _ = job.reply.send((response, is_shutdown));
         }
         if saw_shutdown {
+            engine.begin_drain();
+            drain_remaining(engine, jobs, admission, opts.max_line);
             return;
         }
     }
 }
 
-/// Pumps one client: a reader thread feeds the shared job queue, this
-/// thread writes responses back in request order. Returns `Ok(true)`
+/// Pumps one client: a reader thread feeds the shared job queue
+/// (shedding at admission when the queue is full and rejecting lines
+/// once the daemon drains), this thread writes responses back in
+/// request order through per-request reply slots. Returns `Ok(true)`
 /// when the client's shutdown request was acked (after the ack is
 /// flushed, so the flag flip in the caller cannot race the write).
 ///
 /// # Errors
 /// Propagates writer I/O failures (a vanished client).
-pub fn serve_connection<R, W>(
-    reader: R,
-    mut writer: W,
-    jobs: Sender<Job>,
-    max_line: usize,
-) -> io::Result<bool>
+pub fn serve_connection<R, W>(reader: R, mut writer: W, shared: ServeShared) -> io::Result<bool>
 where
     R: Read + Send + 'static,
     W: Write,
 {
-    let (reply_tx, reply_rx) = mpsc::channel::<(String, bool)>();
+    // A channel of per-request reply slots: the reader creates one slot
+    // per line *in arrival order*; shed/draining responses are answered
+    // into their slot immediately while admitted jobs are answered by
+    // the dispatcher — the writer consumes slots in order either way,
+    // so pipelined clients always see responses in request order.
+    let (slots_tx, slots_rx) = mpsc::channel::<Receiver<(String, bool)>>();
+    let ServeShared {
+        engine,
+        admission,
+        seq,
+        jobs,
+        max_line,
+    } = shared;
     std::thread::spawn(move || {
         let _ = read_lines_bounded(reader, max_line, |item| {
-            jobs.send(Job {
-                item,
-                reply: reply_tx.clone(),
-            })
-            .is_ok()
+            let seq = seq.fetch_add(1, Ordering::SeqCst);
+            let (reply_tx, reply_rx) = mpsc::channel::<(String, bool)>();
+            if slots_tx.send(reply_rx).is_err() {
+                return false; // Writer is gone; stop reading.
+            }
+            let immediate = if engine.is_draining() {
+                Some(engine.handle_draining())
+            } else if engine.plan().sheds_at(seq) {
+                Some(engine.handle_shed(format!("injected shed at arrival sequence {seq}")))
+            } else if !admission.try_enter() {
+                Some(engine.handle_shed(format!(
+                    "admission queue full ({} queued)",
+                    admission.capacity()
+                )))
+            } else {
+                None
+            };
+            match immediate {
+                Some((response, _)) => {
+                    let _ = reply_tx.send((response, false));
+                    true
+                }
+                None => jobs
+                    .send(Job {
+                        item,
+                        seq,
+                        arrival: Instant::now(),
+                        reply: reply_tx,
+                    })
+                    .is_ok(),
+            }
         });
     });
-    for (response, is_shutdown) in reply_rx {
+    for slot in slots_rx {
+        let Ok((response, is_shutdown)) = slot.recv() else {
+            // The job's reply sender was dropped unanswered — the
+            // daemon is coming down; stop writing.
+            return Ok(false);
+        };
         if is_shutdown {
             // Best-effort ack: the client may legitimately hang up the
             // moment it has read the ack bytes, racing our trailing
@@ -627,18 +1411,21 @@ where
 ///
 /// # Errors
 /// Propagates stdout failures.
-pub fn run_stdio(engine: Arc<ServeEngine>, batch: usize, max_line: usize) -> io::Result<()> {
+pub fn run_stdio(engine: Arc<ServeEngine>, opts: ServeOpts) -> io::Result<()> {
     let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let admission = Arc::new(Admission::new(opts.queue));
     let batcher = {
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, batch, max_line))
+        let admission = Arc::clone(&admission);
+        let opts = opts.clone();
+        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, &admission, &opts))
     };
-    let saw_shutdown = serve_connection(io::stdin(), io::stdout(), jobs_tx, max_line)?;
-    if !saw_shutdown {
-        // EOF: the job sender is dropped, the batcher drains and exits.
-        let _ = batcher.join();
-    }
-    Ok(())
+    let shared = ServeShared::new(engine, admission, jobs_tx, opts.max_line);
+    let result = serve_connection(io::stdin(), io::stdout(), shared);
+    // EOF: the job senders are dropped, the batcher drains and exits.
+    // Shutdown: the batcher finishes its drain within the grace window.
+    let _ = batcher.join();
+    result.map(|_| ())
 }
 
 /// Serves a unix socket until a shutdown request, accepting any number
@@ -646,31 +1433,30 @@ pub fn run_stdio(engine: Arc<ServeEngine>, batch: usize, max_line: usize) -> io:
 ///
 /// # Errors
 /// Fails when the socket cannot be bound.
-pub fn run_socket(
-    engine: Arc<ServeEngine>,
-    path: &Path,
-    batch: usize,
-    max_line: usize,
-) -> io::Result<()> {
+pub fn run_socket(engine: Arc<ServeEngine>, path: &Path, opts: ServeOpts) -> io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
-    {
+    let admission = Arc::new(Admission::new(opts.queue));
+    let batcher = {
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, batch, max_line));
-    }
+        let admission = Arc::clone(&admission);
+        let opts = opts.clone();
+        std::thread::spawn(move || run_batcher(&engine, &jobs_rx, &admission, &opts))
+    };
+    let shared = ServeShared::new(engine, admission, jobs_tx, opts.max_line);
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let jobs = jobs_tx.clone();
+                let shared = shared.clone();
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
                     let Ok(read_half) = stream.try_clone() else {
                         return;
                     };
-                    if let Ok(true) = serve_connection(read_half, &stream, jobs, max_line) {
+                    if let Ok(true) = serve_connection(read_half, &stream, shared) {
                         shutdown.store(true, Ordering::SeqCst);
                     }
                 });
@@ -681,15 +1467,21 @@ pub fn run_socket(
             Err(_) => break,
         }
     }
+    if shutdown.load(Ordering::SeqCst) {
+        // The dispatcher finished (or is finishing) its drain; wait so
+        // the final metrics snapshot sees every counted response.
+        let _ = batcher.join();
+    }
     let _ = std::fs::remove_file(path);
     Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{uc1_config, CAMPAIGN_SEED};
-    use pv_core::registry::artifact_key;
+    use pv_core::registry::{artifact_key, Artifact as RegistryArtifact, ModelRegistry};
     use pv_core::sweep::CellConfig;
     use pv_core::{ModelKind, ReprKind};
     use pv_sysmodel::{Corpus, SystemModel};
@@ -757,5 +1549,186 @@ mod tests {
         assert_eq!(outcome, Outcome::Shutdown);
         assert!(resp.contains("shutdown"), "{resp}");
         assert!(resp.contains('7'), "{resp}");
+        let (resp, outcome) = engine.handle_line("{\"op\": \"shutdown\", \"id\": 9}");
+        assert_eq!(outcome, Outcome::Shutdown);
+        assert!(resp.contains('9'), "{resp}");
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_timeout_with_id_echo() {
+        let (engine, key, corpus) = tiny_engine();
+        let engine = engine.with_deadline(Some(Duration::ZERO));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = format!(
+            "{{\"id\": 42, \"model\": \"{key:016x}\", \"profile\": {}}}",
+            serde_json::to_string(&profile).expect("json")
+        );
+        let (resp, outcome) = engine.handle_timed(&line, 0, Instant::now());
+        assert_eq!(outcome, Outcome::Timeout, "{resp}");
+        assert!(resp.contains("timeout"), "{resp}");
+        assert!(resp.contains("42"), "{resp}");
+        // Ops are exempt from the deadline.
+        let (resp, outcome) = engine.handle_timed("{\"op\": \"health\"}", 1, Instant::now());
+        assert_eq!(outcome, Outcome::Health, "{resp}");
+    }
+
+    #[test]
+    fn virtual_slow_fault_blows_the_deadline_without_the_real_sleep() {
+        let (engine, key, corpus) = tiny_engine();
+        let engine = engine
+            .with_deadline(Some(Duration::from_secs(3600)))
+            .with_fault_plan(ServeFaultPlan::none().inject_slow(5, 86_400_000));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        // Un-faulted sequence: well within the deadline.
+        let started = Instant::now();
+        let (_, outcome) = engine.handle_timed(&line, 4, Instant::now());
+        assert_eq!(outcome, Outcome::Ok);
+        // Faulted sequence: a day of virtual delay versus an hour of
+        // deadline — times out, but only ~SLOW_FAULT_REAL_CAP of real
+        // time passes.
+        let (resp, outcome) = engine.handle_timed(&line, 5, Instant::now());
+        assert_eq!(outcome, Outcome::Timeout, "{resp}");
+        assert!(started.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn admission_queue_sheds_at_capacity_and_tracks_watermark() {
+        let q = Admission::new(2);
+        assert!(q.try_enter());
+        assert!(q.try_enter());
+        assert!(!q.try_enter(), "third admit must shed");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_watermark(), 2);
+        q.leave();
+        assert!(q.try_enter(), "a freed slot re-admits");
+        q.leave();
+        q.leave();
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.high_watermark(), 2, "watermark never recedes");
+        // Capacity 0 is unbounded.
+        let unbounded = Admission::new(0);
+        for _ in 0..10_000 {
+            assert!(unbounded.try_enter());
+        }
+    }
+
+    #[test]
+    fn shed_and_draining_responses_are_typed() {
+        let (engine, _, _) = tiny_engine();
+        let (resp, outcome) = engine.handle_shed("queue full".into());
+        assert_eq!(outcome, Outcome::Overloaded);
+        assert!(resp.contains("overloaded"), "{resp}");
+        assert!(!engine.is_draining());
+        engine.begin_drain();
+        assert!(engine.is_draining());
+        let (resp, outcome) = engine.handle_draining();
+        assert_eq!(outcome, Outcome::Draining);
+        assert!(resp.contains("draining"), "{resp}");
+    }
+
+    #[test]
+    fn health_probe_reports_state_and_models() {
+        let (engine, key, _) = tiny_engine();
+        let (resp, outcome) = engine.handle_line("{\"op\": \"health\", \"id\": 3}");
+        assert_eq!(outcome, Outcome::Health, "{resp}");
+        assert!(resp.contains("\"status\": \"ok\"") || resp.contains("\"status\":\"ok\""));
+        assert!(resp.contains(&format!("{key:016x}")), "{resp}");
+        assert!(resp.contains("staleness_s"), "{resp}");
+        engine.begin_drain();
+        let (resp, _) = engine.handle_line("{\"op\": \"health\"}");
+        assert!(resp.contains("draining"), "{resp}");
+    }
+
+    #[test]
+    fn reload_without_a_registry_is_a_typed_failure() {
+        let (engine, _, _) = tiny_engine();
+        let (resp, outcome) = engine.handle_line("{\"op\": \"reload\"}");
+        assert_eq!(outcome, Outcome::Reload, "{resp}");
+        assert!(resp.contains("reload-failed"), "{resp}");
+        assert_eq!(engine.state(), ServeState::Degraded);
+    }
+
+    fn registry_with_model(tag: &str) -> (ModelRegistry, std::path::PathBuf, u64, Corpus) {
+        let dir = std::env::temp_dir().join(format!("pv-serve-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::new(&dir);
+        let corpus = Corpus::collect(&SystemModel::intel(), 30, 3);
+        let mut cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
+        cfg.seed = CAMPAIGN_SEED;
+        let include: Vec<usize> = (0..corpus.len()).collect();
+        let p = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
+        let fp = pv_core::corpus_fingerprint(&corpus);
+        let key = registry
+            .store(fp, &RegistryArtifact::FewRuns(p.to_artifact()))
+            .expect("store");
+        (registry, dir, key, corpus)
+    }
+
+    #[test]
+    fn reload_swaps_in_new_entries_and_keeps_old_on_corruption() {
+        let (registry, dir, key, corpus) = registry_with_model("reload");
+        let engine = ServeEngine::from_registry(&registry).expect("load");
+        assert_eq!(engine.keys(), vec![key]);
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        let (before, outcome) = engine.handle_line(&line);
+        assert_eq!(outcome, Outcome::Ok);
+
+        // A clean reload keeps serving bit-identically.
+        let report = engine.reload();
+        assert!(report.swapped());
+        assert_eq!(report.loaded, 1);
+        assert_eq!(engine.state(), ServeState::Ok);
+        let (after, _) = engine.handle_line(&line);
+        assert_eq!(before, after);
+
+        // Corrupt the entry on disk: the reload keeps the old model
+        // serving, marks it held over, and degrades the daemon.
+        let entry_path = dir.join(format!("model-{key:016x}.json"));
+        std::fs::write(&entry_path, "{\"vandalized\": true}").expect("corrupt");
+        let report = engine.reload();
+        assert!(report.swapped());
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.held_over.len(), 1);
+        assert_eq!(engine.state(), ServeState::Degraded);
+        let (after_corrupt, outcome) = engine.handle_line(&line);
+        assert_eq!(outcome, Outcome::Ok, "old model must keep serving");
+        assert_eq!(before, after_corrupt);
+        let (health, _) = engine.handle_line("{\"op\": \"health\"}");
+        assert!(health.contains("degraded"), "{health}");
+        assert!(health.contains("\"held_over\": true") || health.contains("\"held_over\":true"));
+
+        // Delete the entry: the model is dropped on the next reload.
+        std::fs::remove_file(&entry_path).expect("rm");
+        let report = engine.reload();
+        assert!(report.swapped());
+        assert_eq!(report.dropped, 1);
+        assert!(engine.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_reload_io_fault_keeps_old_snapshot_until_retry() {
+        let (registry, dir, key, corpus) = registry_with_model("reload-io");
+        let engine = ServeEngine::from_registry(&registry)
+            .expect("load")
+            .with_fault_plan(ServeFaultPlan::none().inject_reload_io(0));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        let (before, _) = engine.handle_line(&line);
+
+        let report = engine.reload();
+        assert!(!report.swapped());
+        assert_eq!(engine.state(), ServeState::Degraded);
+        let (during, outcome) = engine.handle_line(&line);
+        assert_eq!(outcome, Outcome::Ok, "old snapshot must keep serving");
+        assert_eq!(before, during);
+
+        // The fault was keyed to attempt 0; attempt 1 recovers.
+        let report = engine.reload();
+        assert!(report.swapped());
+        assert_eq!(engine.state(), ServeState::Ok);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -141,9 +141,12 @@ pub struct ModelRegistry {
 
 impl ModelRegistry {
     /// A registry rooted at `dir`. The directory is created on first
-    /// store.
+    /// store. Stale temp files leaked by crashed writers are swept on
+    /// open (see [`crate::resilience::sweep_stale_temps`]).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ModelRegistry { dir: dir.into() }
+        let dir = dir.into();
+        crate::resilience::sweep_stale_temps(&dir);
+        ModelRegistry { dir }
     }
 
     /// The registry directory.
@@ -214,13 +217,19 @@ impl ModelRegistry {
             detail: format!("serialize entry: {e}"),
         })?;
         let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
-        fs::write(&tmp, json).map_err(|e| PvError::CacheIo {
-            what: "ModelRegistry::store".into(),
-            detail: format!("write {}: {e}", tmp.display()),
+        fs::write(&tmp, json).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            PvError::CacheIo {
+                what: "ModelRegistry::store".into(),
+                detail: format!("write {}: {e}", tmp.display()),
+            }
         })?;
-        fs::rename(&tmp, &path).map_err(|e| PvError::CacheIo {
-            what: "ModelRegistry::store".into(),
-            detail: format!("rename {}: {e}", path.display()),
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            PvError::CacheIo {
+                what: "ModelRegistry::store".into(),
+                detail: format!("rename {}: {e}", path.display()),
+            }
         })?;
         pv_obs::counter_inc!("pv.core.registry.store");
         Ok(key)
@@ -431,6 +440,41 @@ mod tests {
             first.predict_distribution(runs, 200, 1).unwrap(),
             second.predict_distribution(runs, 200, 1).unwrap()
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_store_leaves_no_temp_files_behind() {
+        let dir = tmp_dir("no-temp-leak");
+        let reg = ModelRegistry::new(&dir);
+        let corpus = small_corpus();
+        let include: Vec<usize> = (0..corpus.len()).collect();
+        let trained = FewRunsPredictor::train(&corpus, &include, cfg()).unwrap();
+        let artifact = Artifact::FewRuns(trained.to_artifact());
+        let fp = corpus_fingerprint(&corpus);
+        // Force the rename to fail: a directory squats on the entry path.
+        let path = reg.entry_path(fp, &CellConfig::FewRuns(cfg())).unwrap();
+        fs::create_dir_all(path.join("squatter")).unwrap();
+        let err = reg.store(fp, &artifact).expect_err("rename must fail");
+        assert_eq!(err.kind(), "cache-io");
+        let leaked: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leaked.is_empty(), "leaked temps: {leaked:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_registry_sweeps_stale_temps() {
+        let dir = tmp_dir("startup-sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("model-00000000000000aa.json.tmp.999999999");
+        fs::write(&stale, "{").unwrap();
+        let _reg = ModelRegistry::new(&dir);
+        assert!(!stale.exists(), "stale temp must be swept at open");
         let _ = fs::remove_dir_all(&dir);
     }
 

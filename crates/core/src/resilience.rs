@@ -14,6 +14,11 @@
 //!   keyed by cell index and attempt number and the plan is seeded, so a
 //!   failing campaign replays exactly — the property the
 //!   `tests/fault_injection.rs` tier is built on.
+//! * [`ServeFaultPlan`] — the same discipline for the query plane:
+//!   faults are keyed by request arrival sequence (slow predictions,
+//!   forced sheds) or reload attempt (registry I/O failures), so the
+//!   `tests/serve_chaos.rs` tier can pin *exactly-k* shed and timed-out
+//!   requests regardless of thread count.
 //! * [`Quarantine`] — a persisted list of known-bad cells kept next to
 //!   the cell cache; re-runs skip-and-report them instead of burning
 //!   retries on a cell that failed deterministically last time.
@@ -420,6 +425,230 @@ impl FaultPlan {
     }
 }
 
+/// What kind of fault to inject on the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServeFaultKind {
+    /// The prediction for the targeted request takes `delay_ms` extra
+    /// milliseconds. The delay is *virtual*: it is added arithmetically
+    /// to the request's elapsed time for the deadline check, while the
+    /// real sleep is capped small — so "slow model blows the deadline"
+    /// replays bit-identically at any thread count instead of depending
+    /// on scheduler timing.
+    SlowPred {
+        /// Virtual extra latency in milliseconds.
+        delay_ms: u64,
+    },
+    /// The targeted request is shed at admission as if the queue were
+    /// full — the deterministic stand-in for real overload, so
+    /// exactly-k shed tests do not depend on reader/batcher races.
+    Shed,
+    /// The targeted reload attempt fails with a registry I/O error
+    /// before any artifact is read (exercises the keep-old-snapshot,
+    /// mark-degraded path).
+    ReloadIo,
+}
+
+/// One injected serving fault: `kind` fires at arrival sequence (or
+/// reload attempt) `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeFault {
+    /// Global request arrival sequence number (for `SlowPred`/`Shed`) or
+    /// reload attempt number (for `ReloadIo`), both counted from 0.
+    pub seq: u64,
+    /// What to inject.
+    pub kind: ServeFaultKind,
+}
+
+/// A deterministic fault-injection plan for the serving path.
+///
+/// Request faults are keyed by the *global arrival sequence* — the order
+/// lines are read off connections, which is deterministic for a single
+/// pipelined client — and reload faults by the reload attempt counter.
+/// Both keys are independent of worker scheduling, so a chaos run
+/// replays exactly.
+///
+/// The CLI spec grammar (`--inject-serve`) is comma-separated:
+/// `slow@SEQ:MS` (virtual `MS`-millisecond delay at request `SEQ`),
+/// `shed@SEQ` (forced shed at request `SEQ`), and `reload-io@N`
+/// (registry I/O failure at reload attempt `N`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeFaultPlan {
+    faults: Vec<ServeFault>,
+}
+
+impl ServeFaultPlan {
+    /// The empty plan: no faults, zero overhead on the happy path.
+    pub fn none() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in the plan.
+    pub fn faults(&self) -> &[ServeFault] {
+        &self.faults
+    }
+
+    /// Adds a virtual `delay_ms`-millisecond slow prediction at request
+    /// sequence `seq`.
+    pub fn inject_slow(mut self, seq: u64, delay_ms: u64) -> Self {
+        self.faults.push(ServeFault {
+            seq,
+            kind: ServeFaultKind::SlowPred { delay_ms },
+        });
+        self
+    }
+
+    /// Adds a forced admission shed at request sequence `seq`.
+    pub fn inject_shed(mut self, seq: u64) -> Self {
+        self.faults.push(ServeFault {
+            seq,
+            kind: ServeFaultKind::Shed,
+        });
+        self
+    }
+
+    /// Adds a registry I/O failure at reload attempt `attempt`.
+    pub fn inject_reload_io(mut self, attempt: u64) -> Self {
+        self.faults.push(ServeFault {
+            seq: attempt,
+            kind: ServeFaultKind::ReloadIo,
+        });
+        self
+    }
+
+    /// The virtual delay (ms) injected at request sequence `seq`, if any.
+    pub fn slow_at(&self, seq: u64) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f.kind {
+            ServeFaultKind::SlowPred { delay_ms } if f.seq == seq => Some(delay_ms),
+            _ => None,
+        })
+    }
+
+    /// Whether request sequence `seq` is force-shed at admission.
+    pub fn sheds_at(&self, seq: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.seq == seq && f.kind == ServeFaultKind::Shed)
+    }
+
+    /// Whether reload attempt `attempt` fails with an injected registry
+    /// I/O error.
+    pub fn reload_io_at(&self, attempt: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.seq == attempt && f.kind == ServeFaultKind::ReloadIo)
+    }
+}
+
+impl std::str::FromStr for ServeFaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = ServeFaultPlan::none();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, at) = part
+                .split_once('@')
+                .ok_or_else(|| format!("bad serve fault '{part}' (expected KIND@SEQ)"))?;
+            match kind {
+                "slow" => {
+                    let (seq, ms) = at
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad slow fault '{part}' (expected slow@SEQ:MS)"))?;
+                    let seq = seq
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad sequence in '{part}'"))?;
+                    let ms = ms
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad delay in '{part}'"))?;
+                    plan = plan.inject_slow(seq, ms);
+                }
+                "shed" => {
+                    let seq = at
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad sequence in '{part}'"))?;
+                    plan = plan.inject_shed(seq);
+                }
+                "reload-io" => {
+                    let attempt = at
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad attempt in '{part}'"))?;
+                    plan = plan.inject_reload_io(attempt);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown serve fault kind '{other}' (expected slow|shed|reload-io)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process liveness and temp-file hygiene
+
+/// Whether `pid` definitely no longer exists. Linux only: a live pid has
+/// a `/proc` entry. On other platforms the answer is always `false` —
+/// being conservative about another process's death is the safe default
+/// for every caller (lock breaking, temp sweeping).
+pub fn pid_is_dead(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+/// A reuse-resistant identity token for `pid`: the process start time
+/// (clock ticks since boot, field 22 of `/proc/<pid>/stat`). Two
+/// processes that ever share a (pid, token) pair would have to start in
+/// the same clock tick after a pid wrap — close enough to impossible for
+/// an advisory lock. `None` when the process is gone or the platform has
+/// no `/proc`.
+pub fn pid_start_token(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The comm field (2) is parenthesized and may itself contain spaces
+    // or parens; everything after the *last* ')' is whitespace-split.
+    // Start time is field 22 overall = index 19 after state (field 3).
+    let after_comm = stat.rsplit_once(')')?.1;
+    after_comm.split_whitespace().nth(19)?.parse::<u64>().ok()
+}
+
+/// Removes orphaned temp files left behind by crashed writers.
+///
+/// Every temp-file+rename site in this codebase names its temp
+/// `<target>.tmp.<pid>`; a writer that dies between write and rename
+/// leaks it. This sweep removes any `*.tmp.<pid>` in `dir` whose pid is
+/// provably dead (or whose suffix is not a pid at all), and leaves temps
+/// owned by this or any other live process untouched. Returns the number
+/// of files removed; a missing or unreadable directory sweeps nothing.
+pub fn sweep_stale_temps(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some((_, suffix)) = name.rsplit_once(".tmp.") else {
+            continue;
+        };
+        let stale = match suffix.parse::<u32>() {
+            Ok(pid) => pid != std::process::id() && pid_is_dead(pid),
+            // A mangled suffix cannot belong to a live writer.
+            Err(_) => true,
+        };
+        if stale && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// One quarantined cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuarantineEntry {
@@ -497,13 +726,19 @@ impl Quarantine {
         })?;
         let path = dir.join(QUARANTINE_FILE);
         let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
-        fs::write(&tmp, json).map_err(|e| PvError::CacheIo {
-            what: "Quarantine::save".to_string(),
-            detail: format!("write {}: {e}", tmp.display()),
+        fs::write(&tmp, json).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            PvError::CacheIo {
+                what: "Quarantine::save".to_string(),
+                detail: format!("write {}: {e}", tmp.display()),
+            }
         })?;
-        fs::rename(&tmp, &path).map_err(|e| PvError::CacheIo {
-            what: "Quarantine::save".to_string(),
-            detail: format!("rename {}: {e}", path.display()),
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            PvError::CacheIo {
+                what: "Quarantine::save".to_string(),
+                detail: format!("rename {}: {e}", path.display()),
+            }
         })?;
         Ok(())
     }
@@ -554,11 +789,16 @@ pub const LOCK_FILE: &str = "sweep.lock";
 /// a sweep that writes into it.
 ///
 /// Implemented as an atomic marker file (`create_new` is atomic on every
-/// platform we target) holding the owner's pid. A second sweep on the
-/// same directory polls until the lock is released or its timeout
-/// expires; a lock whose owner pid no longer exists (crashed sweep) is
-/// broken and re-acquired, so one SIGKILL never wedges a cache
-/// directory. Dropping the guard releases the lock.
+/// platform we target) holding the owner's `pid start-token` pair (see
+/// [`pid_start_token`]). A second sweep on the same directory polls
+/// until the lock is released or its timeout expires; a lock whose
+/// owner is provably gone — pid dead, *or* pid alive but with a
+/// different start token, meaning the pid was recycled by an unrelated
+/// process — is broken and re-acquired, so one SIGKILL never wedges a
+/// cache directory and pid reuse never lets a stranger's pid pin a
+/// stale lock forever. Legacy bare-pid lock files (no token) fall back
+/// to pid liveness alone, conservatively. Dropping the guard releases
+/// the lock.
 #[derive(Debug)]
 pub struct CacheLock {
     path: PathBuf,
@@ -586,7 +826,15 @@ impl CacheLock {
             {
                 Ok(mut file) => {
                     use std::io::Write;
-                    let _ = write!(file, "{}", std::process::id());
+                    let pid = std::process::id();
+                    match pid_start_token(pid) {
+                        Some(token) => {
+                            let _ = write!(file, "{pid} {token}");
+                        }
+                        None => {
+                            let _ = write!(file, "{pid}");
+                        }
+                    }
                     pv_obs::observe!(
                         "pv.core.sweep.lock_wait_ns",
                         pv_obs::BucketSpec::latency(),
@@ -625,25 +873,37 @@ impl CacheLock {
         }
     }
 
-    /// Whether the pid recorded in the lock file no longer exists. An
-    /// unreadable or malformed lock file is treated as *live* — breaking
-    /// a lock we cannot attribute would be worse than waiting it out.
+    /// Whether the process recorded in the lock file is provably gone.
+    /// An unreadable or malformed lock file is treated as *live* —
+    /// breaking a lock we cannot attribute would be worse than waiting
+    /// it out. A recorded start token that no longer matches the live
+    /// pid's means the pid was recycled: the original holder is gone.
     fn holder_is_dead(path: &Path) -> bool {
         let Ok(text) = fs::read_to_string(path) else {
             return false;
         };
-        let Ok(pid) = text.trim().parse::<u32>() else {
+        let mut parts = text.split_whitespace();
+        let Some(Ok(pid)) = parts.next().map(str::parse::<u64>) else {
             return false;
+        };
+        let Ok(pid) = u32::try_from(pid) else {
+            // A pid no platform can issue was never a live holder.
+            return true;
         };
         if pid == std::process::id() {
             return false;
         }
-        // Linux: a live pid has a /proc entry. On other platforms be
-        // conservative and treat the holder as alive.
-        if cfg!(target_os = "linux") {
-            !Path::new(&format!("/proc/{pid}")).exists()
-        } else {
-            false
+        if pid_is_dead(pid) {
+            return true;
+        }
+        // Alive — but is it the *same* process that took the lock?
+        match (
+            parts.next().and_then(|t| t.parse::<u64>().ok()),
+            pid_start_token(pid),
+        ) {
+            (Some(recorded), Some(current)) => recorded != current,
+            // Legacy bare-pid file or token unavailable: conservative.
+            _ => false,
         }
     }
 
@@ -882,5 +1142,89 @@ mod tests {
         fs::write(dir.join(LOCK_FILE), "definitely not a pid").unwrap();
         assert!(CacheLock::acquire(&dir, Duration::from_millis(40)).is_err());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recycled_pid_lock_is_broken_but_matching_token_is_honored() {
+        if pid_start_token(1).is_none() {
+            return; // No /proc: the token path is inert on this platform.
+        }
+        let dir = temp_dir("recycled-lock");
+        fs::create_dir_all(&dir).unwrap();
+        // Pid 1 is alive, but a token it never had means the recorded
+        // holder died and the pid was recycled: break the lock.
+        fs::write(dir.join(LOCK_FILE), "1 18446744073709551615").unwrap();
+        let lock = CacheLock::acquire(&dir, Duration::from_millis(200)).unwrap();
+        drop(lock);
+        // The genuine (pid, token) pair of a live process is honored.
+        let token = pid_start_token(1).unwrap();
+        fs::write(dir.join(LOCK_FILE), format!("1 {token}")).unwrap();
+        assert!(CacheLock::acquire(&dir, Duration::from_millis(40)).is_err());
+        // Legacy bare-pid file of a live process: conservative, honored.
+        fs::write(dir.join(LOCK_FILE), "1").unwrap();
+        assert!(CacheLock::acquire(&dir, Duration::from_millis(40)).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn acquired_lock_records_pid_and_start_token() {
+        let dir = temp_dir("token-lock");
+        let lock = CacheLock::acquire(&dir, Duration::from_secs(5)).unwrap();
+        let text = fs::read_to_string(lock.path()).unwrap();
+        let mut parts = text.split_whitespace();
+        assert_eq!(
+            parts.next().unwrap().parse::<u32>().unwrap(),
+            std::process::id()
+        );
+        if let Some(token) = pid_start_token(std::process::id()) {
+            assert_eq!(parts.next().unwrap().parse::<u64>().unwrap(), token);
+        }
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_sweep_removes_dead_writers_only() {
+        let dir = temp_dir("temp-sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let dead = dir.join("cell-1.json.tmp.999999999");
+        let mangled = dir.join("cell-2.json.tmp.notapid");
+        let live = dir.join(format!("cell-3.json.tmp.{}", std::process::id()));
+        let innocent = dir.join("cell-4.json");
+        for p in [&dead, &mangled, &live, &innocent] {
+            fs::write(p, "x").unwrap();
+        }
+        assert_eq!(sweep_stale_temps(&dir), 2);
+        assert!(!dead.exists());
+        assert!(!mangled.exists());
+        assert!(live.exists(), "a live writer's temp must survive");
+        assert!(innocent.exists(), "non-temp files must survive");
+        // Idempotent; missing directory sweeps nothing.
+        assert_eq!(sweep_stale_temps(&dir), 0);
+        assert_eq!(sweep_stale_temps(&dir.join("nope")), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_fault_plan_keys_by_sequence_and_parses_spec() {
+        let plan = ServeFaultPlan::none()
+            .inject_slow(2, 60_000)
+            .inject_shed(5)
+            .inject_reload_io(0);
+        assert_eq!(plan.slow_at(2), Some(60_000));
+        assert_eq!(plan.slow_at(3), None);
+        assert!(plan.sheds_at(5));
+        assert!(!plan.sheds_at(2));
+        assert!(plan.reload_io_at(0));
+        assert!(!plan.reload_io_at(1));
+        assert_eq!(plan.faults().len(), 3);
+
+        let parsed: ServeFaultPlan = "slow@2:60000, shed@5,reload-io@0".parse().unwrap();
+        assert_eq!(parsed, plan);
+        assert!(ServeFaultPlan::none().is_empty());
+        assert!("".parse::<ServeFaultPlan>().unwrap().is_empty());
+        assert!("slow@2".parse::<ServeFaultPlan>().is_err());
+        assert!("gremlin@1".parse::<ServeFaultPlan>().is_err());
+        assert!("shed@x".parse::<ServeFaultPlan>().is_err());
     }
 }

@@ -626,6 +626,9 @@ impl<'c> ShardedCorpusBuilder<'c> {
         if let Some(dir) = &spill_dir {
             fs::create_dir_all(dir)
                 .map_err(|e| spill_err("create dir", format!("{}: {e}", dir.display())))?;
+            // Crashed writers leak `*.tmp.<pid>` files; reclaim them
+            // before this run starts spilling its own.
+            crate::resilience::sweep_stale_temps(dir);
         }
         let budget = resident_shards
             .unwrap_or_else(|| (rayon::current_num_threads() + 2).max(4))

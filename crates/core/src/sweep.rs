@@ -375,8 +375,12 @@ pub struct CellCache {
 
 impl CellCache {
     /// A cache rooted at `dir`. The directory is created on first store.
+    /// Stale temp files leaked by crashed writers are swept on open (see
+    /// [`crate::resilience::sweep_stale_temps`]).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        CellCache { dir: dir.into() }
+        let dir = dir.into();
+        crate::resilience::sweep_stale_temps(&dir);
+        CellCache { dir }
     }
 
     /// The cache directory.
@@ -557,9 +561,11 @@ impl CellCache {
             .map_err(|e| StatsError::invalid("CellCache::store", format!("serialize: {e}")))?;
         let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
         fs::write(&tmp, json).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
             StatsError::invalid("CellCache::store", format!("write {}: {e}", tmp.display()))
         })?;
         fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
             StatsError::invalid(
                 "CellCache::store",
                 format!("rename {}: {e}", path.display()),

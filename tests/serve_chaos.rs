@@ -1,0 +1,552 @@
+//! Serve-chaos tier: the real `pv-serve` binary under deterministic
+//! fault injection. Injected slow predictions blow the deadline on
+//! exactly the planned requests, injected sheds produce exactly-k typed
+//! `overloaded` responses, hot reload swaps registry snapshots without
+//! dropping in-flight work (and a corrupt artifact keeps the old
+//! version serving, degraded, never crashed), and shutdown drains every
+//! admitted request before exit 0. Successful responses must be
+//! byte-identical to a chaos-free run at any batch width — chaos is
+//! keyed by request arrival sequence, not by timing races.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use perfvar_suite::core::registry::{artifact_key, Artifact, ModelRegistry};
+use perfvar_suite::core::sweep::CellConfig;
+use perfvar_suite::core::usecase1::{FewRunsConfig, FewRunsPredictor};
+use perfvar_suite::core::{corpus_fingerprint, ModelKind, Profile, ReprKind};
+use perfvar_suite::obs::read_metrics;
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+
+const RUNS: usize = 30;
+const SEED: u64 = 11;
+
+/// Locates the workspace `pv-serve` binary next to this test
+/// executable, building it on demand (the facade package's `cargo test`
+/// does not build other members' binaries).
+fn serve_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("test exe path");
+    let profile_dir = exe
+        .parent()
+        .and_then(Path::parent)
+        .expect("target profile dir")
+        .to_path_buf();
+    let bin = profile_dir.join("pv-serve");
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = Command::new(cargo);
+        cmd.args(["build", "-p", "pv-bench", "--bin", "pv-serve"]);
+        if profile_dir.file_name().map(|n| n == "release") == Some(true) {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("spawn cargo build");
+        assert!(status.success(), "building pv-serve failed");
+    }
+    assert!(bin.exists(), "no pv-serve binary at {}", bin.display());
+    bin
+}
+
+fn cfg() -> FewRunsConfig {
+    FewRunsConfig {
+        repr: ReprKind::PearsonRnd,
+        model: ModelKind::Knn,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 2,
+        ..FewRunsConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pv-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Seals one model and returns (corpus, registry key).
+fn seed_registry(dir: &Path) -> (Corpus, u64) {
+    let corpus = Corpus::collect(&SystemModel::intel(), RUNS, SEED);
+    let registry = ModelRegistry::new(dir);
+    let fp = corpus_fingerprint(&corpus);
+    let include: Vec<usize> = (0..corpus.len()).collect();
+    let trained = FewRunsPredictor::train(&corpus, &include, cfg()).expect("train");
+    registry
+        .store(fp, &Artifact::FewRuns(trained.to_artifact()))
+        .expect("store");
+    let key = artifact_key(fp, &CellConfig::FewRuns(cfg())).expect("key");
+    (corpus, key)
+}
+
+fn request_line(key: u64, corpus: &Corpus, bench: usize, id: usize) -> String {
+    let profile =
+        Profile::from_runs(&corpus.benchmarks[bench].runs, cfg().n_profile_runs).expect("profile");
+    format!(
+        "{{\"id\": {id}, \"model\": \"{key:016x}\", \"profile\": {}, \
+         \"n_samples\": 40, \"sample_seed\": {id}}}",
+        serde_json::to_string(&profile).expect("json")
+    )
+}
+
+fn wait_exit_ok(mut child: Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "pv-serve exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("pv-serve did not exit within 30s");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn counter(metrics: &Path, name: &str) -> u64 {
+    read_metrics(metrics)
+        .expect("metrics snapshot")
+        .counter(name)
+        .unwrap_or_else(|| panic!("counter {name} missing from {}", metrics.display()))
+}
+
+/// Spawns pv-serve in stdio mode with extra flags, returning the child
+/// plus its protocol handles.
+fn spawn_stdio(dir: &Path, extra: &[&str]) -> (Child, ChildStdin, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(serve_binary());
+    cmd.args(["--registry"]).arg(dir);
+    cmd.args(extra);
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pv-serve");
+    let stdin = child.stdin.take().expect("stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    (child, stdin, stdout)
+}
+
+/// Writes every line, then collects every reply until EOF.
+fn session(mut stdin: ChildStdin, stdout: BufReader<ChildStdout>, lines: &[String]) -> Vec<String> {
+    for line in lines {
+        stdin.write_all(line.as_bytes()).expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    stdin.flush().expect("flush");
+    drop(stdin);
+    stdout.lines().map(|l| l.expect("read reply")).collect()
+}
+
+fn send(stdin: &mut ChildStdin, line: &str) {
+    stdin.write_all(line.as_bytes()).expect("write");
+    stdin.write_all(b"\n").expect("write");
+    stdin.flush().expect("flush");
+}
+
+fn recv(stdout: &mut BufReader<ChildStdout>) -> String {
+    let mut reply = String::new();
+    stdout.read_line(&mut reply).expect("read reply");
+    assert!(!reply.is_empty(), "daemon hung up mid-session");
+    reply.trim_end().to_string()
+}
+
+/// Injected slow predictions blow a generous deadline on exactly the
+/// planned arrival sequences — typed `timeout` responses with the id
+/// echoed — while every other response is byte-identical to a
+/// chaos-free run, at the default batch width and at `--batch 1`.
+#[test]
+fn injected_slow_faults_time_out_exactly_k_requests() {
+    let dir = tmp_dir("deadline");
+    let (corpus, key) = seed_registry(&dir);
+    let mut lines: Vec<String> = (0..8)
+        .map(|i| request_line(key, &corpus, i % corpus.len(), i))
+        .collect();
+    lines.push("{\"shutdown\": true, \"id\": 99}".to_string());
+
+    // Control: no chaos, no deadline.
+    let (child, stdin, stdout) = spawn_stdio(&dir, &[]);
+    let control = session(stdin, stdout, &lines);
+    wait_exit_ok(child);
+    assert_eq!(control.len(), 9, "{control:?}");
+    assert!(control.iter().take(8).all(|r| r.contains("\"ok\":true")));
+
+    // Chaos: ten-minute virtual delays on arrival sequences 2 and 5
+    // versus a ten-second deadline. Exactly those two time out.
+    let metrics = dir.join("METRICS-chaos.json");
+    for batch_flags in [&[][..], &["--batch", "1"][..]] {
+        let mut flags = vec![
+            "--deadline-ms",
+            "10000",
+            "--inject-serve",
+            "slow@2:600000,slow@5:600000",
+        ];
+        flags.extend_from_slice(batch_flags);
+        let with_metrics = batch_flags.is_empty();
+        if with_metrics {
+            flags.push("--metrics-out");
+        }
+        let metrics_str = metrics.to_string_lossy().into_owned();
+        if with_metrics {
+            flags.push(&metrics_str);
+        }
+        let (child, stdin, stdout) = spawn_stdio(&dir, &flags);
+        let chaotic = session(stdin, stdout, &lines);
+        wait_exit_ok(child);
+        assert_eq!(chaotic.len(), 9, "{chaotic:?}");
+        for (i, reply) in chaotic.iter().enumerate() {
+            if i == 2 || i == 5 {
+                assert!(reply.contains("\"timeout\""), "seq {i}: {reply}");
+                assert!(reply.contains(&format!("\"id\":{i}")), "seq {i}: {reply}");
+                assert!(reply.contains("\"ok\":false"), "seq {i}: {reply}");
+            } else {
+                assert_eq!(
+                    reply, &control[i],
+                    "non-faulted response {i} must be byte-identical under chaos"
+                );
+            }
+        }
+    }
+    assert_eq!(counter(&metrics, "pv.serve.request"), 9);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), 6);
+    assert_eq!(counter(&metrics, "pv.serve.request.timeout"), 2);
+    assert_eq!(counter(&metrics, "pv.serve.shutdown"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.shed"), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Injected sheds produce exactly-k typed `overloaded` responses at the
+/// planned arrival sequences; every other response is byte-identical to
+/// the chaos-free run and the shed counters match exactly.
+#[test]
+fn injected_sheds_are_exactly_k_typed_overloaded_responses() {
+    let dir = tmp_dir("shed");
+    let (corpus, key) = seed_registry(&dir);
+    let mut lines: Vec<String> = (0..6)
+        .map(|i| request_line(key, &corpus, i % corpus.len(), i))
+        .collect();
+    lines.push("{\"shutdown\": true}".to_string());
+
+    let (child, stdin, stdout) = spawn_stdio(&dir, &[]);
+    let control = session(stdin, stdout, &lines);
+    wait_exit_ok(child);
+    assert_eq!(control.len(), 7, "{control:?}");
+
+    let metrics = dir.join("METRICS.json");
+    let metrics_str = metrics.to_string_lossy().into_owned();
+    let (child, stdin, stdout) = spawn_stdio(
+        &dir,
+        &[
+            "--inject-serve",
+            "shed@1,shed@4",
+            "--metrics-out",
+            &metrics_str,
+        ],
+    );
+    let chaotic = session(stdin, stdout, &lines);
+    wait_exit_ok(child);
+    assert_eq!(chaotic.len(), 7, "{chaotic:?}");
+    for (i, reply) in chaotic.iter().enumerate() {
+        if i == 1 || i == 4 {
+            assert!(reply.contains("\"overloaded\""), "seq {i}: {reply}");
+            assert!(reply.contains("\"ok\":false"), "seq {i}: {reply}");
+        } else {
+            assert_eq!(
+                reply, &control[i],
+                "non-shed response {i} must be byte-identical under chaos"
+            );
+        }
+    }
+    assert_eq!(counter(&metrics, "pv.serve.request"), 7);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), 4);
+    assert_eq!(counter(&metrics, "pv.serve.request.overloaded"), 2);
+    assert_eq!(counter(&metrics, "pv.serve.shed"), 2);
+    assert_eq!(counter(&metrics, "pv.serve.shutdown"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Hot reload: a model stored after startup is picked up by
+/// `{"op": "reload"}` without restarting; predictions against the
+/// original model stay byte-identical across the swap. Then a corrupt
+/// artifact at the next reload keeps the previously loaded version
+/// serving (`held_over`), flips health to `degraded`, and never crashes
+/// the daemon.
+#[test]
+fn hot_reload_swaps_snapshots_and_corruption_degrades_without_dropping() {
+    let dir = tmp_dir("reload");
+    let (corpus, key_a) = seed_registry(&dir);
+    let (child, mut stdin, mut stdout) = spawn_stdio(&dir, &[]);
+
+    let predict_a = request_line(key_a, &corpus, 0, 1);
+    send(&mut stdin, &predict_a);
+    let before = recv(&mut stdout);
+    assert!(before.contains("\"ok\":true"), "{before}");
+
+    // Deploy a second model into the live registry directory.
+    let registry = ModelRegistry::new(&dir);
+    let fp = corpus_fingerprint(&corpus);
+    let cfg_b = FewRunsConfig {
+        n_profile_runs: 7,
+        ..cfg()
+    };
+    let include: Vec<usize> = (0..corpus.len()).collect();
+    let trained_b = FewRunsPredictor::train(&corpus, &include, cfg_b).expect("train b");
+    let key_b = registry
+        .store(fp, &Artifact::FewRuns(trained_b.to_artifact()))
+        .expect("store b");
+    assert_ne!(key_a, key_b);
+
+    // The daemon has not seen B yet.
+    let predict_b = request_line(key_b, &corpus, 1, 2);
+    send(&mut stdin, &predict_b);
+    let miss = recv(&mut stdout);
+    assert!(miss.contains("not-found"), "{miss}");
+
+    // Reload: both models verified and swapped in atomically.
+    send(&mut stdin, "{\"op\": \"reload\", \"id\": 10}");
+    let reload = recv(&mut stdout);
+    assert!(reload.contains("\"ok\":true"), "{reload}");
+    assert!(reload.contains("\"loaded\":2"), "{reload}");
+    assert!(reload.contains("\"held_over\":0"), "{reload}");
+    assert!(reload.contains("\"status\":\"ok\""), "{reload}");
+    assert!(reload.contains("\"id\":10"), "{reload}");
+
+    send(&mut stdin, &predict_b);
+    let hit_b = recv(&mut stdout);
+    assert!(hit_b.contains("\"ok\":true"), "{hit_b}");
+    send(&mut stdin, &predict_a);
+    let after = recv(&mut stdout);
+    assert_eq!(
+        before, after,
+        "model A must predict bit-identically across the swap"
+    );
+
+    // Vandalize B's artifact on disk: the reload keeps the old B
+    // serving, marks it held over, and degrades the daemon.
+    let entry_b = dir.join(format!("model-{key_b:016x}.json"));
+    fs::write(&entry_b, "{\"vandalized\": true}").expect("corrupt");
+    send(&mut stdin, "{\"op\": \"reload\"}");
+    let degraded_reload = recv(&mut stdout);
+    assert!(degraded_reload.contains("\"ok\":true"), "{degraded_reload}");
+    assert!(
+        degraded_reload.contains("\"held_over\":1"),
+        "{degraded_reload}"
+    );
+    assert!(
+        degraded_reload.contains("\"status\":\"degraded\""),
+        "{degraded_reload}"
+    );
+
+    send(&mut stdin, "{\"op\": \"health\"}");
+    let health = recv(&mut stdout);
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(health.contains("\"held_over\":true"), "{health}");
+    assert!(health.contains(&format!("{key_b:016x}")), "{health}");
+    assert!(health.contains("staleness_s"), "{health}");
+
+    send(&mut stdin, &predict_b);
+    let held_b = recv(&mut stdout);
+    assert_eq!(
+        hit_b, held_b,
+        "held-over B must keep serving bit-identically"
+    );
+
+    send(&mut stdin, "{\"shutdown\": true}");
+    let ack = recv(&mut stdout);
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    drop(stdin);
+    wait_exit_ok(child);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An injected registry I/O fault fails the whole reload with a typed
+/// response and marks the daemon degraded — but the old snapshot keeps
+/// serving bit-identically, and the next (un-faulted) reload recovers
+/// health to `ok`.
+#[test]
+fn failed_reload_keeps_old_snapshot_serving_and_recovers_on_retry() {
+    let dir = tmp_dir("reload-io");
+    let (corpus, key) = seed_registry(&dir);
+    let (child, mut stdin, mut stdout) = spawn_stdio(&dir, &["--inject-serve", "reload-io@0"]);
+
+    let predict = request_line(key, &corpus, 0, 1);
+    send(&mut stdin, &predict);
+    let before = recv(&mut stdout);
+    assert!(before.contains("\"ok\":true"), "{before}");
+
+    // Reload attempt 0 hits the injected I/O fault.
+    send(&mut stdin, "{\"op\": \"reload\", \"id\": 5}");
+    let failed = recv(&mut stdout);
+    assert!(failed.contains("\"ok\":false"), "{failed}");
+    assert!(failed.contains("reload-failed"), "{failed}");
+    assert!(failed.contains("\"status\":\"degraded\""), "{failed}");
+    assert!(failed.contains("\"id\":5"), "{failed}");
+    assert!(failed.contains("injected fault"), "{failed}");
+
+    send(&mut stdin, &predict);
+    let during = recv(&mut stdout);
+    assert_eq!(
+        before, during,
+        "old snapshot must serve across a failed reload"
+    );
+
+    // Attempt 1 is clean: health recovers.
+    send(&mut stdin, "{\"op\": \"reload\"}");
+    let recovered = recv(&mut stdout);
+    assert!(recovered.contains("\"ok\":true"), "{recovered}");
+    assert!(recovered.contains("\"status\":\"ok\""), "{recovered}");
+    send(&mut stdin, "{\"op\": \"health\"}");
+    let health = recv(&mut stdout);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    send(&mut stdin, "{\"shutdown\": true}");
+    let ack = recv(&mut stdout);
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    drop(stdin);
+    wait_exit_ok(child);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Clean drain: a client floods slow (chaos-delayed) requests, another
+/// client asks for shutdown while they grind — every admitted request
+/// still gets its response before the daemon exits 0, and the counters
+/// account for every line.
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    use std::os::unix::net::UnixStream;
+
+    const FLOOD: usize = 30;
+    let dir = tmp_dir("drain");
+    let (corpus, key) = seed_registry(&dir);
+    let socket = dir.join("pv-serve.sock");
+    let metrics = dir.join("METRICS.json");
+    // 20ms of real injected delay per request, batch 1: the queue
+    // stays busy long enough for the shutdown to land amid the flood.
+    let plan: Vec<String> = (0..FLOOD as u64).map(|s| format!("slow@{s}:20")).collect();
+    let child = Command::new(serve_binary())
+        .args(["--registry"])
+        .arg(&dir)
+        .args(["--socket"])
+        .arg(&socket)
+        .args(["--batch", "1", "--inject-serve", &plan.join(",")])
+        .args(["--metrics-out"])
+        .arg(&metrics)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pv-serve");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let stream = UnixStream::connect(&socket).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for i in 0..FLOOD {
+        let line = request_line(key, &corpus, i % corpus.len(), i);
+        writer.write_all(line.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+    }
+    writer.flush().expect("flush");
+
+    // While the flood grinds (~FLOOD * 20ms), a second client asks the
+    // daemon to stop.
+    std::thread::sleep(Duration::from_millis(100));
+    let y = UnixStream::connect(&socket).expect("connect y");
+    let mut y_reader = BufReader::new(y.try_clone().expect("clone y"));
+    let mut y_writer = y;
+    y_writer
+        .write_all(b"{\"shutdown\": true}\n")
+        .expect("write y");
+    y_writer.flush().expect("flush y");
+
+    // Every flooded request was admitted before the shutdown, so every
+    // one must be answered — a clean drain drops nothing.
+    let mut oks = 0usize;
+    for _ in 0..FLOOD {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read flood reply");
+        assert!(!reply.is_empty(), "daemon dropped an admitted request");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        oks += 1;
+    }
+    assert_eq!(oks, FLOOD);
+    let mut ack = String::new();
+    y_reader.read_line(&mut ack).expect("read ack");
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    wait_exit_ok(child);
+
+    assert_eq!(counter(&metrics, "pv.serve.request"), FLOOD as u64 + 1);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), FLOOD as u64);
+    assert_eq!(counter(&metrics, "pv.serve.shutdown"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A malformed flood from a client that disconnects without reading a
+/// single reply must not wedge the daemon: a later client predicts
+/// fine and a clean shutdown still exits 0.
+#[test]
+fn malformed_flood_and_vanishing_client_do_not_wedge_the_daemon() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = tmp_dir("flood");
+    let (corpus, key) = seed_registry(&dir);
+    let socket = dir.join("pv-serve.sock");
+    let child = Command::new(serve_binary())
+        .args(["--registry"])
+        .arg(&dir)
+        .args(["--socket"])
+        .arg(&socket)
+        .args(["--queue", "64"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pv-serve");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    {
+        let mut flood = UnixStream::connect(&socket).expect("connect flood");
+        for _ in 0..200 {
+            let _ = flood.write_all(b"this is not json\n");
+        }
+        let _ = flood.flush();
+        // Drop without reading anything: the daemon's reply writes race
+        // our close into EPIPE.
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let stream = UnixStream::connect(&socket).expect("connect after flood");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let line = request_line(key, &corpus, 0, 7);
+    writer.write_all(line.as_bytes()).expect("write");
+    writer.write_all(b"\n").expect("write");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "daemon wedged by flood: {reply}"
+    );
+    assert!(reply.contains("\"id\":7"), "{reply}");
+
+    writer.write_all(b"{\"shutdown\": true}\n").expect("write");
+    writer.flush().expect("flush");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("read ack");
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    wait_exit_ok(child);
+    let _ = fs::remove_dir_all(&dir);
+}

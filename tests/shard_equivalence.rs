@@ -6,6 +6,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use perfvar_suite::core::eval::{
     cross_system_specs, evaluate_cross_system, evaluate_cross_system_sharded, evaluate_few_runs,
@@ -16,10 +17,21 @@ use perfvar_suite::core::sweep::{CellCache, GridSpec, Sweep};
 use perfvar_suite::core::usecase1::FewRunsConfig;
 use perfvar_suite::core::usecase2::CrossSystemConfig;
 use perfvar_suite::core::{ModelKind, ReprKind};
+use perfvar_suite::obs::Collector;
 use perfvar_suite::sysmodel::{Corpus, SystemModel};
 
 const RUNS: usize = 40;
 const SEED: u64 = 11;
+
+/// Serializes the counter-sensitive tests: the obs metrics registry is
+/// process-global, so the hammer test (which pins `verify_fail == 0`
+/// under a live collector) must not overlap the tamper test (which
+/// generates genuine verify failures).
+static OBS_SERIAL: Mutex<()> = Mutex::new(());
+
+fn obs_serial() -> MutexGuard<'static, ()> {
+    OBS_SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn corpus(sys: SystemModel) -> Corpus {
     Corpus::collect(&sys, RUNS, SEED)
@@ -158,6 +170,7 @@ fn campaign_source_evaluates_identically_to_collected_corpus() {
 /// healed spill file verifies again afterwards.
 #[test]
 fn tampered_spill_files_recover_silently() {
+    let _guard = obs_serial();
     let dir = tmp_dir("tamper");
     let c = corpus(SystemModel::intel());
     let cfg = uc1_cfg(ModelKind::Knn);
@@ -202,6 +215,88 @@ fn tampered_spill_files_recover_silently() {
         .build()
         .unwrap();
     assert_eq!(warm.shard_fingerprints(), sh.shard_fingerprints());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Eight threads hammering a spill-backed `ShardedCorpus` with a
+/// residency budget of one — every access evicts someone else's shard —
+/// still read bit-identical rows, and the spill round-trips never
+/// produce a single verification failure (`pv.core.shard.verify_fail`
+/// stays 0 under a live collector).
+#[test]
+fn concurrent_eviction_hammer_reads_identical_bits_with_zero_verify_fails() {
+    let _guard = obs_serial();
+    let dir = tmp_dir("hammer");
+    let c = corpus(SystemModel::intel());
+    let cfg = uc1_cfg(ModelKind::Knn);
+    let spec = few_runs_spec(&cfg);
+
+    let collector = Collector::install();
+    let sh = ShardedCorpus::builder(ShardSource::Corpus(&c), &spec)
+        .shard_size(3)
+        .spill_dir(&dir)
+        .resident_shards(1)
+        .build()
+        .unwrap();
+    assert!(sh.layout().n_shards() > 4, "need real eviction churn");
+
+    // Expected bits, read once up front (through the same evicting
+    // corpus — equivalence to the monolithic path is pinned elsewhere).
+    let expected: Vec<(Vec<f64>, Vec<f64>)> = (0..c.len())
+        .map(|bi| {
+            let shard = sh.shard(sh.layout().shard_of(bi)).unwrap();
+            (
+                shard.rel_times(bi).unwrap().to_vec(),
+                shard.target(cfg.repr, bi).unwrap().to_vec(),
+            )
+        })
+        .collect();
+
+    let n = c.len();
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let sh = &sh;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for k in 0..n {
+                        // Each thread walks the corpus from its own
+                        // offset so concurrent faults constantly evict
+                        // each other's shards.
+                        let bi = (k + t * 7 + round) % n;
+                        let shard = sh.shard(sh.layout().shard_of(bi)).unwrap();
+                        assert_eq!(
+                            shard.rel_times(bi).unwrap(),
+                            expected[bi].0.as_slice(),
+                            "thread {t} read different rel_times bits for benchmark {bi}"
+                        );
+                        assert_eq!(
+                            shard.target(cfg.repr, bi).unwrap(),
+                            expected[bi].1.as_slice(),
+                            "thread {t} read different target bits for benchmark {bi}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let obs = collector.finish();
+    assert_eq!(
+        obs.metrics
+            .counter("pv.core.shard.verify_fail")
+            .unwrap_or(0),
+        0,
+        "spill round-trips under concurrent eviction must never fail verification"
+    );
+    assert!(
+        obs.metrics.counter("pv.core.shard.load").unwrap_or(0) > 0,
+        "budget 1 must have faulted shards back in from spill"
+    );
+    assert!(
+        obs.metrics.counter("pv.core.shard.evict").unwrap_or(0) > 0,
+        "budget 1 must have evicted shards"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 
