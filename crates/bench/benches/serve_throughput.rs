@@ -13,7 +13,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pv_bench::serve::{Outcome, ServeEngine, ServedModel};
+use pv_bench::serve::{Outcome, ServeEngine, ServeTelemetry, ServedModel, TelemetryOpts};
 use pv_bench::{uc1_config, CAMPAIGN_SEED};
 use pv_core::registry::artifact_key;
 use pv_core::sweep::CellConfig;
@@ -22,12 +22,13 @@ use pv_core::{corpus_fingerprint, ModelKind, Profile, ReprKind};
 use pv_sysmodel::{Corpus, SystemModel};
 use rayon::prelude::*;
 
-/// Two engines (plain and resilience-enabled) plus a ring of
-/// pre-rendered request lines, trained once per process. 200 runs per
-/// benchmark keeps setup to a few seconds while leaving the serving
-/// path identical to production.
-fn fixture() -> &'static (ServeEngine, ServeEngine, Vec<String>) {
-    static FIXTURE: OnceLock<(ServeEngine, ServeEngine, Vec<String>)> = OnceLock::new();
+/// Three engines (plain, resilience-enabled, and full-telemetry) plus a
+/// ring of pre-rendered request lines, trained once per process. 200
+/// runs per benchmark keeps setup to a few seconds while leaving the
+/// serving path identical to production.
+fn fixture() -> &'static (ServeEngine, ServeEngine, ServeEngine, Vec<String>) {
+    static FIXTURE: OnceLock<(ServeEngine, ServeEngine, ServeEngine, Vec<String>)> =
+        OnceLock::new();
     FIXTURE.get_or_init(|| {
         let corpus = Corpus::collect(&SystemModel::intel(), 200, CAMPAIGN_SEED);
         let cfg = uc1_config(ReprKind::PearsonRnd, ModelKind::Knn, 10);
@@ -35,12 +36,32 @@ fn fixture() -> &'static (ServeEngine, ServeEngine, Vec<String>) {
         let predictor = FewRunsPredictor::train(&corpus, &include, cfg).expect("train");
         let key =
             artifact_key(corpus_fingerprint(&corpus), &CellConfig::FewRuns(cfg)).expect("key");
-        let twin =
-            FewRunsPredictor::from_artifact(predictor.to_artifact()).expect("artifact roundtrip");
-        let mut models = HashMap::new();
-        models.insert(key, ServedModel::FewRuns(predictor));
-        let mut resilient_models = HashMap::new();
-        resilient_models.insert(key, ServedModel::FewRuns(twin));
+        let engine_for = |p: FewRunsPredictor| {
+            let mut models = HashMap::new();
+            models.insert(key, ServedModel::FewRuns(p));
+            ServeEngine::from_models(models)
+        };
+        let twin = || {
+            FewRunsPredictor::from_artifact(predictor.to_artifact()).expect("artifact roundtrip")
+        };
+        let resilient = engine_for(twin()).with_deadline(Some(Duration::from_secs(5)));
+        // The full telemetry plane as an operator would run it: rolling
+        // windows (always on), an SLO budget, the flight recorder, and
+        // a real JSONL access log on disk.
+        let scratch =
+            std::env::temp_dir().join(format!("pv-serve-throughput-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&scratch);
+        let telemetry = ServeTelemetry::new(TelemetryOpts {
+            access_log: Some(scratch.join("access.jsonl")),
+            slo: Some(Duration::from_millis(250)),
+            recorder: Some(scratch.join("flight.jsonl")),
+            ..TelemetryOpts::default()
+        })
+        .expect("telemetry");
+        let telemetered = engine_for(twin())
+            .with_deadline(Some(Duration::from_secs(5)))
+            .with_telemetry(telemetry);
+        let engine = engine_for(predictor);
         let lines: Vec<String> = corpus
             .benchmarks
             .iter()
@@ -54,18 +75,12 @@ fn fixture() -> &'static (ServeEngine, ServeEngine, Vec<String>) {
                 )
             })
             .collect();
-        (
-            ServeEngine::from_models(models),
-            // The production daemon path: a live deadline on every
-            // request (the chaos plan stays empty, as in production).
-            ServeEngine::from_models(resilient_models).with_deadline(Some(Duration::from_secs(5))),
-            lines,
-        )
+        (engine, resilient, telemetered, lines)
     })
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
-    let (engine, resilient, lines) = fixture();
+    let (engine, resilient, telemetered, lines) = fixture();
     let mut g = c.benchmark_group("serve_throughput");
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(5));
@@ -106,13 +121,37 @@ fn bench_serve_throughput(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("telemetry_batched_64", |b| {
+        // The full observability plane live: sealed replies feeding the
+        // rolling windows, SLO budget, flight-recorder ring, and the
+        // JSONL access log, across rayon like the daemon's batcher.
+        let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
+        b.iter(|| {
+            let now = Instant::now();
+            let work: Vec<(usize, &str)> = batch.iter().copied().enumerate().collect();
+            let out: Vec<usize> = work
+                .into_par_iter()
+                .map(|(k, line)| {
+                    let reply = telemetered.handle_timed_sealed(black_box(line), k as u64, now);
+                    if let Some(record) = reply.record {
+                        record.finish(0);
+                    }
+                    reply.text.len()
+                })
+                .collect();
+            assert_eq!(out.len(), 64);
+            out
+        })
+    });
+
     g.finish();
 
     // Acceptance floor: the batched path must sustain >= 2,000
-    // predictions/second — both bare and with the resilience layer
-    // (deadline checks) enabled. Checked outside criterion's sampler so
-    // a regression fails the bench run loudly instead of only shifting
-    // a tracked number.
+    // predictions/second — bare, with the resilience layer (deadline
+    // checks) enabled, and with the full telemetry plane (windows +
+    // SLO + recorder + access log) enabled. Checked outside criterion's
+    // sampler so a regression fails the bench run loudly instead of
+    // only shifting a tracked number.
     let batch: Vec<&str> = (0..64).map(|i| lines[i % lines.len()].as_str()).collect();
     for (label, run) in [
         (
@@ -133,6 +172,26 @@ fn bench_serve_throughput(c: &mut Criterion) {
                     .map(|(k, line)| resilient.handle_timed(line, k as u64, now))
                     .collect();
                 assert!(out.iter().all(|(_, o)| *o == Outcome::Ok));
+                out.len()
+            }),
+        ),
+        (
+            "telemetry",
+            Box::new(|| {
+                let now = Instant::now();
+                let work: Vec<(usize, &str)> = batch.iter().copied().enumerate().collect();
+                let out: Vec<bool> = work
+                    .into_par_iter()
+                    .map(|(k, line)| {
+                        let reply = telemetered.handle_timed_sealed(line, k as u64, now);
+                        let ok = reply.text.contains("\"ok\":true");
+                        if let Some(record) = reply.record {
+                            record.finish(0);
+                        }
+                        ok
+                    })
+                    .collect();
+                assert!(out.iter().all(|&ok| ok));
                 out.len()
             }),
         ),

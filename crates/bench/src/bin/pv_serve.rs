@@ -29,8 +29,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pv_bench::serve::{
-    preregister_serve_counters, run_socket, run_stdio, ServeEngine, ServeOpts, DEFAULT_BATCH,
-    DEFAULT_MAX_LINE, DEFAULT_QUEUE,
+    preregister_serve_counters, run_socket, run_stdio, ServeEngine, ServeOpts, ServeTelemetry,
+    TelemetryOpts, DEFAULT_BATCH, DEFAULT_MAX_LINE, DEFAULT_QUEUE,
 };
 use pv_bench::ObsFlags;
 use pv_core::registry::ModelRegistry;
@@ -52,8 +52,26 @@ OPTIONS:
     --queue N          admission queue capacity; a full queue sheds with
                        typed overloaded responses (default 1024, 0 = unbounded)
     --inject-serve SPEC  deterministic serving chaos plan, e.g.
-                       \"slow@3:5000,shed@7,reload-io@0\" (slow/shed key on
-                       request arrival sequence, reload-io on reload attempt)
+                       \"slow@3:5000,shed@7,reload-io@0,panic@9\" (slow/shed/
+                       panic key on request arrival sequence, reload-io on
+                       reload attempt)
+    --slo-ms MS        latency SLO: request-class answers slower than this
+                       (or failed) burn error budget, reported by
+                       {\"op\": \"health\"} and {\"op\": \"stats\"}
+    --access-log FILE  append one JSONL line per answered request with the
+                       outcome, model key, and queue/predict/write latency
+                       breakdown
+    --telemetry-out FILE        periodically flush the stats document
+                       (same JSON as {\"op\": \"stats\"}) via temp+rename
+    --telemetry-prom FILE       periodically flush a Prometheus exposition
+                       of the serving counters and latency windows
+    --telemetry-interval-ms MS  flush cadence (default 1000)
+    --flight-recorder FILE      arm the post-mortem flight recorder: on the
+                       first anomaly (shed/timeout burst, worker panic,
+                       failed reload) dump the last N request events as JSONL
+    --recorder-capacity N       flight-recorder ring size (default 256)
+    --anomaly-threshold N       10s-windowed shed/timeout count that trips
+                       the recorder (default 32, 0 = burst triggers off)
     --trace-out FILE   write the JSONL span trace at exit
     --metrics-out FILE write the metrics snapshot at exit
     --obs-summary      print the observability summary at exit
@@ -64,6 +82,8 @@ PROTOCOL (one JSON object per line, one JSON reply per line):
      \"sample_seed\": 0, \"rel_times\": [...]}   -> {\"ok\": true, \"prediction\":
     {\"features\": [...], \"samples\": [...]}, \"ks_confidence\": ...}
     {\"op\": \"health\"}                          -> readiness + model staleness
+    {\"op\": \"stats\"}                           -> live totals, 10s/1m/5m windows,
+                                                  latency quantiles, SLO budget
     {\"op\": \"reload\"}                          -> re-verify registry, atomic swap
     {\"shutdown\": true}                         -> ack, drain, then exit 0
 
@@ -113,6 +133,11 @@ fn main() {
     let mut queue = DEFAULT_QUEUE;
     let mut deadline_ms = 0u64;
     let mut plan = ServeFaultPlan::none();
+    let mut telemetry = TelemetryOpts::default();
+    let mut slo_ms = 0u64;
+    let mut telemetry_out: Option<PathBuf> = None;
+    let mut telemetry_prom: Option<PathBuf> = None;
+    let mut telemetry_interval = Duration::from_millis(1000);
     let mut i = 0;
     let value = |i: &mut usize, args: &[String], flag: &str| -> String {
         *i += 1;
@@ -157,6 +182,40 @@ fn main() {
                     .parse::<ServeFaultPlan>()
                     .unwrap_or_else(|e| usage_error(&format!("--inject-serve: {e}")));
             }
+            "--slo-ms" => {
+                slo_ms = value(&mut i, &args, "--slo-ms")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_error("--slo-ms wants milliseconds"));
+            }
+            "--access-log" => {
+                telemetry.access_log = Some(PathBuf::from(value(&mut i, &args, "--access-log")));
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(PathBuf::from(value(&mut i, &args, "--telemetry-out")));
+            }
+            "--telemetry-prom" => {
+                telemetry_prom = Some(PathBuf::from(value(&mut i, &args, "--telemetry-prom")));
+            }
+            "--telemetry-interval-ms" => {
+                let ms = value(&mut i, &args, "--telemetry-interval-ms")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_error("--telemetry-interval-ms wants milliseconds"));
+                telemetry_interval = Duration::from_millis(ms.max(10));
+            }
+            "--flight-recorder" => {
+                telemetry.recorder = Some(PathBuf::from(value(&mut i, &args, "--flight-recorder")));
+            }
+            "--recorder-capacity" => {
+                telemetry.recorder_capacity = value(&mut i, &args, "--recorder-capacity")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage_error("--recorder-capacity wants an integer"))
+                    .max(1);
+            }
+            "--anomaly-threshold" => {
+                telemetry.anomaly_threshold = value(&mut i, &args, "--anomaly-threshold")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_error("--anomaly-threshold wants an integer"));
+            }
             other => usage_error(&format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -178,9 +237,18 @@ fn main() {
             std::process::exit(1);
         }
     };
+    telemetry.slo = (slo_ms > 0).then(|| Duration::from_millis(slo_ms));
+    let telemetry = match ServeTelemetry::new(telemetry) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pv-serve: cannot open access log: {e}");
+            std::process::exit(1);
+        }
+    };
     let engine = engine
         .with_deadline((deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)))
-        .with_fault_plan(plan);
+        .with_fault_plan(plan)
+        .with_telemetry(telemetry);
     if engine.is_empty() {
         eprintln!(
             "pv-serve: warning: registry {} holds no models; every query will 404",
@@ -224,13 +292,66 @@ fn main() {
     };
 
     let engine = Arc::new(engine);
+    // Periodic telemetry flusher: writes the stats document and/or the
+    // Prometheus exposition every interval via temp+rename, so scrapers
+    // never read a torn file. A final flush lands after the serve loop.
+    let flush = |engine: &ServeEngine| {
+        if let Some(path) = &telemetry_out {
+            if let Err(e) =
+                pv_obs::telemetry::write_atomic(path, &format!("{}\n", engine.stats_json()))
+            {
+                eprintln!("pv-serve: telemetry flush failed: {e}");
+            }
+        }
+        if let Some(path) = &telemetry_prom {
+            if let Err(e) = pv_obs::telemetry::write_atomic(path, &engine.telemetry_prometheus()) {
+                eprintln!("pv-serve: prometheus flush failed: {e}");
+            }
+        }
+    };
+    let flusher = (telemetry_out.is_some() || telemetry_prom.is_some()).then(|| {
+        let engine = Arc::clone(&engine);
+        let telemetry_out = telemetry_out.clone();
+        let telemetry_prom = telemetry_prom.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let flush = |engine: &ServeEngine| {
+                if let Some(path) = &telemetry_out {
+                    if let Err(e) =
+                        pv_obs::telemetry::write_atomic(path, &format!("{}\n", engine.stats_json()))
+                    {
+                        eprintln!("pv-serve: telemetry flush failed: {e}");
+                    }
+                }
+                if let Some(path) = &telemetry_prom {
+                    if let Err(e) =
+                        pv_obs::telemetry::write_atomic(path, &engine.telemetry_prometheus())
+                    {
+                        eprintln!("pv-serve: prometheus flush failed: {e}");
+                    }
+                }
+            };
+            while !stop_flag.load(Ordering::SeqCst) {
+                std::thread::sleep(telemetry_interval);
+                flush(&engine);
+            }
+        });
+        (stop, handle)
+    });
     let served = match &socket {
         Some(path) => {
             eprintln!("pv-serve: listening on {}", path.display());
-            run_socket(engine, path, opts)
+            run_socket(Arc::clone(&engine), path, opts)
         }
-        None => run_stdio(engine, opts),
+        None => run_stdio(Arc::clone(&engine), opts),
     };
+    if let Some((stop, handle)) = flusher {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
+    // Final flush so the files on disk reflect the complete run.
+    flush(&engine);
     if let Err(e) = served {
         eprintln!("pv-serve: serve loop failed: {e}");
         std::process::exit(1);

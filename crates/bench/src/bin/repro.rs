@@ -584,17 +584,27 @@ repro obs-check — validate observability artifacts (CI gate)
 
 USAGE:
     repro -- obs-check TRACE.jsonl METRICS.json [--require COUNTER]...
+                       [--access-log FILE] [--telemetry FILE]
 
 Parses the JSONL trace line by line and the metrics snapshot, checks the
 span tree is well-formed (every exit carries a duration and a matching
 enter), and asserts every --require'd counter is present with a value
-greater than zero. Exits 1 on the first violation.";
+greater than zero.
+
+--access-log cross-checks a pv-serve access log: every line must be
+parseable with total_ns == queue_ns + predict_ns + write_ns, and the
+per-outcome tally must equal the pv.serve.request.* counters in the
+metrics snapshot. --telemetry cross-checks a flushed stats document:
+its exact totals must also equal those counters. Exits 1 on the first
+violation.";
 
 /// The `obs-check` subcommand: parse the two artifact files and assert
 /// required counters are non-zero.
 fn obs_check_cmd(args: &[String]) {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut required: Vec<String> = Vec::new();
+    let mut access_log: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -608,6 +618,26 @@ fn obs_check_cmd(args: &[String]) {
                     Some(name) => required.push(name.clone()),
                     None => {
                         eprintln!("obs-check: --require needs a counter name\n\n{OBS_CHECK_HELP}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--access-log" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => access_log = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("obs-check: --access-log needs a path\n\n{OBS_CHECK_HELP}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--telemetry" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => telemetry = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("obs-check: --telemetry needs a path\n\n{OBS_CHECK_HELP}");
                         std::process::exit(2);
                     }
                 }
@@ -679,6 +709,204 @@ fn obs_check_cmd(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+
+    // The three planes a serving run records — pv.serve.* counters,
+    // the per-request access log, and the flushed stats document —
+    // count the same requests on the same code paths, so any pair that
+    // is present must agree exactly.
+    let tally = access_log.as_deref().map(|path| {
+        let tally = check_access_log(path);
+        reconcile("access log", &tally, &metrics);
+        tally
+    });
+    if let Some(path) = telemetry.as_deref() {
+        let totals = read_telemetry_totals(path);
+        reconcile("telemetry totals", &totals, &metrics);
+        if let Some(tally) = &tally {
+            for (name, n) in &totals {
+                let logged = tally.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v);
+                if logged != *n {
+                    eprintln!(
+                        "obs-check: telemetry says {name} = {n} but the access log holds {logged}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            println!("obs-check: telemetry totals match the access log");
+        }
+    }
+}
+
+/// Parses a pv-serve JSONL access log: every line must decode with
+/// consistent latency arithmetic. Returns the per-counter tally, keyed
+/// by the `pv.serve.*` counter each outcome increments.
+fn check_access_log(path: &std::path::Path) -> Vec<(String, u64)> {
+    use serde::Content;
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs-check: access log {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let outcome_counter = |key: &str| -> Option<&'static str> {
+        pv_bench::serve::Outcome::ALL
+            .iter()
+            .find(|o| o.key() == key)
+            .map(|o| o.counter())
+    };
+    let mut tally: Vec<(String, u64)> = vec![("pv.serve.request".to_string(), 0)];
+    for (lineno, line) in body.lines().enumerate() {
+        let fields = parse_json_object(line).unwrap_or_else(|| {
+            eprintln!(
+                "obs-check: access log line {} is not a JSON object: {line}",
+                lineno + 1
+            );
+            std::process::exit(1);
+        });
+        let num = |key: &str| -> u64 {
+            match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(Content::U64(v)) => *v,
+                Some(Content::I64(v)) if *v >= 0 => *v as u64,
+                _ => {
+                    eprintln!(
+                        "obs-check: access log line {} lacks numeric {key:?}",
+                        lineno + 1
+                    );
+                    std::process::exit(1);
+                }
+            }
+        };
+        let outcome = match fields.iter().find(|(k, _)| k == "outcome").map(|(_, v)| v) {
+            Some(Content::Str(s)) => s.clone(),
+            _ => {
+                eprintln!("obs-check: access log line {} lacks an outcome", lineno + 1);
+                std::process::exit(1);
+            }
+        };
+        let (queue, predict, write, total) = (
+            num("queue_ns"),
+            num("predict_ns"),
+            num("write_ns"),
+            num("total_ns"),
+        );
+        if queue + predict + write != total {
+            eprintln!(
+                "obs-check: access log line {}: total_ns {total} != queue {queue} + \
+                 predict {predict} + write {write}",
+                lineno + 1
+            );
+            std::process::exit(1);
+        }
+        let Some(counter) = outcome_counter(&outcome) else {
+            eprintln!(
+                "obs-check: access log line {}: unknown outcome {outcome:?}",
+                lineno + 1
+            );
+            std::process::exit(1);
+        };
+        tally[0].1 += 1;
+        match tally.iter_mut().find(|(k, _)| k == counter) {
+            Some((_, n)) => *n += 1,
+            None => tally.push((counter.to_string(), 1)),
+        }
+    }
+    println!(
+        "obs-check: access log ok — {} request(s) in {}, latency arithmetic consistent",
+        tally[0].1,
+        path.display()
+    );
+    tally
+}
+
+/// Reads the `totals` block of a flushed stats document, keyed by the
+/// `pv.serve.*` counter each total mirrors.
+fn read_telemetry_totals(path: &std::path::Path) -> Vec<(String, u64)> {
+    use serde::Content;
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs-check: telemetry {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let doc = parse_json_object(body.trim()).unwrap_or_else(|| {
+        eprintln!(
+            "obs-check: telemetry {} is not a JSON object",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    let Some(Content::Map(totals)) = doc.iter().find(|(k, _)| k == "totals").map(|(_, v)| v) else {
+        eprintln!(
+            "obs-check: telemetry {} lacks a totals block",
+            path.display()
+        );
+        std::process::exit(1);
+    };
+    let mut out = Vec::new();
+    for (key, value) in totals {
+        let n = match value {
+            Content::U64(v) => *v,
+            Content::I64(v) if *v >= 0 => *v as u64,
+            _ => continue,
+        };
+        let counter = if key == "requests" {
+            "pv.serve.request".to_string()
+        } else {
+            match pv_bench::serve::Outcome::ALL
+                .iter()
+                .find(|o| o.key() == key)
+            {
+                Some(o) => o.counter().to_string(),
+                None => continue,
+            }
+        };
+        out.push((counter, n));
+    }
+    println!(
+        "obs-check: telemetry ok — {} total(s) in {}",
+        out.len(),
+        path.display()
+    );
+    out
+}
+
+/// Asserts the tally and the metrics snapshot agree exactly on the
+/// request-partition counters — in both directions, so a response
+/// counted but never tallied (or vice versa) fails too. `source` names
+/// the artifact in errors.
+fn reconcile(source: &str, tally: &[(String, u64)], metrics: &pv_obs::MetricsSnapshot) {
+    for (name, n) in tally {
+        let counted = metrics.counter(name).unwrap_or(0);
+        if counted != *n {
+            eprintln!(
+                "obs-check: {source} holds {n} × {name} but the metrics snapshot says {counted}"
+            );
+            std::process::exit(1);
+        }
+    }
+    for c in &metrics.counters {
+        if !(c.name.starts_with("pv.serve.request") || c.name == "pv.serve.shutdown") {
+            continue;
+        }
+        let tallied = tally
+            .iter()
+            .find(|(k, _)| *k == c.name)
+            .map_or(0, |(_, v)| *v);
+        if tallied != c.value {
+            eprintln!(
+                "obs-check: metrics snapshot says {} = {} but {source} holds {tallied}",
+                c.name, c.value
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("obs-check: {source} reconciles with the metrics snapshot");
+}
+
+/// Decodes one JSON object into its key/value fields via the lenient
+/// Content tree (the same bridge the serve protocol uses).
+fn parse_json_object(text: &str) -> Option<Vec<(String, serde::Content)>> {
+    let pv_bench::serve::Json(content) = serde_json::from_str(text).ok()?;
+    match content {
+        serde::Content::Map(map) => Some(map),
+        _ => None,
     }
 }
 
@@ -1115,6 +1343,10 @@ fn load_gen_cmd(args: &[String]) {
     let ok_count = AtomicUsize::new(0);
     let shed_seen = AtomicUsize::new(0);
     let retried = AtomicUsize::new(0);
+    // Client-side latency per response: burst flush to reply read
+    // (pipelined, so later replies in a burst include queueing behind
+    // earlier ones — the latency a pipelined client actually sees).
+    let latencies: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
     let first_failure: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
     // A response whose error kind marks backpressure, not breakage:
     // shed at admission, past its deadline, or refused during drain.
@@ -1134,6 +1366,7 @@ fn load_gen_cmd(args: &[String]) {
             let first_failure = &first_failure;
             let socket = &socket;
             let shed_class = &shed_class;
+            let latencies = &latencies;
             let share = requests / concurrency + usize::from(c < requests % concurrency);
             scope.spawn(move || {
                 let record_failure = |resp: &str| {
@@ -1177,12 +1410,17 @@ fn load_gen_cmd(args: &[String]) {
                         failed.fetch_add(burst.len() + pending.len(), Ordering::Relaxed);
                         return;
                     }
+                    let burst_start = Instant::now();
                     let mut max_requeued_attempt = None::<u32>;
                     for (idx, attempts) in &burst {
                         let mut resp = String::new();
                         match reader.read_line(&mut resp) {
                             Ok(n) if n > 0 => {
                                 sent.fetch_add(1, Ordering::Relaxed);
+                                latencies
+                                    .lock()
+                                    .expect("lock")
+                                    .push(burst_start.elapsed().as_nanos() as u64);
                                 if resp.contains("\"ok\":true") {
                                     ok_count.fetch_add(1, Ordering::Relaxed);
                                 } else if shed_class(&resp) {
@@ -1234,6 +1472,22 @@ fn load_gen_cmd(args: &[String]) {
         "load-gen: {answered} responses in {elapsed:.1?} ({rate:.0} req/s): \
          {oks} ok, {sheds} shed-class, {retry_count} retried, {failures} failed"
     );
+    let mut lat = latencies.into_inner().expect("lock");
+    if !lat.is_empty() {
+        lat.sort_unstable();
+        let q = |p: f64| {
+            let idx = ((lat.len() - 1) as f64 * p).round() as usize;
+            pv_obs::humanize_ns(lat[idx] as f64)
+        };
+        println!(
+            "load-gen: latency min/p50/p95/p99/max = {}/{}/{}/{}/{} (client-side, pipelined)",
+            q(0.0),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            q(1.0)
+        );
+    }
     if let Some(first) = first_failure.lock().expect("lock").as_ref() {
         eprintln!("load-gen: first failure: {first}");
     }

@@ -57,9 +57,11 @@
 //!   `draining` — already-admitted requests are answered, new lines get
 //!   a typed `draining` rejection, then the dispatcher exits.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
@@ -73,6 +75,8 @@ use pv_core::resilience::{PvError, ServeFaultPlan};
 use pv_core::usecase1::FewRunsPredictor;
 use pv_core::usecase2::CrossSystemPredictor;
 use pv_core::{Artifact, Profile};
+use pv_obs::window::{RollingCounter, RollingHisto, WindowClock, WINDOWS};
+use pv_obs::{humanize_ns, telemetry::write_atomic, MetricsSnapshot};
 use pv_stats::ks::ks2_test;
 
 /// Default reconstruction sample count per prediction.
@@ -101,6 +105,13 @@ pub const SLOW_FAULT_REAL_CAP: Duration = Duration::from_millis(25);
 /// shutdown ack before abandoning the queue.
 const DRAIN_GRACE: Duration = Duration::from_millis(50);
 
+/// Default flight-recorder ring capacity (last N request events).
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
+
+/// Default windowed shed/timeout burst size (over the 10s window) that
+/// trips the flight recorder. `0` disables the burst triggers.
+pub const DEFAULT_ANOMALY_THRESHOLD: u64 = 32;
+
 /// The observability counters the serving layer emits. `pv.serve.request`
 /// counts every line answered; the `pv.serve.request.*` counters plus
 /// `pv.serve.shutdown` partition it by response kind; `pv.serve.batch`
@@ -110,6 +121,8 @@ const DRAIN_GRACE: Duration = Duration::from_millis(50);
 /// failures.
 pub const SERVE_OBS_COUNTERS: &[&str] = &[
     "pv.serve.batch",
+    "pv.serve.panic",
+    "pv.serve.recorder.trip",
     "pv.serve.reload",
     "pv.serve.reload.fail",
     "pv.serve.request",
@@ -121,6 +134,7 @@ pub const SERVE_OBS_COUNTERS: &[&str] = &[
     "pv.serve.request.ok",
     "pv.serve.request.overloaded",
     "pv.serve.request.reload",
+    "pv.serve.request.stats",
     "pv.serve.request.timeout",
     "pv.serve.shed",
     "pv.serve.shutdown",
@@ -186,9 +200,26 @@ pub enum Outcome {
     Reload,
     /// A shutdown request, acked.
     Shutdown,
+    /// A live-telemetry stats probe, answered.
+    Stats,
 }
 
 impl Outcome {
+    /// Every outcome, in the order the telemetry windows index them.
+    pub const ALL: [Outcome; 11] = [
+        Outcome::Ok,
+        Outcome::BadRequest,
+        Outcome::NotFound,
+        Outcome::Error,
+        Outcome::Timeout,
+        Outcome::Overloaded,
+        Outcome::Draining,
+        Outcome::Health,
+        Outcome::Reload,
+        Outcome::Shutdown,
+        Outcome::Stats,
+    ];
+
     /// The counter this outcome increments.
     pub fn counter(&self) -> &'static str {
         match self {
@@ -202,7 +233,42 @@ impl Outcome {
             Outcome::Health => "pv.serve.request.health",
             Outcome::Reload => "pv.serve.request.reload",
             Outcome::Shutdown => "pv.serve.shutdown",
+            Outcome::Stats => "pv.serve.request.stats",
         }
+    }
+
+    /// The short key used in stats JSON and access-log lines.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::BadRequest => "bad",
+            Outcome::NotFound => "not_found",
+            Outcome::Error => "error",
+            Outcome::Timeout => "timeout",
+            Outcome::Overloaded => "overloaded",
+            Outcome::Draining => "draining",
+            Outcome::Health => "health",
+            Outcome::Reload => "reload",
+            Outcome::Shutdown => "shutdown",
+            Outcome::Stats => "stats",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Outcome::ALL
+            .iter()
+            .position(|o| o == self)
+            .unwrap_or_default()
+    }
+
+    /// Whether this outcome answers a request-class line (a prediction
+    /// attempt or its typed rejection) rather than an operator verb —
+    /// the population the SLO error budget is charged against.
+    pub fn slo_eligible(&self) -> bool {
+        !matches!(
+            self,
+            Outcome::Health | Outcome::Reload | Outcome::Shutdown | Outcome::Stats
+        )
     }
 }
 
@@ -223,6 +289,7 @@ enum Parsed {
     Health { id: Option<Content> },
     Reload { id: Option<Content> },
     Shutdown { id: Option<Content> },
+    Stats { id: Option<Content> },
 }
 
 fn field<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
@@ -272,9 +339,10 @@ fn parse_request(line: &str) -> Result<Parsed, String> {
             "health" => return Ok(Parsed::Health { id }),
             "reload" => return Ok(Parsed::Reload { id }),
             "shutdown" => return Ok(Parsed::Shutdown { id }),
+            "stats" => return Ok(Parsed::Stats { id }),
             other => {
                 return Err(format!(
-                    "unknown op {other:?} (expected predict|health|reload|shutdown)"
+                    "unknown op {other:?} (expected predict|health|reload|shutdown|stats)"
                 ))
             }
         },
@@ -379,6 +447,446 @@ fn ok_response(
         ks_confidence.map_or(Content::Null, Content::F64),
     ));
     render(Content::Map(map))
+}
+
+// ---------------------------------------------------------------------
+// Live telemetry: tracing, rolling windows, SLO, flight recorder
+
+/// Configuration for the serving telemetry plane. Everything defaults
+/// off (no access log, no SLO, no recorder) but the rolling windows are
+/// always maintained — they are lock-free atomics, cheap enough to keep
+/// hot unconditionally (pinned by `benches/serve_throughput.rs`).
+#[derive(Clone)]
+pub struct TelemetryOpts {
+    /// The clock windowed metrics bucket against. Tests inject
+    /// [`WindowClock::manual`] to pin rotation deterministically.
+    pub clock: WindowClock,
+    /// Per-request JSONL access log path (`--access-log`).
+    pub access_log: Option<PathBuf>,
+    /// Latency SLO for the error budget (`--slo-ms`); a request-class
+    /// line that fails or answers slower than this burns budget.
+    pub slo: Option<Duration>,
+    /// Flight-recorder dump path (`--flight-recorder`); `None` disables
+    /// the recorder entirely.
+    pub recorder: Option<PathBuf>,
+    /// Ring capacity: the last N request events kept for post-mortem.
+    pub recorder_capacity: usize,
+    /// Windowed (10s) shed/timeout count that trips an anomaly dump;
+    /// `0` disables the burst triggers (panic/reload triggers stay).
+    pub anomaly_threshold: u64,
+}
+
+impl Default for TelemetryOpts {
+    fn default() -> Self {
+        TelemetryOpts {
+            clock: WindowClock::Monotonic,
+            access_log: None,
+            slo: None,
+            recorder: None,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            anomaly_threshold: DEFAULT_ANOMALY_THRESHOLD,
+        }
+    }
+}
+
+/// The SLO error budget: how many request-class answers were eligible
+/// and how many burned budget (non-`ok` outcome or latency over
+/// target). Both exact totals and rolling windows, so `{"op":"health"}`
+/// can report instantaneous burn rate.
+struct SloState {
+    target: Duration,
+    eligible: RollingCounter,
+    violations: RollingCounter,
+}
+
+/// One request's footprint in the flight-recorder ring.
+#[derive(Debug, Clone)]
+struct FlightEvent {
+    seq: u64,
+    outcome: Outcome,
+    model: Option<u64>,
+}
+
+/// A bounded ring of the last N request events plus a one-shot dump
+/// latch: the first anomaly (shed/timeout burst, worker panic, failed
+/// reload) writes the ring to disk as JSONL — a post-mortem of what the
+/// daemon was doing when things went wrong — and further anomalies are
+/// ignored so the first dump is never overwritten mid-incident.
+struct FlightRecorder {
+    capacity: usize,
+    path: PathBuf,
+    threshold: u64,
+    events: Mutex<VecDeque<FlightEvent>>,
+    tripped: AtomicBool,
+}
+
+impl FlightRecorder {
+    fn push(&self, event: FlightEvent) {
+        let mut ring = lock_mutex(&self.events);
+        if ring.len() >= self.capacity.max(1) {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Dumps the ring (first trigger only). Events are sorted by arrival
+    /// sequence so the dump is byte-stable whenever the event *set* is
+    /// deterministic (e.g. `--batch 1` plus an injected fault plan).
+    fn trip(&self, trigger: &str, seq: u64) {
+        if self.tripped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        pv_obs::counter_inc!("pv.serve.recorder.trip");
+        let mut events: Vec<FlightEvent> = lock_mutex(&self.events).iter().cloned().collect();
+        events.sort_by_key(|e| e.seq);
+        let mut out = format!(
+            "{{\"trigger\":\"{trigger}\",\"seq\":{seq},\"events\":{}}}\n",
+            events.len()
+        );
+        for e in &events {
+            let model = e
+                .model
+                .map_or_else(|| "null".to_string(), |m| format!("\"{m:016x}\""));
+            out.push_str(&format!(
+                "{{\"seq\":{},\"outcome\":\"{}\",\"model\":{}}}\n",
+                e.seq,
+                e.outcome.key(),
+                model
+            ));
+        }
+        if let Err(e) = write_atomic(&self.path, &out) {
+            eprintln!("pv-serve: flight-recorder dump failed: {e}");
+        }
+    }
+}
+
+/// Everything the access log needs about one answered request, held by
+/// the [`RecordHandle`] until the writer knows the write time.
+struct AccessRecord {
+    seq: u64,
+    outcome: Outcome,
+    model: Option<u64>,
+    queue_ns: u64,
+    predict_ns: u64,
+    virtual_ns: u64,
+}
+
+/// A pending access-log line: the response is sealed before it is
+/// written back, so the handle rides the [`Reply`] to the writer, which
+/// calls [`RecordHandle::finish`] with the measured write time after
+/// the flush. A handle dropped unfinished (client vanished, writer
+/// error) still logs its line with `write_ns: 0` — every counted
+/// request gets exactly one access-log line.
+pub struct RecordHandle {
+    telemetry: Arc<ServeTelemetry>,
+    rec: Option<AccessRecord>,
+}
+
+impl RecordHandle {
+    /// Logs the access line with the measured reply write time.
+    pub fn finish(mut self, write_ns: u64) {
+        if let Some(rec) = self.rec.take() {
+            self.telemetry.log_access(&rec, write_ns);
+        }
+    }
+}
+
+impl Drop for RecordHandle {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            self.telemetry.log_access(&rec, 0);
+        }
+    }
+}
+
+/// A sealed response on its way back to the client: the rendered text,
+/// whether it acks a shutdown, and the pending access-log record.
+pub struct Reply {
+    /// The response line (no trailing newline).
+    pub text: String,
+    /// `true` when this reply acks a shutdown request.
+    pub shutdown: bool,
+    /// The pending access-log line, if the log is configured.
+    pub record: Option<RecordHandle>,
+}
+
+/// An answered line before sealing: the rendered response plus what
+/// the telemetry plane needs to attribute it.
+struct Answered {
+    text: String,
+    outcome: Outcome,
+    model: Option<u64>,
+    virtual_ns: u64,
+    panicked: bool,
+}
+
+/// The latency breakdown and identity of one answered request, as
+/// sealed into the telemetry plane.
+pub struct RequestTrace {
+    /// Global arrival sequence (the request id in the access log).
+    pub seq: u64,
+    /// How the request was answered.
+    pub outcome: Outcome,
+    /// The model key the request named, when it got far enough to
+    /// parse one.
+    pub model: Option<u64>,
+    /// Admission-to-pickup wait.
+    pub queue_ns: u64,
+    /// Worker time spent answering (parse + predict + render).
+    pub predict_ns: u64,
+    /// Injected virtual delay counted against the deadline but not
+    /// actually slept (see [`SLOW_FAULT_REAL_CAP`]).
+    pub virtual_ns: u64,
+    /// Whether the worker panicked and the response is the typed
+    /// panic error.
+    pub panicked: bool,
+}
+
+/// The serving telemetry plane: always-on exact totals plus rolling
+/// 10s/1m/5m windows for every outcome and latency stage, the SLO
+/// error budget, the per-request access log, and the flight recorder.
+///
+/// Totals here are *independent* of `pv-obs` — plain atomics bumped on
+/// exactly the same code paths as the `pv.serve.*` counters — so
+/// `{"op":"stats"}` reconciles with the final metrics snapshot by
+/// construction, and works even when no obs collector is installed.
+pub struct ServeTelemetry {
+    clock: WindowClock,
+    requests: RollingCounter,
+    outcomes: Vec<RollingCounter>,
+    latency: RollingHisto,
+    queue_wait: RollingHisto,
+    predict: RollingHisto,
+    slo: Option<SloState>,
+    access: Option<Mutex<File>>,
+    recorder: Option<FlightRecorder>,
+}
+
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        // Default opts configure no file outputs, so this cannot fail.
+        ServeTelemetry::new(TelemetryOpts::default()).unwrap_or_else(|_| unreachable!())
+    }
+}
+
+impl ServeTelemetry {
+    /// Builds the telemetry plane, opening (appending to) the access
+    /// log when one is configured.
+    ///
+    /// # Errors
+    /// Fails when the access-log file cannot be opened.
+    pub fn new(opts: TelemetryOpts) -> io::Result<Self> {
+        let clock = opts.clock;
+        let access = match &opts.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
+        Ok(ServeTelemetry {
+            requests: RollingCounter::new(clock.clone()),
+            outcomes: Outcome::ALL
+                .iter()
+                .map(|_| RollingCounter::new(clock.clone()))
+                .collect(),
+            latency: RollingHisto::new(clock.clone()),
+            queue_wait: RollingHisto::new(clock.clone()),
+            predict: RollingHisto::new(clock.clone()),
+            slo: opts.slo.map(|target| SloState {
+                target,
+                eligible: RollingCounter::new(clock.clone()),
+                violations: RollingCounter::new(clock.clone()),
+            }),
+            access,
+            recorder: opts.recorder.map(|path| FlightRecorder {
+                capacity: opts.recorder_capacity,
+                path,
+                threshold: opts.anomaly_threshold,
+                events: Mutex::new(VecDeque::new()),
+                tripped: AtomicBool::new(false),
+            }),
+            clock,
+        })
+    }
+
+    /// The clock windowed metrics run on (tests advance a manual one).
+    pub fn clock(&self) -> &WindowClock {
+        &self.clock
+    }
+
+    /// Exact total requests sealed since startup.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.total()
+    }
+
+    /// Exact total for one outcome since startup.
+    pub fn total_outcome(&self, outcome: Outcome) -> u64 {
+        self.outcomes[outcome.index()].total()
+    }
+
+    /// The SLO error-budget block rendered into health/stats responses,
+    /// when an SLO is configured: target, eligible/violation totals,
+    /// and the burn fraction overall and per rolling window.
+    fn slo_content(&self) -> Option<Content> {
+        let slo = self.slo.as_ref()?;
+        let frac = |violations: u64, eligible: u64| {
+            Content::F64(if eligible == 0 {
+                0.0
+            } else {
+                violations as f64 / eligible as f64
+            })
+        };
+        let mut burn = vec![(
+            "total".to_string(),
+            frac(slo.violations.total(), slo.eligible.total()),
+        )];
+        for &(label, secs) in &WINDOWS {
+            burn.push((
+                label.to_string(),
+                frac(slo.violations.windowed(secs), slo.eligible.windowed(secs)),
+            ));
+        }
+        Some(Content::Map(vec![
+            (
+                "target_ms".to_string(),
+                Content::U64(slo.target.as_millis() as u64),
+            ),
+            ("eligible".to_string(), Content::U64(slo.eligible.total())),
+            (
+                "violations".to_string(),
+                Content::U64(slo.violations.total()),
+            ),
+            ("burn".to_string(), Content::Map(burn)),
+        ]))
+    }
+
+    /// Seals one answered request into the telemetry plane: windowed
+    /// counters, latency histograms, SLO budget, flight-recorder ring
+    /// and anomaly triggers. Returns the [`Reply`] carrying the pending
+    /// access-log record to the writer.
+    fn seal(self: &Arc<Self>, text: String, t: RequestTrace) -> Reply {
+        self.requests.inc();
+        self.outcomes[t.outcome.index()].inc();
+        self.queue_wait.record_ns(t.queue_ns);
+        self.predict.record_ns(t.predict_ns);
+        self.latency.record_ns(t.queue_ns + t.predict_ns);
+        if let Some(slo) = &self.slo {
+            if t.outcome.slo_eligible() {
+                slo.eligible.inc();
+                let served_ns = t.queue_ns + t.predict_ns + t.virtual_ns;
+                if t.outcome != Outcome::Ok || served_ns > slo.target.as_nanos() as u64 {
+                    slo.violations.inc();
+                }
+            }
+        }
+        if let Some(rec) = &self.recorder {
+            rec.push(FlightEvent {
+                seq: t.seq,
+                outcome: t.outcome,
+                model: t.model,
+            });
+            if t.panicked {
+                rec.trip("worker-panic", t.seq);
+            } else if rec.threshold > 0 {
+                let burst = |o: Outcome| self.outcomes[o.index()].windowed(10) >= rec.threshold;
+                match t.outcome {
+                    Outcome::Overloaded if burst(Outcome::Overloaded) => {
+                        rec.trip("shed-burst", t.seq);
+                    }
+                    Outcome::Timeout if burst(Outcome::Timeout) => {
+                        rec.trip("timeout-burst", t.seq);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let record = self.access.as_ref().map(|_| RecordHandle {
+            telemetry: Arc::clone(self),
+            rec: Some(AccessRecord {
+                seq: t.seq,
+                outcome: t.outcome,
+                model: t.model,
+                queue_ns: t.queue_ns,
+                predict_ns: t.predict_ns,
+                virtual_ns: t.virtual_ns,
+            }),
+        });
+        Reply {
+            text,
+            shutdown: t.outcome == Outcome::Shutdown,
+            record,
+        }
+    }
+
+    /// Trips the flight recorder for a non-request anomaly (a failed
+    /// reload). No-op without a recorder or after the first trip.
+    pub fn trip_recorder(&self, trigger: &str, seq: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.trip(trigger, seq);
+        }
+    }
+
+    fn log_access(&self, rec: &AccessRecord, write_ns: u64) {
+        let Some(file) = &self.access else { return };
+        let model = rec
+            .model
+            .map_or_else(|| "null".to_string(), |m| format!("\"{m:016x}\""));
+        let total_ns = rec.queue_ns + rec.predict_ns + write_ns;
+        let line = format!(
+            "{{\"req\":{},\"outcome\":\"{}\",\"model\":{},\"queue_ns\":{},\"predict_ns\":{},\"write_ns\":{},\"virtual_ns\":{},\"total_ns\":{}}}\n",
+            rec.seq,
+            rec.outcome.key(),
+            model,
+            rec.queue_ns,
+            rec.predict_ns,
+            write_ns,
+            rec.virtual_ns,
+            total_ns
+        );
+        let mut f = lock_mutex(file);
+        let _ = f.write_all(line.as_bytes());
+    }
+
+    /// A synthesized metrics snapshot from the telemetry plane's own
+    /// totals (counters are exact; the latency histogram covers the
+    /// trailing 5m window). This is what the periodic Prometheus flush
+    /// renders, so it works with or without an obs collector.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut counters = vec![pv_obs::metrics::CounterValue {
+            name: "pv.serve.request".into(),
+            value: self.requests.total(),
+        }];
+        for o in Outcome::ALL {
+            counters.push(pv_obs::metrics::CounterValue {
+                name: o.counter().into(),
+                value: self.total_outcome(o),
+            });
+        }
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let histo = |name: &str, h: &RollingHisto| {
+            let (edges, counts, count, sum_ns) = h.windowed_buckets(300);
+            pv_obs::metrics::HistogramValue {
+                name: name.into(),
+                scale: "log10".into(),
+                edges,
+                counts,
+                count,
+                sum: sum_ns as f64,
+            }
+        };
+        MetricsSnapshot {
+            counters,
+            gauges: Vec::new(),
+            histograms: vec![
+                histo("pv.serve.window.latency_ns", &self.latency),
+                histo("pv.serve.window.queue_wait_ns", &self.queue_wait),
+                histo("pv.serve.window.predict_ns", &self.predict),
+            ],
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -512,6 +1020,8 @@ pub struct ServeEngine {
     reload_lock: Mutex<()>,
     plan: ServeFaultPlan,
     deadline: Option<Duration>,
+    telemetry: Arc<ServeTelemetry>,
+    started: Instant,
 }
 
 impl ServeEngine {
@@ -525,6 +1035,8 @@ impl ServeEngine {
             reload_lock: Mutex::new(()),
             plan: ServeFaultPlan::none(),
             deadline: None,
+            telemetry: Arc::new(ServeTelemetry::default()),
+            started: Instant::now(),
         }
     }
 
@@ -579,6 +1091,19 @@ impl ServeEngine {
     pub fn with_fault_plan(mut self, plan: ServeFaultPlan) -> Self {
         self.plan = plan;
         self
+    }
+
+    /// Installs a configured telemetry plane (a default one is always
+    /// present — this swaps in one with an access log, SLO, recorder,
+    /// or injected clock).
+    pub fn with_telemetry(mut self, telemetry: ServeTelemetry) -> Self {
+        self.telemetry = Arc::new(telemetry);
+        self
+    }
+
+    /// The serving telemetry plane.
+    pub fn telemetry(&self) -> &Arc<ServeTelemetry> {
+        &self.telemetry
     }
 
     /// The installed chaos plan.
@@ -658,6 +1183,7 @@ impl ServeEngine {
         pv_obs::counter_inc!("pv.serve.reload");
         let whole_failure = |error: PvError, this: &Self| {
             pv_obs::counter_inc!("pv.serve.reload.fail");
+            this.telemetry.trip_recorder("reload-failed", attempt);
             this.set_health(true, Some(error.to_string()));
             ReloadReport {
                 loaded: 0,
@@ -740,7 +1266,8 @@ impl ServeEngine {
     /// counters. No deadline or chaos applies on this path (see
     /// [`Self::handle_timed`]).
     pub fn handle_line(&self, line: &str) -> (String, Outcome) {
-        self.answer(line, false)
+        let a = self.answer_full(line, false, false);
+        (a.text, a.outcome)
     }
 
     /// Answers one protocol line on the daemon path: applies the chaos
@@ -750,6 +1277,33 @@ impl ServeEngine {
     /// (real sleep capped at [`SLOW_FAULT_REAL_CAP`]), so timeout
     /// behavior is deterministic at any thread count.
     pub fn handle_timed(&self, line: &str, seq: u64, arrival: Instant) -> (String, Outcome) {
+        let a = self.timed_full(line, seq, arrival);
+        (a.text, a.outcome)
+    }
+
+    /// [`Self::handle_timed`] plus telemetry sealing: the full daemon
+    /// path. `arrival` doubles as the queue-wait anchor — the elapsed
+    /// time when a worker picks the job up is the queue wait, the rest
+    /// is worker time.
+    pub fn handle_timed_sealed(&self, line: &str, seq: u64, arrival: Instant) -> Reply {
+        let queue_ns = arrival.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        let a = self.timed_full(line, seq, arrival);
+        self.telemetry.seal(
+            a.text,
+            RequestTrace {
+                seq,
+                outcome: a.outcome,
+                model: a.model,
+                queue_ns,
+                predict_ns: start.elapsed().as_nanos() as u64,
+                virtual_ns: a.virtual_ns,
+                panicked: a.panicked,
+            },
+        )
+    }
+
+    fn timed_full(&self, line: &str, seq: u64, arrival: Instant) -> Answered {
         let mut penalty = Duration::ZERO;
         if let Some(delay_ms) = self.plan.slow_at(seq) {
             penalty = Duration::from_millis(delay_ms);
@@ -758,20 +1312,53 @@ impl ServeEngine {
         let expired = self
             .deadline
             .is_some_and(|d| arrival.elapsed() + penalty > d);
-        self.answer(line, expired)
+        let mut a = self.answer_full(line, expired, self.plan.panics_at(seq));
+        a.virtual_ns = penalty.as_nanos() as u64;
+        a
     }
 
-    fn answer(&self, line: &str, expired: bool) -> (String, Outcome) {
+    /// Answers a line with the worker hardened against panics: a panic
+    /// inside prediction (or an injected one) is caught, counted
+    /// (`pv.serve.panic`), and answered as a typed `panic` error — one
+    /// poisoned request never takes the daemon down.
+    fn answer_full(&self, line: &str, expired: bool, inject_panic: bool) -> Answered {
         pv_obs::counter_inc!("pv.serve.request");
         let start = Instant::now();
-        let (response, outcome) = self.respond(line, expired);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: worker panic");
+            }
+            self.respond(line, expired)
+        }));
+        let (text, outcome, model, panicked) = match result {
+            Ok((text, outcome, model)) => (text, outcome, model, false),
+            Err(_) => {
+                pv_obs::counter_inc!("pv.serve.panic");
+                (
+                    error_response(
+                        None,
+                        "panic",
+                        "worker panicked while answering; request aborted".into(),
+                    ),
+                    Outcome::Error,
+                    None,
+                    true,
+                )
+            }
+        };
         pv_obs::observe!(
             "pv.serve.latency_ns",
             pv_obs::metrics::BucketSpec::latency(),
             start.elapsed().as_nanos() as f64
         );
         pv_obs::counter_inc!(outcome.counter());
-        (response, outcome)
+        Answered {
+            text,
+            outcome,
+            model,
+            virtual_ns: 0,
+            panicked,
+        }
     }
 
     /// The typed response to a line that exceeded the daemon's length
@@ -786,6 +1373,29 @@ impl ServeEngine {
                 format!("request line exceeds {max_line} bytes"),
             ),
             Outcome::BadRequest,
+        )
+    }
+
+    /// [`Self::handle_oversized`] plus telemetry sealing.
+    pub fn handle_oversized_sealed(&self, seq: u64, max_line: usize) -> Reply {
+        let (text, outcome) = self.handle_oversized(max_line);
+        self.seal_immediate(text, outcome, seq)
+    }
+
+    /// Seals a reader-path response (shed, draining, oversized) that
+    /// never waited in the queue or reached a worker.
+    pub fn seal_immediate(&self, text: String, outcome: Outcome, seq: u64) -> Reply {
+        self.telemetry.seal(
+            text,
+            RequestTrace {
+                seq,
+                outcome,
+                model: None,
+                queue_ns: 0,
+                predict_ns: 0,
+                virtual_ns: 0,
+                panicked: false,
+            },
         )
     }
 
@@ -859,7 +1469,113 @@ impl ServeEngine {
         if let Some(note) = lock_mutex(&self.degraded_note).clone() {
             map.push(("note".to_string(), Content::Str(note)));
         }
+        if let Some(slo) = self.telemetry.slo_content() {
+            map.push(("slo".to_string(), slo));
+        }
         (render(Content::Map(map)), Outcome::Health)
+    }
+
+    /// The `{"op":"stats"}` response: exact per-outcome totals plus
+    /// rolling 10s/1m/5m windows (rates, latency quantiles) and the
+    /// SLO budget. When an obs collector is live, the raw `pv.serve.*`
+    /// counters ride along so clients can reconcile the two planes.
+    fn stats_response(&self, id: Option<Content>) -> (String, Outcome) {
+        let t = &self.telemetry;
+        let mut totals = vec![("requests".to_string(), Content::U64(t.total_requests()))];
+        for o in Outcome::ALL {
+            totals.push((o.key().to_string(), Content::U64(t.total_outcome(o))));
+        }
+        let windows = Content::Seq(
+            WINDOWS
+                .iter()
+                .map(|&(label, secs)| {
+                    let view = t.latency.view(label, secs);
+                    let opt_ns = |v: Option<f64>| {
+                        v.map_or(Content::Null, |ns| Content::U64(ns.round() as u64))
+                    };
+                    let opt_human = |v: Option<f64>| {
+                        v.map_or(Content::Null, |ns| Content::Str(humanize_ns(ns)))
+                    };
+                    Content::Map(vec![
+                        ("window".to_string(), Content::Str(label.to_string())),
+                        ("secs".to_string(), Content::U64(secs)),
+                        (
+                            "requests".to_string(),
+                            Content::U64(t.requests.windowed(secs)),
+                        ),
+                        ("rate".to_string(), Content::F64(t.requests.rate(secs))),
+                        (
+                            "ok".to_string(),
+                            Content::U64(t.outcomes[Outcome::Ok.index()].windowed(secs)),
+                        ),
+                        (
+                            "shed".to_string(),
+                            Content::U64(t.outcomes[Outcome::Overloaded.index()].windowed(secs)),
+                        ),
+                        (
+                            "timeout".to_string(),
+                            Content::U64(t.outcomes[Outcome::Timeout.index()].windowed(secs)),
+                        ),
+                        (
+                            "latency".to_string(),
+                            Content::Map(vec![
+                                ("count".to_string(), Content::U64(view.count)),
+                                ("mean_ns".to_string(), opt_ns(view.mean_ns)),
+                                ("mean".to_string(), opt_human(view.mean_ns)),
+                                ("p50_ns".to_string(), opt_ns(view.p50_ns)),
+                                ("p50".to_string(), opt_human(view.p50_ns)),
+                                ("p95_ns".to_string(), opt_ns(view.p95_ns)),
+                                ("p95".to_string(), opt_human(view.p95_ns)),
+                                ("p99_ns".to_string(), opt_ns(view.p99_ns)),
+                                ("p99".to_string(), opt_human(view.p99_ns)),
+                            ]),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut map = Vec::with_capacity(8);
+        if let Some(id) = id {
+            map.push(("id".to_string(), id));
+        }
+        map.push(("ok".to_string(), Content::Bool(true)));
+        map.push(("op".to_string(), Content::Str("stats".into())));
+        map.push((
+            "status".to_string(),
+            Content::Str(self.state().name().into()),
+        ));
+        map.push((
+            "uptime_s".to_string(),
+            Content::F64(self.started.elapsed().as_secs_f64()),
+        ));
+        map.push(("totals".to_string(), Content::Map(totals)));
+        map.push(("windows".to_string(), windows));
+        if let Some(slo) = t.slo_content() {
+            map.push(("slo".to_string(), slo));
+        }
+        if let Some(snapshot) = pv_obs::live_metrics_snapshot() {
+            let counters = snapshot
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("pv.serve."))
+                .map(|c| (c.name.clone(), Content::U64(c.value)))
+                .collect();
+            map.push(("counters".to_string(), Content::Map(counters)));
+        }
+        (render(Content::Map(map)), Outcome::Stats)
+    }
+
+    /// The stats document as a JSON line — what `--telemetry-out`
+    /// flushes periodically.
+    pub fn stats_json(&self) -> String {
+        self.stats_response(None).0
+    }
+
+    /// The Prometheus exposition of the telemetry plane's own snapshot
+    /// — what `--telemetry-prom` flushes periodically. Works without an
+    /// obs collector.
+    pub fn telemetry_prometheus(&self) -> String {
+        pv_obs::telemetry::render_prometheus(&self.telemetry.metrics_snapshot())
     }
 
     fn reload_response(&self, id: Option<Content>) -> (String, Outcome) {
@@ -908,7 +1624,7 @@ impl ServeEngine {
         (response, Outcome::Reload)
     }
 
-    fn respond(&self, line: &str, expired: bool) -> (String, Outcome) {
+    fn respond(&self, line: &str, expired: bool) -> (String, Outcome, Option<u64>) {
         let req = match parse_request(line) {
             Ok(Parsed::Shutdown { id }) => {
                 let mut map = Vec::with_capacity(3);
@@ -917,15 +1633,26 @@ impl ServeEngine {
                 }
                 map.push(("ok".to_string(), Content::Bool(true)));
                 map.push(("shutdown".to_string(), Content::Bool(true)));
-                return (render(Content::Map(map)), Outcome::Shutdown);
+                return (render(Content::Map(map)), Outcome::Shutdown, None);
             }
-            Ok(Parsed::Health { id }) => return self.health_response(id),
-            Ok(Parsed::Reload { id }) => return self.reload_response(id),
+            Ok(Parsed::Health { id }) => {
+                let (r, o) = self.health_response(id);
+                return (r, o, None);
+            }
+            Ok(Parsed::Reload { id }) => {
+                let (r, o) = self.reload_response(id);
+                return (r, o, None);
+            }
+            Ok(Parsed::Stats { id }) => {
+                let (r, o) = self.stats_response(id);
+                return (r, o, None);
+            }
             Ok(Parsed::Predict(req)) => req,
             Err(detail) => {
                 return (
                     error_response(None, "bad-request", detail),
                     Outcome::BadRequest,
+                    None,
                 )
             }
         };
@@ -941,6 +1668,7 @@ impl ServeEngine {
                     ),
                 ),
                 Outcome::Timeout,
+                Some(req.model),
             );
         }
         let snapshot = self.snapshot();
@@ -956,6 +1684,7 @@ impl ServeEngine {
                     ),
                 ),
                 Outcome::NotFound,
+                Some(req.model),
             );
         };
         // Hold the Arc, drop the snapshot reference: a reload swapping
@@ -980,6 +1709,7 @@ impl ServeEngine {
                             .into(),
                     ),
                     Outcome::BadRequest,
+                    Some(req.model),
                 ),
             },
         };
@@ -994,11 +1724,13 @@ impl ServeEngine {
                 (
                     ok_response(req.id, req.model, features, samples, ks_confidence),
                     Outcome::Ok,
+                    Some(req.model),
                 )
             }
             Err(e) => (
                 error_response(req.id, "invalid", e.to_string()),
                 Outcome::Error,
+                Some(req.model),
             ),
         }
     }
@@ -1017,13 +1749,13 @@ pub enum LineItem {
 }
 
 /// A queued request: the line, its global arrival sequence and arrival
-/// time (the deadline/chaos keys), and the reply slot its response goes
-/// back on (`true` marks the shutdown ack).
+/// time (the deadline/chaos keys), and the reply slot its sealed
+/// [`Reply`] goes back on.
 pub struct Job {
     item: LineItem,
     seq: u64,
     arrival: Instant,
-    reply: Sender<(String, bool)>,
+    reply: Sender<Reply>,
 }
 
 /// The bounded admission queue: a depth counter the readers enter
@@ -1232,10 +1964,10 @@ fn process_job(
     seq: u64,
     arrival: Instant,
     max_line: usize,
-) -> (String, Outcome) {
+) -> Reply {
     match item {
-        LineItem::Line(l) => engine.handle_timed(l, seq, arrival),
-        LineItem::Oversized => engine.handle_oversized(max_line),
+        LineItem::Line(l) => engine.handle_timed_sealed(l, seq, arrival),
+        LineItem::Oversized => engine.handle_oversized_sealed(seq, max_line),
     }
 }
 
@@ -1253,9 +1985,8 @@ fn drain_remaining(
         match jobs.recv_timeout(DRAIN_GRACE) {
             Ok(job) => {
                 admission.leave();
-                let (response, outcome) =
-                    process_job(engine, &job.item, job.seq, job.arrival, max_line);
-                let _ = job.reply.send((response, outcome == Outcome::Shutdown));
+                let reply = process_job(engine, &job.item, job.seq, job.arrival, max_line);
+                let _ = job.reply.send(reply);
             }
             Err(_) => return,
         }
@@ -1302,16 +2033,15 @@ pub fn run_batcher(
             .iter()
             .map(|j| (&j.item, j.seq, j.arrival))
             .collect();
-        let results: Vec<(String, Outcome)> = work
+        let results: Vec<Reply> = work
             .into_par_iter()
             .map(|(item, seq, arrival)| process_job(engine, item, seq, arrival, opts.max_line))
             .collect();
         let mut saw_shutdown = false;
-        for (job, (response, outcome)) in pending.iter().zip(results) {
-            let is_shutdown = outcome == Outcome::Shutdown;
-            saw_shutdown |= is_shutdown;
+        for (job, reply) in pending.iter().zip(results) {
+            saw_shutdown |= reply.shutdown;
             // A vanished client already closed its reply channel; fine.
-            let _ = job.reply.send((response, is_shutdown));
+            let _ = job.reply.send(reply);
         }
         if saw_shutdown {
             engine.begin_drain();
@@ -1340,7 +2070,7 @@ where
     // into their slot immediately while admitted jobs are answered by
     // the dispatcher — the writer consumes slots in order either way,
     // so pipelined clients always see responses in request order.
-    let (slots_tx, slots_rx) = mpsc::channel::<Receiver<(String, bool)>>();
+    let (slots_tx, slots_rx) = mpsc::channel::<Receiver<Reply>>();
     let ServeShared {
         engine,
         admission,
@@ -1351,7 +2081,7 @@ where
     std::thread::spawn(move || {
         let _ = read_lines_bounded(reader, max_line, |item| {
             let seq = seq.fetch_add(1, Ordering::SeqCst);
-            let (reply_tx, reply_rx) = mpsc::channel::<(String, bool)>();
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
             if slots_tx.send(reply_rx).is_err() {
                 return false; // Writer is gone; stop reading.
             }
@@ -1368,8 +2098,8 @@ where
                 None
             };
             match immediate {
-                Some((response, _)) => {
-                    let _ = reply_tx.send((response, false));
+                Some((response, outcome)) => {
+                    let _ = reply_tx.send(engine.seal_immediate(response, outcome, seq));
                     true
                 }
                 None => jobs
@@ -1384,25 +2114,32 @@ where
         });
     });
     for slot in slots_rx {
-        let Ok((response, is_shutdown)) = slot.recv() else {
+        let Ok(reply) = slot.recv() else {
             // The job's reply sender was dropped unanswered — the
             // daemon is coming down; stop writing.
             return Ok(false);
         };
-        if is_shutdown {
+        let write_start = Instant::now();
+        if reply.shutdown {
             // Best-effort ack: the client may legitimately hang up the
             // moment it has read the ack bytes, racing our trailing
             // newline/flush into an EPIPE. The daemon is coming down
             // either way, so a failed ack write must not eat the
             // shutdown signal.
-            let _ = writer.write_all(response.as_bytes());
+            let _ = writer.write_all(reply.text.as_bytes());
             let _ = writer.write_all(b"\n");
             let _ = writer.flush();
+            if let Some(record) = reply.record {
+                record.finish(write_start.elapsed().as_nanos() as u64);
+            }
             return Ok(true);
         }
-        writer.write_all(response.as_bytes())?;
+        writer.write_all(reply.text.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        if let Some(record) = reply.record {
+            record.finish(write_start.elapsed().as_nanos() as u64);
+        }
     }
     Ok(false)
 }
@@ -1730,5 +2467,264 @@ mod tests {
         assert!(report.swapped());
         assert_eq!(engine.state(), ServeState::Ok);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn parse(text: &str) -> Content {
+        let Json(content) =
+            serde_json::from_str(text).unwrap_or_else(|e| panic!("bad json {e}: {text}"));
+        content
+    }
+
+    /// Walks a dotted path through nested [`Content`] maps.
+    fn get<'a>(doc: &'a Content, path: &str) -> &'a Content {
+        let mut cur = doc;
+        for key in path.split('.') {
+            let Content::Map(map) = cur else {
+                panic!("{path}: {key} is not inside a map: {cur:?}")
+            };
+            cur = &map
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{path}: missing key {key} in {map:?}"))
+                .1;
+        }
+        cur
+    }
+
+    fn get_u64(doc: &Content, path: &str) -> u64 {
+        match get(doc, path) {
+            Content::U64(v) => *v,
+            Content::I64(v) => *v as u64,
+            other => panic!("{path}: not an integer: {other:?}"),
+        }
+    }
+
+    fn get_f64(doc: &Content, path: &str) -> f64 {
+        match get(doc, path) {
+            Content::F64(v) => *v,
+            Content::U64(v) => *v as f64,
+            Content::I64(v) => *v as f64,
+            other => panic!("{path}: not a number: {other:?}"),
+        }
+    }
+
+    fn get_str<'a>(doc: &'a Content, path: &str) -> &'a str {
+        match get(doc, path) {
+            Content::Str(s) => s.as_str(),
+            other => panic!("{path}: not a string: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_op_reports_totals_windows_and_counts_itself() {
+        let (engine, key, corpus) = tiny_engine();
+        let engine = Arc::new(engine);
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        for seq in 0..3 {
+            let reply = engine.handle_timed_sealed(&line, seq, Instant::now());
+            assert!(reply.text.contains("\"ok\":true"), "{}", reply.text);
+        }
+        let reply = engine.handle_timed_sealed("{\"op\": \"stats\", \"id\": 8}", 3, Instant::now());
+        let doc = parse(&reply.text);
+        assert_eq!(get(&doc, "ok"), &Content::Bool(true), "{doc:?}");
+        assert_eq!(get_str(&doc, "op"), "stats");
+        assert_eq!(get_u64(&doc, "id"), 8);
+        assert_eq!(get_str(&doc, "status"), "ok");
+        // The stats reply is rendered before its own seal: 3 sealed.
+        assert_eq!(get_u64(&doc, "totals.requests"), 3);
+        assert_eq!(get_u64(&doc, "totals.ok"), 3);
+        assert_eq!(get_u64(&doc, "totals.timeout"), 0);
+        let Content::Seq(windows) = get(&doc, "windows") else {
+            panic!("windows is not a list: {doc:?}")
+        };
+        assert_eq!(windows.len(), WINDOWS.len());
+        for w in windows {
+            assert_eq!(get_u64(w, "requests"), 3, "{w:?}");
+            assert_eq!(get_u64(w, "ok"), 3, "{w:?}");
+            assert_eq!(get_u64(w, "latency.count"), 3, "{w:?}");
+            assert!(get_u64(w, "latency.p50_ns") > 0, "{w:?}");
+            assert!(get_f64(w, "rate") > 0.0, "{w:?}");
+        }
+        // Afterwards the stats request itself is sealed too.
+        assert_eq!(engine.telemetry().total_requests(), 4);
+        assert_eq!(engine.telemetry().total_outcome(Outcome::Stats), 1);
+        // The deadline never applies to stats.
+        let engine2 = ServeEngine::from_models(HashMap::new()).with_deadline(Some(Duration::ZERO));
+        let (resp, outcome) = engine2.handle_timed("{\"op\": \"stats\"}", 0, Instant::now());
+        assert_eq!(outcome, Outcome::Stats, "{resp}");
+    }
+
+    #[test]
+    fn injected_worker_panic_is_caught_typed_and_isolated() {
+        pv_core::resilience::silence_injected_panics();
+        let (engine, key, corpus) = tiny_engine();
+        let engine = Arc::new(engine.with_fault_plan(ServeFaultPlan::none().inject_panic(1)));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        let before = engine.handle_timed_sealed(&line, 0, Instant::now());
+        assert!(before.text.contains("\"ok\":true"), "{}", before.text);
+        let panicked = engine.handle_timed_sealed(&line, 1, Instant::now());
+        let doc = parse(&panicked.text);
+        assert_eq!(get(&doc, "ok"), &Content::Bool(false), "{doc:?}");
+        assert_eq!(get_str(&doc, "error.kind"), "panic", "{doc:?}");
+        // The engine keeps serving bit-identically after the panic.
+        let after = engine.handle_timed_sealed(&line, 2, Instant::now());
+        assert_eq!(before.text, after.text);
+        assert_eq!(engine.telemetry().total_requests(), 3);
+        assert_eq!(engine.telemetry().total_outcome(Outcome::Error), 1);
+        assert_eq!(engine.telemetry().total_outcome(Outcome::Ok), 2);
+    }
+
+    #[test]
+    fn slo_budget_burns_on_failures_and_skips_ops() {
+        let (engine, key, corpus) = tiny_engine();
+        let telemetry = ServeTelemetry::new(TelemetryOpts {
+            slo: Some(Duration::from_secs(3600)),
+            ..TelemetryOpts::default()
+        })
+        .expect("telemetry");
+        let engine = Arc::new(engine.with_telemetry(telemetry));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        for seq in 0..4 {
+            engine.handle_timed_sealed(&line, seq, Instant::now());
+        }
+        // A bad request burns budget; ops never enter the budget.
+        engine.handle_timed_sealed("this is not json", 4, Instant::now());
+        engine.handle_timed_sealed("{\"op\": \"health\"}", 5, Instant::now());
+        let (health, _) = engine.handle_line("{\"op\": \"health\"}");
+        let doc = parse(&health);
+        assert_eq!(get_u64(&doc, "slo.target_ms"), 3_600_000, "{doc:?}");
+        assert_eq!(get_u64(&doc, "slo.eligible"), 5, "{doc:?}");
+        assert_eq!(get_u64(&doc, "slo.violations"), 1, "{doc:?}");
+        let burn = get_f64(&doc, "slo.burn.total");
+        assert!((burn - 0.2).abs() < 1e-12, "{doc:?}");
+        // The stats document carries the same block.
+        let stats = parse(&engine.stats_json());
+        assert_eq!(get_u64(&stats, "slo.eligible"), 5, "{stats:?}");
+    }
+
+    #[test]
+    fn slo_violation_when_latency_exceeds_target() {
+        let (engine, key, corpus) = tiny_engine();
+        let telemetry = ServeTelemetry::new(TelemetryOpts {
+            slo: Some(Duration::from_millis(1)),
+            ..TelemetryOpts::default()
+        })
+        .expect("telemetry");
+        // A 10-minute virtual delay with a generous deadline: the
+        // request still answers `ok`, but far over the 1ms target.
+        let engine = Arc::new(
+            engine
+                .with_deadline(Some(Duration::from_secs(3600)))
+                .with_fault_plan(ServeFaultPlan::none().inject_slow(0, 600_000))
+                .with_telemetry(telemetry),
+        );
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let reply = engine.handle_timed_sealed(&request_line(key, &profile), 0, Instant::now());
+        assert!(reply.text.contains("\"ok\":true"), "{}", reply.text);
+        let doc = parse(&engine.stats_json());
+        assert_eq!(get_u64(&doc, "slo.eligible"), 1, "{doc:?}");
+        assert_eq!(get_u64(&doc, "slo.violations"), 1, "{doc:?}");
+    }
+
+    #[test]
+    fn flight_recorder_trips_once_on_shed_burst() {
+        let dump = std::env::temp_dir().join(format!(
+            "pv-serve-unit-recorder-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dump);
+        let (engine, _, _) = tiny_engine();
+        let telemetry = ServeTelemetry::new(TelemetryOpts {
+            recorder: Some(dump.clone()),
+            recorder_capacity: 4,
+            anomaly_threshold: 2,
+            ..TelemetryOpts::default()
+        })
+        .expect("telemetry");
+        let engine = Arc::new(engine.with_telemetry(telemetry));
+        assert!(!dump.exists(), "recorder must not dump before an anomaly");
+        for seq in 0..2 {
+            let (text, outcome) = engine.handle_shed("queue full".into());
+            engine.seal_immediate(text, outcome, seq);
+        }
+        assert!(dump.exists(), "two sheds in 10s must trip the recorder");
+        let first = std::fs::read_to_string(&dump).expect("dump");
+        let mut lines = first.lines();
+        let header = parse(lines.next().expect("header"));
+        assert_eq!(get_str(&header, "trigger"), "shed-burst", "{header:?}");
+        assert_eq!(get_u64(&header, "seq"), 1, "{header:?}");
+        assert_eq!(get_u64(&header, "events"), 2, "{header:?}");
+        let ring: Vec<Content> = lines.map(parse).collect();
+        assert_eq!(ring.len(), 2, "{first}");
+        assert_eq!(get_u64(&ring[0], "seq"), 0);
+        assert_eq!(get_str(&ring[0], "outcome"), "overloaded");
+        assert_eq!(get_u64(&ring[1], "seq"), 1);
+        // The latch is one-shot: later anomalies never overwrite the
+        // first post-mortem.
+        let (text, outcome) = engine.handle_shed("queue full".into());
+        engine.seal_immediate(text, outcome, 2);
+        engine.telemetry().trip_recorder("reload-failed", 9);
+        assert_eq!(std::fs::read_to_string(&dump).expect("dump"), first);
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
+    fn access_log_writes_exactly_one_reconciling_line_per_request() {
+        let log =
+            std::env::temp_dir().join(format!("pv-serve-unit-access-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&log);
+        let (engine, key, corpus) = tiny_engine();
+        let telemetry = ServeTelemetry::new(TelemetryOpts {
+            access_log: Some(log.clone()),
+            ..TelemetryOpts::default()
+        })
+        .expect("telemetry");
+        let engine = Arc::new(engine.with_telemetry(telemetry));
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        let line = request_line(key, &profile);
+        // finish() logs the measured write time; a dropped handle (the
+        // client vanished) still logs its line with write_ns 0.
+        let finished = engine.handle_timed_sealed(&line, 0, Instant::now());
+        finished.record.expect("record").finish(77);
+        let dropped = engine.handle_timed_sealed("not json", 1, Instant::now());
+        drop(dropped);
+        let text = std::fs::read_to_string(&log).expect("access log");
+        let entries: Vec<Content> = text.lines().map(parse).collect();
+        assert_eq!(entries.len(), 2, "{text}");
+        assert_eq!(get_u64(&entries[0], "req"), 0);
+        assert_eq!(get_str(&entries[0], "outcome"), "ok");
+        assert_eq!(get_str(&entries[0], "model"), format!("{key:016x}"));
+        assert_eq!(get_u64(&entries[0], "write_ns"), 77);
+        assert_eq!(get_u64(&entries[1], "req"), 1);
+        assert_eq!(get_str(&entries[1], "outcome"), "bad");
+        assert_eq!(get(&entries[1], "model"), &Content::Null);
+        assert_eq!(get_u64(&entries[1], "write_ns"), 0);
+        for e in &entries {
+            let total = get_u64(e, "queue_ns") + get_u64(e, "predict_ns") + get_u64(e, "write_ns");
+            assert_eq!(get_u64(e, "total_ns"), total, "{e:?}");
+        }
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn telemetry_prometheus_renders_without_a_collector() {
+        let (engine, key, corpus) = tiny_engine();
+        let engine = Arc::new(engine);
+        let profile = Profile::from_runs(&corpus.benchmarks[0].runs, 10).expect("profile");
+        engine.handle_timed_sealed(&request_line(key, &profile), 0, Instant::now());
+        let prom = engine.telemetry_prometheus();
+        assert!(
+            prom.contains("pv_serve_request 1"),
+            "exact totals must render without an obs collector:\n{prom}"
+        );
+        assert!(prom.contains("pv_serve_request_ok 1"), "{prom}");
+        assert!(
+            prom.contains("pv_serve_window_latency_ns_count 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("pv_serve_window_latency_ns_bucket"), "{prom}");
     }
 }

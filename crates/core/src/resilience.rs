@@ -446,6 +446,10 @@ pub enum ServeFaultKind {
     /// before any artifact is read (exercises the keep-old-snapshot,
     /// mark-degraded path).
     ReloadIo,
+    /// The worker answering the targeted request panics mid-prediction
+    /// (exercises the catch-unwind isolation: a typed `panic` error
+    /// response, `pv.serve.panic` counted, daemon stays up).
+    Panic,
 }
 
 /// One injected serving fault: `kind` fires at arrival sequence (or
@@ -469,8 +473,9 @@ pub struct ServeFault {
 ///
 /// The CLI spec grammar (`--inject-serve`) is comma-separated:
 /// `slow@SEQ:MS` (virtual `MS`-millisecond delay at request `SEQ`),
-/// `shed@SEQ` (forced shed at request `SEQ`), and `reload-io@N`
-/// (registry I/O failure at reload attempt `N`).
+/// `shed@SEQ` (forced shed at request `SEQ`), `reload-io@N`
+/// (registry I/O failure at reload attempt `N`), and `panic@SEQ`
+/// (worker panic answering request `SEQ`).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeFaultPlan {
     faults: Vec<ServeFault>,
@@ -520,6 +525,15 @@ impl ServeFaultPlan {
         self
     }
 
+    /// Adds a worker panic at request sequence `seq`.
+    pub fn inject_panic(mut self, seq: u64) -> Self {
+        self.faults.push(ServeFault {
+            seq,
+            kind: ServeFaultKind::Panic,
+        });
+        self
+    }
+
     /// The virtual delay (ms) injected at request sequence `seq`, if any.
     pub fn slow_at(&self, seq: u64) -> Option<u64> {
         self.faults.iter().find_map(|f| match f.kind {
@@ -541,6 +555,13 @@ impl ServeFaultPlan {
         self.faults
             .iter()
             .any(|f| f.seq == attempt && f.kind == ServeFaultKind::ReloadIo)
+    }
+
+    /// Whether the worker answering request sequence `seq` panics.
+    pub fn panics_at(&self, seq: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.seq == seq && f.kind == ServeFaultKind::Panic)
     }
 }
 
@@ -578,9 +599,15 @@ impl std::str::FromStr for ServeFaultPlan {
                         .map_err(|_| format!("bad attempt in '{part}'"))?;
                     plan = plan.inject_reload_io(attempt);
                 }
+                "panic" => {
+                    let seq = at
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad sequence in '{part}'"))?;
+                    plan = plan.inject_panic(seq);
+                }
                 other => {
                     return Err(format!(
-                        "unknown serve fault kind '{other}' (expected slow|shed|reload-io)"
+                        "unknown serve fault kind '{other}' (expected slow|shed|reload-io|panic)"
                     ))
                 }
             }

@@ -131,9 +131,31 @@ pub fn span_stats(events: &[TraceEvent]) -> Vec<SpanStats> {
 }
 
 /// Formats nanoseconds for humans: `532ns`, `4.21µs`, `18.3ms`, `2.05s`.
+///
+/// Covers the full range rather than falling off the unit table: values
+/// below 1ns render in picoseconds (`250ps`, `0ps` for zero) and values of
+/// 1000s and beyond roll into minutes/hours/days (`16.7m`, `2.5h`, `3.1d`)
+/// instead of `5000s`.
 pub fn humanize_ns(ns: f64) -> String {
     if !ns.is_finite() {
         return "-".to_string();
+    }
+    if ns < 0.0 {
+        return format!("-{}", humanize_ns(-ns));
+    }
+    if ns < 1.0 {
+        return format!("{:.0}ps", ns * 1e3);
+    }
+    if ns >= 1000e9 {
+        let secs = ns / 1e9;
+        let (value, unit) = if secs < 6000.0 {
+            (secs / 60.0, "m")
+        } else if secs < 144_000.0 {
+            (secs / 3600.0, "h")
+        } else {
+            (secs / 86_400.0, "d")
+        };
+        return format!("{value:.1}{unit}");
     }
     let (value, unit) = if ns < 1e3 {
         (ns, "ns")
@@ -343,6 +365,22 @@ mod tests {
         assert_eq!(humanize_ns(4_210.0), "4.21µs");
         assert_eq!(humanize_ns(18_300_000.0), "18.3ms");
         assert_eq!(humanize_ns(2_050_000_000.0), "2.05s");
+    }
+
+    #[test]
+    fn humanize_ns_covers_the_extremes() {
+        // Sub-nanosecond no longer renders as a bare "0ns".
+        assert_eq!(humanize_ns(0.25), "250ps");
+        assert_eq!(humanize_ns(0.0), "0ps");
+        // ≥1000s rolls into minutes/hours/days instead of "5000s".
+        assert_eq!(humanize_ns(1_000e9), "16.7m");
+        assert_eq!(humanize_ns(9_000e9), "2.5h");
+        assert_eq!(humanize_ns(864_000e9), "10.0d");
+        // The boundary just below still uses seconds.
+        assert_eq!(humanize_ns(999e9), "999s");
+        assert_eq!(humanize_ns(-4_210.0), "-4.21µs");
+        assert_eq!(humanize_ns(f64::NAN), "-");
+        assert_eq!(humanize_ns(f64::INFINITY), "-");
     }
 
     #[test]

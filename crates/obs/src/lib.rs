@@ -47,14 +47,19 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod telemetry;
+pub mod window;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
-pub use export::{read_metrics, read_trace, render_summary, write_metrics, write_trace};
+pub use export::{
+    humanize_ns, read_metrics, read_trace, render_summary, write_metrics, write_trace,
+};
 pub use metrics::{BucketSpec, MetricsSnapshot};
 pub use span::TraceEvent;
+pub use window::{RollingCounter, RollingHisto, WindowClock, WindowView, WINDOWS};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -106,6 +111,18 @@ impl Collector {
         Collector { _session: session }
     }
 
+    /// A point-in-time metrics snapshot **without** ending the session.
+    ///
+    /// The batch lifecycle (`install` → work → `finish`) cannot serve a
+    /// daemon that must answer "what are the counters *now*" mid-run; this
+    /// reads the live registry non-destructively, so `{"op":"stats"}` and
+    /// periodic telemetry flushes can snapshot while recording continues.
+    /// Code that holds no `Collector` handle (worker threads) can use the
+    /// free function [`live_metrics_snapshot`] instead.
+    pub fn snapshot_now(&self) -> MetricsSnapshot {
+        metrics::registry().snapshot()
+    }
+
     /// Ends the session and returns the captured trace and a metrics
     /// snapshot.
     ///
@@ -129,6 +146,14 @@ impl Drop for Collector {
         // still stop recording before releasing the session mutex.
         ENABLED.store(false, Ordering::SeqCst);
     }
+}
+
+/// A live metrics snapshot when a [`Collector`] is installed, else `None`.
+///
+/// The handle-free counterpart of [`Collector::snapshot_now`] for code
+/// (e.g. daemon worker threads) that cannot reach the collector object.
+pub fn live_metrics_snapshot() -> Option<MetricsSnapshot> {
+    enabled().then(|| metrics::registry().snapshot())
 }
 
 /// Everything one collector session captured.

@@ -52,8 +52,8 @@ impl BucketSpec {
     }
 
     /// The grid template plus whether observations are `log10`-transformed
-    /// before bucketing.
-    fn grid(&self) -> (StatsHistogram, bool) {
+    /// before bucketing (shared with the [`crate::window`] ring slots).
+    pub(crate) fn grid(&self) -> (StatsHistogram, bool) {
         match *self {
             BucketSpec::Linear { lo, hi, bins } => {
                 let grid = StatsHistogram::new(lo, hi, bins.max(1)).unwrap_or_else(|_| {

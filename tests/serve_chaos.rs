@@ -550,3 +550,257 @@ fn malformed_flood_and_vanishing_client_do_not_wedge_the_daemon() {
     wait_exit_ok(child);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Extracts the integer following `"key":` from a flat JSON line the
+/// daemon rendered (no nested maps between the key and its value).
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {line}"));
+    let rest = &line[at + pat.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is not an integer in {line}"))
+}
+
+/// Extracts the string following `"key":"` from a rendered JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {line}"));
+    let rest = &line[at + pat.len()..];
+    &rest[..rest
+        .find('"')
+        .unwrap_or_else(|| panic!("unterminated {key} in {line}"))]
+}
+
+/// `{"op":"stats"}` under deterministic chaos: windowed counts and
+/// exact totals reconcile three ways — the stats document, the JSONL
+/// access log tally, and the exported `pv.serve.*` counters all
+/// describe the same 10 requests, and every access-log latency
+/// breakdown sums to its own total.
+#[test]
+fn stats_verb_reconciles_with_access_log_and_counters_under_chaos() {
+    let dir = tmp_dir("stats");
+    let (corpus, key) = seed_registry(&dir);
+    let metrics = dir.join("METRICS.json");
+    let access = dir.join("access.jsonl");
+    let metrics_str = metrics.to_string_lossy().into_owned();
+    let access_str = access.to_string_lossy().into_owned();
+    let (child, mut stdin, mut stdout) = spawn_stdio(
+        &dir,
+        &[
+            "--batch",
+            "1",
+            "--deadline-ms",
+            "10000",
+            "--slo-ms",
+            "10000",
+            "--inject-serve",
+            "slow@2:600000,shed@4",
+            "--metrics-out",
+            &metrics_str,
+            "--access-log",
+            &access_str,
+        ],
+    );
+
+    // One-at-a-time so arrival sequence == reply order, deterministic.
+    for i in 0..8 {
+        send(&mut stdin, &request_line(key, &corpus, i % corpus.len(), i));
+        let reply = recv(&mut stdout);
+        match i {
+            2 => assert!(reply.contains("\"timeout\""), "seq {i}: {reply}"),
+            4 => assert!(reply.contains("\"overloaded\""), "seq {i}: {reply}"),
+            _ => assert!(reply.contains("\"ok\":true"), "seq {i}: {reply}"),
+        }
+    }
+
+    send(&mut stdin, "{\"op\": \"stats\", \"id\": 50}");
+    let stats = recv(&mut stdout);
+    assert!(stats.contains("\"op\":\"stats\""), "{stats}");
+    assert!(stats.contains("\"id\":50"), "{stats}");
+    // Exact totals at render time: the 8 predicts, sealed in order.
+    let totals_at = stats.find("\"totals\":{").expect("totals block");
+    let totals = &stats[totals_at..stats[totals_at..].find('}').unwrap() + totals_at];
+    assert_eq!(field_u64(totals, "requests"), 8, "{stats}");
+    assert_eq!(field_u64(totals, "ok"), 6, "{stats}");
+    assert_eq!(field_u64(totals, "timeout"), 1, "{stats}");
+    assert_eq!(field_u64(totals, "overloaded"), 1, "{stats}");
+    assert_eq!(field_u64(totals, "stats"), 0, "{stats}");
+    // The 5m window has seen the whole session.
+    let w5_at = stats.find("\"window\":\"5m\"").expect("5m window");
+    let w5 = &stats[w5_at..];
+    assert_eq!(field_u64(w5, "requests"), 8, "{stats}");
+    assert_eq!(field_u64(w5, "ok"), 6, "{stats}");
+    assert_eq!(field_u64(w5, "shed"), 1, "{stats}");
+    assert_eq!(field_u64(w5, "timeout"), 1, "{stats}");
+    // SLO budget: all 8 predicts eligible, timeout + shed burned it.
+    let slo_at = stats.find("\"slo\":{").expect("slo block");
+    let slo = &stats[slo_at..];
+    assert_eq!(field_u64(slo, "eligible"), 8, "{stats}");
+    assert_eq!(field_u64(slo, "violations"), 2, "{stats}");
+
+    send(&mut stdin, "{\"shutdown\": true}");
+    let ack = recv(&mut stdout);
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    drop(stdin);
+    wait_exit_ok(child);
+
+    // The access log: exactly one line per request, in arrival order,
+    // each breakdown summing to its own total.
+    let log = fs::read_to_string(&access).expect("access log");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 10, "{log}");
+    let mut tally: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(field_u64(line, "req"), i as u64, "{line}");
+        *tally.entry(field_str(line, "outcome")).or_default() += 1;
+        let sum = field_u64(line, "queue_ns")
+            + field_u64(line, "predict_ns")
+            + field_u64(line, "write_ns");
+        assert_eq!(field_u64(line, "total_ns"), sum, "{line}");
+    }
+    assert_eq!(tally.get("ok"), Some(&6), "{tally:?}");
+    assert_eq!(tally.get("timeout"), Some(&1), "{tally:?}");
+    assert_eq!(tally.get("overloaded"), Some(&1), "{tally:?}");
+    assert_eq!(tally.get("stats"), Some(&1), "{tally:?}");
+    assert_eq!(tally.get("shutdown"), Some(&1), "{tally:?}");
+    // The faulted request carries its virtual (injected) delay.
+    assert_eq!(
+        field_u64(lines[2], "virtual_ns"),
+        600_000 * 1_000_000,
+        "{}",
+        lines[2]
+    );
+
+    // And the exported counters agree with both.
+    assert_eq!(counter(&metrics, "pv.serve.request"), 10);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), 6);
+    assert_eq!(counter(&metrics, "pv.serve.request.timeout"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.request.overloaded"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.request.stats"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.shutdown"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.shed"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A shed burst over the anomaly threshold trips the flight recorder
+/// exactly once; the post-mortem dump pins the ring contents and is
+/// byte-identical across a rerun of the same deterministic chaos plan.
+#[test]
+fn flight_recorder_dump_is_byte_stable_across_reruns() {
+    let dir = tmp_dir("recorder");
+    let (corpus, key) = seed_registry(&dir);
+    let mut lines: Vec<String> = (0..4)
+        .map(|i| request_line(key, &corpus, i % corpus.len(), i))
+        .collect();
+    lines.push("{\"shutdown\": true}".to_string());
+
+    let mut dumps = Vec::new();
+    for run in 0..2 {
+        let dump = dir.join(format!("flight-{run}.jsonl"));
+        let dump_str = dump.to_string_lossy().into_owned();
+        let (child, stdin, stdout) = spawn_stdio(
+            &dir,
+            &[
+                "--batch",
+                "1",
+                "--inject-serve",
+                "shed@0,shed@1,shed@2",
+                "--flight-recorder",
+                &dump_str,
+                "--anomaly-threshold",
+                "3",
+                "--recorder-capacity",
+                "8",
+            ],
+        );
+        let replies = session(stdin, stdout, &lines);
+        wait_exit_ok(child);
+        assert_eq!(replies.len(), 5, "{replies:?}");
+        for reply in &replies[..3] {
+            assert!(reply.contains("\"overloaded\""), "{reply}");
+        }
+        assert!(replies[3].contains("\"ok\":true"), "{}", replies[3]);
+        dumps.push(fs::read_to_string(&dump).expect("flight dump"));
+    }
+    assert_eq!(
+        dumps[0], dumps[1],
+        "the post-mortem must be byte-stable across reruns"
+    );
+    let dump: Vec<&str> = dumps[0].lines().collect();
+    assert_eq!(dump.len(), 4, "{}", dumps[0]);
+    assert_eq!(field_str(dump[0], "trigger"), "shed-burst", "{}", dump[0]);
+    assert_eq!(field_u64(dump[0], "seq"), 2, "{}", dump[0]);
+    assert_eq!(field_u64(dump[0], "events"), 3, "{}", dump[0]);
+    for (i, event) in dump[1..].iter().enumerate() {
+        assert_eq!(field_u64(event, "seq"), i as u64, "{event}");
+        assert_eq!(field_str(event, "outcome"), "overloaded", "{event}");
+        assert!(event.contains("\"model\":null"), "{event}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An injected worker panic is caught per-request: the victim gets a
+/// typed `panic` error, the daemon survives to answer the next request
+/// bit-identically, the panic counter ticks, and the flight recorder
+/// trips with the `worker-panic` trigger.
+#[test]
+fn injected_panic_is_survived_typed_and_trips_the_recorder() {
+    let dir = tmp_dir("panic");
+    let (corpus, key) = seed_registry(&dir);
+    let metrics = dir.join("METRICS.json");
+    let dump = dir.join("flight.jsonl");
+    let metrics_str = metrics.to_string_lossy().into_owned();
+    let dump_str = dump.to_string_lossy().into_owned();
+    let (child, mut stdin, mut stdout) = spawn_stdio(
+        &dir,
+        &[
+            "--batch",
+            "1",
+            "--inject-serve",
+            "panic@1",
+            "--metrics-out",
+            &metrics_str,
+            "--flight-recorder",
+            &dump_str,
+        ],
+    );
+
+    let line = request_line(key, &corpus, 0, 7);
+    send(&mut stdin, &line);
+    let before = recv(&mut stdout);
+    assert!(before.contains("\"ok\":true"), "{before}");
+
+    send(&mut stdin, &request_line(key, &corpus, 1, 8));
+    let crashed = recv(&mut stdout);
+    assert!(crashed.contains("\"ok\":false"), "{crashed}");
+    assert!(crashed.contains("\"panic\""), "{crashed}");
+
+    // The worker pool survives: the same request answers bit-identically.
+    send(&mut stdin, &line);
+    let after = recv(&mut stdout);
+    assert_eq!(before, after, "daemon must serve identically after a panic");
+
+    send(&mut stdin, "{\"shutdown\": true}");
+    let ack = recv(&mut stdout);
+    assert!(ack.contains("\"shutdown\":true"), "{ack}");
+    drop(stdin);
+    wait_exit_ok(child);
+
+    let post_mortem = fs::read_to_string(&dump).expect("flight dump");
+    let first = post_mortem.lines().next().expect("header");
+    assert_eq!(field_str(first, "trigger"), "worker-panic", "{post_mortem}");
+    assert_eq!(field_u64(first, "seq"), 1, "{post_mortem}");
+
+    assert_eq!(counter(&metrics, "pv.serve.request"), 4);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), 2);
+    assert_eq!(counter(&metrics, "pv.serve.request.error"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.panic"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.recorder.trip"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -343,3 +343,70 @@ fn socket_clients_interleave_without_crosstalk() {
     assert_eq!(counter(&metrics, "pv.serve.request.not_found"), 0);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// `{"op":"stats"}` is a first-class protocol verb: it answers with the
+/// live totals/windows document (id echoed through), never burns the
+/// deadline budget, shows up in the advertised op list, and lands in
+/// its own counter so the outcome partition still sums to the request
+/// tally.
+#[test]
+fn stats_verb_returns_live_windows_and_joins_the_partition() {
+    let dir = tmp_dir("stats");
+    let (corpus, key) = seed_registry(&dir);
+    let metrics = dir.join("METRICS.json");
+    let mut child = Command::new(serve_binary())
+        .args(["--registry"])
+        .arg(&dir)
+        .args(["--metrics-out"])
+        .arg(&metrics)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pv-serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    let lines = [
+        request_line(key, &corpus, 0, 1),
+        "{\"op\": \"stats\", \"id\": 4}".to_string(),
+        "{\"op\": \"no-such-op\"}".to_string(),
+        "{\"shutdown\": true}".to_string(),
+    ];
+    for line in &lines {
+        stdin.write_all(line.as_bytes()).expect("write");
+        stdin.write_all(b"\n").expect("write");
+    }
+    stdin.flush().expect("flush");
+
+    let replies: Vec<String> = stdout.lines().map(|l| l.expect("read reply")).collect();
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+    let stats = &replies[1];
+    assert!(stats.contains("\"op\":\"stats\""), "{stats}");
+    assert!(stats.contains("\"id\":4"), "{stats}");
+    assert!(stats.contains("\"totals\""), "{stats}");
+    assert!(stats.contains("\"requests\":1"), "{stats}");
+    assert!(stats.contains("\"window\":\"10s\""), "{stats}");
+    assert!(stats.contains("\"window\":\"1m\""), "{stats}");
+    assert!(stats.contains("\"window\":\"5m\""), "{stats}");
+    assert!(stats.contains("\"p99_ns\""), "{stats}");
+    assert!(stats.contains("uptime_s"), "{stats}");
+    // The verb is advertised to clients probing an unknown op.
+    assert!(replies[2].contains("bad-request"), "{}", replies[2]);
+    assert!(
+        replies[2].contains("predict|health|reload|shutdown|stats"),
+        "{}",
+        replies[2]
+    );
+    assert!(replies[3].contains("\"shutdown\":true"), "{}", replies[3]);
+    drop(stdin);
+    wait_exit_ok(child);
+
+    assert_eq!(counter(&metrics, "pv.serve.request"), 4);
+    assert_eq!(counter(&metrics, "pv.serve.request.ok"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.request.stats"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.request.bad"), 1);
+    assert_eq!(counter(&metrics, "pv.serve.shutdown"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
