@@ -1487,6 +1487,18 @@ fn load_gen_cmd(args: &[String]) {
             q(0.99),
             q(1.0)
         );
+        // Shape of the latency distribution via the chunked two-pass
+        // moment kernel (a diagnostic summary, not a pinned encoding —
+        // exactly the consumer `Moments::from_slice_chunked` is for).
+        let ns: Vec<f64> = lat.iter().map(|&n| n as f64).collect();
+        let m = pv_stats::Moments::from_slice_chunked(&ns);
+        println!(
+            "load-gen: latency mean/std = {}/{}, skew {:.2}, excess kurtosis {:.2}",
+            pv_obs::humanize_ns(m.mean()),
+            pv_obs::humanize_ns(m.sample_std()),
+            m.skewness(),
+            m.excess_kurtosis()
+        );
     }
     if let Some(first) = first_failure.lock().expect("lock").as_ref() {
         eprintln!("load-gen: first failure: {first}");

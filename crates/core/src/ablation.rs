@@ -98,7 +98,8 @@ pub fn evaluate_knn_variant_encoded(
         |held| {
             Ok(FoldTruth {
                 id: corpus.benchmarks[held].id,
-                rel: Cow::Borrowed(enc.rel_times(held)),
+                rel: Cow::Borrowed(enc.rel_times_sorted(held)),
+                sorted: true,
             })
         },
     )

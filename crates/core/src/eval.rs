@@ -162,7 +162,8 @@ pub(crate) fn few_runs_truth<'a, 'c>(
     move |held| {
         Ok(FoldTruth {
             id: corpus.benchmarks[held].id,
-            rel: Cow::Borrowed(enc.rel_times(held)),
+            rel: Cow::Borrowed(enc.rel_times_sorted(held)),
+            sorted: true,
         })
     }
 }
@@ -346,7 +347,8 @@ pub(crate) fn cross_system_truth<'a, 'c>(
     move |held| {
         Ok(FoldTruth {
             id: dst_corpus.benchmarks[held].id,
-            rel: Cow::Borrowed(dst.rel_times(held)),
+            rel: Cow::Borrowed(dst.rel_times_sorted(held)),
+            sorted: true,
         })
     }
 }

@@ -83,7 +83,7 @@ pub use incremental::{
     evaluate_few_runs_incremental, evaluate_few_runs_incremental_sharded, fold_fingerprint,
     FoldCacheStats, FoldEntry, IncrementalEval,
 };
-pub use model::{FittedModel, ModelKind};
+pub use model::{binned_trees_default, tree_kernel_tag, FittedModel, ModelKind};
 pub use pipeline::{
     bench_fingerprints, corpus_fingerprint, EncodedCorpus, EncodingSpec, FoldRunner, FoldTruth,
     FoldView, PreparedFold, RowSink, SeedMode,

@@ -28,7 +28,7 @@ use rayon::prelude::*;
 
 use pv_ml::{Dataset, DenseMatrix, Regressor, StandardScaler};
 use pv_stats::fingerprint::Fnv1a;
-use pv_stats::ks::ks2_statistic;
+use pv_stats::ks::ks2_statistic_presorted;
 use pv_stats::rng::{derive_stream, Xoshiro256pp};
 use pv_stats::StatsError;
 use pv_sysmodel::{BenchmarkData, BenchmarkId, Corpus, RunSet, SystemId};
@@ -231,6 +231,12 @@ type BenchWindows = Vec<Vec<Vec<f64>>>;
 /// corpus never changes an encoded bit.
 pub(crate) struct EncodedBlock {
     pub(crate) rel: Vec<Vec<f64>>,
+    /// `rel` sorted ascending (`total_cmp`), cached once at encode time
+    /// so every fold's KS scoring can take the allocation-free
+    /// [`pv_stats::ks::ks2_statistic_presorted`] path. The KS statistic is
+    /// an order-invariant of the input multisets, so scoring against the
+    /// sorted copy is bit-identical to scoring against `rel`.
+    pub(crate) rel_sorted: Vec<Vec<f64>>,
     /// `s` → per-benchmark window profiles.
     pub(crate) profiles: Vec<(usize, BenchWindows)>,
     /// Representation → per-benchmark target encoding.
@@ -356,8 +362,17 @@ impl EncodedBlock {
             }
         }
 
+        let rel_sorted = rel
+            .iter()
+            .map(|r| {
+                let mut s = r.clone();
+                s.sort_by(f64::total_cmp);
+                s
+            })
+            .collect();
         let mut block = EncodedBlock {
             rel,
+            rel_sorted,
             profiles,
             targets,
             joined: Vec::new(),
@@ -387,6 +402,12 @@ impl EncodedBlock {
     /// Cached relative times of local benchmark `bi`.
     pub(crate) fn rel_times(&self, bi: usize) -> &[f64] {
         &self.rel[bi]
+    }
+
+    /// Cached *sorted* relative times of local benchmark `bi` — the
+    /// truth side of the presorted KS fast path.
+    pub(crate) fn rel_times_sorted(&self, bi: usize) -> &[f64] {
+        &self.rel_sorted[bi]
     }
 
     /// Cached window-`w` profile of local benchmark `bi` for setting `s`.
@@ -492,6 +513,13 @@ impl<'c> EncodedCorpus<'c> {
     /// Cached relative times of benchmark `bi`.
     pub fn rel_times(&self, bi: usize) -> &[f64] {
         self.block.rel_times(bi)
+    }
+
+    /// Cached relative times of benchmark `bi`, sorted ascending — fold
+    /// truths built from this (with `sorted: true`) let scoring use the
+    /// allocation-free presorted KS path.
+    pub fn rel_times_sorted(&self, bi: usize) -> &[f64] {
+        self.block.rel_times_sorted(bi)
     }
 
     /// Cached window-`w` profile of benchmark `bi` for window setting `s`.
@@ -617,6 +645,12 @@ pub struct FoldTruth<'a> {
     /// Borrowed on the monolithic path; owned on the sharded path (the
     /// backing shard may be evicted before scoring finishes).
     pub rel: Cow<'a, [f64]>,
+    /// Whether `rel` is already sorted ascending (`total_cmp` order).
+    /// When true, scoring skips the copy-and-sort of the truth side and
+    /// feeds [`pv_stats::ks::ks2_statistic_presorted`] directly; the KS
+    /// value is bit-identical either way (the statistic is an
+    /// order-invariant of its input multisets).
+    pub sorted: bool,
 }
 
 /// Generic leave-one-group-out fold runner.
@@ -776,11 +810,23 @@ impl FoldRunner<'_> {
         model.fit(&prepared.data)?;
         let predicted_features = model.predict(&prepared.query)?;
         let mut rng = Xoshiro256pp::seed_from_u64(derive_stream(prepared.fold_seed, held as u64));
-        let predicted = self
+        let mut predicted = self
             .repr
             .decode(&predicted_features, &mut rng, self.n_samples)?;
+        // Sort the freshly-decoded sample once and use the presorted KS
+        // sweep: same sort order (`total_cmp`) and same merge as
+        // `ks2_statistic`, so the D value is bit-identical — but the
+        // truth side (cached sorted in the encode block) is no longer
+        // copied and re-sorted on every fold.
+        predicted.sort_by(f64::total_cmp);
         let t = truth(held)?;
-        let ks = ks2_statistic(&predicted, &t.rel)?;
+        let ks = if t.sorted {
+            ks2_statistic_presorted(&predicted, &t.rel)?
+        } else {
+            let mut rel = t.rel.into_owned();
+            rel.sort_by(f64::total_cmp);
+            ks2_statistic_presorted(&predicted, &rel)?
+        };
         Ok(BenchScore { id: t.id, ks })
     }
 

@@ -37,7 +37,10 @@ use crate::usecase2::{CrossSystemArtifact, CrossSystemConfig, CrossSystemPredict
 /// Registry entry format version. Bump on any change to the sealed
 /// entry layout or the artifact schema; stale-version entries are
 /// rejected (and healed by `repro train`), never reinterpreted.
-pub const REGISTRY_VERSION: u32 = 1;
+/// (v2: the vectorized kernel layer — kNN models gained the f32
+/// prescreen fields, tree models default to binned splits, and artifact
+/// keys carry the tree-kernel tag.)
+pub const REGISTRY_VERSION: u32 = 2;
 
 /// The observability counters the registry emits.
 pub const REGISTRY_OBS_COUNTERS: &[&str] = &[
@@ -91,6 +94,9 @@ pub fn artifact_key(fingerprint: u64, cfg: &CellConfig) -> Result<u64, StatsErro
     h.write_str("pv-registry");
     h.write_u64(REGISTRY_VERSION as u64);
     h.write_u64(fingerprint);
+    // Binned vs exact tree splits produce different fitted models; a
+    // `PV_EXACT_TREES` run must never serve a default run's artifacts.
+    h.write_str(crate::model::tree_kernel_tag());
     h.write_str(&json);
     Ok(h.finish())
 }

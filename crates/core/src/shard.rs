@@ -267,6 +267,15 @@ impl EncodedShard {
         Ok(self.block.rel_times(self.local(bi)?))
     }
 
+    /// Cached relative times of benchmark `bi` (global index), sorted
+    /// ascending — the truth side of the presorted KS fast path.
+    ///
+    /// # Errors
+    /// Fails when `bi` is outside the shard's range.
+    pub fn rel_times_sorted(&self, bi: usize) -> Result<&[f64], StatsError> {
+        Ok(self.block.rel_times_sorted(self.local(bi)?))
+    }
+
     /// Cached window-`w` profile of benchmark `bi` for setting `s`.
     ///
     /// # Errors
@@ -494,11 +503,23 @@ fn parse_payload(payload: &[u8]) -> Result<(usize, Vec<BenchmarkId>, EncodedBloc
     if r.pos != payload.len() {
         return Err(spill_err("parse", "trailing bytes in shard payload"));
     }
+    // The sorted-rel cache is derived data; rebuilding it on load keeps
+    // the spill format unchanged (and a hand-tampered spill file cannot
+    // desynchronize the two).
+    let rel_sorted = rel
+        .iter()
+        .map(|r| {
+            let mut s = r.clone();
+            s.sort_by(f64::total_cmp);
+            s
+        })
+        .collect();
     Ok((
         start,
         ids,
         EncodedBlock {
             rel,
+            rel_sorted,
             profiles,
             targets,
             joined,
@@ -1057,7 +1078,8 @@ pub(crate) fn cross_system_assemble_sharded<'a>(
 
 /// The fold-truth closure over a sharded corpus. The relative times are
 /// copied out of the shard (owned `Cow`) so scoring never depends on
-/// the shard staying resident.
+/// the shard staying resident; the copy is taken from the shard's
+/// presorted cache so scoring skips the per-fold truth sort.
 pub(crate) fn sharded_truth<'a>(
     sh: &'a ShardedCorpus<'_>,
 ) -> impl Fn(usize) -> Result<FoldTruth<'a>, StatsError> + Send + Sync + 'a {
@@ -1065,7 +1087,8 @@ pub(crate) fn sharded_truth<'a>(
         let shard = sh.shard(sh.layout.shard_of(held))?;
         Ok(FoldTruth {
             id: sh.id(held),
-            rel: std::borrow::Cow::Owned(shard.rel_times(held)?.to_vec()),
+            rel: std::borrow::Cow::Owned(shard.rel_times_sorted(held)?.to_vec()),
+            sorted: true,
         })
     }
 }

@@ -68,8 +68,11 @@ use crate::usecase2::CrossSystemConfig;
 /// Version tag baked into every cache entry; bump on any change to the
 /// cell layout or evaluation semantics to orphan old entries.
 /// (v2: entries carry the degraded-fallback marker; v3: entries carry
-/// per-fold [`FoldEntry`] scores for the incremental fold cache.)
-const CACHE_VERSION: u32 = 3;
+/// per-fold [`FoldEntry`] scores for the incremental fold cache; v4:
+/// the vectorized kernel layer — chunked-lane cosine rounding and the
+/// binned-trees default changed evaluation numerics, and cell keys now
+/// carry the tree-kernel tag.)
+const CACHE_VERSION: u32 = 4;
 
 /// How long a sweep waits for the cache directory's advisory lock
 /// before giving up, unless overridden by [`Sweep::with_lock_timeout`].
@@ -322,8 +325,10 @@ impl CellConfig {
     }
 }
 
-/// The stable on-disk key of a cell: FNV-1a over the corpus fingerprint
-/// and the cell config's canonical JSON form.
+/// The stable on-disk key of a cell: FNV-1a over the corpus fingerprint,
+/// the tree-kernel tag (binned vs exact split finding changes tree-model
+/// scores, so a `PV_EXACT_TREES` run must never alias a default run's
+/// entries), and the cell config's canonical JSON form.
 ///
 /// # Errors
 /// Fails when the config cannot be serialized (never happens for the
@@ -334,6 +339,7 @@ pub fn cell_key(fingerprint: u64, cfg: &CellConfig) -> Result<u64, StatsError> {
     let mut h = Fnv1a::new();
     h.write_u64(CACHE_VERSION as u64);
     h.write_u64(fingerprint);
+    h.write_str(crate::model::tree_kernel_tag());
     h.write_str(&json);
     Ok(h.finish())
 }

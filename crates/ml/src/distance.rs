@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use pv_stats::kernel::{max_abs_diff4, sq_norm4, sum_abs_diff4, sum_sq_diff4};
+
 /// Distance metric between feature rows.
 ///
 /// `Hash` (alongside `Eq`/serde) lets ablation-grid configs that carry a
@@ -31,71 +33,45 @@ impl Distance {
     /// Rows are assumed finite and equal length (the kNN regressor
     /// validates at fit/predict boundaries); in debug builds a mismatch
     /// panics.
+    ///
+    /// All four metrics accumulate through the chunked four-lane
+    /// kernels of [`pv_stats::kernel`]. Cosine keeps `dot`, `na`, `nb`
+    /// as three independent chains (now in chunked lane order), so the
+    /// norm-hoisted [`cosine_with_sq_norms`] stays bit-identical to this
+    /// path — the same invariant the old element-order scalar loops had,
+    /// re-established on the vectorized lane order.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Distance::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt(),
-            Distance::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Distance::Cosine => {
-                let mut dot = 0.0;
-                let mut na = 0.0;
-                let mut nb = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    dot += x * y;
-                    na += x * x;
-                    nb += y * y;
-                }
-                if na == 0.0 || nb == 0.0 {
-                    // A zero vector has no direction: maximally distant.
-                    return 1.0;
-                }
-                (1.0 - (dot / (na.sqrt() * nb.sqrt()))).clamp(0.0, 2.0)
-            }
-            Distance::Chebyshev => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0f64, f64::max),
+            Distance::Euclidean => sum_sq_diff4(a, b).sqrt(),
+            Distance::Manhattan => sum_abs_diff4(a, b),
+            Distance::Cosine => crate::kernel::cosine(a, b),
+            Distance::Chebyshev => max_abs_diff4(a, b),
         }
     }
 }
 
-/// `Σxᵢ²` of a row, accumulated in element order — the quantity cosine
-/// recomputes for both rows on every pair. Callers that score one query
-/// against many candidates (kNN) compute it once per row and pass it to
+/// `Σxᵢ²` of a row, accumulated in the chunked lane order of
+/// [`pv_stats::kernel::sq_norm4`] — the quantity cosine recomputes for
+/// both rows on every pair. Callers that score one query against many
+/// candidates (kNN) compute it once per row and pass it to
 /// [`cosine_with_sq_norms`].
 #[inline]
 pub fn squared_norm(v: &[f64]) -> f64 {
-    let mut s = 0.0;
-    for &x in v {
-        s += x * x;
-    }
-    s
+    sq_norm4(v)
 }
 
 /// Cosine distance with both squared norms precomputed.
 ///
-/// Bit-identical to [`Distance::Cosine`]'s `eval`: the naive path
-/// accumulates `dot`, `na`, `nb` as three independent chains in element
-/// order, so hoisting the norm chains out of the loop changes no
+/// Bit-identical to [`Distance::Cosine`]'s `eval`: both paths compute
+/// `dot`, `na`, `nb` through the same chunked kernels as three
+/// independent chains, so hoisting the norm chains out changes no
 /// rounding (asserted in `cached_norms_match_naive_cosine_bitwise`).
+/// The norms must come from [`squared_norm`] for the guarantee to hold.
 #[inline]
 pub fn cosine_with_sq_norms(a: &[f64], b: &[f64], na: f64, nb: f64) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    if na == 0.0 || nb == 0.0 {
-        // A zero vector has no direction: maximally distant.
-        return 1.0;
-    }
-    let mut dot = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        dot += x * y;
-    }
-    (1.0 - (dot / (na.sqrt() * nb.sqrt()))).clamp(0.0, 2.0)
+    crate::kernel::cosine_cached(a, b, na, nb)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use pv_stats::StatsError;
 
 use crate::dataset::{Dataset, DenseMatrix};
 use crate::distance::{cosine_with_sq_norms, squared_norm, Distance};
+use crate::kernel::{self, F32Train, TILE_Q, TILE_T};
 use crate::{Regressor, Result};
 
 /// The canonical neighbour *selection* order: ascending distance, ties
@@ -49,6 +50,17 @@ pub struct KnnRegressor {
     /// predict stops re-deriving every candidate norm per query. `None`
     /// (other metrics) falls back to the bit-identical naive path.
     train_sq_norms: Option<Vec<f64>>,
+    /// Screen cosine candidates in f32 lanes before the exact f64
+    /// re-score (see [`crate::kernel::F32Train`]). Off by default; the
+    /// selected neighbour set — and hence every prediction — is
+    /// unchanged either way (pinned by `tests/kernel_parity.rs`).
+    pub f32_prescreen: bool,
+    /// f32 shadow of the training rows, built at fit time when the
+    /// prescreen is enabled. Round-trips through serde with the rest of
+    /// the model; a model without one (prescreen off, or the shadow
+    /// stripped) falls back to the exact path with identical predictions
+    /// because the screen never changes the neighbour set.
+    train_f32: Option<F32Train>,
 }
 
 impl KnnRegressor {
@@ -62,6 +74,8 @@ impl KnnRegressor {
             train_x: None,
             train_y: None,
             train_sq_norms: None,
+            f32_prescreen: false,
+            train_f32: None,
         }
     }
 
@@ -74,6 +88,14 @@ impl KnnRegressor {
     /// Builder: weighting scheme.
     pub fn with_weights(mut self, w: WeightScheme) -> Self {
         self.weights = w;
+        self
+    }
+
+    /// Builder: f32 candidate prescreen on/off. Takes effect at the next
+    /// `fit` (the f32 shadow of the training rows is built there); only
+    /// the cosine metric uses it.
+    pub fn with_f32_prescreen(mut self, on: bool) -> Self {
+        self.f32_prescreen = on;
         self
     }
 
@@ -93,13 +115,38 @@ impl KnnRegressor {
         let mut dists: Vec<(usize, f64)> = match (self.distance, &self.train_sq_norms) {
             (Distance::Cosine, Some(norms)) => {
                 let qn = squared_norm(x);
+                match (self.f32_prescreen, &self.train_f32) {
+                    (true, Some(shadow)) => {
+                        // f32 screen, exact re-score of the survivors.
+                        // The candidate set provably contains the exact
+                        // top-k, and selection below uses only exact f64
+                        // distances, so the chosen k-set is identical to
+                        // the unscreened path's.
+                        pv_obs::counter_inc!("pv.ml.kernel.knn_f32_prescreen");
+                        let cand = shadow.prescreen(x, self.k);
+                        pv_obs::counter_add!(
+                            "pv.ml.kernel.knn_f32_rescore_rows",
+                            cand.rows.len() as u64
+                        );
+                        cand.rows
+                            .into_iter()
+                            .map(|r| (r, cosine_with_sq_norms(x, tx.row(r), qn, norms[r])))
+                            .collect()
+                    }
+                    _ => {
+                        pv_obs::counter_inc!("pv.ml.kernel.knn_row_path");
+                        (0..tx.rows())
+                            .map(|r| (r, cosine_with_sq_norms(x, tx.row(r), qn, norms[r])))
+                            .collect()
+                    }
+                }
+            }
+            _ => {
+                pv_obs::counter_inc!("pv.ml.kernel.knn_row_path");
                 (0..tx.rows())
-                    .map(|r| (r, cosine_with_sq_norms(x, tx.row(r), qn, norms[r])))
+                    .map(|r| (r, self.distance.eval(x, tx.row(r))))
                     .collect()
             }
-            _ => (0..tx.rows())
-                .map(|r| (r, self.distance.eval(x, tx.row(r))))
-                .collect(),
         };
         let k = self.k.min(dists.len());
         // Partial selection then sort of the head: O(n + k log k).
@@ -126,6 +173,37 @@ impl KnnRegressor {
             .collect();
         idx.sort_unstable();
         Ok(idx)
+    }
+
+    /// Turns a selected neighbour list into a prediction. Accumulates in
+    /// ascending row order, not distance rank: float addition is
+    /// commutative but not associative, so rank-order summation would
+    /// let near-tie rank swaps move the prediction's last bits even when
+    /// the neighbour set is unchanged. Row order makes a uniform-weight
+    /// prediction a pure function of the neighbour set — the property
+    /// the incremental fold cache's delta path relies on (weights travel
+    /// with their rows, so inverse-distance weighting is unaffected by
+    /// the order).
+    fn predict_from_neighbors(&self, mut neigh: Vec<(usize, f64)>) -> Result<Vec<f64>> {
+        neigh.sort_unstable_by_key(|&(idx, _)| idx);
+        let (_, ty) = self.fitted()?;
+        let t = ty.cols();
+        let mut out = vec![0.0; t];
+        let mut wsum = 0.0;
+        for &(idx, dist) in &neigh {
+            let w = match self.weights {
+                WeightScheme::Uniform => 1.0,
+                WeightScheme::InverseDistance => 1.0 / (dist + 1e-12),
+            };
+            wsum += w;
+            for (o, v) in out.iter_mut().zip(ty.row(idx)) {
+                *o += w * v;
+            }
+        }
+        for o in out.iter_mut() {
+            *o /= wsum;
+        }
+        Ok(out)
     }
 
     fn fitted(&self) -> Result<(&DenseMatrix, &DenseMatrix)> {
@@ -157,6 +235,8 @@ impl Regressor for KnnRegressor {
             ),
             _ => None,
         };
+        self.train_f32 = (self.f32_prescreen && self.distance == Distance::Cosine)
+            .then(|| F32Train::build(&data.x));
         self.train_x = Some(data.x.clone());
         self.train_y = Some(data.y.clone());
         Ok(())
@@ -164,34 +244,53 @@ impl Regressor for KnnRegressor {
 
     fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
         let _timer = pv_obs::timed!("pv.ml.knn.predict_ns");
-        let mut neigh = self.neighbors(x)?;
-        // Accumulate in ascending row order, not distance rank. Float
-        // addition is commutative but not associative, so rank-order
-        // summation would let near-tie rank swaps move the prediction's
-        // last bits even when the neighbour set is unchanged. Row order
-        // makes a uniform-weight prediction a pure function of the
-        // neighbour set — the property the incremental fold cache's
-        // delta path relies on (weights travel with their rows, so
-        // inverse-distance weighting is unaffected by the order).
-        neigh.sort_unstable_by_key(|&(idx, _)| idx);
-        let (_, ty) = self.fitted()?;
-        let t = ty.cols();
-        let mut out = vec![0.0; t];
-        let mut wsum = 0.0;
-        for &(idx, dist) in &neigh {
-            let w = match self.weights {
-                WeightScheme::Uniform => 1.0,
-                WeightScheme::InverseDistance => 1.0 / (dist + 1e-12),
-            };
-            wsum += w;
-            for (o, v) in out.iter_mut().zip(ty.row(idx)) {
-                *o += w * v;
+        let neigh = self.neighbors(x)?;
+        self.predict_from_neighbors(neigh)
+    }
+
+    fn predict_batch(&self, xs: &DenseMatrix) -> Result<DenseMatrix> {
+        // The blocked all-pairs kernel serves cosine with cached norms
+        // (the fitted configuration of the paper's model); other metrics
+        // keep the row-at-a-time loop. Bit-identical either way: the
+        // batch matrix entry for (query, row) is the exact per-pair
+        // kernel `neighbors` evaluates, so selection and prediction see
+        // the same numbers (pinned by `tests/kernel_parity.rs`).
+        let (tx, ty) = self.fitted()?;
+        let (Distance::Cosine, Some(norms)) = (self.distance, &self.train_sq_norms) else {
+            let mut out = Vec::with_capacity(xs.rows() * ty.cols());
+            for r in 0..xs.rows() {
+                out.extend(self.predict(xs.row(r))?);
             }
+            return DenseMatrix::from_flat(xs.rows(), ty.cols(), out);
+        };
+        if xs.cols() != tx.cols() {
+            return Err(StatsError::invalid(
+                "KnnRegressor::predict",
+                format!(
+                    "rows have {} features, model expects {}",
+                    xs.cols(),
+                    tx.cols()
+                ),
+            ));
         }
-        for o in out.iter_mut() {
-            *o /= wsum;
+        let _timer = pv_obs::timed!("pv.ml.knn.predict_batch_ns");
+        pv_obs::counter_add!("pv.ml.kernel.knn_batch_rows", xs.rows() as u64);
+        let q_norms: Vec<f64> = (0..xs.rows()).map(|r| squared_norm(xs.row(r))).collect();
+        let dmat = kernel::cosine_distance_matrix(xs, &q_norms, tx, norms, TILE_Q, TILE_T);
+        let nt = tx.rows();
+        let k = self.k.min(nt);
+        let mut out = Vec::with_capacity(xs.rows() * ty.cols());
+        for q in 0..xs.rows() {
+            let mut dists: Vec<(usize, f64)> = dmat[q * nt..(q + 1) * nt]
+                .iter()
+                .copied()
+                .enumerate()
+                .collect();
+            dists.select_nth_unstable_by(k - 1, canonical);
+            dists.truncate(k);
+            out.extend(self.predict_from_neighbors(dists)?);
         }
-        Ok(out)
+        DenseMatrix::from_flat(xs.rows(), ty.cols(), out)
     }
 }
 
@@ -377,6 +476,93 @@ mod tests {
         let mut m = KnnRegressor::new(2).with_distance(Distance::Euclidean);
         m.fit(&Dataset::ungrouped(x, y).unwrap()).unwrap();
         assert_eq!(m.neighbor_indices(&[1.0, 2.0]).unwrap(), vec![0, 1]);
+    }
+
+    fn wide_dataset(rows: usize, cols: usize) -> Dataset {
+        let mut state = 0xD1CE_5EED_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        let xs: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| next()).collect())
+            .collect();
+        let ys: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..3).map(|_| next()).collect())
+            .collect();
+        Dataset::ungrouped(
+            DenseMatrix::from_rows(&xs).unwrap(),
+            DenseMatrix::from_rows(&ys).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_row_predict() {
+        let data = wide_dataset(80, 68);
+        let mut m = KnnRegressor::new(15).with_distance(Distance::Cosine);
+        m.fit(&data).unwrap();
+        let queries = wide_dataset(17, 68); // odd count: exercises tile tails
+        let batch = m.predict_batch(&queries.x).unwrap();
+        for r in 0..queries.x.rows() {
+            let row = m.predict(queries.x.row(r)).unwrap();
+            for (a, b) in batch.row(r).iter().zip(&row) {
+                assert_eq!(a.to_bits(), b.to_bits(), "query {r}");
+            }
+        }
+        // Width mismatch errors like the row path.
+        let narrow = DenseMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(m.predict_batch(&narrow).is_err());
+    }
+
+    #[test]
+    fn f32_prescreen_preserves_neighbor_sets_and_predictions() {
+        let data = wide_dataset(150, 68);
+        let mut exact = KnnRegressor::new(15).with_distance(Distance::Cosine);
+        exact.fit(&data).unwrap();
+        let mut screened = KnnRegressor::new(15)
+            .with_distance(Distance::Cosine)
+            .with_f32_prescreen(true);
+        screened.fit(&data).unwrap();
+        assert!(screened.train_f32.is_some());
+        for r in (0..150).step_by(7) {
+            let q = data.x.row(r);
+            assert_eq!(
+                exact.neighbor_indices(q).unwrap(),
+                screened.neighbor_indices(q).unwrap(),
+                "query {r}"
+            );
+            let a = exact.predict(q).unwrap();
+            let b = screened.predict(q).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "query {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn prescreen_model_roundtrips_and_survives_shadow_stripping() {
+        let data = wide_dataset(60, 33);
+        let mut m = KnnRegressor::new(7)
+            .with_distance(Distance::Cosine)
+            .with_f32_prescreen(true);
+        m.fit(&data).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let reloaded: KnnRegressor = serde_json::from_str(&json).unwrap();
+        // The f32 shadow round-trips (f32 → f64 JSON → f32 is exact)...
+        assert!(reloaded.train_f32.is_some());
+        // ...and a model whose shadow is stripped falls back to the
+        // exact path; both must match the original bit-for-bit.
+        let mut stripped = reloaded.clone();
+        stripped.train_f32 = None;
+        for r in (0..60).step_by(11) {
+            let q = data.x.row(r);
+            let want = m.predict(q).unwrap();
+            assert_eq!(want, reloaded.predict(q).unwrap(), "query {r}");
+            assert_eq!(want, stripped.predict(q).unwrap(), "query {r}");
+        }
     }
 
     #[test]

@@ -39,7 +39,37 @@ pub fn ks2_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
     // thing that panics a sweep cell if the guard and this line drift.
     xs.sort_by(f64::total_cmp);
     ys.sort_by(f64::total_cmp);
+    Ok(merge_sweep(&xs, &ys))
+}
 
+/// Two-sample KS statistic for samples that are **already sorted
+/// ascending** — no allocation, no sort.
+///
+/// `D` depends only on the two multisets, so for any orderings of the
+/// same data this is bit-identical to [`ks2_statistic`]; the eval loop
+/// uses it to score freshly-sorted predicted samples against measured
+/// samples the encode cache sorted once, instead of copying and
+/// re-sorting both sides on every fold.
+///
+/// Sortedness is debug-asserted; a release-build violation returns a
+/// well-defined but meaningless statistic, never a panic.
+///
+/// # Errors
+/// Fails when either sample is empty or contains non-finite values.
+pub fn ks2_statistic_presorted(a: &[f64], b: &[f64]) -> Result<f64> {
+    ensure_len("ks2", a, 1)?;
+    ensure_len("ks2", b, 1)?;
+    ensure_finite("ks2", a)?;
+    ensure_finite("ks2", b)?;
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "b must be sorted");
+    Ok(merge_sweep(a, b))
+}
+
+/// The linear merge sweep over two sorted samples shared by both entry
+/// points: advance past ties in each sample so both ECDFs are evaluated
+/// at the same point `t`, tracking the largest gap.
+fn merge_sweep(xs: &[f64], ys: &[f64]) -> f64 {
     let (n, m) = (xs.len(), ys.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
@@ -47,8 +77,6 @@ pub fn ks2_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
         let x = xs[i];
         let y = ys[j];
         let t = x.min(y);
-        // Advance past ties in each sample so both CDFs are evaluated at
-        // the same point t (right-continuous step functions).
         while i < n && xs[i] <= t {
             i += 1;
         }
@@ -59,7 +87,7 @@ pub fn ks2_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
         let f2 = j as f64 / m as f64;
         d = d.max((f1 - f2).abs());
     }
-    Ok(d)
+    d
 }
 
 /// Two-sample KS test with asymptotic p-value.
@@ -261,6 +289,36 @@ mod tests {
         assert!(ks2_statistic(&[1.0, f64::NAN], &[1.0]).is_err());
         assert!(ks2_statistic(&[1.0], &[f64::NEG_INFINITY]).is_err());
         assert!(ks1_statistic(&[f64::NAN], |_| 0.5).is_err());
+    }
+
+    #[test]
+    fn presorted_matches_allocating_path_bitwise() {
+        // Any ordering of the same multisets must give the same D bits.
+        let d = Normal::new(0.3, 1.7).unwrap();
+        let mut r1 = Xoshiro256pp::seed_from_u64(7);
+        let mut r2 = Xoshiro256pp::seed_from_u64(8);
+        for (na, nb) in [(1usize, 1usize), (5, 3), (100, 251), (1000, 59)] {
+            let a = d.sample_n(&mut r1, na);
+            let b = d.sample_n(&mut r2, nb);
+            let want = ks2_statistic(&a, &b).unwrap();
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            sa.sort_by(f64::total_cmp);
+            sb.sort_by(f64::total_cmp);
+            let got = ks2_statistic_presorted(&sa, &sb).unwrap();
+            assert_eq!(want.to_bits(), got.to_bits(), "n=({na},{nb})");
+        }
+    }
+
+    #[test]
+    fn presorted_validates_like_the_allocating_path() {
+        assert!(ks2_statistic_presorted(&[], &[1.0]).is_err());
+        assert!(ks2_statistic_presorted(&[1.0], &[]).is_err());
+        assert!(ks2_statistic_presorted(&[1.0, f64::NAN], &[1.0]).is_err());
+        assert_eq!(
+            ks2_statistic_presorted(&[1.0, 2.0], &[1.0, 2.0]).unwrap(),
+            0.0
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod fingerprint;
 pub mod gof;
 pub mod histogram;
 pub mod kde;
+pub mod kernel;
 pub mod ks;
 pub mod linalg;
 pub mod moments;

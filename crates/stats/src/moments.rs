@@ -59,6 +59,44 @@ impl Moments {
         m
     }
 
+    /// Vectorized two-pass accumulation of a whole slice: mean via the
+    /// chunked four-lane sum, then central power sums `Σd²..Σd⁴` in one
+    /// more chunked pass (see [`crate::kernel`]). No per-element
+    /// division, and the lane updates auto-vectorize — several times
+    /// faster than the streaming [`Self::from_slice`] on long slices.
+    ///
+    /// **Contract (tolerance, not bitwise):** `count`, `min`, and `max`
+    /// are exact; `mean` and the central moments agree with
+    /// [`Self::from_slice`] only to relative tolerance (the two-pass
+    /// form is, if anything, the more accurate of the pair). Pipeline
+    /// paths whose outputs are bit-pinned (profile encoding,
+    /// `MomentSummary::from_sample`, `StandardScaler`) therefore keep
+    /// the sequential push as their reference and must not switch to
+    /// this constructor; see DESIGN.md "Kernel contracts".
+    pub fn from_slice_chunked(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Moments::new();
+        }
+        let n = xs.len() as f64;
+        let mean = crate::kernel::sum4(xs) / n;
+        let (m2, m3, m4) = crate::kernel::central_sums4(xs, mean);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Moments {
+            n: xs.len() as u64,
+            mean,
+            m2,
+            m3,
+            m4,
+            min,
+            max,
+        }
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         let n1 = self.n as f64;
@@ -380,6 +418,30 @@ mod tests {
         assert!(close(m.population_variance(), c2, 1e-12));
         assert!(close(m.skewness(), c3 / c2.powf(1.5), 1e-10));
         assert!(close(m.kurtosis(), c4 / (c2 * c2), 1e-10));
+    }
+
+    #[test]
+    fn chunked_two_pass_matches_streaming_within_tolerance() {
+        // The documented contract: count/min/max exact, statistics to
+        // relative tolerance against the sequential Pébay reference.
+        for n in [1usize, 2, 3, 4, 5, 7, 64, 1000] {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.83).sin() * 5.0 + 2.0)
+                .collect();
+            let seq = Moments::from_slice(&xs);
+            let chk = Moments::from_slice_chunked(&xs);
+            assert_eq!(chk.count(), seq.count(), "n={n}");
+            assert_eq!(chk.min().to_bits(), seq.min().to_bits(), "n={n}");
+            assert_eq!(chk.max().to_bits(), seq.max().to_bits(), "n={n}");
+            assert!(close(chk.mean(), seq.mean(), 1e-12), "n={n}");
+            assert!(
+                close(chk.population_variance(), seq.population_variance(), 1e-10),
+                "n={n}"
+            );
+            assert!(close(chk.skewness(), seq.skewness(), 1e-8), "n={n}");
+            assert!(close(chk.kurtosis(), seq.kurtosis(), 1e-8), "n={n}");
+        }
+        assert_eq!(Moments::from_slice_chunked(&[]).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Kernel-parity tier: enforces the bit-or-tolerance contracts of the
+//! vectorized kernel layer (DESIGN.md "Kernel contracts").
+//!
+//! Four families of pins:
+//!
+//! 1. chunked-lane kernels vs a scalar element-order reference —
+//!    *bitwise* where the contract says bitwise (Chebyshev max, the
+//!    norm/dot chain identity), *tolerance* where reassociation is real
+//!    (sums, dots, central moments);
+//! 2. the f32 cosine prescreen — neighbour-set and prediction identity
+//!    against the unscreened exact path, including adversarial near-tie
+//!    data;
+//! 3. the blocked batch-kNN distance matrix — bit-identical to
+//!    row-at-a-time scoring at several tile shapes, and batch
+//!    predictions bit-identical to `predict`;
+//! 4. exact-vs-binned tree splits — the accuracy thresholds that gate
+//!    the binned default (`PV_EXACT_TREES` opt-out) at the evaluation
+//!    level.
+
+use perfvar_suite::core::usecase1::FewRunsConfig;
+use perfvar_suite::core::{evaluate_few_runs, ModelKind, ReprKind};
+use perfvar_suite::ml::dataset::Dataset;
+use perfvar_suite::ml::distance::{cosine_with_sq_norms, squared_norm, Distance};
+use perfvar_suite::ml::kernel::{cosine_distance_matrix, TILE_Q, TILE_T};
+use perfvar_suite::ml::{DenseMatrix, GradientBoostingRegressor, KnnRegressor, Regressor};
+use perfvar_suite::stats::kernel::{
+    central_sums4, dot4, dot8_f32, max_abs_diff4, sq_norm4, sq_norm8_f32, sum4, sum_abs_diff4,
+    sum_sq_diff4,
+};
+use perfvar_suite::sysmodel::{Corpus, SystemModel};
+
+/// Deterministic pseudo-random values in [-2, 2).
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+    }
+}
+
+fn vecs(n: usize, width: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut next = lcg(seed);
+    (0..n)
+        .map(|_| (0..width).map(|_| next()).collect())
+        .collect()
+}
+
+// -----------------------------------------------------------------
+// 1. chunked kernels vs scalar element-order reference
+// -----------------------------------------------------------------
+
+#[test]
+fn chunked_kernels_match_scalar_reference_within_tolerance() {
+    // Reassociated sums are NOT bit-identical to element-order scalar
+    // loops; the contract is relative tolerance (DESIGN.md pins 1e-12
+    // for the widths this workspace uses).
+    for width in [1usize, 4, 7, 68, 300] {
+        for (i, pair) in vecs(8, width, width as u64).chunks(2).enumerate() {
+            let (a, b) = (&pair[0], &pair[1]);
+            let scalar_sum: f64 = a.iter().sum();
+            let scalar_dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let scalar_sq: f64 = a.iter().map(|x| x * x).sum();
+            let scalar_ssd: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let scalar_sad: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            let close = |got: f64, want: f64, what: &str| {
+                let scale = want.abs().max(1.0);
+                assert!(
+                    (got - want).abs() <= 1e-12 * scale,
+                    "{what} width {width} pair {i}: {got} vs {want}"
+                );
+            };
+            close(sum4(a), scalar_sum, "sum4");
+            close(dot4(a, b), scalar_dot, "dot4");
+            close(sq_norm4(a), scalar_sq, "sq_norm4");
+            close(sum_sq_diff4(a, b), scalar_ssd, "sum_sq_diff4");
+            close(sum_abs_diff4(a, b), scalar_sad, "sum_abs_diff4");
+        }
+    }
+}
+
+#[test]
+fn chebyshev_is_bitwise_equal_to_the_scalar_fold() {
+    // max is commutative and associative: lane order cannot change it.
+    for width in [1usize, 5, 68] {
+        for pair in vecs(6, width, 77).chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let scalar = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0_f64, f64::max);
+            assert_eq!(max_abs_diff4(a, b).to_bits(), scalar.to_bits());
+            assert_eq!(Distance::Chebyshev.eval(a, b).to_bits(), scalar.to_bits());
+        }
+    }
+}
+
+#[test]
+fn central_sums_match_scalar_reference_within_tolerance() {
+    for width in [2usize, 9, 300] {
+        for xs in vecs(4, width, 99) {
+            let mean = sum4(&xs) / xs.len() as f64;
+            let (m2, m3, m4) = central_sums4(&xs, mean);
+            let (mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0);
+            for &x in &xs {
+                let d = x - mean;
+                s2 += d * d;
+                s3 += d * d * d;
+                s4 += d * d * d * d;
+            }
+            for (got, want, what) in [(m2, s2, "m2"), (m3, s3, "m3"), (m4, s4, "m4")] {
+                let scale = want.abs().max(1.0);
+                assert!(
+                    (got - want).abs() <= 1e-11 * scale,
+                    "{what} width {width}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_kernels_track_the_f64_values_within_f32_tolerance() {
+    for width in [3usize, 68, 300] {
+        for pair in vecs(6, width, 1234).chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let d64 = dot4(a, b);
+            let d32 = dot8_f32(&af, &bf) as f64;
+            let n64 = sq_norm4(a);
+            let n32 = sq_norm8_f32(&af) as f64;
+            let scale = (width as f64).sqrt().max(1.0);
+            assert!((d64 - d32).abs() <= 1e-4 * scale, "dot width {width}");
+            assert!((n64 - n32).abs() <= 1e-4 * scale, "norm width {width}");
+        }
+    }
+}
+
+#[test]
+fn all_cosine_routes_agree_bitwise() {
+    // eval, cached-norm, and the batch matrix must be the same chain.
+    let rows = vecs(12, 68, 5150);
+    let m = DenseMatrix::from_rows(&rows).unwrap();
+    let norms: Vec<f64> = rows.iter().map(|r| squared_norm(r)).collect();
+    let dmat = cosine_distance_matrix(&m, &norms, &m, &norms, TILE_Q, TILE_T);
+    for i in 0..rows.len() {
+        for j in 0..rows.len() {
+            let naive = Distance::Cosine.eval(&rows[i], &rows[j]);
+            let cached = cosine_with_sq_norms(&rows[i], &rows[j], norms[i], norms[j]);
+            assert_eq!(naive.to_bits(), cached.to_bits(), "({i},{j})");
+            assert_eq!(
+                naive.to_bits(),
+                dmat[i * rows.len() + j].to_bits(),
+                "({i},{j})"
+            );
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// 2. f32 prescreen: neighbour sets and predictions are unchanged
+// -----------------------------------------------------------------
+
+fn fit_pair(data: &Dataset, k: usize) -> (KnnRegressor, KnnRegressor) {
+    let mut exact = KnnRegressor::new(k).with_distance(Distance::Cosine);
+    exact.fit(data).unwrap();
+    let mut screened = KnnRegressor::new(k)
+        .with_distance(Distance::Cosine)
+        .with_f32_prescreen(true);
+    screened.fit(data).unwrap();
+    (exact, screened)
+}
+
+fn assert_identical_neighbors(exact: &KnnRegressor, screened: &KnnRegressor, q: &[f64]) {
+    assert_eq!(
+        exact.neighbor_indices(q).unwrap(),
+        screened.neighbor_indices(q).unwrap()
+    );
+    let a = exact.predict(q).unwrap();
+    let b = screened.predict(q).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn f32_prescreen_is_invisible_on_random_data() {
+    let xs = vecs(240, 75, 42);
+    let ys = vecs(240, 4, 43);
+    let data = Dataset::ungrouped(
+        DenseMatrix::from_rows(&xs).unwrap(),
+        DenseMatrix::from_rows(&ys).unwrap(),
+    )
+    .unwrap();
+    for k in [1usize, 15, 60] {
+        let (exact, screened) = fit_pair(&data, k);
+        for q in xs.iter().step_by(13) {
+            assert_identical_neighbors(&exact, &screened, q);
+        }
+    }
+}
+
+#[test]
+fn f32_prescreen_is_invisible_on_adversarial_near_ties() {
+    // Clusters of rows that differ by ~1e-13 — far below f32 resolution,
+    // so the screen sees exact ties everywhere and must over-admit; the
+    // exact re-score and the canonical (distance, row-index) order still
+    // have to pick the same k-set as the unscreened path.
+    let mut next = lcg(0xBAD_CAFE);
+    let base = vecs(12, 68, 0xFEED);
+    let mut xs = Vec::new();
+    for b in &base {
+        for _ in 0..10 {
+            xs.push(b.iter().map(|&v| v + next() * 1e-13).collect::<Vec<f64>>());
+        }
+    }
+    let ys = vecs(xs.len(), 3, 0xD00D);
+    let data = Dataset::ungrouped(
+        DenseMatrix::from_rows(&xs).unwrap(),
+        DenseMatrix::from_rows(&ys).unwrap(),
+    )
+    .unwrap();
+    for k in [5usize, 15] {
+        let (exact, screened) = fit_pair(&data, k);
+        for q in xs.iter().step_by(17) {
+            assert_identical_neighbors(&exact, &screened, q);
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// 3. blocked batch path: bit-identity at several tile shapes
+// -----------------------------------------------------------------
+
+#[test]
+fn batch_matrix_is_bit_identical_to_row_scoring_at_several_tile_shapes() {
+    let qs = vecs(19, 68, 7);
+    let ts = vecs(130, 68, 8);
+    let qm = DenseMatrix::from_rows(&qs).unwrap();
+    let tm = DenseMatrix::from_rows(&ts).unwrap();
+    let qn: Vec<f64> = qs.iter().map(|r| squared_norm(r)).collect();
+    let tn: Vec<f64> = ts.iter().map(|r| squared_norm(r)).collect();
+    let mut want = Vec::with_capacity(qs.len() * ts.len());
+    for q in &qs {
+        for (t, &n) in ts.iter().zip(&tn) {
+            want.push(cosine_with_sq_norms(q, t, squared_norm(q), n));
+        }
+    }
+    for (tq, tt) in [(1, 1), (3, 5), (TILE_Q, TILE_T), (64, 8), (1000, 1000)] {
+        let got = cosine_distance_matrix(&qm, &qn, &tm, &tn, tq, tt);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "tile ({tq},{tt}) entry {i}");
+        }
+    }
+}
+
+#[test]
+fn knn_batch_predictions_are_bit_identical_to_row_predictions() {
+    let xs = vecs(90, 75, 21);
+    let ys = vecs(90, 5, 22);
+    let data = Dataset::ungrouped(
+        DenseMatrix::from_rows(&xs).unwrap(),
+        DenseMatrix::from_rows(&ys).unwrap(),
+    )
+    .unwrap();
+    let mut m = KnnRegressor::new(15).with_distance(Distance::Cosine);
+    m.fit(&data).unwrap();
+    let queries = DenseMatrix::from_rows(&vecs(23, 75, 23)).unwrap();
+    let batch = m.predict_batch(&queries).unwrap();
+    for r in 0..queries.rows() {
+        let row = m.predict(queries.row(r)).unwrap();
+        for (a, b) in batch.row(r).iter().zip(&row) {
+            assert_eq!(a.to_bits(), b.to_bits(), "query {r}");
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// 4. exact vs binned trees: the thresholds gating the default
+// -----------------------------------------------------------------
+
+/// Restores `PV_EXACT_TREES` to "unset" when dropped, even on panic.
+struct ExactTreesGuard;
+
+impl Drop for ExactTreesGuard {
+    fn drop(&mut self) {
+        std::env::remove_var("PV_EXACT_TREES");
+    }
+}
+
+#[test]
+fn binned_eval_summary_is_within_the_documented_threshold_of_exact() {
+    // The gate for default-on (DESIGN.md "Kernel contracts"): a full
+    // few-runs RandomForest evaluation under binned splits must land
+    // within |Δ mean KS| ≤ 0.02 of exhaustive exact splits. This test
+    // owns the PV_EXACT_TREES toggle; no other test in this binary
+    // builds tree models through ModelKind.
+    let corpus = Corpus::collect(&SystemModel::intel(), 24, 0x51);
+    let cfg = FewRunsConfig {
+        repr: ReprKind::Histogram,
+        model: ModelKind::RandomForest,
+        n_profile_runs: 5,
+        profiles_per_benchmark: 1,
+        seed: 9,
+    };
+    let binned = evaluate_few_runs(&corpus, cfg).unwrap();
+    let _guard = ExactTreesGuard;
+    std::env::set_var("PV_EXACT_TREES", "1");
+    let exact = evaluate_few_runs(&corpus, cfg).unwrap();
+    let delta = (binned.mean - exact.mean).abs();
+    assert!(
+        delta <= 0.02,
+        "binned mean KS {} vs exact {} (Δ {delta})",
+        binned.mean,
+        exact.mean
+    );
+}
+
+#[test]
+fn binned_gbt_predictions_stay_close_to_exact_fits() {
+    // Model-level gate for the boosted path: same data, same seed, the
+    // binned fit's predictions track the exact fit within the DESIGN.md
+    // tolerance (mean |Δ| ≤ 5% of the target's scale).
+    let xs = vecs(120, 30, 31);
+    let ys = vecs(120, 4, 32);
+    let data = Dataset::ungrouped(
+        DenseMatrix::from_rows(&xs).unwrap(),
+        DenseMatrix::from_rows(&ys).unwrap(),
+    )
+    .unwrap();
+    let build = |binned: bool| {
+        let mut m = GradientBoostingRegressor::new(40)
+            .with_learning_rate(0.1)
+            .with_max_depth(3)
+            .with_seed(4)
+            .with_binned(binned);
+        m.fit(&data).unwrap();
+        m
+    };
+    let exact = build(false);
+    let binned = build(true);
+    let (mut err, mut n) = (0.0, 0);
+    for q in xs.iter().step_by(7) {
+        let a = exact.predict(q).unwrap();
+        let b = binned.predict(q).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            err += (x - y).abs();
+            n += 1;
+        }
+    }
+    let mean_abs_delta = err / n as f64;
+    assert!(
+        mean_abs_delta <= 0.05 * 2.0, // targets span [-2, 2)
+        "mean |Δ| = {mean_abs_delta}"
+    );
+}
